@@ -1,0 +1,45 @@
+package lccs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SearchBatch answers many queries concurrently across all CPUs with the
+// index's default candidate budget; results are returned in query order.
+// Each query's result slice matches what Search would return.
+func (ix *Index) SearchBatch(queries [][]float32, k int) [][]Neighbor {
+	return ix.SearchBatchBudget(queries, k, ix.budget)
+}
+
+// SearchBatchBudget is SearchBatch with an explicit candidate budget λ.
+func (ix *Index) SearchBatchBudget(queries [][]float32, k, lambda int) [][]Neighbor {
+	out := make([][]Neighbor, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = ix.SearchBudget(q, k, lambda)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i] = ix.SearchBudget(queries[i], k, lambda)
+			}
+		}()
+	}
+	for i := range queries {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}

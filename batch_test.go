@@ -1,0 +1,114 @@
+package lccs
+
+import (
+	"testing"
+)
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	data, g := testData(41, 800, 12, 8, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float32, 40)
+	for i := range queries {
+		base := data[g.IntN(len(data))]
+		q := make([]float32, len(base))
+		for j := range q {
+			q[j] = base[j] + float32(g.NormFloat64()*0.2)
+		}
+		queries[i] = q
+	}
+	batch := ix.SearchBatchBudget(queries, 5, 60)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, q := range queries {
+		seq := ix.SearchBudget(q, 5, 60)
+		if len(seq) != len(batch[i]) {
+			t.Fatalf("query %d: lengths differ", i)
+		}
+		for j := range seq {
+			if seq[j] != batch[i][j] {
+				t.Fatalf("query %d result %d: %+v vs %+v", i, j, seq[j], batch[i][j])
+			}
+		}
+	}
+}
+
+func TestSearchBatchDefaultBudget(t *testing.T) {
+	data, _ := testData(42, 200, 8, 4, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Budget: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ix.SearchBatch(data[:5], 3)
+	if len(out) != 5 {
+		t.Fatalf("got %d rows", len(out))
+	}
+	for i, row := range out {
+		if len(row) != 3 {
+			t.Fatalf("row %d has %d results", i, len(row))
+		}
+	}
+	if got := ix.SearchBatch(nil, 3); len(got) != 0 {
+		t.Fatal("empty batch should be empty")
+	}
+}
+
+func TestJaccardFacade(t *testing.T) {
+	// Sets as indicator vectors: near-duplicate sets must rank first.
+	d := 128
+	data := make([][]float32, 300)
+	_, g := testData(43, 1, 1, 1, 1)
+	for i := range data {
+		v := make([]float32, d)
+		for _, j := range g.Perm(d)[:20] {
+			v[j] = 1
+		}
+		data[i] = v
+	}
+	// data[50] = data[10] with two members swapped.
+	dup := append([]float32(nil), data[10]...)
+	on, off := -1, -1
+	for j, x := range dup {
+		if x != 0 && on < 0 {
+			on = j
+		}
+		if x == 0 && off < 0 {
+			off = j
+		}
+	}
+	dup[on], dup[off] = 0, 1
+	data[50] = dup
+
+	ix, err := NewIndex(data, Config{Metric: Jaccard, M: 96, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.SearchBudget(data[10], 2, 50)
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].ID != 10 || res[0].Dist != 0 {
+		t.Fatalf("self not first: %+v", res)
+	}
+	if res[1].ID != 50 {
+		t.Fatalf("near-duplicate not second: %+v", res)
+	}
+	// Round-trip through Save/Load for the fourth metric too.
+	path := t.TempDir() + "/jaccard.lccs"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := loaded.SearchBudget(data[10], 2, 50)
+	for i := range res {
+		if res[i] != res2[i] {
+			t.Fatal("results differ after load")
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// Benchmark per artifact — run `go test -bench=.` for the smoke-scale
+// versions; `cmd/lccs-bench` runs the full-scale sweeps), plus the
+// ablation benchmarks for the design choices called out in DESIGN.md and
+// microbenchmarks of the core data structures.
+package lccs
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"lccs/internal/baseline/c2lsh"
+	"lccs/internal/baseline/e2lsh"
+	"lccs/internal/baseline/mplsh"
+	"lccs/internal/baseline/qalsh"
+	"lccs/internal/baseline/srs"
+	"lccs/internal/core"
+	"lccs/internal/csa"
+	"lccs/internal/dataset"
+	"lccs/internal/experiments"
+	"lccs/internal/lshfamily"
+	"lccs/internal/rng"
+)
+
+// benchOpts is the smoke-scale experiment configuration used by the
+// per-figure benchmarks: one dataset, small n, quick grids. The bench
+// measures the full experiment pipeline (dataset generation, ground
+// truth, index builds, query sweeps).
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		N: 3000, NQ: 20, K: 10, Seed: 1,
+		Datasets: []string{"sift"},
+		Quick:    true,
+		Out:      io.Discard,
+	}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Complexities regenerates Table 1 (complexity table plus
+// Theorem 5.1 λ grounding).
+func BenchmarkTable1Complexities(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Datasets regenerates Table 2 (dataset statistics).
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		opt.Datasets = dataset.PresetNames()
+		if err := experiments.Run("table2", opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4QueryTimeRecallEuclidean regenerates Figure 4 (query
+// time–recall curves, Euclidean, 7 methods).
+func BenchmarkFig4QueryTimeRecallEuclidean(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5QueryTimeRecallAngular regenerates Figure 5 (query
+// time–recall curves, Angular, 5 methods).
+func BenchmarkFig5QueryTimeRecallAngular(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6IndexingTradeoffEuclidean regenerates Figure 6 (query time
+// vs index size / indexing time at 50% recall, Euclidean).
+func BenchmarkFig6IndexingTradeoffEuclidean(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7IndexingTradeoffAngular regenerates Figure 7 (the same
+// trade-off under Angular distance).
+func BenchmarkFig7IndexingTradeoffAngular(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8SensitivityToK regenerates Figure 8 (recall/ratio/query
+// time vs k on Sift, both metrics).
+func BenchmarkFig8SensitivityToK(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9ImpactOfM regenerates Figure 9 (impact of m for LCCS-LSH).
+func BenchmarkFig9ImpactOfM(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10ImpactOfProbes regenerates Figure 10 (impact of #probes
+// for MP-LCCS-LSH).
+func BenchmarkFig10ImpactOfProbes(b *testing.B) { benchExperiment(b, "fig10") }
+
+// ---------------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------------
+
+// benchStrings builds a CSA workload of n random hash strings of length m
+// over a realistic alphabet.
+func benchStrings(n, m int, seed uint64) ([][]int32, [][]int32) {
+	g := rng.New(seed)
+	strs := make([][]int32, n)
+	for i := range strs {
+		s := make([]int32, m)
+		for j := range s {
+			s[j] = int32(g.IntN(16))
+		}
+		strs[i] = s
+	}
+	queries := make([][]int32, 64)
+	for i := range queries {
+		// Queries resemble data strings with a few symbols changed, so
+		// LCP structure is realistic.
+		q := append([]int32(nil), strs[g.IntN(n)]...)
+		for c := 0; c < m/4; c++ {
+			q[g.IntN(m)] = int32(g.IntN(16))
+		}
+		queries[i] = q
+	}
+	return strs, queries
+}
+
+// BenchmarkAblationCSANextLinks compares the optimized k-LCCS search
+// (next-link range narrowing, Lemma 3.1/Corollary 3.2) against the simple
+// method (m full binary searches, §3.2).
+func BenchmarkAblationCSANextLinks(b *testing.B) {
+	strs, queries := benchStrings(20000, 64, 1)
+	c := csa.New(strs)
+	s := c.NewSearcher()
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Search(queries[i%len(queries)], 50)
+		}
+	})
+	b.Run("simple", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.SearchSimple(queries[i%len(queries)], 50)
+		}
+	})
+}
+
+// BenchmarkAblationMPSkip compares probing with the skip-unaffected-
+// positions rule (§4.2) against re-searching every shift.
+func BenchmarkAblationMPSkip(b *testing.B) {
+	strs, queries := benchStrings(20000, 64, 2)
+	c := csa.New(strs)
+	s := c.NewSearcher()
+	perturb := func(q []int32) ([]int32, []int) {
+		pq := append([]int32(nil), q...)
+		pq[10]++
+		pq[11]++
+		return pq, []int{10, 11}
+	}
+	b.Run("skip", func(b *testing.B) {
+		var scratch []int
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			pq, mods := perturb(q)
+			s.Begin(q)
+			scratch = s.Probe(pq, mods, scratch)
+			for c := 0; c < 50; c++ {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			pq, _ := perturb(q)
+			s.Begin(q)
+			s.ProbeFull(pq)
+			for c := 0; c < 50; c++ {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMaxGap sweeps the MAX_GAP constraint of the
+// perturbation generator (the paper fixes MAX_GAP = 2).
+func BenchmarkAblationMaxGap(b *testing.B) {
+	g := rng.New(3)
+	n, d, m := 5000, 32, 32
+	data := make([][]float32, n)
+	for i := range data {
+		data[i] = g.GaussianVector(d)
+	}
+	fam := lshfamily.NewRandomProjection(d, 4)
+	for _, gap := range []int{1, 2, 4, 8} {
+		ix, err := core.BuildMP(data, fam, core.MPParams{
+			Params: core.Params{M: m, Seed: 1},
+			Probes: 2*m + 1,
+			MaxGap: gap,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("gap=%d", gap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.Search(data[i%n], 10, 50)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks: core data structures and baselines
+// ---------------------------------------------------------------------------
+
+// BenchmarkCSABuild measures Algorithm 1 (index construction).
+func BenchmarkCSABuild(b *testing.B) {
+	for _, m := range []int{16, 64} {
+		strs, _ := benchStrings(10000, m, 4)
+		b.Run(fmt.Sprintf("n=10000,m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				csa.New(strs)
+			}
+		})
+	}
+}
+
+// BenchmarkCSASearch measures Algorithm 2 (k-LCCS queries) across m and k.
+func BenchmarkCSASearch(b *testing.B) {
+	for _, m := range []int{16, 64, 128} {
+		strs, queries := benchStrings(20000, m, 5)
+		c := csa.New(strs)
+		s := c.NewSearcher()
+		for _, k := range []int{10, 100} {
+			b.Run(fmt.Sprintf("m=%d,k=%d", m, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s.Search(queries[i%len(queries)], k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHashFamilies measures η(d): the per-hash cost of each family.
+func BenchmarkHashFamilies(b *testing.B) {
+	g := rng.New(6)
+	d := 128
+	v := g.GaussianVector(d)
+	bits := make([]float32, d)
+	for i := range bits {
+		bits[i] = float32(g.IntN(2))
+	}
+	cases := []struct {
+		name string
+		f    lshfamily.Func
+		in   []float32
+	}{
+		{"randproj", lshfamily.NewRandomProjection(d, 4).New(g), v},
+		{"crosspolytope", lshfamily.NewCrossPolytope(d).New(g), v},
+		{"simhash", lshfamily.NewSimHash(d).New(g), v},
+		{"bitsampling", lshfamily.NewBitSampling(d).New(g), bits},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.f.Hash(c.in)
+			}
+		})
+	}
+}
+
+// BenchmarkMethodsQuery measures one query of every method on the same
+// clustered workload at comparable candidate budgets.
+func BenchmarkMethodsQuery(b *testing.B) {
+	g := rng.New(7)
+	n, d := 20000, 32
+	centers := make([][]float32, 32)
+	for i := range centers {
+		centers[i] = g.UniformVector(d, -10, 10)
+	}
+	data := make([][]float32, n)
+	for i := range data {
+		c := centers[i%len(centers)]
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = c[j] + float32(g.NormFloat64())
+		}
+		data[i] = v
+	}
+	fam := lshfamily.NewRandomProjection(d, 8)
+
+	lccsIx, err := core.Build(data, fam, core.Params{M: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mpIx, err := core.BuildMP(data, fam, core.MPParams{Params: core.Params{M: 32, Seed: 1}, Probes: 65})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e2, err := e2lsh.Build(data, fam, e2lsh.Params{K: 4, L: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, err := mplsh.Build(data, fam, mplsh.Params{K: 6, L: 8, Probes: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c2, err := c2lsh.Build(data, fam, c2lsh.Params{M: 32, Threshold: 8, Budget: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qa, err := qalsh.Build(data, d, qalsh.Params{M: 32, Threshold: 8, W: 4, Budget: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr, err := srs.Build(data, d, srs.Params{ProjDim: 6, Budget: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("LCCS-LSH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lccsIx.Search(data[i%n], 10, 100)
+		}
+	})
+	b.Run("MP-LCCS-LSH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mpIx.Search(data[i%n], 10, 100)
+		}
+	})
+	b.Run("E2LSH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e2.Search(data[i%n], 10)
+		}
+	})
+	b.Run("Multi-Probe-LSH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mp.Search(data[i%n], 10)
+		}
+	})
+	b.Run("C2LSH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c2.Search(data[i%n], 10)
+		}
+	})
+	b.Run("QALSH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qa.Search(data[i%n], 10)
+		}
+	})
+	b.Run("SRS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sr.Search(data[i%n], 10)
+		}
+	})
+}
+
+// BenchmarkPublicAPI measures the facade round trip.
+func BenchmarkPublicAPI(b *testing.B) {
+	g := rng.New(8)
+	data := make([][]float32, 5000)
+	for i := range data {
+		data[i] = g.GaussianVector(32)
+	}
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 32, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(data[i%len(data)], 10)
+	}
+}

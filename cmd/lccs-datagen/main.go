@@ -1,0 +1,87 @@
+// Command lccs-datagen generates the synthetic dataset analogues (and
+// optionally their exact ground truth) to disk, so that repeated benchmark
+// runs skip regeneration.
+//
+// Usage:
+//
+//	lccs-datagen -preset sift -n 100000 -nq 100 -out sift.ds
+//	lccs-datagen -preset glove -n 50000 -out glove.ds -truth glove.gt -k 10 -metric angular
+//	lccs-datagen -inspect sift.ds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lccs/internal/baseline/scan"
+	"lccs/internal/dataset"
+	"lccs/internal/vec"
+)
+
+func main() {
+	var (
+		preset  = flag.String("preset", "", "dataset preset: msong, sift, gist, glove, deep")
+		n       = flag.Int("n", 100000, "data points")
+		nq      = flag.Int("nq", 100, "query points")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output dataset file")
+		truth   = flag.String("truth", "", "also compute exact ground truth to this file")
+		k       = flag.Int("k", 10, "ground-truth neighbors per query")
+		metric  = flag.String("metric", "euclidean", "ground-truth metric: euclidean or angular")
+		inspect = flag.String("inspect", "", "print statistics of an existing dataset file and exit")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		ds, err := dataset.Load(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		st := ds.TableStats()
+		fmt.Printf("%-8s objects=%d queries=%d d=%d size=%.1fMB type=%s\n",
+			st.Name, st.Objects, st.Queries, st.Dim, float64(st.SizeBytes)/(1<<20), st.Kind)
+		return
+	}
+
+	if *preset == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := dataset.Preset(*preset, *n, *nq, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := ds.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: n=%d nq=%d d=%d\n", *out, len(ds.Data), len(ds.Queries), ds.Dim)
+
+	if *truth != "" {
+		m := vec.MetricByName(*metric)
+		if m == nil {
+			fatal(fmt.Errorf("unknown metric %q", *metric))
+		}
+		work := ds
+		if m.Name() == "angular" {
+			work = ds.NormalizedCopy()
+		}
+		gt := &dataset.GroundTruth{
+			K:         *k,
+			Neighbors: scan.SearchAll(work.Data, work.Queries, *k, m),
+		}
+		if err := gt.Save(*truth); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: exact %d-NN under %s for %d queries\n", *truth, *k, m.Name(), len(gt.Neighbors))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lccs-datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command lccs-query builds an LCCS-LSH index over a dataset file written
+// by lccs-datagen and answers the file's queries, reporting per-query
+// results and, against a ground-truth file, recall and ratio.
+//
+// Usage:
+//
+//	lccs-query -data sift.ds -metric euclidean -m 128 -lambda 100 -k 10
+//	lccs-query -data glove.ds -metric angular -m 64 -probes 129 -truth glove.gt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lccs"
+	"lccs/internal/dataset"
+	"lccs/internal/eval"
+	"lccs/internal/pqueue"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file from lccs-datagen")
+		metric    = flag.String("metric", "euclidean", "euclidean | angular | hamming")
+		m         = flag.Int("m", 64, "hash-string length")
+		probes    = flag.Int("probes", 1, "probing sequences per query (1 = single-probe)")
+		lambda    = flag.Int("lambda", 100, "candidate budget per query")
+		k         = flag.Int("k", 10, "neighbors per query")
+		truthPath = flag.String("truth", "", "optional ground-truth file for recall/ratio")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		verbose   = flag.Bool("v", false, "print per-query neighbor lists")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, err := dataset.Load(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *metric == "angular" {
+		ds = ds.NormalizedCopy()
+	}
+	start := time.Now()
+	ix, err := lccs.NewIndex(ds.Data, lccs.Config{
+		Metric: lccs.MetricKind(*metric),
+		M:      *m,
+		Probes: *probes,
+		Budget: *lambda,
+		Seed:   *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("index: n=%d d=%d m=%d probes=%d size=%.1fMB built in %.2fs\n",
+		ix.Len(), ds.Dim, ix.M(), *probes, float64(ix.Bytes())/(1<<20), time.Since(start).Seconds())
+
+	var gt *dataset.GroundTruth
+	if *truthPath != "" {
+		if gt, err = dataset.LoadTruth(*truthPath); err != nil {
+			fatal(err)
+		}
+		if len(gt.Neighbors) != len(ds.Queries) {
+			fatal(fmt.Errorf("ground truth has %d queries, dataset has %d", len(gt.Neighbors), len(ds.Queries)))
+		}
+	}
+
+	var totalRecall, totalRatio float64
+	var totalTime time.Duration
+	for qi, q := range ds.Queries {
+		qs := time.Now()
+		res := ix.Search(q, *k)
+		totalTime += time.Since(qs)
+		if *verbose {
+			fmt.Printf("query %d:\n", qi)
+			for rank, r := range res {
+				fmt.Printf("  #%d id=%d dist=%.4f\n", rank+1, r.ID, r.Dist)
+			}
+		}
+		if gt != nil {
+			got := toNeighbors(res)
+			want := gt.Neighbors[qi]
+			if len(want) > *k {
+				want = want[:*k]
+			}
+			totalRecall += eval.Recall(got, want)
+			totalRatio += eval.Ratio(got, want)
+		}
+	}
+	nq := float64(len(ds.Queries))
+	fmt.Printf("queries: %d, avg time %.3fms\n", len(ds.Queries), totalTime.Seconds()*1000/nq)
+	if gt != nil {
+		fmt.Printf("recall@%d = %.2f%%, overall ratio = %.4f\n", *k, 100*totalRecall/nq, totalRatio/nq)
+	}
+}
+
+func toNeighbors(res []lccs.Neighbor) []pqueue.Neighbor {
+	out := make([]pqueue.Neighbor, len(res))
+	for i, r := range res {
+		out[i] = pqueue.Neighbor{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lccs-query:", err)
+	os.Exit(1)
+}

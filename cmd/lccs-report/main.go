@@ -1,0 +1,70 @@
+// Command lccs-report summarizes lccs-bench output files: for every
+// (dataset, method) pair it reports the fastest configuration that reaches
+// a target recall level — the reading the paper applies to Figures 4–7.
+//
+// Usage:
+//
+//	lccs-report -recall 50 results/fig4.txt [more files...]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lccs/internal/eval"
+)
+
+func main() {
+	recall := flag.Float64("recall", 50, "target recall level in percent")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	type key struct{ ds, method string }
+	best := map[key]eval.Result{}
+	order := []key{}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lccs-report:", err)
+			os.Exit(1)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			ds, r, ok := eval.ParseRow(sc.Text())
+			if !ok || 100*r.Recall+1e-9 < *recall {
+				continue
+			}
+			k := key{ds, r.Method}
+			cur, seen := best[k]
+			if !seen {
+				order = append(order, k)
+			}
+			if !seen || r.QueryTimeMS < cur.QueryTimeMS {
+				best[k] = r
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "lccs-report:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].ds != order[b].ds {
+			return order[a].ds < order[b].ds
+		}
+		return order[a].method < order[b].method
+	})
+	fmt.Printf("fastest configuration at ≥%.0f%% recall:\n", *recall)
+	for _, k := range order {
+		r := best[k]
+		fmt.Printf("%-14s %-16s %9.3f ms @ %5.1f%%  (%s, %.1f MB)\n",
+			k.ds, k.method, r.QueryTimeMS, 100*r.Recall, r.Config, float64(r.IndexBytes)/(1<<20))
+	}
+}

@@ -1,0 +1,192 @@
+package lccs
+
+import (
+	"errors"
+	"sync"
+)
+
+// DynamicIndex wraps Index with support for online inserts and deletes.
+// The CSA is a static structure (the paper's indexes are built once), so
+// the classic delta-architecture is used: new vectors accumulate in an
+// unindexed buffer that queries scan exactly, and when the buffer exceeds
+// a threshold the main index is rebuilt over the union. Deletes are
+// tombstones filtered from results.
+//
+// Vector ids are assignment-ordered and stable across rebuilds: the i-th
+// vector ever added (counting the initial dataset) has id i, forever.
+// DynamicIndex is safe for concurrent use; rebuilds block writers but not
+// other readers beyond the swap.
+type DynamicIndex struct {
+	mu      sync.RWMutex
+	cfg     Config
+	data    [][]float32 // all vectors ever added, id-ordered
+	indexed int         // prefix of data covered by main
+	main    *Index      // may be nil when everything is buffered
+	deleted map[int]bool
+	// rebuildAt triggers a rebuild when the buffer reaches this size.
+	rebuildAt int
+}
+
+// DefaultRebuildThreshold is the buffer size that triggers a rebuild.
+const DefaultRebuildThreshold = 4096
+
+// NewDynamicIndex builds a dynamic index over an initial dataset (which
+// may be empty — pass nil — if all data arrives via Add). rebuildAt ≤ 0
+// selects DefaultRebuildThreshold.
+func NewDynamicIndex(data [][]float32, cfg Config, rebuildAt int) (*DynamicIndex, error) {
+	if rebuildAt <= 0 {
+		rebuildAt = DefaultRebuildThreshold
+	}
+	d := &DynamicIndex{
+		cfg:       cfg,
+		data:      append([][]float32(nil), data...),
+		deleted:   make(map[int]bool),
+		rebuildAt: rebuildAt,
+	}
+	if len(data) > 0 {
+		main, err := NewIndex(d.data, cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.main = main
+		d.indexed = len(d.data)
+	}
+	return d, nil
+}
+
+// Add inserts a vector and returns its id. The vector is retained by
+// reference.
+func (d *DynamicIndex) Add(v []float32) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.data) > 0 && len(v) != len(d.data[0]) {
+		return 0, errors.New("lccs: dimension mismatch")
+	}
+	id := len(d.data)
+	d.data = append(d.data, v)
+	if len(d.data)-d.indexed >= d.rebuildAt {
+		if err := d.rebuildLocked(); err != nil {
+			return id, err
+		}
+	}
+	return id, nil
+}
+
+// Delete tombstones a vector id; it stops appearing in results. Deleting
+// an unknown id is a no-op. The vector's storage is reclaimed only by the
+// next Rebuild.
+func (d *DynamicIndex) Delete(id int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id >= 0 && id < len(d.data) {
+		d.deleted[id] = true
+	}
+}
+
+// Rebuild rebuilds the main index over every live vector now.
+func (d *DynamicIndex) Rebuild() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rebuildLocked()
+}
+
+func (d *DynamicIndex) rebuildLocked() error {
+	if len(d.data) == 0 {
+		return nil
+	}
+	main, err := NewIndex(d.data, d.cfg)
+	if err != nil {
+		return err
+	}
+	d.main = main
+	d.indexed = len(d.data)
+	return nil
+}
+
+// Len returns the number of live (non-deleted) vectors.
+func (d *DynamicIndex) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.data) - len(d.deleted)
+}
+
+// Buffered returns the number of vectors not yet covered by the main
+// index (scanned exactly on every query).
+func (d *DynamicIndex) Buffered() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.data) - d.indexed
+}
+
+// Search returns the k nearest live vectors: the main index's candidates
+// (at the default budget) merged with an exact scan of the buffer.
+func (d *DynamicIndex) Search(q []float32, k int) []Neighbor {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if k <= 0 || len(d.data) == 0 {
+		return nil
+	}
+	var fromMain []Neighbor
+	if d.main != nil {
+		// Over-fetch to survive tombstone filtering.
+		fetch := k + len(d.deleted)
+		fromMain = d.main.Search(q, fetch)
+	}
+	// Merge: main candidates plus exact buffer scan, dedup not needed
+	// (id ranges are disjoint), tombstones dropped, k best kept.
+	metric := d.metricLocked()
+	best := make([]Neighbor, 0, k+1)
+	push := func(nb Neighbor) {
+		if d.deleted[nb.ID] {
+			return
+		}
+		if len(best) == k && nb.Dist >= best[k-1].Dist {
+			return
+		}
+		best = append(best, nb)
+		for i := len(best) - 1; i > 0 && best[i].Dist < best[i-1].Dist; i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	for _, nb := range fromMain {
+		push(nb)
+	}
+	for id := d.indexed; id < len(d.data); id++ {
+		push(Neighbor{ID: id, Dist: metric(d.data[id], q)})
+	}
+	return best
+}
+
+// Vector returns the vector stored under id (also for tombstoned ids).
+func (d *DynamicIndex) Vector(id int) []float32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.data[id]
+}
+
+// metricLocked returns the distance function of the configured metric,
+// usable before the first index exists.
+func (d *DynamicIndex) metricLocked() func(a, b []float32) float64 {
+	if d.main != nil {
+		return d.main.Distance
+	}
+	// No index yet: resolve the metric from the config. familyFor needs
+	// a dimension; any positive one works for metric resolution.
+	dim := 1
+	if len(d.data) > 0 {
+		dim = len(d.data[0])
+	}
+	cfg := d.cfg
+	if cfg.Metric == Euclidean && cfg.BucketWidth == 0 {
+		cfg.BucketWidth = 1 // metric resolution only; not used for hashing
+	}
+	fam, err := familyFor(cfg, dim)
+	if err != nil {
+		// Unknown metric: surface loudly at query time.
+		panic(err)
+	}
+	return fam.Metric().Distance
+}

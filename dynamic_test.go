@@ -1,0 +1,183 @@
+package lccs
+
+import (
+	"testing"
+)
+
+func TestDynamicAddAndSearch(t *testing.T) {
+	data, g := testData(51, 500, 8, 5, 0.5)
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 32, Seed: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 500 || d.Buffered() != 0 {
+		t.Fatalf("Len=%d Buffered=%d", d.Len(), d.Buffered())
+	}
+	// Add vectors below the rebuild threshold: they live in the buffer
+	// yet are immediately searchable (exact scan).
+	var added []int
+	for i := 0; i < 50; i++ {
+		v := g.GaussianVector(8)
+		id, err := d.Add(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, id)
+	}
+	if d.Buffered() != 50 {
+		t.Fatalf("Buffered=%d, want 50", d.Buffered())
+	}
+	for _, id := range added[:5] {
+		res := d.Search(d.Vector(id), 1)
+		if len(res) != 1 || res[0].ID != id || res[0].Dist != 0 {
+			t.Fatalf("buffered id %d not found: %+v", id, res)
+		}
+	}
+}
+
+func TestDynamicRebuildTriggered(t *testing.T) {
+	data, g := testData(52, 200, 8, 4, 0.5)
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 16, Seed: 2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := d.Add(g.GaussianVector(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At threshold 20, at least one rebuild happened; buffer is small.
+	if d.Buffered() >= 20 {
+		t.Fatalf("Buffered=%d, rebuild did not trigger", d.Buffered())
+	}
+	if d.Len() != 225 {
+		t.Fatalf("Len=%d", d.Len())
+	}
+	// Ids remain stable after rebuild.
+	res := d.Search(d.Vector(210), 1)
+	if len(res) != 1 || res[0].ID != 210 {
+		t.Fatalf("id shifted after rebuild: %+v", res)
+	}
+}
+
+func TestDynamicDelete(t *testing.T) {
+	data, _ := testData(53, 300, 8, 4, 0.5)
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 32, Seed: 3}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[42]
+	res := d.Search(q, 1)
+	if res[0].ID != 42 {
+		t.Fatalf("expected self first: %+v", res)
+	}
+	d.Delete(42)
+	res = d.Search(q, 3)
+	for _, nb := range res {
+		if nb.ID == 42 {
+			t.Fatal("deleted id still returned")
+		}
+	}
+	if d.Len() != 299 {
+		t.Fatalf("Len=%d", d.Len())
+	}
+	d.Delete(42)     // idempotent
+	d.Delete(-1)     // no-op
+	d.Delete(100000) // no-op
+	if d.Len() != 299 {
+		t.Fatalf("Len changed by no-op deletes: %d", d.Len())
+	}
+}
+
+func TestDynamicEmptyStart(t *testing.T) {
+	d, err := NewDynamicIndex(nil, Config{Metric: Euclidean, M: 16, Seed: 4}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("empty start")
+	}
+	if res := d.Search([]float32{1, 2}, 3); res != nil {
+		t.Fatal("search on empty index should be nil")
+	}
+	_, g := testData(54, 1, 1, 1, 1)
+	for i := 0; i < 15; i++ {
+		if _, err := d.Add(g.GaussianVector(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Threshold 10 → a main index exists now.
+	if d.Buffered() >= 10 {
+		t.Fatalf("Buffered=%d", d.Buffered())
+	}
+	res := d.Search(d.Vector(12), 1)
+	if len(res) != 1 || res[0].ID != 12 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestDynamicDimensionMismatch(t *testing.T) {
+	data, _ := testData(55, 50, 8, 4, 0.5)
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 16, Seed: 5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add([]float32{1, 2}); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func TestDynamicConcurrentReadersAndWriters(t *testing.T) {
+	data, g := testData(56, 400, 8, 4, 0.5)
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 16, Seed: 6}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	go func() {
+		for i := 0; i < 120; i++ {
+			if _, err := d.Add(g.GaussianVector(8)); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		done <- true
+	}()
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 60; i++ {
+				if res := d.Search(data[(w*60+i)%400], 3); len(res) == 0 {
+					t.Errorf("worker %d: empty result", w)
+					break
+				}
+			}
+			done <- true
+		}(w)
+	}
+	for i := 0; i < 5; i++ {
+		<-done
+	}
+	if d.Len() != 520 {
+		t.Fatalf("Len=%d, want 520", d.Len())
+	}
+}
+
+func TestDynamicExplicitRebuild(t *testing.T) {
+	data, g := testData(57, 100, 8, 4, 0.5)
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 16, Seed: 7}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		d.Add(g.GaussianVector(8))
+	}
+	if d.Buffered() != 30 {
+		t.Fatalf("Buffered=%d", d.Buffered())
+	}
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Buffered() != 0 {
+		t.Fatalf("Buffered=%d after rebuild", d.Buffered())
+	}
+}

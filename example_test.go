@@ -1,0 +1,78 @@
+package lccs_test
+
+import (
+	"fmt"
+
+	"lccs"
+)
+
+// grid builds a small deterministic dataset: points on a jittered integer
+// grid, so nearest neighbors are unambiguous.
+func grid(n, d int) [][]float32 {
+	data := make([][]float32, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() float32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float32(state>>40) / float32(1<<24)
+	}
+	for i := range data {
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(10*((i+j)%7)) + next()
+		}
+		data[i] = v
+	}
+	return data
+}
+
+func ExampleNewIndex() {
+	data := grid(500, 16)
+	ix, err := lccs.NewIndex(data, lccs.Config{
+		Metric:      lccs.Euclidean,
+		M:           32,
+		BucketWidth: 8,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Querying with an indexed vector returns it at distance 0.
+	res := ix.Search(data[42], 1)
+	fmt.Println(res[0].ID, res[0].Dist == 0)
+	// Output: 42 true
+}
+
+func ExampleIndex_SearchBudget() {
+	data := grid(500, 16)
+	ix, err := lccs.NewIndex(data, lccs.Config{
+		Metric:      lccs.Euclidean,
+		M:           32,
+		BucketWidth: 8,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// A larger candidate budget λ verifies more of the CSA's frontier:
+	// results can only improve.
+	loose := ix.SearchBudget(data[7], 5, 10)
+	tight := ix.SearchBudget(data[7], 5, 200)
+	fmt.Println(len(loose), len(tight), tight[0].Dist == 0)
+	// Output: 5 5 true
+}
+
+func ExampleIndex_SearchBatch() {
+	data := grid(300, 8)
+	ix, err := lccs.NewIndex(data, lccs.Config{
+		Metric:      lccs.Euclidean,
+		M:           16,
+		BucketWidth: 8,
+		Seed:        2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	results := ix.SearchBatch(data[:3], 2)
+	fmt.Println(len(results), results[0][0].ID, results[1][0].ID, results[2][0].ID)
+	// Output: 3 0 1 2
+}

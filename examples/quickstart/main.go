@@ -1,0 +1,66 @@
+// Quickstart: build an LCCS-LSH index over random vectors and run a
+// nearest-neighbor query — the smallest possible end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"lccs"
+)
+
+func main() {
+	const (
+		n   = 10000 // data points
+		dim = 64    // dimensionality
+	)
+	r := rand.New(rand.NewPCG(1, 2))
+
+	// Some clustered data: 50 centers with Gaussian scatter.
+	centers := make([][]float32, 50)
+	for i := range centers {
+		centers[i] = randomVector(r, dim, 10)
+	}
+	data := make([][]float32, n)
+	for i := range data {
+		c := centers[i%len(centers)]
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = c[j] + float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+
+	// Build the index. M is the only capacity parameter: the length of
+	// each point's hash string.
+	ix, err := lccs.NewIndex(data, lccs.Config{
+		Metric: lccs.Euclidean,
+		M:      64,
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d vectors (%d-d) in %v, index size %.1f MB\n",
+		ix.Len(), dim, ix.BuildTime().Round(1e6), float64(ix.Bytes())/(1<<20))
+
+	// Query with a perturbed data point; its source should come back
+	// first.
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = data[1234][j] + 0.1*float32(r.NormFloat64())
+	}
+	for _, nb := range ix.Search(q, 5) {
+		fmt.Printf("id=%-6d dist=%.3f\n", nb.ID, nb.Dist)
+	}
+}
+
+func randomVector(r *rand.Rand, dim int, scale float64) []float32 {
+	v := make([]float32, dim)
+	for j := range v {
+		v[j] = float32((r.Float64()*2 - 1) * scale)
+	}
+	return v
+}

@@ -1,0 +1,51 @@
+package lccs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFamilyForErrors(t *testing.T) {
+	if _, err := familyFor(Config{Metric: Euclidean, BucketWidth: 0}, 4); err == nil {
+		t.Error("euclidean without width should fail in familyFor")
+	}
+	if _, err := familyFor(Config{Metric: "mahalanobis"}, 4); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	for _, m := range []MetricKind{Angular, Hamming, Jaccard} {
+		if _, err := familyFor(Config{Metric: m}, 4); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestDecodeHeaderErrors(t *testing.T) {
+	data, _ := testData(61, 20, 4, 2, 0.5)
+	// Valid magic but truncated right after.
+	if _, err := decode(bytes.NewReader(pkgMagic[:]), data); err == nil {
+		t.Error("header truncation should fail")
+	}
+	// Corrupt metric length.
+	blob := append(append([]byte(nil), pkgMagic[:]...), 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := decode(bytes.NewReader(blob), data); err == nil {
+		t.Error("corrupt metric length should fail")
+	}
+}
+
+func TestNewDynamicIndexBadConfig(t *testing.T) {
+	data, _ := testData(62, 20, 4, 2, 0.5)
+	if _, err := NewDynamicIndex(data, Config{Metric: "nope"}, 0); err == nil {
+		t.Error("bad metric should fail when initial data present")
+	}
+}
+
+func TestSaveToUnwritablePath(t *testing.T) {
+	data, _ := testData(63, 20, 4, 2, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save("/nonexistent-dir/x/y/z.lccs"); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}

@@ -1,0 +1,401 @@
+// Package baseline_test exercises every baseline end to end on the same
+// clustered workload, checking the contracts the experiment harness relies
+// on: self-queries succeed, recall grows with resources, stats are sane,
+// and results are exact-distance-verified and sorted.
+package baseline_test
+
+import (
+	"sort"
+	"testing"
+
+	"lccs/internal/baseline/c2lsh"
+	"lccs/internal/baseline/concat"
+	"lccs/internal/baseline/e2lsh"
+	"lccs/internal/baseline/falconn"
+	"lccs/internal/baseline/mplsh"
+	"lccs/internal/baseline/qalsh"
+	"lccs/internal/baseline/scan"
+	"lccs/internal/baseline/srs"
+	"lccs/internal/lshfamily"
+	"lccs/internal/pqueue"
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+const (
+	testN = 2000
+	testD = 16
+	testK = 10
+)
+
+type fixture struct {
+	data    [][]float32
+	queries [][]float32
+	truth   [][]pqueue.Neighbor // Euclidean ground truth
+}
+
+func newFixture(seed uint64) *fixture {
+	g := rng.New(seed)
+	centers := make([][]float32, 16)
+	for i := range centers {
+		centers[i] = g.UniformVector(testD, -10, 10)
+	}
+	data := make([][]float32, testN)
+	for i := range data {
+		c := centers[i%len(centers)]
+		v := make([]float32, testD)
+		for j := range v {
+			v[j] = c[j] + float32(g.NormFloat64()*0.8)
+		}
+		data[i] = v
+	}
+	queries := make([][]float32, 20)
+	for i := range queries {
+		base := data[g.IntN(testN)]
+		q := make([]float32, testD)
+		for j := range q {
+			q[j] = base[j] + float32(g.NormFloat64()*0.4)
+		}
+		queries[i] = q
+	}
+	return &fixture{
+		data:    data,
+		queries: queries,
+		truth:   scan.SearchAll(data, queries, testK, vec.Euclidean),
+	}
+}
+
+var fx = newFixture(99)
+
+func recallOf(got, want []pqueue.Neighbor) float64 {
+	wantSet := map[int]bool{}
+	for _, w := range want {
+		wantSet[w.ID] = true
+	}
+	hit := 0
+	for _, g := range got {
+		if wantSet[g.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+type searcher interface {
+	Search(q []float32, k int) []pqueue.Neighbor
+}
+
+func avgRecall(t *testing.T, ix searcher) float64 {
+	t.Helper()
+	var total float64
+	for i, q := range fx.queries {
+		total += recallOf(ix.Search(q, testK), fx.truth[i])
+	}
+	return total / float64(len(fx.queries))
+}
+
+func checkSortedVerified(t *testing.T, ix searcher, metric vec.Metric) {
+	t.Helper()
+	for _, q := range fx.queries[:5] {
+		res := ix.Search(q, testK)
+		if !sort.SliceIsSorted(res, func(a, b int) bool { return res[a].Dist < res[b].Dist }) {
+			t.Fatal("results not sorted")
+		}
+		seen := map[int]bool{}
+		for _, r := range res {
+			if seen[r.ID] {
+				t.Fatal("duplicate id in results")
+			}
+			seen[r.ID] = true
+			if got := metric.Distance(fx.data[r.ID], q); got != r.Dist {
+				t.Fatalf("unverified distance: %v vs %v", got, r.Dist)
+			}
+		}
+	}
+}
+
+func TestScanExactness(t *testing.T) {
+	ix := scan.New(fx.data, vec.Euclidean)
+	if ix.N() != testN || ix.Bytes() != 0 {
+		t.Fatal("accessors wrong")
+	}
+	if got := avgRecall(t, ix); got != 1.0 {
+		t.Fatalf("linear scan recall %v, want exactly 1", got)
+	}
+	if ix.Search(fx.queries[0], 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestScanSearchAllMatchesSequential(t *testing.T) {
+	ix := scan.New(fx.data, vec.Euclidean)
+	batch := scan.SearchAll(fx.data, fx.queries, 5, vec.Euclidean)
+	for i, q := range fx.queries {
+		seq := ix.Search(q, 5)
+		for j := range seq {
+			if batch[i][j].Dist != seq[j].Dist {
+				t.Fatalf("batch/sequential mismatch at query %d", i)
+			}
+		}
+	}
+}
+
+func TestE2LSHRecallAndContracts(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(testD, 8)
+	ix, err := e2lsh.Build(fx.data, fam, e2lsh.Params{K: 4, L: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Name() != "E2LSH" {
+		t.Fatal("name")
+	}
+	if ix.Bytes() <= 0 || ix.BuildTime() <= 0 {
+		t.Fatal("accounting broken")
+	}
+	checkSortedVerified(t, ix, vec.Euclidean)
+	if got := avgRecall(t, ix); got < 0.5 {
+		t.Fatalf("E2LSH recall %.2f too low", got)
+	}
+	// More tables → recall must not fall apart (monotone on average).
+	small, err := e2lsh.Build(fx.data, fam, e2lsh.Params{K: 4, L: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgRecall(t, small) > avgRecall(t, ix)+0.05 {
+		t.Fatal("recall should grow with L")
+	}
+}
+
+func TestE2LSHValidation(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(testD, 8)
+	if _, err := e2lsh.Build(nil, fam, e2lsh.Params{K: 2, L: 2}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := e2lsh.Build(fx.data, fam, e2lsh.Params{K: 0, L: 2}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := e2lsh.Build(fx.data, fam, e2lsh.Params{K: 2, L: 0}); err == nil {
+		t.Error("L=0 should fail")
+	}
+}
+
+func TestMPLSHProbingBeatsExactBucketOnly(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(testD, 8)
+	plain, err := mplsh.Build(fx.data, fam, mplsh.Params{K: 6, L: 4, Probes: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probing, err := mplsh.Build(fx.data, fam, mplsh.Params{K: 6, L: 4, Probes: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probing.Name() != "Multi-Probe LSH" {
+		t.Fatal("name")
+	}
+	rp, rq := avgRecall(t, plain), avgRecall(t, probing)
+	if rq < rp {
+		t.Fatalf("probing reduced recall: %.2f -> %.2f", rp, rq)
+	}
+	if rq < 0.5 {
+		t.Fatalf("Multi-Probe recall %.2f too low", rq)
+	}
+	checkSortedVerified(t, probing, vec.Euclidean)
+}
+
+func TestConcatStatsAndBuckets(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(testD, 8)
+	ix, err := concat.Build(fx.data, fam, concat.Params{K: 4, L: 8, Probes: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := ix.SearchWithStats(fx.queries[0], testK)
+	if st.Buckets != 8*4 {
+		t.Fatalf("Buckets = %d, want 32", st.Buckets)
+	}
+	if st.Candidates < 0 {
+		t.Fatal("negative candidates")
+	}
+	if got := ix.Parameters().K; got != 4 {
+		t.Fatalf("Parameters.K = %d", got)
+	}
+	if res, st := ix.SearchWithStats(fx.queries[0], 0); res != nil || st.Buckets != 0 {
+		t.Fatal("k=0 should do nothing")
+	}
+}
+
+func TestC2LSHRecallAndContracts(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(testD, 4)
+	ix, err := c2lsh.Build(fx.data, fam, c2lsh.Params{M: 32, Threshold: 8, Budget: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Name() != "C2LSH" {
+		t.Fatal("name")
+	}
+	if ix.Bytes() <= 0 {
+		t.Fatal("Bytes")
+	}
+	checkSortedVerified(t, ix, vec.Euclidean)
+	if got := avgRecall(t, ix); got < 0.6 {
+		t.Fatalf("C2LSH recall %.2f too low", got)
+	}
+	_, st := ix.SearchWithStats(fx.queries[0], testK)
+	if st.Candidates == 0 || st.Rounds == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if st.Candidates > 300 {
+		t.Fatalf("budget exceeded: %d", st.Candidates)
+	}
+}
+
+func TestC2LSHBudgetControlsWork(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(testD, 4)
+	small, _ := c2lsh.Build(fx.data, fam, c2lsh.Params{M: 32, Threshold: 8, Budget: 50, Seed: 4})
+	large, _ := c2lsh.Build(fx.data, fam, c2lsh.Params{M: 32, Threshold: 8, Budget: 800, Seed: 4})
+	if avgRecall(t, large) < avgRecall(t, small)-0.05 {
+		t.Fatal("recall should grow with budget")
+	}
+}
+
+func TestC2LSHValidation(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(testD, 4)
+	cases := []c2lsh.Params{
+		{M: 0, Threshold: 1},
+		{M: 4, Threshold: 0},
+		{M: 4, Threshold: 5},
+		{M: 4, Threshold: 2, Ratio: 1},
+		{M: 4, Threshold: 2, Budget: -1},
+	}
+	for i, p := range cases {
+		if _, err := c2lsh.Build(fx.data, fam, p); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if _, err := c2lsh.Build(nil, fam, c2lsh.Params{M: 4, Threshold: 2}); err == nil {
+		t.Error("empty data should fail")
+	}
+}
+
+func TestQALSHRecallAndContracts(t *testing.T) {
+	ix, err := qalsh.Build(fx.data, testD, qalsh.Params{M: 32, Threshold: 8, W: 1, Budget: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Name() != "QALSH" {
+		t.Fatal("name")
+	}
+	checkSortedVerified(t, ix, vec.Euclidean)
+	if got := avgRecall(t, ix); got < 0.6 {
+		t.Fatalf("QALSH recall %.2f too low", got)
+	}
+	_, st := ix.SearchWithStats(fx.queries[0], testK)
+	if st.Candidates == 0 || st.Rounds == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestQALSHValidation(t *testing.T) {
+	cases := []qalsh.Params{
+		{M: 0, Threshold: 1, W: 1},
+		{M: 4, Threshold: 0, W: 1},
+		{M: 4, Threshold: 5, W: 1},
+		{M: 4, Threshold: 2, W: 0},
+		{M: 4, Threshold: 2, W: 1, Ratio: 0.5},
+		{M: 4, Threshold: 2, W: 1, Budget: -1},
+	}
+	for i, p := range cases {
+		if _, err := qalsh.Build(fx.data, testD, p); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if _, err := qalsh.Build(fx.data, testD+1, qalsh.Params{M: 4, Threshold: 2, W: 1}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestSRSRecallAndContracts(t *testing.T) {
+	ix, err := srs.Build(fx.data, testD, srs.Params{ProjDim: 6, Budget: 300, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Name() != "SRS" {
+		t.Fatal("name")
+	}
+	checkSortedVerified(t, ix, vec.Euclidean)
+	if got := avgRecall(t, ix); got < 0.6 {
+		t.Fatalf("SRS recall %.2f too low", got)
+	}
+	// SRS's index must be tiny relative to a table-per-function scheme.
+	fat, _ := c2lsh.Build(fx.data, lshfamily.NewRandomProjection(testD, 4), c2lsh.Params{M: 32, Threshold: 8, Seed: 4})
+	if ix.Bytes() >= fat.Bytes() {
+		t.Fatalf("SRS index (%d B) should be smaller than C2LSH (%d B)", ix.Bytes(), fat.Bytes())
+	}
+	_, st := ix.SearchWithStats(fx.queries[0], testK)
+	if st.Candidates == 0 || st.Candidates > 300 {
+		t.Fatalf("stats out of range: %+v", st)
+	}
+}
+
+func TestSRSEarlyStop(t *testing.T) {
+	full, _ := srs.Build(fx.data, testD, srs.Params{ProjDim: 6, Budget: 500, Seed: 6})
+	early, _ := srs.Build(fx.data, testD, srs.Params{ProjDim: 6, Budget: 500, EarlyStop: 1.5, Seed: 6})
+	_, stFull := full.SearchWithStats(fx.queries[0], testK)
+	_, stEarly := early.SearchWithStats(fx.queries[0], testK)
+	if stEarly.Candidates > stFull.Candidates {
+		t.Fatalf("early stop verified more candidates (%d > %d)", stEarly.Candidates, stFull.Candidates)
+	}
+}
+
+func TestSRSValidation(t *testing.T) {
+	if _, err := srs.Build(fx.data, testD, srs.Params{ProjDim: 0}); err == nil {
+		t.Error("ProjDim=0 should fail")
+	}
+	if _, err := srs.Build(nil, testD, srs.Params{ProjDim: 4}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := srs.Build(fx.data, testD, srs.Params{ProjDim: 4, Budget: -1}); err == nil {
+		t.Error("negative budget should fail")
+	}
+}
+
+func TestFALCONNAngularRecall(t *testing.T) {
+	// Angular workload: normalized copies.
+	g := rng.New(7)
+	data := make([][]float32, len(fx.data))
+	for i, v := range fx.data {
+		data[i] = vec.Normalize(v)
+	}
+	queries := make([][]float32, 10)
+	for i := range queries {
+		base := data[g.IntN(len(data))]
+		q := vec.Clone(base)
+		for j := range q {
+			q[j] += float32(g.NormFloat64() * 0.05)
+		}
+		queries[i] = vec.Normalize(q)
+	}
+	truth := scan.SearchAll(data, queries, testK, vec.Angular)
+
+	fam := lshfamily.NewCrossPolytope(testD)
+	ix, err := falconn.Build(data, fam, falconn.Params{K: 1, L: 8, Probes: 8, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Name() != "FALCONN" {
+		t.Fatal("name")
+	}
+	var total float64
+	for i, q := range queries {
+		total += recallOf(ix.Search(q, testK), truth[i])
+	}
+	if avg := total / float64(len(queries)); avg < 0.5 {
+		t.Fatalf("FALCONN recall %.2f too low", avg)
+	}
+}
+
+func TestFALCONNRejectsNonAngular(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(testD, 8)
+	if _, err := falconn.Build(fx.data, fam, falconn.Params{K: 2, L: 2, Probes: 2}); err == nil {
+		t.Fatal("non-angular family should be rejected")
+	}
+}

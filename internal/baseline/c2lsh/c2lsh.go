@@ -1,0 +1,274 @@
+// Package c2lsh is the C2LSH baseline (Gan et al., "Locality-Sensitive
+// Hashing Scheme Based on Dynamic Collision Counting"): m individual LSH
+// functions, one table each; a query counts, per data object, the number
+// of functions under which the object collides with the query ("virtual
+// rehashing" expands the bucket width by the approximation ratio c each
+// round), and objects whose collision count reaches the threshold l are
+// verified with exact distances.
+//
+// The paper evaluates C2LSH under Euclidean distance with the
+// random-projection family and adapts it to Angular distance with
+// cross-polytope functions (§6.3); this implementation is likewise
+// family-generic — it needs only the per-function integer hash values, and
+// widens buckets by grouping ⌊h/R⌋ during virtual rehashing.
+package c2lsh
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lccs/internal/lshfamily"
+	"lccs/internal/pqueue"
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// Params configures a C2LSH index.
+type Params struct {
+	// M is the number of individual hash functions (the paper's m).
+	M int
+	// Threshold is the collision count l required before an object is
+	// verified.
+	Threshold int
+	// Ratio is the approximation ratio c driving virtual rehashing;
+	// bucket widths grow by this factor each round. 0 selects 2.
+	Ratio int
+	// Budget is the number of candidates to verify before terminating
+	// (the paper's βn + k − 1). 0 selects 100 + k − 1 at query time.
+	Budget int
+	// Seed drives hash function draws.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.M <= 0 {
+		return fmt.Errorf("c2lsh: M must be positive, got %d", p.M)
+	}
+	if p.Threshold <= 0 || p.Threshold > p.M {
+		return fmt.Errorf("c2lsh: Threshold must be in [1, M], got %d", p.Threshold)
+	}
+	if p.Ratio < 0 || p.Ratio == 1 {
+		return errors.New("c2lsh: Ratio must be 0 (default) or ≥ 2")
+	}
+	if p.Budget < 0 {
+		return errors.New("c2lsh: Budget must be non-negative")
+	}
+	return nil
+}
+
+// entry is one data object in one function's table, keyed by its base
+// bucket.
+type entry struct {
+	bucket int32
+	id     int32
+}
+
+// Index is a C2LSH index. It is safe for concurrent queries.
+type Index struct {
+	family lshfamily.Family
+	metric vec.Metric
+	data   [][]float32
+	funcs  []lshfamily.Func
+	// tables[i] is function i's objects sorted by base bucket.
+	tables [][]entry
+	params Params
+
+	buildTime time.Duration
+	scratch   sync.Pool
+}
+
+type queryScratch struct {
+	counts  []int32
+	counted []int32 // generation stamp: id already verified or counting
+	gen     int32
+	lo, hi  []int // per-function covered entry ranges
+	hq      []int32
+}
+
+// Build constructs the index over data.
+func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, errors.New("c2lsh: empty dataset")
+	}
+	if p.Ratio == 0 {
+		p.Ratio = 2
+	}
+	start := time.Now()
+	g := rng.New(p.Seed)
+	funcs := lshfamily.NewFuncs(family, p.M, g)
+	tables := make([][]entry, p.M)
+	for i, f := range funcs {
+		t := make([]entry, len(data))
+		for id, v := range data {
+			t[id] = entry{bucket: f.Hash(v), id: int32(id)}
+		}
+		sort.Slice(t, func(a, b int) bool {
+			if t[a].bucket != t[b].bucket {
+				return t[a].bucket < t[b].bucket
+			}
+			return t[a].id < t[b].id
+		})
+		tables[i] = t
+	}
+	ix := &Index{
+		family: family,
+		metric: family.Metric(),
+		data:   data,
+		funcs:  funcs,
+		tables: tables,
+		params: p,
+	}
+	ix.scratch.New = func() any {
+		return &queryScratch{
+			counts:  make([]int32, len(data)),
+			counted: make([]int32, len(data)),
+			lo:      make([]int, p.M),
+			hi:      make([]int, p.M),
+			hq:      make([]int32, p.M),
+		}
+	}
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+// BuildTime returns the wall-clock indexing time.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// Bytes approximates index memory: one 8-byte entry per object per
+// function plus the hash functions.
+func (ix *Index) Bytes() int64 {
+	return int64(ix.params.M)*int64(len(ix.data))*8 + lshfamily.FuncsBytes(ix.funcs)
+}
+
+// Name returns the method name used in the paper's figures.
+func (ix *Index) Name() string { return "C2LSH" }
+
+// floorDiv is floor division for possibly negative hash values; virtual
+// rehashing groups base buckets as ⌊h/R⌋ and must round toward −∞ so that
+// bucket groups nest across rounds.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Search answers a k-NN query by dynamic collision counting with virtual
+// rehashing. Objects reaching the collision threshold are verified; the
+// search stops when the candidate budget is exhausted or every bucket has
+// been consumed.
+func (ix *Index) Search(q []float32, k int) []pqueue.Neighbor {
+	res, _ := ix.SearchWithStats(q, k)
+	return res
+}
+
+// Stats reports the verification work of one query.
+type Stats struct {
+	Candidates int
+	Rounds     int
+}
+
+// SearchWithStats is Search plus work counters.
+func (ix *Index) SearchWithStats(q []float32, k int) ([]pqueue.Neighbor, Stats) {
+	if k <= 0 {
+		return nil, Stats{}
+	}
+	sc := ix.scratch.Get().(*queryScratch)
+	defer ix.scratch.Put(sc)
+	sc.gen++
+	for i, f := range ix.funcs {
+		sc.hq[i] = f.Hash(q)
+		sc.lo[i] = -1 // ranges not yet initialized
+	}
+
+	budget := ix.params.Budget
+	if budget == 0 {
+		budget = 100 + k - 1
+	}
+	n := len(ix.data)
+	if budget > n {
+		budget = n
+	}
+	best := pqueue.NewKBest(k)
+	var st Stats
+	threshold := int32(ix.params.Threshold)
+
+	// The anchored interval [⌊hq/R⌋·R, (⌊hq/R⌋+1)·R) converges to
+	// [0, +∞) for hq ≥ 0 and to (−∞, 0) for hq < 0 as R grows: buckets
+	// on the other side of zero are never merged with the query's (the
+	// groups ⌊h/R⌋ are anchored at zero). Precompute that ultimate
+	// coverage per function so the round loop can terminate.
+	ultLo := make([]int, len(ix.funcs))
+	ultHi := make([]int, len(ix.funcs))
+	for i := range ix.funcs {
+		t := ix.tables[i]
+		zero := sort.Search(len(t), func(j int) bool { return t[j].bucket >= 0 })
+		if sc.hq[i] >= 0 {
+			ultLo[i], ultHi[i] = zero, len(t)
+		} else {
+			ultLo[i], ultHi[i] = 0, zero
+		}
+	}
+
+	// Virtual rehashing rounds: R = 1, c, c², ... until the budget runs
+	// out or every reachable entry of every table is covered.
+	for r := int64(1); ; r *= int64(ix.params.Ratio) {
+		st.Rounds++
+		allCovered := true
+		for i := range ix.funcs {
+			t := ix.tables[i]
+			vb := floorDiv(int64(sc.hq[i]), r)
+			// Base buckets covered at this round: [vb*R, (vb+1)*R).
+			lo := sort.Search(len(t), func(j int) bool { return int64(t[j].bucket) >= vb*r })
+			hi := sort.Search(len(t), func(j int) bool { return int64(t[j].bucket) >= (vb+1)*r })
+			ploA, phiA := sc.lo[i], sc.hi[i]
+			if ploA == -1 {
+				ploA, phiA = lo, lo // nothing covered yet
+			}
+			// Bucket groups nest, so [lo,hi) ⊇ [ploA,phiA); count
+			// only the newly covered entries.
+			for j := lo; j < ploA; j++ {
+				if ix.bump(sc, t[j].id, threshold, q, best, &st) && st.Candidates >= budget {
+					return best.Sorted(), st
+				}
+			}
+			for j := phiA; j < hi; j++ {
+				if ix.bump(sc, t[j].id, threshold, q, best, &st) && st.Candidates >= budget {
+					return best.Sorted(), st
+				}
+			}
+			sc.lo[i], sc.hi[i] = lo, hi
+			if lo > ultLo[i] || hi < ultHi[i] {
+				allCovered = false
+			}
+		}
+		if allCovered {
+			return best.Sorted(), st
+		}
+	}
+}
+
+// bump increments id's collision count; when the count reaches the
+// threshold the object is verified exactly once. It reports whether a
+// verification happened.
+func (ix *Index) bump(sc *queryScratch, id int32, threshold int32, q []float32, best *pqueue.KBest, st *Stats) bool {
+	if sc.counted[id] != sc.gen {
+		sc.counted[id] = sc.gen
+		sc.counts[id] = 0
+	}
+	sc.counts[id]++
+	if sc.counts[id] == threshold {
+		best.Add(int(id), ix.metric.Distance(ix.data[id], q))
+		st.Candidates++
+		return true
+	}
+	return false
+}

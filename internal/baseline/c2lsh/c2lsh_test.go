@@ -1,0 +1,135 @@
+package c2lsh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lccs/internal/lshfamily"
+	"lccs/internal/rng"
+)
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3},
+		{-7, 2, -4},
+		{-8, 2, -4},
+		{0, 3, 0},
+		{-1, 4, -1},
+		{5, 5, 1},
+		{-5, 5, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestFloorDivNesting is the property virtual rehashing depends on: bucket
+// groups at radius c·R refine-nest those at R, i.e.
+// floorDiv(h, R*c) == floorDiv(floorDiv(h, R), c).
+func TestFloorDivNesting(t *testing.T) {
+	f := func(h int32, rRaw, cRaw uint8) bool {
+		r := int64(1 + rRaw%30)
+		c := int64(2 + cRaw%4)
+		return floorDiv(int64(h), r*c) == floorDiv(floorDiv(int64(h), r), c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountsResetBetweenQueries(t *testing.T) {
+	g := rng.New(1)
+	data := make([][]float32, 200)
+	for i := range data {
+		data[i] = g.GaussianVector(8)
+	}
+	fam := lshfamily.NewRandomProjection(8, 4)
+	ix, err := Build(data, fam, Params{M: 16, Threshold: 4, Budget: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave different queries; stale counts from a previous query
+	// must not leak (generation stamping).
+	for trial := 0; trial < 30; trial++ {
+		q := data[trial%len(data)]
+		res := ix.Search(q, 5)
+		if len(res) == 0 {
+			t.Fatalf("trial %d: no results", trial)
+		}
+		for _, r := range res {
+			if r.Dist < 0 {
+				t.Fatal("negative distance")
+			}
+		}
+	}
+}
+
+func TestExhaustsWithoutBudget(t *testing.T) {
+	// With budget ≥ n and threshold 1, every object is eventually
+	// verified: recall of self-queries must be perfect.
+	g := rng.New(2)
+	data := make([][]float32, 60)
+	for i := range data {
+		data[i] = g.GaussianVector(4)
+	}
+	fam := lshfamily.NewRandomProjection(4, 1)
+	ix, err := Build(data, fam, Params{M: 4, Threshold: 1, Budget: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 60; id += 13 {
+		res := ix.Search(data[id], 1)
+		if len(res) != 1 || res[0].Dist != 0 {
+			t.Fatalf("id %d: %+v", id, res)
+		}
+	}
+}
+
+func TestRoundsGrowForFarQueries(t *testing.T) {
+	g := rng.New(3)
+	data := make([][]float32, 500)
+	for i := range data {
+		data[i] = g.GaussianVector(8)
+	}
+	fam := lshfamily.NewRandomProjection(8, 0.5)
+	ix, err := Build(data, fam, Params{M: 16, Threshold: 8, Budget: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query far outside the data cloud needs more virtual-rehashing
+	// rounds than an in-distribution query.
+	far := make([]float32, 8)
+	for j := range far {
+		far[j] = 1000
+	}
+	_, stNear := ix.SearchWithStats(data[0], 5)
+	_, stFar := ix.SearchWithStats(far, 5)
+	if stFar.Rounds <= stNear.Rounds {
+		t.Fatalf("far query used %d rounds, near used %d", stFar.Rounds, stNear.Rounds)
+	}
+}
+
+func TestDefaultBudgetAndRatio(t *testing.T) {
+	g := rng.New(4)
+	data := make([][]float32, 300)
+	for i := range data {
+		data[i] = g.GaussianVector(8)
+	}
+	fam := lshfamily.NewRandomProjection(8, 2)
+	ix, err := Build(data, fam, Params{M: 16, Threshold: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := ix.SearchWithStats(data[0], 10)
+	if st.Candidates > 100+10-1 {
+		t.Fatalf("default budget exceeded: %d", st.Candidates)
+	}
+	if ix.params.Ratio != 2 {
+		t.Fatalf("default ratio %d", ix.params.Ratio)
+	}
+	if res, st := ix.SearchWithStats(data[0], 0); res != nil || st.Candidates != 0 {
+		t.Fatal("k=0 should do nothing")
+	}
+}

@@ -1,0 +1,122 @@
+package concat
+
+import (
+	"testing"
+
+	"lccs/internal/lshfamily"
+	"lccs/internal/rng"
+)
+
+func gaussData(seed uint64, n, d int) [][]float32 {
+	g := rng.New(seed)
+	data := make([][]float32, n)
+	for i := range data {
+		data[i] = g.GaussianVector(d)
+	}
+	return data
+}
+
+func TestValidation(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(8, 4)
+	data := gaussData(1, 20, 8)
+	bad := []Params{
+		{K: 0, L: 1, Probes: 1},
+		{K: 1, L: 0, Probes: 1},
+		{K: 1, L: 1, Probes: 0},
+		{K: 1, L: 1, Probes: 1, MaxAlt: -1},
+	}
+	for i, p := range bad {
+		if _, err := Build(data, fam, p); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := Build(nil, fam, Params{K: 1, L: 1, Probes: 1}); err == nil {
+		t.Error("empty data should fail")
+	}
+}
+
+func TestExactBucketContainsSelf(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(8, 4)
+	data := gaussData(2, 300, 8)
+	ix, err := Build(data, fam, Params{K: 3, L: 4, Probes: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self queries always collide in their own bucket in every table.
+	for id := 0; id < 300; id += 37 {
+		res := ix.Search(data[id], 1)
+		if len(res) != 1 || res[0].Dist != 0 {
+			t.Fatalf("id %d: %+v", id, res)
+		}
+	}
+}
+
+func TestProbingOnlyAddsCandidates(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(8, 2)
+	data := gaussData(3, 500, 8)
+	plain, err := Build(data, fam, Params{K: 4, L: 4, Probes: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probing, err := Build(data, fam, Params{K: 4, L: 4, Probes: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		q := data[i*31]
+		_, stP := plain.SearchWithStats(q, 5)
+		_, stQ := probing.SearchWithStats(q, 5)
+		if stQ.Candidates < stP.Candidates {
+			t.Fatalf("probing saw fewer candidates: %d < %d", stQ.Candidates, stP.Candidates)
+		}
+		if stQ.Buckets != 4*8 || stP.Buckets != 4 {
+			t.Fatalf("bucket counts: %d, %d", stQ.Buckets, stP.Buckets)
+		}
+	}
+}
+
+func TestEntriesAccounting(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(8, 4)
+	data := gaussData(4, 100, 8)
+	ix, err := Build(data, fam, Params{K: 2, L: 3, Probes: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.entries != 300 {
+		t.Fatalf("entries = %d, want 300 (n × L)", ix.entries)
+	}
+	if ix.Bytes() < 300*16 {
+		t.Fatalf("Bytes = %d", ix.Bytes())
+	}
+}
+
+func TestNonProbeFamilyDegradesGracefully(t *testing.T) {
+	// A family without ProbeFunc support must still work with
+	// Probes > 1 (probing is silently skipped per table).
+	fam := nonProbeFamily{lshfamily.NewRandomProjection(8, 4)}
+	data := gaussData(5, 100, 8)
+	ix, err := Build(data, fam, Params{K: 2, L: 2, Probes: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Search(data[0], 3)
+	if len(res) == 0 || res[0].Dist != 0 {
+		t.Fatalf("search failed: %+v", res)
+	}
+}
+
+// nonProbeFamily wraps a family and strips the probing interface from its
+// functions.
+type nonProbeFamily struct {
+	lshfamily.Family
+}
+
+func (f nonProbeFamily) New(g *rng.RNG) lshfamily.Func {
+	return plainFunc{f.Family.New(g)}
+}
+
+type plainFunc struct {
+	inner lshfamily.Func
+}
+
+func (p plainFunc) Hash(v []float32) int32 { return p.inner.Hash(v) }

@@ -1,0 +1,98 @@
+package concat
+
+import (
+	"sort"
+
+	"lccs/internal/lshfamily"
+	"lccs/internal/pqueue"
+)
+
+// mod replaces position pos of a compound hash key with the alt-th
+// alternative at that position.
+type mod struct {
+	pos int
+	alt int
+}
+
+// pset is a perturbation set in the sense of Multi-Probe LSH: a set of
+// modifications over distinct positions, scored by the summed per-
+// modification scores.
+type pset struct {
+	score float64
+	mods  []mod
+}
+
+// flatAlt is one (position, alternative) pair in the flattened,
+// score-sorted candidate list (the "sorted z-list" of Lv et al.).
+type flatAlt struct {
+	pos, alt int
+	score    float64
+}
+
+// generatePerturbationSets enumerates up to count perturbation sets in
+// ascending score order using the shift/expand construction of Lv et al.
+// over the flattened, score-sorted list of (position, alternative) pairs.
+// Unlike the circular LCCS variant (internal/core), positions carry no
+// adjacency constraint — any subset of distinct positions is admissible;
+// sets that would modify the same position twice are skipped.
+func generatePerturbationSets(alts [][]lshfamily.Alternative, count int) []pset {
+	if count <= 0 {
+		return nil
+	}
+	var fl []flatAlt
+	for pos, list := range alts {
+		for alt, a := range list {
+			fl = append(fl, flatAlt{pos: pos, alt: alt, score: a.Score})
+		}
+	}
+	if len(fl) == 0 {
+		return nil
+	}
+	sort.Slice(fl, func(a, b int) bool { return fl[a].score < fl[b].score })
+
+	// A candidate state is a set of indices into fl, generated with
+	// shift (advance the last index) and expand (append the next index),
+	// which enumerates every index subset exactly once in ascending
+	// score order.
+	type state struct {
+		score float64
+		idxs  []int
+	}
+	h := pqueue.New[state](func(a, b state) bool { return a.score < b.score })
+	h.Push(state{score: fl[0].score, idxs: []int{0}})
+	out := make([]pset, 0, count)
+	for len(out) < count && h.Len() > 0 {
+		s := h.Pop()
+		if distinctPositions(fl, s.idxs) {
+			mods := make([]mod, len(s.idxs))
+			for i, fi := range s.idxs {
+				mods[i] = mod{pos: fl[fi].pos, alt: fl[fi].alt}
+			}
+			out = append(out, pset{score: s.score, mods: mods})
+		}
+		last := s.idxs[len(s.idxs)-1]
+		if last+1 < len(fl) {
+			shifted := make([]int, len(s.idxs))
+			copy(shifted, s.idxs)
+			shifted[len(shifted)-1] = last + 1
+			h.Push(state{score: s.score - fl[last].score + fl[last+1].score, idxs: shifted})
+
+			expanded := make([]int, len(s.idxs)+1)
+			copy(expanded, s.idxs)
+			expanded[len(s.idxs)] = last + 1
+			h.Push(state{score: s.score + fl[last+1].score, idxs: expanded})
+		}
+	}
+	return out
+}
+
+func distinctPositions(fl []flatAlt, idxs []int) bool {
+	for i := 0; i < len(idxs); i++ {
+		for j := i + 1; j < len(idxs); j++ {
+			if fl[idxs[i]].pos == fl[idxs[j]].pos {
+				return false
+			}
+		}
+	}
+	return true
+}

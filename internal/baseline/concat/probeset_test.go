@@ -1,0 +1,95 @@
+package concat
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"lccs/internal/lshfamily"
+)
+
+func randAlts(r *rand.Rand, k, maxLen int) [][]lshfamily.Alternative {
+	alts := make([][]lshfamily.Alternative, k)
+	for i := range alts {
+		l := r.IntN(maxLen + 1)
+		list := make([]lshfamily.Alternative, l)
+		s := 0.0
+		for j := range list {
+			s += r.Float64()
+			list[j] = lshfamily.Alternative{Value: int32(10*i + j), Score: s}
+		}
+		alts[i] = list
+	}
+	return alts
+}
+
+func TestPerturbationSetsAscendingUniqueDistinct(t *testing.T) {
+	f := func(seed uint64, countRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 17))
+		alts := randAlts(r, 2+r.IntN(6), 3)
+		count := int(countRaw % 60)
+		sets := generatePerturbationSets(alts, count)
+		if len(sets) > count {
+			return false
+		}
+		seen := map[string]bool{}
+		for i, s := range sets {
+			if i > 0 && s.score < sets[i-1].score {
+				return false
+			}
+			// Distinct positions within a set.
+			pos := map[int]bool{}
+			key := ""
+			var sum float64
+			for _, md := range s.mods {
+				if pos[md.pos] {
+					return false
+				}
+				pos[md.pos] = true
+				key += string(rune('A'+md.pos)) + string(rune('0'+md.alt))
+				sum += alts[md.pos][md.alt].Score
+			}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			if diff := sum - s.score; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerturbationSetsEdgeCases(t *testing.T) {
+	if got := generatePerturbationSets(nil, 5); got != nil {
+		t.Error("no positions should yield nil")
+	}
+	empty := make([][]lshfamily.Alternative, 4)
+	if got := generatePerturbationSets(empty, 5); got != nil {
+		t.Error("empty lists should yield nil")
+	}
+	one := [][]lshfamily.Alternative{{{Value: 7, Score: 0.3}}}
+	got := generatePerturbationSets(one, 10)
+	if len(got) != 1 || got[0].mods[0].pos != 0 {
+		t.Fatalf("single alternative: %+v", got)
+	}
+	if generatePerturbationSets(one, 0) != nil {
+		t.Error("count=0 should yield nil")
+	}
+}
+
+func TestHashKeyDistinguishesKeys(t *testing.T) {
+	a := hashKey([]int32{1, 2, 3})
+	b := hashKey([]int32{1, 2, 4})
+	c := hashKey([]int32{3, 2, 1})
+	if a == b || a == c {
+		t.Fatal("trivial collisions in hashKey")
+	}
+	if a != hashKey([]int32{1, 2, 3}) {
+		t.Fatal("hashKey not deterministic")
+	}
+}

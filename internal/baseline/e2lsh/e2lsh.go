@@ -1,0 +1,41 @@
+// Package e2lsh is the E2LSH baseline (Andoni's implementation of Datar et
+// al.'s p-stable LSH): the static concatenating search framework with K
+// concatenated functions, L tables, and exact-bucket lookups only. The
+// paper evaluates it under Euclidean distance with the random-projection
+// family, and under Angular distance with cross-polytope functions (§6.3
+// "we adapt it for Angular distance").
+package e2lsh
+
+import (
+	"lccs/internal/baseline/concat"
+	"lccs/internal/lshfamily"
+	"lccs/internal/pqueue"
+)
+
+// Params configures an E2LSH index: K concatenated functions × L tables.
+type Params struct {
+	K    int
+	L    int
+	Seed uint64
+}
+
+// Index is an E2LSH index.
+type Index struct {
+	*concat.Index
+}
+
+// Build constructs the index over data with the given family.
+func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) {
+	inner, err := concat.Build(data, family, concat.Params{K: p.K, L: p.L, Probes: 1, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{Index: inner}, nil
+}
+
+// Name returns the method name used in the paper's figures.
+func (ix *Index) Name() string { return "E2LSH" }
+
+var _ interface {
+	Search(q []float32, k int) []pqueue.Neighbor
+} = (*Index)(nil)

@@ -1,0 +1,46 @@
+package e2lsh
+
+import (
+	"testing"
+
+	"lccs/internal/lshfamily"
+	"lccs/internal/rng"
+)
+
+func TestWrapperSemantics(t *testing.T) {
+	g := rng.New(1)
+	data := make([][]float32, 200)
+	for i := range data {
+		data[i] = g.GaussianVector(8)
+	}
+	fam := lshfamily.NewRandomProjection(8, 4)
+	ix, err := Build(data, fam, Params{K: 3, L: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Name() != "E2LSH" {
+		t.Fatal("name")
+	}
+	// E2LSH probes exactly one bucket per table.
+	_, st := ix.SearchWithStats(data[0], 5)
+	if st.Buckets != 6 {
+		t.Fatalf("probed %d buckets, want L=6", st.Buckets)
+	}
+	// Self queries hit their own bucket in every table.
+	for id := 0; id < 200; id += 53 {
+		res := ix.Search(data[id], 1)
+		if len(res) == 0 || res[0].Dist != 0 {
+			t.Fatalf("id %d: %+v", id, res)
+		}
+	}
+}
+
+func TestBuildErrorsPropagate(t *testing.T) {
+	fam := lshfamily.NewRandomProjection(8, 4)
+	if _, err := Build(nil, fam, Params{K: 1, L: 1}); err == nil {
+		t.Fatal("empty data should fail")
+	}
+	if _, err := Build([][]float32{{1}}, fam, Params{K: 0, L: 1}); err == nil {
+		t.Fatal("bad params should fail")
+	}
+}

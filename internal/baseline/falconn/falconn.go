@@ -1,0 +1,45 @@
+// Package falconn is the FALCONN baseline (Andoni et al., "Practical and
+// Optimal LSH for Angular Distance"): the static concatenating search
+// framework instantiated with the cross-polytope family, fast
+// pseudo-random rotations, and multi-probe querying. It is designed for
+// Angular distance (§6.3).
+package falconn
+
+import (
+	"fmt"
+
+	"lccs/internal/baseline/concat"
+	"lccs/internal/lshfamily"
+)
+
+// Params configures a FALCONN-style index.
+type Params struct {
+	K int
+	L int
+	// Probes is the total number of buckets inspected per table.
+	Probes int
+	Seed   uint64
+}
+
+// Index is a FALCONN-style cross-polytope index.
+type Index struct {
+	*concat.Index
+}
+
+// Build constructs the index over data. The family must be angular
+// (cross-polytope); data should be (or will be treated as) directions.
+func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) {
+	if family.Metric().Name() != "angular" {
+		return nil, fmt.Errorf("falconn: family %q is not angular", family.Name())
+	}
+	inner, err := concat.Build(data, family, concat.Params{
+		K: p.K, L: p.L, Probes: p.Probes, MaxAlt: 8, Seed: p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{Index: inner}, nil
+}
+
+// Name returns the method name used in the paper's figures.
+func (ix *Index) Name() string { return "FALCONN" }

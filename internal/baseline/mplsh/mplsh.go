@@ -1,0 +1,40 @@
+// Package mplsh is the Multi-Probe LSH baseline (Lv et al.): the static
+// concatenating search framework where each of the L tables is probed at
+// its exact bucket plus T−1 perturbed buckets chosen by the query-directed
+// probing sequence. It is based on the random-projection family and
+// designed for Euclidean distance (§6.3).
+package mplsh
+
+import (
+	"lccs/internal/baseline/concat"
+	"lccs/internal/lshfamily"
+)
+
+// Params configures a Multi-Probe LSH index.
+type Params struct {
+	K int
+	L int
+	// Probes is the number of buckets inspected per table (T in the
+	// Multi-Probe LSH paper).
+	Probes int
+	Seed   uint64
+}
+
+// Index is a Multi-Probe LSH index.
+type Index struct {
+	*concat.Index
+}
+
+// Build constructs the index over data with the given family.
+func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) {
+	inner, err := concat.Build(data, family, concat.Params{
+		K: p.K, L: p.L, Probes: p.Probes, Seed: p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{Index: inner}, nil
+}
+
+// Name returns the method name used in the paper's figures.
+func (ix *Index) Name() string { return "Multi-Probe LSH" }

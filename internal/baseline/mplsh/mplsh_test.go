@@ -1,0 +1,56 @@
+package mplsh
+
+import (
+	"testing"
+
+	"lccs/internal/lshfamily"
+	"lccs/internal/rng"
+)
+
+func TestProbeCountPerTable(t *testing.T) {
+	g := rng.New(1)
+	data := make([][]float32, 300)
+	for i := range data {
+		data[i] = g.GaussianVector(8)
+	}
+	fam := lshfamily.NewRandomProjection(8, 4)
+	ix, err := Build(data, fam, Params{K: 4, L: 3, Probes: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Name() != "Multi-Probe LSH" {
+		t.Fatal("name")
+	}
+	_, st := ix.SearchWithStats(data[0], 5)
+	if st.Buckets != 3*10 {
+		t.Fatalf("probed %d buckets, want L×T = 30", st.Buckets)
+	}
+}
+
+func TestProbesGrowCandidatePool(t *testing.T) {
+	g := rng.New(2)
+	data := make([][]float32, 800)
+	for i := range data {
+		data[i] = g.GaussianVector(8)
+	}
+	fam := lshfamily.NewRandomProjection(8, 1)
+	var prev int
+	for _, probes := range []int{1, 4, 16} {
+		ix, err := Build(data, fam, Params{K: 6, L: 2, Probes: probes, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int
+		for i := 0; i < 10; i++ {
+			_, st := ix.SearchWithStats(data[i*71], 5)
+			total += st.Candidates
+		}
+		if total < prev {
+			t.Fatalf("probes=%d: candidate pool shrank (%d < %d)", probes, total, prev)
+		}
+		prev = total
+	}
+	if prev == 0 {
+		t.Fatal("no candidates found even at 16 probes")
+	}
+}

@@ -1,0 +1,247 @@
+// Package qalsh is the QALSH baseline (Huang et al., "Query-Aware
+// Locality-Sensitive Hashing"): m random projections are kept as sorted
+// arrays of raw projection values (conceptually B+-trees). At query time
+// the bucket of each projection is centered on the query ("query-aware"):
+// object o collides with q under projection a when |a·o − a·q| ≤ w·R/2,
+// and the search widens R by the approximation ratio c each round while
+// counting collisions; objects reaching the threshold l are verified.
+//
+// This is the memory variant (QALSH_Mem) evaluated in the paper for
+// Euclidean distance.
+package qalsh
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lccs/internal/pqueue"
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// Params configures a QALSH index.
+type Params struct {
+	// M is the number of projections (the paper's m).
+	M int
+	// Threshold is the collision count l required before verification.
+	Threshold int
+	// W is the base bucket width in projection units.
+	W float64
+	// Ratio is the approximation ratio c; window widths grow by this
+	// factor per round. 0 selects 2.
+	Ratio float64
+	// Budget is the number of candidates to verify before terminating
+	// (βn + k − 1). 0 selects 100 + k − 1 at query time.
+	Budget int
+	// Seed drives projection draws.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.M <= 0 {
+		return fmt.Errorf("qalsh: M must be positive, got %d", p.M)
+	}
+	if p.Threshold <= 0 || p.Threshold > p.M {
+		return fmt.Errorf("qalsh: Threshold must be in [1, M], got %d", p.Threshold)
+	}
+	if p.W <= 0 {
+		return errors.New("qalsh: W must be positive")
+	}
+	if p.Ratio != 0 && p.Ratio < 1 {
+		return errors.New("qalsh: Ratio must be 0 (default) or > 1")
+	}
+	if p.Budget < 0 {
+		return errors.New("qalsh: Budget must be non-negative")
+	}
+	return nil
+}
+
+// projEntry is one object's projection value under one hash function.
+type projEntry struct {
+	proj float32
+	id   int32
+}
+
+// Index is a QALSH index. It is safe for concurrent queries.
+type Index struct {
+	metric vec.Metric
+	data   [][]float32
+	// projections[i] is the i-th Gaussian projection vector.
+	projections [][]float32
+	// tables[i] holds all objects sorted by projection value under
+	// projection i (the flattened B+-tree leaves).
+	tables [][]projEntry
+	params Params
+
+	buildTime time.Duration
+	scratch   sync.Pool
+}
+
+type queryScratch struct {
+	counts []int32
+	stamp  []int32
+	gen    int32
+	left   []int // per-projection frontier: next entry to the left
+	right  []int // per-projection frontier: next entry to the right
+	projQ  []float64
+}
+
+// Build constructs the index over data. QALSH is defined for Euclidean
+// distance; the metric is fixed accordingly.
+func Build(data [][]float32, dim int, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, errors.New("qalsh: empty dataset")
+	}
+	if p.Ratio == 0 {
+		p.Ratio = 2
+	}
+	for i, v := range data {
+		if len(v) != dim {
+			return nil, fmt.Errorf("qalsh: object %d has dimension %d, want %d", i, len(v), dim)
+		}
+	}
+	start := time.Now()
+	g := rng.New(p.Seed)
+	ix := &Index{
+		metric:      vec.Euclidean,
+		data:        data,
+		projections: make([][]float32, p.M),
+		tables:      make([][]projEntry, p.M),
+		params:      p,
+	}
+	for i := 0; i < p.M; i++ {
+		a := g.GaussianVector(dim)
+		ix.projections[i] = a
+		t := make([]projEntry, len(data))
+		for id, v := range data {
+			t[id] = projEntry{proj: float32(vec.Dot(a, v)), id: int32(id)}
+		}
+		sort.Slice(t, func(x, y int) bool { return t[x].proj < t[y].proj })
+		ix.tables[i] = t
+	}
+	ix.scratch.New = func() any {
+		return &queryScratch{
+			counts: make([]int32, len(data)),
+			stamp:  make([]int32, len(data)),
+			left:   make([]int, p.M),
+			right:  make([]int, p.M),
+			projQ:  make([]float64, p.M),
+		}
+	}
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+// BuildTime returns the wall-clock indexing time.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// Bytes approximates index memory: one 8-byte projection entry per object
+// per function plus the projection vectors.
+func (ix *Index) Bytes() int64 {
+	var proj int64
+	for _, a := range ix.projections {
+		proj += int64(len(a)) * 4
+	}
+	return int64(ix.params.M)*int64(len(ix.data))*8 + proj
+}
+
+// Name returns the method name used in the paper's figures.
+func (ix *Index) Name() string { return "QALSH" }
+
+// Search answers a k-NN query with query-aware collision counting.
+func (ix *Index) Search(q []float32, k int) []pqueue.Neighbor {
+	res, _ := ix.SearchWithStats(q, k)
+	return res
+}
+
+// Stats reports the verification work of one query.
+type Stats struct {
+	Candidates int
+	Rounds     int
+}
+
+// SearchWithStats is Search plus work counters.
+func (ix *Index) SearchWithStats(q []float32, k int) ([]pqueue.Neighbor, Stats) {
+	if k <= 0 {
+		return nil, Stats{}
+	}
+	sc := ix.scratch.Get().(*queryScratch)
+	defer ix.scratch.Put(sc)
+	sc.gen++
+
+	for i, a := range ix.projections {
+		pq := vec.Dot(a, q)
+		sc.projQ[i] = pq
+		t := ix.tables[i]
+		// Frontiers straddle the query's projection.
+		r := sort.Search(len(t), func(j int) bool { return float64(t[j].proj) >= pq })
+		sc.right[i] = r
+		sc.left[i] = r - 1
+	}
+
+	budget := ix.params.Budget
+	if budget == 0 {
+		budget = 100 + k - 1
+	}
+	n := len(ix.data)
+	if budget > n {
+		budget = n
+	}
+	best := pqueue.NewKBest(k)
+	var st Stats
+	threshold := int32(ix.params.Threshold)
+
+	half := ix.params.W / 2
+	for ; ; half *= ix.params.Ratio {
+		st.Rounds++
+		allDone := true
+		for i := range ix.projections {
+			t := ix.tables[i]
+			pq := sc.projQ[i]
+			// Consume entries whose projection falls within the
+			// current window, advancing the two frontiers outward.
+			for sc.left[i] >= 0 && pq-float64(t[sc.left[i]].proj) <= half {
+				if ix.bump(sc, t[sc.left[i]].id, threshold, q, best, &st) && st.Candidates >= budget {
+					return best.Sorted(), st
+				}
+				sc.left[i]--
+			}
+			for sc.right[i] < len(t) && float64(t[sc.right[i]].proj)-pq <= half {
+				if ix.bump(sc, t[sc.right[i]].id, threshold, q, best, &st) && st.Candidates >= budget {
+					return best.Sorted(), st
+				}
+				sc.right[i]++
+			}
+			if sc.left[i] >= 0 || sc.right[i] < len(t) {
+				allDone = false
+			}
+		}
+		if allDone {
+			return best.Sorted(), st
+		}
+	}
+}
+
+// bump increments id's collision count; when the count reaches the
+// threshold the object is verified exactly once. It reports whether a
+// verification happened.
+func (ix *Index) bump(sc *queryScratch, id int32, threshold int32, q []float32, best *pqueue.KBest, st *Stats) bool {
+	if sc.stamp[id] != sc.gen {
+		sc.stamp[id] = sc.gen
+		sc.counts[id] = 0
+	}
+	sc.counts[id]++
+	if sc.counts[id] == threshold {
+		best.Add(int(id), ix.metric.Distance(ix.data[id], q))
+		st.Candidates++
+		return true
+	}
+	return false
+}

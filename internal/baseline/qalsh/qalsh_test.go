@@ -1,0 +1,107 @@
+package qalsh
+
+import (
+	"sort"
+	"testing"
+
+	"lccs/internal/rng"
+)
+
+func gaussData(seed uint64, n, d int) [][]float32 {
+	g := rng.New(seed)
+	data := make([][]float32, n)
+	for i := range data {
+		data[i] = g.GaussianVector(d)
+	}
+	return data
+}
+
+func TestTablesSortedByProjection(t *testing.T) {
+	data := gaussData(1, 300, 8)
+	ix, err := Build(data, 8, Params{M: 8, Threshold: 2, W: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tab := range ix.tables {
+		if !sort.SliceIsSorted(tab, func(a, b int) bool { return tab[a].proj < tab[b].proj }) {
+			t.Fatalf("table %d not sorted", i)
+		}
+		if len(tab) != 300 {
+			t.Fatalf("table %d has %d entries", i, len(tab))
+		}
+	}
+}
+
+func TestSelfQueryExhaustive(t *testing.T) {
+	// With threshold 1 and full budget, a self-query must find its own
+	// point (projection distance 0 enters the window in round 1).
+	data := gaussData(2, 100, 6)
+	ix, err := Build(data, 6, Params{M: 4, Threshold: 1, W: 0.5, Budget: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 100; id += 17 {
+		res := ix.Search(data[id], 1)
+		if len(res) != 1 || res[0].Dist != 0 {
+			t.Fatalf("id %d: %+v", id, res)
+		}
+	}
+}
+
+func TestWindowWideningTerminates(t *testing.T) {
+	// A query far outside the projection range must still terminate
+	// (frontiers exhaust) and return verified results.
+	data := gaussData(3, 200, 8)
+	ix, err := Build(data, 8, Params{M: 8, Threshold: 8, W: 0.1, Budget: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := make([]float32, 8)
+	for j := range far {
+		far[j] = 500
+	}
+	res, st := ix.SearchWithStats(far, 5)
+	if len(res) == 0 {
+		t.Fatal("no results for far query")
+	}
+	if st.Rounds < 2 {
+		t.Fatalf("far query used only %d rounds", st.Rounds)
+	}
+}
+
+func TestCollisionCountingGating(t *testing.T) {
+	// Threshold M requires collision under every projection: only
+	// points whose every projection falls in the window get verified,
+	// so the candidate count with threshold=M is at most that with
+	// threshold=1 at the same budget.
+	data := gaussData(4, 400, 8)
+	loose, err := Build(data, 8, Params{M: 8, Threshold: 1, W: 2, Budget: 400, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Build(data, 8, Params{M: 8, Threshold: 8, W: 2, Budget: 400, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[7]
+	_, stLoose := loose.SearchWithStats(q, 5)
+	_, stStrict := strict.SearchWithStats(q, 5)
+	if stStrict.Candidates > stLoose.Candidates {
+		t.Fatalf("strict threshold verified more: %d > %d", stStrict.Candidates, stLoose.Candidates)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	data := gaussData(5, 100, 16)
+	ix, err := Build(data, 16, Params{M: 8, Threshold: 2, W: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(8)*100*8 + int64(8)*16*4
+	if ix.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", ix.Bytes(), want)
+	}
+	if ix.BuildTime() <= 0 {
+		t.Fatal("BuildTime not recorded")
+	}
+}

@@ -1,0 +1,69 @@
+// Package scan provides exact linear-scan nearest-neighbor search. It is
+// both the ground-truth oracle for every experiment and the degenerate
+// α = 0 point of the paper's complexity spectrum (Table 1: query time
+// equivalent to a linear scan).
+package scan
+
+import (
+	"runtime"
+	"sync"
+
+	"lccs/internal/pqueue"
+	"lccs/internal/vec"
+)
+
+// Index is an exact brute-force index: it stores the dataset and scans it
+// per query.
+type Index struct {
+	data   [][]float32
+	metric vec.Metric
+}
+
+// New returns a linear-scan index over data under metric.
+func New(data [][]float32, metric vec.Metric) *Index {
+	return &Index{data: data, metric: metric}
+}
+
+// N returns the dataset size.
+func (ix *Index) N() int { return len(ix.data) }
+
+// Bytes returns 0: the scan keeps no index structures beyond the dataset.
+func (ix *Index) Bytes() int64 { return 0 }
+
+// Search returns the exact k nearest neighbors of q in ascending distance
+// order.
+func (ix *Index) Search(q []float32, k int) []pqueue.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	best := pqueue.NewKBest(k)
+	for id, v := range ix.data {
+		best.Add(id, ix.metric.Distance(v, q))
+	}
+	return best.Sorted()
+}
+
+// SearchAll computes exact k-NN for a batch of queries in parallel; it is
+// the ground-truth generator for the evaluation harness.
+func SearchAll(data [][]float32, queries [][]float32, k int, metric vec.Metric) [][]pqueue.Neighbor {
+	ix := New(data, metric)
+	out := make([][]pqueue.Neighbor, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i] = ix.Search(queries[i], k)
+			}
+		}()
+	}
+	for i := range queries {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,71 @@
+package scan
+
+import (
+	"sort"
+	"testing"
+
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+func TestSearchExact(t *testing.T) {
+	g := rng.New(1)
+	data := make([][]float32, 100)
+	for i := range data {
+		data[i] = g.GaussianVector(6)
+	}
+	ix := New(data, vec.Euclidean)
+	q := g.GaussianVector(6)
+	got := ix.Search(q, 7)
+	if len(got) != 7 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a].Dist < got[b].Dist }) {
+		t.Fatal("not sorted")
+	}
+	// The top result must be the global minimum.
+	best := got[0].Dist
+	for _, v := range data {
+		if d := vec.Distance(v, q); d < best {
+			t.Fatalf("missed closer point at %v < %v", d, best)
+		}
+	}
+	if got := ix.Search(q, 500); len(got) != 100 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+}
+
+func TestSearchAllParallelConsistency(t *testing.T) {
+	g := rng.New(2)
+	data := make([][]float32, 200)
+	for i := range data {
+		data[i] = g.GaussianVector(4)
+	}
+	queries := make([][]float32, 17)
+	for i := range queries {
+		queries[i] = g.GaussianVector(4)
+	}
+	batch := SearchAll(data, queries, 5, vec.Euclidean)
+	ix := New(data, vec.Euclidean)
+	for i, q := range queries {
+		seq := ix.Search(q, 5)
+		for j := range seq {
+			if batch[i][j].Dist != seq[j].Dist {
+				t.Fatalf("query %d result %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestAngularScan(t *testing.T) {
+	g := rng.New(3)
+	data := make([][]float32, 50)
+	for i := range data {
+		data[i] = vec.Normalize(g.GaussianVector(8))
+	}
+	ix := New(data, vec.Angular)
+	res := ix.Search(data[7], 1)
+	if res[0].ID != 7 || res[0].Dist > 1e-6 {
+		t.Fatalf("self query: %+v", res)
+	}
+}

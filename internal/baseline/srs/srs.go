@@ -1,0 +1,167 @@
+// Package srs is the SRS baseline (Sun et al., "SRS: Solving c-Approximate
+// Nearest Neighbor Queries in High Dimensional Euclidean Space with a Tiny
+// Index"): project the dataset to d' ∈ [4, 10] dimensions with Gaussian
+// projections, index the projections with an exact low-dimensional tree,
+// and answer queries by walking the projected space in increasing
+// projected distance, verifying each visited object in the original space
+// until a candidate budget (the paper's t·n) or the early-termination test
+// fires.
+//
+// The paper uses the in-memory SRS variant with a cover tree; this
+// implementation uses a k-d tree with incremental traversal, which
+// provides the identical "next closest projected point" service.
+package srs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"lccs/internal/kdtree"
+	"lccs/internal/pqueue"
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// Params configures an SRS index.
+type Params struct {
+	// ProjDim is d', the projected dimensionality (the paper sweeps
+	// 4..10).
+	ProjDim int
+	// Budget is the maximum number of candidates verified per query
+	// (t·n in the SRS paper). 0 selects 100 + k − 1 at query time.
+	Budget int
+	// EarlyStop enables the early-termination test with the given
+	// threshold factor c': the walk stops when the next projected
+	// distance exceeds c' times the current k-th best exact distance.
+	// 0 disables the test.
+	EarlyStop float64
+	// Seed drives projection draws.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.ProjDim <= 0 {
+		return fmt.Errorf("srs: ProjDim must be positive, got %d", p.ProjDim)
+	}
+	if p.Budget < 0 || p.EarlyStop < 0 {
+		return errors.New("srs: Budget and EarlyStop must be non-negative")
+	}
+	return nil
+}
+
+// Index is an SRS index. It is safe for concurrent queries.
+type Index struct {
+	metric    vec.Metric
+	data      [][]float32
+	proj      [][]float32 // d' Gaussian projection vectors
+	projected [][]float32
+	tree      *kdtree.Tree
+	params    Params
+
+	buildTime time.Duration
+}
+
+// Build constructs the index over data for Euclidean distance.
+func Build(data [][]float32, dim int, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, errors.New("srs: empty dataset")
+	}
+	for i, v := range data {
+		if len(v) != dim {
+			return nil, fmt.Errorf("srs: object %d has dimension %d, want %d", i, len(v), dim)
+		}
+	}
+	start := time.Now()
+	g := rng.New(p.Seed)
+	ix := &Index{
+		metric: vec.Euclidean,
+		data:   data,
+		proj:   make([][]float32, p.ProjDim),
+		params: p,
+	}
+	// Scale by 1/√d' so projected distances estimate original distances
+	// (E[‖P(o)−P(q)‖²] = ‖o−q‖² under N(0, 1/d') entries).
+	scale := 1 / math.Sqrt(float64(p.ProjDim))
+	for j := range ix.proj {
+		a := g.GaussianVector(dim)
+		vec.Scale(a, scale)
+		ix.proj[j] = a
+	}
+	ix.projected = make([][]float32, len(data))
+	for id, v := range data {
+		ix.projected[id] = ix.project(v)
+	}
+	ix.tree = kdtree.Build(ix.projected, 0)
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+func (ix *Index) project(v []float32) []float32 {
+	out := make([]float32, ix.params.ProjDim)
+	for j, a := range ix.proj {
+		out[j] = float32(vec.Dot(a, v))
+	}
+	return out
+}
+
+// BuildTime returns the wall-clock indexing time.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// Bytes approximates index memory: the projected points plus the tree —
+// SRS's selling point is that this is tiny.
+func (ix *Index) Bytes() int64 {
+	return int64(len(ix.data))*int64(ix.params.ProjDim)*4 + ix.tree.Bytes()
+}
+
+// Name returns the method name used in the paper's figures.
+func (ix *Index) Name() string { return "SRS" }
+
+// Search answers a k-NN query by incremental traversal of the projected
+// space.
+func (ix *Index) Search(q []float32, k int) []pqueue.Neighbor {
+	res, _ := ix.SearchWithStats(q, k)
+	return res
+}
+
+// Stats reports the verification work of one query.
+type Stats struct {
+	Candidates int
+}
+
+// SearchWithStats is Search plus work counters.
+func (ix *Index) SearchWithStats(q []float32, k int) ([]pqueue.Neighbor, Stats) {
+	if k <= 0 {
+		return nil, Stats{}
+	}
+	budget := ix.params.Budget
+	if budget == 0 {
+		budget = 100 + k - 1
+	}
+	if budget > len(ix.data) {
+		budget = len(ix.data)
+	}
+	pq := ix.project(q)
+	it := ix.tree.NewIterator(pq)
+	best := pqueue.NewKBest(k)
+	var st Stats
+	for st.Candidates < budget {
+		id, projDist, ok := it.Next()
+		if !ok {
+			break
+		}
+		best.Add(id, ix.metric.Distance(ix.data[id], q))
+		st.Candidates++
+		if ix.params.EarlyStop > 0 {
+			if worst, full := best.Worst(); full && projDist > ix.params.EarlyStop*worst {
+				break
+			}
+		}
+	}
+	return best.Sorted(), st
+}

@@ -1,0 +1,110 @@
+package srs
+
+import (
+	"math"
+	"testing"
+
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+func gaussData(seed uint64, n, d int) [][]float32 {
+	g := rng.New(seed)
+	data := make([][]float32, n)
+	for i := range data {
+		data[i] = g.GaussianVector(d)
+	}
+	return data
+}
+
+// TestProjectionPreservesDistanceInExpectation: with N(0, 1/d') entries,
+// the squared projected distance is an unbiased estimate of the squared
+// original distance — the property SRS's walk order relies on.
+func TestProjectionPreservesDistanceInExpectation(t *testing.T) {
+	d := 64
+	data := gaussData(1, 2, d)
+	var sumOrig, sumProj float64
+	const trials = 300
+	for s := 0; s < trials; s++ {
+		ix, err := Build(data, d, Params{ProjDim: 8, Seed: uint64(s + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumOrig += vec.SquaredDistance(data[0], data[1])
+		sumProj += vec.SquaredDistance(ix.projected[0], ix.projected[1])
+	}
+	ratio := sumProj / sumOrig
+	if math.Abs(ratio-1) > 0.15 {
+		t.Fatalf("E[proj²]/orig² = %.3f, want ≈ 1", ratio)
+	}
+}
+
+func TestWalkOrderIsProjectedDistanceOrder(t *testing.T) {
+	d := 16
+	data := gaussData(2, 500, d)
+	ix, err := Build(data, d, Params{ProjDim: 6, Budget: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[0]
+	pq := ix.project(q)
+	it := ix.tree.NewIterator(pq)
+	prev := -1.0
+	for count := 0; count < 100; count++ {
+		_, dist, ok := it.Next()
+		if !ok {
+			break
+		}
+		if dist < prev {
+			t.Fatalf("projected walk not monotone: %v after %v", dist, prev)
+		}
+		prev = dist
+	}
+}
+
+func TestSelfQueryFound(t *testing.T) {
+	d := 12
+	data := gaussData(3, 200, d)
+	ix, err := Build(data, d, Params{ProjDim: 6, Budget: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The self point projects to distance 0, so it is the first
+	// candidate even with a tiny budget.
+	for id := 0; id < 200; id += 41 {
+		res := ix.Search(data[id], 1)
+		if len(res) != 1 || res[0].Dist != 0 {
+			t.Fatalf("id %d: %+v", id, res)
+		}
+	}
+}
+
+func TestBudgetClamped(t *testing.T) {
+	d := 8
+	data := gaussData(4, 50, d)
+	ix, err := Build(data, d, Params{ProjDim: 4, Budget: 10000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := ix.SearchWithStats(data[0], 5)
+	if st.Candidates > 50 {
+		t.Fatalf("verified %d candidates from 50 points", st.Candidates)
+	}
+	if res, st := ix.SearchWithStats(data[0], 0); res != nil || st.Candidates != 0 {
+		t.Fatal("k=0 should do nothing")
+	}
+}
+
+func TestTinyIndexProperty(t *testing.T) {
+	// SRS's selling point: the index is ~d'/d of the data size.
+	d := 128
+	data := gaussData(5, 1000, d)
+	ix, err := Build(data, d, Params{ProjDim: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataBytes := int64(1000) * int64(d) * 4
+	if ix.Bytes() > dataBytes/4 {
+		t.Fatalf("index %d B not tiny vs data %d B", ix.Bytes(), dataBytes)
+	}
+}

@@ -1,0 +1,201 @@
+// Package core implements the paper's primary contribution: the LCCS-LSH
+// scheme (§4.1) and its multi-probe variant MP-LCCS-LSH (§4.2).
+//
+// Indexing phase: draw m i.i.d. LSH functions h_1..h_m from any LSH
+// family, hash every data object o into the length-m hash string
+// H(o) = [h_1(o), ..., h_m(o)], and build a Circular Shift Array over the
+// n hash strings. Query phase: hash q the same way, retrieve the λ+k−1
+// strings with the longest LCCS against H(q) from the CSA, verify them
+// with exact distances, and return the k nearest.
+//
+// The scheme is LSH-family-independent: it supports any distance metric
+// that admits an LSH family, and it exposes a single capacity parameter m
+// (plus the per-query candidate budget λ).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lccs/internal/csa"
+	"lccs/internal/lshfamily"
+	"lccs/internal/pqueue"
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// Params configures an LCCS-LSH index.
+type Params struct {
+	// M is the hash-string length — the paper's single tunable indexing
+	// parameter (§4, "it requires to tune only a single parameter m").
+	M int
+	// Seed drives all randomness (hash function draws); equal seeds
+	// yield identical indexes.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.M <= 0 {
+		return fmt.Errorf("core: M must be positive, got %d", p.M)
+	}
+	return nil
+}
+
+// SearchStats describes the work done by one query, used by the
+// experiment harness.
+type SearchStats struct {
+	// Candidates is the number of distinct data objects verified with
+	// an exact distance computation.
+	Candidates int
+	// Probes is the number of probing sequences issued (1 for
+	// single-probe LCCS-LSH).
+	Probes int
+}
+
+// Index is a single-probe LCCS-LSH index over a fixed dataset.
+// It is safe for concurrent queries.
+type Index struct {
+	family lshfamily.Family
+	funcs  []lshfamily.Func
+	metric vec.Metric
+	data   [][]float32
+	csa    *csa.CSA
+	m      int
+	seed   uint64
+
+	buildTime time.Duration
+	searchers sync.Pool
+	hbuf      sync.Pool
+}
+
+// Build constructs an LCCS-LSH index over data using the given LSH family.
+// The dataset is retained by reference and must not be mutated afterwards.
+func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	d := family.Dim()
+	for i, v := range data {
+		if len(v) != d {
+			return nil, fmt.Errorf("core: object %d has dimension %d, family expects %d", i, len(v), d)
+		}
+	}
+	start := time.Now()
+	g := rng.New(p.Seed)
+	funcs := lshfamily.NewFuncs(family, p.M, g)
+
+	// Hash all objects in parallel; the flat block is handed straight to
+	// the CSA.
+	n, m := len(data), p.M
+	flat := make([]int32, n*m)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				lshfamily.HashString(funcs, data[id], flat[id*m:(id+1)*m])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	ix := &Index{
+		family: family,
+		funcs:  funcs,
+		metric: family.Metric(),
+		data:   data,
+		csa:    csa.NewFromFlat(flat, n, m),
+		m:      m,
+		seed:   p.Seed,
+	}
+	ix.searchers.New = func() any { return ix.csa.NewSearcher() }
+	ix.hbuf.New = func() any {
+		b := make([]int32, m)
+		return &b
+	}
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+// M returns the hash-string length.
+func (ix *Index) M() int { return ix.m }
+
+// N returns the number of indexed objects.
+func (ix *Index) N() int { return len(ix.data) }
+
+// Family returns the LSH family backing the index.
+func (ix *Index) Family() lshfamily.Family { return ix.family }
+
+// Metric returns the index's distance metric.
+func (ix *Index) Metric() vec.Metric { return ix.metric }
+
+// BuildTime returns the wall-clock indexing time.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// Bytes returns the approximate memory footprint of the index: the CSA
+// plus the hash functions (the dataset itself is not counted, matching the
+// paper's index-size metric).
+func (ix *Index) Bytes() int64 {
+	return ix.csa.Bytes() + lshfamily.FuncsBytes(ix.funcs)
+}
+
+// HashQuery computes H(q) for a query vector. Exposed for tests and for
+// tools that inspect hash strings.
+func (ix *Index) HashQuery(q []float32) []int32 {
+	return lshfamily.HashString(ix.funcs, q, nil)
+}
+
+// Search answers a c-k-ANNS query: it performs a (λ+k−1)-LCCS search of
+// H(q) (§4.1), verifies the candidates with exact distances, and returns
+// the k nearest in ascending distance order. lambda is the candidate
+// budget λ; larger values trade time for recall.
+func (ix *Index) Search(q []float32, k, lambda int) []pqueue.Neighbor {
+	res, _ := ix.SearchWithStats(q, k, lambda)
+	return res
+}
+
+// SearchWithStats is Search plus work counters.
+func (ix *Index) SearchWithStats(q []float32, k, lambda int) ([]pqueue.Neighbor, SearchStats) {
+	if k <= 0 || lambda <= 0 {
+		return nil, SearchStats{}
+	}
+	s := ix.searchers.Get().(*csa.Searcher)
+	defer ix.searchers.Put(s)
+	hp := ix.hbuf.Get().(*[]int32)
+	defer ix.hbuf.Put(hp)
+	hq := lshfamily.HashString(ix.funcs, q, *hp)
+
+	nCand := lambda + k - 1
+	s.Begin(hq)
+	best := pqueue.NewKBest(k)
+	verified := 0
+	for verified < nCand {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		best.Add(r.ID, ix.metric.Distance(ix.data[r.ID], q))
+		verified++
+	}
+	return best.Sorted(), SearchStats{Candidates: verified, Probes: 1}
+}
+
+// Data returns the indexed vector with the given id.
+func (ix *Index) Data(id int) []float32 { return ix.data[id] }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lccs/internal/lshfamily"
+	"lccs/internal/rng"
+)
+
+func TestCoreEncodeDecodeRoundTrip(t *testing.T) {
+	g := rng.New(81)
+	data := clusteredData(g, 400, 12, 6, 0.5)
+	fam := lshfamily.NewRandomProjection(12, 8)
+	ix, err := Build(data, fam, Params{M: 24, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(bytes.NewReader(buf.Bytes()), data, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.M() != 24 || loaded.N() != 400 {
+		t.Fatalf("shape: m=%d n=%d", loaded.M(), loaded.N())
+	}
+	for i := 0; i < 10; i++ {
+		q := data[i*17]
+		a := ix.Search(q, 5, 40)
+		b := loaded.Search(q, 5, 40)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d result %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCoreDecodeRejectsMismatches(t *testing.T) {
+	g := rng.New(82)
+	data := clusteredData(g, 200, 8, 4, 0.5)
+	fam := lshfamily.NewRandomProjection(8, 4)
+	ix, err := Build(data, fam, Params{M: 16, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Wrong family name.
+	if _, err := Decode(bytes.NewReader(blob), data, lshfamily.NewSimHash(8)); err == nil {
+		t.Error("wrong family should fail")
+	}
+	// Wrong dimension.
+	if _, err := Decode(bytes.NewReader(blob), data, lshfamily.NewRandomProjection(9, 4)); err == nil {
+		t.Error("wrong dimension should fail")
+	}
+	// Wrong dataset length.
+	if _, err := Decode(bytes.NewReader(blob), data[:100], fam); err == nil {
+		t.Error("wrong n should fail")
+	}
+	// Different bucket width changes hash values: the spot check fires.
+	if _, err := Decode(bytes.NewReader(blob), data, lshfamily.NewRandomProjection(8, 2)); err == nil {
+		t.Error("different bucket width should fail the hash spot check")
+	}
+	// Garbage.
+	if _, err := Decode(bytes.NewReader([]byte("nope")), data, fam); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Truncation.
+	if _, err := Decode(bytes.NewReader(blob[:len(blob)/2]), data, fam); err == nil {
+		t.Error("truncation should fail")
+	}
+}
+
+func TestWrapMPValidation(t *testing.T) {
+	g := rng.New(83)
+	data := clusteredData(g, 100, 8, 4, 0.5)
+	fam := lshfamily.NewRandomProjection(8, 4)
+	base, err := Build(data, fam, Params{M: 16, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WrapMP(base, MPParams{Params: Params{M: 8}, Probes: 3}); err == nil {
+		t.Error("mismatched M should fail")
+	}
+	mp, err := WrapMP(base, MPParams{Params: Params{M: 16}, Probes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Probes() != 5 {
+		t.Fatalf("probes = %d", mp.Probes())
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+
+	"lccs/internal/pqueue"
+	"lccs/internal/stats"
+)
+
+// NearNeighbor answers the (R, c)-NNS decision problem of Definition 2.2:
+// if some indexed object lies within distance R of q, it returns an object
+// within cR (with the success probability of Theorem 5.1 when lambda is
+// chosen accordingly); if every object is farther than cR it returns
+// ok = false; in between the answer is undefined (either outcome is
+// valid). lambda ≤ 0 selects Theorem 5.1's λ computed from the family's
+// collision probabilities at R and cR.
+func (ix *Index) NearNeighbor(q []float32, r, c float64, lambda int) (pqueue.Neighbor, bool) {
+	if r <= 0 || c <= 1 {
+		return pqueue.Neighbor{}, false
+	}
+	if lambda <= 0 {
+		lambda = ix.TheoremLambda(r, c)
+	}
+	cands := ix.Search(q, 1, lambda)
+	if len(cands) == 0 || cands[0].Dist > c*r {
+		return pqueue.Neighbor{}, false
+	}
+	return cands[0], true
+}
+
+// TheoremLambda evaluates Theorem 5.1's candidate budget λ for radius R
+// and approximation c, using the family's analytic collision probability
+// for p1 = p(R) and p2 = p(cR). Degenerate probabilities (p1 ≤ p2) fall
+// back to a full scan budget.
+func (ix *Index) TheoremLambda(r, c float64) int {
+	p1 := ix.family.CollisionProb(r)
+	p2 := ix.family.CollisionProb(c * r)
+	if !(p1 > p2) || p2 <= 0 || p1 >= 1 {
+		return ix.N()
+	}
+	return stats.TheoremLambda(ix.m, ix.N(), p1, p2)
+}
+
+// ApproxNearest solves c-ANNS through the standard reduction of §2.1: a
+// geometric sweep over radii R ∈ {r0, c·r0, c²·r0, ...} of (R, c)-NNS
+// decisions, returning the first success. r0 ≤ 0 starts the sweep at a
+// small fraction of the distance scale probed from the index; maxLevels
+// bounds the sweep (≤ 0 selects enough levels to cover the probed scale
+// ×c⁴). Returns ok = false only when no level succeeds — for any query
+// with a finite nearest neighbor, enough levels always succeed, so a
+// false result indicates the sweep was bounded too tightly.
+//
+// This is the theory-faithful driver; the practical top-k interface
+// (Search) skips the reduction and verifies a fixed candidate budget,
+// exactly as the paper's experiments do.
+func (ix *Index) ApproxNearest(q []float32, c float64, r0 float64, maxLevels int) (pqueue.Neighbor, bool) {
+	if c <= 1 {
+		return pqueue.Neighbor{}, false
+	}
+	if r0 <= 0 {
+		r0 = ix.probeScale() / 64
+		if r0 <= 0 {
+			r0 = 1e-3
+		}
+	}
+	if maxLevels <= 0 {
+		top := ix.probeScale() * c * c * c * c
+		maxLevels = 1
+		for r := r0; r < top && maxLevels < 64; r *= c {
+			maxLevels++
+		}
+	}
+	r := r0
+	for level := 0; level < maxLevels; level++ {
+		if nb, ok := ix.NearNeighbor(q, r, c, 0); ok {
+			return nb, true
+		}
+		r *= c
+	}
+	return pqueue.Neighbor{}, false
+}
+
+// probeScale estimates the dataset's distance scale: the median distance
+// between a few sampled pairs.
+func (ix *Index) probeScale() float64 {
+	n := ix.N()
+	if n < 2 {
+		return 0
+	}
+	const samples = 32
+	dists := make([]float64, 0, samples)
+	step := n/samples + 1
+	for i := 0; i+step < n; i += step {
+		dists = append(dists, ix.metric.Distance(ix.data[i], ix.data[i+step]))
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	// Median via partial selection (tiny slice: sort is fine).
+	for i := 1; i < len(dists); i++ {
+		for j := i; j > 0 && dists[j] < dists[j-1]; j-- {
+			dists[j], dists[j-1] = dists[j-1], dists[j]
+		}
+	}
+	med := dists[len(dists)/2]
+	if math.IsNaN(med) {
+		return 0
+	}
+	return med
+}

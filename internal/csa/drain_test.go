@@ -1,0 +1,103 @@
+package csa
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"lccs/internal/hstring"
+)
+
+// TestDrainEmitsEveryIDOnce: fully draining a search must yield every
+// string id exactly once, in non-increasing LCCS order.
+func TestDrainEmitsEveryIDOnce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 0xd5a1))
+		n := 1 + r.IntN(80)
+		m := 1 + r.IntN(10)
+		strs := randStrings(r, n, m, 3)
+		c := New(strs)
+		s := c.NewSearcher()
+		q := randStrings(r, 1, m, 3)[0]
+		s.Begin(q)
+		seen := make([]bool, n)
+		prev := m + 1
+		count := 0
+		for {
+			res, ok := s.Next()
+			if !ok {
+				break
+			}
+			if seen[res.ID] {
+				return false
+			}
+			seen[res.ID] = true
+			if res.Length > prev {
+				return false
+			}
+			prev = res.Length
+			if res.Length != hstring.LCCS(strs[res.ID], q) {
+				return false
+			}
+			count++
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProbeWithIdenticalQuery: probing with an unmodified copy of the
+// query must not corrupt the result stream (degenerate perturbation).
+func TestProbeWithIdenticalQuery(t *testing.T) {
+	r := rand.New(rand.NewPCG(91, 92))
+	strs := randStrings(r, 50, 8, 3)
+	c := New(strs)
+	s := c.NewSearcher()
+	q := randStrings(r, 1, 8, 3)[0]
+	s.Begin(q)
+	s.Probe(q, nil, nil) // no modified positions
+	seen := map[int]bool{}
+	for {
+		res, ok := s.Next()
+		if !ok {
+			break
+		}
+		if seen[res.ID] {
+			t.Fatal("duplicate emission after no-op probe")
+		}
+		seen[res.ID] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("emitted %d of 50", len(seen))
+	}
+}
+
+// TestSearchAfterProbeReset: a new Begin must fully reset probe state.
+func TestSearchAfterProbeReset(t *testing.T) {
+	r := rand.New(rand.NewPCG(93, 94))
+	strs := randStrings(r, 60, 8, 3)
+	c := New(strs)
+	s := c.NewSearcher()
+
+	q1 := randStrings(r, 1, 8, 3)[0]
+	pq := append([]int32(nil), q1...)
+	pq[2]++
+	s.Begin(q1)
+	s.Probe(pq, []int{2}, nil)
+	s.Next()
+
+	// Fresh query: results must match a fresh searcher's exactly.
+	q2 := randStrings(r, 1, 8, 3)[0]
+	a := s.Search(q2, 10)
+	b := c.NewSearcher().Search(q2, 10)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

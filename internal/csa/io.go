@@ -1,0 +1,113 @@
+package csa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// csaMagic versions the on-disk CSA format.
+var csaMagic = [8]byte{'L', 'C', 'C', 'S', 'C', 'S', 'A', '1'}
+
+// Encode writes the CSA to w: the symbol block, the m sorted orders, and
+// the m next-link arrays. Loading an encoded CSA skips the O(m·n log n)
+// sort of Algorithm 1, which dominates indexing time.
+func (c *CSA) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(csaMagic[:]); err != nil {
+		return err
+	}
+	hdr := []int32{int32(c.n), int32(c.m)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, c.data); err != nil {
+		return err
+	}
+	for i := 0; i < c.m; i++ {
+		if err := binary.Write(bw, binary.LittleEndian, c.sorted[i]); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		if err := binary.Write(bw, binary.LittleEndian, c.next[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a CSA written by Encode and validates its structural
+// invariants (each sorted order a permutation, next links consistent).
+func Decode(r io.Reader) (*CSA, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != csaMagic {
+		return nil, fmt.Errorf("csa: bad magic %q", magic)
+	}
+	var hdr [2]int32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	n, m := int(hdr[0]), int(hdr[1])
+	if n <= 0 || m <= 0 || int64(n)*int64(m) > 1<<34 {
+		return nil, fmt.Errorf("csa: corrupt header n=%d m=%d", n, m)
+	}
+	c := &CSA{n: n, m: m}
+	c.data = make([]int32, n*m)
+	if err := binary.Read(br, binary.LittleEndian, c.data); err != nil {
+		return nil, err
+	}
+	readOrders := func() ([][]int32, error) {
+		out := make([][]int32, m)
+		for i := range out {
+			a := make([]int32, n)
+			if err := binary.Read(br, binary.LittleEndian, a); err != nil {
+				return nil, err
+			}
+			out[i] = a
+		}
+		return out, nil
+	}
+	var err error
+	if c.sorted, err = readOrders(); err != nil {
+		return nil, err
+	}
+	if c.next, err = readOrders(); err != nil {
+		return nil, err
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// validate checks the structural invariants of a decoded CSA: every rank
+// array is a permutation of [0,n) and every next link points at the same
+// string in the following shift's order.
+func (c *CSA) validate() error {
+	seen := make([]bool, c.n)
+	for i := 0; i < c.m; i++ {
+		for j := range seen {
+			seen[j] = false
+		}
+		for _, id := range c.sorted[i] {
+			if id < 0 || int(id) >= c.n || seen[id] {
+				return fmt.Errorf("csa: sorted[%d] is not a permutation", i)
+			}
+			seen[id] = true
+		}
+		ni := (i + 1) % c.m
+		for rank, id := range c.sorted[i] {
+			link := c.next[i][rank]
+			if link < 0 || int(link) >= c.n || c.sorted[ni][link] != id {
+				return fmt.Errorf("csa: next[%d][%d] broken", i, rank)
+			}
+		}
+	}
+	return nil
+}

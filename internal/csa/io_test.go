@@ -1,0 +1,81 @@
+package csa
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(51, 52))
+	strs := randStrings(r, 120, 9, 5)
+	c := New(strs)
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != c.N() || got.M() != c.M() {
+		t.Fatalf("shape: %dx%d", got.N(), got.M())
+	}
+	// Same query results.
+	s1, s2 := c.NewSearcher(), got.NewSearcher()
+	for trial := 0; trial < 20; trial++ {
+		q := randStrings(r, 1, 9, 5)[0]
+		a := s1.Search(q, 7)
+		b := s2.Search(q, 7)
+		if len(a) != len(b) {
+			t.Fatal("result count differs")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("garbage!"))); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	r := rand.New(rand.NewPCG(53, 54))
+	c := New(randStrings(r, 40, 6, 4))
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for _, cut := range []int{9, len(blob) / 3, len(blob) - 5} {
+		if _, err := Decode(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptedLinks(t *testing.T) {
+	r := rand.New(rand.NewPCG(55, 56))
+	c := New(randStrings(r, 30, 5, 4))
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	// Flip a byte inside the rank/link region (beyond header + symbol
+	// block); validation must catch the inconsistency.
+	off := 8 + 8 + 30*5*4 + 10
+	corrupted := append([]byte(nil), blob...)
+	corrupted[off] ^= 0xFF
+	if _, err := Decode(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupted permutation should fail validation")
+	}
+}

@@ -1,0 +1,269 @@
+// Package dataset provides the evaluation workloads. The paper (Table 2)
+// uses five real ~1M-point datasets — Msong (audio, 420d), Sift (image,
+// 128d), Gist (image, 960d), GloVe (text, 100d), and Deep (CNN codes,
+// 256d). Those files are not redistributable nor available offline, so
+// this package generates *synthetic analogues*: clustered Gaussian
+// mixtures matching each dataset's dimensionality and value profile
+// (non-negative quantized for Sift, unit-norm for GloVe/Deep), scaled to
+// laptop-sized n. Queries are held-out draws from the same mixture, as in
+// the paper (queries are sampled from each dataset's test set).
+//
+// LSH method behaviour is driven by the distribution of query-to-near- and
+// query-to-far-point distances, which the mixtures reproduce, so the
+// relative standing of methods — the paper's claim — is preserved even
+// though absolute numbers are not comparable to the authors' testbed.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// Spec describes a synthetic dataset to generate.
+type Spec struct {
+	// Name labels the dataset ("sift", "glove", ...).
+	Name string
+	// Kind is the data type label of Table 2 ("Audio", "Image", ...).
+	Kind string
+	// Dim is the dimensionality.
+	Dim int
+	// N and NQ are the numbers of data and query points.
+	N, NQ int
+	// Clusters is the number of mixture components.
+	Clusters int
+	// Scale is the half-width of the cube cluster centers are drawn
+	// from.
+	Scale float64
+	// Spread is the within-cluster standard deviation.
+	Spread float64
+	// NoiseFrac is the fraction of points drawn uniformly instead of
+	// from a cluster (background noise).
+	NoiseFrac float64
+	// NonNegative shifts/clips values to be ≥ 0 (Sift-style features).
+	NonNegative bool
+	// Quantize rounds values to integers (Sift features are bytes).
+	Quantize bool
+	// UnitNorm L2-normalizes every vector (GloVe/Deep-style embeddings).
+	UnitNorm bool
+	// Seed drives generation.
+	Seed uint64
+}
+
+// Validate reports whether the spec is generable.
+func (s Spec) Validate() error {
+	if s.Dim <= 0 || s.N <= 0 || s.NQ < 0 || s.Clusters <= 0 {
+		return fmt.Errorf("dataset: bad spec %+v", s)
+	}
+	if s.Scale <= 0 || s.Spread <= 0 || s.NoiseFrac < 0 || s.NoiseFrac > 1 {
+		return fmt.Errorf("dataset: bad spec %+v", s)
+	}
+	return nil
+}
+
+// Dataset is a generated (or loaded) workload: data points plus held-out
+// queries.
+type Dataset struct {
+	Name    string
+	Kind    string
+	Dim     int
+	Data    [][]float32
+	Queries [][]float32
+}
+
+// Generate builds the dataset described by s.
+func Generate(s Spec) (*Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := rng.New(s.Seed)
+	centers := make([][]float32, s.Clusters)
+	for i := range centers {
+		centers[i] = g.UniformVector(s.Dim, -s.Scale, s.Scale)
+	}
+	gen := func(n int, g *rng.RNG) [][]float32 {
+		out := make([][]float32, n)
+		for i := range out {
+			v := make([]float32, s.Dim)
+			if g.Float64() < s.NoiseFrac {
+				copy(v, g.UniformVector(s.Dim, -s.Scale, s.Scale))
+			} else {
+				c := centers[g.IntN(s.Clusters)]
+				for j := range v {
+					v[j] = c[j] + float32(g.NormFloat64()*s.Spread)
+				}
+			}
+			finish(v, s)
+			out[i] = v
+		}
+		return out
+	}
+	ds := &Dataset{
+		Name:    s.Name,
+		Kind:    s.Kind,
+		Dim:     s.Dim,
+		Data:    gen(s.N, g.Split()),
+		Queries: gen(s.NQ, g.Split()),
+	}
+	return ds, nil
+}
+
+// finish applies the per-dataset value profile to one vector.
+func finish(v []float32, s Spec) {
+	if s.NonNegative {
+		for j := range v {
+			if v[j] < 0 {
+				v[j] = -v[j]
+			}
+		}
+	}
+	if s.Quantize {
+		for j := range v {
+			v[j] = float32(int32(v[j]))
+		}
+	}
+	if s.UnitNorm {
+		vec.NormalizeInPlace(v)
+	}
+}
+
+// SizeBytes returns the raw data size (Table 2's "Data Size" column).
+func (d *Dataset) SizeBytes() int64 {
+	return int64(len(d.Data)) * int64(d.Dim) * 4
+}
+
+// NormalizedCopy returns a copy of the dataset with every data point and
+// query scaled to unit norm, as used by the Angular-distance experiments.
+func (d *Dataset) NormalizedCopy() *Dataset {
+	cp := &Dataset{Name: d.Name, Kind: d.Kind, Dim: d.Dim}
+	cp.Data = make([][]float32, len(d.Data))
+	for i, v := range d.Data {
+		cp.Data[i] = vec.Normalize(v)
+	}
+	cp.Queries = make([][]float32, len(d.Queries))
+	for i, v := range d.Queries {
+		cp.Queries[i] = vec.Normalize(v)
+	}
+	return cp
+}
+
+// Preset returns the synthetic-analogue spec for one of the paper's five
+// datasets (Table 2), scaled to n data points and nq queries. Known names:
+// msong, sift, gist, glove, deep.
+func Preset(name string, n, nq int, seed uint64) (Spec, error) {
+	base := Spec{Name: name, N: n, NQ: nq, Seed: seed, NoiseFrac: 0.02}
+	switch name {
+	case "msong":
+		// Audio features: wide dynamic range, moderately clustered.
+		base.Kind, base.Dim = "Audio", 420
+		base.Clusters, base.Scale, base.Spread = 64, 100, 12
+	case "sift":
+		// SIFT descriptors: non-negative small integers, strongly
+		// clustered.
+		base.Kind, base.Dim = "Image", 128
+		base.Clusters, base.Scale, base.Spread = 128, 128, 24
+		base.NonNegative, base.Quantize = true, true
+	case "gist":
+		// GIST: dense global image descriptors in [0,1]-ish range.
+		base.Kind, base.Dim = "Image", 960
+		base.Clusters, base.Scale, base.Spread = 48, 0.5, 0.08
+		base.NonNegative = true
+	case "glove":
+		// Word embeddings: directions matter; roughly unit norm.
+		base.Kind, base.Dim = "Text", 100
+		base.Clusters, base.Scale, base.Spread = 256, 1, 0.25
+		base.UnitNorm = true
+	case "deep":
+		// CNN codes: L2-normalized deep descriptors.
+		base.Kind, base.Dim = "Deep", 256
+		base.Clusters, base.Scale, base.Spread = 96, 1, 0.18
+		base.UnitNorm = true
+	default:
+		return Spec{}, fmt.Errorf("dataset: unknown preset %q", name)
+	}
+	return base, nil
+}
+
+// PresetNames returns the five dataset names in the paper's Table 2 order.
+func PresetNames() []string {
+	return []string{"msong", "sift", "gist", "glove", "deep"}
+}
+
+// Stats is one row of Table 2.
+type Stats struct {
+	Name      string
+	Objects   int
+	Queries   int
+	Dim       int
+	SizeBytes int64
+	Kind      string
+}
+
+// TableStats returns the dataset's Table 2 row.
+func (d *Dataset) TableStats() Stats {
+	return Stats{
+		Name:      d.Name,
+		Objects:   len(d.Data),
+		Queries:   len(d.Queries),
+		Dim:       d.Dim,
+		SizeBytes: d.SizeBytes(),
+		Kind:      d.Kind,
+	}
+}
+
+// DistanceProfile summarizes the distance distribution from queries to
+// data (used by bucket-width tuning and by tests that validate the
+// mixtures have near/far structure): the 1st, 10th, 50th percentiles of
+// per-query k-th NN distance and the median all-pairs distance sample.
+type DistanceProfile struct {
+	NearMedian float64 // median distance to the 10th NN over queries
+	FarMedian  float64 // median distance to a random point
+}
+
+// Profile computes a DistanceProfile under the given metric using a
+// sample of at most sampleQ queries. The near statistic is each sampled
+// query's exact 10th-NN distance over the full dataset (one linear scan
+// per sampled query); the far statistic is the median distance to a
+// random data point.
+func (d *Dataset) Profile(metric vec.Metric, sampleQ int) DistanceProfile {
+	g := rng.New(0xD15)
+	if sampleQ > len(d.Queries) {
+		sampleQ = len(d.Queries)
+	}
+	var near, far []float64
+	for qi := 0; qi < sampleQ; qi++ {
+		q := d.Queries[qi]
+		// Exact 10th-NN distance via one scan keeping the 10 smallest.
+		kth := 10
+		if kth > len(d.Data) {
+			kth = len(d.Data)
+		}
+		smallest := make([]float64, 0, kth)
+		for _, v := range d.Data {
+			dist := metric.Distance(v, q)
+			if len(smallest) < kth {
+				smallest = append(smallest, dist)
+				sort.Float64s(smallest)
+			} else if dist < smallest[kth-1] {
+				smallest[kth-1] = dist
+				sort.Float64s(smallest)
+			}
+		}
+		near = append(near, smallest[len(smallest)-1])
+		// Median random distance via a small sample.
+		rnd := make([]float64, 0, 64)
+		for t := 0; t < 64; t++ {
+			rnd = append(rnd, metric.Distance(d.Data[g.IntN(len(d.Data))], q))
+		}
+		sort.Float64s(rnd)
+		far = append(far, rnd[len(rnd)/2])
+	}
+	sort.Float64s(near)
+	sort.Float64s(far)
+	return DistanceProfile{
+		NearMedian: near[len(near)/2],
+		FarMedian:  far[len(far)/2],
+	}
+}

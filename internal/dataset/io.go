@@ -1,0 +1,228 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"lccs/internal/pqueue"
+)
+
+// magic headers versioning the two on-disk formats.
+var (
+	datasetMagic = [8]byte{'L', 'C', 'C', 'S', 'D', 'S', '1', '\n'}
+	truthMagic   = [8]byte{'L', 'C', 'C', 'S', 'G', 'T', '1', '\n'}
+)
+
+// Save writes the dataset to path in the repository's little-endian binary
+// format (header, then data vectors, then query vectors, all float32).
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := d.encode(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (d *Dataset) encode(w io.Writer) error {
+	if _, err := w.Write(datasetMagic[:]); err != nil {
+		return err
+	}
+	if err := writeString(w, d.Name); err != nil {
+		return err
+	}
+	if err := writeString(w, d.Kind); err != nil {
+		return err
+	}
+	hdr := []int32{int32(d.Dim), int32(len(d.Data)), int32(len(d.Queries))}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for _, v := range d.Data {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range d.Queries {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decode(bufio.NewReaderSize(f, 1<<20))
+}
+
+func decode(r io.Reader) (*Dataset, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != datasetMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [3]int32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	dim, n, nq := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	if dim <= 0 || n < 0 || nq < 0 {
+		return nil, fmt.Errorf("dataset: corrupt header dim=%d n=%d nq=%d", dim, n, nq)
+	}
+	readVecs := func(count int) ([][]float32, error) {
+		out := make([][]float32, count)
+		for i := range out {
+			v := make([]float32, dim)
+			if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	d := &Dataset{Name: name, Kind: kind, Dim: dim}
+	if d.Data, err = readVecs(n); err != nil {
+		return nil, err
+	}
+	if d.Queries, err = readVecs(nq); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// GroundTruth holds the exact k-NN of every query.
+type GroundTruth struct {
+	K         int
+	Neighbors [][]pqueue.Neighbor // one slice of K per query
+}
+
+// SaveTruth writes ground truth to path.
+func (gt *GroundTruth) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.Write(truthMagic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	hdr := []int32{int32(gt.K), int32(len(gt.Neighbors))}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		f.Close()
+		return err
+	}
+	for _, nn := range gt.Neighbors {
+		if len(nn) != gt.K {
+			f.Close()
+			return fmt.Errorf("dataset: ground truth row has %d entries, want %d", len(nn), gt.K)
+		}
+		for _, e := range nn {
+			if err := binary.Write(w, binary.LittleEndian, int32(e.ID)); err != nil {
+				f.Close()
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, e.Dist); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTruth reads ground truth written by SaveTruth.
+func LoadTruth(path string) (*GroundTruth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != truthMagic {
+		return nil, fmt.Errorf("dataset: bad truth magic %q", magic)
+	}
+	var hdr [2]int32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	k, nq := int(hdr[0]), int(hdr[1])
+	if k <= 0 || nq < 0 {
+		return nil, fmt.Errorf("dataset: corrupt truth header k=%d nq=%d", k, nq)
+	}
+	gt := &GroundTruth{K: k, Neighbors: make([][]pqueue.Neighbor, nq)}
+	for i := range gt.Neighbors {
+		row := make([]pqueue.Neighbor, k)
+		for j := range row {
+			var id int32
+			if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+				return nil, err
+			}
+			var dist float64
+			if err := binary.Read(r, binary.LittleEndian, &dist); err != nil {
+				return nil, err
+			}
+			row[j] = pqueue.Neighbor{ID: int(id), Dist: dist}
+		}
+		gt.Neighbors[i] = row
+	}
+	return gt, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n < 0 || n > 1<<20 {
+		return "", fmt.Errorf("dataset: corrupt string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

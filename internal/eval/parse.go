@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseRow parses one harness output row (the inverse of the format
+// produced by Result.String prefixed with a dataset label, as written by
+// the figure experiments):
+//
+//	sift  LCCS-LSH  m=16 λ=5  k=10 recall= 5.80% ratio=1.60 qtime= 0.02ms size= 1.8MB itime= 85.0ms
+//
+// ok is false for headers, blank lines, and rows in other formats.
+func ParseRow(line string) (dataset string, r Result, ok bool) {
+	if strings.HasPrefix(strings.TrimSpace(line), "#") {
+		return "", Result{}, false
+	}
+	// Locate the metric fields; everything before "k=" is
+	// dataset + method + config.
+	ik := strings.Index(line, " k=")
+	if ik < 0 || !strings.Contains(line, "recall=") {
+		return "", Result{}, false
+	}
+	head := strings.Fields(line[:ik])
+	if len(head) < 2 {
+		return "", Result{}, false
+	}
+	dataset = head[0]
+	// Method may be multi-word ("Multi-Probe LSH"); config fields all
+	// contain '='.
+	methodEnd := 1
+	for methodEnd < len(head) && !strings.ContainsRune(head[methodEnd], '=') {
+		methodEnd++
+	}
+	r.Method = strings.Join(head[1:methodEnd], " ")
+	r.Config = strings.Join(head[methodEnd:], " ")
+
+	grab := func(key, stop string) (float64, bool) {
+		i := strings.Index(line, key)
+		if i < 0 {
+			return 0, false
+		}
+		rest := line[i+len(key):]
+		if j := strings.Index(rest, stop); j >= 0 {
+			rest = rest[:j]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	kv, ok1 := grab(" k=", " ")
+	rec, ok2 := grab("recall=", "%")
+	ratio, ok3 := grab("ratio=", " ")
+	qt, ok4 := grab("qtime=", "ms")
+	size, ok5 := grab("size=", "MB")
+	it, ok6 := grab("itime=", "ms")
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6) {
+		return "", Result{}, false
+	}
+	r.K = int(kv)
+	r.Recall = rec / 100
+	r.Ratio = ratio
+	r.QueryTimeMS = qt
+	r.IndexBytes = int64(size * (1 << 20))
+	r.IndexTimeMS = it
+	return dataset, r, true
+}

@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseRowRoundTrip(t *testing.T) {
+	sizeMB := 14.7
+	r := Result{
+		Method:      "LCCS-LSH",
+		Config:      "m=128 λ=50",
+		K:           10,
+		Recall:      0.334,
+		Ratio:       1.0725,
+		QueryTimeMS: 0.1308,
+		IndexBytes:  int64(sizeMB * float64(1<<20)),
+		IndexTimeMS: 726,
+	}
+	line := "sift     " + r.String()
+	ds, got, ok := ParseRow(line)
+	if !ok {
+		t.Fatalf("parse failed: %q", line)
+	}
+	if ds != "sift" || got.Method != r.Method || got.Config != r.Config || got.K != 10 {
+		t.Fatalf("metadata: %q %+v", ds, got)
+	}
+	if math.Abs(got.Recall-r.Recall) > 1e-3 {
+		t.Errorf("recall %v", got.Recall)
+	}
+	if math.Abs(got.Ratio-r.Ratio) > 1e-3 {
+		t.Errorf("ratio %v", got.Ratio)
+	}
+	if math.Abs(got.QueryTimeMS-r.QueryTimeMS) > 1e-3 {
+		t.Errorf("qtime %v", got.QueryTimeMS)
+	}
+	if math.Abs(float64(got.IndexBytes-r.IndexBytes)) > float64(r.IndexBytes)/50 {
+		t.Errorf("size %v vs %v", got.IndexBytes, r.IndexBytes)
+	}
+	if got.IndexTimeMS != 726 {
+		t.Errorf("itime %v", got.IndexTimeMS)
+	}
+}
+
+func TestParseRowMultiWordMethod(t *testing.T) {
+	r := Result{
+		Method: "Multi-Probe LSH", Config: "K=2 L=4 T=32", K: 10,
+		Recall: 1.0, Ratio: 1.0, QueryTimeMS: 2.06,
+		IndexBytes: 650000, IndexTimeMS: 15,
+	}
+	line := "glove    " + r.String()
+	ds, got, ok := ParseRow(line)
+	if !ok || ds != "glove" {
+		t.Fatalf("parse failed")
+	}
+	if got.Method != "Multi-Probe LSH" {
+		t.Fatalf("method = %q", got.Method)
+	}
+	if got.Config != "K=2 L=4 T=32" {
+		t.Fatalf("config = %q", got.Config)
+	}
+}
+
+func TestParseRowRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"# Figure 4: query time vs recall",
+		"random text without fields",
+		"sift LCCS-LSH (no configuration reached 50% recall)",
+	} {
+		if _, _, ok := ParseRow(line); ok {
+			t.Errorf("parsed noise: %q", line)
+		}
+	}
+}
+
+func TestParseRowOnFormattedResult(t *testing.T) {
+	res := Result{Method: "E2LSH", Config: "K=4 L=8", K: 5, Recall: 0.5,
+		Ratio: 1.1, QueryTimeMS: 0.5, IndexBytes: 1 << 21, IndexTimeMS: 33}
+	line := "deep " + res.String()
+	if !strings.Contains(line, "E2LSH") {
+		t.Fatal("format changed")
+	}
+	_, got, ok := ParseRow(line)
+	if !ok || got.K != 5 {
+		t.Fatalf("parse: %+v %v", got, ok)
+	}
+}

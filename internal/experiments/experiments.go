@@ -1,0 +1,164 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the synthetic dataset analogues:
+//
+//	table1 — complexity table (Table 1)
+//	table2 — dataset statistics (Table 2)
+//	fig4   — query time vs recall, Euclidean, all methods × all datasets
+//	fig5   — query time vs recall, Angular
+//	fig6   — query time vs index size / indexing time @50% recall, Euclidean
+//	fig7   — same as fig6 under Angular
+//	fig8   — sensitivity to k (recall / ratio / query time), Sift
+//	fig9   — impact of m for LCCS-LSH, Sift
+//	fig10  — impact of #probes for MP-LCCS-LSH, Sift
+//
+// Each experiment prints the same rows/series the paper plots; absolute
+// numbers reflect this substrate (synthetic data, Go, this machine), but
+// the relative standing of methods is the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lccs/internal/baseline/scan"
+	"lccs/internal/dataset"
+	"lccs/internal/eval"
+	"lccs/internal/pqueue"
+	"lccs/internal/vec"
+)
+
+// Options scales and scopes an experiment run.
+type Options struct {
+	// N and NQ are the per-dataset data and query counts (the paper uses
+	// ~1M and 100; defaults are laptop-sized).
+	N, NQ int
+	// Datasets restricts the run to a subset of the five presets; nil
+	// selects all.
+	Datasets []string
+	// Methods restricts sweeps to a subset of method names
+	// ("LCCS-LSH", "E2LSH", ...); nil selects every method of the
+	// figure.
+	Methods []string
+	// K is the number of neighbors (the paper's headline figures use
+	// k = 10).
+	K int
+	// Seed drives dataset generation and index construction.
+	Seed uint64
+	// Quick shrinks parameter grids for smoke tests.
+	Quick bool
+	// Out receives the experiment's rows; defaults to discard if nil.
+	Out io.Writer
+}
+
+func (o *Options) fill() {
+	if o.N == 0 {
+		o.N = 10000
+	}
+	if o.NQ == 0 {
+		o.NQ = 50
+	}
+	if o.K == 0 {
+		o.K = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Datasets) == 0 {
+		o.Datasets = dataset.PresetNames()
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+}
+
+// Names lists the runnable experiment ids in paper order.
+func Names() []string {
+	return []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+}
+
+// Run executes one experiment by id, writing its rows to opt.Out.
+func Run(name string, opt Options) error {
+	opt.fill()
+	switch name {
+	case "table1":
+		return Table1(opt)
+	case "table2":
+		return Table2(opt)
+	case "fig4":
+		return Fig4(opt)
+	case "fig5":
+		return Fig5(opt)
+	case "fig6":
+		return Fig6(opt)
+	case "fig7":
+		return Fig7(opt)
+	case "fig8":
+		return Fig8(opt)
+	case "fig9":
+		return Fig9(opt)
+	case "fig10":
+		return Fig10(opt)
+	}
+	return fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+}
+
+// Env bundles one dataset with its exact ground truth under one metric.
+type Env struct {
+	DS     *dataset.Dataset
+	Metric vec.Metric
+	Truth  [][]pqueue.Neighbor
+	K      int
+	Seed   uint64
+}
+
+// NewEnv generates the named dataset analogue and its exact k-NN ground
+// truth under the metric. For Angular the dataset is normalized first
+// (the paper's angular experiments treat points as directions).
+func NewEnv(name string, metric vec.Metric, opt Options) (*Env, error) {
+	opt.fill()
+	spec, err := dataset.Preset(name, opt.N, opt.NQ, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if metric.Name() == "angular" {
+		ds = ds.NormalizedCopy()
+	}
+	return &Env{
+		DS:     ds,
+		Metric: metric,
+		Truth:  scan.SearchAll(ds.Data, ds.Queries, opt.K, metric),
+		K:      opt.K,
+		Seed:   opt.Seed,
+	}, nil
+}
+
+// TruthAt recomputes ground truth for a different k (Figure 8 sweeps k).
+func (e *Env) TruthAt(k int) [][]pqueue.Neighbor {
+	if k == e.K {
+		return e.Truth
+	}
+	return scan.SearchAll(e.DS.Data, e.DS.Queries, k, e.Metric)
+}
+
+// printFrontier writes a method's Pareto frontier rows.
+func printFrontier(w io.Writer, dsName string, results []eval.Result) {
+	frontier := eval.ParetoFrontier(results)
+	for _, r := range frontier {
+		fmt.Fprintf(w, "%-8s %s\n", dsName, r)
+	}
+}
+
+// sortResults orders results by method then recall for stable output.
+func sortResults(rs []eval.Result) {
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].Method != rs[b].Method {
+			return rs[a].Method < rs[b].Method
+		}
+		return rs[a].Recall < rs[b].Recall
+	})
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lccs/internal/baseline/c2lsh"
+	"lccs/internal/baseline/e2lsh"
+	"lccs/internal/baseline/falconn"
+	"lccs/internal/baseline/mplsh"
+	"lccs/internal/baseline/qalsh"
+	"lccs/internal/baseline/srs"
+	"lccs/internal/core"
+	"lccs/internal/eval"
+	"lccs/internal/pqueue"
+)
+
+// buildRunner rebuilds one method at a configuration string previously
+// emitted by the sweep functions (Figure 8 fixes each method at one
+// configuration and re-evaluates it across the k sweep). The config
+// strings are produced by this package, so parsing them back with Sscanf
+// is reliable; an unparsable config is an internal error.
+func (e *Env) buildRunner(method, config string) (*eval.Runner, error) {
+	switch method {
+	case "LCCS-LSH":
+		var m, lam int
+		if _, err := fmt.Sscanf(config, "m=%d λ=%d", &m, &lam); err != nil {
+			return nil, fmt.Errorf("experiments: bad LCCS config %q: %w", config, err)
+		}
+		ix, err := core.Build(e.DS.Data, e.family(), core.Params{M: m, Seed: e.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &eval.Runner{
+			MethodName: method, ConfigDesc: config,
+			IndexBytes: ix.Bytes(), IndexTime: ix.BuildTime(),
+			SearchFunc: func(q []float32, k int) []pqueue.Neighbor { return ix.Search(q, k, lam) },
+		}, nil
+	case "MP-LCCS-LSH":
+		var m, probes, lam int
+		if _, err := fmt.Sscanf(config, "m=%d probes=%d λ=%d", &m, &probes, &lam); err != nil {
+			return nil, fmt.Errorf("experiments: bad MP-LCCS config %q: %w", config, err)
+		}
+		ix, err := core.BuildMP(e.DS.Data, e.family(), core.MPParams{
+			Params: core.Params{M: m, Seed: e.Seed}, Probes: probes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &eval.Runner{
+			MethodName: method, ConfigDesc: config,
+			IndexBytes: ix.Bytes(), IndexTime: ix.BuildTime(),
+			SearchFunc: func(q []float32, k int) []pqueue.Neighbor { return ix.Search(q, k, lam) },
+		}, nil
+	case "E2LSH":
+		var kk, ll int
+		if _, err := fmt.Sscanf(config, "K=%d L=%d", &kk, &ll); err != nil {
+			return nil, fmt.Errorf("experiments: bad E2LSH config %q: %w", config, err)
+		}
+		ix, err := e2lsh.Build(e.DS.Data, e.family(), e2lsh.Params{K: kk, L: ll, Seed: e.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &eval.Runner{
+			MethodName: method, ConfigDesc: config,
+			IndexBytes: ix.Bytes(), IndexTime: ix.BuildTime(),
+			SearchFunc: ix.Search,
+		}, nil
+	case "Multi-Probe LSH":
+		var kk, ll, probes int
+		if _, err := fmt.Sscanf(config, "K=%d L=%d T=%d", &kk, &ll, &probes); err != nil {
+			return nil, fmt.Errorf("experiments: bad MPLSH config %q: %w", config, err)
+		}
+		ix, err := mplsh.Build(e.DS.Data, e.family(), mplsh.Params{K: kk, L: ll, Probes: probes, Seed: e.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &eval.Runner{
+			MethodName: method, ConfigDesc: config,
+			IndexBytes: ix.Bytes(), IndexTime: ix.BuildTime(),
+			SearchFunc: ix.Search,
+		}, nil
+	case "FALCONN":
+		var kk, ll, probes int
+		if _, err := fmt.Sscanf(config, "K=%d L=%d T=%d", &kk, &ll, &probes); err != nil {
+			return nil, fmt.Errorf("experiments: bad FALCONN config %q: %w", config, err)
+		}
+		ix, err := falconn.Build(e.DS.Data, e.family(), falconn.Params{K: kk, L: ll, Probes: probes, Seed: e.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &eval.Runner{
+			MethodName: method, ConfigDesc: config,
+			IndexBytes: ix.Bytes(), IndexTime: ix.BuildTime(),
+			SearchFunc: ix.Search,
+		}, nil
+	case "C2LSH":
+		var m, thr, budget int
+		if _, err := fmt.Sscanf(config, "m=%d l=%d B=%d", &m, &thr, &budget); err != nil {
+			return nil, fmt.Errorf("experiments: bad C2LSH config %q: %w", config, err)
+		}
+		ix, err := c2lsh.Build(e.DS.Data, e.family(), c2lsh.Params{M: m, Threshold: thr, Budget: budget, Seed: e.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &eval.Runner{
+			MethodName: method, ConfigDesc: config,
+			IndexBytes: ix.Bytes(), IndexTime: ix.BuildTime(),
+			SearchFunc: ix.Search,
+		}, nil
+	case "QALSH":
+		var m, thr, budget int
+		if _, err := fmt.Sscanf(config, "m=%d l=%d B=%d", &m, &thr, &budget); err != nil {
+			return nil, fmt.Errorf("experiments: bad QALSH config %q: %w", config, err)
+		}
+		ix, err := qalsh.Build(e.DS.Data, e.DS.Dim, qalsh.Params{
+			M: m, Threshold: thr, W: e.tunedW(), Budget: budget, Seed: e.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &eval.Runner{
+			MethodName: method, ConfigDesc: config,
+			IndexBytes: ix.Bytes(), IndexTime: ix.BuildTime(),
+			SearchFunc: ix.Search,
+		}, nil
+	case "SRS":
+		var dp, budget int
+		if _, err := fmt.Sscanf(config, "d'=%d B=%d", &dp, &budget); err != nil {
+			return nil, fmt.Errorf("experiments: bad SRS config %q: %w", config, err)
+		}
+		ix, err := srs.Build(e.DS.Data, e.DS.Dim, srs.Params{ProjDim: dp, Budget: budget, Seed: e.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return &eval.Runner{
+			MethodName: method, ConfigDesc: config,
+			IndexBytes: ix.Bytes(), IndexTime: ix.BuildTime(),
+			SearchFunc: ix.Search,
+		}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown method %q", method)
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lccs/internal/dataset"
+	"lccs/internal/stats"
+	"lccs/internal/vec"
+)
+
+// Table1 regenerates Table 1: the space and time complexities of E2LSH,
+// C2LSH, and LCCS-LSH under the three canonical settings of α. The table
+// is analytic; to ground it, the harness also prints the concrete ρ, m,
+// and λ values Theorem 5.1 yields for a representative dataset profile.
+func Table1(opt Options) error {
+	opt.fill()
+	w := opt.Out
+	fmt.Fprintln(w, "# Table 1: space and time complexities (ρ = ln(1/p1)/ln(1/p2))")
+	fmt.Fprintln(w, "method     α        m         λ      space         indexing time              query time")
+	fmt.Fprintln(w, "E2LSH      -        -         -      O(n^(1+ρ))    O(n^(1+ρ) η(d) log n)      O(n^ρ (η(d) log n + d))")
+	fmt.Fprintln(w, "C2LSH      -        -         -      O(n log n)    O(n log n (η(d)+log n))    O(n log n)")
+	fmt.Fprintln(w, "LCCS-LSH   0        O(1)      O(n)   O(n)          O(n (η(d)+log n))          O(nd)")
+	fmt.Fprintln(w, "LCCS-LSH   1        O(n^ρ)    O(n^ρ) O(n^(1+ρ))    O(n^(1+ρ) (η(d)+log n))    O(n^ρ (η(d)+d+log n))")
+	fmt.Fprintln(w, "LCCS-LSH   1/(1-ρ)  O(n^(ρ/(1-ρ)))  O(1)  O(n^(1/(1-ρ)))  O(n^(1/(1-ρ)) (η(d)+log n))  O(n^(ρ/(1-ρ)) (η(d)+log n) + d)")
+	fmt.Fprintln(w)
+
+	// Ground the symbols with a measured profile of the first requested
+	// dataset: p1/p2 from the family's analytic collision probability at
+	// the near/far distances, then ρ and Theorem 5.1's λ.
+	name := opt.Datasets[0]
+	e, err := NewEnv(name, vec.Euclidean, opt)
+	if err != nil {
+		return err
+	}
+	prof := e.DS.Profile(e.Metric, 10)
+	fam := e.family()
+	p1 := fam.CollisionProb(prof.NearMedian)
+	p2 := fam.CollisionProb(prof.FarMedian)
+	if p1 <= p2 || p2 <= 0 {
+		fmt.Fprintf(w, "%s: degenerate profile (p1=%.3f p2=%.3f); λ grounding skipped\n", name, p1, p2)
+		return nil
+	}
+	rho := stats.Rho(p1, p2)
+	n := len(e.DS.Data)
+	fmt.Fprintf(w, "grounding on %s analogue: n=%d, near=%.3g, far=%.3g, p1=%.3f, p2=%.3f, ρ=%.3f\n",
+		name, n, prof.NearMedian, prof.FarMedian, p1, p2, rho)
+	for _, m := range []int{16, 64, 256} {
+		lam := stats.TheoremLambda(m, n, p1, p2)
+		fmt.Fprintf(w, "  m=%-4d → Theorem 5.1 λ=%d\n", m, lam)
+	}
+	return nil
+}
+
+// Table2 regenerates Table 2: the statistics of the (synthetic analogues
+// of the) five datasets.
+func Table2(opt Options) error {
+	opt.fill()
+	w := opt.Out
+	fmt.Fprintln(w, "# Table 2: statistics of datasets and queries (synthetic analogues)")
+	fmt.Fprintf(w, "%-8s %10s %9s %6s %12s %-6s\n", "Dataset", "#Objects", "#Queries", "d", "Data Size", "Type")
+	for _, name := range opt.Datasets {
+		spec, err := dataset.Preset(name, opt.N, opt.NQ, opt.Seed)
+		if err != nil {
+			return err
+		}
+		ds, err := dataset.Generate(spec)
+		if err != nil {
+			return err
+		}
+		st := ds.TableStats()
+		fmt.Fprintf(w, "%-8s %10d %9d %6d %9.1f MB %-6s\n",
+			st.Name, st.Objects, st.Queries, st.Dim, float64(st.SizeBytes)/(1<<20), st.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package hstring
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestShift(t *testing.T) {
+	s := []int32{1, 2, 3, 4, 5}
+	cases := []struct {
+		i    int
+		want []int32
+	}{
+		{0, []int32{1, 2, 3, 4, 5}},
+		{1, []int32{2, 3, 4, 5, 1}},
+		{2, []int32{3, 4, 5, 1, 2}},
+		{4, []int32{5, 1, 2, 3, 4}},
+		{5, []int32{1, 2, 3, 4, 5}},
+		{7, []int32{3, 4, 5, 1, 2}},
+	}
+	for _, c := range cases {
+		got := Shift(s, c.i)
+		if !equal(got, c.want) {
+			t.Errorf("Shift(%v, %d) = %v, want %v", s, c.i, got, c.want)
+		}
+	}
+	if Shift(nil, 3) != nil {
+		t.Errorf("Shift(nil) should be nil")
+	}
+}
+
+func TestLCP(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want int
+	}{
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 3},
+		{[]int32{1, 2, 3}, []int32{1, 2, 4}, 2},
+		{[]int32{1, 2, 3}, []int32{2, 2, 3}, 0},
+		{[]int32{1, 2}, []int32{1, 2, 3}, 2},
+		{nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := LCP(c.a, c.b); got != c.want {
+			t.Errorf("LCP(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCircularLCPAgainstMaterialized(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + r.IntN(12)
+		a := randString(r, m, 3)
+		b := randString(r, m, 3)
+		for s := 0; s < m; s++ {
+			want := LCP(Shift(a, s), Shift(b, s))
+			if got := CircularLCP(a, b, s); got != want {
+				t.Fatalf("CircularLCP(%v, %v, %d) = %d, want %d", a, b, s, got, want)
+			}
+		}
+	}
+}
+
+func TestCompareCircularAgainstMaterialized(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + r.IntN(10)
+		a := randString(r, m, 3)
+		b := randString(r, m, 3)
+		for sa := 0; sa < m; sa++ {
+			for sb := 0; sb < m; sb++ {
+				want := lexCompare(Shift(a, sa), Shift(b, sb))
+				if got := CompareCircular(a, sa, b, sb); got != want {
+					t.Fatalf("CompareCircular(%v,%d,%v,%d) = %d, want %d", a, sa, b, sb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLCCSPaperExample checks the running example of Figure 1(c): the hash
+// strings of o1, o2, o3 against q have LCCS lengths 5, 3, and 2.
+func TestLCCSPaperExample(t *testing.T) {
+	q := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	o1 := []int32{1, 2, 4, 5, 6, 6, 7, 8}
+	o2 := []int32{5, 2, 2, 4, 3, 6, 7, 8}
+	o3 := []int32{3, 1, 3, 5, 5, 6, 4, 9}
+	if got := LCCS(o1, q); got != 5 {
+		t.Errorf("LCCS(o1, q) = %d, want 5", got)
+	}
+	if got := LCCS(o2, q); got != 3 {
+		t.Errorf("LCCS(o2, q) = %d, want 3", got)
+	}
+	if got := LCCS(o3, q); got != 2 {
+		t.Errorf("LCCS(o3, q) = %d, want 2", got)
+	}
+}
+
+// TestLCCSDefinitionExample checks Example 3.1: T=[1,2,3,4,1,5] and
+// Q=[1,1,2,3,4,5]. The only matching positions are 1 and 6 (1-based),
+// which are circularly adjacent: [5,1] wraps, so |LCCS| = 2.
+func TestLCCSDefinitionExample(t *testing.T) {
+	T := []int32{1, 2, 3, 4, 1, 5}
+	Q := []int32{1, 1, 2, 3, 4, 5}
+	if got := LCCS(T, Q); got != 2 {
+		t.Errorf("LCCS = %d, want 2", got)
+	}
+}
+
+// TestLCCSFact31 validates Fact 3.1: LCCS(T,Q) equals the maximum over all
+// shifts i of LCP(shift(T,i), shift(Q,i)).
+func TestLCCSFact31(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed uint64, mRaw uint8) bool {
+		m := 1 + int(mRaw%16)
+		r := rand.New(rand.NewPCG(seed, seed+1))
+		a := randString(r, m, 3)
+		b := randString(r, m, 3)
+		best := 0
+		for i := 0; i < m; i++ {
+			if l := LCP(Shift(a, i), Shift(b, i)); l > best {
+				best = l
+			}
+		}
+		return LCCS(a, b) == best
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCCSIdenticalAndDisjoint(t *testing.T) {
+	a := []int32{7, 7, 7, 7}
+	if got := LCCS(a, a); got != 4 {
+		t.Errorf("LCCS(a,a) = %d, want 4 (capped at m)", got)
+	}
+	b := []int32{1, 2, 3, 4}
+	c := []int32{5, 6, 7, 8}
+	if got := LCCS(b, c); got != 0 {
+		t.Errorf("LCCS disjoint = %d, want 0", got)
+	}
+}
+
+func TestLCCSWrapAround(t *testing.T) {
+	// Matches at positions 3,0,1 (0-based) form a circular run of 3.
+	a := []int32{1, 2, 9, 4}
+	b := []int32{1, 2, 8, 4}
+	if got := LCCS(a, b); got != 3 {
+		t.Errorf("LCCS = %d, want 3", got)
+	}
+}
+
+func TestLCCSAtMatchesRuns(t *testing.T) {
+	a := []int32{1, 2, 9, 4}
+	b := []int32{1, 2, 8, 4}
+	wants := []int{2, 1, 0, 3}
+	for s, want := range wants {
+		if got := LCCSAt(a, b, s); got != want {
+			t.Errorf("LCCSAt(s=%d) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestLCCSSymmetry(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		m := 1 + int(mRaw%16)
+		r := rand.New(rand.NewPCG(seed, seed*3+7))
+		a := randString(r, m, 4)
+		b := randString(r, m, 4)
+		return LCCS(a, b) == LCCS(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LCCS([]int32{1}, []int32{1, 2})
+}
+
+func randString(r *rand.Rand, m int, alphabet int32) []int32 {
+	s := make([]int32, m)
+	for i := range s {
+		s[i] = r.Int32N(alphabet)
+	}
+	return s
+}
+
+func lexCompare(a, b []int32) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

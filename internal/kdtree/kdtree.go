@@ -1,0 +1,193 @@
+// Package kdtree implements a k-d tree with incremental (best-first)
+// nearest-neighbor traversal. It is the exact index SRS uses in the
+// low-dimensional projected space (the paper's SRS baseline uses a
+// cover-tree/R-tree; a k-d tree provides the same incremental-kNN service
+// for the dimensionalities SRS projects to, d' ∈ [4, 10]).
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"lccs/internal/pqueue"
+	"lccs/internal/vec"
+)
+
+const defaultLeafSize = 16
+
+// Tree is an immutable k-d tree over a point set.
+type Tree struct {
+	points [][]float32
+	ids    []int32 // permutation of point indices, grouped by leaf
+	nodes  []node
+	dim    int
+}
+
+// node is one tree node. Leaves hold a contiguous id range; internal
+// nodes split on one dimension. Every node stores its bounding box for
+// best-first lower bounds.
+type node struct {
+	lo, hi       int32 // id range (leaves); children indices (internal)
+	leaf         bool
+	boxLo, boxHi []float32
+}
+
+// Build constructs a k-d tree. leafSize ≤ 0 selects the default.
+func Build(points [][]float32, leafSize int) *Tree {
+	if len(points) == 0 {
+		panic("kdtree: no points")
+	}
+	if leafSize <= 0 {
+		leafSize = defaultLeafSize
+	}
+	t := &Tree{points: points, dim: len(points[0])}
+	t.ids = make([]int32, len(points))
+	for i := range t.ids {
+		t.ids[i] = int32(i)
+	}
+	t.build(0, len(points), leafSize)
+	return t
+}
+
+// build recursively partitions ids[lo:hi] and returns the node index.
+func (t *Tree) build(lo, hi, leafSize int) int32 {
+	boxLo := make([]float32, t.dim)
+	boxHi := make([]float32, t.dim)
+	for d := 0; d < t.dim; d++ {
+		boxLo[d], boxHi[d] = t.points[t.ids[lo]][d], t.points[t.ids[lo]][d]
+	}
+	for i := lo + 1; i < hi; i++ {
+		p := t.points[t.ids[i]]
+		for d := 0; d < t.dim; d++ {
+			if p[d] < boxLo[d] {
+				boxLo[d] = p[d]
+			}
+			if p[d] > boxHi[d] {
+				boxHi[d] = p[d]
+			}
+		}
+	}
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{boxLo: boxLo, boxHi: boxHi})
+	if hi-lo <= leafSize {
+		t.nodes[idx].leaf = true
+		t.nodes[idx].lo, t.nodes[idx].hi = int32(lo), int32(hi)
+		return idx
+	}
+	// Split on the widest dimension at the median.
+	split := 0
+	width := float32(-1)
+	for d := 0; d < t.dim; d++ {
+		if w := boxHi[d] - boxLo[d]; w > width {
+			width = w
+			split = d
+		}
+	}
+	sub := t.ids[lo:hi]
+	mid := len(sub) / 2
+	sort.Slice(sub, func(a, b int) bool {
+		return t.points[sub[a]][split] < t.points[sub[b]][split]
+	})
+	left := t.build(lo, lo+mid, leafSize)
+	right := t.build(lo+mid, hi, leafSize)
+	t.nodes[idx].lo, t.nodes[idx].hi = left, right
+	return idx
+}
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.points) }
+
+// Bytes approximates the memory footprint of the tree structure
+// (excluding the point data).
+func (t *Tree) Bytes() int64 {
+	return int64(len(t.ids))*4 + int64(len(t.nodes))*int64(16+8*t.dim)
+}
+
+// minDistToBox returns the squared distance from q to node nd's bounding
+// box (0 if q is inside).
+func (t *Tree) minDistToBox(q []float32, nd *node) float64 {
+	var s float64
+	for d := 0; d < t.dim; d++ {
+		v := q[d]
+		if v < nd.boxLo[d] {
+			diff := float64(nd.boxLo[d] - v)
+			s += diff * diff
+		} else if v > nd.boxHi[d] {
+			diff := float64(v - nd.boxHi[d])
+			s += diff * diff
+		}
+	}
+	return s
+}
+
+// item is a traversal frontier element: a node (point = -1) or a concrete
+// point; key is squared distance.
+type item struct {
+	key   float64
+	node  int32
+	point int32
+}
+
+// Iterator yields indexed points in non-decreasing distance from a query.
+type Iterator struct {
+	t *Tree
+	q []float32
+	h *pqueue.Heap[item]
+}
+
+// NewIterator starts an incremental nearest-neighbor traversal from q.
+func (t *Tree) NewIterator(q []float32) *Iterator {
+	it := &Iterator{
+		t: t,
+		q: q,
+		h: pqueue.NewWithCapacity[item](64, func(a, b item) bool { return a.key < b.key }),
+	}
+	it.h.Push(item{key: t.minDistToBox(q, &t.nodes[0]), node: 0, point: -1})
+	return it
+}
+
+// Next returns the next point id in non-decreasing distance order, with
+// its (non-squared) Euclidean distance. ok is false when all points have
+// been yielded.
+func (it *Iterator) Next() (id int, dist float64, ok bool) {
+	t := it.t
+	for it.h.Len() > 0 {
+		e := it.h.Pop()
+		if e.point >= 0 {
+			return int(e.point), math.Sqrt(e.key), true
+		}
+		nd := &t.nodes[e.node]
+		if nd.leaf {
+			for i := nd.lo; i < nd.hi; i++ {
+				pid := t.ids[i]
+				d2 := vec.SquaredDistance(t.points[pid], it.q)
+				it.h.Push(item{key: d2, node: -1, point: pid})
+			}
+			continue
+		}
+		for _, c := range [2]int32{nd.lo, nd.hi} {
+			it.h.Push(item{key: t.minDistToBox(it.q, &t.nodes[c]), node: c, point: -1})
+		}
+	}
+	return 0, 0, false
+}
+
+// KNN returns the exact k nearest points to q in ascending distance order.
+func (t *Tree) KNN(q []float32, k int) []pqueue.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	it := t.NewIterator(q)
+	out := make([]pqueue.Neighbor, 0, k)
+	for len(out) < k {
+		id, dist, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, pqueue.Neighbor{ID: id, Dist: dist})
+	}
+	return out
+}

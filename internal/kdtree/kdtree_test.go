@@ -1,0 +1,126 @@
+package kdtree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lccs/internal/vec"
+)
+
+func randPoints(r *rand.Rand, n, d int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		p := make([]float32, d)
+		for j := range p {
+			p[j] = float32(r.NormFloat64())
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		n := 1 + r.IntN(300)
+		d := 1 + r.IntN(6)
+		k := 1 + r.IntN(12)
+		pts := randPoints(r, n, d)
+		tree := Build(pts, 1+r.IntN(20))
+		q := randPoints(r, 1, d)[0]
+		got := tree.KNN(q, k)
+		type nd struct {
+			id   int
+			dist float64
+		}
+		all := make([]nd, n)
+		for i, p := range pts {
+			all[i] = nd{i, vec.Distance(p, q)}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].dist < all[b].dist })
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := range got {
+			// Compare distances (ids may tie).
+			if diff := got[i].Dist - all[i].dist; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIteratorYieldsAllInOrder(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 3))
+	pts := randPoints(r, 200, 4)
+	tree := Build(pts, 8)
+	q := randPoints(r, 1, 4)[0]
+	it := tree.NewIterator(q)
+	var prev float64 = -1
+	seen := map[int]bool{}
+	for {
+		id, dist, ok := it.Next()
+		if !ok {
+			break
+		}
+		if dist < prev {
+			t.Fatalf("distances not non-decreasing: %v after %v", dist, prev)
+		}
+		prev = dist
+		if seen[id] {
+			t.Fatalf("id %d yielded twice", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 200 {
+		t.Fatalf("yielded %d points, want 200", len(seen))
+	}
+}
+
+func TestSinglePointAndDuplicates(t *testing.T) {
+	tree := Build([][]float32{{1, 2}}, 0)
+	got := tree.KNN([]float32{0, 0}, 3)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("single point: %+v", got)
+	}
+	dup := Build([][]float32{{1, 1}, {1, 1}, {1, 1}}, 1)
+	got = dup.KNN([]float32{1, 1}, 3)
+	if len(got) != 3 {
+		t.Fatalf("duplicates: %+v", got)
+	}
+	for _, g := range got {
+		if g.Dist != 0 {
+			t.Fatalf("duplicate at nonzero distance: %+v", g)
+		}
+	}
+}
+
+func TestAccessorsAndValidation(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewPCG(4, 5)), 50, 3)
+	tree := Build(pts, 4)
+	if tree.Dim() != 3 || tree.Len() != 50 {
+		t.Fatalf("Dim/Len = %d/%d", tree.Dim(), tree.Len())
+	}
+	if tree.Bytes() <= 0 {
+		t.Fatal("Bytes should be positive")
+	}
+	if tree.KNN(pts[0], 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty build should panic")
+		}
+	}()
+	Build(nil, 0)
+}

@@ -1,0 +1,93 @@
+package lshfamily
+
+import (
+	"math"
+
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// Hamming is the Hamming distance over vectors whose entries are treated
+// as discrete symbols (any float mismatch counts as 1). It backs the
+// bit-sampling family.
+type hammingMetric struct{}
+
+func (hammingMetric) Name() string { return "hamming" }
+func (hammingMetric) Distance(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("lshfamily: dimension mismatch")
+	}
+	var d float64
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// HammingMetric is the Hamming distance metric used by the bit-sampling
+// family.
+var HammingMetric vec.Metric = hammingMetric{}
+
+// BitSampling is the original LSH family of Indyk–Motwani for Hamming
+// distance: h_i(o) = o_i for a uniformly random coordinate i. Its
+// collision probability at Hamming distance r is 1 − r/d. Computing one
+// hash value is O(1) (η(d) = O(1) in the paper's Table 1 discussion),
+// which makes it the family where LCCS-LSH's α = 1/(1−ρ) regime shines.
+type BitSampling struct {
+	dim int
+}
+
+// NewBitSampling returns the bit-sampling family for dimension dim.
+func NewBitSampling(dim int) *BitSampling {
+	if dim <= 0 {
+		panic("lshfamily: NewBitSampling requires dim > 0")
+	}
+	return &BitSampling{dim: dim}
+}
+
+// Name implements Family.
+func (f *BitSampling) Name() string { return "bitsampling" }
+
+// Dim implements Family.
+func (f *BitSampling) Dim() int { return f.dim }
+
+// Metric implements Family: Hamming distance.
+func (f *BitSampling) Metric() vec.Metric { return HammingMetric }
+
+// CollisionProb implements Family: p(r) = 1 − r/d, clamped at 0.
+func (f *BitSampling) CollisionProb(r float64) float64 {
+	p := 1 - r/float64(f.dim)
+	return math.Max(p, 0)
+}
+
+// New implements Family.
+func (f *BitSampling) New(g *rng.RNG) Func {
+	return bsFunc{idx: g.IntN(f.dim)}
+}
+
+type bsFunc struct {
+	idx int
+}
+
+// Hash implements Func: the sampled coordinate, rounded to its integer
+// symbol.
+func (h bsFunc) Hash(v []float32) int32 {
+	return int32(v[h.idx])
+}
+
+// Memory implements Memorier.
+func (h bsFunc) Memory() int64 { return 8 }
+
+// Alternatives implements ProbeFunc for binary data: the flipped bit with
+// a constant score (every coordinate is equally plausible under bit
+// sampling).
+func (h bsFunc) Alternatives(v []float32, max int, dst []Alternative) []Alternative {
+	dst = dst[:0]
+	if max < 1 {
+		return dst
+	}
+	cur := int32(v[h.idx])
+	return append(dst, Alternative{Value: 1 - cur, Score: 1})
+}

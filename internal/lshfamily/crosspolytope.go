@@ -1,0 +1,218 @@
+package lshfamily
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"lccs/internal/rng"
+	"lccs/internal/stats"
+	"lccs/internal/vec"
+)
+
+// CrossPolytope is the cross-polytope LSH family for Angular distance
+// (Terasawa & Tanaka; Andoni et al., Eq. 3 of the paper): rotate the input
+// pseudo-randomly and hash to the nearest vertex ±e_i of the cross
+// polytope, i.e. the coordinate with the largest absolute value after
+// rotation, signed.
+//
+// Instead of a dense Gaussian rotation (O(d²) per hash), each function
+// applies three rounds of "random sign flips + fast Walsh–Hadamard
+// transform" in a power-of-two dimension D ≥ d — the FALCONN construction,
+// which approximates a uniform rotation at O(D log D) cost and is what the
+// paper's FALCONN baseline uses in practice.
+//
+// Hash values encode vertex +e_i as i+1 and −e_i as −(i+1), so the symbol
+// alphabet is {±1, ..., ±D}.
+type CrossPolytope struct {
+	dim    int
+	padded int
+}
+
+// NewCrossPolytope returns the family for input dimension dim.
+func NewCrossPolytope(dim int) *CrossPolytope {
+	if dim <= 0 {
+		panic("lshfamily: NewCrossPolytope requires dim > 0")
+	}
+	p := 1
+	for p < dim {
+		p <<= 1
+	}
+	return &CrossPolytope{dim: dim, padded: p}
+}
+
+// Name implements Family.
+func (f *CrossPolytope) Name() string { return "crosspolytope" }
+
+// Dim implements Family.
+func (f *CrossPolytope) Dim() int { return f.dim }
+
+// PaddedDim returns the power-of-two rotation dimension D.
+func (f *CrossPolytope) PaddedDim() int { return f.padded }
+
+// Metric implements Family: Angular distance.
+func (f *CrossPolytope) Metric() vec.Metric { return vec.Angular }
+
+// CollisionProb implements Family using Eq. 4 of the paper. The angular
+// distance θ is converted to the chordal (Euclidean-on-sphere) distance
+// τ = 2·sin(θ/2) that Eq. 4 is stated in.
+func (f *CrossPolytope) CollisionProb(theta float64) float64 {
+	tau := 2 * math.Sin(theta/2)
+	return stats.CrossPolytopeCollisionProb(f.padded, tau)
+}
+
+// New implements Family.
+func (h *CrossPolytope) New(g *rng.RNG) Func {
+	f := &cpFunc{d: h.dim, D: h.padded}
+	f.signs = make([][]float32, 3)
+	for r := range f.signs {
+		s := make([]float32, h.padded)
+		for i := range s {
+			if g.Float64() < 0.5 {
+				s[i] = 1
+			} else {
+				s[i] = -1
+			}
+		}
+		f.signs[r] = s
+	}
+	f.pool.New = func() any {
+		buf := make([]float32, h.padded)
+		return &buf
+	}
+	return f
+}
+
+type cpFunc struct {
+	d, D  int
+	signs [][]float32
+	pool  sync.Pool
+}
+
+// rotate applies the pseudo-random rotation into a pooled buffer. The
+// caller must return the buffer to the pool.
+func (h *cpFunc) rotate(v []float32) *[]float32 {
+	bufp := h.pool.Get().(*[]float32)
+	buf := *bufp
+	copy(buf, v)
+	for i := len(v); i < h.D; i++ {
+		buf[i] = 0
+	}
+	for _, s := range h.signs {
+		for i := range buf {
+			buf[i] *= s[i]
+		}
+		fwht(buf)
+	}
+	return bufp
+}
+
+// Hash implements Func: the signed index of the largest-magnitude rotated
+// coordinate.
+func (h *cpFunc) Hash(v []float32) int32 {
+	bufp := h.rotate(v)
+	buf := *bufp
+	best := 0
+	bestAbs := float32(math.Inf(-1))
+	for i, x := range buf {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a > bestAbs {
+			bestAbs = a
+			best = i
+		}
+	}
+	var out int32
+	if buf[best] >= 0 {
+		out = int32(best + 1)
+	} else {
+		out = -int32(best + 1)
+	}
+	h.pool.Put(bufp)
+	return out
+}
+
+// Memory implements Memorier: three sign diagonals of the padded
+// dimension.
+func (h *cpFunc) Memory() int64 { return int64(3*h.D)*4 + 16 }
+
+// Alternatives implements ProbeFunc. Candidate vertices are ranked by
+// their squared Euclidean distance to the rotated, normalized query on the
+// sphere: vertex s·e_i has distance² = 2 − 2·s·ŷ_i, the FALCONN probing
+// score. The primary vertex (rank 0) is excluded.
+func (h *cpFunc) Alternatives(v []float32, max int, dst []Alternative) []Alternative {
+	dst = dst[:0]
+	bufp := h.rotate(v)
+	buf := *bufp
+	norm := 0.0
+	for _, x := range buf {
+		norm += float64(x) * float64(x)
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		h.pool.Put(bufp)
+		return dst
+	}
+	// Rank coordinates by |y_i| descending; the best few coordinates
+	// dominate both signs' scores, so examining the top (max+1)
+	// coordinates and both signs of each is sufficient to produce the
+	// max best alternatives.
+	type coord struct {
+		idx int
+		val float64
+	}
+	limit := max + 1
+	if limit > h.D {
+		limit = h.D
+	}
+	top := make([]coord, 0, limit+1)
+	for i, x := range buf {
+		a := math.Abs(float64(x))
+		if len(top) < limit || a > top[len(top)-1].val {
+			top = append(top, coord{i, a})
+			for j := len(top) - 1; j > 0 && top[j].val > top[j-1].val; j-- {
+				top[j], top[j-1] = top[j-1], top[j]
+			}
+			if len(top) > limit {
+				top = top[:limit]
+			}
+		}
+	}
+	cands := make([]Alternative, 0, 2*len(top))
+	for _, c := range top {
+		y := float64(buf[c.idx]) / norm
+		cands = append(cands,
+			Alternative{Value: int32(c.idx + 1), Score: 2 - 2*y},
+			Alternative{Value: -int32(c.idx + 1), Score: 2 + 2*y},
+		)
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].Score < cands[b].Score })
+	// Drop the primary vertex (smallest score) and keep up to max.
+	cands = cands[1:]
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	dst = append(dst, cands...)
+	h.pool.Put(bufp)
+	return dst
+}
+
+// fwht applies the in-place fast Walsh–Hadamard transform, scaled by
+// 1/√D so the transform is orthonormal. len(buf) must be a power of two.
+func fwht(buf []float32) {
+	n := len(buf)
+	for step := 1; step < n; step <<= 1 {
+		for i := 0; i < n; i += step << 1 {
+			for j := i; j < i+step; j++ {
+				a, b := buf[j], buf[j+step]
+				buf[j], buf[j+step] = a+b, a-b
+			}
+		}
+	}
+	scale := float32(1 / math.Sqrt(float64(n)))
+	for i := range buf {
+		buf[i] *= scale
+	}
+}

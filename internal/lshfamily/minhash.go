@@ -1,0 +1,124 @@
+package lshfamily
+
+import (
+	"math"
+
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// jaccardMetric is the Jaccard distance 1 − |A∩B|/|A∪B| over sets encoded
+// as binary indicator vectors (coordinate j nonzero ⇔ j ∈ set). Two empty
+// sets are at distance 0.
+type jaccardMetric struct{}
+
+func (jaccardMetric) Name() string { return "jaccard" }
+func (jaccardMetric) Distance(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("lshfamily: dimension mismatch")
+	}
+	var inter, union float64
+	for i := range a {
+		x, y := a[i] != 0, b[i] != 0
+		if x && y {
+			inter++
+		}
+		if x || y {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - inter/union
+}
+
+// JaccardMetric is the Jaccard distance used by the MinHash family.
+var JaccardMetric vec.Metric = jaccardMetric{}
+
+// MinHash is the min-wise independent permutation family of Broder for
+// Jaccard similarity over sets: h_π(A) = argmin_{j ∈ A} π(j) for a random
+// permutation π. Its collision probability equals the Jaccard similarity,
+// so it is (r, cr, 1−r, 1−cr)-sensitive for Jaccard distance — the classic
+// example of a non-geometric LSH family, included to exercise the LCCS
+// framework's family independence beyond vector-space metrics.
+type MinHash struct {
+	dim int
+}
+
+// NewMinHash returns the MinHash family over a universe of dim elements.
+func NewMinHash(dim int) *MinHash {
+	if dim <= 0 {
+		panic("lshfamily: NewMinHash requires dim > 0")
+	}
+	return &MinHash{dim: dim}
+}
+
+// Name implements Family.
+func (f *MinHash) Name() string { return "minhash" }
+
+// Dim implements Family.
+func (f *MinHash) Dim() int { return f.dim }
+
+// Metric implements Family: Jaccard distance.
+func (f *MinHash) Metric() vec.Metric { return JaccardMetric }
+
+// CollisionProb implements Family: p(dist) = 1 − dist (similarity).
+func (f *MinHash) CollisionProb(dist float64) float64 {
+	return math.Max(0, math.Min(1, 1-dist))
+}
+
+// New implements Family.
+func (f *MinHash) New(g *rng.RNG) Func {
+	ranks := make([]int32, f.dim)
+	for i, p := range g.Perm(f.dim) {
+		ranks[i] = int32(p)
+	}
+	return mhFunc{ranks: ranks}
+}
+
+type mhFunc struct {
+	ranks []int32
+}
+
+// Hash implements Func: the minimum permuted rank over the set's members.
+// The empty set hashes to dim (a value no member can produce).
+func (h mhFunc) Hash(v []float32) int32 {
+	min := int32(len(h.ranks))
+	for i, x := range v {
+		if x != 0 && h.ranks[i] < min {
+			min = h.ranks[i]
+		}
+	}
+	return min
+}
+
+// Memory implements Memorier.
+func (h mhFunc) Memory() int64 { return int64(len(h.ranks)) * 4 }
+
+// Alternatives implements ProbeFunc: the second-smallest rank among the
+// set's members — the hash value obtained if the minimum element were
+// absent — scored by the rank gap (a small gap means the two values are
+// nearly interchangeable under permutation noise).
+func (h mhFunc) Alternatives(v []float32, max int, dst []Alternative) []Alternative {
+	dst = dst[:0]
+	if max < 1 {
+		return dst
+	}
+	first, second := int32(len(h.ranks)), int32(len(h.ranks))
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		r := h.ranks[i]
+		if r < first {
+			first, second = r, first
+		} else if r < second {
+			second = r
+		}
+	}
+	if second >= int32(len(h.ranks)) {
+		return dst
+	}
+	return append(dst, Alternative{Value: second, Score: float64(second - first)})
+}

@@ -1,0 +1,176 @@
+package lshfamily
+
+import (
+	"math"
+	"testing"
+
+	"lccs/internal/rng"
+)
+
+func makeSet(g *rng.RNG, d, size int) []float32 {
+	v := make([]float32, d)
+	for _, i := range g.Perm(d)[:size] {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestJaccardMetric(t *testing.T) {
+	a := []float32{1, 1, 0, 0}
+	b := []float32{1, 0, 1, 0}
+	// |A∩B| = 1, |A∪B| = 3 → distance 2/3.
+	if got := JaccardMetric.Distance(a, b); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("distance = %v", got)
+	}
+	if got := JaccardMetric.Distance(a, a); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	empty := []float32{0, 0, 0, 0}
+	if got := JaccardMetric.Distance(empty, empty); got != 0 {
+		t.Errorf("empty-empty distance = %v", got)
+	}
+	if got := JaccardMetric.Distance(a, empty); got != 1 {
+		t.Errorf("nonempty-empty distance = %v", got)
+	}
+}
+
+// TestMinHashCollisionEqualsSimilarity is the family's defining property:
+// Pr[h(A) = h(B)] = J(A,B).
+func TestMinHashCollisionEqualsSimilarity(t *testing.T) {
+	d := 200
+	fam := NewMinHash(d)
+	g := rng.New(61)
+	// Construct two sets with known overlap: 30 shared, 15+15 unique →
+	// J = 30/60 = 0.5.
+	a := make([]float32, d)
+	b := make([]float32, d)
+	perm := g.Perm(d)
+	for _, i := range perm[:30] {
+		a[i], b[i] = 1, 1
+	}
+	for _, i := range perm[30:45] {
+		a[i] = 1
+	}
+	for _, i := range perm[45:60] {
+		b[i] = 1
+	}
+	dist := JaccardMetric.Distance(a, b)
+	if math.Abs(dist-0.5) > 1e-12 {
+		t.Fatalf("constructed distance %v, want 0.5", dist)
+	}
+	trials := 6000
+	coll := 0
+	for i := 0; i < trials; i++ {
+		h := fam.New(g)
+		if h.Hash(a) == h.Hash(b) {
+			coll++
+		}
+	}
+	emp := float64(coll) / float64(trials)
+	want := fam.CollisionProb(dist)
+	if math.Abs(emp-want) > 0.025 {
+		t.Fatalf("empirical %v vs analytic %v", emp, want)
+	}
+}
+
+func TestMinHashEmptySet(t *testing.T) {
+	d := 16
+	fam := NewMinHash(d)
+	g := rng.New(62)
+	h := fam.New(g)
+	empty := make([]float32, d)
+	if got := h.Hash(empty); got != int32(d) {
+		t.Fatalf("empty set hash %d, want sentinel %d", got, d)
+	}
+	if alts := h.(mhFunc).Alternatives(empty, 3, nil); len(alts) != 0 {
+		t.Fatal("empty set should have no alternatives")
+	}
+	single := make([]float32, d)
+	single[5] = 1
+	if alts := h.(mhFunc).Alternatives(single, 3, nil); len(alts) != 0 {
+		t.Fatal("singleton set has no second-smallest rank")
+	}
+}
+
+func TestMinHashAlternatives(t *testing.T) {
+	d := 32
+	fam := NewMinHash(d)
+	g := rng.New(63)
+	h := fam.New(g).(mhFunc)
+	set := makeSet(g, d, 10)
+	primary := h.Hash(set)
+	alts := h.Alternatives(set, 4, nil)
+	if len(alts) != 1 {
+		t.Fatalf("got %d alternatives", len(alts))
+	}
+	if alts[0].Value == primary {
+		t.Fatal("alternative equals primary")
+	}
+	if alts[0].Value < primary {
+		t.Fatal("alternative rank must exceed the minimum")
+	}
+	if alts[0].Score != float64(alts[0].Value-primary) {
+		t.Fatalf("score %v inconsistent", alts[0].Score)
+	}
+}
+
+func TestMinHashMetadata(t *testing.T) {
+	fam := NewMinHash(8)
+	if fam.Name() != "minhash" || fam.Dim() != 8 || fam.Metric().Name() != "jaccard" {
+		t.Fatal("metadata wrong")
+	}
+	if fam.CollisionProb(0.3) != 0.7 || fam.CollisionProb(2) != 0 || fam.CollisionProb(-1) != 1 {
+		t.Fatal("collision prob wrong")
+	}
+	g := rng.New(64)
+	if m, ok := fam.New(g).(Memorier); !ok || m.Memory() != 32 {
+		t.Fatal("memory accounting wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewMinHash(0)
+}
+
+// TestMinHashEndToEndWithLCCS: the family slots into the framework — the
+// nearest set by Jaccard distance is retrieved. (Uses the family directly
+// with hash strings rather than the core scheme to keep the package
+// dependency-free.)
+func TestMinHashHashStringsSeparate(t *testing.T) {
+	d := 100
+	fam := NewMinHash(d)
+	g := rng.New(65)
+	base := makeSet(g, d, 20)
+	near := append([]float32(nil), base...)
+	// Flip 2 members: high similarity.
+	near[firstActive(base)] = 0
+	far := makeSet(g, d, 20)
+
+	funcs := NewFuncs(fam, 64, g)
+	hBase := HashString(funcs, base, nil)
+	hNear := HashString(funcs, near, nil)
+	hFar := HashString(funcs, far, nil)
+	agreeNear, agreeFar := 0, 0
+	for i := range hBase {
+		if hBase[i] == hNear[i] {
+			agreeNear++
+		}
+		if hBase[i] == hFar[i] {
+			agreeFar++
+		}
+	}
+	if agreeNear <= agreeFar {
+		t.Fatalf("near set agrees on %d positions, far on %d", agreeNear, agreeFar)
+	}
+}
+
+func firstActive(v []float32) int {
+	for i, x := range v {
+		if x != 0 {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package lshfamily
+
+import (
+	"math"
+
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// SimHash is the hyperplane LSH family for Angular distance (Charikar):
+// h_a(o) = sign(a·o) with a ~ N(0, I_d). Its collision probability is
+// 1 − θ/π. The cross-polytope family dominates it asymptotically (§2.2),
+// but it remains a useful cheap family and exercises the framework's
+// family-independence.
+type SimHash struct {
+	dim int
+}
+
+// NewSimHash returns the hyperplane family for dimension dim.
+func NewSimHash(dim int) *SimHash {
+	if dim <= 0 {
+		panic("lshfamily: NewSimHash requires dim > 0")
+	}
+	return &SimHash{dim: dim}
+}
+
+// Name implements Family.
+func (f *SimHash) Name() string { return "simhash" }
+
+// Dim implements Family.
+func (f *SimHash) Dim() int { return f.dim }
+
+// Metric implements Family: Angular distance.
+func (f *SimHash) Metric() vec.Metric { return vec.Angular }
+
+// CollisionProb implements Family: p(θ) = 1 − θ/π.
+func (f *SimHash) CollisionProb(theta float64) float64 {
+	p := 1 - theta/math.Pi
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// New implements Family.
+func (f *SimHash) New(g *rng.RNG) Func {
+	return &shFunc{a: g.GaussianVector(f.dim)}
+}
+
+type shFunc struct {
+	a []float32
+}
+
+// Hash implements Func: 1 if a·v ≥ 0, else 0.
+func (h *shFunc) Hash(v []float32) int32 {
+	if vec.Dot(h.a, v) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Memory implements Memorier.
+func (h *shFunc) Memory() int64 { return int64(len(h.a)) * 4 }
+
+// Alternatives implements ProbeFunc: the only alternative is the flipped
+// bit, scored by the squared margin |a·v|² — positions where the query
+// hugs the hyperplane flip first.
+func (h *shFunc) Alternatives(v []float32, max int, dst []Alternative) []Alternative {
+	dst = dst[:0]
+	if max < 1 {
+		return dst
+	}
+	d := vec.Dot(h.a, v)
+	var alt int32
+	if d >= 0 {
+		alt = 0
+	} else {
+		alt = 1
+	}
+	return append(dst, Alternative{Value: alt, Score: d * d})
+}

@@ -1,0 +1,164 @@
+// Package stats collects the probabilistic machinery of the paper: the
+// standard normal CDF, the analytic collision probabilities of the LSH
+// families (Eq. 2 and Eq. 4), the hash quality ρ, the extreme-value
+// approximation of the LCCS length distribution (Lemma 5.2), and the λ
+// candidate budget of Theorem 5.1. It also provides the small descriptive
+// statistics used by the evaluation harness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// PhiCDF is Φ(x), the CDF of the standard normal distribution.
+func PhiCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// RandomProjectionCollisionProb evaluates Eq. 2 of the paper: the
+// probability that two points at Euclidean distance tau collide under a
+// p-stable random-projection hash with bucket width w,
+//
+//	p(τ) = 1 − 2Φ(−w/τ) − (2/(√(2π) (w/τ))) (1 − e^{−(w/τ)²/2}).
+//
+// For τ → 0 the probability tends to 1; τ must be ≥ 0 and w > 0.
+func RandomProjectionCollisionProb(w, tau float64) float64 {
+	if tau <= 0 {
+		return 1
+	}
+	r := w / tau
+	p := 1 - 2*PhiCDF(-r) - 2/(math.Sqrt(2*math.Pi)*r)*(1-math.Exp(-r*r/2))
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// CrossPolytopeCollisionProb approximates the collision probability of the
+// cross-polytope LSH family on the unit sphere for two points at Euclidean
+// distance tau (0 < tau < 2) in dimension d, using Eq. 4 of the paper:
+//
+//	ln(1/p(τ)) = (τ²/(4−τ²))·ln d + O_τ(ln ln d).
+//
+// The O(ln ln d) term is dropped, which matches the asymptotic regime the
+// paper analyses. Degenerate inputs clamp to [~0, 1].
+func CrossPolytopeCollisionProb(d int, tau float64) float64 {
+	if tau <= 0 {
+		return 1
+	}
+	if tau >= 2 {
+		tau = 2 - 1e-9
+	}
+	lnInv := tau * tau / (4 - tau*tau) * math.Log(float64(d))
+	return math.Exp(-lnInv)
+}
+
+// Rho returns the hash quality ρ = ln(1/p1)/ln(1/p2) of an
+// (R, cR, p1, p2)-sensitive family. It requires 0 < p2 < p1 < 1.
+func Rho(p1, p2 float64) float64 {
+	return math.Log(1/p1) / math.Log(1/p2)
+}
+
+// CrossPolytopeRho evaluates Eq. 5: ρ = (1/c²)·(4−c²R²)/(4−R²), the hash
+// quality of the cross-polytope family at radius R and approximation c
+// (o(1) term dropped).
+func CrossPolytopeRho(c, r float64) float64 {
+	return 1 / (c * c) * (4 - c*c*r*r) / (4 - r*r)
+}
+
+// ExtremeValueCDF is F̂_p(x) = exp(−p^x), the limiting CDF of the longest
+// head-run length (Lemma 5.2's building block). p must be in (0,1).
+func ExtremeValueCDF(p, x float64) float64 {
+	return math.Exp(-math.Pow(p, x))
+}
+
+// LCCSLengthCDF approximates Pr[|LCCS(T,Q)| ≤ x] for length-m strings with
+// per-symbol match probability p, per Lemma 5.2:
+//
+//	F_{m,p}(x) ≈ F̂_p(x − log_{1/p}(m(1−p))).
+func LCCSLengthCDF(m int, p, x float64) float64 {
+	shift := math.Log(float64(m)*(1-p)) / math.Log(1/p)
+	return ExtremeValueCDF(p, x-shift)
+}
+
+// LCCSLengthMedian evaluates Eq. 6: the median of the approximated LCCS
+// length distribution, x_{1/2,p} = log_p(ln 2) + log_{1/p}(m(1−p)).
+func LCCSLengthMedian(m int, p float64) float64 {
+	return math.Log(math.Ln2)/math.Log(p) + math.Log(float64(m)*(1-p))/math.Log(1/p)
+}
+
+// LCCSLengthQuantile evaluates Eq. 7: the (1−k/n) quantile,
+// x_{1−k/n,p} = log_p(−ln(1−k/n)) + log_{1/p}(m(1−p)).
+func LCCSLengthQuantile(m int, p float64, k, n float64) float64 {
+	return math.Log(-math.Log(1-k/n))/math.Log(p) + math.Log(float64(m)*(1-p))/math.Log(1/p)
+}
+
+// TheoremLambda computes the candidate budget λ of Theorem 5.1:
+//
+//	λ = m^{1−1/ρ} · n · (1−p1)^{−1/ρ} · (1−p2) · (ln 2)^{1/ρ} / p2,
+//
+// the number of LCCS candidates that guarantees answering (R,c)-NNS with
+// probability ≥ 1/4. The result is clamped to [1, n].
+func TheoremLambda(m, n int, p1, p2 float64) int {
+	rho := Rho(p1, p2)
+	lam := math.Pow(float64(m), 1-1/rho) * float64(n) *
+		math.Pow(1-p1, -1/rho) * (1 - p2) * math.Pow(math.Ln2, 1/rho) / p2
+	if math.IsNaN(lam) || lam < 1 {
+		return 1
+	}
+	if lam > float64(n) {
+		return n
+	}
+	return int(math.Ceil(lam))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using
+// linear interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

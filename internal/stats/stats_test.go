@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhiCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{3, 0.99865},
+	}
+	for _, c := range cases {
+		if got := PhiCDF(c.x); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("Phi(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestRandomProjectionCollisionProbShape(t *testing.T) {
+	w := 4.0
+	// Monotone decreasing in tau, bounded in [0,1], → 1 as tau → 0.
+	if got := RandomProjectionCollisionProb(w, 0); got != 1 {
+		t.Errorf("p(0) = %v", got)
+	}
+	prev := 1.0
+	for tau := 0.25; tau < 64; tau *= 2 {
+		p := RandomProjectionCollisionProb(w, tau)
+		if p < 0 || p > 1 {
+			t.Fatalf("p(%v) = %v out of range", tau, p)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("p not monotone at tau=%v: %v > %v", tau, p, prev)
+		}
+		prev = p
+	}
+	// Known value (Datar et al.): w/τ = 1 gives p ≈ 0.3687.
+	if got := RandomProjectionCollisionProb(1, 1); math.Abs(got-0.3687) > 5e-3 {
+		t.Errorf("p(w=τ) = %v, want ≈ 0.3687", got)
+	}
+}
+
+func TestCrossPolytopeCollisionProbShape(t *testing.T) {
+	d := 128
+	if got := CrossPolytopeCollisionProb(d, 0); got != 1 {
+		t.Errorf("p(0) = %v", got)
+	}
+	prev := 1.0
+	for tau := 0.1; tau < 2.0; tau += 0.1 {
+		p := CrossPolytopeCollisionProb(d, tau)
+		if p <= 0 || p > 1 {
+			t.Fatalf("p(%v) = %v out of range", tau, p)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("not monotone at %v", tau)
+		}
+		prev = p
+	}
+	// Larger d → smaller collision probability at the same distance.
+	if CrossPolytopeCollisionProb(1024, 1.0) >= CrossPolytopeCollisionProb(16, 1.0) {
+		t.Error("collision prob should shrink with dimension")
+	}
+}
+
+func TestRho(t *testing.T) {
+	if got := Rho(0.5, 0.25); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Rho(0.5,0.25) = %v, want 0.5", got)
+	}
+	if Rho(0.9, 0.1) >= 1 || Rho(0.9, 0.1) <= 0 {
+		t.Error("rho out of (0,1)")
+	}
+}
+
+func TestCrossPolytopeRho(t *testing.T) {
+	// Corollary 1 of FALCONN: ρ ≤ 1/c² for all R, equality as R → 0.
+	for _, r := range []float64{0.1, 0.5, 1.0} {
+		c := 2.0
+		rho := CrossPolytopeRho(c, r)
+		if rho > 1/(c*c)+1e-9 {
+			t.Errorf("rho(R=%v) = %v exceeds 1/c² = %v", r, rho, 1/(c*c))
+		}
+	}
+	if got := CrossPolytopeRho(2, 1e-9); math.Abs(got-0.25) > 1e-6 {
+		t.Errorf("rho at R→0 = %v, want 0.25", got)
+	}
+}
+
+func TestExtremeValueCDF(t *testing.T) {
+	// F̂_p(x) = exp(−p^x): increasing in x, in (0,1).
+	p := 0.5
+	prev := 0.0
+	for x := -5.0; x <= 20; x++ {
+		v := ExtremeValueCDF(p, x)
+		if v < prev {
+			t.Fatalf("not monotone at x=%v", x)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("out of range at x=%v: %v", x, v)
+		}
+		prev = v
+	}
+	// At x where p^x = ln 2, CDF = 1/2. x = log_p(ln 2).
+	x := math.Log(math.Ln2) / math.Log(p)
+	if got := ExtremeValueCDF(p, x); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("median check failed: %v", got)
+	}
+}
+
+func TestLCCSLengthMedianMatchesCDF(t *testing.T) {
+	// The median formula (Eq. 6) must invert the approximated CDF at 1/2.
+	for _, p := range []float64{0.3, 0.5, 0.8} {
+		for _, m := range []int{16, 64, 256} {
+			med := LCCSLengthMedian(m, p)
+			if got := LCCSLengthCDF(m, p, med); math.Abs(got-0.5) > 1e-9 {
+				t.Errorf("m=%d p=%v: CDF(median) = %v", m, p, got)
+			}
+		}
+	}
+}
+
+func TestLCCSLengthQuantileMatchesCDF(t *testing.T) {
+	m, p := 128, 0.6
+	k, n := 50.0, 10000.0
+	q := LCCSLengthQuantile(m, p, k, n)
+	if got := LCCSLengthCDF(m, p, q); math.Abs(got-(1-k/n)) > 1e-9 {
+		t.Errorf("CDF(quantile) = %v, want %v", got, 1-k/n)
+	}
+}
+
+func TestLCCSLengthMedianGrowsWithMAndP(t *testing.T) {
+	if LCCSLengthMedian(256, 0.5) <= LCCSLengthMedian(16, 0.5) {
+		t.Error("median should grow with m")
+	}
+	if LCCSLengthMedian(64, 0.8) <= LCCSLengthMedian(64, 0.4) {
+		t.Error("median should grow with p")
+	}
+}
+
+func TestTheoremLambda(t *testing.T) {
+	n := 100000
+	lam := TheoremLambda(64, n, 0.9, 0.5)
+	if lam < 1 || lam > n {
+		t.Fatalf("lambda = %d out of [1, n]", lam)
+	}
+	// Larger m should not increase λ (exponent 1−1/ρ is negative).
+	if TheoremLambda(512, n, 0.9, 0.5) > TheoremLambda(8, n, 0.9, 0.5) {
+		t.Error("lambda should shrink with m")
+	}
+	// Degenerate clamps.
+	if TheoremLambda(4, 10, 0.999999, 0.000001) < 1 {
+		t.Error("lambda must be ≥ 1")
+	}
+}
+
+func TestDescriptiveStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev singleton = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("P50(nil) = %v", got)
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Error("Percentile sorted its input in place")
+	}
+}

@@ -1,0 +1,176 @@
+// Package vec provides the small dense-vector toolkit that every other
+// package in this repository builds on: float32 vectors, the distance
+// metrics evaluated in the paper (Euclidean and Angular), and a handful of
+// in-place kernels used by the LSH families.
+//
+// Vectors are plain []float32 slices. All binary operations require equal
+// lengths and panic otherwise; length mismatches are programming errors,
+// not runtime conditions.
+package vec
+
+import "math"
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	var s float64
+	for i, av := range a {
+		s += float64(av) * float64(b[i])
+	}
+	return s
+}
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+func SquaredDistance(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	var s float64
+	for i, av := range a {
+		d := float64(av) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Distance returns the Euclidean distance between a and b.
+func Distance(a, b []float32) float64 {
+	return math.Sqrt(SquaredDistance(a, b))
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float64 {
+	var s float64
+	for _, av := range a {
+		s += float64(av) * float64(av)
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize returns a unit-norm copy of a. The zero vector is returned
+// unchanged (there is no direction to normalize onto).
+func Normalize(a []float32) []float32 {
+	out := make([]float32, len(a))
+	n := Norm(a)
+	if n == 0 {
+		copy(out, a)
+		return out
+	}
+	inv := 1 / n
+	for i, av := range a {
+		out[i] = float32(float64(av) * inv)
+	}
+	return out
+}
+
+// NormalizeInPlace scales a to unit norm. The zero vector is left unchanged.
+func NormalizeInPlace(a []float32) {
+	n := Norm(a)
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] = float32(float64(a[i]) * inv)
+	}
+}
+
+// CosineSimilarity returns a·b / (|a||b|), clamped to [-1, 1].
+// Either argument being the zero vector yields similarity 0.
+func CosineSimilarity(a, b []float32) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// AngularDistance returns the angle between a and b in radians, i.e.
+// arccos of their cosine similarity, as used by the cross-polytope LSH
+// family evaluation in the paper (θ(o,q) = cos⁻¹(o·q / |o||q|)).
+func AngularDistance(a, b []float32) float64 {
+	return math.Acos(CosineSimilarity(a, b))
+}
+
+// Scale multiplies every entry of a by s, in place.
+func Scale(a []float32, s float64) {
+	for i := range a {
+		a[i] = float32(float64(a[i]) * s)
+	}
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b []float32) {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Clone returns a copy of a.
+func Clone(a []float32) []float32 {
+	out := make([]float32, len(a))
+	copy(out, a)
+	return out
+}
+
+// Equal reports whether a and b have identical lengths and entries.
+func Equal(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Metric is a distance metric over float32 vectors. The two metrics the
+// paper evaluates, Euclidean and Angular, are provided; LCCS-LSH itself is
+// metric-agnostic and works with any metric that admits an LSH family.
+type Metric interface {
+	// Distance returns the distance between a and b. It must be
+	// symmetric and non-negative, and zero for identical inputs.
+	Distance(a, b []float32) float64
+	// Name returns a short lowercase identifier ("euclidean", "angular").
+	Name() string
+}
+
+type euclidean struct{}
+
+func (euclidean) Distance(a, b []float32) float64 { return Distance(a, b) }
+func (euclidean) Name() string                    { return "euclidean" }
+
+type angular struct{}
+
+func (angular) Distance(a, b []float32) float64 { return AngularDistance(a, b) }
+func (angular) Name() string                    { return "angular" }
+
+// Euclidean is the l2 metric.
+var Euclidean Metric = euclidean{}
+
+// Angular is the angle metric θ(o,q) = cos⁻¹(o·q/|o||q|).
+var Angular Metric = angular{}
+
+// MetricByName returns the metric registered under name, or nil if unknown.
+func MetricByName(name string) Metric {
+	switch name {
+	case "euclidean", "l2":
+		return Euclidean
+	case "angular", "cosine":
+		return Angular
+	}
+	return nil
+}

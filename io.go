@@ -1,0 +1,155 @@
+package lccs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"lccs/internal/core"
+	"lccs/internal/lshfamily"
+)
+
+// pkgMagic versions the facade's on-disk index format.
+var pkgMagic = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '1'}
+
+// Save writes the index to path. The dataset itself is not stored: Load
+// must be given the same data slice (same order) the index was built
+// over. Saving avoids the sort-dominated build cost on the next start.
+func (ix *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := ix.encode(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (ix *Index) encode(w io.Writer) error {
+	if _, err := w.Write(pkgMagic[:]); err != nil {
+		return err
+	}
+	metric := string(ix.cfg.Metric)
+	if err := binary.Write(w, binary.LittleEndian, int32(len(metric))); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(metric)); err != nil {
+		return err
+	}
+	hdr := []int64{int64(ix.cfg.M), int64(ix.cfg.Probes), int64(ix.cfg.Budget)}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, ix.cfg.BucketWidth); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, ix.cfg.Seed); err != nil {
+		return err
+	}
+	return ix.single.Encode(w)
+}
+
+// Load reads an index written by Save. data must be the dataset the index
+// was built over; a sample of hash strings is re-verified against it, so
+// passing different data fails loudly rather than silently returning
+// wrong neighbors.
+func Load(path string, data [][]float32) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decode(bufio.NewReaderSize(f, 1<<20), data)
+}
+
+func decode(r io.Reader, data [][]float32) (*Index, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != pkgMagic {
+		return nil, fmt.Errorf("lccs: bad index magic %q", magic)
+	}
+	var metricLen int32
+	if err := binary.Read(r, binary.LittleEndian, &metricLen); err != nil {
+		return nil, err
+	}
+	if metricLen < 0 || metricLen > 64 {
+		return nil, fmt.Errorf("lccs: corrupt metric length %d", metricLen)
+	}
+	metricBuf := make([]byte, metricLen)
+	if _, err := io.ReadFull(r, metricBuf); err != nil {
+		return nil, err
+	}
+	var hdr [3]int64
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	var bucketWidth float64
+	if err := binary.Read(r, binary.LittleEndian, &bucketWidth); err != nil {
+		return nil, err
+	}
+	var seed uint64
+	if err := binary.Read(r, binary.LittleEndian, &seed); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("lccs: empty dataset")
+	}
+	cfg := Config{
+		Metric:      MetricKind(metricBuf),
+		M:           int(hdr[0]),
+		Probes:      int(hdr[1]),
+		Budget:      int(hdr[2]),
+		BucketWidth: bucketWidth,
+		Seed:        seed,
+	}
+	family, err := familyFor(cfg, len(data[0]))
+	if err != nil {
+		return nil, err
+	}
+	single, err := core.Decode(r, data, family)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{single: single, metric: family.Metric(), budget: cfg.Budget, cfg: cfg}
+	if cfg.Probes > 1 {
+		mp, err := core.WrapMP(single, core.MPParams{
+			Params: core.Params{M: cfg.M, Seed: cfg.Seed},
+			Probes: cfg.Probes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ix.multi = mp
+	}
+	return ix, nil
+}
+
+// familyFor constructs the LSH family a Config selects. BucketWidth must
+// already be resolved (non-zero) for Euclidean.
+func familyFor(cfg Config, dim int) (lshfamily.Family, error) {
+	switch cfg.Metric {
+	case Euclidean:
+		if cfg.BucketWidth <= 0 {
+			return nil, fmt.Errorf("lccs: euclidean index requires a positive bucket width, got %v", cfg.BucketWidth)
+		}
+		return lshfamily.NewRandomProjection(dim, cfg.BucketWidth), nil
+	case Angular:
+		return lshfamily.NewCrossPolytope(dim), nil
+	case Hamming:
+		return lshfamily.NewBitSampling(dim), nil
+	case Jaccard:
+		return lshfamily.NewMinHash(dim), nil
+	}
+	return nil, fmt.Errorf("lccs: unknown metric %q", cfg.Metric)
+}

@@ -1,0 +1,172 @@
+package lccs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTripEuclidean(t *testing.T) {
+	data, _ := testData(31, 600, 12, 6, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.lccs")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.M() != ix.M() || loaded.Len() != ix.Len() {
+		t.Fatalf("shape mismatch after load: m=%d n=%d", loaded.M(), loaded.Len())
+	}
+	// Identical queries must produce identical results (same seed, same
+	// CSA).
+	for i := 0; i < 10; i++ {
+		q := data[i*37]
+		a := ix.SearchBudget(q, 5, 50)
+		b := loaded.SearchBudget(q, 5, 50)
+		if len(a) != len(b) {
+			t.Fatalf("result lengths differ: %d vs %d", len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("result %d differs: %+v vs %+v", j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestSaveLoadMultiProbe(t *testing.T) {
+	data, _ := testData(32, 400, 10, 4, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Probes: 17, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mp.lccs")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.multi == nil {
+		t.Fatal("multi-probe configuration lost on load")
+	}
+	q := data[3]
+	a, b := ix.Search(q, 5), loaded.Search(q, 5)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("MP results differ after load: %+v vs %+v", a[j], b[j])
+		}
+	}
+}
+
+func TestSaveLoadAngularAndHamming(t *testing.T) {
+	data, _ := testData(33, 300, 16, 4, 0.5)
+	for _, metric := range []MetricKind{Angular, Hamming} {
+		d := data
+		if metric == Hamming {
+			// Binarize.
+			d = make([][]float32, len(data))
+			for i, v := range data {
+				b := make([]float32, len(v))
+				for j, x := range v {
+					if x > 0 {
+						b[j] = 1
+					}
+				}
+				d[i] = b
+			}
+		}
+		ix, err := NewIndex(d, Config{Metric: metric, M: 24, Seed: 6})
+		if err != nil {
+			t.Fatalf("%s: %v", metric, err)
+		}
+		path := filepath.Join(t.TempDir(), string(metric)+".lccs")
+		if err := ix.Save(path); err != nil {
+			t.Fatalf("%s: %v", metric, err)
+		}
+		loaded, err := Load(path, d)
+		if err != nil {
+			t.Fatalf("%s: %v", metric, err)
+		}
+		a, b := ix.SearchBudget(d[0], 3, 30), loaded.SearchBudget(d[0], 3, 30)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("%s: results differ", metric)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongData(t *testing.T) {
+	data, _ := testData(34, 300, 8, 4, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ix.lccs")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Different dataset of the same shape: the hash-string spot check
+	// must fail.
+	other, _ := testData(99, 300, 8, 4, 0.5)
+	if _, err := Load(path, other); err == nil {
+		t.Fatal("loading with different data should fail")
+	}
+	// Different length fails at the header check.
+	if _, err := Load(path, data[:100]); err == nil {
+		t.Fatal("loading with truncated data should fail")
+	}
+	if _, err := Load(path, nil); err == nil {
+		t.Fatal("loading with nil data should fail")
+	}
+}
+
+func TestLoadRejectsGarbageFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.lccs")
+	if err := os.WriteFile(path, []byte("this is not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := testData(35, 10, 4, 2, 0.5)
+	if _, err := Load(path, data); err == nil {
+		t.Fatal("garbage file should fail")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.lccs"), data); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestLoadRejectsTruncatedFile(t *testing.T) {
+	data, _ := testData(36, 200, 8, 4, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "full.lccs")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		cut := filepath.Join(dir, "cut.lccs")
+		if err := os.WriteFile(cut, blob[:int(float64(len(blob))*frac)], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(cut, data); err == nil {
+			t.Fatalf("truncated file (%.0f%%) should fail", frac*100)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package lccs is the public API of this repository: a Go implementation
+// of LCCS-LSH, the Locality-Sensitive Hashing scheme based on the Longest
+// Circular Co-Substring search framework (Lei, Huang, Kankanhalli, Tung —
+// SIGMOD 2020).
+//
+// An index hashes every data vector with m i.i.d. LSH functions into a
+// length-m hash string and organizes the strings in a Circular Shift
+// Array. A query retrieves the data objects whose hash strings share the
+// longest circular co-substring with the query's hash string — a dynamic
+// concatenation of consecutive hash values — verifies them with exact
+// distances, and returns the k nearest. The scheme is LSH-family
+// independent: Euclidean, Angular (cosine), and Hamming metrics are
+// supported out of the box, and only one capacity parameter (m) needs
+// tuning.
+//
+// Basic usage:
+//
+//	ix, err := lccs.NewIndex(data, lccs.Config{Metric: lccs.Euclidean, M: 64})
+//	if err != nil { ... }
+//	neighbors := ix.Search(query, 10)
+//
+// Multi-probe querying (MP-LCCS-LSH, smaller indexes at equal recall) is
+// enabled by setting Config.Probes > 1.
+package lccs
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"lccs/internal/core"
+	"lccs/internal/pqueue"
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// MetricKind selects the distance metric (and with it the default LSH
+// family) of an index.
+type MetricKind string
+
+// Supported metrics and their LSH families.
+const (
+	// Euclidean uses the p-stable random-projection family of Datar et
+	// al. (Eq. 1 of the paper).
+	Euclidean MetricKind = "euclidean"
+	// Angular uses the cross-polytope family of Andoni et al. (Eq. 3)
+	// with fast pseudo-random rotations; vectors are compared by angle.
+	Angular MetricKind = "angular"
+	// Hamming uses the bit-sampling family of Indyk–Motwani; vectors
+	// must hold integral 0/1 coordinates.
+	Hamming MetricKind = "hamming"
+	// Jaccard uses the MinHash family of Broder; vectors are binary
+	// indicator encodings of sets (coordinate j nonzero ⇔ j ∈ set).
+	Jaccard MetricKind = "jaccard"
+)
+
+// Config configures an index.
+type Config struct {
+	// Metric selects the distance metric. Required.
+	Metric MetricKind
+	// M is the hash-string length, the scheme's single capacity
+	// parameter: larger m raises recall per candidate at the cost of
+	// memory (3·4·n·m bytes) and per-query hashing. 0 selects 64.
+	M int
+	// Probes enables multi-probe querying (MP-LCCS-LSH) when > 1: each
+	// query additionally explores Probes−1 perturbed hash strings,
+	// recovering recall on smaller indexes. 0 or 1 selects single-probe.
+	Probes int
+	// BucketWidth is the w of the Euclidean family (Eq. 1). 0 derives it
+	// from a sample of the data (twice the median 10-NN distance of a
+	// small sample), mirroring how the paper fine-tunes w per dataset.
+	BucketWidth float64
+	// Budget is the default per-query candidate budget λ used by Search.
+	// 0 selects 100.
+	Budget int
+	// Seed makes index construction deterministic.
+	Seed uint64
+}
+
+// Neighbor is one search result: the index of a data vector and its
+// distance to the query under the index's metric.
+type Neighbor struct {
+	// ID indexes into the data slice the index was built from.
+	ID int
+	// Dist is the exact (verified) distance to the query.
+	Dist float64
+}
+
+// Index is an LCCS-LSH index over a fixed dataset. It is safe for
+// concurrent queries. The data slice is retained by reference and must not
+// be mutated while the index is in use.
+type Index struct {
+	single *core.Index
+	multi  *core.MPIndex
+	metric vec.Metric
+	budget int
+	// cfg is the fully resolved configuration (auto-derived bucket width
+	// filled in), persisted by Save.
+	cfg Config
+}
+
+const (
+	defaultM      = 64
+	defaultBudget = 100
+)
+
+// NewIndex builds an LCCS-LSH index over data.
+func NewIndex(data [][]float32, cfg Config) (*Index, error) {
+	if len(data) == 0 {
+		return nil, errors.New("lccs: empty dataset")
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return nil, errors.New("lccs: zero-dimensional data")
+	}
+	if cfg.M == 0 {
+		cfg.M = defaultM
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = defaultBudget
+	}
+	if cfg.M < 0 || cfg.Probes < 0 || cfg.Budget < 0 || cfg.BucketWidth < 0 {
+		return nil, errors.New("lccs: negative configuration value")
+	}
+
+	if cfg.Metric == Euclidean && cfg.BucketWidth == 0 {
+		cfg.BucketWidth = autoBucketWidth(data, cfg.Seed)
+	}
+	family, err := familyFor(cfg, dim)
+	if err != nil {
+		return nil, err
+	}
+
+	ix := &Index{metric: family.Metric(), budget: cfg.Budget, cfg: cfg}
+	if cfg.Probes > 1 {
+		mp, err := core.BuildMP(data, family, core.MPParams{
+			Params: core.Params{M: cfg.M, Seed: cfg.Seed},
+			Probes: cfg.Probes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ix.multi = mp
+		ix.single = mp.Index
+	} else {
+		s, err := core.Build(data, family, core.Params{M: cfg.M, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		ix.single = s
+	}
+	return ix, nil
+}
+
+// autoBucketWidth estimates a bucket width from the data: twice the median
+// distance from a sampled point to its nearest neighbor within a small
+// sample, which places true near neighbors in the high-collision regime of
+// Eq. 2.
+func autoBucketWidth(data [][]float32, seed uint64) float64 {
+	g := rng.New(seed ^ 0xB0C4E7)
+	const samples = 64
+	const pool = 512
+	dists := make([]float64, 0, samples)
+	for s := 0; s < samples; s++ {
+		a := data[g.IntN(len(data))]
+		best := -1.0
+		for t := 0; t < pool && t < len(data); t++ {
+			b := data[g.IntN(len(data))]
+			d := vec.Distance(a, b)
+			if d == 0 {
+				continue
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		if best > 0 {
+			dists = append(dists, best)
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	sort.Float64s(dists)
+	w := 2 * dists[len(dists)/2]
+	if w <= 0 {
+		return 1
+	}
+	return w
+}
+
+// Search returns the k nearest neighbors of q found within the index's
+// default candidate budget, in ascending distance order.
+func (ix *Index) Search(q []float32, k int) []Neighbor {
+	return ix.SearchBudget(q, k, ix.budget)
+}
+
+// SearchBudget is Search with an explicit candidate budget λ: the query
+// verifies the λ+k−1 data objects whose hash strings have the longest
+// circular co-substring with the query's. Larger budgets trade query time
+// for recall.
+func (ix *Index) SearchBudget(q []float32, k, lambda int) []Neighbor {
+	var raw []pqueue.Neighbor
+	if ix.multi != nil {
+		raw = ix.multi.Search(q, k, lambda)
+	} else {
+		raw = ix.single.Search(q, k, lambda)
+	}
+	out := make([]Neighbor, len(raw))
+	for i, r := range raw {
+		out[i] = Neighbor{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+// Distance returns the index's metric distance between two vectors.
+func (ix *Index) Distance(a, b []float32) float64 { return ix.metric.Distance(a, b) }
+
+// M returns the hash-string length.
+func (ix *Index) M() int { return ix.single.M() }
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return ix.single.N() }
+
+// Bytes returns the approximate index memory footprint.
+func (ix *Index) Bytes() int64 { return ix.single.Bytes() }
+
+// BuildTime returns the wall-clock time spent building the index.
+func (ix *Index) BuildTime() time.Duration { return ix.single.BuildTime() }

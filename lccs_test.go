@@ -1,0 +1,199 @@
+package lccs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+func testData(seed uint64, n, d, clusters int, spread float64) ([][]float32, *rng.RNG) {
+	g := rng.New(seed)
+	centers := make([][]float32, clusters)
+	for i := range centers {
+		centers[i] = g.UniformVector(d, -10, 10)
+	}
+	data := make([][]float32, n)
+	for i := range data {
+		c := centers[i%clusters]
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = c[j] + float32(g.NormFloat64()*spread)
+		}
+		data[i] = v
+	}
+	return data, g
+}
+
+func bruteKNN(data [][]float32, q []float32, k int, dist func(a, b []float32) float64) []Neighbor {
+	all := make([]Neighbor, len(data))
+	for i, v := range data {
+		all[i] = Neighbor{ID: i, Dist: dist(v, q)}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Dist < all[b].Dist })
+	return all[:k]
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	data, _ := testData(1, 50, 8, 5, 0.5)
+	if _, err := NewIndex(nil, Config{Metric: Euclidean}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := NewIndex([][]float32{{}}, Config{Metric: Euclidean}); err == nil {
+		t.Error("zero-dim should fail")
+	}
+	if _, err := NewIndex(data, Config{Metric: "chebyshev"}); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	if _, err := NewIndex(data, Config{Metric: Euclidean, M: -1}); err == nil {
+		t.Error("negative M should fail")
+	}
+	ix, err := NewIndex(data, Config{Metric: Euclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.M() != defaultM || ix.Len() != 50 {
+		t.Fatalf("defaults: M=%d Len=%d", ix.M(), ix.Len())
+	}
+	if ix.Bytes() <= 0 || ix.BuildTime() < 0 {
+		t.Fatal("accounting")
+	}
+}
+
+func TestEuclideanRecall(t *testing.T) {
+	data, g := testData(2, 2000, 16, 20, 0.8)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recall float64
+	const nq, k = 20, 10
+	for i := 0; i < nq; i++ {
+		base := data[g.IntN(len(data))]
+		q := make([]float32, len(base))
+		for j := range q {
+			q[j] = base[j] + float32(g.NormFloat64()*0.4)
+		}
+		want := bruteKNN(data, q, k, vec.Distance)
+		got := ix.SearchBudget(q, k, 200)
+		wantSet := map[int]bool{}
+		for _, w := range want {
+			wantSet[w.ID] = true
+		}
+		hit := 0
+		for _, r := range got {
+			if wantSet[r.ID] {
+				hit++
+			}
+		}
+		recall += float64(hit) / k
+	}
+	if avg := recall / nq; avg < 0.7 {
+		t.Fatalf("recall %.2f too low", avg)
+	}
+}
+
+func TestAngularSearch(t *testing.T) {
+	data, _ := testData(3, 1000, 24, 10, 0.5)
+	for _, v := range data {
+		vec.NormalizeInPlace(v)
+	}
+	ix, err := NewIndex(data, Config{Metric: Angular, M: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[123]
+	got := ix.SearchBudget(q, 5, 100)
+	if len(got) != 5 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if got[0].Dist > 1e-6 {
+		t.Fatalf("self query angular distance %v", got[0].Dist)
+	}
+	if math.Abs(ix.Distance(data[0], data[1])-vec.AngularDistance(data[0], data[1])) > 1e-12 {
+		t.Fatal("Distance accessor wrong metric")
+	}
+}
+
+func TestHammingSearch(t *testing.T) {
+	g := rng.New(4)
+	d := 64
+	data := make([][]float32, 500)
+	for i := range data {
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(g.IntN(2))
+		}
+		data[i] = v
+	}
+	ix, err := NewIndex(data, Config{Metric: Hamming, M: 128, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query: a data point with a few flipped bits.
+	q := append([]float32(nil), data[42]...)
+	for _, j := range g.Perm(d)[:3] {
+		q[j] = 1 - q[j]
+	}
+	got := ix.SearchBudget(q, 1, 50)
+	if len(got) != 1 {
+		t.Fatal("no result")
+	}
+	if got[0].Dist > 10 {
+		t.Fatalf("nearest at hamming distance %v, expected close to 3", got[0].Dist)
+	}
+}
+
+func TestMultiProbeConfig(t *testing.T) {
+	data, _ := testData(5, 800, 12, 8, 0.5)
+	mp, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Probes: 33, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[10]
+	a, b := mp.Search(q, 5), sp.Search(q, 5)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatal("result sizes")
+	}
+	// Multi-probe explores at least as much; its top result cannot be
+	// worse on the same budget and seed.
+	if a[0].Dist > b[0].Dist+1e-9 {
+		t.Fatalf("multi-probe top result worse: %v vs %v", a[0].Dist, b[0].Dist)
+	}
+}
+
+func TestSearchUsesDefaultBudget(t *testing.T) {
+	data, _ := testData(6, 400, 8, 4, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 32, Budget: 150, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Search(data[7], 3)
+	if len(got) != 3 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a].Dist < got[b].Dist }) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestAutoBucketWidth(t *testing.T) {
+	data, _ := testData(7, 300, 8, 4, 0.5)
+	if w := autoBucketWidth(data, 1); w <= 0 {
+		t.Fatalf("auto width %v", w)
+	}
+	// Degenerate all-identical dataset falls back to 1.
+	same := make([][]float32, 50)
+	for i := range same {
+		same[i] = []float32{1, 2, 3}
+	}
+	if w := autoBucketWidth(same, 1); w != 1 {
+		t.Fatalf("degenerate width %v, want fallback 1", w)
+	}
+}
