@@ -5,15 +5,16 @@ import (
 	"sync"
 )
 
-// SearchBatch answers many queries concurrently across all CPUs with the
-// index's default candidate budget; results are returned in query order.
-// Each query's result slice matches what Search would return.
-func (ix *Index) SearchBatch(queries [][]float32, k int) [][]Neighbor {
-	return ix.SearchBatchBudget(queries, k, ix.budget)
+// budgetSearcher is any index shape that answers a single budgeted query;
+// both Index and ShardedIndex satisfy it, so they share one batch engine.
+type budgetSearcher interface {
+	SearchBudget(q []float32, k, lambda int) []Neighbor
 }
 
-// SearchBatchBudget is SearchBatch with an explicit candidate budget λ.
-func (ix *Index) SearchBatchBudget(queries [][]float32, k, lambda int) [][]Neighbor {
+// searchBatch answers many queries concurrently across all CPUs; results
+// are returned in query order and each row is byte-identical to what a
+// sequential SearchBudget call would return.
+func searchBatch(ix budgetSearcher, queries [][]float32, k, lambda int) [][]Neighbor {
 	out := make([][]Neighbor, len(queries))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
@@ -42,4 +43,43 @@ func (ix *Index) SearchBatchBudget(queries [][]float32, k, lambda int) [][]Neigh
 	close(ch)
 	wg.Wait()
 	return out
+}
+
+// SearchBatch answers many queries concurrently across all CPUs with the
+// index's default candidate budget; results are returned in query order.
+// Each query's result slice matches what Search would return.
+func (ix *Index) SearchBatch(queries [][]float32, k int) [][]Neighbor {
+	return ix.SearchBatchBudget(queries, k, ix.budget)
+}
+
+// SearchBatchBudget is SearchBatch with an explicit candidate budget λ.
+func (ix *Index) SearchBatchBudget(queries [][]float32, k, lambda int) [][]Neighbor {
+	return searchBatch(ix, queries, k, lambda)
+}
+
+// SearchBatch answers many queries concurrently with the index's default
+// candidate budget; results are returned in query order. When the batch
+// has at least GOMAXPROCS queries the worker pool already saturates the
+// CPUs, so each query runs its shard fan-out sequentially; smaller
+// batches keep the per-shard fan-out so idle cores still help.
+func (sx *ShardedIndex) SearchBatch(queries [][]float32, k int) [][]Neighbor {
+	return sx.SearchBatchBudget(queries, k, sx.budget)
+}
+
+// SearchBatchBudget is SearchBatch with an explicit candidate budget λ.
+func (sx *ShardedIndex) SearchBatchBudget(queries [][]float32, k, lambda int) [][]Neighbor {
+	if len(queries) >= runtime.GOMAXPROCS(0) {
+		return searchBatch(seqShardSearcher{sx}, queries, k, lambda)
+	}
+	return searchBatch(sx, queries, k, lambda)
+}
+
+// seqShardSearcher runs a sharded query without the per-shard goroutine
+// fan-out, for use inside an already saturated batch worker pool. Results
+// are identical to ShardedIndex.SearchBudget — the merge is deterministic
+// either way.
+type seqShardSearcher struct{ sx *ShardedIndex }
+
+func (s seqShardSearcher) SearchBudget(q []float32, k, lambda int) []Neighbor {
+	return s.sx.searchBudget(q, k, lambda, false)
 }

@@ -1,6 +1,7 @@
 package lccs
 
 import (
+	"runtime"
 	"testing"
 )
 
@@ -33,6 +34,95 @@ func TestSearchBatchMatchesSequential(t *testing.T) {
 				t.Fatalf("query %d result %d: %+v vs %+v", i, j, seq[j], batch[i][j])
 			}
 		}
+	}
+}
+
+// TestSearchBatchWorkersLEOne pins GOMAXPROCS to 1 so the sequential
+// fallback path of the batch engine runs with a multi-query batch, and
+// checks its results are byte-identical to per-query Search.
+func TestSearchBatchWorkersLEOne(t *testing.T) {
+	data, g := testData(44, 400, 10, 6, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float32, 8)
+	for i := range queries {
+		queries[i] = g.GaussianVector(10)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	batch := ix.SearchBatchBudget(queries, 4, 40)
+	for i, q := range queries {
+		seq := ix.SearchBudget(q, 4, 40)
+		if len(seq) != len(batch[i]) {
+			t.Fatalf("query %d: lengths differ", i)
+		}
+		for j := range seq {
+			if seq[j] != batch[i][j] {
+				t.Fatalf("query %d result %d: %+v vs %+v", i, j, seq[j], batch[i][j])
+			}
+		}
+	}
+}
+
+// TestSearchBatchEdgeCases covers the empty batch and the one-query batch
+// (which takes the workers <= 1 path because workers is capped at the
+// query count).
+func TestSearchBatchEdgeCases(t *testing.T) {
+	data, _ := testData(45, 200, 8, 4, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.SearchBatchBudget(nil, 3, 50); len(got) != 0 {
+		t.Fatalf("empty batch: %d rows", len(got))
+	}
+	if got := ix.SearchBatchBudget([][]float32{}, 3, 50); len(got) != 0 {
+		t.Fatalf("zero-length batch: %d rows", len(got))
+	}
+	one := ix.SearchBatchBudget(data[:1], 3, 50)
+	if len(one) != 1 {
+		t.Fatalf("one-query batch: %d rows", len(one))
+	}
+	seq := ix.SearchBudget(data[0], 3, 50)
+	for j := range seq {
+		if seq[j] != one[0][j] {
+			t.Fatalf("one-query batch differs from Search at %d", j)
+		}
+	}
+}
+
+// TestShardedSearchBatchMatchesSequential checks the sharded batch engine
+// (which skips the per-query shard fan-out goroutines) is byte-identical
+// to per-query ShardedIndex.Search.
+func TestShardedSearchBatchMatchesSequential(t *testing.T) {
+	data, g := testData(46, 600, 10, 5, 0.5)
+	sx, err := NewShardedIndex(data, Config{Metric: Euclidean, M: 16, Seed: 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float32, 25)
+	for i := range queries {
+		queries[i] = g.GaussianVector(10)
+	}
+	batch := sx.SearchBatchBudget(queries, 5, 60)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, q := range queries {
+		seq := sx.SearchBudget(q, 5, 60)
+		if len(seq) != len(batch[i]) {
+			t.Fatalf("query %d: lengths differ", i)
+		}
+		for j := range seq {
+			if seq[j] != batch[i][j] {
+				t.Fatalf("query %d result %d: %+v vs %+v", i, j, seq[j], batch[i][j])
+			}
+		}
+	}
+	if got := sx.SearchBatch(nil, 3); len(got) != 0 {
+		t.Fatal("empty sharded batch should be empty")
 	}
 }
 

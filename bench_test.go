@@ -349,6 +349,81 @@ func BenchmarkMethodsQuery(b *testing.B) {
 	})
 }
 
+// shardBenchData builds the 100k-vector clustered workload shared by the
+// sharded-build and sharded-search benchmarks.
+func shardBenchData(n, d int) [][]float32 {
+	g := rng.New(9)
+	centers := make([][]float32, 64)
+	for i := range centers {
+		centers[i] = g.UniformVector(d, -10, 10)
+	}
+	data := make([][]float32, n)
+	for i := range data {
+		c := centers[i%len(centers)]
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = c[j] + float32(g.NormFloat64())
+		}
+		data[i] = v
+	}
+	return data
+}
+
+// BenchmarkShardedBuild measures parallel sharded construction against
+// the single-index build on 100k vectors. The m circular sorts dominate
+// indexing time; S shards sort S independent problems of size n/S in
+// parallel (and each shard's working set is S× smaller, keeping the
+// comparison-heavy sorts in cache), so on a multi-core machine the
+// shards=4/shards=8 variants should build well over 1.5× faster than
+// shards=1. Compare with
+//
+//	go test -bench BenchmarkShardedBuild -benchtime 3x
+//
+// or run `lccs-bench -exp shard`, which reports the speedup directly on
+// a similar (not byte-identical) clustered workload.
+func BenchmarkShardedBuild(b *testing.B) {
+	const n, d, m = 100_000, 16, 32
+	data := shardBenchData(n, d)
+	cfg := Config{Metric: Euclidean, M: m, BucketWidth: 4, Seed: 1}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d,shards=%d", n, shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewShardedIndex(data, cfg, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSearch measures the fan-out/merge query path against
+// the single-index query path on the same index contents.
+func BenchmarkShardedSearch(b *testing.B) {
+	const n, d, m = 100_000, 16, 32
+	data := shardBenchData(n, d)
+	cfg := Config{Metric: Euclidean, M: m, BucketWidth: 4, Seed: 1}
+	single, err := NewIndex(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			single.Search(data[i%n], 10)
+		}
+	})
+	for _, shards := range []int{4, 8} {
+		sx, err := NewShardedIndex(data, cfg, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sx.Search(data[i%n], 10)
+			}
+		})
+	}
+}
+
 // BenchmarkPublicAPI measures the facade round trip.
 func BenchmarkPublicAPI(b *testing.B) {
 	g := rng.New(8)

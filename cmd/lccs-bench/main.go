@@ -1,15 +1,21 @@
 // Command lccs-bench regenerates the paper's tables and figures on the
-// synthetic dataset analogues.
+// synthetic dataset analogues, and benchmarks the sharded index
+// subsystem.
 //
 // Usage:
 //
 //	lccs-bench -exp fig4 [-n 10000] [-nq 50] [-k 10] [-datasets sift,glove] [-seed 1] [-quick]
 //	lccs-bench -exp all      # every table and figure, in paper order
+//	lccs-bench -exp shard [-n 100000] [-shards 0] [-m 32]
+//	                         # sharded vs single: build speedup + per-shard QPS
 //
-// Each experiment prints rows in the same structure as the corresponding
-// paper artifact: Pareto-frontier (recall, query time) points for the
-// curve figures, per-size trade-off rows for Figures 6/7, per-k rows for
-// Figure 8, per-m and per-#probes frontiers for Figures 9/10.
+// Each paper experiment prints rows in the same structure as the
+// corresponding artifact: Pareto-frontier (recall, query time) points for
+// the curve figures, per-size trade-off rows for Figures 6/7, per-k rows
+// for Figure 8, per-m and per-#probes frontiers for Figures 9/10. The
+// shard experiment reports single vs parallel sharded build time, the
+// build speedup, per-shard query throughput, and fan-out query
+// throughput.
 package main
 
 import (
@@ -19,12 +25,14 @@ import (
 	"strings"
 	"time"
 
+	"lccs"
 	"lccs/internal/experiments"
+	"lccs/internal/rng"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", or 'all'")
+		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', or 'shard'")
 		n        = flag.Int("n", 10000, "data points per dataset")
 		nq       = flag.Int("nq", 50, "queries per dataset")
 		k        = flag.Int("k", 10, "neighbors per query")
@@ -32,11 +40,20 @@ func main() {
 		methods  = flag.String("methods", "", "comma-separated method subset, e.g. 'LCCS-LSH,E2LSH' (default: all)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "shrink parameter grids (smoke test)")
+		shards   = flag.Int("shards", 0, "shard count for -exp shard (0 = GOMAXPROCS)")
+		m        = flag.Int("m", 32, "hash-string length for -exp shard")
 	)
 	flag.Parse()
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *exp == "shard" {
+		if err := shardBench(*n, *nq, *k, *m, *shards, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lccs-bench: shard: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	opt := experiments.Options{
 		N: *n, NQ: *nq, K: *k, Seed: *seed, Quick: *quick,
@@ -60,4 +77,72 @@ func main() {
 		}
 		fmt.Printf("# %s done in %.1fs\n\n", name, time.Since(start).Seconds())
 	}
+}
+
+// shardBench builds the same clustered workload as a single Index and as
+// a ShardedIndex and reports build times, the build speedup, per-shard
+// query throughput, and overall fan-out throughput.
+func shardBench(n, nq, k, m, shards int, seed uint64) error {
+	const d = 16
+	g := rng.New(seed)
+	centers := make([][]float32, 64)
+	for i := range centers {
+		centers[i] = g.UniformVector(d, -10, 10)
+	}
+	data := make([][]float32, n)
+	for i := range data {
+		c := centers[i%len(centers)]
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = c[j] + float32(g.NormFloat64())
+		}
+		data[i] = v
+	}
+	queries := make([][]float32, nq)
+	for i := range queries {
+		queries[i] = g.GaussianVector(d)
+		base := data[g.IntN(n)]
+		for j := range queries[i] {
+			queries[i][j] = base[j] + queries[i][j]*0.3
+		}
+	}
+	cfg := lccs.Config{Metric: lccs.Euclidean, M: m, Seed: seed}
+
+	fmt.Printf("# shard bench: n=%d d=%d m=%d nq=%d k=%d\n", n, d, m, nq, k)
+	start := time.Now()
+	single, err := lccs.NewIndex(data, cfg)
+	if err != nil {
+		return err
+	}
+	singleBuild := time.Since(start)
+	fmt.Printf("single build        %10.3fs  (%.1f MB)\n", singleBuild.Seconds(), float64(single.Bytes())/1e6)
+
+	sx, err := lccs.NewShardedIndex(data, cfg, shards)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sharded build (S=%d) %10.3fs  (%.1f MB)  speedup %.2fx\n",
+		sx.Shards(), sx.BuildTime().Seconds(), float64(sx.Bytes())/1e6,
+		singleBuild.Seconds()/sx.BuildTime().Seconds())
+
+	qps := func(f func(q []float32)) float64 {
+		start := time.Now()
+		for _, q := range queries {
+			f(q)
+		}
+		return float64(nq) / time.Since(start).Seconds()
+	}
+	fmt.Printf("single QPS          %10.0f\n", qps(func(q []float32) { single.Search(q, k) }))
+	for s := 0; s < sx.Shards(); s++ {
+		shard, off := sx.Shard(s)
+		fmt.Printf("shard %2d QPS        %10.0f  (ids %d..%d)\n",
+			s, qps(func(q []float32) { shard.Search(q, k) }), off, off+shard.Len()-1)
+	}
+	fmt.Printf("fan-out QPS         %10.0f\n", qps(func(q []float32) { sx.Search(q, k) }))
+	fmt.Printf("batch fan-out QPS   %10.0f\n", func() float64 {
+		start := time.Now()
+		sx.SearchBatch(queries, k)
+		return float64(nq) / time.Since(start).Seconds()
+	}())
+	return nil
 }

@@ -5,29 +5,56 @@ import (
 	"sync"
 )
 
-// DynamicIndex wraps Index with support for online inserts and deletes.
-// The CSA is a static structure (the paper's indexes are built once), so
-// the classic delta-architecture is used: new vectors accumulate in an
-// unindexed buffer that queries scan exactly, and when the buffer exceeds
-// a threshold the main index is rebuilt over the union. Deletes are
-// tombstones filtered from results.
+// DynamicIndex supports online inserts and deletes on top of the static
+// CSA structure with a delta-main architecture: new vectors accumulate in
+// an unindexed buffer that queries scan exactly, and when the buffer
+// exceeds a threshold it is frozen and built into a new index shard **in
+// the background** — writers keep appending to a fresh buffer while the
+// shard builds, and the finished shard is swapped in under the write lock
+// in O(1). The main index is therefore a growing sequence of immutable
+// shards covering disjoint, contiguous id ranges; queries fan out across
+// the shards and the buffer. Deletes are tombstones filtered from
+// results; an explicit Rebuild compacts every shard and the buffer into
+// one index synchronously.
 //
 // Vector ids are assignment-ordered and stable across rebuilds: the i-th
 // vector ever added (counting the initial dataset) has id i, forever.
-// DynamicIndex is safe for concurrent use; rebuilds block writers but not
-// other readers beyond the swap.
+// DynamicIndex is safe for concurrent use; neither readers nor writers
+// are blocked by a background shard build beyond the O(1) swap.
 type DynamicIndex struct {
-	mu      sync.RWMutex
-	cfg     Config
-	data    [][]float32 // all vectors ever added, id-ordered
-	indexed int         // prefix of data covered by main
-	main    *Index      // may be nil when everything is buffered
-	deleted map[int]bool
-	// rebuildAt triggers a rebuild when the buffer reaches this size.
+	mu   sync.RWMutex
+	cond *sync.Cond // signaled when a background build finishes; L = &mu
+	cfg  Config
+	// cfgResolved is set once a build has resolved derived config fields
+	// (bucket width); later shards reuse the same resolved values so all
+	// shards are seed-equivalent.
+	cfgResolved bool
+	data        [][]float32 // all vectors ever added, id-ordered
+	shards      []dynShard  // immutable shards over data[0:indexed]
+	indexed     int         // prefix of data covered by shards
+	deleted     map[int]bool
+	// rebuildAt triggers a background shard build when the buffer
+	// reaches this size.
 	rebuildAt int
+	// building marks an in-flight background shard build (at most one).
+	building bool
+	// gen invalidates in-flight builds: Rebuild bumps it and a completing
+	// background build from an older generation is discarded.
+	gen uint64
+	// buildErr holds the most recent background build failure; it is
+	// surfaced (and cleared) by the next Add. A successful explicit
+	// Rebuild supersedes the failed delta and clears it unseen.
+	buildErr error
 }
 
-// DefaultRebuildThreshold is the buffer size that triggers a rebuild.
+// dynShard is one immutable index shard covering data[off : off+ix.Len()].
+type dynShard struct {
+	ix  *Index
+	off int
+}
+
+// DefaultRebuildThreshold is the buffer size that triggers a background
+// shard build.
 const DefaultRebuildThreshold = 4096
 
 // NewDynamicIndex builds a dynamic index over an initial dataset (which
@@ -43,19 +70,38 @@ func NewDynamicIndex(data [][]float32, cfg Config, rebuildAt int) (*DynamicIndex
 		deleted:   make(map[int]bool),
 		rebuildAt: rebuildAt,
 	}
+	d.cond = sync.NewCond(&d.mu)
 	if len(data) > 0 {
-		main, err := NewIndex(d.data, cfg)
+		ix, err := NewIndex(d.data, cfg)
 		if err != nil {
 			return nil, err
 		}
-		d.main = main
+		d.adoptConfigLocked(ix)
+		d.shards = []dynShard{{ix: ix, off: 0}}
 		d.indexed = len(d.data)
+	} else if err := validateConfig(cfg); err != nil {
+		// No build runs yet on an empty start, so reject a config the
+		// first build (or query) would otherwise fail on — turning a
+		// construction-time error into a runtime surprise.
+		return nil, err
 	}
 	return d, nil
 }
 
+// adoptConfigLocked stores the resolved configuration of the first built
+// index so every later shard hashes with seed-equivalent parameters.
+func (d *DynamicIndex) adoptConfigLocked(ix *Index) {
+	if !d.cfgResolved {
+		d.cfg = ix.cfg
+		d.cfgResolved = true
+	}
+}
+
 // Add inserts a vector and returns its id. The vector is retained by
-// reference.
+// reference. Crossing the rebuild threshold starts a background shard
+// build; Add itself never blocks on index construction. If a previous
+// background build failed, its error is returned here (the insert itself
+// still succeeded) and cleared.
 func (d *DynamicIndex) Add(v []float32) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -64,17 +110,67 @@ func (d *DynamicIndex) Add(v []float32) (int, error) {
 	}
 	id := len(d.data)
 	d.data = append(d.data, v)
-	if len(d.data)-d.indexed >= d.rebuildAt {
-		if err := d.rebuildLocked(); err != nil {
-			return id, err
+	err := d.buildErr
+	d.buildErr = nil
+	d.maybeStartBuildLocked()
+	return id, err
+}
+
+// maybeStartBuildLocked freezes the buffer into a background shard build
+// when it crossed the threshold and no build is already in flight.
+func (d *DynamicIndex) maybeStartBuildLocked() {
+	if d.building || len(d.data)-d.indexed < d.rebuildAt {
+		return
+	}
+	d.building = true
+	lo, hi := d.indexed, len(d.data)
+	// Freeze the delta: the capped three-index slice cannot alias later
+	// appends, and vectors themselves are never mutated.
+	delta := d.data[lo:hi:hi]
+	go d.buildShard(d.gen, lo, hi, delta, d.cfg)
+}
+
+// buildShard builds one shard over a frozen delta outside the lock and
+// swaps it in. A generation mismatch (an explicit Rebuild ran meanwhile)
+// discards the result.
+func (d *DynamicIndex) buildShard(gen uint64, lo, hi int, delta [][]float32, cfg Config) {
+	ix, err := NewIndex(delta, cfg)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.building = false
+	if d.gen == gen {
+		if err != nil {
+			d.buildErr = err
+		} else {
+			d.adoptConfigLocked(ix)
+			d.shards = append(d.shards, dynShard{ix: ix, off: lo})
+			d.indexed = hi
 		}
 	}
-	return id, nil
+	if err == nil {
+		// The buffer may have crossed the threshold again while this
+		// shard was building — including the stale-generation case,
+		// where writes during an explicit Rebuild are still unindexed.
+		// After a failed build, don't retry in a loop; the next Add
+		// surfaces the error and re-triggers.
+		d.maybeStartBuildLocked()
+	}
+	d.cond.Broadcast()
+}
+
+// WaitRebuild blocks until no background shard build is in flight. It
+// does not prevent a later Add from starting a new one.
+func (d *DynamicIndex) WaitRebuild() {
+	d.mu.Lock()
+	for d.building {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
 }
 
 // Delete tombstones a vector id; it stops appearing in results. Deleting
-// an unknown id is a no-op. The vector's storage is reclaimed only by the
-// next Rebuild.
+// an unknown id is a no-op.
 func (d *DynamicIndex) Delete(id int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -83,23 +179,25 @@ func (d *DynamicIndex) Delete(id int) {
 	}
 }
 
-// Rebuild rebuilds the main index over every live vector now.
+// Rebuild synchronously compacts every shard and the buffer into a single
+// index over all vectors. It invalidates any in-flight background build
+// and blocks readers and writers for the duration — the background path
+// is the production path; Rebuild is for explicit compaction points.
 func (d *DynamicIndex) Rebuild() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.rebuildLocked()
-}
-
-func (d *DynamicIndex) rebuildLocked() error {
+	d.gen++ // discard any in-flight background build
 	if len(d.data) == 0 {
 		return nil
 	}
-	main, err := NewIndex(d.data, d.cfg)
+	ix, err := NewIndex(d.data, d.cfg)
 	if err != nil {
 		return err
 	}
-	d.main = main
+	d.adoptConfigLocked(ix)
+	d.shards = []dynShard{{ix: ix, off: 0}}
 	d.indexed = len(d.data)
+	d.buildErr = nil
 	return nil
 }
 
@@ -110,15 +208,23 @@ func (d *DynamicIndex) Len() int {
 	return len(d.data) - len(d.deleted)
 }
 
-// Buffered returns the number of vectors not yet covered by the main
-// index (scanned exactly on every query).
+// Buffered returns the number of vectors not yet covered by an index
+// shard (scanned exactly on every query). A background build in flight
+// counts as buffered until its swap completes.
 func (d *DynamicIndex) Buffered() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.data) - d.indexed
 }
 
-// Search returns the k nearest live vectors: the main index's candidates
+// Shards returns the number of index shards currently serving queries.
+func (d *DynamicIndex) Shards() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.shards)
+}
+
+// Search returns the k nearest live vectors: every shard's candidates
 // (at the default budget) merged with an exact scan of the buffer.
 func (d *DynamicIndex) Search(q []float32, k int) []Neighbor {
 	d.mu.RLock()
@@ -126,14 +232,8 @@ func (d *DynamicIndex) Search(q []float32, k int) []Neighbor {
 	if k <= 0 || len(d.data) == 0 {
 		return nil
 	}
-	var fromMain []Neighbor
-	if d.main != nil {
-		// Over-fetch to survive tombstone filtering.
-		fetch := k + len(d.deleted)
-		fromMain = d.main.Search(q, fetch)
-	}
-	// Merge: main candidates plus exact buffer scan, dedup not needed
-	// (id ranges are disjoint), tombstones dropped, k best kept.
+	// Over-fetch to survive tombstone filtering.
+	fetch := k + len(d.deleted)
 	metric := d.metricLocked()
 	best := make([]Neighbor, 0, k+1)
 	push := func(nb Neighbor) {
@@ -151,8 +251,13 @@ func (d *DynamicIndex) Search(q []float32, k int) []Neighbor {
 			best = best[:k]
 		}
 	}
-	for _, nb := range fromMain {
-		push(nb)
+	// Shard ids are shard-local; shift by the shard's offset. Ranges are
+	// disjoint, so no dedup is needed.
+	for _, sh := range d.shards {
+		for _, nb := range sh.ix.Search(q, fetch) {
+			nb.ID += sh.off
+			push(nb)
+		}
 	}
 	for id := d.indexed; id < len(d.data); id++ {
 		push(Neighbor{ID: id, Dist: metric(d.data[id], q)})
@@ -170,8 +275,8 @@ func (d *DynamicIndex) Vector(id int) []float32 {
 // metricLocked returns the distance function of the configured metric,
 // usable before the first index exists.
 func (d *DynamicIndex) metricLocked() func(a, b []float32) float64 {
-	if d.main != nil {
-		return d.main.Distance
+	if len(d.shards) > 0 {
+		return d.shards[0].ix.Distance
 	}
 	// No index yet: resolve the metric from the config. familyFor needs
 	// a dimension; any positive one works for metric resolution.

@@ -1,7 +1,10 @@
 package lccs
 
 import (
+	"sync"
 	"testing"
+
+	"lccs/internal/rng"
 )
 
 func TestDynamicAddAndSearch(t *testing.T) {
@@ -46,9 +49,14 @@ func TestDynamicRebuildTriggered(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// At threshold 20, at least one rebuild happened; buffer is small.
+	// At threshold 20, a background shard build started; once it lands
+	// the buffer is small.
+	d.WaitRebuild()
 	if d.Buffered() >= 20 {
 		t.Fatalf("Buffered=%d, rebuild did not trigger", d.Buffered())
+	}
+	if d.Shards() < 2 {
+		t.Fatalf("Shards=%d, delta was not built into a new shard", d.Shards())
 	}
 	if d.Len() != 225 {
 		t.Fatalf("Len=%d", d.Len())
@@ -106,7 +114,8 @@ func TestDynamicEmptyStart(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Threshold 10 → a main index exists now.
+	// Threshold 10 → a shard exists once the background build lands.
+	d.WaitRebuild()
 	if d.Buffered() >= 10 {
 		t.Fatalf("Buffered=%d", d.Buffered())
 	}
@@ -159,6 +168,161 @@ func TestDynamicConcurrentReadersAndWriters(t *testing.T) {
 	}
 	if d.Len() != 520 {
 		t.Fatalf("Len=%d, want 520", d.Len())
+	}
+}
+
+// TestDynamicHammer drives Add/Delete/Search from many goroutines across
+// several background rebuild threshold crossings and checks that ids stay
+// stable and no vector is lost. Run under -race this also exercises the
+// snapshot-swap synchronization of the background shard builds.
+func TestDynamicHammer(t *testing.T) {
+	const (
+		writers    = 4
+		perWriter  = 60
+		searchers  = 3
+		initial    = 100
+		threshold  = 40
+		deleteEach = 10 // every writer deletes one of its own ids per deleteEach adds
+	)
+	data, _ := testData(58, initial, 8, 4, 0.5)
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 16, Seed: 8}, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type owned struct {
+		id  int
+		vec []float32
+	}
+	addedBy := make([][]owned, writers)
+	deletedBy := make([][]int, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := rng.New(uint64(1000 + w))
+			for i := 0; i < perWriter; i++ {
+				v := g.GaussianVector(8)
+				id, err := d.Add(v)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				addedBy[w] = append(addedBy[w], owned{id: id, vec: v})
+				if i%deleteEach == deleteEach-1 {
+					victim := addedBy[w][len(addedBy[w])/2].id
+					d.Delete(victim)
+					deletedBy[w] = append(deletedBy[w], victim)
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < searchers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				if res := d.Search(data[(s*80+i)%initial], 3); len(res) == 0 {
+					t.Errorf("searcher %d: empty result", s)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	d.WaitRebuild()
+
+	// No lost vectors and stable ids: every id's stored vector is exactly
+	// the one its writer added, and ids are globally unique.
+	seen := make(map[int]bool)
+	total := initial
+	for w := range addedBy {
+		for _, o := range addedBy[w] {
+			if seen[o.id] {
+				t.Fatalf("id %d assigned twice", o.id)
+			}
+			seen[o.id] = true
+			total++
+			got := d.Vector(o.id)
+			for j := range o.vec {
+				if got[j] != o.vec[j] {
+					t.Fatalf("id %d: vector content changed", o.id)
+				}
+			}
+		}
+	}
+	nDeleted := 0
+	for w := range deletedBy {
+		nDeleted += len(deletedBy[w])
+	}
+	if d.Len() != total-nDeleted {
+		t.Fatalf("Len=%d, want %d-%d", d.Len(), total, nDeleted)
+	}
+	// After a full compaction, every live added vector is reachable by an
+	// exhaustive-budget search, and no tombstoned id ever surfaces.
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Buffered() != 0 || d.Shards() != 1 {
+		t.Fatalf("after compaction: Buffered=%d Shards=%d", d.Buffered(), d.Shards())
+	}
+	dead := make(map[int]bool)
+	for w := range deletedBy {
+		for _, id := range deletedBy[w] {
+			dead[id] = true
+		}
+	}
+	for w := range addedBy {
+		for _, o := range addedBy[w][:5] {
+			if dead[o.id] {
+				continue
+			}
+			res := d.Search(o.vec, 1)
+			if len(res) != 1 || res[0].ID != o.id || res[0].Dist != 0 {
+				t.Fatalf("writer %d id %d not found after compaction: %+v", w, o.id, res)
+			}
+		}
+	}
+	for id := range dead {
+		for _, nb := range d.Search(d.Vector(id), 5) {
+			if nb.ID == id {
+				t.Fatalf("tombstoned id %d surfaced", id)
+			}
+		}
+	}
+}
+
+// TestDynamicBackgroundBuildDoesNotBlockWriters checks the swap
+// architecture directly: while a background shard build is in flight,
+// Add and Search proceed and see the buffered vectors.
+func TestDynamicBackgroundBuildDoesNotBlockWriters(t *testing.T) {
+	data, g := testData(59, 300, 8, 4, 0.5)
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 16, Seed: 9}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross the threshold, then immediately keep writing and reading
+	// without waiting for the build.
+	for i := 0; i < 75; i++ {
+		v := g.GaussianVector(8)
+		id, err := d.Add(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := d.Search(v, 1)
+		if len(res) != 1 || res[0].ID != id || res[0].Dist != 0 {
+			t.Fatalf("add %d: fresh vector not immediately searchable: %+v", i, res)
+		}
+	}
+	d.WaitRebuild()
+	if d.Len() != 375 {
+		t.Fatalf("Len=%d", d.Len())
+	}
+	// Everything eventually lands in shards; ids unchanged.
+	res := d.Search(d.Vector(350), 1)
+	if len(res) != 1 || res[0].ID != 350 {
+		t.Fatalf("id 350 lost after background builds: %+v", res)
 	}
 }
 

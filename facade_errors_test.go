@@ -22,13 +22,23 @@ func TestFamilyForErrors(t *testing.T) {
 func TestDecodeHeaderErrors(t *testing.T) {
 	data, _ := testData(61, 20, 4, 2, 0.5)
 	// Valid magic but truncated right after.
-	if _, err := decode(bytes.NewReader(pkgMagic[:]), data); err == nil {
+	if _, err := decodeSingle(bytes.NewReader(nil), data); err == nil {
 		t.Error("header truncation should fail")
 	}
 	// Corrupt metric length.
-	blob := append(append([]byte(nil), pkgMagic[:]...), 0xFF, 0xFF, 0xFF, 0x7F)
-	if _, err := decode(bytes.NewReader(blob), data); err == nil {
+	blob := []byte{0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := decodeSingle(bytes.NewReader(blob), data); err == nil {
 		t.Error("corrupt metric length should fail")
+	}
+	// Unknown magic is rejected up front.
+	if _, err := readMagic(bytes.NewReader([]byte("LCCSPKG9"))); err == nil {
+		t.Error("unknown magic should fail")
+	}
+	// Both known magics are accepted.
+	for _, m := range [][8]byte{pkgMagic, pkgMagic2} {
+		if got, err := readMagic(bytes.NewReader(m[:])); err != nil || got != m {
+			t.Errorf("magic %q rejected: %v", m, err)
+		}
 	}
 }
 
@@ -36,6 +46,18 @@ func TestNewDynamicIndexBadConfig(t *testing.T) {
 	data, _ := testData(62, 20, 4, 2, 0.5)
 	if _, err := NewDynamicIndex(data, Config{Metric: "nope"}, 0); err == nil {
 		t.Error("bad metric should fail when initial data present")
+	}
+	// An empty start must reject the config too, not defer to a panic at
+	// the first query.
+	if _, err := NewDynamicIndex(nil, Config{Metric: "nope"}, 0); err == nil {
+		t.Error("bad metric should fail on empty start")
+	}
+	if _, err := NewDynamicIndex(nil, Config{Metric: Euclidean, M: -1}, 0); err == nil {
+		t.Error("negative M should fail on empty start")
+	}
+	// A valid empty start still works.
+	if _, err := NewDynamicIndex(nil, Config{Metric: Euclidean}, 0); err != nil {
+		t.Errorf("valid empty start: %v", err)
 	}
 }
 

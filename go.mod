@@ -1,0 +1,3 @@
+module lccs
+
+go 1.22

@@ -137,6 +137,9 @@ func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) 
 // M returns the hash-string length.
 func (ix *Index) M() int { return ix.m }
 
+// Seed returns the seed the hash functions were drawn from.
+func (ix *Index) Seed() uint64 { return ix.seed }
+
 // N returns the number of indexed objects.
 func (ix *Index) N() int { return len(ix.data) }
 
@@ -199,3 +202,22 @@ func (ix *Index) SearchWithStats(q []float32, k, lambda int) ([]pqueue.Neighbor,
 
 // Data returns the indexed vector with the given id.
 func (ix *Index) Data(id int) []float32 { return ix.data[id] }
+
+// SearchOffset is Search for shard-local use: the index covers a
+// contiguous slice of a larger dataset starting at global id offset, and
+// every returned neighbor id is shifted by offset so results from several
+// shards merge without remapping.
+func (ix *Index) SearchOffset(q []float32, k, lambda, offset int) []pqueue.Neighbor {
+	return shiftIDs(ix.Search(q, k, lambda), offset)
+}
+
+// shiftIDs adds offset to every neighbor id in place and returns the
+// slice.
+func shiftIDs(res []pqueue.Neighbor, offset int) []pqueue.Neighbor {
+	if offset != 0 {
+		for i := range res {
+			res[i].ID += offset
+		}
+	}
+	return res
+}

@@ -1,0 +1,110 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTournamentMergeBasic(t *testing.T) {
+	lists := [][]Neighbor{
+		{{ID: 0, Dist: 1}, {ID: 1, Dist: 4}},
+		{{ID: 2, Dist: 2}, {ID: 3, Dist: 3}},
+		{{ID: 4, Dist: 0.5}},
+	}
+	got := MergeTopK(lists, 10)
+	want := []Neighbor{{4, 0.5}, {0, 1}, {2, 2}, {3, 3}, {1, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge[%d]=%+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTournamentTruncatesToK(t *testing.T) {
+	lists := [][]Neighbor{
+		{{ID: 0, Dist: 1}, {ID: 1, Dist: 2}},
+		{{ID: 2, Dist: 1.5}},
+	}
+	got := MergeTopK(lists, 2)
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTournamentEdgeCases(t *testing.T) {
+	if got := MergeTopK(nil, 5); got != nil {
+		t.Fatalf("nil lists: %+v", got)
+	}
+	if got := MergeTopK([][]Neighbor{nil, {}}, 5); got != nil {
+		t.Fatalf("empty lists: %+v", got)
+	}
+	if got := MergeTopK([][]Neighbor{{{ID: 7, Dist: 3}}}, 0); got != nil {
+		t.Fatalf("k=0: %+v", got)
+	}
+	one := MergeTopK([][]Neighbor{{{ID: 7, Dist: 3}}}, 5)
+	if len(one) != 1 || one[0].ID != 7 {
+		t.Fatalf("single run: %+v", one)
+	}
+}
+
+func TestTournamentTieBreakByID(t *testing.T) {
+	lists := [][]Neighbor{
+		{{ID: 9, Dist: 1}},
+		{{ID: 3, Dist: 1}},
+		{{ID: 6, Dist: 1}},
+	}
+	got := MergeTopK(lists, 3)
+	if got[0].ID != 3 || got[1].ID != 6 || got[2].ID != 9 {
+		t.Fatalf("tie order wrong: %+v", got)
+	}
+}
+
+func TestTournamentRandomAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nLists := 1 + r.Intn(9)
+		var all []Neighbor
+		lists := make([][]Neighbor, nLists)
+		id := 0
+		for i := range lists {
+			ln := r.Intn(8)
+			run := make([]Neighbor, ln)
+			for j := range run {
+				run[j] = Neighbor{ID: id, Dist: float64(r.Intn(6))}
+				id++
+			}
+			sort.Slice(run, func(a, b int) bool {
+				if run[a].Dist != run[b].Dist {
+					return run[a].Dist < run[b].Dist
+				}
+				return run[a].ID < run[b].ID
+			})
+			lists[i] = run
+			all = append(all, run...)
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].Dist != all[b].Dist {
+				return all[a].Dist < all[b].Dist
+			}
+			return all[a].ID < all[b].ID
+		})
+		k := 1 + r.Intn(12)
+		got := MergeTopK(lists, k)
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len=%d want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d pos %d: %+v want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -11,8 +11,14 @@ import (
 	"lccs/internal/lshfamily"
 )
 
-// pkgMagic versions the facade's on-disk index format.
+// pkgMagic versions the facade's on-disk index format: a single-Index
+// file (format 1).
 var pkgMagic = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '1'}
+
+// pkgMagic2 is the sharded container (format 2): the same configuration
+// header as format 1 followed by a shard table and one core index blob per
+// shard. Format-1 files remain loadable by both Load and LoadSharded.
+var pkgMagic2 = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '2'}
 
 // Save writes the index to path. The dataset itself is not stored: Load
 // must be given the same data slice (same order) the index was built
@@ -38,80 +44,127 @@ func (ix *Index) encode(w io.Writer) error {
 	if _, err := w.Write(pkgMagic[:]); err != nil {
 		return err
 	}
-	metric := string(ix.cfg.Metric)
+	if err := encodeConfig(w, ix.cfg); err != nil {
+		return err
+	}
+	return ix.single.Encode(w)
+}
+
+// encodeConfig writes the resolved configuration header shared by both
+// package formats.
+func encodeConfig(w io.Writer, cfg Config) error {
+	metric := string(cfg.Metric)
 	if err := binary.Write(w, binary.LittleEndian, int32(len(metric))); err != nil {
 		return err
 	}
 	if _, err := w.Write([]byte(metric)); err != nil {
 		return err
 	}
-	hdr := []int64{int64(ix.cfg.M), int64(ix.cfg.Probes), int64(ix.cfg.Budget)}
+	hdr := []int64{int64(cfg.M), int64(cfg.Probes), int64(cfg.Budget)}
 	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, ix.cfg.BucketWidth); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, cfg.BucketWidth); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, ix.cfg.Seed); err != nil {
-		return err
-	}
-	return ix.single.Encode(w)
+	return binary.Write(w, binary.LittleEndian, cfg.Seed)
 }
 
-// Load reads an index written by Save. data must be the dataset the index
-// was built over; a sample of hash strings is re-verified against it, so
-// passing different data fails loudly rather than silently returning
-// wrong neighbors.
-func Load(path string, data [][]float32) (*Index, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return decode(bufio.NewReaderSize(f, 1<<20), data)
-}
-
-func decode(r io.Reader, data [][]float32) (*Index, error) {
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, err
-	}
-	if magic != pkgMagic {
-		return nil, fmt.Errorf("lccs: bad index magic %q", magic)
-	}
+// decodeConfig reads the configuration header shared by both package
+// formats.
+func decodeConfig(r io.Reader) (Config, error) {
+	var cfg Config
 	var metricLen int32
 	if err := binary.Read(r, binary.LittleEndian, &metricLen); err != nil {
-		return nil, err
+		return cfg, err
 	}
 	if metricLen < 0 || metricLen > 64 {
-		return nil, fmt.Errorf("lccs: corrupt metric length %d", metricLen)
+		return cfg, fmt.Errorf("lccs: corrupt metric length %d", metricLen)
 	}
 	metricBuf := make([]byte, metricLen)
 	if _, err := io.ReadFull(r, metricBuf); err != nil {
-		return nil, err
+		return cfg, err
 	}
 	var hdr [3]int64
 	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
-		return nil, err
+		return cfg, err
+	}
+	if hdr[0] <= 0 || hdr[1] < 0 || hdr[2] < 0 {
+		return cfg, fmt.Errorf("lccs: corrupt config header m=%d probes=%d budget=%d", hdr[0], hdr[1], hdr[2])
 	}
 	var bucketWidth float64
 	if err := binary.Read(r, binary.LittleEndian, &bucketWidth); err != nil {
-		return nil, err
+		return cfg, err
 	}
 	var seed uint64
 	if err := binary.Read(r, binary.LittleEndian, &seed); err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if len(data) == 0 {
-		return nil, fmt.Errorf("lccs: empty dataset")
-	}
-	cfg := Config{
+	return Config{
 		Metric:      MetricKind(metricBuf),
 		M:           int(hdr[0]),
 		Probes:      int(hdr[1]),
 		Budget:      int(hdr[2]),
 		BucketWidth: bucketWidth,
 		Seed:        seed,
+	}, nil
+}
+
+// Load reads a single-Index file written by Index.Save. data must be the
+// dataset the index was built over; a sample of hash strings is
+// re-verified against it, so passing different data fails loudly rather
+// than silently returning wrong neighbors. Sharded (format 2) files are
+// rejected with an error directing to LoadSharded.
+func Load(path string, data [][]float32) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic, err := readMagic(r)
+	if err != nil {
+		return nil, err
+	}
+	if magic == pkgMagic2 {
+		return nil, fmt.Errorf("lccs: %s holds a sharded index; use LoadSharded", path)
+	}
+	return decodeSingle(r, data)
+}
+
+// readMagic reads and validates the 8-byte package magic.
+func readMagic(r io.Reader) ([8]byte, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return magic, err
+	}
+	if magic != pkgMagic && magic != pkgMagic2 {
+		return magic, fmt.Errorf("lccs: bad index magic %q", magic)
+	}
+	return magic, nil
+}
+
+// checkDataset validates the caller-supplied dataset before it is used
+// to reconstruct hash families: a nil or zero-dimensional first vector
+// must be reported, not panicked on deep inside the LSH family.
+func checkDataset(data [][]float32) error {
+	if len(data) == 0 {
+		return fmt.Errorf("lccs: empty dataset")
+	}
+	if len(data[0]) == 0 {
+		return fmt.Errorf("lccs: zero-dimensional data")
+	}
+	return nil
+}
+
+// decodeSingle decodes a format-1 body (everything after the magic).
+func decodeSingle(r io.Reader, data [][]float32) (*Index, error) {
+	cfg, err := decodeConfig(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkDataset(data); err != nil {
+		return nil, err
 	}
 	family, err := familyFor(cfg, len(data[0]))
 	if err != nil {
@@ -121,6 +174,28 @@ func decode(r io.Reader, data [][]float32) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := checkCoreMatches(single, cfg); err != nil {
+		return nil, err
+	}
+	return wrapSingle(single, cfg, family)
+}
+
+// checkCoreMatches verifies the package header agrees with the decoded
+// core index on the fields both store, catching header corruption the
+// core-level checks cannot see.
+func checkCoreMatches(single *core.Index, cfg Config) error {
+	if single.M() != cfg.M {
+		return fmt.Errorf("lccs: package header says m=%d, core index has m=%d", cfg.M, single.M())
+	}
+	if single.Seed() != cfg.Seed {
+		return fmt.Errorf("lccs: package header seed %d disagrees with core index seed %d", cfg.Seed, single.Seed())
+	}
+	return nil
+}
+
+// wrapSingle builds the facade Index around a decoded core index,
+// restoring the multi-probe wrapper when the configuration asks for one.
+func wrapSingle(single *core.Index, cfg Config, family lshfamily.Family) (*Index, error) {
 	ix := &Index{single: single, metric: family.Metric(), budget: cfg.Budget, cfg: cfg}
 	if cfg.Probes > 1 {
 		mp, err := core.WrapMP(single, core.MPParams{
@@ -133,6 +208,138 @@ func decode(r io.Reader, data [][]float32) (*Index, error) {
 		ix.multi = mp
 	}
 	return ix, nil
+}
+
+// Save writes the sharded index to path as a format-2 container: the
+// shared configuration header, the shard table, and each shard's core
+// index. As with Index.Save, the dataset itself is not stored — Load
+// Sharded must be given the same data slice in the same order.
+func (sx *ShardedIndex) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := sx.encode(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (sx *ShardedIndex) encode(w io.Writer) error {
+	if _, err := w.Write(pkgMagic2[:]); err != nil {
+		return err
+	}
+	if err := encodeConfig(w, sx.cfg); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int32(len(sx.shards))); err != nil {
+		return err
+	}
+	sizes := make([]int64, len(sx.shards))
+	for s := range sx.shards {
+		sizes[s] = int64(sx.offsets[s+1] - sx.offsets[s])
+	}
+	if err := binary.Write(w, binary.LittleEndian, sizes); err != nil {
+		return err
+	}
+	for _, shard := range sx.shards {
+		if err := shard.single.Encode(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSharded reads a sharded index written by ShardedIndex.Save. data
+// must be the dataset the index was built over, in the same order. A
+// format-1 (single-Index) file is accepted too and wrapped as one shard,
+// so callers can migrate to the sharded API without rewriting old files.
+func LoadSharded(path string, data [][]float32) (*ShardedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic, err := readMagic(r)
+	if err != nil {
+		return nil, err
+	}
+	if magic == pkgMagic {
+		ix, err := decodeSingle(r, data)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedIndex{
+			cfg:     ix.cfg,
+			shards:  []*Index{ix},
+			offsets: []int{0, ix.Len()},
+			budget:  ix.budget,
+		}, nil
+	}
+	return decodeSharded(r, data)
+}
+
+// decodeSharded decodes a format-2 body (everything after the magic).
+func decodeSharded(r io.Reader, data [][]float32) (*ShardedIndex, error) {
+	cfg, err := decodeConfig(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkDataset(data); err != nil {
+		return nil, err
+	}
+	var shardCount int32
+	if err := binary.Read(r, binary.LittleEndian, &shardCount); err != nil {
+		return nil, err
+	}
+	if err := validateShardCount(int(shardCount), len(data)); err != nil {
+		return nil, err
+	}
+	sizes := make([]int64, shardCount)
+	if err := binary.Read(r, binary.LittleEndian, sizes); err != nil {
+		return nil, err
+	}
+	offsets := make([]int, shardCount+1)
+	for s, size := range sizes {
+		if size <= 0 || size > int64(len(data)) {
+			return nil, fmt.Errorf("lccs: corrupt shard size %d", size)
+		}
+		offsets[s+1] = offsets[s] + int(size)
+	}
+	if offsets[shardCount] != len(data) {
+		return nil, fmt.Errorf("lccs: shard table covers %d vectors, data has %d", offsets[shardCount], len(data))
+	}
+	family, err := familyFor(cfg, len(data[0]))
+	if err != nil {
+		return nil, err
+	}
+	sx := &ShardedIndex{
+		cfg:     cfg,
+		shards:  make([]*Index, shardCount),
+		offsets: offsets,
+		budget:  cfg.Budget,
+	}
+	for s := range sx.shards {
+		single, err := core.Decode(r, data[offsets[s]:offsets[s+1]], family)
+		if err != nil {
+			return nil, fmt.Errorf("lccs: shard %d: %w", s, err)
+		}
+		if err := checkCoreMatches(single, cfg); err != nil {
+			return nil, fmt.Errorf("lccs: shard %d: %w", s, err)
+		}
+		sx.shards[s], err = wrapSingle(single, cfg, family)
+		if err != nil {
+			return nil, fmt.Errorf("lccs: shard %d: %w", s, err)
+		}
+	}
+	return sx, nil
 }
 
 // familyFor constructs the LSH family a Config selects. BucketWidth must

@@ -21,6 +21,13 @@
 //
 // Multi-probe querying (MP-LCCS-LSH, smaller indexes at equal recall) is
 // enabled by setting Config.Probes > 1.
+//
+// Beyond the single static Index, the package provides ShardedIndex —
+// the dataset partitioned across S shards whose CSAs build in parallel
+// and whose per-shard top-k results merge through a tournament tree —
+// and DynamicIndex, a delta-main structure whose buffered inserts are
+// rebuilt into new shards in the background without blocking writers.
+// See README.md for the architecture and shard-count guidance.
 package lccs
 
 import (
@@ -104,14 +111,17 @@ const (
 	defaultBudget = 100
 )
 
-// NewIndex builds an LCCS-LSH index over data.
-func NewIndex(data [][]float32, cfg Config) (*Index, error) {
+// resolveConfig fills a Config's derived fields against a dataset:
+// defaults for M and Budget, and the auto-derived Euclidean bucket width.
+// It is idempotent, so an already resolved Config passes through
+// unchanged — which is how every shard of a ShardedIndex ends up with the
+// exact same (seed-equivalent) configuration.
+func resolveConfig(data [][]float32, cfg Config) (Config, error) {
 	if len(data) == 0 {
-		return nil, errors.New("lccs: empty dataset")
+		return cfg, errors.New("lccs: empty dataset")
 	}
-	dim := len(data[0])
-	if dim == 0 {
-		return nil, errors.New("lccs: zero-dimensional data")
+	if len(data[0]) == 0 {
+		return cfg, errors.New("lccs: zero-dimensional data")
 	}
 	if cfg.M == 0 {
 		cfg.M = defaultM
@@ -119,14 +129,38 @@ func NewIndex(data [][]float32, cfg Config) (*Index, error) {
 	if cfg.Budget == 0 {
 		cfg.Budget = defaultBudget
 	}
-	if cfg.M < 0 || cfg.Probes < 0 || cfg.Budget < 0 || cfg.BucketWidth < 0 {
-		return nil, errors.New("lccs: negative configuration value")
+	if err := validateConfig(cfg); err != nil {
+		return cfg, err
 	}
-
 	if cfg.Metric == Euclidean && cfg.BucketWidth == 0 {
 		cfg.BucketWidth = autoBucketWidth(data, cfg.Seed)
 	}
-	family, err := familyFor(cfg, dim)
+	return cfg, nil
+}
+
+// validateConfig checks a Config without a dataset: value ranges and
+// metric resolvability. It is the single source of truth shared by
+// resolveConfig and the empty-start dynamic path, where no build runs
+// yet. A zero Euclidean bucket width is acceptable here — it is
+// auto-derived when the first build sees data.
+func validateConfig(cfg Config) error {
+	if cfg.M < 0 || cfg.Probes < 0 || cfg.Budget < 0 || cfg.BucketWidth < 0 {
+		return errors.New("lccs: negative configuration value")
+	}
+	if cfg.Metric == Euclidean && cfg.BucketWidth == 0 {
+		cfg.BucketWidth = 1 // resolvability check only; derived at build time
+	}
+	_, err := familyFor(cfg, 1)
+	return err
+}
+
+// NewIndex builds an LCCS-LSH index over data.
+func NewIndex(data [][]float32, cfg Config) (*Index, error) {
+	cfg, err := resolveConfig(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	family, err := familyFor(cfg, len(data[0]))
 	if err != nil {
 		return nil, err
 	}

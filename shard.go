@@ -1,0 +1,207 @@
+package lccs
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lccs/internal/pqueue"
+)
+
+// ShardedIndex partitions a dataset across S shards, each an independent
+// LCCS-LSH Index over a contiguous slice of the data. All shards share one
+// fully resolved configuration — the same seed, hash-string length m, and
+// bucket width (derived once from the full dataset) — so a sharded index
+// is seed-equivalent to a single Index over the same data.
+//
+// Sharding serves two purposes. Construction: the CSA build is dominated
+// by the m circular sorts, and S shards sort S independent problems of
+// size n/S in parallel, turning the sort-bound build near-linear in cores
+// (each shard's working set is also S× smaller, which keeps the
+// comparison-heavy sorts in cache). Queries: a search fans out across all
+// shards — concurrently when cores allow — and the per-shard top-k lists
+// are combined by a tournament-tree merge into the global top-k.
+//
+// Query cost grows mildly with S (each shard runs its own binary searches
+// and verifies its own candidate floor), so prefer the smallest shard
+// count that saturates the hardware: GOMAXPROCS for build-heavy or
+// mixed workloads (the default), 1 for tiny datasets.
+//
+// A ShardedIndex is safe for concurrent queries. The data slice is
+// retained by reference and must not be mutated while the index is in
+// use.
+type ShardedIndex struct {
+	cfg    Config
+	shards []*Index
+	// offsets[s] is the global id of the first vector of shard s;
+	// offsets[len(shards)] == n. Shard s covers data[offsets[s]:offsets[s+1]].
+	offsets   []int
+	budget    int
+	buildTime time.Duration
+}
+
+// NewShardedIndex builds an LCCS-LSH index over data partitioned into the
+// given number of shards. shards ≤ 0 selects GOMAXPROCS; the count is
+// capped at len(data) so every shard is non-empty. All shard CSAs are
+// built in parallel.
+func NewShardedIndex(data [][]float32, cfg Config, shards int) (*ShardedIndex, error) {
+	if len(data) == 0 {
+		return nil, errors.New("lccs: empty dataset")
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(data) {
+		shards = len(data)
+	}
+	cfg, err := resolveConfig(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	sx := &ShardedIndex{
+		cfg:     cfg,
+		shards:  make([]*Index, shards),
+		offsets: shardOffsets(len(data), shards),
+		budget:  cfg.Budget,
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sx.shards[s], errs[s] = NewIndex(data[sx.offsets[s]:sx.offsets[s+1]], cfg)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sx.buildTime = time.Since(start)
+	return sx, nil
+}
+
+// shardOffsets splits n items into an (shards+1)-entry offset table of
+// near-equal contiguous ranges (the first n%shards ranges are one larger).
+func shardOffsets(n, shards int) []int {
+	offsets := make([]int, shards+1)
+	base, rem := n/shards, n%shards
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		offsets[s+1] = offsets[s] + size
+	}
+	return offsets
+}
+
+// Search returns the k nearest neighbors of q across all shards with the
+// index's default candidate budget, in ascending distance order. Ids are
+// global: they index into the data slice the index was built from.
+func (sx *ShardedIndex) Search(q []float32, k int) []Neighbor {
+	return sx.SearchBudget(q, k, sx.budget)
+}
+
+// SearchBudget is Search with an explicit candidate budget λ. The budget
+// is divided across shards (⌈λ/S⌉ each), so each shard verifies
+// ⌈λ/S⌉+k−1 candidates and the total verification work is ≈ λ+S·(k−1).
+func (sx *ShardedIndex) SearchBudget(q []float32, k, lambda int) []Neighbor {
+	return sx.searchBudget(q, k, lambda, true)
+}
+
+// searchBudget runs the fan-out/merge with or without per-shard
+// goroutines; the result is identical either way (deterministic merge),
+// so batch callers whose worker pool already saturates the CPUs can skip
+// the nested parallelism.
+func (sx *ShardedIndex) searchBudget(q []float32, k, lambda int, parallel bool) []Neighbor {
+	if k <= 0 || lambda <= 0 {
+		return nil
+	}
+	lists := sx.searchShards(q, k, lambda, parallel)
+	merged := pqueue.MergeTopK(lists, k)
+	out := make([]Neighbor, len(merged))
+	for i, nb := range merged {
+		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}
+
+// searchShards fans the query out across all shards — concurrently when
+// asked and more than one CPU is available — and returns the per-shard
+// top-k lists with global ids, each ascending by distance.
+func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool) [][]pqueue.Neighbor {
+	s := len(sx.shards)
+	lambdaShard := (lambda + s - 1) / s
+	lists := make([][]pqueue.Neighbor, s)
+	if !parallel || s == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i, shard := range sx.shards {
+			lists[i] = shard.searchOffset(q, k, lambdaShard, sx.offsets[i])
+		}
+		return lists
+	}
+	var wg sync.WaitGroup
+	for i := range sx.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lists[i] = sx.shards[i].searchOffset(q, k, lambdaShard, sx.offsets[i])
+		}(i)
+	}
+	wg.Wait()
+	return lists
+}
+
+// searchOffset routes a shard-local query to the core index (single- or
+// multi-probe), shifting result ids to the global id space.
+func (ix *Index) searchOffset(q []float32, k, lambda, offset int) []pqueue.Neighbor {
+	if ix.multi != nil {
+		return ix.multi.SearchOffset(q, k, lambda, offset)
+	}
+	return ix.single.SearchOffset(q, k, lambda, offset)
+}
+
+// Distance returns the index's metric distance between two vectors.
+func (sx *ShardedIndex) Distance(a, b []float32) float64 {
+	return sx.shards[0].Distance(a, b)
+}
+
+// Shards returns the number of shards.
+func (sx *ShardedIndex) Shards() int { return len(sx.shards) }
+
+// Shard returns the s-th shard's Index and the global id of its first
+// vector. Exposed for benchmarking and inspection; treat it as read-only.
+func (sx *ShardedIndex) Shard(s int) (*Index, int) { return sx.shards[s], sx.offsets[s] }
+
+// M returns the hash-string length (identical across shards).
+func (sx *ShardedIndex) M() int { return sx.shards[0].M() }
+
+// Len returns the total number of indexed vectors.
+func (sx *ShardedIndex) Len() int { return sx.offsets[len(sx.offsets)-1] }
+
+// Bytes returns the approximate total index memory footprint.
+func (sx *ShardedIndex) Bytes() int64 {
+	var total int64
+	for _, shard := range sx.shards {
+		total += shard.Bytes()
+	}
+	return total
+}
+
+// BuildTime returns the wall-clock time of the parallel build.
+func (sx *ShardedIndex) BuildTime() time.Duration { return sx.buildTime }
+
+// validateShardCount sanity-checks a decoded shard count against the
+// dataset size.
+func validateShardCount(shards, n int) error {
+	if shards <= 0 || shards > n {
+		return fmt.Errorf("lccs: corrupt shard count %d for %d vectors", shards, n)
+	}
+	return nil
+}
