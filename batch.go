@@ -6,25 +6,35 @@ import (
 )
 
 // budgetSearcher is any index shape that answers a single budgeted query;
-// both Index and ShardedIndex satisfy it, so they share one batch engine.
+// Index, ShardedIndex, and DynamicIndex all satisfy it, so they share one
+// batch engine.
 type budgetSearcher interface {
-	SearchBudget(q []float32, k, lambda int) []Neighbor
+	SearchBudget(q []float32, k, lambda int) ([]Neighbor, error)
 }
 
 // searchBatch answers many queries concurrently across all CPUs; results
 // are returned in query order and each row is byte-identical to what a
-// sequential SearchBudget call would return.
-func searchBatch(ix budgetSearcher, queries [][]float32, k, lambda int) [][]Neighbor {
+// sequential SearchBudget call would return. The first per-query
+// validation error fails the whole batch; k and λ are checked up front
+// so even an empty batch holds the shared validation contract.
+func searchBatch(ix budgetSearcher, queries [][]float32, k, lambda int) ([][]Neighbor, error) {
+	if k <= 0 {
+		return nil, ErrInvalidK
+	}
+	if lambda <= 0 {
+		return nil, ErrInvalidBudget
+	}
 	out := make([][]Neighbor, len(queries))
+	errs := make([]error, len(queries))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
 		workers = len(queries)
 	}
 	if workers <= 1 {
 		for i, q := range queries {
-			out[i] = ix.SearchBudget(q, k, lambda)
+			out[i], errs[i] = ix.SearchBudget(q, k, lambda)
 		}
-		return out
+		return batchResult(out, errs)
 	}
 	var wg sync.WaitGroup
 	ch := make(chan int)
@@ -33,7 +43,7 @@ func searchBatch(ix budgetSearcher, queries [][]float32, k, lambda int) [][]Neig
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				out[i] = ix.SearchBudget(queries[i], k, lambda)
+				out[i], errs[i] = ix.SearchBudget(queries[i], k, lambda)
 			}
 		}()
 	}
@@ -42,18 +52,29 @@ func searchBatch(ix budgetSearcher, queries [][]float32, k, lambda int) [][]Neig
 	}
 	close(ch)
 	wg.Wait()
-	return out
+	return batchResult(out, errs)
+}
+
+// batchResult collapses per-query errors: the first one (in query order)
+// fails the batch, so callers never see partial results.
+func batchResult(out [][]Neighbor, errs []error) ([][]Neighbor, error) {
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // SearchBatch answers many queries concurrently across all CPUs with the
 // index's default candidate budget; results are returned in query order.
 // Each query's result slice matches what Search would return.
-func (ix *Index) SearchBatch(queries [][]float32, k int) [][]Neighbor {
+func (ix *Index) SearchBatch(queries [][]float32, k int) ([][]Neighbor, error) {
 	return ix.SearchBatchBudget(queries, k, ix.budget)
 }
 
 // SearchBatchBudget is SearchBatch with an explicit candidate budget λ.
-func (ix *Index) SearchBatchBudget(queries [][]float32, k, lambda int) [][]Neighbor {
+func (ix *Index) SearchBatchBudget(queries [][]float32, k, lambda int) ([][]Neighbor, error) {
 	return searchBatch(ix, queries, k, lambda)
 }
 
@@ -62,12 +83,12 @@ func (ix *Index) SearchBatchBudget(queries [][]float32, k, lambda int) [][]Neigh
 // has at least GOMAXPROCS queries the worker pool already saturates the
 // CPUs, so each query runs its shard fan-out sequentially; smaller
 // batches keep the per-shard fan-out so idle cores still help.
-func (sx *ShardedIndex) SearchBatch(queries [][]float32, k int) [][]Neighbor {
+func (sx *ShardedIndex) SearchBatch(queries [][]float32, k int) ([][]Neighbor, error) {
 	return sx.SearchBatchBudget(queries, k, sx.budget)
 }
 
 // SearchBatchBudget is SearchBatch with an explicit candidate budget λ.
-func (sx *ShardedIndex) SearchBatchBudget(queries [][]float32, k, lambda int) [][]Neighbor {
+func (sx *ShardedIndex) SearchBatchBudget(queries [][]float32, k, lambda int) ([][]Neighbor, error) {
 	if len(queries) >= runtime.GOMAXPROCS(0) {
 		return searchBatch(seqShardSearcher{sx}, queries, k, lambda)
 	}
@@ -80,6 +101,6 @@ func (sx *ShardedIndex) SearchBatchBudget(queries [][]float32, k, lambda int) []
 // either way.
 type seqShardSearcher struct{ sx *ShardedIndex }
 
-func (s seqShardSearcher) SearchBudget(q []float32, k, lambda int) []Neighbor {
+func (s seqShardSearcher) SearchBudget(q []float32, k, lambda int) ([]Neighbor, error) {
 	return s.sx.searchBudget(q, k, lambda, false)
 }

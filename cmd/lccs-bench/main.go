@@ -1,13 +1,15 @@
 // Command lccs-bench regenerates the paper's tables and figures on the
-// synthetic dataset analogues, and benchmarks the sharded index
-// subsystem.
+// synthetic dataset analogues, and benchmarks the sharded index and
+// serving subsystems.
 //
 // Usage:
 //
 //	lccs-bench -exp fig4 [-n 10000] [-nq 50] [-k 10] [-datasets sift,glove] [-seed 1] [-quick]
 //	lccs-bench -exp all      # every table and figure, in paper order
-//	lccs-bench -exp shard [-n 100000] [-shards 0] [-m 32]
+//	lccs-bench -exp shard [-n 100000] [-shards 0] [-m 32] [-metric euclidean]
 //	                         # sharded vs single: build speedup + per-shard QPS
+//	lccs-bench -exp serve [-n 100000] [-clients 8] [-reqs 2000] [-metric euclidean]
+//	                         # drive the HTTP server over loopback: QPS + p50/p99
 //
 // Each paper experiment prints rows in the same structure as the
 // corresponding artifact: Pareto-frontier (recall, query time) points for
@@ -15,7 +17,11 @@
 // for Figure 8, per-m and per-#probes frontiers for Figures 9/10. The
 // shard experiment reports single vs parallel sharded build time, the
 // build speedup, per-shard query throughput, and fan-out query
-// throughput.
+// throughput. The serve experiment starts the internal/server HTTP stack
+// on a loopback listener, fires concurrent clients at /v1/search and one
+// batch at /v1/search/batch, and reports end-to-end QPS with tail
+// latency. -metric accepts all four facade metrics (euclidean, angular,
+// hamming, jaccard).
 package main
 
 import (
@@ -32,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', or 'shard'")
+		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', 'shard', or 'serve'")
 		n        = flag.Int("n", 10000, "data points per dataset")
 		nq       = flag.Int("nq", 50, "queries per dataset")
 		k        = flag.Int("k", 10, "neighbors per query")
@@ -40,17 +46,29 @@ func main() {
 		methods  = flag.String("methods", "", "comma-separated method subset, e.g. 'LCCS-LSH,E2LSH' (default: all)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "shrink parameter grids (smoke test)")
-		shards   = flag.Int("shards", 0, "shard count for -exp shard (0 = GOMAXPROCS)")
-		m        = flag.Int("m", 32, "hash-string length for -exp shard")
+		shards   = flag.Int("shards", 0, "shard count for -exp shard/serve (0 = GOMAXPROCS)")
+		m        = flag.Int("m", 32, "hash-string length for -exp shard/serve")
+		metric   = flag.String("metric", "euclidean", "metric for -exp shard/serve: euclidean | angular | hamming | jaccard")
+		clients  = flag.Int("clients", 8, "concurrent clients for -exp serve")
+		reqs     = flag.Int("reqs", 2000, "total requests for -exp serve")
 	)
 	flag.Parse()
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *exp == "shard" {
-		if err := shardBench(*n, *nq, *k, *m, *shards, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "lccs-bench: shard: %v\n", err)
+	if *exp == "shard" || *exp == "serve" {
+		kind, err := lccs.ParseMetric(*metric)
+		if err == nil {
+			switch *exp {
+			case "shard":
+				err = shardBench(*n, *nq, *k, *m, *shards, *seed, kind)
+			case "serve":
+				err = serveBench(*n, *nq, *k, *m, *shards, *clients, *reqs, *seed, kind)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lccs-bench: %s: %v\n", *exp, err)
 			os.Exit(1)
 		}
 		return
@@ -79,17 +97,38 @@ func main() {
 	}
 }
 
-// shardBench builds the same clustered workload as a single Index and as
-// a ShardedIndex and reports build times, the build speedup, per-shard
-// query throughput, and overall fan-out throughput.
-func shardBench(n, nq, k, m, shards int, seed uint64) error {
+// benchWorkload generates the clustered benchmark dataset plus queries
+// for the given metric: Gaussian clusters for the geometric metrics,
+// random binary vectors (with near-duplicate queries) for Hamming and
+// Jaccard.
+func benchWorkload(n, nq int, seed uint64, kind lccs.MetricKind) (data, queries [][]float32) {
 	const d = 16
+	const dBits = 64
 	g := rng.New(seed)
+	if kind == lccs.Hamming || kind == lccs.Jaccard {
+		data = make([][]float32, n)
+		for i := range data {
+			v := make([]float32, dBits)
+			for j := range v {
+				v[j] = float32(g.IntN(2))
+			}
+			data[i] = v
+		}
+		queries = make([][]float32, nq)
+		for i := range queries {
+			q := append([]float32(nil), data[g.IntN(n)]...)
+			for _, j := range g.Perm(dBits)[:3] {
+				q[j] = 1 - q[j]
+			}
+			queries[i] = q
+		}
+		return data, queries
+	}
 	centers := make([][]float32, 64)
 	for i := range centers {
 		centers[i] = g.UniformVector(d, -10, 10)
 	}
-	data := make([][]float32, n)
+	data = make([][]float32, n)
 	for i := range data {
 		c := centers[i%len(centers)]
 		v := make([]float32, d)
@@ -98,7 +137,7 @@ func shardBench(n, nq, k, m, shards int, seed uint64) error {
 		}
 		data[i] = v
 	}
-	queries := make([][]float32, nq)
+	queries = make([][]float32, nq)
 	for i := range queries {
 		queries[i] = g.GaussianVector(d)
 		base := data[g.IntN(n)]
@@ -106,9 +145,17 @@ func shardBench(n, nq, k, m, shards int, seed uint64) error {
 			queries[i][j] = base[j] + queries[i][j]*0.3
 		}
 	}
-	cfg := lccs.Config{Metric: lccs.Euclidean, M: m, Seed: seed}
+	return data, queries
+}
 
-	fmt.Printf("# shard bench: n=%d d=%d m=%d nq=%d k=%d\n", n, d, m, nq, k)
+// shardBench builds the same clustered workload as a single Index and as
+// a ShardedIndex and reports build times, the build speedup, per-shard
+// query throughput, and overall fan-out throughput.
+func shardBench(n, nq, k, m, shards int, seed uint64, kind lccs.MetricKind) error {
+	data, queries := benchWorkload(n, nq, seed, kind)
+	cfg := lccs.Config{Metric: kind, M: m, Seed: seed}
+
+	fmt.Printf("# shard bench: n=%d d=%d m=%d nq=%d k=%d metric=%s\n", n, len(data[0]), m, nq, k, kind)
 	start := time.Now()
 	single, err := lccs.NewIndex(data, cfg)
 	if err != nil {
@@ -139,10 +186,10 @@ func shardBench(n, nq, k, m, shards int, seed uint64) error {
 			s, qps(func(q []float32) { shard.Search(q, k) }), off, off+shard.Len()-1)
 	}
 	fmt.Printf("fan-out QPS         %10.0f\n", qps(func(q []float32) { sx.Search(q, k) }))
-	fmt.Printf("batch fan-out QPS   %10.0f\n", func() float64 {
-		start := time.Now()
-		sx.SearchBatch(queries, k)
-		return float64(nq) / time.Since(start).Seconds()
-	}())
+	start = time.Now()
+	if _, err := sx.SearchBatch(queries, k); err != nil {
+		return err
+	}
+	fmt.Printf("batch fan-out QPS   %10.0f\n", float64(nq)/time.Since(start).Seconds())
 	return nil
 }

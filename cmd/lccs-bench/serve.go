@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"lccs"
+	"lccs/internal/server"
+)
+
+// serveBench stands up the internal/server HTTP stack on a loopback
+// listener over a freshly built ShardedIndex, drives it with concurrent
+// clients, and reports end-to-end throughput and tail latency — the
+// serving overhead on top of raw index QPS (compare with -exp shard).
+func serveBench(n, nq, k, m, shards, clients, reqs int, seed uint64, kind lccs.MetricKind) error {
+	if clients < 1 {
+		clients = 1
+	}
+	if reqs < 1 {
+		return fmt.Errorf("-reqs must be positive, got %d", reqs)
+	}
+	data, queries := benchWorkload(n, nq, seed, kind)
+	sx, err := lccs.NewShardedIndex(data, lccs.Config{Metric: kind, M: m, Seed: seed}, shards)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Backend:     sx,
+		MaxInFlight: runtime.GOMAXPROCS(0),
+		MaxQueue:    clients * 4,
+		Timeout:     30 * time.Second,
+		CacheSize:   0, // measure the index, not the cache
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	fmt.Printf("# serve bench: n=%d d=%d m=%d S=%d metric=%s clients=%d reqs=%d k=%d\n",
+		n, len(data[0]), m, sx.Shards(), kind, clients, reqs, k)
+
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		b, err := json.Marshal(map[string]any{"query": q, "k": k})
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(path string, body []byte) error {
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Warm up connections and code paths.
+	for i := 0; i < clients && i < len(bodies); i++ {
+		if err := post("/v1/search", bodies[i]); err != nil {
+			return err
+		}
+	}
+
+	// Concurrent single-query load: reqs requests spread over clients.
+	latencies := make([]float64, reqs)
+	errs := make([]error, clients)
+	var next int
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= reqs {
+					return
+				}
+				t0 := time.Now()
+				if err := post("/v1/search", bodies[i%len(bodies)]); err != nil {
+					errs[c] = err
+					return
+				}
+				latencies[i] = time.Since(t0).Seconds()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 { return latencies[int(p*float64(len(latencies)-1))] * 1000 }
+	fmt.Printf("loopback QPS        %10.0f\n", float64(reqs)/elapsed.Seconds())
+	fmt.Printf("latency p50         %10.3fms\n", pct(0.50))
+	fmt.Printf("latency p99         %10.3fms\n", pct(0.99))
+	fmt.Printf("latency max         %10.3fms\n", latencies[len(latencies)-1]*1000)
+
+	// One whole-workload batch request for comparison.
+	batchBody, err := json.Marshal(map[string]any{"queries": queries, "k": k})
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := post("/v1/search/batch", batchBody); err != nil {
+		return err
+	}
+	fmt.Printf("batch QPS           %10.0f  (%d queries in one request)\n",
+		float64(len(queries))/time.Since(t0).Seconds(), len(queries))
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"lccs"
 	"lccs/internal/baseline/scan"
 	"lccs/internal/dataset"
 	"lccs/internal/vec"
@@ -28,7 +29,7 @@ func main() {
 		out     = flag.String("out", "", "output dataset file")
 		truth   = flag.String("truth", "", "also compute exact ground truth to this file")
 		k       = flag.Int("k", 10, "ground-truth neighbors per query")
-		metric  = flag.String("metric", "euclidean", "ground-truth metric: euclidean or angular")
+		metric  = flag.String("metric", "euclidean", "ground-truth metric: euclidean | angular | hamming | jaccard")
 		inspect = flag.String("inspect", "", "print statistics of an existing dataset file and exit")
 	)
 	flag.Parse()
@@ -62,10 +63,12 @@ func main() {
 	fmt.Printf("wrote %s: n=%d nq=%d d=%d\n", *out, len(ds.Data), len(ds.Queries), ds.Dim)
 
 	if *truth != "" {
-		m := vec.MetricByName(*metric)
-		if m == nil {
-			fatal(fmt.Errorf("unknown metric %q", *metric))
+		kind, err := lccs.ParseMetric(*metric)
+		if err != nil {
+			fatal(err)
 		}
+		// Every canonical MetricKind name is registered in vec.
+		m := vec.MetricByName(string(kind))
 		work := ds
 		if m.Name() == "angular" {
 			work = ds.NormalizedCopy()

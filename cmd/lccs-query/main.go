@@ -6,6 +6,7 @@
 //
 //	lccs-query -data sift.ds -metric euclidean -m 128 -lambda 100 -k 10
 //	lccs-query -data glove.ds -metric angular -m 64 -probes 129 -truth glove.gt
+//	lccs-query -data sets.ds -metric jaccard -m 96
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 func main() {
 	var (
 		dataPath  = flag.String("data", "", "dataset file from lccs-datagen")
-		metric    = flag.String("metric", "euclidean", "euclidean | angular | hamming")
+		metric    = flag.String("metric", "euclidean", "euclidean | angular | hamming | jaccard")
 		m         = flag.Int("m", 64, "hash-string length")
 		probes    = flag.Int("probes", 1, "probing sequences per query (1 = single-probe)")
 		lambda    = flag.Int("lambda", 100, "candidate budget per query")
@@ -37,16 +38,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	kind, err := lccs.ParseMetric(*metric)
+	if err != nil {
+		fatal(err)
+	}
 	ds, err := dataset.Load(*dataPath)
 	if err != nil {
 		fatal(err)
 	}
-	if *metric == "angular" {
+	if kind == lccs.Angular {
 		ds = ds.NormalizedCopy()
 	}
 	start := time.Now()
 	ix, err := lccs.NewIndex(ds.Data, lccs.Config{
-		Metric: lccs.MetricKind(*metric),
+		Metric: kind,
 		M:      *m,
 		Probes: *probes,
 		Budget: *lambda,
@@ -72,7 +77,10 @@ func main() {
 	var totalTime time.Duration
 	for qi, q := range ds.Queries {
 		qs := time.Now()
-		res := ix.Search(q, *k)
+		res, err := ix.Search(q, *k)
+		if err != nil {
+			fatal(err)
+		}
 		totalTime += time.Since(qs)
 		if *verbose {
 			fmt.Printf("query %d:\n", qi)

@@ -1,0 +1,232 @@
+// Command lccs-serve puts an LCCS-LSH index behind a network endpoint: a
+// long-lived daemon that loads (or builds) an index over a dataset file
+// and serves the HTTP/JSON API of internal/server — /v1/search,
+// /v1/search/batch, /v1/insert, /v1/stats, /healthz, /metrics — with
+// bounded concurrency, an LRU result cache, and graceful shutdown.
+//
+// Usage:
+//
+//	lccs-serve -data sift.ds -metric euclidean -m 64 -shards 0 -addr :8080
+//	lccs-serve -data sift.ds -dynamic -snapshot snap.lccs -snapshot-data snap.ds
+//	lccs-serve -data snap.ds -index snap.lccs            # warm start, read-only
+//	lccs-serve -data snap.ds -index snap.lccs -dynamic \
+//	           -snapshot snap.lccs                       # warm start, writable
+//
+// Backend selection: -index loads a prebuilt LCCSPKG1/LCCSPKG2 container
+// (skipping the build) — read-only by default, or wrapped as a writable
+// DynamicIndex when combined with -dynamic; -dynamic alone builds a
+// DynamicIndex and enables /v1/insert; otherwise a ShardedIndex is
+// built with -shards shards. On SIGINT/SIGTERM the daemon flips
+// /healthz to 503, drains
+// in-flight requests, waits for any background delta build, and — when
+// -snapshot is set on a dynamic backend — persists the index (including
+// buffered inserts) and its vectors for a warm restart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lccs"
+	"lccs/internal/dataset"
+	"lccs/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataPath  = flag.String("data", "", "dataset file from lccs-datagen (required)")
+		indexPath = flag.String("index", "", "load a prebuilt index container instead of building")
+		metric    = flag.String("metric", "euclidean", "euclidean | angular | hamming | jaccard")
+		m         = flag.Int("m", 64, "hash-string length")
+		probes    = flag.Int("probes", 1, "probing sequences per query (1 = single-probe)")
+		lambda    = flag.Int("lambda", 100, "default candidate budget per query")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		shards    = flag.Int("shards", 0, "shard count for the sharded backend (0 = GOMAXPROCS)")
+		dynamic   = flag.Bool("dynamic", false, "serve a DynamicIndex backend (enables /v1/insert)")
+		rebuildAt = flag.Int("rebuild-at", 0, "dynamic delta size that triggers a background shard build (0 = default)")
+
+		maxInFlight = flag.Int("max-inflight", 0, "concurrent searches (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "requests waiting for a slot before 503 (0 = 4x max-inflight, negative = no waiting)")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-request admission deadline")
+		cacheSize   = flag.Int("cache", 4096, "result cache entries (0 disables)")
+		cacheQuant  = flag.Uint("cache-quant", 0, "low mantissa bits masked in cache keys (0 = exact)")
+		maxBody     = flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
+
+		snapPath     = flag.String("snapshot", "", "on shutdown, save the dynamic index here (LCCSPKG2)")
+		snapDataPath = flag.String("snapshot-data", "", "on shutdown, save the snapshot's vectors here (default: <snapshot>.ds)")
+		drainWait    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+		drainDelay   = flag.Duration("drain-delay", 0, "window between /healthz going 503 and the listener closing; set to ≥ your load balancer's probe interval")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	kind, err := lccs.ParseMetric(*metric)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := dataset.Load(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	if kind == lccs.Angular {
+		ds = ds.NormalizedCopy()
+	}
+	cfg := lccs.Config{Metric: kind, M: *m, Probes: *probes, Budget: *lambda, Seed: *seed}
+
+	backend, dyn, err := buildBackend(ds, cfg, *indexPath, *dynamic, *shards, *rebuildAt)
+	if err != nil {
+		fatal(err)
+	}
+	if *snapPath != "" && dyn == nil {
+		log.Printf("warning: -snapshot is only honored with -dynamic; ignoring")
+	}
+
+	srv, err := server.New(server.Config{
+		Backend:        backend,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		Timeout:        *timeout,
+		CacheSize:      *cacheSize,
+		CacheQuantBits: *cacheQuant,
+		MaxBodyBytes:   *maxBody,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("lccs-serve: listening on %s (n=%d, metric=%s)", *addr, backend.Len(), kind)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fatal(err) // listener died before any signal
+	case got := <-sig:
+		log.Printf("lccs-serve: %v: draining", got)
+	}
+
+	// Graceful shutdown: readiness drops first — and stays observable
+	// for -drain-delay so load balancers can route away before the
+	// listener closes — then connections drain, then the dynamic state
+	// is quiesced and snapshotted.
+	srv.SetDraining(true)
+	if *drainDelay > 0 {
+		time.Sleep(*drainDelay)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("lccs-serve: shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		log.Printf("lccs-serve: serve: %v", err)
+	}
+	if dyn != nil {
+		dyn.WaitRebuild()
+		if *snapPath != "" {
+			if err := snapshot(dyn, ds, *snapPath, *snapDataPath); err != nil {
+				fatal(fmt.Errorf("snapshot: %w", err))
+			}
+		}
+	}
+	log.Printf("lccs-serve: bye")
+}
+
+// buildBackend selects and constructs the index facade behind the
+// server. It returns the backend and, when dynamic, the concrete
+// DynamicIndex for lifecycle calls (WaitRebuild, Snapshot).
+func buildBackend(ds *dataset.Dataset, cfg lccs.Config, indexPath string, dynamic bool, shards, rebuildAt int) (lccs.Searcher, *lccs.DynamicIndex, error) {
+	switch {
+	case indexPath != "":
+		start := time.Now()
+		sx, err := lccs.LoadSharded(indexPath, ds.Data)
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("lccs-serve: loaded %s (%d shards over %d vectors) in %v",
+			indexPath, sx.Shards(), sx.Len(), time.Since(start).Round(time.Millisecond))
+		if dynamic {
+			// Keep a warm restart writable: the loaded shards become the
+			// dynamic main, so snapshot → restart → insert keeps working
+			// across any number of cycles.
+			dyn, err := lccs.NewDynamicIndexFromSharded(sx, ds.Data, rebuildAt)
+			if err != nil {
+				return nil, nil, err
+			}
+			return dyn, dyn, nil
+		}
+		return sx, nil, nil
+	case dynamic:
+		start := time.Now()
+		dyn, err := lccs.NewDynamicIndex(ds.Data, cfg, rebuildAt)
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("lccs-serve: built dynamic index over %d vectors in %v",
+			dyn.Len(), time.Since(start).Round(time.Millisecond))
+		return dyn, dyn, nil
+	default:
+		start := time.Now()
+		sx, err := lccs.NewShardedIndex(ds.Data, cfg, shards)
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("lccs-serve: built %d shards over %d vectors in %v",
+			sx.Shards(), sx.Len(), time.Since(start).Round(time.Millisecond))
+		return sx, nil, nil
+	}
+}
+
+// snapshot persists the dynamic index (existing shards plus a shard
+// built over the buffer) and all its vectors, so a warm restart via
+// -data <snapDataPath> -index <snapPath> preserves every insert.
+func snapshot(dyn *lccs.DynamicIndex, ds *dataset.Dataset, snapPath, snapDataPath string) error {
+	if snapDataPath == "" {
+		snapDataPath = snapPath + ".ds"
+	}
+	vectors, sx, err := dyn.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := sx.Save(snapPath); err != nil {
+		return err
+	}
+	out := &dataset.Dataset{
+		Name:    ds.Name,
+		Kind:    ds.Kind,
+		Dim:     ds.Dim,
+		Data:    vectors,
+		Queries: ds.Queries,
+	}
+	if err := out.Save(snapDataPath); err != nil {
+		return err
+	}
+	log.Printf("lccs-serve: snapshot: %d vectors (%d shards) → %s + %s",
+		len(vectors), sx.Shards(), snapPath, snapDataPath)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lccs-serve:", err)
+	os.Exit(1)
+}

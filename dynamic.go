@@ -2,6 +2,7 @@ package lccs
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -88,6 +89,36 @@ func NewDynamicIndex(data [][]float32, cfg Config, rebuildAt int) (*DynamicIndex
 	return d, nil
 }
 
+// NewDynamicIndexFromSharded wraps an existing ShardedIndex — typically
+// a snapshot written at shutdown and reloaded with LoadSharded — as a
+// DynamicIndex, so a warm restart stays writable without rebuilding:
+// the sharded index's shards become the dynamic main, new inserts
+// buffer on top. data must be the slice the sharded index was built or
+// loaded over (ids keep indexing it). rebuildAt ≤ 0 selects
+// DefaultRebuildThreshold.
+func NewDynamicIndexFromSharded(sx *ShardedIndex, data [][]float32, rebuildAt int) (*DynamicIndex, error) {
+	if sx.Len() != len(data) {
+		return nil, fmt.Errorf("lccs: sharded index covers %d vectors, data has %d", sx.Len(), len(data))
+	}
+	if rebuildAt <= 0 {
+		rebuildAt = DefaultRebuildThreshold
+	}
+	d := &DynamicIndex{
+		cfg:         sx.cfg, // container headers hold the resolved config
+		cfgResolved: true,
+		data:        append([][]float32(nil), data...),
+		shards:      make([]dynShard, len(sx.shards)),
+		indexed:     len(data),
+		deleted:     make(map[int]bool),
+		rebuildAt:   rebuildAt,
+	}
+	for i, ix := range sx.shards {
+		d.shards[i] = dynShard{ix: ix, off: sx.offsets[i]}
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d, nil
+}
+
 // adoptConfigLocked stores the resolved configuration of the first built
 // index so every later shard hashes with seed-equivalent parameters.
 func (d *DynamicIndex) adoptConfigLocked(ix *Index) {
@@ -105,8 +136,11 @@ func (d *DynamicIndex) adoptConfigLocked(ix *Index) {
 func (d *DynamicIndex) Add(v []float32) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if len(v) == 0 {
+		return 0, ErrEmptyVector
+	}
 	if len(d.data) > 0 && len(v) != len(d.data[0]) {
-		return 0, errors.New("lccs: dimension mismatch")
+		return 0, fmt.Errorf("%w: vector has %d dimensions, index has %d", ErrDimensionMismatch, len(v), len(d.data[0]))
 	}
 	id := len(d.data)
 	d.data = append(d.data, v)
@@ -217,6 +251,17 @@ func (d *DynamicIndex) Buffered() int {
 	return len(d.data) - d.indexed
 }
 
+// Dim returns the dimensionality of the stored vectors, or 0 before the
+// first vector arrives.
+func (d *DynamicIndex) Dim() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.data) == 0 {
+		return 0
+	}
+	return len(d.data[0])
+}
+
 // Shards returns the number of index shards currently serving queries.
 func (d *DynamicIndex) Shards() int {
 	d.mu.RLock()
@@ -226,11 +271,38 @@ func (d *DynamicIndex) Shards() int {
 
 // Search returns the k nearest live vectors: every shard's candidates
 // (at the default budget) merged with an exact scan of the buffer.
-func (d *DynamicIndex) Search(q []float32, k int) []Neighbor {
+func (d *DynamicIndex) Search(q []float32, k int) ([]Neighbor, error) {
+	return d.SearchBudget(q, k, d.defaultBudget())
+}
+
+// defaultBudget returns the facade's default candidate budget: the
+// resolved configuration's, or the package default before the first
+// build resolves one.
+func (d *DynamicIndex) defaultBudget() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if k <= 0 || len(d.data) == 0 {
-		return nil
+	if d.cfg.Budget > 0 {
+		return d.cfg.Budget
+	}
+	return defaultBudget
+}
+
+// SearchBudget is Search with an explicit candidate budget λ. As in
+// ShardedIndex, the budget is divided across the index shards (⌈λ/S⌉
+// each), so a given budget means comparable verification work on every
+// Searcher backend; the insert buffer is always scanned exactly.
+func (d *DynamicIndex) SearchBudget(q []float32, k, lambda int) ([]Neighbor, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	dim := 0
+	if len(d.data) > 0 {
+		dim = len(d.data[0])
+	}
+	if err := validateQuery(q, dim, k, lambda); err != nil {
+		return nil, err
+	}
+	if len(d.data) == 0 {
+		return nil, nil
 	}
 	// Over-fetch to survive tombstone filtering.
 	fetch := k + len(d.deleted)
@@ -251,18 +323,88 @@ func (d *DynamicIndex) Search(q []float32, k int) []Neighbor {
 			best = best[:k]
 		}
 	}
-	// Shard ids are shard-local; shift by the shard's offset. Ranges are
-	// disjoint, so no dedup is needed.
+	// searchOffset shifts shard-local ids into the global id space.
+	// Shard ranges are disjoint, so no dedup is needed.
+	lambdaShard := lambda
+	if s := len(d.shards); s > 1 {
+		lambdaShard = (lambda + s - 1) / s
+	}
 	for _, sh := range d.shards {
-		for _, nb := range sh.ix.Search(q, fetch) {
-			nb.ID += sh.off
-			push(nb)
+		for _, nb := range sh.ix.searchOffset(q, fetch, lambdaShard, sh.off) {
+			push(Neighbor{ID: nb.ID, Dist: nb.Dist})
 		}
 	}
 	for id := d.indexed; id < len(d.data); id++ {
 		push(Neighbor{ID: id, Dist: metric(d.data[id], q)})
 	}
-	return best
+	return best, nil
+}
+
+// SearchBatch answers many queries concurrently under the default
+// candidate budget; results are returned in query order.
+func (d *DynamicIndex) SearchBatch(queries [][]float32, k int) ([][]Neighbor, error) {
+	return d.SearchBatchBudget(queries, k, d.defaultBudget())
+}
+
+// SearchBatchBudget is SearchBatch with an explicit candidate budget λ.
+func (d *DynamicIndex) SearchBatchBudget(queries [][]float32, k, lambda int) ([][]Neighbor, error) {
+	return searchBatch(d, queries, k, lambda)
+}
+
+// Distance returns the configured metric's distance between two vectors.
+func (d *DynamicIndex) Distance(a, b []float32) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.metricLocked()(a, b)
+}
+
+// Snapshot freezes the current contents into a point-in-time view: the
+// full id-ordered vector slice (including tombstoned slots, so ids stay
+// stable) and a ShardedIndex over it, assembled from the existing
+// immutable shards plus one freshly built shard covering the unindexed
+// buffer. The ShardedIndex can be persisted with Save (the LCCSPKG2
+// container) and reloaded against the returned vectors with LoadSharded,
+// so buffered inserts survive a process restart without replaying them.
+//
+// Snapshot blocks writers while the buffer shard builds; it is meant for
+// shutdown and checkpoint paths, not the hot loop. Tombstones are not
+// part of the container format — callers that need them must persist the
+// deleted-id set themselves.
+func (d *DynamicIndex) Snapshot() ([][]float32, *ShardedIndex, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.data) == 0 {
+		return nil, nil, errors.New("lccs: nothing to snapshot: empty dynamic index")
+	}
+	shards := make([]*Index, 0, len(d.shards)+1)
+	offsets := make([]int, 0, len(d.shards)+2)
+	for _, sh := range d.shards {
+		shards = append(shards, sh.ix)
+		offsets = append(offsets, sh.off)
+	}
+	if d.indexed < len(d.data) {
+		lo, hi := d.indexed, len(d.data)
+		tail, err := NewIndex(d.data[lo:hi:hi], d.cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		d.adoptConfigLocked(tail)
+		shards = append(shards, tail)
+		offsets = append(offsets, lo)
+	}
+	offsets = append(offsets, len(d.data))
+	budget := d.cfg.Budget
+	if budget <= 0 {
+		budget = defaultBudget
+	}
+	data := d.data[:len(d.data):len(d.data)]
+	return data, &ShardedIndex{
+		cfg:     d.cfg,
+		shards:  shards,
+		offsets: offsets,
+		budget:  budget,
+		dim:     len(d.data[0]),
+	}, nil
 }
 
 // Vector returns the vector stored under id (also for tombstoned ids).

@@ -1,6 +1,7 @@
 package lccs
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestDynamicAddAndSearch(t *testing.T) {
 		t.Fatalf("Buffered=%d, want 50", d.Buffered())
 	}
 	for _, id := range added[:5] {
-		res := d.Search(d.Vector(id), 1)
+		res := must(d.Search(d.Vector(id), 1))
 		if len(res) != 1 || res[0].ID != id || res[0].Dist != 0 {
 			t.Fatalf("buffered id %d not found: %+v", id, res)
 		}
@@ -62,7 +63,7 @@ func TestDynamicRebuildTriggered(t *testing.T) {
 		t.Fatalf("Len=%d", d.Len())
 	}
 	// Ids remain stable after rebuild.
-	res := d.Search(d.Vector(210), 1)
+	res := must(d.Search(d.Vector(210), 1))
 	if len(res) != 1 || res[0].ID != 210 {
 		t.Fatalf("id shifted after rebuild: %+v", res)
 	}
@@ -75,12 +76,12 @@ func TestDynamicDelete(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := data[42]
-	res := d.Search(q, 1)
+	res := must(d.Search(q, 1))
 	if res[0].ID != 42 {
 		t.Fatalf("expected self first: %+v", res)
 	}
 	d.Delete(42)
-	res = d.Search(q, 3)
+	res = must(d.Search(q, 3))
 	for _, nb := range res {
 		if nb.ID == 42 {
 			t.Fatal("deleted id still returned")
@@ -105,7 +106,7 @@ func TestDynamicEmptyStart(t *testing.T) {
 	if d.Len() != 0 {
 		t.Fatal("empty start")
 	}
-	if res := d.Search([]float32{1, 2}, 3); res != nil {
+	if res := must(d.Search([]float32{1, 2}, 3)); res != nil {
 		t.Fatal("search on empty index should be nil")
 	}
 	_, g := testData(54, 1, 1, 1, 1)
@@ -119,7 +120,7 @@ func TestDynamicEmptyStart(t *testing.T) {
 	if d.Buffered() >= 10 {
 		t.Fatalf("Buffered=%d", d.Buffered())
 	}
-	res := d.Search(d.Vector(12), 1)
+	res := must(d.Search(d.Vector(12), 1))
 	if len(res) != 1 || res[0].ID != 12 {
 		t.Fatalf("%+v", res)
 	}
@@ -131,8 +132,11 @@ func TestDynamicDimensionMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Add([]float32{1, 2}); err == nil {
-		t.Fatal("dimension mismatch should fail")
+	if _, err := d.Add([]float32{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("dimension mismatch: err=%v, want ErrDimensionMismatch", err)
+	}
+	if _, err := d.Add(nil); !errors.Is(err, ErrEmptyVector) {
+		t.Fatalf("nil vector: err=%v, want ErrEmptyVector", err)
 	}
 }
 
@@ -155,7 +159,7 @@ func TestDynamicConcurrentReadersAndWriters(t *testing.T) {
 	for w := 0; w < 4; w++ {
 		go func(w int) {
 			for i := 0; i < 60; i++ {
-				if res := d.Search(data[(w*60+i)%400], 3); len(res) == 0 {
+				if res := must(d.Search(data[(w*60+i)%400], 3)); len(res) == 0 {
 					t.Errorf("worker %d: empty result", w)
 					break
 				}
@@ -223,7 +227,7 @@ func TestDynamicHammer(t *testing.T) {
 		go func(s int) {
 			defer wg.Done()
 			for i := 0; i < 80; i++ {
-				if res := d.Search(data[(s*80+i)%initial], 3); len(res) == 0 {
+				if res := must(d.Search(data[(s*80+i)%initial], 3)); len(res) == 0 {
 					t.Errorf("searcher %d: empty result", s)
 					return
 				}
@@ -278,14 +282,14 @@ func TestDynamicHammer(t *testing.T) {
 			if dead[o.id] {
 				continue
 			}
-			res := d.Search(o.vec, 1)
+			res := must(d.Search(o.vec, 1))
 			if len(res) != 1 || res[0].ID != o.id || res[0].Dist != 0 {
 				t.Fatalf("writer %d id %d not found after compaction: %+v", w, o.id, res)
 			}
 		}
 	}
 	for id := range dead {
-		for _, nb := range d.Search(d.Vector(id), 5) {
+		for _, nb := range must(d.Search(d.Vector(id), 5)) {
 			if nb.ID == id {
 				t.Fatalf("tombstoned id %d surfaced", id)
 			}
@@ -310,7 +314,7 @@ func TestDynamicBackgroundBuildDoesNotBlockWriters(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := d.Search(v, 1)
+		res := must(d.Search(v, 1))
 		if len(res) != 1 || res[0].ID != id || res[0].Dist != 0 {
 			t.Fatalf("add %d: fresh vector not immediately searchable: %+v", i, res)
 		}
@@ -320,7 +324,7 @@ func TestDynamicBackgroundBuildDoesNotBlockWriters(t *testing.T) {
 		t.Fatalf("Len=%d", d.Len())
 	}
 	// Everything eventually lands in shards; ids unchanged.
-	res := d.Search(d.Vector(350), 1)
+	res := must(d.Search(d.Vector(350), 1))
 	if len(res) != 1 || res[0].ID != 350 {
 		t.Fatalf("id 350 lost after background builds: %+v", res)
 	}

@@ -37,7 +37,10 @@ func ExampleNewIndex() {
 		panic(err)
 	}
 	// Querying with an indexed vector returns it at distance 0.
-	res := ix.Search(data[42], 1)
+	res, err := ix.Search(data[42], 1)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(res[0].ID, res[0].Dist == 0)
 	// Output: 42 true
 }
@@ -55,8 +58,14 @@ func ExampleIndex_SearchBudget() {
 	}
 	// A larger candidate budget λ verifies more of the CSA's frontier:
 	// results can only improve.
-	loose := ix.SearchBudget(data[7], 5, 10)
-	tight := ix.SearchBudget(data[7], 5, 200)
+	loose, err := ix.SearchBudget(data[7], 5, 10)
+	if err != nil {
+		panic(err)
+	}
+	tight, err := ix.SearchBudget(data[7], 5, 200)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(len(loose), len(tight), tight[0].Dist == 0)
 	// Output: 5 5 true
 }
@@ -72,7 +81,10 @@ func ExampleIndex_SearchBatch() {
 	if err != nil {
 		panic(err)
 	}
-	results := ix.SearchBatch(data[:3], 2)
+	results, err := ix.SearchBatch(data[:3], 2)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(len(results), results[0][0].ID, results[1][0].ID, results[2][0].ID)
 	// Output: 3 0 1 2
 }

@@ -45,7 +45,11 @@ func main() {
 		ix.Len(), bits, ix.M(), float64(ix.Bytes())/(1<<20))
 
 	fmt.Println("\nnear-duplicates of document 100:")
-	for _, nb := range ix.SearchBudget(data[100], 5, 200) {
+	res, err := ix.SearchBudget(data[100], 5, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nb := range res {
 		fmt.Printf("  id=%-6d hamming=%3.0f%s\n", nb.ID, nb.Dist, marker(nb.ID))
 	}
 }

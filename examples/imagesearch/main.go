@@ -58,7 +58,10 @@ func main() {
 		start := time.Now()
 		var recall float64
 		for i, q := range queries {
-			got := ix.SearchBudget(q, k, lambda)
+			got, err := ix.SearchBudget(q, k, lambda)
+			if err != nil {
+				log.Fatal(err)
+			}
 			recall += overlap(got, truth[i]) / k
 		}
 		lshTime := time.Since(start)

@@ -58,7 +58,14 @@ func main() {
 		buildTime.Seconds()/loadTime.Seconds())
 
 	q := data[777]
-	a, b := ix.Search(q, 3), warm.Search(q, 3)
+	a, err := ix.Search(q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := warm.Search(q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("identical results after reload: %v\n", a[0] == b[0] && a[1] == b[1] && a[2] == b[2])
 
 	// Online updates through the dynamic wrapper.
@@ -71,12 +78,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := dyn.Search(novel, 1)
+	res, err := dyn.Search(novel, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("inserted vector %d found immediately: %v (buffered: %d)\n",
 		id, res[0].ID == id && res[0].Dist == 0, dyn.Buffered())
 
 	dyn.Delete(id)
-	res = dyn.Search(novel, 1)
+	res, err = dyn.Search(novel, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("after delete it is gone: %v\n", len(res) == 0 || res[0].ID != id)
 }
 

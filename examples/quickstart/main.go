@@ -52,7 +52,11 @@ func main() {
 	for j := range q {
 		q[j] = data[1234][j] + 0.1*float32(r.NormFloat64())
 	}
-	for _, nb := range ix.Search(q, 5) {
+	res, err := ix.Search(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nb := range res {
 		fmt.Printf("id=%-6d dist=%.3f\n", nb.ID, nb.Dist)
 	}
 }

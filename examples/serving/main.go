@@ -1,0 +1,116 @@
+// Serving: put an index behind the HTTP API in-process — build a
+// DynamicIndex, mount the internal/server handler on a loopback
+// listener, search and insert over HTTP, and watch the result cache
+// and insert-generation invalidation at work. The standalone daemon
+// (cmd/lccs-serve) wraps exactly this stack with flags, signal
+// handling, and snapshotting.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"net/http"
+
+	"lccs"
+	"lccs/internal/server"
+)
+
+const (
+	n   = 20000
+	dim = 32
+)
+
+func main() {
+	r := rand.New(rand.NewPCG(11, 23))
+	data := make([][]float32, n)
+	for i := range data {
+		data[i] = randomPoint(r)
+	}
+
+	// A dynamic backend so /v1/insert works.
+	dyn, err := lccs.NewDynamicIndex(data, lccs.Config{Metric: lccs.Euclidean, M: 32, Seed: 7}, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Backend: dyn, CacheSize: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving %d vectors on %s\n", dyn.Len(), base)
+
+	// Search twice: the repeat is served from the result cache.
+	q := data[4242]
+	for i := 0; i < 2; i++ {
+		var res struct {
+			Neighbors []struct {
+				ID   int     `json:"id"`
+				Dist float64 `json:"dist"`
+			} `json:"neighbors"`
+			Cached bool `json:"cached"`
+		}
+		post(base+"/v1/search", map[string]any{"query": q, "k": 3}, &res)
+		fmt.Printf("search %d: top id=%d dist=%.3f cached=%v\n",
+			i+1, res.Neighbors[0].ID, res.Neighbors[0].Dist, res.Cached)
+	}
+
+	// Insert a novel vector; the write invalidates cached results and
+	// the vector is immediately searchable.
+	novel := randomPoint(r)
+	var ins struct {
+		IDs []int `json:"ids"`
+	}
+	post(base+"/v1/insert", map[string]any{"vectors": [][]float32{novel}}, &ins)
+	var res struct {
+		Neighbors []struct {
+			ID   int     `json:"id"`
+			Dist float64 `json:"dist"`
+		} `json:"neighbors"`
+		Cached bool `json:"cached"`
+	}
+	post(base+"/v1/search", map[string]any{"query": novel, "k": 1}, &res)
+	fmt.Printf("inserted id=%d, found at dist=%.0f (cached=%v)\n",
+		ins.IDs[0], res.Neighbors[0].Dist, res.Cached)
+
+	// Operational state, straight from the stats endpoint.
+	st := srv.StatsSnapshot()
+	fmt.Printf("stats: %d searches, cache hit rate %.0f%%, p99=%.2fms\n",
+		st.Latency.Count, 100*st.Cache.HitRate, st.Latency.P99Ms)
+}
+
+func post(url string, body, out any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func randomPoint(r *rand.Rand) []float32 {
+	v := make([]float32, dim)
+	for j := range v {
+		v[j] = float32(r.NormFloat64() * 4)
+	}
+	return v
+}

@@ -70,7 +70,11 @@ func main() {
 		results := make([][]lccs.Neighbor, nq)
 		start := time.Now()
 		for i, q := range queries {
-			results[i] = ix.SearchBudget(q, k, lambda)
+			res, err := ix.SearchBudget(q, k, lambda)
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[i] = res
 		}
 		elapsed := time.Since(start)
 		var recall float64
@@ -94,7 +98,11 @@ func main() {
 	}
 	q := queries[0]
 	fmt.Println("\nnearest words to query 0:")
-	for rank, nb := range ix.SearchBudget(q, 5, 100) {
+	top, err := ix.SearchBudget(q, 5, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank, nb := range top {
 		fmt.Printf("  #%d %-12s angle=%.3f rad\n", rank+1, names[nb.ID], nb.Dist)
 	}
 }

@@ -7,28 +7,9 @@ import (
 	"lccs/internal/vec"
 )
 
-// Hamming is the Hamming distance over vectors whose entries are treated
-// as discrete symbols (any float mismatch counts as 1). It backs the
-// bit-sampling family.
-type hammingMetric struct{}
-
-func (hammingMetric) Name() string { return "hamming" }
-func (hammingMetric) Distance(a, b []float32) float64 {
-	if len(a) != len(b) {
-		panic("lshfamily: dimension mismatch")
-	}
-	var d float64
-	for i := range a {
-		if a[i] != b[i] {
-			d++
-		}
-	}
-	return d
-}
-
 // HammingMetric is the Hamming distance metric used by the bit-sampling
-// family.
-var HammingMetric vec.Metric = hammingMetric{}
+// family: any float mismatch between corresponding entries counts as 1.
+var HammingMetric = vec.Hamming
 
 // BitSampling is the original LSH family of Indyk–Motwani for Hamming
 // distance: h_i(o) = o_i for a uniformly random coordinate i. Its

@@ -7,34 +7,10 @@ import (
 	"lccs/internal/vec"
 )
 
-// jaccardMetric is the Jaccard distance 1 − |A∩B|/|A∪B| over sets encoded
-// as binary indicator vectors (coordinate j nonzero ⇔ j ∈ set). Two empty
-// sets are at distance 0.
-type jaccardMetric struct{}
-
-func (jaccardMetric) Name() string { return "jaccard" }
-func (jaccardMetric) Distance(a, b []float32) float64 {
-	if len(a) != len(b) {
-		panic("lshfamily: dimension mismatch")
-	}
-	var inter, union float64
-	for i := range a {
-		x, y := a[i] != 0, b[i] != 0
-		if x && y {
-			inter++
-		}
-		if x || y {
-			union++
-		}
-	}
-	if union == 0 {
-		return 0
-	}
-	return 1 - inter/union
-}
-
-// JaccardMetric is the Jaccard distance used by the MinHash family.
-var JaccardMetric vec.Metric = jaccardMetric{}
+// JaccardMetric is the Jaccard distance 1 − |A∩B|/|A∪B| used by the
+// MinHash family, over sets encoded as binary indicator vectors
+// (coordinate j nonzero ⇔ j ∈ set). Two empty sets are at distance 0.
+var JaccardMetric = vec.Jaccard
 
 // MinHash is the min-wise independent permutation family of Broder for
 // Jaccard similarity over sets: h_π(A) = argmin_{j ∈ A} π(j) for a random

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"lccs"
+)
+
+// resultCache is a fixed-capacity LRU over search results. Entries are
+// keyed by cacheKey, which folds in the backend's insert generation, so
+// a write automatically orphans every earlier entry (stale keys age out
+// through normal LRU eviction — they can never be looked up again).
+type resultCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List               // front = most recently used
+	byKey  map[string]*list.Element // value: *cacheEntry
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	res []lccs.Neighbor
+}
+
+// newResultCache returns an LRU holding up to capacity entries;
+// capacity must be positive (callers disable caching by not
+// constructing one).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, marking it most recently used.
+// The returned slice is shared — callers must not mutate it.
+func (c *resultCache) get(key string) ([]lccs.Neighbor, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a result under key, evicting the least recently used entry
+// when the cache is full.
+func (c *resultCache) put(key string, res []lccs.Neighbor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of live entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// stats returns the hit/miss counters.
+func (c *resultCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// cacheKey builds the lookup key for one query: the backend insert
+// generation, k, the candidate budget, and the quantized query vector.
+// quantBits low mantissa bits of every float32 coordinate are masked
+// off before keying: 0 keys on exact bit patterns (no false sharing),
+// while small positive values let queries that differ only by float
+// noise share an entry at the cost of returning the aliased neighbor
+// list. quantBits is clamped to [0, 23] so sign and exponent always
+// survive.
+func cacheKey(gen uint64, k, lambda int, q []float32, quantBits uint) string {
+	if quantBits > 23 {
+		quantBits = 23
+	}
+	mask := ^uint32(0) << quantBits
+	buf := make([]byte, 0, 16+4*len(q))
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(lambda))
+	for _, v := range q {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v)&mask)
+	}
+	return string(buf)
+}

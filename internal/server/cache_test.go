@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lccs"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	res := func(id int) []lccs.Neighbor { return []lccs.Neighbor{{ID: id}} }
+	c.put("a", res(1))
+	c.put("b", res(2))
+	if _, ok := c.get("a"); !ok { // refresh a: b is now the LRU entry
+		t.Fatal("a missing")
+	}
+	c.put("c", res(3)) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for key, id := range map[string]int{"a": 1, "c": 3} {
+		got, ok := c.get(key)
+		if !ok || got[0].ID != id {
+			t.Fatalf("%s: %v %v", key, got, ok)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len=%d", c.len())
+	}
+	hits, misses := c.stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+	// Overwriting an existing key updates in place, no growth.
+	c.put("a", res(9))
+	if got, _ := c.get("a"); got[0].ID != 9 || c.len() != 2 {
+		t.Fatalf("overwrite: %v len=%d", got, c.len())
+	}
+}
+
+func TestCacheKeyDiscriminatesAndQuantizes(t *testing.T) {
+	q := []float32{1.5, -2.25, 3.125}
+	base := cacheKey(7, 10, 100, q, 0)
+	distinct := []string{
+		cacheKey(8, 10, 100, q, 0),                          // generation
+		cacheKey(7, 11, 100, q, 0),                          // k
+		cacheKey(7, 10, 101, q, 0),                          // budget
+		cacheKey(7, 10, 100, []float32{1.5, -2.25, 3.0}, 0), // query
+		cacheKey(7, 10, 100, q[:2], 0),                      // length
+	}
+	for i, k := range distinct {
+		if k == base {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+	if cacheKey(7, 10, 100, []float32{1.5, -2.25, 3.125}, 0) != base {
+		t.Error("identical inputs must produce identical keys")
+	}
+
+	// With quantization, queries differing only in masked-off mantissa
+	// bits share a key; without it they do not.
+	a := []float32{1.0, 2.0}
+	b := []float32{1.0000001, 2.0}
+	if cacheKey(1, 5, 50, a, 0) == cacheKey(1, 5, 50, b, 0) {
+		t.Error("quant=0 must key on exact bits")
+	}
+	if cacheKey(1, 5, 50, a, 8) != cacheKey(1, 5, 50, b, 8) {
+		t.Error("quant=8 should alias float-noise-close queries")
+	}
+	// Clamped quantization never erases sign or exponent.
+	if cacheKey(1, 5, 50, []float32{1}, 60) == cacheKey(1, 5, 50, []float32{-1}, 60) {
+		t.Error("sign must survive any quantization level")
+	}
+}
+
+func TestAdmissionCounting(t *testing.T) {
+	a := newAdmission(2, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if a.inFlight() != 2 || a.queueDepth() != 0 {
+		t.Fatalf("inFlight=%d queue=%d", a.inFlight(), a.queueDepth())
+	}
+
+	// Third caller queues; fourth overflows.
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("third caller never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.acquire(ctx); err != ErrOverloaded {
+		t.Fatalf("overflow: %v, want ErrOverloaded", err)
+	}
+	if a.rejected.Load() != 1 {
+		t.Fatalf("rejected=%d", a.rejected.Load())
+	}
+
+	// A release admits the queued caller.
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+
+	// A canceled context aborts a queued wait without counting a
+	// timeout — the client left, no deadline expired.
+	cctx, cancel := context.WithCancel(ctx)
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- a.acquire(cctx) }()
+	for a.queueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-waitErr; err != context.Canceled {
+		t.Fatalf("canceled wait: %v", err)
+	}
+	if a.timeouts.Load() != 0 {
+		t.Fatalf("timeouts=%d after cancel, want 0", a.timeouts.Load())
+	}
+	// An expired deadline does count.
+	dctx, dcancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer dcancel()
+	if err := a.acquire(dctx); err != context.DeadlineExceeded {
+		t.Fatalf("deadline wait: %v", err)
+	}
+	if a.timeouts.Load() != 1 {
+		t.Fatalf("timeouts=%d after deadline, want 1", a.timeouts.Load())
+	}
+	if a.queueDepth() != 0 {
+		t.Fatalf("queue not drained: %d", a.queueDepth())
+	}
+}
+
+// TestAdmissionHammer drives the controller from many goroutines and
+// checks the semaphore invariant (never more than capacity in flight)
+// and conservation (every acquire is released or rejected). Run with
+// -race this also validates the counter synchronization.
+func TestAdmissionHammer(t *testing.T) {
+	const capacity, queue, workers, iters = 3, 4, 16, 200
+	a := newAdmission(capacity, queue)
+	ctx := context.Background()
+	var inFlight, maxSeen, admitted, rejected int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := a.acquire(ctx)
+				mu.Lock()
+				if err != nil {
+					rejected++
+					mu.Unlock()
+					continue
+				}
+				admitted++
+				inFlight++
+				if inFlight > maxSeen {
+					maxSeen = inFlight
+				}
+				mu.Unlock()
+
+				mu.Lock()
+				inFlight--
+				mu.Unlock()
+				a.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen > capacity {
+		t.Fatalf("saw %d in flight, capacity %d", maxSeen, capacity)
+	}
+	if admitted+rejected != workers*iters {
+		t.Fatalf("admitted %d + rejected %d != %d", admitted, rejected, workers*iters)
+	}
+	if a.inFlight() != 0 || a.queueDepth() != 0 {
+		t.Fatalf("leaked state: inFlight=%d queue=%d", a.inFlight(), a.queueDepth())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	if h.quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.observe(0.001) // all in one bucket
+	}
+	p50 := h.quantile(0.50)
+	if p50 <= 0 || p50 > 0.002 {
+		t.Fatalf("p50=%v, want within the ~1ms bucket", p50)
+	}
+	h.observe(5.0) // one slow outlier
+	if p999 := h.quantile(0.999); p999 < 0.01 {
+		t.Fatalf("p99.9=%v should reflect the outlier region", p999)
+	}
+	_, sum, total := h.snapshot()
+	if total != 101 || sum < 5.0 {
+		t.Fatalf("total=%d sum=%v", total, sum)
+	}
+}

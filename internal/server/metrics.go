@@ -1,0 +1,181 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the search-latency
+// histogram: exponential from 100µs to ~13s, matching the dynamic range
+// from an in-cache hit to a cold exhaustive query.
+var latencyBuckets = func() []float64 {
+	b := make([]float64, 0, 18)
+	for v := 100e-6; v < 15; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// histogram is a fixed-bucket latency histogram, safe for concurrent
+// observation. counts[i] holds observations ≤ buckets[i]; the final
+// slot is the +Inf bucket.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(sec float64) {
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += sec
+	h.total++
+	h.mu.Unlock()
+}
+
+// quantile approximates the q-quantile (0 < q < 1) from the bucket
+// counts, interpolating linearly inside the selected bucket. It returns
+// 0 when nothing has been observed.
+func (h *histogram) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var cum, prevCum float64
+	for i, c := range h.counts {
+		prevCum = cum
+		cum += float64(c)
+		if cum >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			hi := 2 * lo
+			if i < len(latencyBuckets) {
+				hi = latencyBuckets[i]
+			}
+			if c == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-prevCum)/float64(c)
+		}
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// snapshot returns copies of the counters for rendering.
+func (h *histogram) snapshot() (counts []uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.counts...), h.sum, h.total
+}
+
+// reqKey identifies one requests_total series.
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// metrics aggregates the server's counters: per-endpoint/status request
+// counts and the search latency histogram. Gauges (in-flight, queue
+// depth, cache entries, index size) are read live from their owners at
+// render time, so they are never stale.
+type metrics struct {
+	start    time.Time
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+	latency  *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[reqKey]uint64),
+		latency:  newHistogram(),
+	}
+}
+
+func (m *metrics) countRequest(endpoint string, code int) {
+	m.mu.Lock()
+	m.requests[reqKey{endpoint, code}]++
+	m.mu.Unlock()
+}
+
+// requestsSnapshot returns a stable-ordered copy of the request
+// counters.
+func (m *metrics) requestsSnapshot() ([]reqKey, map[reqKey]uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := make(map[reqKey]uint64, len(m.requests))
+	keys := make([]reqKey, 0, len(m.requests))
+	for k, v := range m.requests {
+		cp[k] = v
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	return keys, cp
+}
+
+// gauge is one live-read gauge rendered into /metrics.
+type gauge struct {
+	name  string
+	help  string
+	value float64
+}
+
+// writeProm renders everything in the Prometheus text exposition format
+// (version 0.0.4); counters and gauges are supplied by the caller so the
+// registry stays dependency-free and gauge reads are never stale.
+func (m *metrics) writeProm(w io.Writer, counters, gauges []gauge) {
+	fmt.Fprintf(w, "# HELP lccs_requests_total HTTP requests served, by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE lccs_requests_total counter\n")
+	keys, counts := m.requestsSnapshot()
+	for _, k := range keys {
+		fmt.Fprintf(w, "lccs_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, counts[k])
+	}
+
+	counts2, sum, total := m.latency.snapshot()
+	fmt.Fprintf(w, "# HELP lccs_search_latency_seconds Search handler latency (admission wait included).\n")
+	fmt.Fprintf(w, "# TYPE lccs_search_latency_seconds histogram\n")
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += counts2[i]
+		fmt.Fprintf(w, "lccs_search_latency_seconds_bucket{le=%q} %d\n", formatFloat(ub), cum)
+	}
+	cum += counts2[len(counts2)-1]
+	fmt.Fprintf(w, "lccs_search_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "lccs_search_latency_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "lccs_search_latency_seconds_count %d\n", total)
+
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		fmt.Fprintf(w, "%s %g\n", c.name, c.value)
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+		fmt.Fprintf(w, "%s %g\n", g.name, g.value)
+	}
+	fmt.Fprintf(w, "# HELP lccs_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE lccs_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "lccs_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}
+
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,600 @@
+// Package server is the network query-serving layer over the lccs
+// facades: an HTTP/JSON API around any lccs.Searcher with a
+// semaphore-based admission controller (bounded concurrency, bounded
+// queue, per-request deadlines), an LRU result cache invalidated by
+// insert generation, and live counter/latency metrics in the Prometheus
+// text format.
+//
+// Endpoints:
+//
+//	POST /v1/search        one query → top-k neighbors
+//	POST /v1/search/batch  many queries → top-k each (one admission slot)
+//	POST /v1/insert        append vectors (DynamicIndex-backed only)
+//	GET  /v1/stats         JSON operational stats (p50/p99, cache, queue)
+//	GET  /healthz          readiness (503 while draining)
+//	GET  /metrics          Prometheus text exposition
+//
+// The package owns request admission and caching; process lifecycle
+// (listening, signal handling, graceful drain, snapshotting) belongs to
+// cmd/lccs-serve.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lccs"
+)
+
+// Inserter is the optional write interface of a backend; DynamicIndex
+// implements it. Backends that do not are served read-only and
+// /v1/insert answers 501.
+//
+// Any error a custom Inserter returns is treated as a failed insert.
+// The library's own DynamicIndex is special-cased: its Add is
+// documented to deliver a *previous* background build's failure
+// alongside a successful insert, so for that backend a non-validation
+// error keeps the id and is surfaced to clients as a warning.
+type Inserter interface {
+	Add(v []float32) (int, error)
+}
+
+// Config configures a Server.
+type Config struct {
+	// Backend answers the queries. Required.
+	Backend lccs.Searcher
+	// MaxInFlight bounds concurrently executing searches. 0 selects
+	// GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// requests are rejected with 503. 0 selects 4×MaxInFlight; negative
+	// disables waiting entirely (reject the moment all slots are busy).
+	MaxQueue int
+	// Timeout is the per-request admission deadline: a request that
+	// cannot start executing within it is rejected with 503. 0 selects
+	// 2 seconds.
+	Timeout time.Duration
+	// CacheSize is the result-cache capacity in entries; 0 disables
+	// caching.
+	CacheSize int
+	// CacheQuantBits masks this many low mantissa bits off every query
+	// coordinate in the cache key (see cacheKey). 0 caches on exact
+	// float bit patterns.
+	CacheQuantBits uint
+	// MaxBodyBytes caps every request body; larger posts fail with 400.
+	// Batch and insert bodies are additionally decoded only after
+	// admission, so aggregate decode memory is bounded by
+	// MaxInFlight × MaxBodyBytes. 0 selects 32 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP query-serving front end over one Searcher backend.
+// Construct with New, mount Handler on an http.Server, and call
+// SetDraining(true) before shutting that server down so load balancers
+// see readiness drop first.
+type Server struct {
+	backend  lccs.Searcher
+	inserter Inserter // nil when the backend is read-only
+	// dynInserter marks the backend as the library's own DynamicIndex,
+	// whose Add is documented to deliver deferred background-build
+	// failures alongside a *successful* insert. Only then is a
+	// non-validation Add error downgraded to a warning; a custom
+	// Inserter's errors are always treated as failed inserts.
+	dynInserter bool
+	adm         *admission
+	cache       *resultCache // nil when disabled
+	quant       uint
+	timeout     time.Duration
+	maxBody     int64
+	met         *metrics
+	mux         *http.ServeMux
+	// gen counts completed writes; it is folded into every cache key, so
+	// one insert invalidates all earlier cached results at once.
+	gen      atomic.Uint64
+	inserts  atomic.Uint64
+	draining atomic.Bool
+}
+
+// New validates cfg and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("server: Config.Backend is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 0
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	s := &Server{
+		backend: cfg.Backend,
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		quant:   cfg.CacheQuantBits,
+		timeout: cfg.Timeout,
+		maxBody: cfg.MaxBodyBytes,
+		met:     newMetrics(),
+	}
+	if ins, ok := cfg.Backend.(Inserter); ok {
+		s.inserter = ins
+		_, s.dynInserter = cfg.Backend.(*lccs.DynamicIndex)
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newResultCache(cfg.CacheSize)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/v1/search/batch", s.handleSearchBatch)
+	s.mux.HandleFunc("/v1/insert", s.handleInsert)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetDraining flips the readiness state: while draining, /healthz
+// answers 503 so load balancers stop routing here, while in-flight and
+// newly arriving requests still complete (http.Server.Shutdown handles
+// connection-level draining).
+func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+
+// ---- request/response bodies ----
+
+type searchRequest struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k"`
+	// Budget is the optional candidate budget λ; 0 uses the backend's
+	// default.
+	Budget int `json:"budget,omitempty"`
+}
+
+type neighborJSON struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+type searchResponse struct {
+	Neighbors  []neighborJSON `json:"neighbors"`
+	Cached     bool           `json:"cached"`
+	TookMicros int64          `json:"took_us"`
+}
+
+type batchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	K       int         `json:"k"`
+	Budget  int         `json:"budget,omitempty"`
+}
+
+type batchResponse struct {
+	Results    [][]neighborJSON `json:"results"`
+	TookMicros int64            `json:"took_us"`
+}
+
+type insertRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+}
+
+type insertResponse struct {
+	IDs []int `json:"ids"`
+	// Warning carries a non-fatal backend condition (e.g. a previous
+	// background delta build failed); the inserts themselves succeeded.
+	Warning string `json:"warning,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !s.requirePost(w, r, "search") {
+		return
+	}
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "search", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	// The cache is probed before admission: a hit costs microseconds and
+	// touches no backend, so it must not occupy an execution slot or be
+	// shed under overload. Obviously invalid requests never touch the
+	// cache, so 400s do not pollute miss statistics or key space.
+	cacheable := s.cache != nil && req.K > 0 && len(req.Query) > 0 && req.Budget >= 0
+	var key string
+	if cacheable {
+		key = cacheKey(s.gen.Load(), req.K, req.Budget, req.Query, s.quant)
+		if res, ok := s.cache.get(key); ok {
+			s.met.latency.observe(time.Since(start).Seconds())
+			s.respond(w, "search", http.StatusOK, searchResponse{
+				Neighbors:  toJSON(res),
+				Cached:     true,
+				TookMicros: time.Since(start).Microseconds(),
+			})
+			return
+		}
+	}
+	if ok := s.admit(w, r, "search"); !ok {
+		return
+	}
+	defer s.adm.release()
+
+	res, err := s.search(req.Query, req.K, req.Budget)
+	if err != nil {
+		s.fail(w, "search", statusFor(err), err)
+		return
+	}
+	if cacheable {
+		s.cache.put(key, res)
+	}
+	s.met.latency.observe(time.Since(start).Seconds())
+	s.respond(w, "search", http.StatusOK, searchResponse{
+		Neighbors:  toJSON(res),
+		TookMicros: time.Since(start).Microseconds(),
+	})
+}
+
+// search routes to the default-budget (budget == 0) or explicit-budget
+// backend call; a negative budget is the client's error, not a request
+// for the default.
+func (s *Server) search(q []float32, k, budget int) ([]lccs.Neighbor, error) {
+	switch {
+	case budget > 0:
+		return s.backend.SearchBudget(q, k, budget)
+	case budget < 0:
+		return nil, lccs.ErrInvalidBudget
+	}
+	return s.backend.Search(q, k)
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !s.requirePost(w, r, "search_batch") {
+		return
+	}
+	// A batch holds one admission slot from before its body is decoded:
+	// batch bodies are the large ones, so decode memory must count
+	// against the concurrency bound too. The backend's own batch engine
+	// parallelizes across cores. The result cache is bypassed: batch
+	// workloads are throughput-oriented and would churn the LRU.
+	if ok := s.admit(w, r, "search_batch"); !ok {
+		return
+	}
+	defer s.adm.release()
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "search_batch", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+
+	var rows [][]lccs.Neighbor
+	var err error
+	switch {
+	case req.Budget > 0:
+		rows, err = s.backend.SearchBatchBudget(req.Queries, req.K, req.Budget)
+	case req.Budget < 0:
+		err = lccs.ErrInvalidBudget
+	default:
+		rows, err = s.backend.SearchBatch(req.Queries, req.K)
+	}
+	if err != nil {
+		s.fail(w, "search_batch", statusFor(err), err)
+		return
+	}
+	out := make([][]neighborJSON, len(rows))
+	for i, row := range rows {
+		out[i] = toJSON(row)
+	}
+	s.met.latency.observe(time.Since(start).Seconds())
+	s.respond(w, "search_batch", http.StatusOK, batchResponse{
+		Results:    out,
+		TookMicros: time.Since(start).Microseconds(),
+	})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r, "insert") {
+		return
+	}
+	if s.inserter == nil {
+		s.fail(w, "insert", http.StatusNotImplemented,
+			errors.New("backend is read-only: inserts need a DynamicIndex (-dynamic)"))
+		return
+	}
+	// Inserts go through admission too: the append itself is cheap, but
+	// decoding a vector batch is not, and it must not bypass the
+	// concurrency bound.
+	if ok := s.admit(w, r, "insert"); !ok {
+		return
+	}
+	defer s.adm.release()
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "insert", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Vectors) == 0 {
+		s.fail(w, "insert", http.StatusBadRequest, errors.New("no vectors in request"))
+		return
+	}
+	// Validate the whole batch up front so rejections are atomic:
+	// either every vector goes in or none does. The batch must be
+	// internally consistent and, when the backend already knows its
+	// dimensionality, match it.
+	dim := 0
+	if d, ok := s.backend.(interface{ Dim() int }); ok {
+		dim = d.Dim()
+	}
+	for i, v := range req.Vectors {
+		if len(v) == 0 {
+			s.fail(w, "insert", http.StatusBadRequest,
+				fmt.Errorf("vector %d: %w", i, lccs.ErrEmptyVector))
+			return
+		}
+		if dim == 0 {
+			dim = len(v)
+		}
+		if len(v) != dim {
+			s.fail(w, "insert", http.StatusBadRequest,
+				fmt.Errorf("vector %d: %w: has %d dimensions, want %d", i, lccs.ErrDimensionMismatch, len(v), dim))
+			return
+		}
+	}
+	ids := make([]int, 0, len(req.Vectors))
+	var warning string
+	for i, v := range req.Vectors {
+		id, err := s.inserter.Add(v)
+		if err != nil && (!s.dynInserter || isRejectedInsert(err)) {
+			// Should be unreachable after pre-validation, but a custom
+			// Inserter may reject for its own reasons. Earlier vectors
+			// of the batch are already in — bump the generation so
+			// their results become visible, and return their ids so the
+			// client can recover without duplicating them.
+			if len(ids) > 0 {
+				s.gen.Add(1)
+				s.inserts.Add(uint64(len(ids)))
+			}
+			s.met.countRequest("insert", http.StatusBadRequest)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(struct {
+				errorResponse
+				IDs []int `json:"ids"`
+			}{errorResponse{Error: fmt.Sprintf("vector %d rejected: %v", i, err)}, ids})
+			return
+		}
+		if err != nil {
+			// DynamicIndex.Add surfaces a *previous* background build
+			// failure here while the insert itself succeeded — keep the
+			// id and pass the condition on as a warning.
+			warning = err.Error()
+		}
+		ids = append(ids, id)
+	}
+	s.gen.Add(1) // invalidate every cached result at once
+	s.inserts.Add(uint64(len(ids)))
+	s.respond(w, "insert", http.StatusOK, insertResponse{IDs: ids, Warning: warning})
+}
+
+// isRejectedInsert reports whether an Inserter.Add error means the
+// vector was rejected (DynamicIndex's validation errors), as opposed to
+// a deferred background-build failure delivered alongside a successful
+// insert.
+func isRejectedInsert(err error) bool {
+	return errors.Is(err, lccs.ErrEmptyVector) || errors.Is(err, lccs.ErrDimensionMismatch)
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      map[string]uint64 `json:"requests"` // "endpoint:code" → count
+	InFlight      int               `json:"in_flight"`
+	QueueDepth    int64             `json:"queue_depth"`
+	Rejected      uint64            `json:"admission_rejected"`
+	WaitTimeouts  uint64            `json:"admission_wait_timeouts"`
+	Inserts       uint64            `json:"inserts"`
+	Cache         CacheStats        `json:"cache"`
+	Latency       LatencyStats      `json:"latency"`
+	Backend       BackendStats      `json:"backend"`
+}
+
+// CacheStats summarizes the result cache.
+type CacheStats struct {
+	Enabled bool    `json:"enabled"`
+	Entries int     `json:"entries"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// LatencyStats summarizes the search latency histogram.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// BackendStats describes the index behind the server.
+type BackendStats struct {
+	Kind     string `json:"kind"`
+	Vectors  int    `json:"vectors"`
+	Shards   int    `json:"shards,omitempty"`
+	Buffered int    `json:"buffered,omitempty"`
+	Writable bool   `json:"writable"`
+}
+
+// StatsSnapshot assembles the current Stats (also used by /v1/stats).
+func (s *Server) StatsSnapshot() Stats {
+	keys, counts := s.met.requestsSnapshot()
+	reqs := make(map[string]uint64, len(keys))
+	for _, k := range keys {
+		reqs[fmt.Sprintf("%s:%d", k.endpoint, k.code)] = counts[k]
+	}
+	st := Stats{
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		Requests:      reqs,
+		InFlight:      s.adm.inFlight(),
+		QueueDepth:    s.adm.queueDepth(),
+		Rejected:      s.adm.rejected.Load(),
+		WaitTimeouts:  s.adm.timeouts.Load(),
+		Inserts:       s.inserts.Load(),
+		Backend:       s.backendStats(),
+	}
+	_, sum, total := s.met.latency.snapshot()
+	st.Latency = LatencyStats{
+		Count: total,
+		P50Ms: s.met.latency.quantile(0.50) * 1000,
+		P99Ms: s.met.latency.quantile(0.99) * 1000,
+	}
+	if total > 0 {
+		st.Latency.MeanMs = sum / float64(total) * 1000
+	}
+	if s.cache != nil {
+		hits, misses := s.cache.stats()
+		st.Cache = CacheStats{Enabled: true, Entries: s.cache.len(), Hits: hits, Misses: misses}
+		if hits+misses > 0 {
+			st.Cache.HitRate = float64(hits) / float64(hits+misses)
+		}
+	}
+	return st
+}
+
+// backendStats inspects the concrete facade behind the Searcher.
+func (s *Server) backendStats() BackendStats {
+	b := BackendStats{Vectors: s.backend.Len(), Writable: s.inserter != nil}
+	switch ix := s.backend.(type) {
+	case *lccs.Index:
+		b.Kind = "index"
+	case *lccs.ShardedIndex:
+		b.Kind = "sharded"
+		b.Shards = ix.Shards()
+	case *lccs.DynamicIndex:
+		b.Kind = "dynamic"
+		b.Shards = ix.Shards()
+		b.Buffered = ix.Buffered()
+	default:
+		b.Kind = "custom"
+	}
+	return b
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, "stats", http.StatusOK, s.StatsSnapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.respond(w, "healthz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.respond(w, "healthz", http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	counters := []gauge{
+		{"lccs_admission_rejected_total", "Requests rejected because the admission queue was full.", float64(s.adm.rejected.Load())},
+		{"lccs_admission_wait_timeouts_total", "Requests whose deadline expired while waiting for a slot.", float64(s.adm.timeouts.Load())},
+		{"lccs_inserts_total", "Vectors inserted through /v1/insert.", float64(s.inserts.Load())},
+	}
+	gauges := []gauge{
+		{"lccs_inflight_requests", "Requests currently holding an admission slot.", float64(s.adm.inFlight())},
+		{"lccs_admission_queue_depth", "Requests waiting for an admission slot.", float64(s.adm.queueDepth())},
+		{"lccs_index_vectors", "Vectors searchable in the backend index.", float64(s.backend.Len())},
+	}
+	if s.cache != nil {
+		hits, misses := s.cache.stats()
+		counters = append(counters,
+			gauge{"lccs_cache_hits_total", "Result cache hits.", float64(hits)},
+			gauge{"lccs_cache_misses_total", "Result cache misses.", float64(misses)},
+		)
+		gauges = append(gauges,
+			gauge{"lccs_cache_entries", "Live result cache entries.", float64(s.cache.len())})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.countRequest("metrics", http.StatusOK)
+	s.met.writeProm(w, counters, gauges)
+}
+
+// ---- plumbing ----
+
+// admit runs the admission controller for one request, answering 503
+// (with Retry-After) on queue overflow or admission deadline. It
+// reports whether the caller now holds a slot.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		w.Header().Set("Retry-After", "1")
+		msg := err
+		if errors.Is(err, context.DeadlineExceeded) {
+			msg = fmt.Errorf("server: admission wait exceeded %v", s.timeout)
+		}
+		s.fail(w, endpoint, http.StatusServiceUnavailable, msg)
+		return false
+	}
+	return true
+}
+
+// requirePost enforces the method and caps the request body, so an
+// oversized post fails during decoding instead of buffering unbounded
+// data outside the admission controller's resource bounds.
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, endpoint, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	return true
+}
+
+// statusFor maps backend errors to HTTP statuses: the facade's typed
+// validation errors are the client's fault (400), anything else is 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, lccs.ErrInvalidK),
+		errors.Is(err, lccs.ErrInvalidBudget),
+		errors.Is(err, lccs.ErrEmptyQuery),
+		errors.Is(err, lccs.ErrDimensionMismatch):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) respond(w http.ResponseWriter, endpoint string, code int, body any) {
+	s.met.countRequest(endpoint, code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) fail(w http.ResponseWriter, endpoint string, code int, err error) {
+	s.respond(w, endpoint, code, errorResponse{Error: err.Error()})
+}
+
+func toJSON(res []lccs.Neighbor) []neighborJSON {
+	out := make([]neighborJSON, len(res))
+	for i, nb := range res {
+		out[i] = neighborJSON{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}

@@ -158,11 +158,65 @@ type angular struct{}
 func (angular) Distance(a, b []float32) float64 { return AngularDistance(a, b) }
 func (angular) Name() string                    { return "angular" }
 
+// HammingDistance counts coordinates where a and b differ; entries are
+// treated as discrete symbols (any float mismatch counts as 1).
+func HammingDistance(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	var d float64
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+type hamming struct{}
+
+func (hamming) Distance(a, b []float32) float64 { return HammingDistance(a, b) }
+func (hamming) Name() string                    { return "hamming" }
+
+// JaccardDistance is 1 − |A∩B|/|A∪B| over sets encoded as binary
+// indicator vectors (coordinate j nonzero ⇔ j ∈ set). Two empty sets are
+// at distance 0.
+func JaccardDistance(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	var inter, union float64
+	for i := range a {
+		x, y := a[i] != 0, b[i] != 0
+		if x && y {
+			inter++
+		}
+		if x || y {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - inter/union
+}
+
+type jaccard struct{}
+
+func (jaccard) Distance(a, b []float32) float64 { return JaccardDistance(a, b) }
+func (jaccard) Name() string                    { return "jaccard" }
+
 // Euclidean is the l2 metric.
 var Euclidean Metric = euclidean{}
 
 // Angular is the angle metric θ(o,q) = cos⁻¹(o·q/|o||q|).
 var Angular Metric = angular{}
+
+// Hamming is the Hamming distance metric (bit-sampling LSH family).
+var Hamming Metric = hamming{}
+
+// Jaccard is the Jaccard set distance metric (MinHash LSH family).
+var Jaccard Metric = jaccard{}
 
 // MetricByName returns the metric registered under name, or nil if unknown.
 func MetricByName(name string) Metric {
@@ -171,6 +225,10 @@ func MetricByName(name string) Metric {
 		return Euclidean
 	case "angular", "cosine":
 		return Angular
+	case "hamming":
+		return Hamming
+	case "jaccard", "minhash":
+		return Jaccard
 	}
 	return nil
 }

@@ -196,7 +196,7 @@ func checkCoreMatches(single *core.Index, cfg Config) error {
 // wrapSingle builds the facade Index around a decoded core index,
 // restoring the multi-probe wrapper when the configuration asks for one.
 func wrapSingle(single *core.Index, cfg Config, family lshfamily.Family) (*Index, error) {
-	ix := &Index{single: single, metric: family.Metric(), budget: cfg.Budget, cfg: cfg}
+	ix := &Index{single: single, metric: family.Metric(), budget: cfg.Budget, dim: family.Dim(), cfg: cfg}
 	if cfg.Probes > 1 {
 		mp, err := core.WrapMP(single, core.MPParams{
 			Params: core.Params{M: cfg.M, Seed: cfg.Seed},
@@ -281,6 +281,7 @@ func LoadSharded(path string, data [][]float32) (*ShardedIndex, error) {
 			shards:  []*Index{ix},
 			offsets: []int{0, ix.Len()},
 			budget:  ix.budget,
+			dim:     ix.dim,
 		}, nil
 	}
 	return decodeSharded(r, data)
@@ -325,6 +326,7 @@ func decodeSharded(r io.Reader, data [][]float32) (*ShardedIndex, error) {
 		shards:  make([]*Index, shardCount),
 		offsets: offsets,
 		budget:  cfg.Budget,
+		dim:     len(data[0]),
 	}
 	for s := range sx.shards {
 		single, err := core.Decode(r, data[offsets[s]:offsets[s+1]], family)

@@ -49,7 +49,7 @@ func TestGoldenFormat1(t *testing.T) {
 	}
 	for qi := 0; qi < 10; qi++ {
 		q := data[qi*11]
-		a, b := fresh.SearchBudget(q, 5, 40), loaded.SearchBudget(q, 5, 40)
+		a, b := must(fresh.SearchBudget(q, 5, 40)), must(loaded.SearchBudget(q, 5, 40))
 		for j := range a {
 			if a[j] != b[j] {
 				t.Fatalf("query %d pos %d: %+v vs %+v", qi, j, a[j], b[j])
@@ -92,7 +92,7 @@ func TestGoldenFormat2(t *testing.T) {
 	}
 	for qi := 0; qi < 10; qi++ {
 		q := data[qi*7]
-		a, b := fresh.SearchBudget(q, 5, 40), loaded.SearchBudget(q, 5, 40)
+		a, b := must(fresh.SearchBudget(q, 5, 40)), must(loaded.SearchBudget(q, 5, 40))
 		for j := range a {
 			if a[j] != b[j] {
 				t.Fatalf("query %d pos %d: %+v vs %+v", qi, j, a[j], b[j])
@@ -170,8 +170,8 @@ func TestSaveLoadRoundTripEuclidean(t *testing.T) {
 	// CSA).
 	for i := 0; i < 10; i++ {
 		q := data[i*37]
-		a := ix.SearchBudget(q, 5, 50)
-		b := loaded.SearchBudget(q, 5, 50)
+		a := must(ix.SearchBudget(q, 5, 50))
+		b := must(loaded.SearchBudget(q, 5, 50))
 		if len(a) != len(b) {
 			t.Fatalf("result lengths differ: %d vs %d", len(a), len(b))
 		}
@@ -201,7 +201,7 @@ func TestSaveLoadMultiProbe(t *testing.T) {
 		t.Fatal("multi-probe configuration lost on load")
 	}
 	q := data[3]
-	a, b := ix.Search(q, 5), loaded.Search(q, 5)
+	a, b := must(ix.Search(q, 5)), must(loaded.Search(q, 5))
 	for j := range a {
 		if a[j] != b[j] {
 			t.Fatalf("MP results differ after load: %+v vs %+v", a[j], b[j])
@@ -238,7 +238,7 @@ func TestSaveLoadAngularAndHamming(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", metric, err)
 		}
-		a, b := ix.SearchBudget(d[0], 3, 30), loaded.SearchBudget(d[0], 3, 30)
+		a, b := must(ix.SearchBudget(d[0], 3, 30)), must(loaded.SearchBudget(d[0], 3, 30))
 		for j := range a {
 			if a[j] != b[j] {
 				t.Fatalf("%s: results differ", metric)

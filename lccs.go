@@ -27,12 +27,17 @@
 // and whose per-shard top-k results merge through a tournament tree —
 // and DynamicIndex, a delta-main structure whose buffered inserts are
 // rebuilt into new shards in the background without blocking writers.
-// See README.md for the architecture and shard-count guidance.
+// All three implement the Searcher interface, so consumers (including
+// the internal/server network daemon behind cmd/lccs-serve) are
+// agnostic to which facade backs them. See README.md for the
+// architecture and shard-count guidance.
 package lccs
 
 import (
 	"errors"
+	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"lccs/internal/core"
@@ -40,6 +45,92 @@ import (
 	"lccs/internal/rng"
 	"lccs/internal/vec"
 )
+
+// Typed query-validation errors. Every facade returns exactly these (or
+// wrapped forms testable with errors.Is) for the corresponding invalid
+// input instead of silently returning an empty result.
+var (
+	// ErrInvalidK is returned when k ≤ 0.
+	ErrInvalidK = errors.New("lccs: k must be positive")
+	// ErrInvalidBudget is returned when the candidate budget λ ≤ 0.
+	ErrInvalidBudget = errors.New("lccs: candidate budget must be positive")
+	// ErrEmptyQuery is returned for a nil or zero-length query vector.
+	ErrEmptyQuery = errors.New("lccs: nil or empty query")
+	// ErrEmptyVector is returned by write paths (DynamicIndex.Add) for a
+	// nil or zero-length vector.
+	ErrEmptyVector = errors.New("lccs: nil or empty vector")
+	// ErrDimensionMismatch is returned when the query dimensionality does
+	// not match the indexed data.
+	ErrDimensionMismatch = errors.New("lccs: query dimension mismatch")
+)
+
+// Searcher is the facade-agnostic query interface implemented by Index,
+// ShardedIndex, and DynamicIndex. Consumers that only search — the
+// network server, evaluation harnesses, future backends — should accept
+// a Searcher rather than a concrete facade.
+//
+// All search methods validate their input and return the package's
+// typed errors (ErrInvalidK, ErrInvalidBudget, ErrEmptyQuery,
+// ErrDimensionMismatch); results are in ascending distance order.
+type Searcher interface {
+	// Search returns the k nearest neighbors under the facade's default
+	// candidate budget.
+	Search(q []float32, k int) ([]Neighbor, error)
+	// SearchBudget is Search with an explicit candidate budget λ.
+	SearchBudget(q []float32, k, lambda int) ([]Neighbor, error)
+	// SearchBatch answers many queries (concurrently where the facade
+	// supports it) under the default budget, in query order.
+	SearchBatch(queries [][]float32, k int) ([][]Neighbor, error)
+	// SearchBatchBudget is SearchBatch with an explicit budget λ.
+	SearchBatchBudget(queries [][]float32, k, lambda int) ([][]Neighbor, error)
+	// Len returns the number of searchable vectors.
+	Len() int
+	// Distance returns the facade's metric distance between two vectors.
+	Distance(a, b []float32) float64
+}
+
+// Compile-time conformance of the three facades.
+var (
+	_ Searcher = (*Index)(nil)
+	_ Searcher = (*ShardedIndex)(nil)
+	_ Searcher = (*DynamicIndex)(nil)
+)
+
+// validateQuery applies the shared query contract: positive k and
+// budget, a non-empty query, and (when dim > 0 is known) a matching
+// dimensionality.
+func validateQuery(q []float32, dim, k, lambda int) error {
+	if k <= 0 {
+		return ErrInvalidK
+	}
+	if lambda <= 0 {
+		return ErrInvalidBudget
+	}
+	if len(q) == 0 {
+		return ErrEmptyQuery
+	}
+	if dim > 0 && len(q) != dim {
+		return fmt.Errorf("%w: query has %d dimensions, index has %d", ErrDimensionMismatch, len(q), dim)
+	}
+	return nil
+}
+
+// ParseMetric resolves a CLI-style metric name to a MetricKind. It
+// accepts the canonical names of all four supported metrics plus common
+// aliases: euclidean/l2, angular/cosine, hamming, jaccard/minhash.
+func ParseMetric(name string) (MetricKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "euclidean", "l2":
+		return Euclidean, nil
+	case "angular", "cosine":
+		return Angular, nil
+	case "hamming":
+		return Hamming, nil
+	case "jaccard", "minhash":
+		return Jaccard, nil
+	}
+	return "", fmt.Errorf("lccs: unknown metric %q (want euclidean|angular|hamming|jaccard)", name)
+}
 
 // MetricKind selects the distance metric (and with it the default LSH
 // family) of an index.
@@ -101,6 +192,7 @@ type Index struct {
 	multi  *core.MPIndex
 	metric vec.Metric
 	budget int
+	dim    int
 	// cfg is the fully resolved configuration (auto-derived bucket width
 	// filled in), persisted by Save.
 	cfg Config
@@ -165,7 +257,7 @@ func NewIndex(data [][]float32, cfg Config) (*Index, error) {
 		return nil, err
 	}
 
-	ix := &Index{metric: family.Metric(), budget: cfg.Budget, cfg: cfg}
+	ix := &Index{metric: family.Metric(), budget: cfg.Budget, dim: len(data[0]), cfg: cfg}
 	if cfg.Probes > 1 {
 		mp, err := core.BuildMP(data, family, core.MPParams{
 			Params: core.Params{M: cfg.M, Seed: cfg.Seed},
@@ -225,7 +317,7 @@ func autoBucketWidth(data [][]float32, seed uint64) float64 {
 
 // Search returns the k nearest neighbors of q found within the index's
 // default candidate budget, in ascending distance order.
-func (ix *Index) Search(q []float32, k int) []Neighbor {
+func (ix *Index) Search(q []float32, k int) ([]Neighbor, error) {
 	return ix.SearchBudget(q, k, ix.budget)
 }
 
@@ -233,7 +325,10 @@ func (ix *Index) Search(q []float32, k int) []Neighbor {
 // verifies the λ+k−1 data objects whose hash strings have the longest
 // circular co-substring with the query's. Larger budgets trade query time
 // for recall.
-func (ix *Index) SearchBudget(q []float32, k, lambda int) []Neighbor {
+func (ix *Index) SearchBudget(q []float32, k, lambda int) ([]Neighbor, error) {
+	if err := validateQuery(q, ix.dim, k, lambda); err != nil {
+		return nil, err
+	}
 	var raw []pqueue.Neighbor
 	if ix.multi != nil {
 		raw = ix.multi.Search(q, k, lambda)
@@ -244,7 +339,7 @@ func (ix *Index) SearchBudget(q []float32, k, lambda int) []Neighbor {
 	for i, r := range raw {
 		out[i] = Neighbor{ID: r.ID, Dist: r.Dist}
 	}
-	return out
+	return out, nil
 }
 
 // Distance returns the index's metric distance between two vectors.
@@ -252,6 +347,9 @@ func (ix *Index) Distance(a, b []float32) float64 { return ix.metric.Distance(a,
 
 // M returns the hash-string length.
 func (ix *Index) M() int { return ix.single.M() }
+
+// Dim returns the dimensionality of the indexed vectors.
+func (ix *Index) Dim() int { return ix.dim }
 
 // Len returns the number of indexed vectors.
 func (ix *Index) Len() int { return ix.single.N() }

@@ -9,6 +9,17 @@ import (
 	"lccs/internal/vec"
 )
 
+// must unwraps a (value, error) search-API return, panicking on error
+// (the testing framework reports the panic as a failure with a stack).
+// It keeps result-content assertions terse across the suite; tests that
+// assert on the error itself call the API directly.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func testData(seed uint64, n, d, clusters int, spread float64) ([][]float32, *rng.RNG) {
 	g := rng.New(seed)
 	centers := make([][]float32, clusters)
@@ -77,7 +88,7 @@ func TestEuclideanRecall(t *testing.T) {
 			q[j] = base[j] + float32(g.NormFloat64()*0.4)
 		}
 		want := bruteKNN(data, q, k, vec.Distance)
-		got := ix.SearchBudget(q, k, 200)
+		got := must(ix.SearchBudget(q, k, 200))
 		wantSet := map[int]bool{}
 		for _, w := range want {
 			wantSet[w.ID] = true
@@ -105,7 +116,7 @@ func TestAngularSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := data[123]
-	got := ix.SearchBudget(q, 5, 100)
+	got := must(ix.SearchBudget(q, 5, 100))
 	if len(got) != 5 {
 		t.Fatalf("got %d results", len(got))
 	}
@@ -137,7 +148,7 @@ func TestHammingSearch(t *testing.T) {
 	for _, j := range g.Perm(d)[:3] {
 		q[j] = 1 - q[j]
 	}
-	got := ix.SearchBudget(q, 1, 50)
+	got := must(ix.SearchBudget(q, 1, 50))
 	if len(got) != 1 {
 		t.Fatal("no result")
 	}
@@ -157,7 +168,7 @@ func TestMultiProbeConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := data[10]
-	a, b := mp.Search(q, 5), sp.Search(q, 5)
+	a, b := must(mp.Search(q, 5)), must(sp.Search(q, 5))
 	if len(a) != 5 || len(b) != 5 {
 		t.Fatal("result sizes")
 	}
@@ -174,7 +185,7 @@ func TestSearchUsesDefaultBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := ix.Search(data[7], 3)
+	got := must(ix.Search(data[7], 3))
 	if len(got) != 3 {
 		t.Fatalf("got %d results", len(got))
 	}

@@ -37,7 +37,10 @@ func TestSearchInvariantsProperty(t *testing.T) {
 			return false
 		}
 		q := data[r.IntN(n)]
-		res := ix.SearchBudget(q, k, n) // budget covers everything
+		res, err := ix.SearchBudget(q, k, n) // budget covers everything
+		if err != nil {
+			return false
+		}
 		want := k
 		if n < k {
 			want = n
@@ -91,7 +94,10 @@ func TestFullBudgetEqualsExactProperty(t *testing.T) {
 		for j := range q {
 			q[j] = float32(r.NormFloat64())
 		}
-		got := ix.SearchBudget(q, 5, n)
+		got, err := ix.SearchBudget(q, 5, n)
+		if err != nil {
+			return false
+		}
 		want := exactKNNProp(data, q, minInt(5, n), ix.Distance)
 		if len(got) != len(want) {
 			return false

@@ -39,6 +39,7 @@ type ShardedIndex struct {
 	// offsets[len(shards)] == n. Shard s covers data[offsets[s]:offsets[s+1]].
 	offsets   []int
 	budget    int
+	dim       int
 	buildTime time.Duration
 }
 
@@ -67,6 +68,7 @@ func NewShardedIndex(data [][]float32, cfg Config, shards int) (*ShardedIndex, e
 		shards:  make([]*Index, shards),
 		offsets: shardOffsets(len(data), shards),
 		budget:  cfg.Budget,
+		dim:     len(data[0]),
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, shards)
@@ -105,14 +107,14 @@ func shardOffsets(n, shards int) []int {
 // Search returns the k nearest neighbors of q across all shards with the
 // index's default candidate budget, in ascending distance order. Ids are
 // global: they index into the data slice the index was built from.
-func (sx *ShardedIndex) Search(q []float32, k int) []Neighbor {
+func (sx *ShardedIndex) Search(q []float32, k int) ([]Neighbor, error) {
 	return sx.SearchBudget(q, k, sx.budget)
 }
 
 // SearchBudget is Search with an explicit candidate budget λ. The budget
 // is divided across shards (⌈λ/S⌉ each), so each shard verifies
 // ⌈λ/S⌉+k−1 candidates and the total verification work is ≈ λ+S·(k−1).
-func (sx *ShardedIndex) SearchBudget(q []float32, k, lambda int) []Neighbor {
+func (sx *ShardedIndex) SearchBudget(q []float32, k, lambda int) ([]Neighbor, error) {
 	return sx.searchBudget(q, k, lambda, true)
 }
 
@@ -120,9 +122,9 @@ func (sx *ShardedIndex) SearchBudget(q []float32, k, lambda int) []Neighbor {
 // goroutines; the result is identical either way (deterministic merge),
 // so batch callers whose worker pool already saturates the CPUs can skip
 // the nested parallelism.
-func (sx *ShardedIndex) searchBudget(q []float32, k, lambda int, parallel bool) []Neighbor {
-	if k <= 0 || lambda <= 0 {
-		return nil
+func (sx *ShardedIndex) searchBudget(q []float32, k, lambda int, parallel bool) ([]Neighbor, error) {
+	if err := validateQuery(q, sx.dim, k, lambda); err != nil {
+		return nil, err
 	}
 	lists := sx.searchShards(q, k, lambda, parallel)
 	merged := pqueue.MergeTopK(lists, k)
@@ -130,7 +132,7 @@ func (sx *ShardedIndex) searchBudget(q []float32, k, lambda int, parallel bool) 
 	for i, nb := range merged {
 		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
 	}
-	return out
+	return out, nil
 }
 
 // searchShards fans the query out across all shards — concurrently when
@@ -181,6 +183,9 @@ func (sx *ShardedIndex) Shard(s int) (*Index, int) { return sx.shards[s], sx.off
 
 // M returns the hash-string length (identical across shards).
 func (sx *ShardedIndex) M() int { return sx.shards[0].M() }
+
+// Dim returns the dimensionality of the indexed vectors.
+func (sx *ShardedIndex) Dim() int { return sx.dim }
 
 // Len returns the total number of indexed vectors.
 func (sx *ShardedIndex) Len() int { return sx.offsets[len(sx.offsets)-1] }
