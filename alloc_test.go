@@ -1,0 +1,158 @@
+package lccs
+
+import (
+	"testing"
+)
+
+// allocWorkload builds a clustered dataset plus queries derived from
+// perturbed data points.
+func allocWorkload(seed uint64, n, d int) (data, queries [][]float32) {
+	data, g := testData(seed, n, d, 8, 0.5)
+	queries = make([][]float32, 32)
+	for i := range queries {
+		base := data[g.IntN(n)]
+		q := make([]float32, d)
+		for j := range q {
+			q[j] = base[j] + float32(g.NormFloat64()*0.1)
+		}
+		queries[i] = q
+	}
+	return data, queries
+}
+
+// warmSearcher runs enough queries through ix to grow every pooled
+// buffer (searcher heaps, hash-string and result buffers, shard lists)
+// to its steady-state working size, returning a reusable result row.
+func warmSearcher(tb testing.TB, ix Searcher, queries [][]float32, k, lambda int) []Neighbor {
+	tb.Helper()
+	var dst []Neighbor
+	var err error
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			dst, err = ix.SearchBudgetInto(q, k, lambda, dst)
+			if err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return dst
+}
+
+// TestSearchZeroAllocIndex pins the tentpole property on the single
+// Index: a warmed steady-state SearchBudgetInto performs zero heap
+// allocations per query. GOMAXPROCS is held at 1 for the measurement so
+// a mid-run GC cannot strip the sync.Pool and charge a pool refill to
+// the measured function.
+func TestSearchZeroAllocIndex(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation; run without -race")
+	}
+	data, queries := allocWorkload(41, 2000, 12)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, lambda = 10, 40
+	dst := warmSearcher(t, ix, queries, k, lambda)
+
+	qi := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		q := queries[qi%len(queries)]
+		qi++
+		dst, err = ix.SearchBudgetInto(q, k, lambda, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Index.SearchBudgetInto: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSearchZeroAllocSharded pins the same property across the shard
+// fan-out: sequential per-shard search, pooled per-shard lists, and the
+// reusable tournament merge together make ShardedIndex.SearchBudgetInto
+// allocation-free at steady state.
+func TestSearchZeroAllocSharded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation; run without -race")
+	}
+	data, queries := allocWorkload(42, 2000, 12)
+	sx, err := NewShardedIndex(data, Config{Metric: Euclidean, M: 16, Seed: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, lambda = 10, 40
+	dst := warmSearcher(t, sx, queries, k, lambda)
+
+	qi := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		q := queries[qi%len(queries)]
+		qi++
+		dst, err = sx.SearchBudgetInto(q, k, lambda, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ShardedIndex.SearchBudgetInto: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSearchAllocBoundAllocatingAPI bounds the classic allocating Search
+// API: after the pooled-context refactor the only per-call allocation
+// left should be the returned result slice (and its growth), not the
+// internal scratch.
+func TestSearchAllocBoundAllocatingAPI(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation; run without -race")
+	}
+	data, queries := allocWorkload(43, 2000, 12)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, lambda = 10, 40
+	warmSearcher(t, ix, queries, k, lambda)
+	qi := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		q := queries[qi%len(queries)]
+		qi++
+		if _, err := ix.SearchBudget(q, k, lambda); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Index.SearchBudget: %v allocs/op, want ≤ 2 (result slice only)", allocs)
+	}
+}
+
+// TestSearchBatchAllocBound bounds the batch engine: per query, the only
+// allocations should be the caller-owned result row (plus a small
+// constant for the worker pool and the out/err tables).
+func TestSearchBatchAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation; run without -race")
+	}
+	data, queries := allocWorkload(44, 2000, 12)
+	sx, err := NewShardedIndex(data, Config{Metric: Euclidean, M: 16, Seed: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, lambda = 10, 40
+	if _, err := sx.SearchBatchBudget(queries, k, lambda); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := sx.SearchBatchBudget(queries, k, lambda); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perQuery := allocs / float64(len(queries))
+	// One result row per query is inherent to the API; the bound allows
+	// it plus batch-engine overhead amortized across the batch.
+	if perQuery > 4 {
+		t.Fatalf("SearchBatchBudget: %.2f allocs per query (%.0f total for %d queries), want ≤ 4",
+			perQuery, allocs, len(queries))
+	}
+}

@@ -5,11 +5,11 @@ import (
 	"sync"
 )
 
-// budgetSearcher is any index shape that answers a single budgeted query;
-// Index, ShardedIndex, and DynamicIndex all satisfy it, so they share one
-// batch engine.
+// budgetSearcher is any index shape that answers a single budgeted query
+// into a caller buffer; Index, ShardedIndex, and DynamicIndex all satisfy
+// it, so they share one batch engine.
 type budgetSearcher interface {
-	SearchBudget(q []float32, k, lambda int) ([]Neighbor, error)
+	SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error)
 }
 
 // searchBatch answers many queries concurrently across all CPUs; results
@@ -17,6 +17,10 @@ type budgetSearcher interface {
 // sequential SearchBudget call would return. The first per-query
 // validation error fails the whole batch; k and λ are checked up front
 // so even an empty batch holds the shared validation contract.
+//
+// Workers share the backend's pooled search contexts and reuse one
+// scratch row each, so the only per-query allocation left is the result
+// row handed back to the caller.
 func searchBatch(ix budgetSearcher, queries [][]float32, k, lambda int) ([][]Neighbor, error) {
 	if k <= 0 {
 		return nil, ErrInvalidK
@@ -26,13 +30,26 @@ func searchBatch(ix budgetSearcher, queries [][]float32, k, lambda int) ([][]Nei
 	}
 	out := make([][]Neighbor, len(queries))
 	errs := make([]error, len(queries))
+	// run answers query i into a worker-owned scratch row and copies the
+	// result out, so the backend's Into path never allocates beyond the
+	// returned row.
+	run := func(i int, scratch []Neighbor) []Neighbor {
+		res, err := ix.SearchBudgetInto(queries[i], k, lambda, scratch)
+		if err != nil {
+			errs[i] = err
+			return scratch
+		}
+		out[i] = append(make([]Neighbor, 0, len(res)), res...)
+		return res
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
 		workers = len(queries)
 	}
 	if workers <= 1 {
-		for i, q := range queries {
-			out[i], errs[i] = ix.SearchBudget(q, k, lambda)
+		var scratch []Neighbor
+		for i := range queries {
+			scratch = run(i, scratch)
 		}
 		return batchResult(out, errs)
 	}
@@ -42,8 +59,9 @@ func searchBatch(ix budgetSearcher, queries [][]float32, k, lambda int) ([][]Nei
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch []Neighbor
 			for i := range ch {
-				out[i], errs[i] = ix.SearchBudget(queries[i], k, lambda)
+				scratch = run(i, scratch)
 			}
 		}()
 	}
@@ -92,7 +110,7 @@ func (sx *ShardedIndex) SearchBatchBudget(queries [][]float32, k, lambda int) ([
 	if len(queries) >= runtime.GOMAXPROCS(0) {
 		return searchBatch(seqShardSearcher{sx}, queries, k, lambda)
 	}
-	return searchBatch(sx, queries, k, lambda)
+	return searchBatch(parShardSearcher{sx}, queries, k, lambda)
 }
 
 // seqShardSearcher runs a sharded query without the per-shard goroutine
@@ -101,6 +119,14 @@ func (sx *ShardedIndex) SearchBatchBudget(queries [][]float32, k, lambda int) ([
 // either way.
 type seqShardSearcher struct{ sx *ShardedIndex }
 
-func (s seqShardSearcher) SearchBudget(q []float32, k, lambda int) ([]Neighbor, error) {
-	return s.sx.searchBudget(q, k, lambda, false)
+func (s seqShardSearcher) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
+	return s.sx.searchBudgetInto(q, k, lambda, false, dst)
+}
+
+// parShardSearcher keeps the per-shard fan-out inside each worker, for
+// small batches that leave cores idle.
+type parShardSearcher struct{ sx *ShardedIndex }
+
+func (s parShardSearcher) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
+	return s.sx.searchBudgetInto(q, k, lambda, true, dst)
 }

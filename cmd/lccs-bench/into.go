@@ -1,0 +1,19 @@
+package main
+
+import "lccs"
+
+// addIntoRuns measures the zero-allocation SearchInto path alongside the
+// allocating Search API, so the JSON report shows both the per-call and
+// the pooled steady-state cost.
+func addIntoRuns(rep *Report, name string, ix lccs.Searcher, queries [][]float32, rounds, k int) {
+	var dst []lccs.Neighbor
+	r := measureLoop(queries, rounds, func(q []float32) {
+		var err error
+		dst, err = ix.SearchInto(q, k, dst)
+		if err != nil {
+			panic(err)
+		}
+	})
+	r.Note = "pooled zero-allocation SearchInto with a reused result row"
+	rep.Runs[name+"_into"] = r
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"lccs"
+	"lccs/internal/server"
+)
+
+// Report is the machine-readable output of -json: one entry per
+// experiment, so successive runs (committed as BENCH_PRn.json files)
+// give the repository a performance trajectory.
+type Report struct {
+	N          int                  `json:"n"`
+	Dim        int                  `json:"dim"`
+	M          int                  `json:"m"`
+	K          int                  `json:"k"`
+	Metric     string               `json:"metric"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	GoVersion  string               `json:"go_version"`
+	Runs       map[string]RunReport `json:"runs"`
+}
+
+// RunReport holds the measurements of one experiment.
+type RunReport struct {
+	BuildSeconds float64 `json:"build_seconds,omitempty"`
+	QPS          float64 `json:"qps"`
+	P50Micros    float64 `json:"p50_us"`
+	P99Micros    float64 `json:"p99_us"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	Note         string  `json:"note,omitempty"`
+}
+
+// measureLoop runs fn once per query for rounds passes, single-threaded,
+// and reports throughput, latency percentiles, and per-operation heap
+// traffic (measured with runtime.MemStats around the timed loop, GC
+// settled first).
+func measureLoop(queries [][]float32, rounds int, fn func(q []float32)) RunReport {
+	// Warm-up pass: steady-state pools and buffer capacities, not the
+	// first-call growth, are what the numbers should describe.
+	for _, q := range queries {
+		fn(q)
+	}
+	ops := rounds * len(queries)
+	lat := make([]float64, 0, ops)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			t0 := time.Now()
+			fn(q)
+			lat = append(lat, time.Since(t0).Seconds())
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	sort.Float64s(lat)
+	pct := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] * 1e6 }
+	return RunReport{
+		QPS:         float64(ops) / elapsed.Seconds(),
+		P50Micros:   pct(0.50),
+		P99Micros:   pct(0.99),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+	}
+}
+
+// jsonBench runs the core, shard, and serve experiments and writes the
+// combined Report to path ("-" for stdout).
+func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64, kind lccs.MetricKind) error {
+	data, queries := benchWorkload(n, nq, seed, kind)
+	cfg := lccs.Config{Metric: kind, M: m, Seed: seed}
+	rep := Report{
+		N: n, Dim: len(data[0]), M: m, K: k, Metric: string(kind),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Runs:       map[string]RunReport{},
+	}
+	const rounds = 5
+
+	// core: one Index, single-threaded query loop.
+	start := time.Now()
+	single, err := lccs.NewIndex(data, cfg)
+	if err != nil {
+		return err
+	}
+	coreBuild := time.Since(start).Seconds()
+	r := measureLoop(queries, rounds, func(q []float32) { single.Search(q, k) })
+	r.BuildSeconds = coreBuild
+	r.Note = "single-threaded Index.Search"
+	rep.Runs["core"] = r
+	addIntoRuns(&rep, "core", single, queries, rounds, k)
+
+	// shard: parallel build, fan-out query loop.
+	sx, err := lccs.NewShardedIndex(data, cfg, shards)
+	if err != nil {
+		return err
+	}
+	r = measureLoop(queries, rounds, func(q []float32) { sx.Search(q, k) })
+	r.BuildSeconds = sx.BuildTime().Seconds()
+	r.Note = fmt.Sprintf("ShardedIndex.Search fan-out, S=%d", sx.Shards())
+	rep.Runs["shard"] = r
+	addIntoRuns(&rep, "shard", sx, queries, rounds, k)
+
+	// serve: loopback HTTP with concurrent clients.
+	sr, err := serveRun(sx, queries, k, clients, reqs)
+	if err != nil {
+		return err
+	}
+	rep.Runs["serve"] = sr
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// serveRun drives the HTTP serving stack over a loopback listener, as in
+// -exp serve, and reports end-to-end client-side numbers plus
+// process-wide heap traffic per request (server and client combined —
+// an upper bound on the serving path's allocation cost).
+func serveRun(backend lccs.Searcher, queries [][]float32, k, clients, reqs int) (RunReport, error) {
+	srv, err := server.New(server.Config{
+		Backend:     backend,
+		MaxInFlight: runtime.GOMAXPROCS(0),
+		MaxQueue:    clients * 4,
+		Timeout:     30 * time.Second,
+	})
+	if err != nil {
+		return RunReport{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return RunReport{}, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		b, err := json.Marshal(map[string]any{"query": q, "k": k})
+		if err != nil {
+			return RunReport{}, err
+		}
+		bodies[i] = b
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(body []byte) error {
+		resp, err := client.Post(base+"/v1/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+		return nil
+	}
+	for i := 0; i < clients && i < len(bodies); i++ {
+		if err := post(bodies[i]); err != nil {
+			return RunReport{}, err
+		}
+	}
+
+	lat := make([]float64, reqs)
+	errs := make([]error, clients)
+	var next int
+	var mu sync.Mutex
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= reqs {
+					return
+				}
+				t0 := time.Now()
+				if err := post(bodies[i%len(bodies)]); err != nil {
+					errs[c] = err
+					return
+				}
+				lat[i] = time.Since(t0).Seconds()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	for _, err := range errs {
+		if err != nil {
+			return RunReport{}, err
+		}
+	}
+	sort.Float64s(lat)
+	pct := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] * 1e6 }
+	return RunReport{
+		QPS:         float64(reqs) / elapsed.Seconds(),
+		P50Micros:   pct(0.50),
+		P99Micros:   pct(0.99),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(reqs),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(reqs),
+		Note:        fmt.Sprintf("loopback HTTP /v1/search, %d clients (process-wide allocs incl. client)", clients),
+	}, nil
+}

@@ -10,6 +10,9 @@
 //	                         # sharded vs single: build speedup + per-shard QPS
 //	lccs-bench -exp serve [-n 100000] [-clients 8] [-reqs 2000] [-metric euclidean]
 //	                         # drive the HTTP server over loopback: QPS + p50/p99
+//	lccs-bench -json report.json [-n 100000] [-shards 4]
+//	                         # machine-readable core/shard/serve suite: build time,
+//	                         # QPS, p50/p99, B/op, allocs/op (perf-trajectory files)
 //
 // Each paper experiment prints rows in the same structure as the
 // corresponding artifact: Pareto-frontier (recall, query time) points for
@@ -51,8 +54,20 @@ func main() {
 		metric   = flag.String("metric", "euclidean", "metric for -exp shard/serve: euclidean | angular | hamming | jaccard")
 		clients  = flag.Int("clients", 8, "concurrent clients for -exp serve")
 		reqs     = flag.Int("reqs", 2000, "total requests for -exp serve")
+		jsonOut  = flag.String("json", "", "run the core/shard/serve suite and write a machine-readable report to this path ('-' = stdout)")
 	)
 	flag.Parse()
+	if *jsonOut != "" {
+		kind, err := lccs.ParseMetric(*metric)
+		if err == nil {
+			err = jsonBench(*jsonOut, *n, *nq, *k, *m, *shards, *clients, *reqs, *seed, kind)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lccs-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"lccs/internal/pqueue"
+	"lccs/internal/vec"
 )
 
 // DynamicIndex supports online inserts and deletes on top of the static
@@ -18,6 +21,11 @@ import (
 // results; an explicit Rebuild compacts every shard and the buffer into
 // one index synchronously.
 //
+// All vectors live in one growing flat store (vec.Store): Add copies the
+// vector to the end of the contiguous block, shards index stable views
+// of it, and the unindexed buffer is scanned with the store's bulk
+// distance kernel — one forward pass over contiguous memory.
+//
 // Vector ids are assignment-ordered and stable across rebuilds: the i-th
 // vector ever added (counting the initial dataset) has id i, forever.
 // DynamicIndex is safe for concurrent use; neither readers nor writers
@@ -30,9 +38,9 @@ type DynamicIndex struct {
 	// (bucket width); later shards reuse the same resolved values so all
 	// shards are seed-equivalent.
 	cfgResolved bool
-	data        [][]float32 // all vectors ever added, id-ordered
-	shards      []dynShard  // immutable shards over data[0:indexed]
-	indexed     int         // prefix of data covered by shards
+	store       *vec.Store // all vectors ever added, id-ordered, one flat block
+	shards      []dynShard // immutable shards over ids [0, indexed)
+	indexed     int        // prefix of the store covered by shards
 	deleted     map[int]bool
 	// rebuildAt triggers a background shard build when the buffer
 	// reaches this size.
@@ -46,40 +54,66 @@ type DynamicIndex struct {
 	// surfaced (and cleared) by the next Add. A successful explicit
 	// Rebuild supersedes the failed delta and clears it unseen.
 	buildErr error
+	// ctxs pools the per-query scratch (shard fetch buffer, k-best row).
+	ctxs sync.Pool
 }
 
-// dynShard is one immutable index shard covering data[off : off+ix.Len()].
+// dynShard is one immutable index shard covering ids [off, off+ix.Len()).
 type dynShard struct {
 	ix  *Index
 	off int
+}
+
+// dynCtx is the pooled per-query scratch of a dynamic search.
+type dynCtx struct {
+	shardBuf []pqueue.Neighbor
+	best     pqueue.KBest
+	sorted   []pqueue.Neighbor
 }
 
 // DefaultRebuildThreshold is the buffer size that triggers a background
 // shard build.
 const DefaultRebuildThreshold = 4096
 
+// buildIndexOver resolves the configuration against a store and builds a
+// facade index — the shared path of the dynamic build sites (initial
+// build, background delta shard, compaction, snapshot tail).
+func buildIndexOver(store *vec.Store, cfg Config) (*Index, error) {
+	cfg, err := resolveConfig(store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newIndexFromStore(store, cfg)
+}
+
 // NewDynamicIndex builds a dynamic index over an initial dataset (which
 // may be empty — pass nil — if all data arrives via Add). rebuildAt ≤ 0
-// selects DefaultRebuildThreshold.
+// selects DefaultRebuildThreshold. The initial rows are copied into the
+// index's flat store; data itself is not retained.
 func NewDynamicIndex(data [][]float32, cfg Config, rebuildAt int) (*DynamicIndex, error) {
 	if rebuildAt <= 0 {
 		rebuildAt = DefaultRebuildThreshold
 	}
+	store, err := storeFromRows(data)
+	if err != nil {
+		return nil, err
+	}
 	d := &DynamicIndex{
 		cfg:       cfg,
-		data:      append([][]float32(nil), data...),
+		store:     store,
 		deleted:   make(map[int]bool),
 		rebuildAt: rebuildAt,
 	}
+	d.ctxs.New = func() any { return new(dynCtx) }
 	d.cond = sync.NewCond(&d.mu)
-	if len(data) > 0 {
-		ix, err := NewIndex(d.data, cfg)
+	if store.Len() > 0 {
+		ix, err := buildIndexOver(store.Slice(0, store.Len()), cfg)
 		if err != nil {
 			return nil, err
 		}
 		d.adoptConfigLocked(ix)
 		d.shards = []dynShard{{ix: ix, off: 0}}
-		d.indexed = len(d.data)
+		d.indexed = store.Len()
 	} else if err := validateConfig(cfg); err != nil {
 		// No build runs yet on an empty start, so reject a config the
 		// first build (or query) would otherwise fail on — turning a
@@ -94,8 +128,9 @@ func NewDynamicIndex(data [][]float32, cfg Config, rebuildAt int) (*DynamicIndex
 // DynamicIndex, so a warm restart stays writable without rebuilding:
 // the sharded index's shards become the dynamic main, new inserts
 // buffer on top. data must be the slice the sharded index was built or
-// loaded over (ids keep indexing it). rebuildAt ≤ 0 selects
-// DefaultRebuildThreshold.
+// loaded over (ids keep indexing it); the dynamic index adopts the
+// sharded index's flat store rather than copying it. rebuildAt ≤ 0
+// selects DefaultRebuildThreshold.
 func NewDynamicIndexFromSharded(sx *ShardedIndex, data [][]float32, rebuildAt int) (*DynamicIndex, error) {
 	if sx.Len() != len(data) {
 		return nil, fmt.Errorf("lccs: sharded index covers %d vectors, data has %d", sx.Len(), len(data))
@@ -106,15 +141,20 @@ func NewDynamicIndexFromSharded(sx *ShardedIndex, data [][]float32, rebuildAt in
 	d := &DynamicIndex{
 		cfg:         sx.cfg, // container headers hold the resolved config
 		cfgResolved: true,
-		data:        append([][]float32(nil), data...),
-		shards:      make([]dynShard, len(sx.shards)),
-		indexed:     len(data),
-		deleted:     make(map[int]bool),
-		rebuildAt:   rebuildAt,
+		// Adopt a capped view of the sharded index's store: the first
+		// Add then grows a private copy of the block, so the still-live
+		// ShardedIndex (documented safe for concurrent queries) is
+		// never mutated, whichever constructor produced it.
+		store:     sx.store.Slice(0, sx.Len()),
+		shards:    make([]dynShard, len(sx.shards)),
+		indexed:   sx.Len(),
+		deleted:   make(map[int]bool),
+		rebuildAt: rebuildAt,
 	}
 	for i, ix := range sx.shards {
 		d.shards[i] = dynShard{ix: ix, off: sx.offsets[i]}
 	}
+	d.ctxs.New = func() any { return new(dynCtx) }
 	d.cond = sync.NewCond(&d.mu)
 	return d, nil
 }
@@ -128,22 +168,21 @@ func (d *DynamicIndex) adoptConfigLocked(ix *Index) {
 	}
 }
 
-// Add inserts a vector and returns its id. The vector is retained by
-// reference. Crossing the rebuild threshold starts a background shard
-// build; Add itself never blocks on index construction. If a previous
-// background build failed, its error is returned here (the insert itself
-// still succeeded) and cleared.
+// Add inserts a vector (copied into the flat store) and returns its id.
+// Crossing the rebuild threshold starts a background shard build; Add
+// itself never blocks on index construction. If a previous background
+// build failed, its error is returned here (the insert itself still
+// succeeded) and cleared.
 func (d *DynamicIndex) Add(v []float32) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(v) == 0 {
 		return 0, ErrEmptyVector
 	}
-	if len(d.data) > 0 && len(v) != len(d.data[0]) {
-		return 0, fmt.Errorf("%w: vector has %d dimensions, index has %d", ErrDimensionMismatch, len(v), len(d.data[0]))
+	if dim := d.store.Dim(); dim != 0 && len(v) != dim {
+		return 0, fmt.Errorf("%w: vector has %d dimensions, index has %d", ErrDimensionMismatch, len(v), dim)
 	}
-	id := len(d.data)
-	d.data = append(d.data, v)
+	id := d.store.Append(v)
 	err := d.buildErr
 	d.buildErr = nil
 	d.maybeStartBuildLocked()
@@ -153,22 +192,23 @@ func (d *DynamicIndex) Add(v []float32) (int, error) {
 // maybeStartBuildLocked freezes the buffer into a background shard build
 // when it crossed the threshold and no build is already in flight.
 func (d *DynamicIndex) maybeStartBuildLocked() {
-	if d.building || len(d.data)-d.indexed < d.rebuildAt {
+	if d.building || d.store.Len()-d.indexed < d.rebuildAt {
 		return
 	}
 	d.building = true
-	lo, hi := d.indexed, len(d.data)
-	// Freeze the delta: the capped three-index slice cannot alias later
-	// appends, and vectors themselves are never mutated.
-	delta := d.data[lo:hi:hi]
+	lo, hi := d.indexed, d.store.Len()
+	// Freeze the delta: a Slice view is stable across later appends
+	// (growth copies to a new block; in-place growth writes only beyond
+	// hi), and vectors themselves are never mutated.
+	delta := d.store.Slice(lo, hi)
 	go d.buildShard(d.gen, lo, hi, delta, d.cfg)
 }
 
 // buildShard builds one shard over a frozen delta outside the lock and
 // swaps it in. A generation mismatch (an explicit Rebuild ran meanwhile)
 // discards the result.
-func (d *DynamicIndex) buildShard(gen uint64, lo, hi int, delta [][]float32, cfg Config) {
-	ix, err := NewIndex(delta, cfg)
+func (d *DynamicIndex) buildShard(gen uint64, lo, hi int, delta *vec.Store, cfg Config) {
+	ix, err := buildIndexOver(delta, cfg)
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -208,7 +248,7 @@ func (d *DynamicIndex) WaitRebuild() {
 func (d *DynamicIndex) Delete(id int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if id >= 0 && id < len(d.data) {
+	if id >= 0 && id < d.store.Len() {
 		d.deleted[id] = true
 	}
 }
@@ -221,16 +261,17 @@ func (d *DynamicIndex) Rebuild() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.gen++ // discard any in-flight background build
-	if len(d.data) == 0 {
+	n := d.store.Len()
+	if n == 0 {
 		return nil
 	}
-	ix, err := NewIndex(d.data, d.cfg)
+	ix, err := buildIndexOver(d.store.Slice(0, n), d.cfg)
 	if err != nil {
 		return err
 	}
 	d.adoptConfigLocked(ix)
 	d.shards = []dynShard{{ix: ix, off: 0}}
-	d.indexed = len(d.data)
+	d.indexed = n
 	d.buildErr = nil
 	return nil
 }
@@ -239,7 +280,7 @@ func (d *DynamicIndex) Rebuild() error {
 func (d *DynamicIndex) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.data) - len(d.deleted)
+	return d.store.Len() - len(d.deleted)
 }
 
 // Buffered returns the number of vectors not yet covered by an index
@@ -248,7 +289,7 @@ func (d *DynamicIndex) Len() int {
 func (d *DynamicIndex) Buffered() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.data) - d.indexed
+	return d.store.Len() - d.indexed
 }
 
 // Dim returns the dimensionality of the stored vectors, or 0 before the
@@ -256,10 +297,7 @@ func (d *DynamicIndex) Buffered() int {
 func (d *DynamicIndex) Dim() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if len(d.data) == 0 {
-		return 0
-	}
-	return len(d.data[0])
+	return d.store.Dim()
 }
 
 // Shards returns the number of index shards currently serving queries.
@@ -273,6 +311,11 @@ func (d *DynamicIndex) Shards() int {
 // (at the default budget) merged with an exact scan of the buffer.
 func (d *DynamicIndex) Search(q []float32, k int) ([]Neighbor, error) {
 	return d.SearchBudget(q, k, d.defaultBudget())
+}
+
+// SearchInto is Search appending into dst (reset to dst[:0] first).
+func (d *DynamicIndex) SearchInto(q []float32, k int, dst []Neighbor) ([]Neighbor, error) {
+	return d.SearchBudgetInto(q, k, d.defaultBudget(), dst)
 }
 
 // defaultBudget returns the facade's default candidate budget: the
@@ -292,52 +335,52 @@ func (d *DynamicIndex) defaultBudget() int {
 // each), so a given budget means comparable verification work on every
 // Searcher backend; the insert buffer is always scanned exactly.
 func (d *DynamicIndex) SearchBudget(q []float32, k, lambda int) ([]Neighbor, error) {
+	return d.SearchBudgetInto(q, k, lambda, nil)
+}
+
+// SearchBudgetInto is SearchBudget appending into dst (reset to dst[:0]
+// first; dst may be nil). Shard fetches and the k-best row ride in
+// pooled scratch, so a steady-state query's only allocations are those
+// of the result row growth.
+func (d *DynamicIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	dim := 0
-	if len(d.data) > 0 {
-		dim = len(d.data[0])
-	}
-	if err := validateQuery(q, dim, k, lambda); err != nil {
+	if err := validateQuery(q, d.store.Dim(), k, lambda); err != nil {
 		return nil, err
 	}
-	if len(d.data) == 0 {
+	if d.store.Len() == 0 {
 		return nil, nil
 	}
+	ctx := d.ctxs.Get().(*dynCtx)
 	// Over-fetch to survive tombstone filtering.
 	fetch := k + len(d.deleted)
-	metric := d.metricLocked()
-	best := make([]Neighbor, 0, k+1)
-	push := func(nb Neighbor) {
-		if d.deleted[nb.ID] {
-			return
-		}
-		if len(best) == k && nb.Dist >= best[k-1].Dist {
-			return
-		}
-		best = append(best, nb)
-		for i := len(best) - 1; i > 0 && best[i].Dist < best[i-1].Dist; i-- {
-			best[i], best[i-1] = best[i-1], best[i]
-		}
-		if len(best) > k {
-			best = best[:k]
+	ctx.best.Reset(k)
+	push := func(id int, dist float64) {
+		if !d.deleted[id] {
+			ctx.best.Add(id, dist)
 		}
 	}
-	// searchOffset shifts shard-local ids into the global id space.
+	// searchOffsetInto shifts shard-local ids into the global id space.
 	// Shard ranges are disjoint, so no dedup is needed.
 	lambdaShard := lambda
 	if s := len(d.shards); s > 1 {
 		lambdaShard = (lambda + s - 1) / s
 	}
 	for _, sh := range d.shards {
-		for _, nb := range sh.ix.searchOffset(q, fetch, lambdaShard, sh.off) {
-			push(Neighbor{ID: nb.ID, Dist: nb.Dist})
+		ctx.shardBuf = sh.ix.searchOffsetInto(q, fetch, lambdaShard, sh.off, ctx.shardBuf)
+		for _, nb := range ctx.shardBuf {
+			push(nb.ID, nb.Dist)
 		}
 	}
-	for id := d.indexed; id < len(d.data); id++ {
-		push(Neighbor{ID: id, Dist: metric(d.data[id], q)})
+	// The unindexed buffer: one bulk kernel pass over the flat block.
+	d.store.Scan(d.indexed, d.store.Len(), q, d.metricLocked(), push)
+	ctx.sorted = ctx.best.AppendSorted(ctx.sorted[:0])
+	if dst == nil {
+		dst = make([]Neighbor, 0, len(ctx.sorted))
 	}
-	return best, nil
+	dst = appendNeighbors(dst[:0], ctx.sorted)
+	d.ctxs.Put(ctx)
+	return dst, nil
 }
 
 // SearchBatch answers many queries concurrently under the default
@@ -355,16 +398,17 @@ func (d *DynamicIndex) SearchBatchBudget(queries [][]float32, k, lambda int) ([]
 func (d *DynamicIndex) Distance(a, b []float32) float64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.metricLocked()(a, b)
+	return d.metricLocked().Distance(a, b)
 }
 
 // Snapshot freezes the current contents into a point-in-time view: the
 // full id-ordered vector slice (including tombstoned slots, so ids stay
-// stable) and a ShardedIndex over it, assembled from the existing
-// immutable shards plus one freshly built shard covering the unindexed
-// buffer. The ShardedIndex can be persisted with Save (the LCCSPKG2
-// container) and reloaded against the returned vectors with LoadSharded,
-// so buffered inserts survive a process restart without replaying them.
+// stable; the rows are views into the flat store) and a ShardedIndex
+// over it, assembled from the existing immutable shards plus one freshly
+// built shard covering the unindexed buffer. The ShardedIndex can be
+// persisted with Save (the LCCSPKG2 container) and reloaded against the
+// returned vectors with LoadSharded, so buffered inserts survive a
+// process restart without replaying them.
 //
 // Snapshot blocks writers while the buffer shard builds; it is meant for
 // shutdown and checkpoint paths, not the hot loop. Tombstones are not
@@ -373,7 +417,8 @@ func (d *DynamicIndex) Distance(a, b []float32) float64 {
 func (d *DynamicIndex) Snapshot() ([][]float32, *ShardedIndex, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.data) == 0 {
+	n := d.store.Len()
+	if n == 0 {
 		return nil, nil, errors.New("lccs: nothing to snapshot: empty dynamic index")
 	}
 	shards := make([]*Index, 0, len(d.shards)+1)
@@ -382,49 +427,52 @@ func (d *DynamicIndex) Snapshot() ([][]float32, *ShardedIndex, error) {
 		shards = append(shards, sh.ix)
 		offsets = append(offsets, sh.off)
 	}
-	if d.indexed < len(d.data) {
-		lo, hi := d.indexed, len(d.data)
-		tail, err := NewIndex(d.data[lo:hi:hi], d.cfg)
+	if d.indexed < n {
+		tail, err := buildIndexOver(d.store.Slice(d.indexed, n), d.cfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		d.adoptConfigLocked(tail)
 		shards = append(shards, tail)
-		offsets = append(offsets, lo)
+		offsets = append(offsets, d.indexed)
 	}
-	offsets = append(offsets, len(d.data))
+	offsets = append(offsets, n)
 	budget := d.cfg.Budget
 	if budget <= 0 {
 		budget = defaultBudget
 	}
-	data := d.data[:len(d.data):len(d.data)]
-	return data, &ShardedIndex{
+	frozen := d.store.Slice(0, n)
+	sx := &ShardedIndex{
 		cfg:     d.cfg,
+		store:   frozen,
 		shards:  shards,
 		offsets: offsets,
 		budget:  budget,
-		dim:     len(d.data[0]),
-	}, nil
+		dim:     d.store.Dim(),
+	}
+	sx.initPool()
+	return frozen.Rows(), sx, nil
 }
 
-// Vector returns the vector stored under id (also for tombstoned ids).
+// Vector returns the vector stored under id (also for tombstoned ids),
+// as a read-only view into the flat store.
 func (d *DynamicIndex) Vector(id int) []float32 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.data[id]
+	return d.store.Row(id)
 }
 
-// metricLocked returns the distance function of the configured metric,
-// usable before the first index exists.
-func (d *DynamicIndex) metricLocked() func(a, b []float32) float64 {
+// metricLocked returns the configured distance metric, usable before the
+// first index exists.
+func (d *DynamicIndex) metricLocked() vec.Metric {
 	if len(d.shards) > 0 {
-		return d.shards[0].ix.Distance
+		return d.shards[0].ix.metric
 	}
 	// No index yet: resolve the metric from the config. familyFor needs
 	// a dimension; any positive one works for metric resolution.
-	dim := 1
-	if len(d.data) > 0 {
-		dim = len(d.data[0])
+	dim := d.store.Dim()
+	if dim == 0 {
+		dim = 1
 	}
 	cfg := d.cfg
 	if cfg.Metric == Euclidean && cfg.BucketWidth == 0 {
@@ -435,5 +483,5 @@ func (d *DynamicIndex) metricLocked() func(a, b []float32) float64 {
 		// Unknown metric: surface loudly at query time.
 		panic(err)
 	}
-	return fam.Metric().Distance
+	return fam.Metric()
 }

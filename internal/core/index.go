@@ -11,6 +11,12 @@
 // The scheme is LSH-family-independent: it supports any distance metric
 // that admits an LSH family, and it exposes a single capacity parameter m
 // (plus the per-query candidate budget λ).
+//
+// The data plane is flat: vectors live in a vec.Store (one contiguous
+// float32 block) and every per-query scratch object — the CSA searcher,
+// the hash-string buffer, the k-best collector, the multi-probe
+// perturbation state — lives in one pooled searchCtx, so a steady-state
+// SearchInto performs no heap allocations.
 package core
 
 import (
@@ -62,30 +68,71 @@ type Index struct {
 	family lshfamily.Family
 	funcs  []lshfamily.Func
 	metric vec.Metric
-	data   [][]float32
+	store  *vec.Store
 	csa    *csa.CSA
 	m      int
 	seed   uint64
 
 	buildTime time.Duration
-	searchers sync.Pool
-	hbuf      sync.Pool
+	// ctxs pools searchCtx values: all per-query scratch in one object,
+	// one Get/Put per query.
+	ctxs sync.Pool
 }
 
-// Build constructs an LCCS-LSH index over data using the given LSH family.
-// The dataset is retained by reference and must not be mutated afterwards.
+// searchCtx is the pooled per-query state: everything a search touches
+// besides the immutable index, reused across queries so the steady-state
+// hot path performs no heap allocations.
+type searchCtx struct {
+	s    *csa.Searcher
+	hq   []int32      // hash-string buffer, H(q)
+	best pqueue.KBest // k-best verification collector
+	// multi-probe scratch (unused, zero-cost for single-probe indexes)
+	alts     [][]lshfamily.Alternative
+	probeStr []int32
+	modPos   []int
+	affected []int
+}
+
+// initPool installs the searchCtx pool; called once per constructed or
+// decoded index.
+func (ix *Index) initPool() {
+	m := ix.m
+	ix.ctxs.New = func() any {
+		return &searchCtx{
+			s:        ix.csa.NewSearcher(),
+			hq:       make([]int32, m),
+			alts:     make([][]lshfamily.Alternative, m),
+			probeStr: make([]int32, m),
+		}
+	}
+}
+
+// Build constructs an LCCS-LSH index over data using the given LSH
+// family. It is the row-slice convenience wrapper around BuildStore:
+// the rows are packed once into a flat vec.Store, which the index
+// retains.
 func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) {
+	store, err := vec.FromRows(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return BuildStore(store, family, p)
+}
+
+// BuildStore constructs an LCCS-LSH index over the vectors of a flat
+// store. The store is retained by reference and must not be mutated
+// afterwards (appends to an owning store the index got a Slice view of
+// are fine — views are stable).
+func BuildStore(store *vec.Store, family lshfamily.Family, p Params) (*Index, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if len(data) == 0 {
+	n := store.Len()
+	if n == 0 {
 		return nil, errors.New("core: empty dataset")
 	}
-	d := family.Dim()
-	for i, v := range data {
-		if len(v) != d {
-			return nil, fmt.Errorf("core: object %d has dimension %d, family expects %d", i, len(v), d)
-		}
+	if store.Dim() != family.Dim() {
+		return nil, fmt.Errorf("core: store has dimension %d, family expects %d", store.Dim(), family.Dim())
 	}
 	start := time.Now()
 	g := rng.New(p.Seed)
@@ -93,7 +140,7 @@ func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) 
 
 	// Hash all objects in parallel; the flat block is handed straight to
 	// the CSA.
-	n, m := len(data), p.M
+	m := p.M
 	flat := make([]int32, n*m)
 	workers := runtime.GOMAXPROCS(0)
 	var wg sync.WaitGroup
@@ -110,7 +157,7 @@ func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) 
 		go func(lo, hi int) {
 			defer wg.Done()
 			for id := lo; id < hi; id++ {
-				lshfamily.HashString(funcs, data[id], flat[id*m:(id+1)*m])
+				lshfamily.HashString(funcs, store.Row(id), flat[id*m:(id+1)*m])
 			}
 		}(lo, hi)
 	}
@@ -120,16 +167,12 @@ func Build(data [][]float32, family lshfamily.Family, p Params) (*Index, error) 
 		family: family,
 		funcs:  funcs,
 		metric: family.Metric(),
-		data:   data,
+		store:  store,
 		csa:    csa.NewFromFlat(flat, n, m),
 		m:      m,
 		seed:   p.Seed,
 	}
-	ix.searchers.New = func() any { return ix.csa.NewSearcher() }
-	ix.hbuf.New = func() any {
-		b := make([]int32, m)
-		return &b
-	}
+	ix.initPool()
 	ix.buildTime = time.Since(start)
 	return ix, nil
 }
@@ -141,7 +184,7 @@ func (ix *Index) M() int { return ix.m }
 func (ix *Index) Seed() uint64 { return ix.seed }
 
 // N returns the number of indexed objects.
-func (ix *Index) N() int { return len(ix.data) }
+func (ix *Index) N() int { return ix.store.Len() }
 
 // Family returns the LSH family backing the index.
 func (ix *Index) Family() lshfamily.Family { return ix.family }
@@ -170,38 +213,54 @@ func (ix *Index) HashQuery(q []float32) []int32 {
 // the k nearest in ascending distance order. lambda is the candidate
 // budget λ; larger values trade time for recall.
 func (ix *Index) Search(q []float32, k, lambda int) []pqueue.Neighbor {
-	res, _ := ix.SearchWithStats(q, k, lambda)
+	res, _ := ix.searchInto(q, k, lambda, nil)
+	return res
+}
+
+// SearchInto is Search appending into dst (reset to dst[:0] first): the
+// zero-allocation path for callers that reuse a result buffer.
+func (ix *Index) SearchInto(q []float32, k, lambda int, dst []pqueue.Neighbor) []pqueue.Neighbor {
+	res, _ := ix.searchInto(q, k, lambda, dst[:0])
 	return res
 }
 
 // SearchWithStats is Search plus work counters.
 func (ix *Index) SearchWithStats(q []float32, k, lambda int) ([]pqueue.Neighbor, SearchStats) {
+	return ix.searchInto(q, k, lambda, nil)
+}
+
+// searchInto runs the single-probe query with pooled scratch, appending
+// the k nearest to dst (which may be nil).
+func (ix *Index) searchInto(q []float32, k, lambda int, dst []pqueue.Neighbor) ([]pqueue.Neighbor, SearchStats) {
 	if k <= 0 || lambda <= 0 {
-		return nil, SearchStats{}
+		return dst, SearchStats{}
 	}
-	s := ix.searchers.Get().(*csa.Searcher)
-	defer ix.searchers.Put(s)
-	hp := ix.hbuf.Get().(*[]int32)
-	defer ix.hbuf.Put(hp)
-	hq := lshfamily.HashString(ix.funcs, q, *hp)
+	ctx := ix.ctxs.Get().(*searchCtx)
+	ctx.hq = lshfamily.HashString(ix.funcs, q, ctx.hq)
 
 	nCand := lambda + k - 1
-	s.Begin(hq)
-	best := pqueue.NewKBest(k)
+	ctx.s.Begin(ctx.hq)
+	ctx.best.Reset(k)
 	verified := 0
 	for verified < nCand {
-		r, ok := s.Next()
+		r, ok := ctx.s.Next()
 		if !ok {
 			break
 		}
-		best.Add(r.ID, ix.metric.Distance(ix.data[r.ID], q))
+		ctx.best.Add(r.ID, ix.metric.Distance(ix.store.Row(r.ID), q))
 		verified++
 	}
-	return best.Sorted(), SearchStats{Candidates: verified, Probes: 1}
+	dst = ctx.best.AppendSorted(dst)
+	ix.ctxs.Put(ctx)
+	return dst, SearchStats{Candidates: verified, Probes: 1}
 }
 
-// Data returns the indexed vector with the given id.
-func (ix *Index) Data(id int) []float32 { return ix.data[id] }
+// Data returns the indexed vector with the given id (a view into the
+// flat store; treat it as read-only).
+func (ix *Index) Data(id int) []float32 { return ix.store.Row(id) }
+
+// Store returns the flat vector store backing the index (read-only).
+func (ix *Index) Store() *vec.Store { return ix.store }
 
 // SearchOffset is Search for shard-local use: the index covers a
 // contiguous slice of a larger dataset starting at global id offset, and
@@ -209,6 +268,14 @@ func (ix *Index) Data(id int) []float32 { return ix.data[id] }
 // shards merge without remapping.
 func (ix *Index) SearchOffset(q []float32, k, lambda, offset int) []pqueue.Neighbor {
 	return shiftIDs(ix.Search(q, k, lambda), offset)
+}
+
+// SearchOffsetInto is SearchOffset appending into dst (reset to dst[:0]
+// first), the zero-allocation shard fan-out path.
+func (ix *Index) SearchOffsetInto(q []float32, k, lambda, offset int, dst []pqueue.Neighbor) []pqueue.Neighbor {
+	res := ix.SearchInto(q, k, lambda, dst)
+	shiftIDs(res, offset)
+	return res
 }
 
 // shiftIDs adds offset to every neighbor id in place and returns the

@@ -4,11 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sync"
 
 	"lccs/internal/csa"
 	"lccs/internal/lshfamily"
 	"lccs/internal/rng"
+	"lccs/internal/vec"
 )
 
 // indexMagic versions the on-disk index format.
@@ -29,7 +29,7 @@ func (ix *Index) Encode(w io.Writer) error {
 	if _, err := w.Write([]byte(name)); err != nil {
 		return err
 	}
-	hdr := []int64{int64(ix.family.Dim()), int64(ix.m), int64(len(ix.data))}
+	hdr := []int64{int64(ix.family.Dim()), int64(ix.m), int64(ix.store.Len())}
 	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
@@ -39,12 +39,23 @@ func (ix *Index) Encode(w io.Writer) error {
 	return ix.csa.Encode(w)
 }
 
-// Decode reconstructs an index written by Encode. data must be the exact
-// dataset the index was built over (same order); family must match the
-// family used at build time — both are verified against the stored
-// metadata, and the hash strings of a data sample are re-verified against
-// the stored CSA.
+// Decode reconstructs an index written by Encode from row-slice data: a
+// convenience wrapper that packs the rows into a flat store first. See
+// DecodeStore.
 func Decode(r io.Reader, data [][]float32, family lshfamily.Family) (*Index, error) {
+	store, err := vec.FromRows(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return DecodeStore(r, store, family)
+}
+
+// DecodeStore reconstructs an index written by Encode. store must hold
+// the exact dataset the index was built over (same order); family must
+// match the family used at build time — both are verified against the
+// stored metadata, and the hash strings of a data sample are re-verified
+// against the stored CSA.
+func DecodeStore(r io.Reader, store *vec.Store, family lshfamily.Family) (*Index, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, err
@@ -77,16 +88,17 @@ func Decode(r io.Reader, data [][]float32, family lshfamily.Family) (*Index, err
 	if int(hdr[0]) != family.Dim() {
 		return nil, fmt.Errorf("core: index dimension %d, family has %d", hdr[0], family.Dim())
 	}
-	if int(hdr[2]) != len(data) {
-		return nil, fmt.Errorf("core: index covers %d objects, data has %d", hdr[2], len(data))
+	n := store.Len()
+	if int(hdr[2]) != n {
+		return nil, fmt.Errorf("core: index covers %d objects, data has %d", hdr[2], n)
 	}
 	m := int(hdr[1])
 	cs, err := csa.Decode(r)
 	if err != nil {
 		return nil, err
 	}
-	if cs.N() != len(data) || cs.M() != m {
-		return nil, fmt.Errorf("core: CSA shape %dx%d does not match header %dx%d", cs.N(), cs.M(), len(data), m)
+	if cs.N() != n || cs.M() != m {
+		return nil, fmt.Errorf("core: CSA shape %dx%d does not match header %dx%d", cs.N(), cs.M(), n, m)
 	}
 
 	g := rng.New(seed)
@@ -95,24 +107,20 @@ func Decode(r io.Reader, data [][]float32, family lshfamily.Family) (*Index, err
 		family: family,
 		funcs:  funcs,
 		metric: family.Metric(),
-		data:   data,
+		store:  store,
 		csa:    cs,
 		m:      m,
 		seed:   seed,
 	}
-	ix.searchers = sync.Pool{New: func() any { return ix.csa.NewSearcher() }}
-	ix.hbuf = sync.Pool{New: func() any {
-		b := make([]int32, m)
-		return &b
-	}}
+	ix.initPool()
 
 	// Spot-check: rehash a few objects and compare against the stored
 	// strings; a mismatch means the caller supplied different data or a
 	// different family configuration.
-	step := len(data)/8 + 1
-	for id := 0; id < len(data); id += step {
+	step := n/8 + 1
+	for id := 0; id < n; id += step {
 		want := cs.String(id)
-		got := lshfamily.HashString(funcs, data[id], nil)
+		got := lshfamily.HashString(funcs, store.Row(id), nil)
 		for j := range want {
 			if want[j] != got[j] {
 				return nil, fmt.Errorf("core: stored hash string of object %d does not match supplied data/family", id)

@@ -91,7 +91,7 @@ func (ix *Index) probeScale() float64 {
 	dists := make([]float64, 0, samples)
 	step := n/samples + 1
 	for i := 0; i+step < n; i += step {
-		dists = append(dists, ix.metric.Distance(ix.data[i], ix.data[i+step]))
+		dists = append(dists, ix.metric.Distance(ix.store.Row(i), ix.store.Row(i+step)))
 	}
 	if len(dists) == 0 {
 		return 0

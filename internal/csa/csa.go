@@ -13,6 +13,7 @@ package csa
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -22,18 +23,37 @@ import (
 
 // CSA is an immutable Circular Shift Array over n strings of length m.
 // Build one with New; run queries through a Searcher.
+//
+// All three index structures are flat contiguous blocks rather than
+// slices of slices: the query hot path walks sorted orders and next
+// links for every shift, and a flat layout turns those lookups into
+// strided reads of one block instead of a pointer chase per shift.
 type CSA struct {
 	n, m int
 	// data holds the n strings row-major: symbol j of string id is
 	// data[id*m + j].
 	data []int32
-	// sorted[i][rank] is the id of the rank-th smallest string when
-	// strings are compared circularly starting at position i
-	// (the paper's I_{i+1} over shift(T, i)).
-	sorted [][]int32
-	// next[i][rank] is the rank, in sorted[(i+1)%m], of the string at
-	// sorted[i][rank] (the paper's N_{i+1}).
-	next [][]int32
+	// sorted holds the m sorted orders back to back: sorted[i*n + rank]
+	// is the id of the rank-th smallest string when strings are compared
+	// circularly starting at position i (the paper's I_{i+1} over
+	// shift(T, i)).
+	sorted []int32
+	// next holds the m next-link arrays back to back: next[i*n + rank]
+	// is the rank, in shift (i+1) mod m's order, of the string at
+	// sorted[i*n + rank] (the paper's N_{i+1}).
+	next []int32
+}
+
+// sortedRow returns the sorted order of shift i as a view into the flat
+// block.
+func (c *CSA) sortedRow(i int) []int32 {
+	return c.sorted[i*c.n : (i+1)*c.n : (i+1)*c.n]
+}
+
+// nextRow returns the next-link array of shift i as a view into the
+// flat block.
+func (c *CSA) nextRow(i int) []int32 {
+	return c.next[i*c.n : (i+1)*c.n : (i+1)*c.n]
 }
 
 // New builds a CSA over the given equal-length strings (Algorithm 1).
@@ -65,7 +85,7 @@ func NewFromFlat(data []int32, n, m int) *CSA {
 		panic("csa: flat data size mismatch")
 	}
 	c := &CSA{n: n, m: m, data: data}
-	c.sorted = make([][]int32, m)
+	c.sorted = make([]int32, m*n)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > m {
@@ -78,7 +98,7 @@ func NewFromFlat(data []int32, n, m int) *CSA {
 		go func() {
 			defer wg.Done()
 			for i := range shifts {
-				c.sorted[i] = c.sortShift(i)
+				c.sortShift(i)
 			}
 		}()
 	}
@@ -88,27 +108,28 @@ func NewFromFlat(data []int32, n, m int) *CSA {
 	close(shifts)
 	wg.Wait()
 
-	// Next links: next[i][rank(id at shift i)] = rank(id at shift i+1).
-	c.next = make([][]int32, m)
+	// Next links: next[i·n + rank(id at shift i)] = rank(id at shift i+1).
+	c.next = make([]int32, m*n)
 	pos := make([]int32, n)
 	for i := 0; i < m; i++ {
 		ni := (i + 1) % m
-		for r, id := range c.sorted[ni] {
+		for r, id := range c.sortedRow(ni) {
 			pos[id] = int32(r)
 		}
-		links := make([]int32, n)
-		for r, id := range c.sorted[i] {
+		links := c.nextRow(i)
+		for r, id := range c.sortedRow(i) {
 			links[r] = pos[id]
 		}
-		c.next[i] = links
 	}
 	return c
 }
 
-// sortShift returns string ids ordered by circular comparison from shift i,
-// ties broken by id so the order is deterministic.
-func (c *CSA) sortShift(i int) []int32 {
-	ids := make([]int32, c.n)
+// sortShift fills shift i's region of the flat sorted block with string
+// ids ordered by circular comparison from shift i, ties broken by id so
+// the order is deterministic. Regions of distinct shifts are disjoint,
+// so the m sorts run in parallel without coordination.
+func (c *CSA) sortShift(i int) {
+	ids := c.sortedRow(i)
 	for j := range ids {
 		ids[j] = int32(j)
 	}
@@ -119,7 +140,6 @@ func (c *CSA) sortShift(i int) []int32 {
 		}
 		return ids[a] < ids[b]
 	})
-	return ids
 }
 
 // compareStrings lexicographically compares strings a and b circularly
@@ -235,19 +255,36 @@ type bounds struct {
 }
 
 // Searcher runs k-LCCS queries against one CSA. It owns reusable scratch
-// (visited stamps, per-shift bounds, the merge heap) and is therefore not
-// safe for concurrent use; create one Searcher per goroutine.
+// (visited stamps, per-shift bounds, the merge heap, the flat query
+// buffer) and is therefore not safe for concurrent use; create one
+// Searcher per goroutine — or, as the core index does, keep Searchers in
+// a sync.Pool. At steady state (buffers grown to their working size) a
+// full Begin/Next/SearchInto cycle performs no heap allocations.
 type Searcher struct {
 	c       *CSA
 	heap    *pqueue.Heap[entry]
 	bounds  []bounds
 	visited []int32
 	gen     int32
-	// queries holds one query string per probe issued so far in the
-	// current search (index 0 is the unperturbed query).
-	queries [][]int32
+	// qbuf holds one query string per probe issued so far in the current
+	// search, back to back: probe p occupies qbuf[p*m : (p+1)*m] (probe 0
+	// is the unperturbed query). The buffer is reused across searches.
+	qbuf []int32
 	// stats
 	comparisons int
+}
+
+// query returns probe p's query string as a view into the flat buffer.
+func (s *Searcher) query(p int32) []int32 {
+	m := s.c.m
+	return s.qbuf[int(p)*m : (int(p)+1)*m]
+}
+
+// pushQuery copies q into the flat query buffer as the next probe and
+// returns its index. Steady state reuses the buffer's capacity.
+func (s *Searcher) pushQuery(q []int32) int32 {
+	s.qbuf = append(s.qbuf, q...)
+	return int32(len(s.qbuf)/s.c.m - 1)
 }
 
 // NewSearcher returns a fresh Searcher for c.
@@ -270,13 +307,29 @@ func (c *CSA) NewSearcher() *Searcher {
 	}
 }
 
+// reset prepares the reusable scratch for a fresh search: empty heap
+// and query buffer, a new visited generation (re-stamping the visited
+// array only on the rare int32 wrap), zeroed counters.
+func (s *Searcher) reset() {
+	s.heap.Reset()
+	if s.gen == math.MaxInt32 {
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.gen = 0
+	}
+	s.gen++
+	s.comparisons = 0
+	s.qbuf = s.qbuf[:0]
+}
+
 // searchRange binary-searches sorted[shift] in rank range [lo, hi]
 // (inclusive) for the query q read circularly from shift. It returns the
 // clamped lower/upper bound ranks, their LCP lengths with q, and whether
 // each bound satisfies its ordering precondition.
 func (s *Searcher) searchRange(q []int32, shift, lo, hi int) bounds {
 	c := s.c
-	order := c.sorted[shift]
+	order := c.sortedRow(shift)
 	// Find the first rank in [lo, hi+1) whose string compares strictly
 	// greater than q; strings equal to q count as ⪯ q.
 	first := lo + sort.Search(hi-lo+1, func(i int) bool {
@@ -314,13 +367,8 @@ func (s *Searcher) Begin(q []int32) {
 	if len(q) != c.m {
 		panic(fmt.Sprintf("csa: query length %d, want %d", len(q), c.m))
 	}
-	s.heap.Reset()
-	s.gen++
-	s.comparisons = 0
-	qc := make([]int32, c.m)
-	copy(qc, q)
-	s.queries = s.queries[:0]
-	s.queries = append(s.queries, qc)
+	s.reset()
+	qc := s.query(s.pushQuery(q))
 
 	for i := 0; i < c.m; i++ {
 		var lo, hi = 0, c.n - 1
@@ -329,11 +377,12 @@ func (s *Searcher) Begin(q []int32) {
 			// Corollary 3.2, applied per side: a bound whose LCP
 			// with the query is ≥ 1 shifts into a valid bound for
 			// the next shift's search range.
+			links := c.nextRow(i - 1)
 			if prev.validL && prev.lenL >= 1 {
-				lo = int(c.next[i-1][prev.posL])
+				lo = int(links[prev.posL])
 			}
 			if prev.validU && prev.lenU >= 1 {
-				hi = int(c.next[i-1][prev.posU])
+				hi = int(links[prev.posU])
 			}
 			if lo > hi {
 				// Defensive: cannot happen for a correctly
@@ -358,13 +407,8 @@ func (s *Searcher) BeginSimple(q []int32) {
 	if len(q) != c.m {
 		panic(fmt.Sprintf("csa: query length %d, want %d", len(q), c.m))
 	}
-	s.heap.Reset()
-	s.gen++
-	s.comparisons = 0
-	qc := make([]int32, c.m)
-	copy(qc, q)
-	s.queries = s.queries[:0]
-	s.queries = append(s.queries, qc)
+	s.reset()
+	qc := s.query(s.pushQuery(q))
 
 	for i := 0; i < c.m; i++ {
 		b := s.searchRange(qc, i, 0, c.n-1)
@@ -382,13 +426,14 @@ func (s *Searcher) Next() (Result, bool) {
 	c := s.c
 	for s.heap.Len() > 0 {
 		e := s.heap.Pop()
-		id := c.sorted[e.shift][e.pos]
+		order := c.sortedRow(int(e.shift))
+		id := order[e.pos]
 		// Advance this frontier before the dedup check so the lane
 		// keeps producing candidates.
 		npos := e.pos + e.dir
 		if npos >= 0 && npos < int32(c.n) {
-			q := s.queries[e.probe]
-			nid := c.sorted[e.shift][npos]
+			q := s.query(e.probe)
+			nid := order[npos]
 			s.heap.Push(entry{
 				len:   c.lcpWithQuery(nid, q, int(e.shift)),
 				pos:   npos,
@@ -410,18 +455,24 @@ func (s *Searcher) Next() (Result, bool) {
 // the longest LCCS against q, in non-increasing length order. Fewer than k
 // results are returned only when k > n.
 func (s *Searcher) Search(q []int32, k int) []Result {
+	return s.SearchInto(q, k, make([]Result, 0, k))
+}
+
+// SearchInto is Search appending into dst (reset to dst[:0] first): the
+// zero-allocation path for callers that reuse a result buffer across
+// queries.
+func (s *Searcher) SearchInto(q []int32, k int, dst []Result) []Result {
 	s.Begin(q)
-	return s.drain(k)
+	return s.drainInto(k, dst[:0])
 }
 
 // SearchSimple is Search without the next-link narrowing (ablation).
 func (s *Searcher) SearchSimple(q []int32, k int) []Result {
 	s.BeginSimple(q)
-	return s.drain(k)
+	return s.drainInto(k, make([]Result, 0, k))
 }
 
-func (s *Searcher) drain(k int) []Result {
-	out := make([]Result, 0, k)
+func (s *Searcher) drainInto(k int, out []Result) []Result {
 	for len(out) < k {
 		r, ok := s.Next()
 		if !ok {
@@ -476,10 +527,8 @@ func (s *Searcher) Probe(pq []int32, modified []int, scratch []int) []int {
 	if len(pq) != c.m {
 		panic(fmt.Sprintf("csa: probe length %d, want %d", len(pq), c.m))
 	}
-	qc := make([]int32, c.m)
-	copy(qc, pq)
-	s.queries = append(s.queries, qc)
-	probe := int32(len(s.queries) - 1)
+	probe := s.pushQuery(pq)
+	qc := s.query(probe)
 
 	scratch = s.AffectedShifts(scratch[:0], modified)
 	for _, i := range scratch {
@@ -494,10 +543,8 @@ func (s *Searcher) Probe(pq []int32, modified []int, scratch []int) []int {
 // every shift is re-searched. Used by the ablation benchmarks.
 func (s *Searcher) ProbeFull(pq []int32) {
 	c := s.c
-	qc := make([]int32, c.m)
-	copy(qc, pq)
-	s.queries = append(s.queries, qc)
-	probe := int32(len(s.queries) - 1)
+	probe := s.pushQuery(pq)
+	qc := s.query(probe)
 	for i := 0; i < c.m; i++ {
 		b := s.searchRange(qc, i, 0, c.n-1)
 		s.heap.Push(entry{len: b.lenL, pos: b.posL, shift: int32(i), dir: -1, probe: probe})

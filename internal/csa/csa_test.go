@@ -23,10 +23,10 @@ var (
 // [0,2,1] and next[0] = [2,0,1].
 func TestBuildPaperExample(t *testing.T) {
 	c := New([][]int32{paperO1, paperO2, paperO3})
-	if got, want := c.sorted[0], []int32{0, 2, 1}; !eqInt32(got, want) {
+	if got, want := c.sortedRow(0), []int32{0, 2, 1}; !eqInt32(got, want) {
 		t.Errorf("sorted[0] = %v, want %v", got, want)
 	}
-	if got, want := c.next[0], []int32{2, 0, 1}; !eqInt32(got, want) {
+	if got, want := c.nextRow(0), []int32{2, 0, 1}; !eqInt32(got, want) {
 		t.Errorf("next[0] = %v, want %v", got, want)
 	}
 }
@@ -56,8 +56,8 @@ func TestNextLinksConsistency(t *testing.T) {
 	c := New(randStrings(r, 50, 6, 4))
 	for i := 0; i < c.m; i++ {
 		ni := (i + 1) % c.m
-		for rank, id := range c.sorted[i] {
-			got := c.sorted[ni][c.next[i][rank]]
+		for rank, id := range c.sortedRow(i) {
+			got := c.sortedRow(ni)[c.nextRow(i)[rank]]
 			if got != id {
 				t.Fatalf("next link broken at shift %d rank %d: %d != %d", i, rank, got, id)
 			}
@@ -70,7 +70,7 @@ func TestSortedOrdersAreSorted(t *testing.T) {
 	c := New(randStrings(r, 80, 5, 3))
 	for i := 0; i < c.m; i++ {
 		for rank := 1; rank < c.n; rank++ {
-			a, b := c.sorted[i][rank-1], c.sorted[i][rank]
+			a, b := c.sortedRow(i)[rank-1], c.sortedRow(i)[rank]
 			if c.compareStrings(a, b, i) > 0 {
 				t.Fatalf("sorted[%d] out of order at rank %d", i, rank)
 			}

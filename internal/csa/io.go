@@ -11,8 +11,12 @@ import (
 var csaMagic = [8]byte{'L', 'C', 'C', 'S', 'C', 'S', 'A', '1'}
 
 // Encode writes the CSA to w: the symbol block, the m sorted orders, and
-// the m next-link arrays. Loading an encoded CSA skips the O(m·n log n)
-// sort of Algorithm 1, which dominates indexing time.
+// the m next-link arrays. Each index structure is one contiguous block
+// in memory, so it is written as one contiguous block on disk — the
+// byte stream is identical to what the earlier per-shift encoder
+// produced (m consecutive length-n little-endian arrays), keeping old
+// files loadable unchanged. Loading an encoded CSA skips the
+// O(m·n log n) sort of Algorithm 1, which dominates indexing time.
 func (c *CSA) Encode(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(csaMagic[:]); err != nil {
@@ -25,15 +29,11 @@ func (c *CSA) Encode(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, c.data); err != nil {
 		return err
 	}
-	for i := 0; i < c.m; i++ {
-		if err := binary.Write(bw, binary.LittleEndian, c.sorted[i]); err != nil {
-			return err
-		}
+	if err := binary.Write(bw, binary.LittleEndian, c.sorted); err != nil {
+		return err
 	}
-	for i := 0; i < c.m; i++ {
-		if err := binary.Write(bw, binary.LittleEndian, c.next[i]); err != nil {
-			return err
-		}
+	if err := binary.Write(bw, binary.LittleEndian, c.next); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -62,22 +62,15 @@ func Decode(r io.Reader) (*CSA, error) {
 	if err := binary.Read(br, binary.LittleEndian, c.data); err != nil {
 		return nil, err
 	}
-	readOrders := func() ([][]int32, error) {
-		out := make([][]int32, m)
-		for i := range out {
-			a := make([]int32, n)
-			if err := binary.Read(br, binary.LittleEndian, a); err != nil {
-				return nil, err
-			}
-			out[i] = a
-		}
-		return out, nil
-	}
-	var err error
-	if c.sorted, err = readOrders(); err != nil {
+	// The m sorted orders and m next-link arrays are flat blocks, so
+	// each decodes in one read (legacy files wrote the same bytes as m
+	// consecutive arrays — the stream is identical).
+	c.sorted = make([]int32, m*n)
+	if err := binary.Read(br, binary.LittleEndian, c.sorted); err != nil {
 		return nil, err
 	}
-	if c.next, err = readOrders(); err != nil {
+	c.next = make([]int32, m*n)
+	if err := binary.Read(br, binary.LittleEndian, c.next); err != nil {
 		return nil, err
 	}
 	if err := c.validate(); err != nil {
@@ -95,16 +88,18 @@ func (c *CSA) validate() error {
 		for j := range seen {
 			seen[j] = false
 		}
-		for _, id := range c.sorted[i] {
+		order := c.sortedRow(i)
+		for _, id := range order {
 			if id < 0 || int(id) >= c.n || seen[id] {
 				return fmt.Errorf("csa: sorted[%d] is not a permutation", i)
 			}
 			seen[id] = true
 		}
-		ni := (i + 1) % c.m
-		for rank, id := range c.sorted[i] {
-			link := c.next[i][rank]
-			if link < 0 || int(link) >= c.n || c.sorted[ni][link] != id {
+		nextOrder := c.sortedRow((i + 1) % c.m)
+		links := c.nextRow(i)
+		for rank, id := range order {
+			link := links[rank]
+			if link < 0 || int(link) >= c.n || nextOrder[link] != id {
 				return fmt.Errorf("csa: next[%d][%d] broken", i, rank)
 			}
 		}

@@ -7,10 +7,6 @@ import (
 	"lccs/internal/vec"
 )
 
-// HammingMetric is the Hamming distance metric used by the bit-sampling
-// family: any float mismatch between corresponding entries counts as 1.
-var HammingMetric = vec.Hamming
-
 // BitSampling is the original LSH family of Indyk–Motwani for Hamming
 // distance: h_i(o) = o_i for a uniformly random coordinate i. Its
 // collision probability at Hamming distance r is 1 − r/d. Computing one
@@ -35,7 +31,7 @@ func (f *BitSampling) Name() string { return "bitsampling" }
 func (f *BitSampling) Dim() int { return f.dim }
 
 // Metric implements Family: Hamming distance.
-func (f *BitSampling) Metric() vec.Metric { return HammingMetric }
+func (f *BitSampling) Metric() vec.Metric { return vec.Hamming }
 
 // CollisionProb implements Family: p(r) = 1 − r/d, clamped at 0.
 func (f *BitSampling) CollisionProb(r float64) float64 {

@@ -235,7 +235,7 @@ func TestBitSampling(t *testing.T) {
 	for _, i := range g.Perm(d)[:r] {
 		q[i] = 1 - q[i]
 	}
-	if got := HammingMetric.Distance(o, q); got != float64(r) {
+	if got := vec.Hamming.Distance(o, q); got != float64(r) {
 		t.Fatalf("hamming distance %v, want %d", got, r)
 	}
 	trials := 6000

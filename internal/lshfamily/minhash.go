@@ -7,11 +7,6 @@ import (
 	"lccs/internal/vec"
 )
 
-// JaccardMetric is the Jaccard distance 1 − |A∩B|/|A∪B| used by the
-// MinHash family, over sets encoded as binary indicator vectors
-// (coordinate j nonzero ⇔ j ∈ set). Two empty sets are at distance 0.
-var JaccardMetric = vec.Jaccard
-
 // MinHash is the min-wise independent permutation family of Broder for
 // Jaccard similarity over sets: h_π(A) = argmin_{j ∈ A} π(j) for a random
 // permutation π. Its collision probability equals the Jaccard similarity,
@@ -37,7 +32,7 @@ func (f *MinHash) Name() string { return "minhash" }
 func (f *MinHash) Dim() int { return f.dim }
 
 // Metric implements Family: Jaccard distance.
-func (f *MinHash) Metric() vec.Metric { return JaccardMetric }
+func (f *MinHash) Metric() vec.Metric { return vec.Jaccard }
 
 // CollisionProb implements Family: p(dist) = 1 − dist (similarity).
 func (f *MinHash) CollisionProb(dist float64) float64 {

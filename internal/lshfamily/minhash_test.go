@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lccs/internal/rng"
+	"lccs/internal/vec"
 )
 
 func makeSet(g *rng.RNG, d, size int) []float32 {
@@ -19,17 +20,17 @@ func TestJaccardMetric(t *testing.T) {
 	a := []float32{1, 1, 0, 0}
 	b := []float32{1, 0, 1, 0}
 	// |A∩B| = 1, |A∪B| = 3 → distance 2/3.
-	if got := JaccardMetric.Distance(a, b); math.Abs(got-2.0/3) > 1e-12 {
+	if got := vec.Jaccard.Distance(a, b); math.Abs(got-2.0/3) > 1e-12 {
 		t.Errorf("distance = %v", got)
 	}
-	if got := JaccardMetric.Distance(a, a); got != 0 {
+	if got := vec.Jaccard.Distance(a, a); got != 0 {
 		t.Errorf("self distance = %v", got)
 	}
 	empty := []float32{0, 0, 0, 0}
-	if got := JaccardMetric.Distance(empty, empty); got != 0 {
+	if got := vec.Jaccard.Distance(empty, empty); got != 0 {
 		t.Errorf("empty-empty distance = %v", got)
 	}
-	if got := JaccardMetric.Distance(a, empty); got != 1 {
+	if got := vec.Jaccard.Distance(a, empty); got != 1 {
 		t.Errorf("nonempty-empty distance = %v", got)
 	}
 }
@@ -54,7 +55,7 @@ func TestMinHashCollisionEqualsSimilarity(t *testing.T) {
 	for _, i := range perm[45:60] {
 		b[i] = 1
 	}
-	dist := JaccardMetric.Distance(a, b)
+	dist := vec.Jaccard.Distance(a, b)
 	if math.Abs(dist-0.5) > 1e-12 {
 		t.Fatalf("constructed distance %v, want 0.5", dist)
 	}

@@ -123,6 +123,17 @@ func NewKBest(k int) *KBest {
 	return &KBest{k: k, items: make([]Neighbor, 0, k)}
 }
 
+// Reset re-arms the collector for a fresh query with a (possibly new)
+// k, retaining the underlying buffer — the pooled-context path that
+// avoids one allocation per query. The zero KBest is valid to Reset.
+func (b *KBest) Reset(k int) {
+	if k <= 0 {
+		panic("pqueue: KBest.Reset requires k > 0")
+	}
+	b.k = k
+	b.items = b.items[:0]
+}
+
 // Len returns the number of neighbors currently retained.
 func (b *KBest) Len() int { return len(b.items) }
 
@@ -157,14 +168,23 @@ func (b *KBest) Add(id int, dist float64) bool {
 // Sorted returns the retained neighbors in ascending distance order.
 // The collector remains usable afterwards.
 func (b *KBest) Sorted() []Neighbor {
-	out := append([]Neighbor(nil), b.items...)
-	// Heap-sort descending in place, then reverse: simplest correct path
-	// given the max-heap invariant is on b.items, not out.
+	return b.AppendSorted(nil)
+}
+
+// AppendSorted appends the retained neighbors to dst in ascending
+// distance order and returns the extended slice. The collector remains
+// usable afterwards; when dst has capacity, nothing is allocated.
+func (b *KBest) AppendSorted(dst []Neighbor) []Neighbor {
+	start := len(dst)
+	dst = append(dst, b.items...)
+	out := dst[start:]
+	// Heap-sort in place on the appended copy: the max-heap invariant
+	// lives on b.items, so the copy sorts without disturbing it.
 	for i := len(out) - 1; i > 0; i-- {
 		out[0], out[i] = out[i], out[0]
 		siftDown(out[:i], 0)
 	}
-	return out
+	return dst
 }
 
 func (b *KBest) up(i int) {

@@ -9,10 +9,23 @@ package pqueue
 // Streams are ordered by (Dist, ID): the id tie-break makes merges
 // deterministic when equal distances occur in different shards.
 type Tournament struct {
-	lists [][]Neighbor // the input runs, ascending (Dist, ID)
-	pos   []int        // cursor into each run
-	loser []int32      // internal nodes: loser stream index; loser[0] is the winner
-	size  int          // number of leaves (power of two ≥ len(lists))
+	lists  [][]Neighbor // the input runs, ascending (Dist, ID)
+	pos    []int        // cursor into each run
+	loser  []int32      // internal nodes: loser stream index; loser[0] is the winner
+	winner []int32      // scratch for (re)initialisation, kept for reuse
+	size   int          // number of leaves (power of two ≥ len(lists))
+}
+
+// zeroed resizes s to n zeroed entries, reusing its capacity.
+func zeroed[T int | int32](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // exhausted reports whether stream s has no remaining element.
@@ -38,18 +51,26 @@ func (t *Tournament) worse(a, b int) bool {
 // NewTournament builds a loser tree over the given runs. Each run must be
 // sorted ascending by (Dist, ID); runs may be empty or nil.
 func NewTournament(lists [][]Neighbor) *Tournament {
+	t := &Tournament{}
+	t.Reset(lists)
+	return t
+}
+
+// Reset re-arms the tree over a fresh set of runs, reusing the internal
+// buffers — the pooled-context path for repeated shard-merge queries.
+// The previous runs are released.
+func (t *Tournament) Reset(lists [][]Neighbor) {
 	size := 1
 	for size < len(lists) {
 		size *= 2
 	}
-	t := &Tournament{
-		lists: lists,
-		pos:   make([]int, len(lists)),
-		loser: make([]int32, size),
-		size:  size,
-	}
+	t.lists = lists
+	t.size = size
+	t.pos = zeroed(t.pos, len(lists))
+	t.loser = zeroed(t.loser, size)
 	// Initialise bottom-up: play every leaf pair, propagate winners.
-	winner := make([]int32, 2*size)
+	t.winner = zeroed(t.winner, 2*size)
+	winner := t.winner
 	for i := 0; i < size; i++ {
 		winner[size+i] = int32(i)
 	}
@@ -62,7 +83,6 @@ func NewTournament(lists [][]Neighbor) *Tournament {
 		}
 	}
 	t.loser[0] = winner[1]
-	return t
 }
 
 // Pop removes and returns the smallest remaining element across all runs.
@@ -84,21 +104,27 @@ func (t *Tournament) Pop() (Neighbor, bool) {
 	return nb, true
 }
 
+// AppendTopK pops up to k elements off the tree into dst, ascending,
+// and returns the extended slice. Nothing is allocated when dst has
+// capacity.
+func (t *Tournament) AppendTopK(k int, dst []Neighbor) []Neighbor {
+	for i := 0; i < k; i++ {
+		nb, ok := t.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, nb)
+	}
+	return dst
+}
+
 // MergeTopK merges ascending (Dist, ID) runs and returns the k smallest
 // elements overall, ascending. k ≤ 0 returns nil.
 func MergeTopK(lists [][]Neighbor, k int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	t := NewTournament(lists)
-	out := make([]Neighbor, 0, k)
-	for len(out) < k {
-		nb, ok := t.Pop()
-		if !ok {
-			break
-		}
-		out = append(out, nb)
-	}
+	out := NewTournament(lists).AppendTopK(k, make([]Neighbor, 0, k))
 	if len(out) == 0 {
 		return nil
 	}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -165,6 +166,35 @@ type searchRequest struct {
 	Budget int `json:"budget,omitempty"`
 }
 
+// searchScratch is the pooled per-request state of the single-search
+// endpoint: the decoded request (whose query slice's backing array is
+// reused by the JSON decoder), the backend result row, and the response
+// payload. At steady state a search request allocates no per-request
+// buffers in this package.
+type searchScratch struct {
+	req searchRequest
+	res []lccs.Neighbor
+	out []neighborJSON
+}
+
+// searchScratchPool serves every /v1/search request.
+var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// getSearchScratch fetches pooled scratch with the request fields reset
+// (the query buffer keeps its capacity for the decoder to reuse).
+func getSearchScratch() *searchScratch {
+	sc := searchScratchPool.Get().(*searchScratch)
+	sc.req.Query = sc.req.Query[:0]
+	sc.req.K = 0
+	sc.req.Budget = 0
+	if sc.out == nil {
+		// Keep the response field non-nil so an empty result encodes as
+		// [] rather than null.
+		sc.out = []neighborJSON{}
+	}
+	return sc
+}
+
 type neighborJSON struct {
 	ID   int     `json:"id"`
 	Dist float64 `json:"dist"`
@@ -209,11 +239,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !s.requirePost(w, r, "search") {
 		return
 	}
-	var req searchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	// Decode into pooled scratch: the JSON decoder appends into the
+	// previous request's query buffer instead of allocating a fresh
+	// slice per request.
+	sc := getSearchScratch()
+	defer searchScratchPool.Put(sc)
+	if err := json.NewDecoder(r.Body).Decode(&sc.req); err != nil {
 		s.fail(w, "search", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	req := &sc.req
 	// The cache is probed before admission: a hit costs microseconds and
 	// touches no backend, so it must not occupy an execution slot or be
 	// shed under overload. Obviously invalid requests never touch the
@@ -223,9 +258,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if cacheable {
 		key = cacheKey(s.gen.Load(), req.K, req.Budget, req.Query, s.quant)
 		if res, ok := s.cache.get(key); ok {
+			sc.out = toJSONInto(sc.out[:0], res)
 			s.met.latency.observe(time.Since(start).Seconds())
 			s.respond(w, "search", http.StatusOK, searchResponse{
-				Neighbors:  toJSON(res),
+				Neighbors:  sc.out,
 				Cached:     true,
 				TookMicros: time.Since(start).Microseconds(),
 			})
@@ -237,32 +273,36 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.adm.release()
 
-	res, err := s.search(req.Query, req.K, req.Budget)
+	res, err := s.search(req.Query, req.K, req.Budget, sc.res)
 	if err != nil {
 		s.fail(w, "search", statusFor(err), err)
 		return
 	}
+	sc.res = res
 	if cacheable {
-		s.cache.put(key, res)
+		// The cache retains its entries past this request, so it gets
+		// its own copy rather than the pooled row.
+		s.cache.put(key, append([]lccs.Neighbor(nil), res...))
 	}
+	sc.out = toJSONInto(sc.out[:0], res)
 	s.met.latency.observe(time.Since(start).Seconds())
 	s.respond(w, "search", http.StatusOK, searchResponse{
-		Neighbors:  toJSON(res),
+		Neighbors:  sc.out,
 		TookMicros: time.Since(start).Microseconds(),
 	})
 }
 
 // search routes to the default-budget (budget == 0) or explicit-budget
-// backend call; a negative budget is the client's error, not a request
-// for the default.
-func (s *Server) search(q []float32, k, budget int) ([]lccs.Neighbor, error) {
+// backend call, appending the result into the pooled dst row; a negative
+// budget is the client's error, not a request for the default.
+func (s *Server) search(q []float32, k, budget int, dst []lccs.Neighbor) ([]lccs.Neighbor, error) {
 	switch {
 	case budget > 0:
-		return s.backend.SearchBudget(q, k, budget)
+		return s.backend.SearchBudgetInto(q, k, budget, dst)
 	case budget < 0:
-		return nil, lccs.ErrInvalidBudget
+		return dst, lccs.ErrInvalidBudget
 	}
-	return s.backend.Search(q, k)
+	return s.backend.SearchInto(q, k, dst)
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
@@ -592,9 +632,14 @@ func (s *Server) fail(w http.ResponseWriter, endpoint string, code int, err erro
 }
 
 func toJSON(res []lccs.Neighbor) []neighborJSON {
-	out := make([]neighborJSON, len(res))
-	for i, nb := range res {
-		out[i] = neighborJSON{ID: nb.ID, Dist: nb.Dist}
+	return toJSONInto(make([]neighborJSON, 0, len(res)), res)
+}
+
+// toJSONInto appends the wire form of res to dst; with pooled dst the
+// conversion allocates nothing at steady state.
+func toJSONInto(dst []neighborJSON, res []lccs.Neighbor) []neighborJSON {
+	for _, nb := range res {
+		dst = append(dst, neighborJSON{ID: nb.ID, Dist: nb.Dist})
 	}
-	return out
+	return dst
 }

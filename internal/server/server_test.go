@@ -300,6 +300,15 @@ func (b *blockingBackend) Search(q []float32, k int) ([]lccs.Neighbor, error) {
 func (b *blockingBackend) SearchBudget(q []float32, k, lambda int) ([]lccs.Neighbor, error) {
 	return b.Search(q, k)
 }
+
+func (b *blockingBackend) SearchInto(q []float32, k int, dst []lccs.Neighbor) ([]lccs.Neighbor, error) {
+	res, err := b.Search(q, k)
+	return append(dst[:0], res...), err
+}
+
+func (b *blockingBackend) SearchBudgetInto(q []float32, k, lambda int, dst []lccs.Neighbor) ([]lccs.Neighbor, error) {
+	return b.SearchInto(q, k, dst)
+}
 func (b *blockingBackend) SearchBatch(qs [][]float32, k int) ([][]lccs.Neighbor, error) {
 	return [][]lccs.Neighbor{}, nil
 }

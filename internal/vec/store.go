@@ -1,0 +1,119 @@
+package vec
+
+import "fmt"
+
+// Store is a flat structure-of-arrays vector store: n vectors of one
+// fixed dimensionality packed back to back in a single contiguous
+// []float32 block. Compared to a [][]float32 it removes one pointer
+// indirection per vector access and keeps sequential scans (candidate
+// verification, buffer scans) on a single cache-friendly stride, which
+// is what the memory-bound query path needs.
+//
+// A Store is either owning (built with NewStore/FromRows, grown with
+// Append) or a view (returned by Slice) that shares the owner's block.
+// Vectors are immutable once stored; views therefore stay valid across
+// later Appends to the owner (growth copies to a new block, and in-place
+// growth writes only beyond the view's range).
+type Store struct {
+	data []float32
+	dim  int
+}
+
+// NewStore returns an empty owning store. dim may be 0, in which case
+// the first Append fixes the dimensionality.
+func NewStore(dim int) *Store {
+	if dim < 0 {
+		panic("vec: negative dimension")
+	}
+	return &Store{dim: dim}
+}
+
+// FromRows packs rows into a fresh owning store, validating that every
+// row has the same dimensionality.
+func FromRows(rows [][]float32) (*Store, error) {
+	if len(rows) == 0 {
+		return &Store{}, nil
+	}
+	dim := len(rows[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("vec: zero-dimensional row 0")
+	}
+	s := &Store{dim: dim, data: make([]float32, 0, len(rows)*dim)}
+	for i, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("vec: row %d has dimension %d, want %d", i, len(r), dim)
+		}
+		s.data = append(s.data, r...)
+	}
+	return s, nil
+}
+
+// Len returns the number of stored vectors.
+func (s *Store) Len() int {
+	if s.dim == 0 {
+		return 0
+	}
+	return len(s.data) / s.dim
+}
+
+// Dim returns the vector dimensionality (0 while the store is empty and
+// was created with dim 0).
+func (s *Store) Dim() int { return s.dim }
+
+// Row returns a read-only view of vector i. The view is capped, so an
+// append through it cannot clobber the following vector.
+func (s *Store) Row(i int) []float32 {
+	off := i * s.dim
+	return s.data[off : off+s.dim : off+s.dim]
+}
+
+// Append copies v into the store and returns its index. The first
+// Append on a dim-0 store fixes the dimensionality; afterwards a length
+// mismatch is a programming error and panics, matching the package's
+// vector-length contract.
+func (s *Store) Append(v []float32) int {
+	if s.dim == 0 {
+		if len(v) == 0 {
+			panic("vec: empty vector")
+		}
+		s.dim = len(v)
+	}
+	if len(v) != s.dim {
+		panic(fmt.Sprintf("vec: appending %d-dimensional vector to %d-dimensional store", len(v), s.dim))
+	}
+	s.data = append(s.data, v...)
+	return len(s.data)/s.dim - 1
+}
+
+// Slice returns a view over vectors [lo, hi) sharing this store's block.
+// Do not Append to a view.
+func (s *Store) Slice(lo, hi int) *Store {
+	return &Store{data: s.data[lo*s.dim : hi*s.dim : hi*s.dim], dim: s.dim}
+}
+
+// Rows materializes per-vector views (headers only; the block is
+// shared). Used by snapshot paths that hand data back through the
+// public [][]float32 API.
+func (s *Store) Rows() [][]float32 {
+	out := make([][]float32, s.Len())
+	for i := range out {
+		out[i] = s.Row(i)
+	}
+	return out
+}
+
+// Bytes returns the memory footprint of the stored block.
+func (s *Store) Bytes() int64 { return int64(len(s.data)) * 4 }
+
+// Scan is the bulk distance kernel: it walks vectors [lo, hi) in one
+// pass over the contiguous block — a single forward stride, no header
+// chasing — and calls visit with each vector's metric distance to q.
+// It is the backing for exact buffer scans and brute-force verification.
+func (s *Store) Scan(lo, hi int, q []float32, m Metric, visit func(id int, d float64)) {
+	base := lo * s.dim
+	for i := lo; i < hi; i++ {
+		row := s.data[base : base+s.dim : base+s.dim]
+		visit(i, m.Distance(row, q))
+		base += s.dim
+	}
+}

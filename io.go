@@ -158,6 +158,8 @@ func checkDataset(data [][]float32) error {
 }
 
 // decodeSingle decodes a format-1 body (everything after the magic).
+// The supplied rows are packed once into a flat store that the decoded
+// index retains.
 func decodeSingle(r io.Reader, data [][]float32) (*Index, error) {
 	cfg, err := decodeConfig(r)
 	if err != nil {
@@ -166,11 +168,18 @@ func decodeSingle(r io.Reader, data [][]float32) (*Index, error) {
 	if err := checkDataset(data); err != nil {
 		return nil, err
 	}
-	family, err := familyFor(cfg, len(data[0]))
+	store, err := storeFromRows(data)
 	if err != nil {
 		return nil, err
 	}
-	single, err := core.Decode(r, data, family)
+	family, err := familyFor(cfg, store.Dim())
+	if err != nil {
+		return nil, err
+	}
+	// Hand the index a capped view, not the owning store: growing the
+	// owner (e.g. through a DynamicIndex that adopts it) must never
+	// change what a loaded index covers.
+	single, err := core.DecodeStore(r, store.Slice(0, store.Len()), family)
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +206,7 @@ func checkCoreMatches(single *core.Index, cfg Config) error {
 // restoring the multi-probe wrapper when the configuration asks for one.
 func wrapSingle(single *core.Index, cfg Config, family lshfamily.Family) (*Index, error) {
 	ix := &Index{single: single, metric: family.Metric(), budget: cfg.Budget, dim: family.Dim(), cfg: cfg}
+	ix.raw.New = func() any { return new(rawBuf) }
 	if cfg.Probes > 1 {
 		mp, err := core.WrapMP(single, core.MPParams{
 			Params: core.Params{M: cfg.M, Seed: cfg.Seed},
@@ -276,13 +286,16 @@ func LoadSharded(path string, data [][]float32) (*ShardedIndex, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ShardedIndex{
+		sx := &ShardedIndex{
 			cfg:     ix.cfg,
+			store:   ix.single.Store(),
 			shards:  []*Index{ix},
 			offsets: []int{0, ix.Len()},
 			budget:  ix.budget,
 			dim:     ix.dim,
-		}, nil
+		}
+		sx.initPool()
+		return sx, nil
 	}
 	return decodeSharded(r, data)
 }
@@ -317,19 +330,26 @@ func decodeSharded(r io.Reader, data [][]float32) (*ShardedIndex, error) {
 	if offsets[shardCount] != len(data) {
 		return nil, fmt.Errorf("lccs: shard table covers %d vectors, data has %d", offsets[shardCount], len(data))
 	}
-	family, err := familyFor(cfg, len(data[0]))
+	// One flat store for the whole dataset; every shard decodes against
+	// a contiguous view of it, exactly as NewShardedIndex builds.
+	store, err := storeFromRows(data)
+	if err != nil {
+		return nil, err
+	}
+	family, err := familyFor(cfg, store.Dim())
 	if err != nil {
 		return nil, err
 	}
 	sx := &ShardedIndex{
 		cfg:     cfg,
+		store:   store,
 		shards:  make([]*Index, shardCount),
 		offsets: offsets,
 		budget:  cfg.Budget,
-		dim:     len(data[0]),
+		dim:     store.Dim(),
 	}
 	for s := range sx.shards {
-		single, err := core.Decode(r, data[offsets[s]:offsets[s+1]], family)
+		single, err := core.DecodeStore(r, store.Slice(offsets[s], offsets[s+1]), family)
 		if err != nil {
 			return nil, fmt.Errorf("lccs: shard %d: %w", s, err)
 		}
@@ -341,6 +361,7 @@ func decodeSharded(r io.Reader, data [][]float32) (*ShardedIndex, error) {
 			return nil, fmt.Errorf("lccs: shard %d: %w", s, err)
 		}
 	}
+	sx.initPool()
 	return sx, nil
 }
 

@@ -1,6 +1,7 @@
 package lccs
 
 import (
+	"bytes"
 	"flag"
 	"os"
 	"path/filepath"
@@ -98,6 +99,104 @@ func TestGoldenFormat2(t *testing.T) {
 				t.Fatalf("query %d pos %d: %+v vs %+v", qi, j, a[j], b[j])
 			}
 		}
+	}
+}
+
+// TestGoldenReencodeByteIdentical pins the on-disk layout itself, not
+// just loadability: re-saving an index loaded from a legacy golden file
+// must reproduce the file byte for byte. This proves the flat
+// structure-of-arrays decoder/encoder speaks exactly the legacy PKG1 and
+// PKG2 stream layout (the m per-shift arrays of the old encoder and the
+// single contiguous block of the new one are the same bytes).
+func TestGoldenReencodeByteIdentical(t *testing.T) {
+	data, _ := goldenSetup()
+	dir := t.TempDir()
+
+	orig1, err := os.ReadFile("testdata/golden_pkg1.lccs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Load("testdata/golden_pkg1.lccs", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resaved1 := filepath.Join(dir, "pkg1.lccs")
+	if err := ix.Save(resaved1); err != nil {
+		t.Fatal(err)
+	}
+	got1, err := os.ReadFile(resaved1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig1, got1) {
+		t.Fatalf("format-1 re-encode differs from golden: %d vs %d bytes", len(got1), len(orig1))
+	}
+
+	orig2, err := os.ReadFile("testdata/golden_pkg2.lccs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := LoadSharded("testdata/golden_pkg2.lccs", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resaved2 := filepath.Join(dir, "pkg2.lccs")
+	if err := sx.Save(resaved2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := os.ReadFile(resaved2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig2, got2) {
+		t.Fatalf("format-2 re-encode differs from golden: %d vs %d bytes", len(got2), len(orig2))
+	}
+}
+
+// TestFormat1WarmRestartDoesNotMutateLoadedIndex pins the store-view
+// contract across the format-1 warm-restart chain: LoadSharded wraps a
+// single-index file as one shard, NewDynamicIndexFromSharded adopts its
+// store, and Adds to the dynamic index must grow a private copy — the
+// loaded index keeps its original length and the snapshot of the grown
+// dynamic index must round-trip.
+func TestFormat1WarmRestartDoesNotMutateLoadedIndex(t *testing.T) {
+	data, _ := testData(51, 200, 8, 4, 0.5)
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "single.lccs")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	sx, err := LoadSharded(path, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamicIndexFromSharded(sx, data, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add([]float32{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sx.Len(); got != len(data) {
+		t.Fatalf("loaded index grew with the dynamic store: Len=%d, want %d", got, len(data))
+	}
+	shard, _ := sx.Shard(0)
+	if got := shard.Len(); got != len(data) {
+		t.Fatalf("loaded shard grew with the dynamic store: Len=%d, want %d", got, len(data))
+	}
+	vecs, snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "snap.lccs")
+	if err := snap.Save(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSharded(snapPath, vecs); err != nil {
+		t.Fatalf("snapshot after warm-restart Add does not reload: %v", err)
 	}
 }
 

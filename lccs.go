@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"lccs/internal/core"
@@ -78,6 +79,12 @@ type Searcher interface {
 	Search(q []float32, k int) ([]Neighbor, error)
 	// SearchBudget is Search with an explicit candidate budget λ.
 	SearchBudget(q []float32, k, lambda int) ([]Neighbor, error)
+	// SearchInto is Search appending into dst (reset to dst[:0] first):
+	// the zero-allocation steady-state path for callers that reuse a
+	// result buffer across queries. dst may be nil.
+	SearchInto(q []float32, k int, dst []Neighbor) ([]Neighbor, error)
+	// SearchBudgetInto is SearchBudget appending into dst.
+	SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error)
 	// SearchBatch answers many queries (concurrently where the facade
 	// supports it) under the default budget, in query order.
 	SearchBatch(queries [][]float32, k int) ([][]Neighbor, error)
@@ -185,8 +192,9 @@ type Neighbor struct {
 }
 
 // Index is an LCCS-LSH index over a fixed dataset. It is safe for
-// concurrent queries. The data slice is retained by reference and must not
-// be mutated while the index is in use.
+// concurrent queries. The vectors are packed once into a flat
+// structure-of-arrays store (one contiguous float32 block) that the
+// index retains; the input rows are not referenced afterwards.
 type Index struct {
 	single *core.Index
 	multi  *core.MPIndex
@@ -196,7 +204,17 @@ type Index struct {
 	// cfg is the fully resolved configuration (auto-derived bucket width
 	// filled in), persisted by Save.
 	cfg Config
+	// raw pools the core-typed result buffers behind the Into variants,
+	// so converting to the public Neighbor type allocates nothing at
+	// steady state.
+	raw sync.Pool
 }
+
+// rawBuf is the pooled core-result buffer of the facade conversion.
+type rawBuf struct{ buf []pqueue.Neighbor }
+
+// getRaw fetches a pooled core-result buffer.
+func (ix *Index) getRaw() *rawBuf { return ix.raw.Get().(*rawBuf) }
 
 const (
 	defaultM      = 64
@@ -208,11 +226,11 @@ const (
 // It is idempotent, so an already resolved Config passes through
 // unchanged — which is how every shard of a ShardedIndex ends up with the
 // exact same (seed-equivalent) configuration.
-func resolveConfig(data [][]float32, cfg Config) (Config, error) {
-	if len(data) == 0 {
+func resolveConfig(store *vec.Store, cfg Config) (Config, error) {
+	if store.Len() == 0 {
 		return cfg, errors.New("lccs: empty dataset")
 	}
-	if len(data[0]) == 0 {
+	if store.Dim() == 0 {
 		return cfg, errors.New("lccs: zero-dimensional data")
 	}
 	if cfg.M == 0 {
@@ -225,9 +243,19 @@ func resolveConfig(data [][]float32, cfg Config) (Config, error) {
 		return cfg, err
 	}
 	if cfg.Metric == Euclidean && cfg.BucketWidth == 0 {
-		cfg.BucketWidth = autoBucketWidth(data, cfg.Seed)
+		cfg.BucketWidth = autoBucketWidth(store, cfg.Seed)
 	}
 	return cfg, nil
+}
+
+// storeFromRows packs public row-slice input into a flat store,
+// translating the validation error into this package's voice.
+func storeFromRows(rows [][]float32) (*vec.Store, error) {
+	store, err := vec.FromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("lccs: %w", err)
+	}
+	return store, nil
 }
 
 // validateConfig checks a Config without a dataset: value ranges and
@@ -246,20 +274,32 @@ func validateConfig(cfg Config) error {
 	return err
 }
 
-// NewIndex builds an LCCS-LSH index over data.
+// NewIndex builds an LCCS-LSH index over data. The rows are packed once
+// into a flat vector store; data itself is not retained.
 func NewIndex(data [][]float32, cfg Config) (*Index, error) {
-	cfg, err := resolveConfig(data, cfg)
+	store, err := storeFromRows(data)
 	if err != nil {
 		return nil, err
 	}
-	family, err := familyFor(cfg, len(data[0]))
+	cfg, err = resolveConfig(store, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return newIndexFromStore(store, cfg)
+}
 
-	ix := &Index{metric: family.Metric(), budget: cfg.Budget, dim: len(data[0]), cfg: cfg}
+// newIndexFromStore builds the facade index over a flat store with an
+// already resolved configuration — the shared constructor behind
+// NewIndex, the sharded per-shard builds, and the dynamic delta builds.
+func newIndexFromStore(store *vec.Store, cfg Config) (*Index, error) {
+	family, err := familyFor(cfg, store.Dim())
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{metric: family.Metric(), budget: cfg.Budget, dim: store.Dim(), cfg: cfg}
+	ix.raw.New = func() any { return new(rawBuf) }
 	if cfg.Probes > 1 {
-		mp, err := core.BuildMP(data, family, core.MPParams{
+		mp, err := core.BuildMPStore(store, family, core.MPParams{
 			Params: core.Params{M: cfg.M, Seed: cfg.Seed},
 			Probes: cfg.Probes,
 		})
@@ -269,7 +309,7 @@ func NewIndex(data [][]float32, cfg Config) (*Index, error) {
 		ix.multi = mp
 		ix.single = mp.Index
 	} else {
-		s, err := core.Build(data, family, core.Params{M: cfg.M, Seed: cfg.Seed})
+		s, err := core.BuildStore(store, family, core.Params{M: cfg.M, Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -282,16 +322,17 @@ func NewIndex(data [][]float32, cfg Config) (*Index, error) {
 // distance from a sampled point to its nearest neighbor within a small
 // sample, which places true near neighbors in the high-collision regime of
 // Eq. 2.
-func autoBucketWidth(data [][]float32, seed uint64) float64 {
+func autoBucketWidth(store *vec.Store, seed uint64) float64 {
 	g := rng.New(seed ^ 0xB0C4E7)
 	const samples = 64
 	const pool = 512
+	n := store.Len()
 	dists := make([]float64, 0, samples)
 	for s := 0; s < samples; s++ {
-		a := data[g.IntN(len(data))]
+		a := store.Row(g.IntN(n))
 		best := -1.0
-		for t := 0; t < pool && t < len(data); t++ {
-			b := data[g.IntN(len(data))]
+		for t := 0; t < pool && t < n; t++ {
+			b := store.Row(g.IntN(n))
 			d := vec.Distance(a, b)
 			if d == 0 {
 				continue
@@ -326,20 +367,43 @@ func (ix *Index) Search(q []float32, k int) ([]Neighbor, error) {
 // circular co-substring with the query's. Larger budgets trade query time
 // for recall.
 func (ix *Index) SearchBudget(q []float32, k, lambda int) ([]Neighbor, error) {
+	return ix.SearchBudgetInto(q, k, lambda, nil)
+}
+
+// SearchInto is Search appending into dst (reset to dst[:0] first): with
+// a reused dst, a steady-state query performs no heap allocations.
+func (ix *Index) SearchInto(q []float32, k int, dst []Neighbor) ([]Neighbor, error) {
+	return ix.SearchBudgetInto(q, k, ix.budget, dst)
+}
+
+// SearchBudgetInto is SearchBudget appending into dst (reset to
+// dst[:0] first). dst may be nil.
+func (ix *Index) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
 	if err := validateQuery(q, ix.dim, k, lambda); err != nil {
 		return nil, err
 	}
-	var raw []pqueue.Neighbor
+	rb := ix.getRaw()
 	if ix.multi != nil {
-		raw = ix.multi.Search(q, k, lambda)
+		rb.buf = ix.multi.SearchInto(q, k, lambda, rb.buf)
 	} else {
-		raw = ix.single.Search(q, k, lambda)
+		rb.buf = ix.single.SearchInto(q, k, lambda, rb.buf)
 	}
-	out := make([]Neighbor, len(raw))
-	for i, r := range raw {
-		out[i] = Neighbor{ID: r.ID, Dist: r.Dist}
+	if dst == nil {
+		// The plain Search path: one exactly-sized result allocation.
+		dst = make([]Neighbor, 0, len(rb.buf))
 	}
-	return out, nil
+	dst = appendNeighbors(dst[:0], rb.buf)
+	ix.raw.Put(rb)
+	return dst, nil
+}
+
+// appendNeighbors converts core results to the public Neighbor type,
+// appending into dst without allocating when dst has capacity.
+func appendNeighbors(dst []Neighbor, raw []pqueue.Neighbor) []Neighbor {
+	for _, r := range raw {
+		dst = append(dst, Neighbor{ID: r.ID, Dist: r.Dist})
+	}
+	return dst
 }
 
 // Distance returns the index's metric distance between two vectors.

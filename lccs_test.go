@@ -196,7 +196,11 @@ func TestSearchUsesDefaultBudget(t *testing.T) {
 
 func TestAutoBucketWidth(t *testing.T) {
 	data, _ := testData(7, 300, 8, 4, 0.5)
-	if w := autoBucketWidth(data, 1); w <= 0 {
+	store, err := storeFromRows(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := autoBucketWidth(store, 1); w <= 0 {
 		t.Fatalf("auto width %v", w)
 	}
 	// Degenerate all-identical dataset falls back to 1.
@@ -204,7 +208,11 @@ func TestAutoBucketWidth(t *testing.T) {
 	for i := range same {
 		same[i] = []float32{1, 2, 3}
 	}
-	if w := autoBucketWidth(same, 1); w != 1 {
+	sameStore, err := storeFromRows(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := autoBucketWidth(sameStore, 1); w != 1 {
 		t.Fatalf("degenerate width %v, want fallback 1", w)
 	}
 }

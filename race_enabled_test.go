@@ -1,0 +1,9 @@
+//go:build race
+
+package lccs
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates on paths that are
+// allocation-free in normal builds; allocation-count tests skip
+// themselves when it is set.
+const raceEnabled = true

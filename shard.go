@@ -8,13 +8,16 @@ import (
 	"time"
 
 	"lccs/internal/pqueue"
+	"lccs/internal/vec"
 )
 
 // ShardedIndex partitions a dataset across S shards, each an independent
 // LCCS-LSH Index over a contiguous slice of the data. All shards share one
 // fully resolved configuration — the same seed, hash-string length m, and
 // bucket width (derived once from the full dataset) — so a sharded index
-// is seed-equivalent to a single Index over the same data.
+// is seed-equivalent to a single Index over the same data. The vectors
+// live in one flat store shared by every shard (each shard holds a
+// contiguous view), so sharding adds no per-shard copies.
 //
 // Sharding serves two purposes. Construction: the CSA build is dominated
 // by the m circular sorts, and S shards sort S independent problems of
@@ -29,11 +32,12 @@ import (
 // count that saturates the hardware: GOMAXPROCS for build-heavy or
 // mixed workloads (the default), 1 for tiny datasets.
 //
-// A ShardedIndex is safe for concurrent queries. The data slice is
-// retained by reference and must not be mutated while the index is in
-// use.
+// A ShardedIndex is safe for concurrent queries; per-query scratch (the
+// per-shard result lists and the tournament merge) is pooled, so the
+// sequential SearchInto path allocates nothing at steady state.
 type ShardedIndex struct {
 	cfg    Config
+	store  *vec.Store
 	shards []*Index
 	// offsets[s] is the global id of the first vector of shard s;
 	// offsets[len(shards)] == n. Shard s covers data[offsets[s]:offsets[s+1]].
@@ -41,6 +45,23 @@ type ShardedIndex struct {
 	budget    int
 	dim       int
 	buildTime time.Duration
+	// ctxs pools shardCtx values: the per-shard result buffers and the
+	// tournament tree of one fan-out query.
+	ctxs sync.Pool
+}
+
+// shardCtx is the pooled per-query scratch of a shard fan-out: one
+// reusable result buffer per shard plus the merge tree.
+type shardCtx struct {
+	lists [][]pqueue.Neighbor
+	t     pqueue.Tournament
+}
+
+// initPool installs the shardCtx pool; called once per constructed or
+// loaded sharded index.
+func (sx *ShardedIndex) initPool() {
+	s := len(sx.shards)
+	sx.ctxs.New = func() any { return &shardCtx{lists: make([][]pqueue.Neighbor, s)} }
 }
 
 // NewShardedIndex builds an LCCS-LSH index over data partitioned into the
@@ -51,13 +72,24 @@ func NewShardedIndex(data [][]float32, cfg Config, shards int) (*ShardedIndex, e
 	if len(data) == 0 {
 		return nil, errors.New("lccs: empty dataset")
 	}
+	store, err := storeFromRows(data)
+	if err != nil {
+		return nil, err
+	}
+	return newShardedFromStore(store, cfg, shards)
+}
+
+// newShardedFromStore builds the sharded index over an owning flat
+// store; every shard indexes a contiguous view of it.
+func newShardedFromStore(store *vec.Store, cfg Config, shards int) (*ShardedIndex, error) {
+	n := store.Len()
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	if shards > len(data) {
-		shards = len(data)
+	if shards > n {
+		shards = n
 	}
-	cfg, err := resolveConfig(data, cfg)
+	cfg, err := resolveConfig(store, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -65,10 +97,11 @@ func NewShardedIndex(data [][]float32, cfg Config, shards int) (*ShardedIndex, e
 	start := time.Now()
 	sx := &ShardedIndex{
 		cfg:     cfg,
+		store:   store,
 		shards:  make([]*Index, shards),
-		offsets: shardOffsets(len(data), shards),
+		offsets: shardOffsets(n, shards),
 		budget:  cfg.Budget,
-		dim:     len(data[0]),
+		dim:     store.Dim(),
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, shards)
@@ -76,7 +109,7 @@ func NewShardedIndex(data [][]float32, cfg Config, shards int) (*ShardedIndex, e
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			sx.shards[s], errs[s] = NewIndex(data[sx.offsets[s]:sx.offsets[s+1]], cfg)
+			sx.shards[s], errs[s] = newIndexFromStore(store.Slice(sx.offsets[s], sx.offsets[s+1]), cfg)
 		}(s)
 	}
 	wg.Wait()
@@ -85,6 +118,7 @@ func NewShardedIndex(data [][]float32, cfg Config, shards int) (*ShardedIndex, e
 			return nil, err
 		}
 	}
+	sx.initPool()
 	sx.buildTime = time.Since(start)
 	return sx, nil
 }
@@ -115,58 +149,84 @@ func (sx *ShardedIndex) Search(q []float32, k int) ([]Neighbor, error) {
 // is divided across shards (⌈λ/S⌉ each), so each shard verifies
 // ⌈λ/S⌉+k−1 candidates and the total verification work is ≈ λ+S·(k−1).
 func (sx *ShardedIndex) SearchBudget(q []float32, k, lambda int) ([]Neighbor, error) {
-	return sx.searchBudget(q, k, lambda, true)
+	return sx.searchBudgetInto(q, k, lambda, true, nil)
 }
 
-// searchBudget runs the fan-out/merge with or without per-shard
+// SearchInto is Search appending into dst (reset to dst[:0] first): the
+// zero-allocation steady-state path. The shard fan-out runs sequentially
+// here — it is meant for callers that already provide their own
+// concurrency (batch workers, server handlers); the merge is
+// deterministic, so results are identical to Search either way.
+func (sx *ShardedIndex) SearchInto(q []float32, k int, dst []Neighbor) ([]Neighbor, error) {
+	return sx.searchBudgetInto(q, k, sx.budget, false, dst)
+}
+
+// SearchBudgetInto is SearchBudget appending into dst; like SearchInto
+// it runs the fan-out sequentially.
+func (sx *ShardedIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
+	return sx.searchBudgetInto(q, k, lambda, false, dst)
+}
+
+// searchBudgetInto runs the fan-out/merge with or without per-shard
 // goroutines; the result is identical either way (deterministic merge),
 // so batch callers whose worker pool already saturates the CPUs can skip
-// the nested parallelism.
-func (sx *ShardedIndex) searchBudget(q []float32, k, lambda int, parallel bool) ([]Neighbor, error) {
+// the nested parallelism. Results are appended to dst (reset to dst[:0]
+// first; dst may be nil).
+func (sx *ShardedIndex) searchBudgetInto(q []float32, k, lambda int, parallel bool, dst []Neighbor) ([]Neighbor, error) {
 	if err := validateQuery(q, sx.dim, k, lambda); err != nil {
 		return nil, err
 	}
-	lists := sx.searchShards(q, k, lambda, parallel)
-	merged := pqueue.MergeTopK(lists, k)
-	out := make([]Neighbor, len(merged))
-	for i, nb := range merged {
-		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+	ctx := sx.ctxs.Get().(*shardCtx)
+	sx.searchShards(q, k, lambda, parallel, ctx.lists)
+	ctx.t.Reset(ctx.lists)
+	if dst == nil {
+		// The plain Search path: one exactly-sized result allocation.
+		dst = make([]Neighbor, 0, k)
 	}
-	return out, nil
+	dst = dst[:0]
+	for len(dst) < k {
+		nb, ok := ctx.t.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, Neighbor{ID: nb.ID, Dist: nb.Dist})
+	}
+	sx.ctxs.Put(ctx)
+	return dst, nil
 }
 
 // searchShards fans the query out across all shards — concurrently when
-// asked and more than one CPU is available — and returns the per-shard
-// top-k lists with global ids, each ascending by distance.
-func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool) [][]pqueue.Neighbor {
+// asked and more than one CPU is available — filling lists with the
+// per-shard top-k (global ids, ascending by distance). The per-shard
+// buffers are reused across queries.
+func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool, lists [][]pqueue.Neighbor) {
 	s := len(sx.shards)
 	lambdaShard := (lambda + s - 1) / s
-	lists := make([][]pqueue.Neighbor, s)
 	if !parallel || s == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for i, shard := range sx.shards {
-			lists[i] = shard.searchOffset(q, k, lambdaShard, sx.offsets[i])
+			lists[i] = shard.searchOffsetInto(q, k, lambdaShard, sx.offsets[i], lists[i])
 		}
-		return lists
+		return
 	}
 	var wg sync.WaitGroup
 	for i := range sx.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			lists[i] = sx.shards[i].searchOffset(q, k, lambdaShard, sx.offsets[i])
+			lists[i] = sx.shards[i].searchOffsetInto(q, k, lambdaShard, sx.offsets[i], lists[i])
 		}(i)
 	}
 	wg.Wait()
-	return lists
 }
 
-// searchOffset routes a shard-local query to the core index (single- or
-// multi-probe), shifting result ids to the global id space.
-func (ix *Index) searchOffset(q []float32, k, lambda, offset int) []pqueue.Neighbor {
+// searchOffsetInto routes a shard-local query to the core index (single-
+// or multi-probe), appending into dst (reset to dst[:0] first) with
+// result ids shifted to the global id space.
+func (ix *Index) searchOffsetInto(q []float32, k, lambda, offset int, dst []pqueue.Neighbor) []pqueue.Neighbor {
 	if ix.multi != nil {
-		return ix.multi.SearchOffset(q, k, lambda, offset)
+		return ix.multi.SearchOffsetInto(q, k, lambda, offset, dst)
 	}
-	return ix.single.SearchOffset(q, k, lambda, offset)
+	return ix.single.SearchOffsetInto(q, k, lambda, offset, dst)
 }
 
 // Distance returns the index's metric distance between two vectors.
