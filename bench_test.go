@@ -440,3 +440,81 @@ func BenchmarkPublicAPI(b *testing.B) {
 		ix.Search(data[i%len(data)], 10)
 	}
 }
+
+// BenchmarkDynamicChurn measures the full mutation lifecycle per
+// iteration: one insert, one delete of a random live id, and one
+// search against a DynamicIndex whose background delta builds (and
+// their buffer compactions) run as a side effect of the churn. This is
+// the smoke-scale cousin of `lccs-bench -exp churn`.
+func BenchmarkDynamicChurn(b *testing.B) {
+	g := rng.New(9)
+	data := make([][]float32, 4000)
+	for i := range data {
+		data[i] = g.GaussianVector(16)
+	}
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 16, Seed: 1}, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := make([]int, len(data))
+	for i := range live {
+		live[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := d.Add(data[i%len(data)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, id)
+		victim := g.IntN(len(live))
+		d.Delete(live[victim])
+		live[victim] = live[len(live)-1]
+		live = live[:len(live)-1]
+		if _, err := d.Search(data[i%len(data)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	d.WaitRebuild()
+}
+
+// BenchmarkDynamicCompaction measures what an explicit Rebuild costs
+// after heavy deletion: per iteration, tombstone a third of the index
+// and compact it away.
+func BenchmarkDynamicCompaction(b *testing.B) {
+	g := rng.New(10)
+	data := make([][]float32, 6000)
+	for i := range data {
+		data[i] = g.GaussianVector(16)
+	}
+	d, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 16, Seed: 1}, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := make([]int, len(data))
+	for i := range live {
+		live[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Refill what the previous iteration deleted, then tombstone a
+		// third of the live set.
+		for len(live) < len(data) {
+			id, err := d.Add(g.GaussianVector(16))
+			if err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, id)
+		}
+		for _, id := range live[:len(data)/3] {
+			d.Delete(id)
+		}
+		live = append(live[:0:0], live[len(data)/3:]...)
+		b.StartTimer()
+		if err := d.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lccs"
+	"lccs/internal/rng"
+)
+
+// churnStats is the measured outcome of one churn run, shared by the
+// human-readable -exp churn output and the machine-readable -json
+// suite.
+type churnStats struct {
+	churn          RunReport // searches interleaved with inserts/deletes
+	preCompact     RunReport // search-only, tombstones still in place
+	postCompact    RunReport // search-only, after Rebuild reclaimed them
+	tombstones     int       // pending tombstones before compaction
+	live           int       // live vectors after the churn phase
+	compactSeconds float64   // wall-clock cost of the Rebuild compaction
+}
+
+// runChurn drives a DynamicIndex through a mixed insert/delete/search
+// workload — the serving pattern the delta-main architecture exists
+// for — then measures what compaction costs and what it buys back:
+//
+//  1. churn phase: per operation one insert, one delete of a random
+//     live id, and one search, crossing the background-rebuild
+//     threshold several times so tombstones land in immutable shards;
+//  2. pre-compaction search loop: every query pays the tombstone
+//     over-fetch;
+//  3. Rebuild (timed): drops dead rows, clears the tombstone set;
+//  4. post-compaction search loop: the recovered QPS.
+func runChurn(n, nq, k, m int, seed uint64, kind lccs.MetricKind) (churnStats, error) {
+	data, queries := benchWorkload(n, nq, seed, kind)
+	cfg := lccs.Config{Metric: kind, M: m, Seed: seed}
+	// A threshold well under the churn volume, so several delta builds
+	// (and their buffer compactions) run during the phase.
+	threshold := n / 8
+	if threshold < 64 {
+		threshold = 64
+	}
+	d, err := lccs.NewDynamicIndex(data, cfg, threshold)
+	if err != nil {
+		return churnStats{}, err
+	}
+
+	var st churnStats
+	g := rng.New(seed ^ 0xC4)
+	ops := n / 2 // half the dataset turns over
+	live := make([]int, len(data))
+	for i := range live {
+		live[i] = i
+	}
+	qi := 0
+	churnStart := time.Now()
+	for i := 0; i < ops; i++ {
+		v := data[g.IntN(len(data))]
+		id, err := d.Add(v)
+		if err != nil {
+			return churnStats{}, err
+		}
+		live = append(live, id)
+		victim := g.IntN(len(live))
+		d.Delete(live[victim])
+		live[victim] = live[len(live)-1]
+		live = live[:len(live)-1]
+		if i%8 == 0 {
+			if _, err := d.Search(queries[qi%len(queries)], k); err != nil {
+				return churnStats{}, err
+			}
+			qi++
+		}
+	}
+	d.WaitRebuild()
+	st.churn = RunReport{
+		QPS:  float64(ops) / time.Since(churnStart).Seconds(), // ops/sec through the mixed loop
+		Note: fmt.Sprintf("mixed insert+delete churn, search every 8 ops, threshold=%d", threshold),
+	}
+
+	st.tombstones = d.Deleted()
+	st.live = d.Len()
+	st.preCompact = measureLoop(queries, 3, func(q []float32) { d.Search(q, k) })
+	st.preCompact.Note = fmt.Sprintf("search with %d pending tombstones", st.tombstones)
+
+	compactStart := time.Now()
+	if err := d.Rebuild(); err != nil {
+		return churnStats{}, err
+	}
+	st.compactSeconds = time.Since(compactStart).Seconds()
+	if d.Deleted() != 0 || d.Len() != st.live {
+		return churnStats{}, fmt.Errorf("compaction broke accounting: deleted=%d len=%d want 0/%d",
+			d.Deleted(), d.Len(), st.live)
+	}
+
+	st.postCompact = measureLoop(queries, 3, func(q []float32) { d.Search(q, k) })
+	st.postCompact.BuildSeconds = st.compactSeconds
+	st.postCompact.Note = "search after Rebuild compaction"
+	return st, nil
+}
+
+// churnBench is the human-readable -exp churn report.
+func churnBench(n, nq, k, m int, seed uint64, kind lccs.MetricKind) error {
+	fmt.Printf("# churn bench: n=%d m=%d nq=%d k=%d metric=%s\n", n, m, nq, k, kind)
+	st, err := runChurn(n, nq, k, m, seed, kind)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("churn ops/s          %10.0f  (insert+delete, search every 8 ops)\n", st.churn.QPS)
+	fmt.Printf("live vectors         %10d  (tombstones before compaction: %d)\n", st.live, st.tombstones)
+	fmt.Printf("pre-compact QPS      %10.0f  p50 %.0fµs  p99 %.0fµs\n",
+		st.preCompact.QPS, st.preCompact.P50Micros, st.preCompact.P99Micros)
+	fmt.Printf("compaction           %10.3fs  (Rebuild: drop dead rows, clear tombstones)\n", st.compactSeconds)
+	fmt.Printf("post-compact QPS     %10.0f  p50 %.0fµs  p99 %.0fµs  (recovery %.2fx)\n",
+		st.postCompact.QPS, st.postCompact.P50Micros, st.postCompact.P99Micros,
+		st.postCompact.QPS/st.preCompact.QPS)
+	return nil
+}

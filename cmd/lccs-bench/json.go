@@ -122,6 +122,17 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 	}
 	rep.Runs["serve"] = sr
 
+	// churn: mixed insert/delete/search, compaction cost, QPS recovery.
+	cs, err := runChurn(n, nq, k, m, seed, kind)
+	if err != nil {
+		return err
+	}
+	rep.Runs["churn"] = cs.churn
+	cr := cs.preCompact
+	cr.Note = fmt.Sprintf("%s; %d live", cr.Note, cs.live)
+	rep.Runs["churn_precompact"] = cr
+	rep.Runs["churn_postcompact"] = cs.postCompact
+
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -10,9 +10,13 @@
 //	                         # sharded vs single: build speedup + per-shard QPS
 //	lccs-bench -exp serve [-n 100000] [-clients 8] [-reqs 2000] [-metric euclidean]
 //	                         # drive the HTTP server over loopback: QPS + p50/p99
+//	lccs-bench -exp churn [-n 100000] [-m 32] [-metric euclidean]
+//	                         # mixed insert/delete/search on a DynamicIndex:
+//	                         # churn rate, compaction cost, QPS recovery
 //	lccs-bench -json report.json [-n 100000] [-shards 4]
-//	                         # machine-readable core/shard/serve suite: build time,
-//	                         # QPS, p50/p99, B/op, allocs/op (perf-trajectory files)
+//	                         # machine-readable core/shard/serve/churn suite: build
+//	                         # time, QPS, p50/p99, B/op, allocs/op (perf-trajectory
+//	                         # files)
 //
 // Each paper experiment prints rows in the same structure as the
 // corresponding artifact: Pareto-frontier (recall, query time) points for
@@ -41,7 +45,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', 'shard', or 'serve'")
+		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', 'shard', 'serve', or 'churn'")
 		n        = flag.Int("n", 10000, "data points per dataset")
 		nq       = flag.Int("nq", 50, "queries per dataset")
 		k        = flag.Int("k", 10, "neighbors per query")
@@ -72,7 +76,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *exp == "shard" || *exp == "serve" {
+	if *exp == "shard" || *exp == "serve" || *exp == "churn" {
 		kind, err := lccs.ParseMetric(*metric)
 		if err == nil {
 			switch *exp {
@@ -80,6 +84,8 @@ func main() {
 				err = shardBench(*n, *nq, *k, *m, *shards, *seed, kind)
 			case "serve":
 				err = serveBench(*n, *nq, *k, *m, *shards, *clients, *reqs, *seed, kind)
+			case "churn":
+				err = churnBench(*n, *nq, *k, *m, *seed, kind)
 			}
 		}
 		if err != nil {

@@ -1,8 +1,9 @@
 // Command lccs-serve puts an LCCS-LSH index behind a network endpoint: a
 // long-lived daemon that loads (or builds) an index over a dataset file
 // and serves the HTTP/JSON API of internal/server — /v1/search,
-// /v1/search/batch, /v1/insert, /v1/stats, /healthz, /metrics — with
-// bounded concurrency, an LRU result cache, and graceful shutdown.
+// /v1/search/batch, /v1/insert, /v1/delete, /v1/stats, /healthz,
+// /metrics — with bounded concurrency, an LRU result cache, and
+// graceful shutdown.
 //
 // Usage:
 //
@@ -12,15 +13,17 @@
 //	lccs-serve -data snap.ds -index snap.lccs -dynamic \
 //	           -snapshot snap.lccs                       # warm start, writable
 //
-// Backend selection: -index loads a prebuilt LCCSPKG1/LCCSPKG2 container
+// Backend selection: -index loads a prebuilt LCCSPKG1/2/3 container
 // (skipping the build) — read-only by default, or wrapped as a writable
 // DynamicIndex when combined with -dynamic; -dynamic alone builds a
-// DynamicIndex and enables /v1/insert; otherwise a ShardedIndex is
-// built with -shards shards. On SIGINT/SIGTERM the daemon flips
-// /healthz to 503, drains
-// in-flight requests, waits for any background delta build, and — when
-// -snapshot is set on a dynamic backend — persists the index (including
-// buffered inserts) and its vectors for a warm restart.
+// DynamicIndex and enables /v1/insert and /v1/delete; otherwise a
+// ShardedIndex is built with -shards shards. On SIGINT/SIGTERM the
+// daemon flips /healthz to 503, drains in-flight requests, waits for
+// any background delta build, and — when -snapshot is set on a dynamic
+// backend — persists the index (including buffered inserts AND the
+// deletion state: the stable-id map plus pending tombstones, in the
+// LCCSPKG3 container) together with its vectors for a warm restart.
+// Deleted ids therefore stay deleted across restarts.
 package main
 
 import (
@@ -199,7 +202,10 @@ func buildBackend(ds *dataset.Dataset, cfg lccs.Config, indexPath string, dynami
 
 // snapshot persists the dynamic index (existing shards plus a shard
 // built over the buffer) and all its vectors, so a warm restart via
-// -data <snapDataPath> -index <snapPath> preserves every insert.
+// -data <snapDataPath> -index <snapPath> preserves every insert — and
+// every delete: Snapshot compacts buffered tombstones away, and Save
+// writes the id map plus remaining tombstones into the LCCSPKG3
+// container whenever deletion state exists.
 func snapshot(dyn *lccs.DynamicIndex, ds *dataset.Dataset, snapPath, snapDataPath string) error {
 	if snapDataPath == "" {
 		snapDataPath = snapPath + ".ds"
@@ -221,8 +227,8 @@ func snapshot(dyn *lccs.DynamicIndex, ds *dataset.Dataset, snapPath, snapDataPat
 	if err := out.Save(snapDataPath); err != nil {
 		return err
 	}
-	log.Printf("lccs-serve: snapshot: %d vectors (%d shards) → %s + %s",
-		len(vectors), sx.Shards(), snapPath, snapDataPath)
+	log.Printf("lccs-serve: snapshot: %d live vectors, %d tombstones (%d shards) → %s + %s",
+		sx.Len(), sx.Deleted(), sx.Shards(), snapPath, snapDataPath)
 	return nil
 }
 

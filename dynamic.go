@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"lccs/internal/idmap"
 	"lccs/internal/pqueue"
 	"lccs/internal/vec"
 )
@@ -17,19 +18,29 @@ import (
 // shard builds, and the finished shard is swapped in under the write lock
 // in O(1). The main index is therefore a growing sequence of immutable
 // shards covering disjoint, contiguous id ranges; queries fan out across
-// the shards and the buffer. Deletes are tombstones filtered from
-// results; an explicit Rebuild compacts every shard and the buffer into
-// one index synchronously.
+// the shards and the buffer.
+//
+// Deletes are a first-class part of the lifecycle. A Delete tombstones
+// the vector immediately (it stops appearing in results); the physical
+// row is reclaimed by compaction: the background delta build drops
+// tombstoned rows from the buffer before indexing it, and an explicit
+// Rebuild compacts every shard and the buffer into one index over only
+// the live rows — clearing the tombstone set and releasing the memory.
+// Because compaction moves rows, vectors are addressed by stable
+// external ids maintained in an idmap.Map: the id Add returns is valid
+// forever, deleted ids are never reissued, and until the first
+// compaction the mapping is a zero-cost identity.
 //
 // All vectors live in one growing flat store (vec.Store): Add copies the
 // vector to the end of the contiguous block, shards index stable views
 // of it, and the unindexed buffer is scanned with the store's bulk
 // distance kernel — one forward pass over contiguous memory.
 //
-// Vector ids are assignment-ordered and stable across rebuilds: the i-th
-// vector ever added (counting the initial dataset) has id i, forever.
-// DynamicIndex is safe for concurrent use; neither readers nor writers
-// are blocked by a background shard build beyond the O(1) swap.
+// Vector ids are assignment-ordered and stable across rebuilds and
+// compactions: the i-th vector ever added (counting the initial
+// dataset) has id i, forever. DynamicIndex is safe for concurrent use;
+// neither readers nor writers are blocked by a background shard build
+// beyond the O(1) swap.
 type DynamicIndex struct {
 	mu   sync.RWMutex
 	cond *sync.Cond // signaled when a background build finishes; L = &mu
@@ -38,10 +49,15 @@ type DynamicIndex struct {
 	// (bucket width); later shards reuse the same resolved values so all
 	// shards are seed-equivalent.
 	cfgResolved bool
-	store       *vec.Store // all vectors ever added, id-ordered, one flat block
-	shards      []dynShard // immutable shards over ids [0, indexed)
+	store       *vec.Store // all live (plus not-yet-compacted) rows, slot-ordered
+	shards      []dynShard // immutable shards over slots [0, indexed)
 	indexed     int        // prefix of the store covered by shards
-	deleted     map[int]bool
+	// ids maps stable external ids ⇔ dense store slots; compaction
+	// shifts slots, never ids.
+	ids *idmap.Map
+	// deleted is the tombstone set, keyed by store slot (the space the
+	// query path works in). Compaction removes reclaimed slots.
+	deleted map[int]bool
 	// rebuildAt triggers a background shard build when the buffer
 	// reaches this size.
 	rebuildAt int
@@ -58,10 +74,15 @@ type DynamicIndex struct {
 	ctxs sync.Pool
 }
 
-// dynShard is one immutable index shard covering ids [off, off+ix.Len()).
+// dynShard is one immutable index shard covering slots
+// [off, off+ix.Len()).
 type dynShard struct {
 	ix  *Index
 	off int
+	// dead counts tombstoned slots inside this shard's range, which is
+	// exactly how far the shard's fetch must over-shoot k to still yield
+	// k live candidates after filtering.
+	dead int
 }
 
 // dynCtx is the pooled per-query scratch of a dynamic search.
@@ -101,6 +122,7 @@ func NewDynamicIndex(data [][]float32, cfg Config, rebuildAt int) (*DynamicIndex
 	d := &DynamicIndex{
 		cfg:       cfg,
 		store:     store,
+		ids:       idmap.New(store.Len()),
 		deleted:   make(map[int]bool),
 		rebuildAt: rebuildAt,
 	}
@@ -132,8 +154,9 @@ func NewDynamicIndex(data [][]float32, cfg Config, rebuildAt int) (*DynamicIndex
 // sharded index's flat store rather than copying it. rebuildAt ≤ 0
 // selects DefaultRebuildThreshold.
 func NewDynamicIndexFromSharded(sx *ShardedIndex, data [][]float32, rebuildAt int) (*DynamicIndex, error) {
-	if sx.Len() != len(data) {
-		return nil, fmt.Errorf("lccs: sharded index covers %d vectors, data has %d", sx.Len(), len(data))
+	slots := sx.slots()
+	if slots != len(data) {
+		return nil, fmt.Errorf("lccs: sharded index covers %d vectors, data has %d", slots, len(data))
 	}
 	if rebuildAt <= 0 {
 		rebuildAt = DefaultRebuildThreshold
@@ -145,14 +168,29 @@ func NewDynamicIndexFromSharded(sx *ShardedIndex, data [][]float32, rebuildAt in
 		// Add then grows a private copy of the block, so the still-live
 		// ShardedIndex (documented safe for concurrent queries) is
 		// never mutated, whichever constructor produced it.
-		store:     sx.store.Slice(0, sx.Len()),
+		store:     sx.store.Slice(0, slots),
 		shards:    make([]dynShard, len(sx.shards)),
-		indexed:   sx.Len(),
-		deleted:   make(map[int]bool),
+		indexed:   slots,
+		deleted:   make(map[int]bool, len(sx.dead)),
 		rebuildAt: rebuildAt,
 	}
+	// Adopt the sharded index's lifecycle state — the id map and the
+	// tombstones a PKG3 snapshot carries across a restart — so deleted
+	// ids stay dead and id allocation resumes past the watermark.
+	if sx.ids != nil {
+		d.ids = sx.ids.Clone()
+	} else {
+		d.ids = idmap.New(slots)
+	}
+	for slot := range sx.dead {
+		d.deleted[slot] = true
+	}
 	for i, ix := range sx.shards {
-		d.shards[i] = dynShard{ix: ix, off: sx.offsets[i]}
+		sh := dynShard{ix: ix, off: sx.offsets[i]}
+		if sx.shardDead != nil {
+			sh.dead = sx.shardDead[i]
+		}
+		d.shards[i] = sh
 	}
 	d.ctxs.New = func() any { return new(dynCtx) }
 	d.cond = sync.NewCond(&d.mu)
@@ -182,7 +220,8 @@ func (d *DynamicIndex) Add(v []float32) (int, error) {
 	if dim := d.store.Dim(); dim != 0 && len(v) != dim {
 		return 0, fmt.Errorf("%w: vector has %d dimensions, index has %d", ErrDimensionMismatch, len(v), dim)
 	}
-	id := d.store.Append(v)
+	d.store.Append(v)
+	id := d.ids.Alloc()
 	err := d.buildErr
 	d.buildErr = nil
 	d.maybeStartBuildLocked()
@@ -190,10 +229,16 @@ func (d *DynamicIndex) Add(v []float32) (int, error) {
 }
 
 // maybeStartBuildLocked freezes the buffer into a background shard build
-// when it crossed the threshold and no build is already in flight.
+// when it crossed the threshold and no build is already in flight. The
+// buffer is compacted first — tombstoned rows that never made it into a
+// shard are dropped before any index work is spent on them.
 func (d *DynamicIndex) maybeStartBuildLocked() {
 	if d.building || d.store.Len()-d.indexed < d.rebuildAt {
 		return
+	}
+	d.compactBufferLocked()
+	if d.store.Len()-d.indexed < d.rebuildAt {
+		return // compaction shrank the buffer back under the threshold
 	}
 	d.building = true
 	lo, hi := d.indexed, d.store.Len()
@@ -202,6 +247,37 @@ func (d *DynamicIndex) maybeStartBuildLocked() {
 	// hi), and vectors themselves are never mutated.
 	delta := d.store.Slice(lo, hi)
 	go d.buildShard(d.gen, lo, hi, delta, d.cfg)
+}
+
+// compactBufferLocked physically drops tombstoned rows from the
+// unindexed buffer, remapping ids and releasing their slots; it reports
+// whether anything was dropped. Rows already covered by an immutable
+// shard are left in place (shard-local offsets depend on them); a full
+// Rebuild reclaims those. The store is compacted by copy, never in
+// place, so outstanding views — shard stores, snapshot rows, a frozen
+// delta being indexed in the background — are unaffected; callers that
+// compact while a background build may be in flight must invalidate it
+// (bump d.gen), because the build's [lo, hi) range names pre-compaction
+// slots.
+func (d *DynamicIndex) compactBufferLocked() bool {
+	dead := 0
+	for slot := range d.deleted {
+		if slot >= d.indexed {
+			dead++
+		}
+	}
+	if dead == 0 {
+		return false
+	}
+	isDead := func(slot int) bool { return d.deleted[slot] }
+	d.store = d.store.CompactCopy(d.indexed, isDead)
+	d.ids.Compact(d.indexed, isDead)
+	for slot := range d.deleted {
+		if slot >= d.indexed {
+			delete(d.deleted, slot)
+		}
+	}
+	return true
 }
 
 // buildShard builds one shard over a frozen delta outside the lock and
@@ -218,7 +294,15 @@ func (d *DynamicIndex) buildShard(gen uint64, lo, hi int, delta *vec.Store, cfg 
 			d.buildErr = err
 		} else {
 			d.adoptConfigLocked(ix)
-			d.shards = append(d.shards, dynShard{ix: ix, off: lo})
+			// Deletes that landed in [lo, hi) while the shard was
+			// building become its filter over-fetch allowance.
+			dead := 0
+			for slot := range d.deleted {
+				if slot >= lo && slot < hi {
+					dead++
+				}
+			}
+			d.shards = append(d.shards, dynShard{ix: ix, off: lo, dead: dead})
 			d.indexed = hi
 		}
 	}
@@ -243,32 +327,88 @@ func (d *DynamicIndex) WaitRebuild() {
 	d.mu.Unlock()
 }
 
-// Delete tombstones a vector id; it stops appearing in results. Deleting
-// an unknown id is a no-op.
-func (d *DynamicIndex) Delete(id int) {
+// Delete tombstones a vector id: it stops appearing in results
+// immediately, and its row is physically reclaimed by the next
+// compaction (the background delta build for buffered rows, Rebuild for
+// everything). It reports whether the id was live; deleting an unknown
+// or already-deleted id is a no-op returning false.
+func (d *DynamicIndex) Delete(id int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if id >= 0 && id < d.store.Len() {
-		d.deleted[id] = true
+	slot, ok := d.ids.Slot(id)
+	if !ok || d.deleted[slot] {
+		return false
 	}
+	d.deleted[slot] = true
+	if i := d.shardForSlotLocked(slot); i >= 0 {
+		d.shards[i].dead++
+	}
+	return true
 }
 
-// Rebuild synchronously compacts every shard and the buffer into a single
-// index over all vectors. It invalidates any in-flight background build
-// and blocks readers and writers for the duration — the background path
-// is the production path; Rebuild is for explicit compaction points.
+// shardForSlotLocked returns the index of the shard covering slot, or
+// -1 when the slot lives in the unindexed buffer.
+func (d *DynamicIndex) shardForSlotLocked(slot int) int {
+	if slot >= d.indexed || len(d.shards) == 0 {
+		return -1
+	}
+	lo, hi := 0, len(d.shards)-1
+	for lo < hi { // find the last shard with off ≤ slot
+		mid := (lo + hi + 1) / 2
+		if d.shards[mid].off <= slot {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Deleted returns the number of pending tombstones — deleted vectors
+// whose rows the next compaction will reclaim.
+func (d *DynamicIndex) Deleted() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.deleted)
+}
+
+// Rebuild synchronously compacts every shard and the buffer into a
+// single index over only the live vectors: tombstoned rows are
+// physically dropped, the tombstone set is cleared, and their memory is
+// released (ids of surviving vectors are unchanged). It invalidates any
+// in-flight background build and blocks readers and writers for the
+// duration — the background path is the production path; Rebuild is for
+// explicit compaction points.
 func (d *DynamicIndex) Rebuild() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.gen++ // discard any in-flight background build
-	n := d.store.Len()
+	// Compact into fresh state and commit only after the build succeeds,
+	// so a failed rebuild leaves the index exactly as it was.
+	store, ids := d.store, d.ids
+	if len(d.deleted) > 0 {
+		isDead := func(slot int) bool { return d.deleted[slot] }
+		store = d.store.CompactCopy(0, isDead)
+		ids = d.ids.Clone()
+		ids.Compact(0, isDead)
+	}
+	n := store.Len()
 	if n == 0 {
+		// Everything was deleted (or nothing ever added): no index to
+		// build, nothing buffered.
+		d.store, d.ids = store, ids
+		d.deleted = make(map[int]bool)
+		d.shards = nil
+		d.indexed = 0
+		d.buildErr = nil
 		return nil
 	}
-	ix, err := buildIndexOver(d.store.Slice(0, n), d.cfg)
+	ix, err := buildIndexOver(store.Slice(0, n), d.cfg)
 	if err != nil {
 		return err
 	}
+	d.store, d.ids = store, ids
+	d.deleted = make(map[int]bool)
 	d.adoptConfigLocked(ix)
 	d.shards = []dynShard{{ix: ix, off: 0}}
 	d.indexed = n
@@ -352,21 +492,23 @@ func (d *DynamicIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighb
 		return nil, nil
 	}
 	ctx := d.ctxs.Get().(*dynCtx)
-	// Over-fetch to survive tombstone filtering.
-	fetch := k + len(d.deleted)
 	ctx.best.Reset(k)
-	push := func(id int, dist float64) {
-		if !d.deleted[id] {
-			ctx.best.Add(id, dist)
+	push := func(slot int, dist float64) {
+		if !d.deleted[slot] {
+			ctx.best.Add(slot, dist)
 		}
 	}
-	// searchOffsetInto shifts shard-local ids into the global id space.
-	// Shard ranges are disjoint, so no dedup is needed.
+	// searchOffsetInto shifts shard-local slots into the global slot
+	// space. Shard ranges are disjoint, so no dedup is needed.
 	lambdaShard := lambda
 	if s := len(d.shards); s > 1 {
 		lambdaShard = (lambda + s - 1) / s
 	}
 	for _, sh := range d.shards {
+		// Over-fetch exactly the shard's own tombstone count — never
+		// more than the shard holds — so k live results survive
+		// filtering without the fetch growing with global churn.
+		fetch := fetchForShard(k, sh.dead, sh.ix.Len())
 		ctx.shardBuf = sh.ix.searchOffsetInto(q, fetch, lambdaShard, sh.off, ctx.shardBuf)
 		for _, nb := range ctx.shardBuf {
 			push(nb.ID, nb.Dist)
@@ -378,7 +520,11 @@ func (d *DynamicIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighb
 	if dst == nil {
 		dst = make([]Neighbor, 0, len(ctx.sorted))
 	}
-	dst = appendNeighbors(dst[:0], ctx.sorted)
+	dst = dst[:0]
+	for _, nb := range ctx.sorted {
+		// Results leave in the stable external id space.
+		dst = append(dst, Neighbor{ID: d.ids.Ext(nb.ID), Dist: nb.Dist})
+	}
 	d.ctxs.Put(ctx)
 	return dst, nil
 }
@@ -402,30 +548,45 @@ func (d *DynamicIndex) Distance(a, b []float32) float64 {
 }
 
 // Snapshot freezes the current contents into a point-in-time view: the
-// full id-ordered vector slice (including tombstoned slots, so ids stay
-// stable; the rows are views into the flat store) and a ShardedIndex
-// over it, assembled from the existing immutable shards plus one freshly
-// built shard covering the unindexed buffer. The ShardedIndex can be
-// persisted with Save (the LCCSPKG2 container) and reloaded against the
+// slot-ordered vector slice (rows are views into the flat store) and a
+// ShardedIndex over it, assembled from the existing immutable shards
+// plus one freshly built shard covering the unindexed buffer. The
+// ShardedIndex can be persisted with Save and reloaded against the
 // returned vectors with LoadSharded, so buffered inserts survive a
 // process restart without replaying them.
 //
+// Deletion state travels with the snapshot. The buffer is compacted
+// first, so tombstones that never reached a shard are simply gone; the
+// rest — tombstoned slots inside immutable shards, and the id map that
+// keeps external ids stable across compactions — is carried by the
+// ShardedIndex and persisted by Save in the LCCSPKG3 container. The
+// snapshot therefore never resurrects a deleted id: not in its own
+// results, and not after a save/load round trip. (The returned vector
+// slice still includes rows tombstoned inside shards — the shard
+// structures index them positionally — but no search will return them.)
+//
 // Snapshot blocks writers while the buffer shard builds; it is meant for
-// shutdown and checkpoint paths, not the hot loop. Tombstones are not
-// part of the container format — callers that need them must persist the
-// deleted-id set themselves.
+// shutdown and checkpoint paths, not the hot loop.
 func (d *DynamicIndex) Snapshot() ([][]float32, *ShardedIndex, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.compactBufferLocked() { // buffered tombstones never reach disk
+		// Slots shifted: an in-flight background build over the
+		// pre-compaction buffer must not swap in. Its completion handler
+		// restarts a build over the corrected state.
+		d.gen++
+	}
 	n := d.store.Len()
 	if n == 0 {
 		return nil, nil, errors.New("lccs: nothing to snapshot: empty dynamic index")
 	}
 	shards := make([]*Index, 0, len(d.shards)+1)
 	offsets := make([]int, 0, len(d.shards)+2)
+	shardDead := make([]int, 0, len(d.shards)+1)
 	for _, sh := range d.shards {
 		shards = append(shards, sh.ix)
 		offsets = append(offsets, sh.off)
+		shardDead = append(shardDead, sh.dead)
 	}
 	if d.indexed < n {
 		tail, err := buildIndexOver(d.store.Slice(d.indexed, n), d.cfg)
@@ -435,6 +596,7 @@ func (d *DynamicIndex) Snapshot() ([][]float32, *ShardedIndex, error) {
 		d.adoptConfigLocked(tail)
 		shards = append(shards, tail)
 		offsets = append(offsets, d.indexed)
+		shardDead = append(shardDead, 0) // the buffer was just compacted
 	}
 	offsets = append(offsets, n)
 	budget := d.cfg.Budget
@@ -450,16 +612,32 @@ func (d *DynamicIndex) Snapshot() ([][]float32, *ShardedIndex, error) {
 		budget:  budget,
 		dim:     d.store.Dim(),
 	}
+	if !d.ids.Identity() {
+		sx.ids = d.ids.Clone()
+	}
+	if len(d.deleted) > 0 {
+		sx.dead = make(map[int]bool, len(d.deleted))
+		for slot := range d.deleted {
+			sx.dead[slot] = true
+		}
+		sx.shardDead = shardDead
+	}
 	sx.initPool()
 	return frozen.Rows(), sx, nil
 }
 
-// Vector returns the vector stored under id (also for tombstoned ids),
-// as a read-only view into the flat store.
+// Vector returns the vector stored under id as a read-only view into
+// the flat store. Tombstoned ids keep answering until a compaction
+// reclaims their row; afterwards (and for ids never assigned) Vector
+// returns nil.
 func (d *DynamicIndex) Vector(id int) []float32 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.store.Row(id)
+	slot, ok := d.ids.Slot(id)
+	if !ok {
+		return nil
+	}
+	return d.store.Row(slot)
 }
 
 // metricLocked returns the configured distance metric, usable before the

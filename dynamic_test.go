@@ -237,8 +237,16 @@ func TestDynamicHammer(t *testing.T) {
 	wg.Wait()
 	d.WaitRebuild()
 
-	// No lost vectors and stable ids: every id's stored vector is exactly
-	// the one its writer added, and ids are globally unique.
+	// No lost vectors and stable ids: every live id's stored vector is
+	// exactly the one its writer added, and ids are globally unique.
+	// Deleted ids may already have been reclaimed by a delta-build
+	// compaction, in which case Vector answers nil.
+	dead := make(map[int][]float32) // deleted id → its vector content
+	for w := range deletedBy {
+		for _, id := range deletedBy[w] {
+			dead[id] = nil
+		}
+	}
 	seen := make(map[int]bool)
 	total := initial
 	for w := range addedBy {
@@ -248,6 +256,10 @@ func TestDynamicHammer(t *testing.T) {
 			}
 			seen[o.id] = true
 			total++
+			if _, isDead := dead[o.id]; isDead {
+				dead[o.id] = o.vec
+				continue
+			}
 			got := d.Vector(o.id)
 			for j := range o.vec {
 				if got[j] != o.vec[j] {
@@ -256,30 +268,24 @@ func TestDynamicHammer(t *testing.T) {
 			}
 		}
 	}
-	nDeleted := 0
-	for w := range deletedBy {
-		nDeleted += len(deletedBy[w])
-	}
-	if d.Len() != total-nDeleted {
-		t.Fatalf("Len=%d, want %d-%d", d.Len(), total, nDeleted)
+	if d.Len() != total-len(dead) {
+		t.Fatalf("Len=%d, want %d-%d", d.Len(), total, len(dead))
 	}
 	// After a full compaction, every live added vector is reachable by an
-	// exhaustive-budget search, and no tombstoned id ever surfaces.
+	// exhaustive-budget search, no tombstoned id ever surfaces, and the
+	// tombstone set is fully reclaimed.
 	if err := d.Rebuild(); err != nil {
 		t.Fatal(err)
 	}
 	if d.Buffered() != 0 || d.Shards() != 1 {
 		t.Fatalf("after compaction: Buffered=%d Shards=%d", d.Buffered(), d.Shards())
 	}
-	dead := make(map[int]bool)
-	for w := range deletedBy {
-		for _, id := range deletedBy[w] {
-			dead[id] = true
-		}
+	if d.Deleted() != 0 {
+		t.Fatalf("Deleted=%d after Rebuild, want 0", d.Deleted())
 	}
 	for w := range addedBy {
 		for _, o := range addedBy[w][:5] {
-			if dead[o.id] {
+			if _, isDead := dead[o.id]; isDead {
 				continue
 			}
 			res := must(d.Search(o.vec, 1))
@@ -288,8 +294,11 @@ func TestDynamicHammer(t *testing.T) {
 			}
 		}
 	}
-	for id := range dead {
-		for _, nb := range must(d.Search(d.Vector(id), 5)) {
+	for id, v := range dead {
+		if d.Vector(id) != nil {
+			t.Fatalf("deleted id %d still holds a row after Rebuild", id)
+		}
+		for _, nb := range must(d.Search(v, 5)) {
 			if nb.ID == id {
 				t.Fatalf("tombstoned id %d surfaced", id)
 			}

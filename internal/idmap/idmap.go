@@ -1,0 +1,177 @@
+// Package idmap maintains a stable external-id ↔ dense-slot bijection
+// for compacting vector stores. External ids are handed to clients and
+// stay valid forever; slots are positions in a flat store and shift
+// when compaction physically drops tombstoned rows. The map is the
+// translation layer between the two spaces.
+//
+// Ids are assigned monotonically and never reused: deleting id 7 and
+// compacting never makes a later insert answer to 7 again. Until the
+// first compaction the mapping is the identity and is represented
+// implicitly — no per-vector memory and no lookup cost — which is the
+// steady state of every index that has seen no deletes.
+//
+// A Map is not safe for concurrent use; callers serialize access (the
+// DynamicIndex holds its write lock).
+package idmap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Map is the bijection. The zero value is not useful; construct with
+// New or Restore.
+type Map struct {
+	// ext[slot] is the external id stored at slot, strictly increasing.
+	// nil means the mapping is the identity over [0, n).
+	ext []int
+	// n is the live slot count while the mapping is implicit.
+	n int
+	// next is the next external id Alloc hands out. Monotone: compaction
+	// never lowers it, so dropped ids are never reissued.
+	next int
+}
+
+// New returns an identity map over n existing slots: slot i ⇔ id i,
+// with the next allocated id being n.
+func New(n int) *Map {
+	if n < 0 {
+		panic("idmap: negative length")
+	}
+	return &Map{n: n, next: n}
+}
+
+// Restore rebuilds a map from its persisted form: the slot-ordered
+// external ids and the next-id watermark. A nil ext restores the
+// identity over next slots. The invariants (strictly increasing ids
+// below the watermark) are validated so a corrupt container fails
+// loudly.
+func Restore(ext []int, next int) (*Map, error) {
+	if next < 0 {
+		return nil, fmt.Errorf("idmap: negative next id %d", next)
+	}
+	if ext == nil {
+		return &Map{n: next, next: next}, nil
+	}
+	prev := -1
+	for slot, id := range ext {
+		if id <= prev {
+			return nil, fmt.Errorf("idmap: ids not strictly increasing at slot %d (%d after %d)", slot, id, prev)
+		}
+		prev = id
+	}
+	if prev >= next {
+		return nil, fmt.Errorf("idmap: id %d at or above next watermark %d", prev, next)
+	}
+	return &Map{ext: ext, next: next}, nil
+}
+
+// Len returns the number of live slots.
+func (m *Map) Len() int {
+	if m.ext != nil {
+		return len(m.ext)
+	}
+	return m.n
+}
+
+// Next returns the id the next Alloc will assign (the watermark).
+func (m *Map) Next() int { return m.next }
+
+// Identity reports whether the mapping is still the implicit identity.
+func (m *Map) Identity() bool { return m == nil || m.ext == nil }
+
+// Alloc appends a new slot at the dense end and returns its external
+// id.
+func (m *Map) Alloc() int {
+	id := m.next
+	m.next++
+	if m.ext != nil {
+		m.ext = append(m.ext, id)
+	} else {
+		// Identity is preserved: the new slot index equals the new id.
+		m.n++
+	}
+	return id
+}
+
+// Ext translates a slot to its external id. A nil map is the identity,
+// so read paths that may run without any lifecycle state skip the nil
+// check.
+func (m *Map) Ext(slot int) int {
+	if m == nil || m.ext == nil {
+		return slot
+	}
+	return m.ext[slot]
+}
+
+// Slot translates an external id to its current slot; ok is false for
+// ids never assigned or already compacted away.
+func (m *Map) Slot(id int) (slot int, ok bool) {
+	if m == nil || m.ext == nil {
+		n := 0
+		if m != nil {
+			n = m.n
+		}
+		if id >= 0 && id < n {
+			return id, true
+		}
+		return 0, false
+	}
+	i := sort.SearchInts(m.ext, id)
+	if i < len(m.ext) && m.ext[i] == id {
+		return i, true
+	}
+	return 0, false
+}
+
+// Compact drops every slot ≥ keepPrefix for which dead reports true,
+// shifting later slots down — the id-space mirror of a store
+// compaction. Slots below keepPrefix are untouched (they back immutable
+// index shards). It returns the number of slots dropped; dropping
+// nothing leaves an identity map implicit.
+func (m *Map) Compact(keepPrefix int, dead func(slot int) bool) int {
+	n := m.Len()
+	first := -1
+	for slot := keepPrefix; slot < n; slot++ {
+		if dead(slot) {
+			first = slot
+			break
+		}
+	}
+	if first < 0 {
+		return 0
+	}
+	if m.ext == nil {
+		ext := make([]int, n)
+		for i := range ext {
+			ext[i] = i
+		}
+		m.ext = ext
+	}
+	w := first
+	for r := first; r < n; r++ {
+		if dead(r) {
+			continue
+		}
+		m.ext[w] = m.ext[r]
+		w++
+	}
+	m.ext = m.ext[:w]
+	return n - w
+}
+
+// Clone returns an independent deep copy.
+func (m *Map) Clone() *Map {
+	cp := &Map{n: m.n, next: m.next}
+	if m.ext != nil {
+		cp.ext = append([]int(nil), m.ext...)
+	}
+	return cp
+}
+
+// AppendIDs appends the slot-ordered external ids to dst — the
+// persisted form consumed by Restore. For an identity map it appends
+// nothing (the watermark alone reconstructs it).
+func (m *Map) AppendIDs(dst []int) []int {
+	return append(dst, m.ext...)
+}

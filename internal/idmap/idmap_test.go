@@ -1,0 +1,154 @@
+package idmap
+
+import "testing"
+
+func TestIdentityBasics(t *testing.T) {
+	m := New(5)
+	if !m.Identity() || m.Len() != 5 || m.Next() != 5 {
+		t.Fatalf("identity map: %+v", m)
+	}
+	for slot := 0; slot < 5; slot++ {
+		if m.Ext(slot) != slot {
+			t.Fatalf("Ext(%d) = %d", slot, m.Ext(slot))
+		}
+		got, ok := m.Slot(slot)
+		if !ok || got != slot {
+			t.Fatalf("Slot(%d) = %d,%v", slot, got, ok)
+		}
+	}
+	if _, ok := m.Slot(5); ok {
+		t.Fatal("unassigned id resolved")
+	}
+	if _, ok := m.Slot(-1); ok {
+		t.Fatal("negative id resolved")
+	}
+	if id := m.Alloc(); id != 5 || !m.Identity() || m.Len() != 6 {
+		t.Fatalf("Alloc on identity: id=%d len=%d", id, m.Len())
+	}
+}
+
+func TestNilMapIsIdentity(t *testing.T) {
+	var m *Map
+	if !m.Identity() {
+		t.Fatal("nil map should report identity")
+	}
+	if m.Ext(7) != 7 {
+		t.Fatalf("nil Ext(7) = %d", m.Ext(7))
+	}
+	if _, ok := m.Slot(0); ok {
+		t.Fatal("nil map has no slots")
+	}
+}
+
+func TestCompactAndStability(t *testing.T) {
+	m := New(6) // ids 0..5
+	dead := map[int]bool{1: true, 4: true}
+	if dropped := m.Compact(0, func(s int) bool { return dead[s] }); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if m.Identity() || m.Len() != 4 {
+		t.Fatalf("post-compaction: identity=%v len=%d", m.Identity(), m.Len())
+	}
+	// Surviving ids keep resolving; slots are dense.
+	wantSlots := map[int]int{0: 0, 2: 1, 3: 2, 5: 3}
+	for id, want := range wantSlots {
+		slot, ok := m.Slot(id)
+		if !ok || slot != want {
+			t.Fatalf("Slot(%d) = %d,%v, want %d", id, slot, ok, want)
+		}
+		if m.Ext(slot) != id {
+			t.Fatalf("Ext(%d) = %d, want %d", slot, m.Ext(slot), id)
+		}
+	}
+	for _, id := range []int{1, 4} {
+		if _, ok := m.Slot(id); ok {
+			t.Fatalf("compacted id %d still resolves", id)
+		}
+	}
+	// Dropped ids are never reissued: the watermark survived compaction.
+	if id := m.Alloc(); id != 6 {
+		t.Fatalf("Alloc after compaction = %d, want 6", id)
+	}
+	if slot, ok := m.Slot(6); !ok || slot != 4 {
+		t.Fatalf("Slot(6) = %d,%v, want 4", slot, ok)
+	}
+}
+
+func TestCompactKeepPrefix(t *testing.T) {
+	m := New(8)
+	dead := map[int]bool{1: true, 5: true, 7: true}
+	// Slots below the prefix are pinned (they back immutable shards), so
+	// only 5 and 7 drop.
+	if dropped := m.Compact(4, func(s int) bool { return dead[s] }); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if m.Len() != 6 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if slot, ok := m.Slot(1); !ok || slot != 1 {
+		t.Fatalf("prefix slot moved: %d,%v", slot, ok)
+	}
+	if slot, ok := m.Slot(6); !ok || slot != 5 {
+		t.Fatalf("Slot(6) = %d,%v, want 5", slot, ok)
+	}
+}
+
+func TestCompactNothingDeadStaysIdentity(t *testing.T) {
+	m := New(4)
+	if dropped := m.Compact(0, func(int) bool { return false }); dropped != 0 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if !m.Identity() {
+		t.Fatal("no-op compaction materialized the map")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := New(3)
+	m.Compact(0, func(s int) bool { return s == 1 })
+	cp := m.Clone()
+	m.Alloc()
+	if cp.Len() != 2 || cp.Next() != 3 {
+		t.Fatalf("clone mutated: len=%d next=%d", cp.Len(), cp.Next())
+	}
+}
+
+func TestRestoreRoundTripAndValidation(t *testing.T) {
+	m := New(6)
+	m.Compact(0, func(s int) bool { return s == 2 })
+	m.Alloc() // id 6 at slot 5
+
+	ids := m.AppendIDs(nil)
+	back, err := Restore(ids, m.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != m.Len() || back.Next() != m.Next() {
+		t.Fatalf("round trip: len=%d next=%d", back.Len(), back.Next())
+	}
+	for slot := 0; slot < m.Len(); slot++ {
+		if back.Ext(slot) != m.Ext(slot) {
+			t.Fatalf("slot %d: %d vs %d", slot, back.Ext(slot), m.Ext(slot))
+		}
+	}
+
+	// Identity restores from the watermark alone.
+	ident, err := Restore(nil, 9)
+	if err != nil || !ident.Identity() || ident.Len() != 9 {
+		t.Fatalf("identity restore: %v %+v", err, ident)
+	}
+
+	// Corruption is rejected.
+	if _, err := Restore([]int{3, 1}, 10); err == nil {
+		t.Fatal("non-increasing ids accepted")
+	}
+	if _, err := Restore([]int{0, 1, 1}, 10); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+	if _, err := Restore([]int{0, 12}, 10); err == nil {
+		t.Fatal("id above watermark accepted")
+	}
+	if _, err := Restore(nil, -1); err == nil {
+		t.Fatal("negative watermark accepted")
+	}
+}

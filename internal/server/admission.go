@@ -71,6 +71,9 @@ func (a *admission) acquire(ctx context.Context) error {
 // release returns a slot taken by a successful acquire.
 func (a *admission) release() { <-a.slots }
 
+// capacity returns the number of concurrent execution slots.
+func (a *admission) capacity() int { return cap(a.slots) }
+
 // inFlight returns the number of requests currently holding a slot.
 func (a *admission) inFlight() int { return len(a.slots) }
 

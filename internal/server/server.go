@@ -10,6 +10,7 @@
 //	POST /v1/search        one query → top-k neighbors
 //	POST /v1/search/batch  many queries → top-k each (one admission slot)
 //	POST /v1/insert        append vectors (DynamicIndex-backed only)
+//	POST /v1/delete        tombstone ids, single or batch (DynamicIndex-backed only)
 //	GET  /v1/stats         JSON operational stats (p50/p99, cache, queue)
 //	GET  /healthz          readiness (503 while draining)
 //	GET  /metrics          Prometheus text exposition
@@ -24,8 +25,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +47,13 @@ import (
 // error keeps the id and is surfaced to clients as a warning.
 type Inserter interface {
 	Add(v []float32) (int, error)
+}
+
+// Deleter is the optional delete interface of a backend; DynamicIndex
+// implements it. Delete reports whether the id was live. Backends that
+// do not implement it answer /v1/delete with 501.
+type Deleter interface {
+	Delete(id int) bool
 }
 
 // Config configures a Server.
@@ -88,6 +98,7 @@ type Server struct {
 	// non-validation Add error downgraded to a warning; a custom
 	// Inserter's errors are always treated as failed inserts.
 	dynInserter bool
+	deleter     Deleter // nil when the backend cannot delete
 	adm         *admission
 	cache       *resultCache // nil when disabled
 	quant       uint
@@ -95,10 +106,12 @@ type Server struct {
 	maxBody     int64
 	met         *metrics
 	mux         *http.ServeMux
-	// gen counts completed writes; it is folded into every cache key, so
-	// one insert invalidates all earlier cached results at once.
+	// gen counts completed writes — inserts and deletes alike; it is
+	// folded into every cache key, so one write invalidates all earlier
+	// cached results at once.
 	gen      atomic.Uint64
 	inserts  atomic.Uint64
+	deletes  atomic.Uint64
 	draining atomic.Bool
 }
 
@@ -134,6 +147,9 @@ func New(cfg Config) (*Server, error) {
 		s.inserter = ins
 		_, s.dynInserter = cfg.Backend.(*lccs.DynamicIndex)
 	}
+	if del, ok := cfg.Backend.(Deleter); ok {
+		s.deleter = del
+	}
 	if cfg.CacheSize > 0 {
 		s.cache = newResultCache(cfg.CacheSize)
 	}
@@ -141,6 +157,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("/v1/insert", s.handleInsert)
+	s.mux.HandleFunc("/v1/delete", s.handleDelete)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -219,6 +236,21 @@ type batchResponse struct {
 
 type insertRequest struct {
 	Vectors [][]float32 `json:"vectors"`
+}
+
+// deleteRequest accepts a single id, a batch, or both; {"id": 0} is
+// distinguishable from an absent field through the pointer.
+type deleteRequest struct {
+	ID  *int  `json:"id,omitempty"`
+	IDs []int `json:"ids,omitempty"`
+}
+
+type deleteResponse struct {
+	// Deleted counts ids that were live and are now tombstoned.
+	Deleted int `json:"deleted"`
+	// Missing lists ids that were unknown or already deleted — the
+	// request is idempotent, so these are reported, not failed.
+	Missing []int `json:"missing,omitempty"`
 }
 
 type insertResponse struct {
@@ -434,6 +466,52 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, "insert", http.StatusOK, insertResponse{IDs: ids, Warning: warning})
 }
 
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r, "delete") {
+		return
+	}
+	if s.deleter == nil {
+		s.fail(w, "delete", http.StatusNotImplemented,
+			errors.New("backend cannot delete: deletes need a DynamicIndex (-dynamic)"))
+		return
+	}
+	// Deletes share the admission bound: each one takes the backend's
+	// write lock, so a flood of them must not bypass the concurrency
+	// controls that protect searches.
+	if ok := s.admit(w, r, "delete"); !ok {
+		return
+	}
+	defer s.adm.release()
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "delete", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ids := req.IDs
+	if req.ID != nil {
+		ids = append([]int{*req.ID}, ids...)
+	}
+	if len(ids) == 0 {
+		s.fail(w, "delete", http.StatusBadRequest, errors.New("no ids in request"))
+		return
+	}
+	var resp deleteResponse
+	for _, id := range ids {
+		if s.deleter.Delete(id) {
+			resp.Deleted++
+		} else {
+			resp.Missing = append(resp.Missing, id)
+		}
+	}
+	if resp.Deleted > 0 {
+		// A delete changes every query's answer set: bump the write
+		// generation so stale cached results can never be served.
+		s.gen.Add(1)
+		s.deletes.Add(uint64(resp.Deleted))
+	}
+	s.respond(w, "delete", http.StatusOK, resp)
+}
+
 // isRejectedInsert reports whether an Inserter.Add error means the
 // vector was rejected (DynamicIndex's validation errors), as opposed to
 // a deferred background-build failure delivered alongside a successful
@@ -451,6 +529,7 @@ type Stats struct {
 	Rejected      uint64            `json:"admission_rejected"`
 	WaitTimeouts  uint64            `json:"admission_wait_timeouts"`
 	Inserts       uint64            `json:"inserts"`
+	Deletes       uint64            `json:"deletes"`
 	Cache         CacheStats        `json:"cache"`
 	Latency       LatencyStats      `json:"latency"`
 	Backend       BackendStats      `json:"backend"`
@@ -479,7 +558,9 @@ type BackendStats struct {
 	Vectors  int    `json:"vectors"`
 	Shards   int    `json:"shards,omitempty"`
 	Buffered int    `json:"buffered,omitempty"`
-	Writable bool   `json:"writable"`
+	// Tombstones counts deleted vectors whose rows await compaction.
+	Tombstones int  `json:"tombstones,omitempty"`
+	Writable   bool `json:"writable"`
 }
 
 // StatsSnapshot assembles the current Stats (also used by /v1/stats).
@@ -497,6 +578,7 @@ func (s *Server) StatsSnapshot() Stats {
 		Rejected:      s.adm.rejected.Load(),
 		WaitTimeouts:  s.adm.timeouts.Load(),
 		Inserts:       s.inserts.Load(),
+		Deletes:       s.deletes.Load(),
 		Backend:       s.backendStats(),
 	}
 	_, sum, total := s.met.latency.snapshot()
@@ -531,6 +613,7 @@ func (s *Server) backendStats() BackendStats {
 		b.Kind = "dynamic"
 		b.Shards = ix.Shards()
 		b.Buffered = ix.Buffered()
+		b.Tombstones = ix.Deleted()
 	default:
 		b.Kind = "custom"
 	}
@@ -554,11 +637,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"lccs_admission_rejected_total", "Requests rejected because the admission queue was full.", float64(s.adm.rejected.Load())},
 		{"lccs_admission_wait_timeouts_total", "Requests whose deadline expired while waiting for a slot.", float64(s.adm.timeouts.Load())},
 		{"lccs_inserts_total", "Vectors inserted through /v1/insert.", float64(s.inserts.Load())},
+		{"lccs_deletes_total", "Vectors tombstoned through /v1/delete.", float64(s.deletes.Load())},
 	}
+	bs := s.backendStats()
 	gauges := []gauge{
 		{"lccs_inflight_requests", "Requests currently holding an admission slot.", float64(s.adm.inFlight())},
 		{"lccs_admission_queue_depth", "Requests waiting for an admission slot.", float64(s.adm.queueDepth())},
-		{"lccs_index_vectors", "Vectors searchable in the backend index.", float64(s.backend.Len())},
+		{"lccs_index_vectors", "Vectors searchable in the backend index.", float64(bs.Vectors)},
+	}
+	if s.deleter != nil {
+		gauges = append(gauges,
+			gauge{"lccs_index_tombstones", "Deleted vectors awaiting compaction.", float64(bs.Tombstones)})
 	}
 	if s.cache != nil {
 		hits, misses := s.cache.stats()
@@ -577,13 +666,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // ---- plumbing ----
 
 // admit runs the admission controller for one request, answering 503
-// (with Retry-After) on queue overflow or admission deadline. It
-// reports whether the caller now holds a slot.
+// (with a load-derived Retry-After) on queue overflow or admission
+// deadline. It reports whether the caller now holds a slot.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) bool {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	if err := s.adm.acquire(ctx); err != nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		msg := err
 		if errors.Is(err, context.DeadlineExceeded) {
 			msg = fmt.Errorf("server: admission wait exceeded %v", s.timeout)
@@ -592,6 +681,38 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) 
 		return false
 	}
 	return true
+}
+
+// retryAfterSeconds estimates how long a shed client should back off:
+// the time for the current queue to drain through the execution slots
+// at the observed median latency. Before any latency has been observed
+// the admission deadline stands in — a client retrying sooner would
+// most likely queue up to that deadline again anyway.
+func (s *Server) retryAfterSeconds() int {
+	return retryAfterSeconds(s.adm.queueDepth(), s.adm.capacity(),
+		s.met.latency.quantile(0.50), s.timeout.Seconds())
+}
+
+// retryAfterSeconds is the pure calculation behind the Retry-After
+// header: (queued+1) requests draining through slots execution lanes at
+// p50 seconds each, rounded up and clamped to [1s, 60s]. p50 ≤ 0 (no
+// observations yet) falls back to the admission deadline.
+func retryAfterSeconds(queued int64, slots int, p50, timeoutSec float64) int {
+	if p50 <= 0 {
+		p50 = timeoutSec
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	wait := float64(queued+1) * p50 / float64(slots)
+	sec := int(math.Ceil(wait))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // requirePost enforces the method and caps the request body, so an

@@ -263,6 +263,142 @@ func TestServeInsertAndCacheInvalidation(t *testing.T) {
 	}
 }
 
+// TestServeDeleteAndCacheInvalidation pins the delete lifecycle at the
+// HTTP layer: single and batch deletes tombstone ids, bump the write
+// generation (the stale-cache-hit regression), surface in stats and
+// metrics, and are idempotent.
+func TestServeDeleteAndCacheInvalidation(t *testing.T) {
+	data, _ := testWorkload(8, 300, 8)
+	dyn, err := lccs.NewDynamicIndex(data, lccs.Config{Metric: lccs.Euclidean, M: 16, Seed: 10}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Backend: dyn, CacheSize: 128})
+
+	// Prime the cache with a query whose nearest neighbor we are about
+	// to delete.
+	q := data[42]
+	var first searchResponse
+	if code := postJSON(t, ts, "/v1/search", searchRequest{Query: q, K: 1}, &first); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if first.Cached || first.Neighbors[0].ID != 42 {
+		t.Fatalf("priming response: %+v", first)
+	}
+	var second searchResponse
+	postJSON(t, ts, "/v1/search", searchRequest{Query: q, K: 1}, &second)
+	if !second.Cached {
+		t.Fatal("repeat query should hit the cache")
+	}
+
+	// Single delete via {"id": ...}.
+	var del deleteResponse
+	if code := postJSON(t, ts, "/v1/delete", map[string]any{"id": 42}, &del); code != http.StatusOK {
+		t.Fatalf("delete: HTTP %d", code)
+	}
+	if del.Deleted != 1 || len(del.Missing) != 0 {
+		t.Fatalf("delete response: %+v", del)
+	}
+
+	// The stale cached answer (still naming id 42) must not be served.
+	var third searchResponse
+	postJSON(t, ts, "/v1/search", searchRequest{Query: q, K: 1}, &third)
+	if third.Cached {
+		t.Fatal("post-delete query served a stale cache entry")
+	}
+	if len(third.Neighbors) != 1 || third.Neighbors[0].ID == 42 {
+		t.Fatalf("deleted id still served: %+v", third.Neighbors)
+	}
+
+	// Batch delete mixes live and unknown ids; idempotent re-delete.
+	if code := postJSON(t, ts, "/v1/delete", deleteRequest{IDs: []int{1, 2, 42, 9999}}, &del); code != http.StatusOK {
+		t.Fatalf("batch delete: HTTP %d", code)
+	}
+	if del.Deleted != 2 || len(del.Missing) != 2 {
+		t.Fatalf("batch delete response: %+v", del)
+	}
+	if dyn.Len() != 297 || dyn.Deleted() != 3 {
+		t.Fatalf("backend: Len=%d Deleted=%d", dyn.Len(), dyn.Deleted())
+	}
+
+	// An empty request is the client's error.
+	var er errorResponse
+	if code := postJSON(t, ts, "/v1/delete", deleteRequest{}, &er); code != http.StatusBadRequest {
+		t.Fatalf("empty delete: HTTP %d, want 400", code)
+	}
+
+	// Stats and metrics reflect the deletes.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Deletes != 3 || st.Backend.Tombstones != 3 {
+		t.Fatalf("stats: deletes=%d tombstones=%d, want 3/3", st.Deletes, st.Backend.Tombstones)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"lccs_deletes_total 3",
+		"lccs_index_tombstones 3",
+		"lccs_index_vectors 297",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestServeDeleteReadOnlyBackend: facades without a Delete method serve
+// /v1/delete as 501, mirroring /v1/insert.
+func TestServeDeleteReadOnlyBackend(t *testing.T) {
+	data, _ := testWorkload(9, 80, 8)
+	sx, err := lccs.NewShardedIndex(data, lccs.Config{Metric: lccs.Euclidean, M: 8, Seed: 11}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Backend: sx})
+	var er errorResponse
+	if code := postJSON(t, ts, "/v1/delete", deleteRequest{IDs: []int{1}}, &er); code != http.StatusNotImplemented {
+		t.Fatalf("delete on sharded backend: HTTP %d, want 501", code)
+	}
+}
+
+// TestRetryAfterSeconds pins the load-derived Retry-After calculation:
+// it scales with queue depth, drains across slots, falls back to the
+// admission deadline before any latency is observed, and clamps to
+// [1, 60].
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		queued     int64
+		slots      int
+		p50, tmout float64
+		want       int
+	}{
+		{0, 1, 0.5, 2, 1},    // (0+1)*0.5 → ceil 1
+		{3, 1, 0.5, 2, 2},    // 4*0.5 = 2
+		{3, 4, 0.5, 2, 1},    // spread across 4 slots
+		{9, 2, 1.0, 2, 5},    // 10*1/2 = 5
+		{0, 1, 0, 3, 3},      // no observations → deadline
+		{500, 1, 1.0, 2, 60}, // clamped high
+		{0, 0, 0.001, 2, 1},  // degenerate slots → clamped low
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.queued, c.slots, c.p50, c.tmout); got != c.want {
+			t.Errorf("retryAfterSeconds(%d, %d, %v, %v) = %d, want %d",
+				c.queued, c.slots, c.p50, c.tmout, got, c.want)
+		}
+	}
+}
+
 func TestServeBodySizeLimit(t *testing.T) {
 	data, _ := testWorkload(7, 50, 8)
 	sx, err := lccs.NewShardedIndex(data, lccs.Config{Metric: lccs.Euclidean, M: 8, Seed: 9}, 1)

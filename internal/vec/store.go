@@ -105,6 +105,30 @@ func (s *Store) Rows() [][]float32 {
 // Bytes returns the memory footprint of the stored block.
 func (s *Store) Bytes() int64 { return int64(len(s.data)) * 4 }
 
+// CompactCopy returns a fresh owning store holding rows [0, keepPrefix)
+// verbatim followed by every row in [keepPrefix, Len()) for which dead
+// reports false. The receiver's block is never mutated, so outstanding
+// views (index shards, snapshot rows) stay exactly what they were; the
+// caller adopts the returned store and the old block is released once
+// the last view over it dies.
+func (s *Store) CompactCopy(keepPrefix int, dead func(slot int) bool) *Store {
+	n := s.Len()
+	live := keepPrefix
+	for i := keepPrefix; i < n; i++ {
+		if !dead(i) {
+			live++
+		}
+	}
+	out := &Store{dim: s.dim, data: make([]float32, 0, live*s.dim)}
+	out.data = append(out.data, s.data[:keepPrefix*s.dim]...)
+	for i := keepPrefix; i < n; i++ {
+		if !dead(i) {
+			out.data = append(out.data, s.Row(i)...)
+		}
+	}
+	return out
+}
+
 // Scan is the bulk distance kernel: it walks vectors [lo, hi) in one
 // pass over the contiguous block — a single forward stride, no header
 // chasing — and calls visit with each vector's metric distance to q.

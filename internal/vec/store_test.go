@@ -78,6 +78,44 @@ func TestStoreSliceViewSurvivesAppend(t *testing.T) {
 	}
 }
 
+func TestStoreCompactCopy(t *testing.T) {
+	s := NewStore(2)
+	for i := 0; i < 6; i++ {
+		s.Append([]float32{float32(i), float32(i * 10)})
+	}
+	dead := map[int]bool{3: true, 5: true}
+	out := s.CompactCopy(2, func(slot int) bool { return dead[slot] })
+	if out.Len() != 4 || out.Dim() != 2 {
+		t.Fatalf("Len=%d Dim=%d", out.Len(), out.Dim())
+	}
+	// Prefix kept verbatim (even though slot-space filtering would not
+	// apply there), survivors shifted down in order.
+	for i, want := range []float32{0, 1, 2, 4} {
+		if row := out.Row(i); row[0] != want {
+			t.Fatalf("row %d = %v, want first coord %v", i, row, want)
+		}
+	}
+	// The source is untouched and shares no memory with the copy.
+	if s.Len() != 6 || s.Row(3)[0] != 3 {
+		t.Fatalf("source mutated: Len=%d", s.Len())
+	}
+	out.Row(0)[0] = 99
+	if s.Row(0)[0] == 99 {
+		t.Fatal("compact copy aliases the source block")
+	}
+
+	// Dropping nothing still yields an independent copy of equal size.
+	all := s.CompactCopy(0, func(int) bool { return false })
+	if all.Len() != 6 {
+		t.Fatalf("no-drop copy Len=%d", all.Len())
+	}
+	// Dropping everything beyond the prefix.
+	none := s.CompactCopy(0, func(int) bool { return true })
+	if none.Len() != 0 {
+		t.Fatalf("all-drop copy Len=%d", none.Len())
+	}
+}
+
 func TestStoreScanMatchesMetric(t *testing.T) {
 	rows := [][]float32{{0, 0}, {3, 4}, {6, 8}, {1, 1}}
 	s, err := FromRows(rows)

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"lccs/internal/core"
+	"lccs/internal/idmap"
 	"lccs/internal/lshfamily"
 )
 
@@ -19,6 +21,14 @@ var pkgMagic = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '1'}
 // header as format 1 followed by a shard table and one core index blob per
 // shard. Format-1 files remain loadable by both Load and LoadSharded.
 var pkgMagic2 = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '2'}
+
+// pkgMagic3 is the lifecycle container (format 3): the format-2 layout
+// followed by a deletion-lifecycle section — the stable-id map and the
+// tombstone set of a dynamic snapshot — so deleted vectors stay deleted
+// across a save/load cycle. Save emits format 3 only when lifecycle
+// state exists; indexes without it keep writing byte-identical format-2
+// (or format-1) files, and both legacy formats keep loading.
+var pkgMagic3 = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '3'}
 
 // Save writes the index to path. The dataset itself is not stored: Load
 // must be given the same data slice (same order) the index was built
@@ -126,7 +136,7 @@ func Load(path string, data [][]float32) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if magic == pkgMagic2 {
+	if magic == pkgMagic2 || magic == pkgMagic3 {
 		return nil, fmt.Errorf("lccs: %s holds a sharded index; use LoadSharded", path)
 	}
 	return decodeSingle(r, data)
@@ -138,7 +148,7 @@ func readMagic(r io.Reader) ([8]byte, error) {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return magic, err
 	}
-	if magic != pkgMagic && magic != pkgMagic2 {
+	if magic != pkgMagic && magic != pkgMagic2 && magic != pkgMagic3 {
 		return magic, fmt.Errorf("lccs: bad index magic %q", magic)
 	}
 	return magic, nil
@@ -220,10 +230,13 @@ func wrapSingle(single *core.Index, cfg Config, family lshfamily.Family) (*Index
 	return ix, nil
 }
 
-// Save writes the sharded index to path as a format-2 container: the
+// Save writes the sharded index to path: a format-2 container (the
 // shared configuration header, the shard table, and each shard's core
-// index. As with Index.Save, the dataset itself is not stored — Load
-// Sharded must be given the same data slice in the same order.
+// index), extended to format 3 with a lifecycle section when the index
+// carries deletion state (a compacted id map or tombstones from a
+// dynamic snapshot). As with Index.Save, the dataset itself is not
+// stored — LoadSharded must be given the same data slice in the same
+// order.
 func (sx *ShardedIndex) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -242,7 +255,12 @@ func (sx *ShardedIndex) Save(path string) error {
 }
 
 func (sx *ShardedIndex) encode(w io.Writer) error {
-	if _, err := w.Write(pkgMagic2[:]); err != nil {
+	lifecycle := sx.ids != nil || len(sx.dead) > 0
+	magic := pkgMagic2
+	if lifecycle {
+		magic = pkgMagic3
+	}
+	if _, err := w.Write(magic[:]); err != nil {
 		return err
 	}
 	if err := encodeConfig(w, sx.cfg); err != nil {
@@ -263,13 +281,149 @@ func (sx *ShardedIndex) encode(w io.Writer) error {
 			return err
 		}
 	}
+	if lifecycle {
+		return sx.encodeLifecycle(w)
+	}
+	return nil
+}
+
+// encodeLifecycle writes the format-3 tail: the id map (identity flag,
+// next-id watermark, and — when compacted — the slot-ordered external
+// ids) followed by the sorted tombstoned external ids. The encoding is
+// deterministic, so a loaded format-3 file re-saves byte-identically.
+func (sx *ShardedIndex) encodeLifecycle(w io.Writer) error {
+	identity := sx.ids.Identity()
+	flag := byte(0)
+	next := sx.slots()
+	if identity {
+		flag = 1
+	} else {
+		next = sx.ids.Next()
+	}
+	if _, err := w.Write([]byte{flag}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(next)); err != nil {
+		return err
+	}
+	if !identity {
+		ids := sx.ids.AppendIDs(make([]int, 0, sx.slots()))
+		if err := binary.Write(w, binary.LittleEndian, int64(len(ids))); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, toInt64s(ids)); err != nil {
+			return err
+		}
+	}
+	dead := make([]int, 0, len(sx.dead))
+	for slot := range sx.dead {
+		dead = append(dead, sx.ids.Ext(slot))
+	}
+	sort.Ints(dead)
+	if err := binary.Write(w, binary.LittleEndian, int64(len(dead))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, toInt64s(dead))
+}
+
+// toInt64s widens ids for the fixed-width container encoding.
+func toInt64s(ids []int) []int64 {
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}
+
+// decodeLifecycle reads the format-3 tail and installs the lifecycle
+// state on sx: the restored id map (nil for identity) and the tombstone
+// set translated back to slots, with per-shard tombstone counts derived
+// from the shard table.
+func (sx *ShardedIndex) decodeLifecycle(r io.Reader) error {
+	var flag [1]byte
+	if _, err := io.ReadFull(r, flag[:]); err != nil {
+		return err
+	}
+	var next int64
+	if err := binary.Read(r, binary.LittleEndian, &next); err != nil {
+		return err
+	}
+	slots := sx.slots()
+	switch flag[0] {
+	case 1:
+		if next != int64(slots) {
+			return fmt.Errorf("lccs: identity id map watermark %d disagrees with %d rows", next, slots)
+		}
+	case 0:
+		var count int64
+		if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+			return err
+		}
+		if count != int64(slots) {
+			return fmt.Errorf("lccs: id map covers %d slots, index has %d", count, slots)
+		}
+		raw := make([]int64, count)
+		if err := binary.Read(r, binary.LittleEndian, raw); err != nil {
+			return err
+		}
+		ids := make([]int, count)
+		for i, id := range raw {
+			ids[i] = int(id)
+		}
+		m, err := idmap.Restore(ids, int(next))
+		if err != nil {
+			return err
+		}
+		sx.ids = m
+	default:
+		return fmt.Errorf("lccs: corrupt id map flag %d", flag[0])
+	}
+	var deadCount int64
+	if err := binary.Read(r, binary.LittleEndian, &deadCount); err != nil {
+		return err
+	}
+	if deadCount < 0 || deadCount > int64(slots) {
+		return fmt.Errorf("lccs: corrupt tombstone count %d for %d rows", deadCount, slots)
+	}
+	if deadCount == 0 {
+		return nil
+	}
+	deadIDs := make([]int64, deadCount)
+	if err := binary.Read(r, binary.LittleEndian, deadIDs); err != nil {
+		return err
+	}
+	sx.dead = make(map[int]bool, deadCount)
+	sx.shardDead = make([]int, len(sx.shards))
+	prev := -1
+	for _, id := range deadIDs {
+		if int(id) <= prev {
+			return fmt.Errorf("lccs: tombstone ids not strictly increasing at %d", id)
+		}
+		prev = int(id)
+		slot, ok := int(id), int(id) >= 0 && int(id) < slots
+		if sx.ids != nil {
+			slot, ok = sx.ids.Slot(int(id))
+		}
+		if !ok || slot >= slots {
+			return fmt.Errorf("lccs: tombstone id %d resolves to no slot", id)
+		}
+		sx.dead[slot] = true
+		for s := 0; s < len(sx.shards); s++ {
+			if slot >= sx.offsets[s] && slot < sx.offsets[s+1] {
+				sx.shardDead[s]++
+				break
+			}
+		}
+	}
 	return nil
 }
 
 // LoadSharded reads a sharded index written by ShardedIndex.Save. data
-// must be the dataset the index was built over, in the same order. A
-// format-1 (single-Index) file is accepted too and wrapped as one shard,
-// so callers can migrate to the sharded API without rewriting old files.
+// must be the dataset the index was built over, in the same order (for
+// a format-3 file that is the slot-ordered row slice Snapshot returned,
+// including rows tombstoned inside shards). A format-1 (single-Index)
+// file is accepted too and wrapped as one shard, so callers can migrate
+// to the sharded API without rewriting old files.
 func LoadSharded(path string, data [][]float32) (*ShardedIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -297,11 +451,12 @@ func LoadSharded(path string, data [][]float32) (*ShardedIndex, error) {
 		sx.initPool()
 		return sx, nil
 	}
-	return decodeSharded(r, data)
+	return decodeSharded(r, data, magic == pkgMagic3)
 }
 
-// decodeSharded decodes a format-2 body (everything after the magic).
-func decodeSharded(r io.Reader, data [][]float32) (*ShardedIndex, error) {
+// decodeSharded decodes a format-2 or format-3 body (everything after
+// the magic); lifecycle selects the format-3 tail.
+func decodeSharded(r io.Reader, data [][]float32, lifecycle bool) (*ShardedIndex, error) {
 	cfg, err := decodeConfig(r)
 	if err != nil {
 		return nil, err
@@ -359,6 +514,11 @@ func decodeSharded(r io.Reader, data [][]float32) (*ShardedIndex, error) {
 		sx.shards[s], err = wrapSingle(single, cfg, family)
 		if err != nil {
 			return nil, fmt.Errorf("lccs: shard %d: %w", s, err)
+		}
+	}
+	if lifecycle {
+		if err := sx.decodeLifecycle(r); err != nil {
+			return nil, err
 		}
 	}
 	sx.initPool()

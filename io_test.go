@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"lccs/internal/rng"
 )
 
 // updateGolden regenerates the committed golden index files:
@@ -102,6 +104,93 @@ func TestGoldenFormat2(t *testing.T) {
 	}
 }
 
+// goldenLifecycleIndex builds the deterministic dynamic index behind
+// the format-3 golden file: deletes in the main shard and the buffer,
+// plus post-delete inserts, so the snapshot carries a compacted id map
+// and live tombstones.
+func goldenLifecycleIndex(t *testing.T) ([][]float32, *ShardedIndex) {
+	t.Helper()
+	data, cfg := goldenSetup()
+	d, err := NewDynamicIndex(data, cfg, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(123)
+	var added []int
+	for i := 0; i < 6; i++ {
+		id, err := d.Add(g.GaussianVector(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, id)
+	}
+	for _, id := range []int{3, 77, added[0]} {
+		if !d.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	vectors, sx, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx.Deleted() != 2 || sx.ids == nil {
+		t.Fatalf("golden setup: Deleted=%d ids=%v, want 2 tombstones and a compacted id map",
+			sx.Deleted(), sx.ids)
+	}
+	return vectors, sx
+}
+
+// TestGoldenFormat3 pins the lifecycle container: a format-3 (LCCSPKG3)
+// file keeps loading with its id map and tombstones intact, serves
+// identical results to the in-memory snapshot, and never resurrects a
+// deleted id.
+func TestGoldenFormat3(t *testing.T) {
+	const path = "testdata/golden_pkg3.lccs"
+	vectors, fresh := goldenLifecycleIndex(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+	}
+	loaded, err := LoadSharded(path, vectors)
+	if err != nil {
+		t.Fatalf("golden format-3 file no longer loads: %v", err)
+	}
+	if loaded.Len() != fresh.Len() || loaded.Deleted() != fresh.Deleted() {
+		t.Fatalf("golden shape: len=%d deleted=%d, want %d/%d",
+			loaded.Len(), loaded.Deleted(), fresh.Len(), fresh.Deleted())
+	}
+	exhaustive := 4 * len(vectors)
+	for qi := 0; qi < 10; qi++ {
+		q := vectors[qi*13]
+		a, b := must(fresh.SearchBudget(q, 5, exhaustive)), must(loaded.SearchBudget(q, 5, exhaustive))
+		if len(a) != len(b) {
+			t.Fatalf("query %d: lengths differ", qi)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d pos %d: %+v vs %+v", qi, j, a[j], b[j])
+			}
+		}
+	}
+	for _, deadID := range []int{3, 77} {
+		for _, nb := range must(loaded.SearchBudget(vectors[deadID], 10, exhaustive)) {
+			if nb.ID == deadID {
+				t.Fatalf("golden tombstone %d resurrected", deadID)
+			}
+		}
+	}
+	// A format-3 file is a sharded container: the single-index loader
+	// directs callers to LoadSharded.
+	if _, err := Load(path, vectors); err == nil {
+		t.Fatal("Load accepted a format-3 container")
+	}
+}
+
 // TestGoldenReencodeByteIdentical pins the on-disk layout itself, not
 // just loadability: re-saving an index loaded from a legacy golden file
 // must reproduce the file byte for byte. This proves the flat
@@ -150,6 +239,109 @@ func TestGoldenReencodeByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(orig2, got2) {
 		t.Fatalf("format-2 re-encode differs from golden: %d vs %d bytes", len(got2), len(orig2))
+	}
+
+	// Format 3: the lifecycle tail (id map + sorted tombstones) encodes
+	// deterministically, so load → re-save is also byte-identical.
+	vectors, _ := goldenLifecycleIndex(t)
+	orig3, err := os.ReadFile("testdata/golden_pkg3.lccs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx3, err := LoadSharded("testdata/golden_pkg3.lccs", vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resaved3 := filepath.Join(dir, "pkg3.lccs")
+	if err := sx3.Save(resaved3); err != nil {
+		t.Fatal(err)
+	}
+	got3, err := os.ReadFile(resaved3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig3, got3) {
+		t.Fatalf("format-3 re-encode differs from golden: %d vs %d bytes", len(got3), len(orig3))
+	}
+}
+
+// TestSaveWithoutLifecycleStaysFormat2 pins the compatibility promise
+// from the other side: a snapshot with no deletion state writes the
+// exact format-2 container older readers understand.
+func TestSaveWithoutLifecycleStaysFormat2(t *testing.T) {
+	data, cfg := goldenSetup()
+	d, err := NewDynamicIndex(data, cfg, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors, sx, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "clean.lccs")
+	if err := sx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob[:8]) != "LCCSPKG2" {
+		t.Fatalf("clean snapshot wrote magic %q, want LCCSPKG2", blob[:8])
+	}
+	if _, err := LoadSharded(path, vectors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadCorruptedLifecycleSection flips bytes across the format-3
+// lifecycle tail (id-map flag, watermark, counts, ids) and checks every
+// corruption fails loudly.
+func TestLoadCorruptedLifecycleSection(t *testing.T) {
+	vectors, sx := goldenLifecycleIndex(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pkg3.lccs")
+	if err := sx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lifecycle section is the file tail: flag(1) + next(8) +
+	// idCount(8) + ids + deadCount(8) + dead ids. Truncations anywhere
+	// inside it must fail.
+	tail := 1 + 8 + 8 + 8*len(vectors) + 8 + 8*sx.Deleted()
+	for _, cut := range []int{tail, tail - 5, 9, 1} {
+		p := filepath.Join(dir, "cut.lccs")
+		if err := os.WriteFile(p, blob[:len(blob)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSharded(p, vectors); err == nil {
+			t.Fatalf("truncated lifecycle (-%d bytes) loaded", cut)
+		}
+	}
+	// A corrupt flag byte is rejected.
+	bad := append([]byte(nil), blob...)
+	bad[len(blob)-tail] = 7
+	p := filepath.Join(dir, "badflag.lccs")
+	if err := os.WriteFile(p, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSharded(p, vectors); err == nil {
+		t.Fatal("corrupt id-map flag loaded")
+	}
+	// A tombstone id that resolves to no slot is rejected.
+	bad = append([]byte(nil), blob...)
+	for i := 0; i < 8; i++ {
+		bad[len(blob)-8+i] = 0xFF // last dead id → garbage
+	}
+	p = filepath.Join(dir, "badtomb.lccs")
+	if err := os.WriteFile(p, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSharded(p, vectors); err == nil {
+		t.Fatal("unresolvable tombstone id loaded")
 	}
 }
 

@@ -3,6 +3,7 @@ package lccs
 import (
 	"errors"
 	"path/filepath"
+	"sort"
 	"testing"
 )
 
@@ -68,6 +69,71 @@ func TestSearcherConformanceIdenticalResults(t *testing.T) {
 			for j := range seq {
 				if rows[i][j] != seq[j] {
 					t.Fatalf("%s batch row %d pos %d: %+v vs %+v", name, i, j, rows[i][j], seq[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSearcherConformanceTombstoneFiltering extends the conformance
+// contract to the deletion lifecycle: with tombstones in place, the
+// DynamicIndex and the ShardedIndex snapshot derived from it must
+// agree with each other at an exhaustive budget AND with a brute-force
+// scan over only the live vectors — deleted ids appear nowhere, live
+// ids keep their stable values.
+func TestSearcherConformanceTombstoneFiltering(t *testing.T) {
+	data, g := testData(95, 500, 10, 5, 0.5)
+	cfg := Config{Metric: Euclidean, M: 16, Seed: 23}
+	dyn, err := NewDynamicIndex(data, cfg, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int]bool{}
+	for _, id := range []int{0, 13, 14, 99, 100, 101, 250, 499} {
+		if !dyn.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+		dead[id] = true
+	}
+	_, snap, err := dyn.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	facades := map[string]Searcher{"DynamicIndex": dyn, "Snapshot": snap}
+
+	const k = 8
+	exhaustive := 3 * len(data)
+	for qi := 0; qi < 12; qi++ {
+		q := g.GaussianVector(10)
+		// Brute-force reference over live vectors only.
+		type ref struct {
+			id   int
+			dist float64
+		}
+		var refs []ref
+		for id, v := range data {
+			if !dead[id] {
+				refs = append(refs, ref{id, dyn.Distance(q, v)})
+			}
+		}
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].dist != refs[j].dist {
+				return refs[i].dist < refs[j].dist
+			}
+			return refs[i].id < refs[j].id
+		})
+		for name, s := range facades {
+			got := must(s.SearchBudget(q, k, exhaustive))
+			if len(got) != k {
+				t.Fatalf("%s query %d: %d results, want %d", name, qi, len(got), k)
+			}
+			for i, nb := range got {
+				if dead[nb.ID] {
+					t.Fatalf("%s query %d: deleted id %d surfaced", name, qi, nb.ID)
+				}
+				if nb.ID != refs[i].id || nb.Dist != refs[i].dist {
+					t.Fatalf("%s query %d pos %d: got (%d, %v), brute force says (%d, %v)",
+						name, qi, i, nb.ID, nb.Dist, refs[i].id, refs[i].dist)
 				}
 			}
 		}

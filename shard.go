@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"lccs/internal/idmap"
 	"lccs/internal/pqueue"
 	"lccs/internal/vec"
 )
@@ -45,6 +46,20 @@ type ShardedIndex struct {
 	budget    int
 	dim       int
 	buildTime time.Duration
+	// Lifecycle state carried over from a DynamicIndex snapshot (or a
+	// loaded LCCSPKG3 container). All three stay nil on fresh builds and
+	// legacy loads, keeping the common path untouched.
+	//
+	// ids maps dense store slots to the stable external ids results are
+	// reported in; nil means the identity (slot == id).
+	ids *idmap.Map
+	// dead is the tombstone set keyed by store slot: these rows are
+	// indexed positionally by the shard structures but must never
+	// surface in results.
+	dead map[int]bool
+	// shardDead[s] counts tombstones inside shard s — its per-query
+	// over-fetch allowance.
+	shardDead []int
 	// ctxs pools shardCtx values: the per-shard result buffers and the
 	// tournament tree of one fan-out query.
 	ctxs sync.Pool
@@ -189,7 +204,14 @@ func (sx *ShardedIndex) searchBudgetInto(q []float32, k, lambda int, parallel bo
 		if !ok {
 			break
 		}
-		dst = append(dst, Neighbor{ID: nb.ID, Dist: nb.Dist})
+		// Tombstones from a dynamic snapshot are filtered here (the
+		// per-shard fetch over-shot by the shard's tombstone count, so k
+		// live results still come through); ids leave in the stable
+		// external space. Both are no-ops on fresh builds.
+		if sx.dead != nil && sx.dead[nb.ID] {
+			continue
+		}
+		dst = append(dst, Neighbor{ID: sx.ids.Ext(nb.ID), Dist: nb.Dist})
 	}
 	sx.ctxs.Put(ctx)
 	return dst, nil
@@ -204,7 +226,7 @@ func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool, 
 	lambdaShard := (lambda + s - 1) / s
 	if !parallel || s == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for i, shard := range sx.shards {
-			lists[i] = shard.searchOffsetInto(q, k, lambdaShard, sx.offsets[i], lists[i])
+			lists[i] = shard.searchOffsetInto(q, sx.shardFetch(i, k), lambdaShard, sx.offsets[i], lists[i])
 		}
 		return
 	}
@@ -213,10 +235,31 @@ func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool, 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			lists[i] = sx.shards[i].searchOffsetInto(q, k, lambdaShard, sx.offsets[i], lists[i])
+			lists[i] = sx.shards[i].searchOffsetInto(q, sx.shardFetch(i, k), lambdaShard, sx.offsets[i], lists[i])
 		}(i)
 	}
 	wg.Wait()
+}
+
+// shardFetch returns the tombstone-aware fetch for shard s.
+func (sx *ShardedIndex) shardFetch(s, k int) int {
+	if sx.shardDead == nil {
+		return k
+	}
+	return fetchForShard(k, sx.shardDead[s], sx.offsets[s+1]-sx.offsets[s])
+}
+
+// fetchForShard is the single over-fetch policy shared by ShardedIndex
+// and DynamicIndex (their results must stay conformant): how many
+// candidates a shard must yield for k live results to survive tombstone
+// filtering — k plus the shard's own tombstone count, clamped to the
+// shard's size so the fetch never grows past what the shard holds.
+func fetchForShard(k, dead, shardLen int) int {
+	fetch := k + dead
+	if fetch > shardLen {
+		fetch = shardLen
+	}
+	return fetch
 }
 
 // searchOffsetInto routes a shard-local query to the core index (single-
@@ -247,8 +290,18 @@ func (sx *ShardedIndex) M() int { return sx.shards[0].M() }
 // Dim returns the dimensionality of the indexed vectors.
 func (sx *ShardedIndex) Dim() int { return sx.dim }
 
-// Len returns the total number of indexed vectors.
-func (sx *ShardedIndex) Len() int { return sx.offsets[len(sx.offsets)-1] }
+// Len returns the number of live (searchable) vectors: tombstoned rows
+// carried by a dynamic snapshot are not counted.
+func (sx *ShardedIndex) Len() int { return sx.slots() - len(sx.dead) }
+
+// slots returns the total number of physical rows the shards index,
+// including tombstoned ones — the length of the data slice Save/Load
+// round-trips work with.
+func (sx *ShardedIndex) slots() int { return sx.offsets[len(sx.offsets)-1] }
+
+// Deleted returns the number of tombstoned rows this index carries
+// (non-zero only for dynamic snapshots taken with pending deletes).
+func (sx *ShardedIndex) Deleted() int { return len(sx.dead) }
 
 // Bytes returns the approximate total index memory footprint.
 func (sx *ShardedIndex) Bytes() int64 {
