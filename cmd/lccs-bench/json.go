@@ -133,6 +133,15 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 	rep.Runs["churn_precompact"] = cr
 	rep.Runs["churn_postcompact"] = cs.postCompact
 
+	// wal: durable ingest per sync policy + crash-recovery replay.
+	walRuns, _, err := walRuns(n, clients, seed, kind)
+	if err != nil {
+		return err
+	}
+	for name, r := range walRuns {
+		rep.Runs[name] = r
+	}
+
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

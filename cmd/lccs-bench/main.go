@@ -13,10 +13,14 @@
 //	lccs-bench -exp churn [-n 100000] [-m 32] [-metric euclidean]
 //	                         # mixed insert/delete/search on a DynamicIndex:
 //	                         # churn rate, compaction cost, QPS recovery
+//	lccs-bench -exp wal [-n 100000] [-clients 8]
+//	                         # durable ingest through the write-ahead log:
+//	                         # throughput + ack p50/p99 per sync policy
+//	                         # (always/interval/none), recovery-replay time
 //	lccs-bench -json report.json [-n 100000] [-shards 4]
-//	                         # machine-readable core/shard/serve/churn suite: build
-//	                         # time, QPS, p50/p99, B/op, allocs/op (perf-trajectory
-//	                         # files)
+//	                         # machine-readable core/shard/serve/churn/wal suite:
+//	                         # build time, QPS, p50/p99, B/op, allocs/op
+//	                         # (perf-trajectory files)
 //
 // Each paper experiment prints rows in the same structure as the
 // corresponding artifact: Pareto-frontier (recall, query time) points for
@@ -45,7 +49,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', 'shard', 'serve', or 'churn'")
+		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', 'shard', 'serve', 'churn', or 'wal'")
 		n        = flag.Int("n", 10000, "data points per dataset")
 		nq       = flag.Int("nq", 50, "queries per dataset")
 		k        = flag.Int("k", 10, "neighbors per query")
@@ -76,7 +80,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *exp == "shard" || *exp == "serve" || *exp == "churn" {
+	if *exp == "shard" || *exp == "serve" || *exp == "churn" || *exp == "wal" {
 		kind, err := lccs.ParseMetric(*metric)
 		if err == nil {
 			switch *exp {
@@ -86,6 +90,8 @@ func main() {
 				err = serveBench(*n, *nq, *k, *m, *shards, *clients, *reqs, *seed, kind)
 			case "churn":
 				err = churnBench(*n, *nq, *k, *m, *seed, kind)
+			case "wal":
+				err = walBench(*n, *clients, *seed, kind)
 			}
 		}
 		if err != nil {

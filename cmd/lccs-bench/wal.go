@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"lccs"
+)
+
+// walBench measures the durable ingest path: insert throughput and ack
+// latency per WAL sync policy (concurrent writers share group-committed
+// fsyncs), then the crash-recovery cost — the time to replay the whole
+// log into a fresh index, exactly what a SIGKILLed server pays on the
+// next boot.
+func walBench(n, clients int, seed uint64, kind lccs.MetricKind) error {
+	runs, order, err := walRuns(n, clients, seed, kind)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# wal bench: n=%d clients=%d metric=%s\n", n, clients, kind)
+	for _, name := range order {
+		r := runs[name]
+		fmt.Printf("%-14s %10.0f ops/s  p50 %8.1fµs  p99 %8.1fµs  %s\n",
+			name, r.QPS, r.P50Micros, r.P99Micros, r.Note)
+	}
+	return nil
+}
+
+// walRuns produces the machine-readable wal experiment set shared by
+// -exp wal and -json: one ingest run per sync policy plus the recovery
+// replay of the sync=always log.
+func walRuns(n, clients int, seed uint64, kind lccs.MetricKind) (map[string]RunReport, []string, error) {
+	data, _ := benchWorkload(n, 1, seed, kind)
+	cfg := lccs.Config{Metric: kind, M: 16, Seed: seed}
+	runs := map[string]RunReport{}
+	order := []string{"wal_always", "wal_interval", "wal_none", "wal_recovery"}
+
+	policies := []lccs.SyncPolicy{lccs.SyncAlways, lccs.SyncInterval, lccs.SyncNone}
+	var alwaysDir string
+	for _, policy := range policies {
+		dir, err := os.MkdirTemp("", "lccs-walbench")
+		if err != nil {
+			return nil, nil, err
+		}
+		r, di, err := ingestRun(dir, data, policy, clients, cfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		if policy == lccs.SyncAlways {
+			// Keep the always log for the recovery run — abandoned
+			// without Close or Checkpoint, as a crash would leave it.
+			di.WaitRebuild()
+			alwaysDir = dir
+		} else {
+			di.Close()
+			os.RemoveAll(dir)
+		}
+		runs["wal_"+policy.String()] = r
+	}
+	defer os.RemoveAll(alwaysDir)
+
+	start := time.Now()
+	di, err := lccs.OpenDurable(alwaysDir, lccs.DurableConfig{Config: cfg, Sync: lccs.SyncAlways})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer di.Close()
+	openTime := time.Since(start)
+	rec := di.Recovery()
+	if int(rec.Records) != len(data) {
+		return nil, nil, fmt.Errorf("recovery replayed %d records, expected %d", rec.Records, len(data))
+	}
+	runs["wal_recovery"] = RunReport{
+		QPS:          float64(rec.Records) / rec.Duration.Seconds(),
+		BuildSeconds: openTime.Seconds(),
+		Note: fmt.Sprintf("replayed %d records from %d segments in %v (full open %v)",
+			rec.Records, rec.Segments, rec.Duration.Round(time.Millisecond), openTime.Round(time.Millisecond)),
+	}
+	return runs, order, nil
+}
+
+// ingestRun drives concurrent durable inserts and reports client-side
+// ack throughput and latency percentiles, plus process-wide heap
+// traffic per insert (background delta builds included).
+func ingestRun(dir string, data [][]float32, policy lccs.SyncPolicy, clients int, cfg lccs.Config) (RunReport, *lccs.DurableIndex, error) {
+	di, err := lccs.OpenDurable(dir, lccs.DurableConfig{Config: cfg, Sync: policy})
+	if err != nil {
+		return RunReport{}, nil, err
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	lat := make([]float64, len(data))
+	errs := make([]error, clients)
+	var next int
+	var mu sync.Mutex
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(data) {
+					return
+				}
+				t0 := time.Now()
+				if _, err := di.Add(data[i]); err != nil {
+					errs[c] = err
+					return
+				}
+				lat[i] = time.Since(t0).Seconds()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	for _, err := range errs {
+		if err != nil {
+			di.Close()
+			return RunReport{}, nil, err
+		}
+	}
+	sort.Float64s(lat)
+	pct := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] * 1e6 }
+	st := di.WALStats()
+	return RunReport{
+		QPS:         float64(len(data)) / elapsed.Seconds(),
+		P50Micros:   pct(0.50),
+		P99Micros:   pct(0.99),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(len(data)),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(len(data)),
+		Note: fmt.Sprintf("sync=%s, %d clients, %d fsyncs (%.0f inserts/fsync)",
+			policy, clients, st.Fsyncs, safeDiv(float64(len(data)), float64(st.Fsyncs))),
+	}, di, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -12,18 +12,29 @@
 //	lccs-serve -data snap.ds -index snap.lccs            # warm start, read-only
 //	lccs-serve -data snap.ds -index snap.lccs -dynamic \
 //	           -snapshot snap.lccs                       # warm start, writable
+//	mkdir -p /var/lib/lccs && \
+//	lccs-serve -data /var/lib/lccs -sync always          # durable data dir
 //
-// Backend selection: -index loads a prebuilt LCCSPKG1/2/3 container
-// (skipping the build) — read-only by default, or wrapped as a writable
-// DynamicIndex when combined with -dynamic; -dynamic alone builds a
-// DynamicIndex and enables /v1/insert and /v1/delete; otherwise a
-// ShardedIndex is built with -shards shards. On SIGINT/SIGTERM the
-// daemon flips /healthz to 503, drains in-flight requests, waits for
-// any background delta build, and — when -snapshot is set on a dynamic
-// backend — persists the index (including buffered inserts AND the
-// deletion state: the stable-id map plus pending tombstones, in the
-// LCCSPKG3 container) together with its vectors for a warm restart.
-// Deleted ids therefore stay deleted across restarts.
+// Backend selection: when -data names a DIRECTORY, the daemon runs in
+// durable mode — the directory holds a manifest, snapshot container,
+// and write-ahead log (see lccs.OpenDurable); boot recovers the
+// previous state (the recovery summary is logged), /v1/insert and
+// /v1/delete acknowledge only after the write is durable per -sync,
+// and the index is checkpointed on a timer, when the WAL outgrows
+// -checkpoint-wal-mb, and on graceful shutdown. A SIGKILLed durable
+// daemon restarts with every acknowledged write intact.
+//
+// When -data names a dataset FILE, the pre-PR5 modes apply: -index
+// loads a prebuilt LCCSPKG1/2/3 container (read-only, or writable with
+// -dynamic); -dynamic alone builds a DynamicIndex (writes are held only
+// in memory until the shutdown snapshot — use a durable data dir when
+// acknowledged writes must survive a crash); otherwise a ShardedIndex
+// is built with -shards shards.
+//
+// On SIGINT or SIGTERM the daemon flips /healthz to 503, drains
+// in-flight requests, waits for any background delta build, and
+// persists: durable mode checkpoints (snapshot + WAL truncation), the
+// file modes honor -snapshot. A second signal forces immediate exit.
 package main
 
 import (
@@ -46,8 +57,8 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		dataPath  = flag.String("data", "", "dataset file from lccs-datagen (required)")
-		indexPath = flag.String("index", "", "load a prebuilt index container instead of building")
+		dataPath  = flag.String("data", "", "dataset file, or a directory for durable mode (required)")
+		indexPath = flag.String("index", "", "load a prebuilt index container instead of building (file mode)")
 		metric    = flag.String("metric", "euclidean", "euclidean | angular | hamming | jaccard")
 		m         = flag.Int("m", 64, "hash-string length")
 		probes    = flag.Int("probes", 1, "probing sequences per query (1 = single-probe)")
@@ -64,10 +75,16 @@ func main() {
 		cacheQuant  = flag.Uint("cache-quant", 0, "low mantissa bits masked in cache keys (0 = exact)")
 		maxBody     = flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
 
-		snapPath     = flag.String("snapshot", "", "on shutdown, save the dynamic index here (LCCSPKG2)")
-		snapDataPath = flag.String("snapshot-data", "", "on shutdown, save the snapshot's vectors here (default: <snapshot>.ds)")
-		drainWait    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
-		drainDelay   = flag.Duration("drain-delay", 0, "window between /healthz going 503 and the listener closing; set to ≥ your load balancer's probe interval")
+		syncPolicy  = flag.String("sync", "always", "durable mode WAL sync policy: always | interval | none (none: acks survive a process kill but NOT an OS crash)")
+		syncEvery   = flag.Duration("sync-interval", 50*time.Millisecond, "fsync period for -sync interval")
+		walSegMB    = flag.Int64("wal-segment-mb", 64, "durable mode WAL segment size before rotation")
+		ckptEvery   = flag.Duration("checkpoint-interval", 5*time.Minute, "durable mode: checkpoint at least this often (0 disables the timer)")
+		ckptWALMB   = flag.Int64("checkpoint-wal-mb", 256, "durable mode: checkpoint when the WAL exceeds this size (0 disables the size trigger)")
+		bootstrap   = flag.String("bootstrap", "", "durable mode: seed a fresh data dir from this dataset file (ignored once data exists)")
+		snapPath    = flag.String("snapshot", "", "file mode: on shutdown, save the dynamic index here (LCCSPKG2/3)")
+		snapDataPth = flag.String("snapshot-data", "", "file mode: on shutdown, save the snapshot's vectors here (default: <snapshot>.ds)")
+		drainWait   = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+		drainDelay  = flag.Duration("drain-delay", 0, "window between /healthz going 503 and the listener closing; set to ≥ your load balancer's probe interval")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -78,21 +95,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := dataset.Load(*dataPath)
-	if err != nil {
-		fatal(err)
-	}
-	if kind == lccs.Angular {
-		ds = ds.NormalizedCopy()
-	}
 	cfg := lccs.Config{Metric: kind, M: *m, Probes: *probes, Budget: *lambda, Seed: *seed}
 
-	backend, dyn, err := buildBackend(ds, cfg, *indexPath, *dynamic, *shards, *rebuildAt)
-	if err != nil {
-		fatal(err)
-	}
-	if *snapPath != "" && dyn == nil {
-		log.Printf("warning: -snapshot is only honored with -dynamic; ignoring")
+	var (
+		backend lccs.Searcher
+		dyn     *lccs.DynamicIndex // file-mode lifecycle handle
+		dur     *lccs.DurableIndex // durable-mode lifecycle handle
+		ds      *dataset.Dataset   // file-mode dataset (snapshot output needs it)
+	)
+	if fi, err := os.Stat(*dataPath); err == nil && fi.IsDir() {
+		dur, err = openDurable(*dataPath, cfg, *syncPolicy, *syncEvery, *walSegMB, *rebuildAt, *bootstrap)
+		if err != nil {
+			fatal(err)
+		}
+		backend = dur
+		if *indexPath != "" || *snapPath != "" || *dynamic {
+			log.Printf("warning: -index/-snapshot/-dynamic are file-mode flags; ignored with a durable data dir")
+		}
+	} else {
+		ds, err = dataset.Load(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+		if kind == lccs.Angular {
+			ds = ds.NormalizedCopy()
+		}
+		backend, dyn, err = buildBackend(ds, cfg, *indexPath, *dynamic, *shards, *rebuildAt)
+		if err != nil {
+			fatal(err)
+		}
+		if *snapPath != "" && dyn == nil {
+			log.Printf("warning: -snapshot is only honored with -dynamic; ignoring")
+		}
 	}
 
 	srv, err := server.New(server.Config{
@@ -119,19 +153,34 @@ func main() {
 		done <- nil
 	}()
 
-	sig := make(chan os.Signal, 1)
+	// Durable mode checkpoints in the background: on a timer and when
+	// the WAL outgrows its budget, so neither recovery-replay time nor
+	// the data directory grows unboundedly under steady churn.
+	stopCkpt := make(chan struct{})
+	if dur != nil {
+		go checkpointLoop(dur, *ckptEvery, *ckptWALMB<<20, stopCkpt)
+	}
+
+	// SIGINT and SIGTERM get the same graceful drain; a second signal
+	// forces exit for operators who cannot wait out the drain.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-done:
 		fatal(err) // listener died before any signal
 	case got := <-sig:
-		log.Printf("lccs-serve: %v: draining", got)
+		log.Printf("lccs-serve: %v: draining (send again to force exit)", got)
+		go func() {
+			s := <-sig
+			log.Printf("lccs-serve: %v: forcing exit", s)
+			os.Exit(1)
+		}()
 	}
 
 	// Graceful shutdown: readiness drops first — and stays observable
 	// for -drain-delay so load balancers can route away before the
 	// listener closes — then connections drain, then the dynamic state
-	// is quiesced and snapshotted.
+	// is quiesced and persisted.
 	srv.SetDraining(true)
 	if *drainDelay > 0 {
 		time.Sleep(*drainDelay)
@@ -144,10 +193,20 @@ func main() {
 	if err := <-done; err != nil {
 		log.Printf("lccs-serve: serve: %v", err)
 	}
-	if dyn != nil {
+	close(stopCkpt)
+	switch {
+	case dur != nil:
+		dur.WaitRebuild()
+		if err := checkpoint(dur, "drain"); err != nil {
+			fatal(fmt.Errorf("drain checkpoint: %w", err))
+		}
+		if err := dur.Close(); err != nil {
+			fatal(fmt.Errorf("close: %w", err))
+		}
+	case dyn != nil:
 		dyn.WaitRebuild()
 		if *snapPath != "" {
-			if err := snapshot(dyn, ds, *snapPath, *snapDataPath); err != nil {
+			if err := snapshot(dyn, ds, *snapPath, *snapDataPth); err != nil {
 				fatal(fmt.Errorf("snapshot: %w", err))
 			}
 		}
@@ -155,9 +214,124 @@ func main() {
 	log.Printf("lccs-serve: bye")
 }
 
+// openDurable opens the durable data directory, logs the recovery
+// summary, and seeds a fresh directory from -bootstrap when given.
+func openDurable(dir string, cfg lccs.Config, policy string, syncEvery time.Duration, segMB int64, rebuildAt int, bootstrap string) (*lccs.DurableIndex, error) {
+	sp, err := lccs.ParseSyncPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	dur, err := lccs.OpenDurable(dir, lccs.DurableConfig{
+		Config:       cfg,
+		Sync:         sp,
+		SyncInterval: syncEvery,
+		SegmentBytes: segMB << 20,
+		RebuildAt:    rebuildAt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec := dur.Recovery()
+	log.Printf("lccs-serve: recovered %s in %v: snapshot %d vectors, %d WAL segments replayed, %d records applied (%d already checkpointed, %dB torn tail discarded); %d live vectors, sync=%s",
+		dir, time.Since(start).Round(time.Millisecond), rec.SnapshotVectors, rec.Segments,
+		rec.Records, rec.Skipped, rec.TornBytes, dur.Len(), sp)
+	if bootstrap != "" {
+		if dur.Len() > 0 || rec.Records > 0 || rec.SnapshotVectors > 0 {
+			log.Printf("lccs-serve: -bootstrap ignored: %s already holds data", dir)
+			return dur, nil
+		}
+		if err := seed(dur, bootstrap, cfg.Metric); err != nil {
+			dur.Close()
+			return nil, fmt.Errorf("bootstrap: %w", err)
+		}
+	}
+	return dur, nil
+}
+
+// seed ingests a dataset file through the durable write path and
+// checkpoints, so a fresh data directory starts with an indexed,
+// snapshotted corpus and an empty WAL.
+func seed(dur *lccs.DurableIndex, path string, kind lccs.MetricKind) error {
+	ds, err := dataset.Load(path)
+	if err != nil {
+		return err
+	}
+	if kind == lccs.Angular {
+		ds = ds.NormalizedCopy()
+	}
+	start := time.Now()
+	const chunk = 4096
+	for lo := 0; lo < len(ds.Data); lo += chunk {
+		hi := min(lo+chunk, len(ds.Data))
+		if _, err := dur.AddBatch(ds.Data[lo:hi]); err != nil {
+			return err
+		}
+	}
+	dur.WaitRebuild()
+	if err := checkpoint(dur, "bootstrap"); err != nil {
+		return err
+	}
+	log.Printf("lccs-serve: bootstrapped %d vectors from %s in %v",
+		len(ds.Data), path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// checkpointLoop runs periodic and WAL-size-triggered checkpoints until
+// stop closes.
+func checkpointLoop(dur *lccs.DurableIndex, every time.Duration, walBytes int64, stop <-chan struct{}) {
+	poll := 10 * time.Second
+	if every > 0 && every < poll {
+		poll = every
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-t.C:
+			st := dur.WALStats()
+			due := every > 0 && time.Since(last) >= every
+			oversize := walBytes > 0 && st.Bytes >= walBytes
+			if st.Depth == 0 || (!due && !oversize) {
+				continue
+			}
+			reason := "interval"
+			if oversize {
+				reason = fmt.Sprintf("wal size %dMB", st.Bytes>>20)
+			}
+			if err := checkpoint(dur, reason); err != nil {
+				log.Printf("lccs-serve: checkpoint: %v", err)
+			}
+			last = time.Now()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// checkpoint runs one checkpoint and logs its outcome.
+func checkpoint(dur *lccs.DurableIndex, reason string) error {
+	info, err := dur.Checkpoint()
+	if err != nil {
+		return err
+	}
+	switch {
+	case info.Skipped:
+		log.Printf("lccs-serve: checkpoint (%s): skipped, nothing new to capture", reason)
+	case info.Container == "":
+		log.Printf("lccs-serve: checkpoint (%s): gen %d, index empty (id watermark persisted), WAL truncated through LSN %d in %v",
+			reason, info.Generation, info.LSN, info.Took.Round(time.Millisecond))
+	default:
+		log.Printf("lccs-serve: checkpoint (%s): gen %d, %d live vectors, %d tombstones → %s, WAL truncated through LSN %d in %v",
+			reason, info.Generation, info.Live, info.Tombstones, info.Container, info.LSN, info.Took.Round(time.Millisecond))
+	}
+	return nil
+}
+
 // buildBackend selects and constructs the index facade behind the
-// server. It returns the backend and, when dynamic, the concrete
-// DynamicIndex for lifecycle calls (WaitRebuild, Snapshot).
+// server in file mode. It returns the backend and, when dynamic, the
+// concrete DynamicIndex for lifecycle calls (WaitRebuild, Snapshot).
 func buildBackend(ds *dataset.Dataset, cfg lccs.Config, indexPath string, dynamic bool, shards, rebuildAt int) (lccs.Searcher, *lccs.DynamicIndex, error) {
 	switch {
 	case indexPath != "":

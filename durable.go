@@ -1,0 +1,587 @@
+package lccs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"lccs/internal/dataset"
+	"lccs/internal/wal"
+)
+
+// ErrNotDurable is returned (wrapped) by DurableIndex write paths when
+// the write-ahead log could not make the write durable. The in-memory
+// index may already hold the write, but a crash could lose it, so
+// callers must not acknowledge it; the log is broken until the index is
+// reopened.
+var ErrNotDurable = errors.New("lccs: write not durable: write-ahead log failure")
+
+// SyncPolicy selects what an acknowledged DurableIndex write
+// guarantees; it mirrors the policies of the underlying write-ahead
+// log.
+type SyncPolicy int
+
+// The three sync policies, from strongest guarantee to fastest ack.
+const (
+	// SyncAlways fsyncs before acknowledging: an acked write survives
+	// OS and power failure. Concurrent writers share fsyncs (group
+	// commit), so throughput scales far better than one fsync per write.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acks once the write reached the OS (it survives a
+	// process kill) and fsyncs on a timer: at most one interval of
+	// acked writes can be lost to an OS crash or power failure.
+	SyncInterval
+	// SyncNone acks once the write reached the OS and never fsyncs:
+	// acked writes survive a process kill, but an OS crash or power
+	// failure can lose everything the OS had not yet flushed on its
+	// own. Use only where the ingest stream can be replayed from
+	// elsewhere.
+	SyncNone
+)
+
+// ParseSyncPolicy resolves a CLI-style sync-policy name
+// (always|interval|none).
+func ParseSyncPolicy(name string) (SyncPolicy, error) {
+	p, err := wal.ParsePolicy(name)
+	if err != nil {
+		return 0, fmt.Errorf("lccs: %w", err)
+	}
+	return SyncPolicy(p), nil
+}
+
+// String returns the CLI-facing policy name.
+func (p SyncPolicy) String() string { return wal.SyncPolicy(p).String() }
+
+// DurableConfig configures OpenDurable.
+type DurableConfig struct {
+	// Config is the index configuration used when the data directory is
+	// fresh (no snapshot yet). An existing snapshot's container carries
+	// its own resolved configuration, which wins.
+	Config Config
+	// Sync selects the durability guarantee of acknowledged writes. The
+	// zero value is SyncAlways.
+	Sync SyncPolicy
+	// SyncInterval is the fsync period under SyncInterval. 0 selects
+	// 50ms.
+	SyncInterval time.Duration
+	// SegmentBytes rotates WAL segments at this size. 0 selects 64 MiB.
+	SegmentBytes int64
+	// RebuildAt is the DynamicIndex delta threshold. 0 selects the
+	// default.
+	RebuildAt int
+}
+
+// RecoveryInfo summarizes what OpenDurable replayed.
+type RecoveryInfo struct {
+	// Segments is how many WAL segment files were read; Records how
+	// many records were applied; Skipped how many were already captured
+	// by the snapshot.
+	Segments int
+	Records  uint64
+	Skipped  uint64
+	// TornBytes is how many bytes of torn WAL tail (a write in flight
+	// at the crash) were discarded.
+	TornBytes int64
+	// Duration is the wall-clock recovery time (snapshot load excluded,
+	// replay included).
+	Duration time.Duration
+	// CheckpointLSN is the manifest watermark recovery started from;
+	// LastLSN the highest LSN replayed (0 when the log was empty).
+	CheckpointLSN, LastLSN uint64
+	// SnapshotVectors is how many vectors the snapshot container
+	// restored before replay.
+	SnapshotVectors int
+}
+
+// CheckpointInfo summarizes one checkpoint.
+type CheckpointInfo struct {
+	// LSN is the watermark the snapshot captured: the log was truncated
+	// through it.
+	LSN uint64
+	// Generation is the new snapshot generation.
+	Generation uint64
+	// Live and Tombstones describe the persisted snapshot.
+	Live, Tombstones int
+	// Container and Dataset are the written files (relative to the data
+	// directory).
+	Container, Dataset string
+	// Skipped reports that the index was empty and nothing was written;
+	// recovery replays the (intact) log instead.
+	Skipped bool
+	// Took is the wall-clock checkpoint duration.
+	Took time.Duration
+}
+
+// WALStats is a point-in-time summary of the write-ahead log, surfaced
+// through /v1/stats and /metrics by the serving layer.
+type WALStats struct {
+	Policy string `json:"policy"`
+	// Depth is the number of records only the log holds (appended since
+	// the last checkpoint) — replay work a crash would incur.
+	Depth   uint64 `json:"depth"`
+	LastLSN uint64 `json:"last_lsn"`
+	// SyncedLSN is the highest LSN known fsynced.
+	SyncedLSN     uint64 `json:"synced_lsn"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	// Segments and Bytes describe the live segment files.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// Fsyncs counts fsync calls; the latency fields describe them.
+	Fsyncs          uint64  `json:"fsyncs"`
+	LastFsyncMicros float64 `json:"last_fsync_us"`
+	MeanFsyncMicros float64 `json:"mean_fsync_us"`
+}
+
+// DurableIndex is a DynamicIndex whose inserts and deletes are recorded
+// in a write-ahead log before they are acknowledged, and whose state is
+// periodically checkpointed into a snapshot container — so a crash
+// (SIGKILL, OOM, power loss within the sync policy's guarantee) loses
+// no acknowledged write. It owns a data directory:
+//
+//	<dir>/MANIFEST            durable root: active snapshot + WAL watermark
+//	<dir>/snapshot-N.lccs     index container (LCCSPKG2/3) of generation N
+//	<dir>/snapshot-N.ds       the snapshot's vectors
+//	<dir>/wal/*.wal           log segments holding writes since the snapshot
+//
+// OpenDurable recovers: it loads the manifest's snapshot and replays
+// the log records above the manifest watermark, reproducing exactly the
+// acknowledged state — inserted ids searchable, deleted ids dead, and
+// the id watermark monotone across any number of crash cycles.
+// Checkpoint persists a new snapshot and truncates the log; Close
+// flushes and closes the log (checkpoint first for a fast next boot).
+//
+// All Searcher methods are served by the embedded DynamicIndex; Add,
+// AddBatch, and Delete journal before acknowledging. A DurableIndex is
+// safe for concurrent use. The data directory must have a single owner:
+// running two processes over one directory corrupts it.
+type DurableIndex struct {
+	*DynamicIndex
+	dir string
+	log *wal.Log
+	// wmu orders id allocation against WAL appends, so replaying the
+	// log in LSN order reassigns exactly the original ids. It is held
+	// across apply+append but released before the durability wait, so
+	// concurrent writers group-commit.
+	wmu sync.Mutex
+	// cmu serializes checkpoints.
+	cmu      sync.Mutex
+	gen      uint64
+	recovery RecoveryInfo
+}
+
+// Compile-time conformance: a DurableIndex serves queries like any
+// other facade.
+var _ Searcher = (*DurableIndex)(nil)
+
+const walSubdir = "wal"
+
+func snapshotNames(gen uint64) (container, ds string) {
+	return fmt.Sprintf("snapshot-%06d.lccs", gen), fmt.Sprintf("snapshot-%06d.ds", gen)
+}
+
+// OpenDurable opens (creating if needed) a durable index over a data
+// directory, recovering any state a previous process left: the
+// manifest's snapshot is loaded and the write-ahead log above the
+// checkpoint watermark is replayed. See DurableIndex for the directory
+// layout and guarantees.
+func OpenDurable(dir string, dc DurableConfig) (*DurableIndex, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man, err := wal.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var dyn *DynamicIndex
+	var snapVectors int
+	if man != nil && man.Container != "" {
+		ds, err := dataset.Load(filepath.Join(dir, man.Dataset))
+		if err != nil {
+			return nil, fmt.Errorf("lccs: durable open: load snapshot vectors: %w", err)
+		}
+		sx, err := LoadSharded(filepath.Join(dir, man.Container), ds.Data)
+		if err != nil {
+			return nil, fmt.Errorf("lccs: durable open: load snapshot container: %w", err)
+		}
+		dyn, err = NewDynamicIndexFromSharded(sx, ds.Data, dc.RebuildAt)
+		if err != nil {
+			return nil, err
+		}
+		snapVectors = len(ds.Data)
+	} else {
+		dyn, err = NewDynamicIndex(nil, dc.Config, dc.RebuildAt)
+		if err != nil {
+			return nil, err
+		}
+		if man != nil && man.IDWatermark > 0 {
+			// The last checkpoint captured an emptied-out index: no
+			// vectors to load, but the id watermark must survive so
+			// deleted ids are never reissued.
+			if err := dyn.restoreWatermark(int(man.IDWatermark)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var from uint64
+	var gen uint64
+	if man != nil {
+		from = man.LSN
+		gen = man.Generation
+	}
+	log, err := wal.Open(filepath.Join(dir, walSubdir), wal.Options{
+		Policy:       wal.SyncPolicy(dc.Sync),
+		Interval:     dc.SyncInterval,
+		SegmentBytes: dc.SegmentBytes,
+		// Keep the LSN sequence above the checkpoint watermark even
+		// when every segment was truncated, so post-checkpoint writes
+		// are never mistaken for already-checkpointed ones.
+		MinNextLSN: from,
+	})
+	if err != nil {
+		return nil, err
+	}
+	di := &DurableIndex{DynamicIndex: dyn, dir: dir, log: log, gen: gen}
+	start := time.Now()
+	info, err := log.Replay(from, func(rec wal.Record) error {
+		switch rec.Op {
+		case wal.OpInsert:
+			id, aerr := dyn.Add(rec.Vec)
+			if aerr != nil && isValidationError(aerr) {
+				// The vector was rejected: the log disagrees with the
+				// snapshot it claims to extend.
+				return fmt.Errorf("lccs: durable open: replay insert LSN %d: %w", rec.LSN, aerr)
+			}
+			if int64(id) != rec.ID {
+				return fmt.Errorf("lccs: durable open: replay assigned id %d to record claiming %d (LSN %d)", id, rec.ID, rec.LSN)
+			}
+		case wal.OpDelete:
+			dyn.Delete(int(rec.ID))
+		default:
+			return fmt.Errorf("lccs: durable open: unknown WAL op %d at LSN %d", rec.Op, rec.LSN)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	log.SetCheckpointLSN(from)
+	// A crash between manifest write and log truncation leaves fully
+	// checkpointed segments behind; finish the truncation now. Likewise
+	// remove snapshot files a crashed checkpoint orphaned.
+	if err := log.TruncateThrough(from); err != nil {
+		log.Close()
+		return nil, err
+	}
+	if err := di.removeOrphans(man); err != nil {
+		log.Close()
+		return nil, err
+	}
+	di.recovery = RecoveryInfo{
+		Segments:        info.Segments,
+		Records:         info.Records,
+		Skipped:         info.Skipped,
+		TornBytes:       info.TornBytes,
+		Duration:        time.Since(start),
+		CheckpointLSN:   from,
+		LastLSN:         info.LastLSN,
+		SnapshotVectors: snapVectors,
+	}
+	return di, nil
+}
+
+// removeOrphans deletes snapshot files not referenced by the manifest —
+// debris of a checkpoint that crashed between writing its files and
+// committing the manifest — plus any manifest temp file.
+func (di *DurableIndex) removeOrphans(man *wal.Manifest) error {
+	entries, err := os.ReadDir(di.dir)
+	if err != nil {
+		return err
+	}
+	keep := map[string]bool{}
+	if man != nil {
+		keep[man.Container] = true
+		keep[man.Dataset] = true
+	}
+	for _, e := range entries {
+		name := e.Name()
+		orphan := name == wal.ManifestName+".tmp"
+		if ok, _ := filepath.Match("snapshot-*", name); ok && !keep[name] {
+			orphan = true
+		}
+		if orphan {
+			if err := os.Remove(filepath.Join(di.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// isValidationError reports whether a DynamicIndex.Add error means the
+// vector was rejected (as opposed to a deferred background-build
+// failure delivered alongside a successful insert).
+func isValidationError(err error) bool {
+	return errors.Is(err, ErrEmptyVector) || errors.Is(err, ErrDimensionMismatch)
+}
+
+// Add inserts a vector and blocks until the insert is durable under
+// the configured sync policy; only then is the id safe to acknowledge.
+// As with DynamicIndex.Add, a non-nil error alongside a valid id can be
+// a deferred background-build failure (the insert itself succeeded); an
+// error wrapping ErrNotDurable, however, means the write may not
+// survive a crash and must not be acknowledged.
+func (di *DurableIndex) Add(v []float32) (int, error) {
+	di.wmu.Lock()
+	id, aerr := di.DynamicIndex.Add(v)
+	if aerr != nil && isValidationError(aerr) {
+		di.wmu.Unlock()
+		return id, aerr
+	}
+	lsn, werr := di.log.Append(wal.Record{Op: wal.OpInsert, ID: int64(id), Vec: v})
+	di.wmu.Unlock()
+	if werr == nil {
+		werr = di.log.WaitDurable(lsn)
+	}
+	if werr != nil {
+		return id, fmt.Errorf("%w: %v", ErrNotDurable, werr)
+	}
+	return id, aerr
+}
+
+// AddBatch inserts many vectors with one journal append and one
+// durability wait, so a bulk ingest pays one (group-committed) fsync
+// per batch instead of one per vector. On a validation error the valid
+// prefix is inserted, journaled, and returned alongside the error.
+func (di *DurableIndex) AddBatch(vecs [][]float32) ([]int, error) {
+	if len(vecs) == 0 {
+		return nil, nil
+	}
+	ids := make([]int, 0, len(vecs))
+	recs := make([]wal.Record, 0, len(vecs))
+	var deferred, rejected error
+	di.wmu.Lock()
+	for _, v := range vecs {
+		id, aerr := di.DynamicIndex.Add(v)
+		if aerr != nil && isValidationError(aerr) {
+			rejected = fmt.Errorf("vector %d: %w", len(ids), aerr)
+			break
+		}
+		if aerr != nil {
+			deferred = aerr
+		}
+		ids = append(ids, id)
+		recs = append(recs, wal.Record{Op: wal.OpInsert, ID: int64(id), Vec: v})
+	}
+	var lsn uint64
+	var werr error
+	if len(recs) > 0 {
+		lsn, werr = di.log.Append(recs...)
+	}
+	di.wmu.Unlock()
+	if len(recs) > 0 && werr == nil {
+		werr = di.log.WaitDurable(lsn)
+	}
+	switch {
+	case werr != nil:
+		return ids, fmt.Errorf("%w: %v", ErrNotDurable, werr)
+	case rejected != nil:
+		return ids, rejected
+	}
+	return ids, deferred
+}
+
+// DeleteDurable tombstones id and blocks until the delete is durable
+// under the configured sync policy. It reports whether the id was live;
+// an error wrapping ErrNotDurable means the delete may not survive a
+// crash and must not be acknowledged.
+func (di *DurableIndex) DeleteDurable(id int) (bool, error) {
+	di.wmu.Lock()
+	ok := di.DynamicIndex.Delete(id)
+	if !ok {
+		di.wmu.Unlock()
+		return false, nil
+	}
+	lsn, werr := di.log.Append(wal.Record{Op: wal.OpDelete, ID: int64(id)})
+	di.wmu.Unlock()
+	if werr == nil {
+		werr = di.log.WaitDurable(lsn)
+	}
+	if werr != nil {
+		return true, fmt.Errorf("%w: %v", ErrNotDurable, werr)
+	}
+	return true, nil
+}
+
+// Delete is DeleteDurable for callers bound to the DynamicIndex
+// signature; a journal failure is reported as not-live so it is never
+// silently acknowledged. Prefer DeleteDurable where the error matters.
+func (di *DurableIndex) Delete(id int) bool {
+	ok, err := di.DeleteDurable(id)
+	return ok && err == nil
+}
+
+// DeleteBatch tombstones many ids with one journal append and one
+// durability wait — the delete-side mirror of AddBatch, so a bulk
+// delete pays one (group-committed) fsync instead of one per id. It
+// returns how many ids were live (now tombstoned, durably) and which
+// were unknown or already deleted; an error wrapping ErrNotDurable
+// means the tombstones may not survive a crash and must not be
+// acknowledged.
+func (di *DurableIndex) DeleteBatch(ids []int) (deleted int, missing []int, err error) {
+	if len(ids) == 0 {
+		return 0, nil, nil
+	}
+	recs := make([]wal.Record, 0, len(ids))
+	di.wmu.Lock()
+	for _, id := range ids {
+		if di.DynamicIndex.Delete(id) {
+			recs = append(recs, wal.Record{Op: wal.OpDelete, ID: int64(id)})
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	var lsn uint64
+	var werr error
+	if len(recs) > 0 {
+		lsn, werr = di.log.Append(recs...)
+	}
+	di.wmu.Unlock()
+	if len(recs) > 0 && werr == nil {
+		werr = di.log.WaitDurable(lsn)
+	}
+	if werr != nil {
+		return len(recs), missing, fmt.Errorf("%w: %v", ErrNotDurable, werr)
+	}
+	return len(recs), missing, nil
+}
+
+// Checkpoint persists the current state as a new snapshot generation,
+// commits the manifest, and truncates the write-ahead log through the
+// captured watermark — bounding both recovery replay time and the data
+// directory's size. Writers are blocked only while the in-memory
+// snapshot is taken (the buffer shard build), not during file writes.
+//
+// An index with no live vectors checkpoints too: the manifest records
+// the id watermark instead of naming a container, so even a fully
+// emptied index truncates its log and never reissues a deleted id. The
+// checkpoint is skipped only when the log holds nothing past the
+// previous one (there is nothing new to capture).
+func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
+	di.cmu.Lock()
+	defer di.cmu.Unlock()
+	start := time.Now()
+	di.wmu.Lock()
+	lsn := di.log.LastLSN()
+	empty := di.DynamicIndex.Len() == 0
+	var watermark int
+	var vectors [][]float32
+	var sx *ShardedIndex
+	var err error
+	if empty {
+		watermark = di.DynamicIndex.idWatermark()
+	} else {
+		vectors, sx, err = di.DynamicIndex.Snapshot()
+	}
+	depth := di.log.Stats().Depth
+	di.wmu.Unlock()
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	if empty && depth == 0 {
+		// Nothing new since the last checkpoint captured this (empty)
+		// state — including the fresh-directory case.
+		return CheckpointInfo{Skipped: true, Took: time.Since(start)}, nil
+	}
+	gen := di.gen + 1
+	man := &wal.Manifest{LSN: lsn, Generation: gen}
+	info := CheckpointInfo{LSN: lsn, Generation: gen}
+	if empty {
+		man.IDWatermark = uint64(watermark)
+	} else {
+		container, dsName := snapshotNames(gen)
+		if err := sx.Save(filepath.Join(di.dir, container)); err != nil {
+			return CheckpointInfo{}, err
+		}
+		dim := 0
+		if len(vectors) > 0 {
+			dim = len(vectors[0])
+		}
+		out := &dataset.Dataset{Name: "durable", Kind: "snapshot", Dim: dim, Data: vectors}
+		if err := out.Save(filepath.Join(di.dir, dsName)); err != nil {
+			return CheckpointInfo{}, err
+		}
+		// The snapshot files must be on disk before the manifest names
+		// them.
+		for _, name := range []string{container, dsName} {
+			if err := fsyncFile(filepath.Join(di.dir, name)); err != nil {
+				return CheckpointInfo{}, err
+			}
+		}
+		man.Container, man.Dataset = container, dsName
+		info.Container, info.Dataset = container, dsName
+		info.Live, info.Tombstones = sx.Len(), sx.Deleted()
+	}
+	if err := wal.WriteManifest(di.dir, man); err != nil {
+		return CheckpointInfo{}, err
+	}
+	oldGen := di.gen
+	di.gen = gen
+	if err := di.log.TruncateThrough(lsn); err != nil {
+		return CheckpointInfo{}, err
+	}
+	if oldGen > 0 {
+		oldContainer, oldDS := snapshotNames(oldGen)
+		for _, name := range []string{oldContainer, oldDS} {
+			if err := os.Remove(filepath.Join(di.dir, name)); err != nil && !os.IsNotExist(err) {
+				return CheckpointInfo{}, err
+			}
+		}
+	}
+	info.Took = time.Since(start)
+	return info, nil
+}
+
+// Close waits for any background build and closes the write-ahead log
+// (flushing and fsyncing it). It does not checkpoint: the log replays
+// on the next OpenDurable. Call Checkpoint first for a fast next boot.
+func (di *DurableIndex) Close() error {
+	di.WaitRebuild()
+	return di.log.Close()
+}
+
+// Recovery returns what OpenDurable replayed.
+func (di *DurableIndex) Recovery() RecoveryInfo { return di.recovery }
+
+// Dir returns the data directory the index owns.
+func (di *DurableIndex) Dir() string { return di.dir }
+
+// WALStats returns a point-in-time summary of the write-ahead log.
+func (di *DurableIndex) WALStats() WALStats {
+	st := di.log.Stats()
+	return WALStats{
+		Policy:          st.Policy,
+		Depth:           st.Depth,
+		LastLSN:         st.LastLSN,
+		SyncedLSN:       st.SyncedLSN,
+		CheckpointLSN:   st.CheckpointLSN,
+		Segments:        st.Segments,
+		Bytes:           st.Bytes,
+		Fsyncs:          st.Fsyncs,
+		LastFsyncMicros: float64(st.LastFsync.Nanoseconds()) / 1e3,
+		MeanFsyncMicros: float64(st.MeanFsync.Nanoseconds()) / 1e3,
+	}
+}
+
+// fsyncFile fsyncs an already written file by path.
+func fsyncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

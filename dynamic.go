@@ -41,6 +41,11 @@ import (
 // dataset) has id i, forever. DynamicIndex is safe for concurrent use;
 // neither readers nor writers are blocked by a background shard build
 // beyond the O(1) swap.
+//
+// A DynamicIndex alone holds every write since the last Snapshot only
+// in memory. For crash durability — inserts and deletes journaled in a
+// write-ahead log before they are acknowledged, replayed on reopen —
+// use OpenDurable, which wraps a DynamicIndex in a DurableIndex.
 type DynamicIndex struct {
 	mu   sync.RWMutex
 	cond *sync.Cond // signaled when a background build finishes; L = &mu
@@ -370,6 +375,34 @@ func (d *DynamicIndex) Deleted() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.deleted)
+}
+
+// idWatermark returns the next id Add will assign — the never-reused
+// monotone allocation watermark the durable layer persists when there
+// are no vectors left to carry it.
+func (d *DynamicIndex) idWatermark() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.ids.Next()
+}
+
+// restoreWatermark installs a persisted id watermark on a freshly
+// constructed, never-written index: the next Add allocates `next`, so
+// ids deleted before the previous process emptied out are never
+// reissued. It is the durable layer's recovery hook for the
+// empty-snapshot manifest.
+func (d *DynamicIndex) restoreWatermark(next int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.store.Len() != 0 || d.ids.Next() != 0 {
+		return fmt.Errorf("lccs: watermark restore on a non-fresh index (%d rows, next id %d)", d.store.Len(), d.ids.Next())
+	}
+	m, err := idmap.Restore([]int{}, next)
+	if err != nil {
+		return err
+	}
+	d.ids = m
+	return nil
 }
 
 // Rebuild synchronously compacts every shard and the buffer into a

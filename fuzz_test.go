@@ -1,0 +1,46 @@
+package lccs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadSharded feeds arbitrary bytes through the container parsers —
+// LoadSharded first (it accepts all three formats), then Load — and
+// asserts the durability-grade contract: truncated or corrupt
+// containers must return an error, never panic and never OOM. The
+// committed golden files of all three formats seed the corpus so the
+// fuzzer starts from deep inside the valid format space.
+func FuzzLoadSharded(f *testing.F) {
+	for _, name := range []string{"golden_pkg1.lccs", "golden_pkg2.lccs", "golden_pkg3.lccs"} {
+		blob, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatalf("missing golden seed %s: %v", name, err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2]) // truncated container
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/3] ^= 0xFF // flipped body byte
+		f.Add(mut)
+	}
+	f.Add([]byte("LCCSPKG1"))
+	f.Add([]byte("LCCSPKG9 not a real format"))
+	f.Add([]byte{})
+
+	data, _ := goldenSetup()
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.lccs")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Either call may succeed (the input is a valid container) or
+		// error; panics fail the fuzz run.
+		if sx, err := LoadSharded(path, data); err == nil {
+			sx.Search(data[0], 3)
+		}
+		if ix, err := Load(path, data); err == nil {
+			ix.Search(data[0], 3)
+		}
+	})
+}

@@ -58,25 +58,43 @@ func Decode(r io.Reader) (*CSA, error) {
 		return nil, fmt.Errorf("csa: corrupt header n=%d m=%d", n, m)
 	}
 	c := &CSA{n: n, m: m}
-	c.data = make([]int32, n*m)
-	if err := binary.Read(br, binary.LittleEndian, c.data); err != nil {
+	// Each block decodes with chunked reads: memory grows only as data
+	// actually arrives, so a corrupt header claiming a huge n·m fails
+	// with a read error after at most one chunk instead of committing
+	// a multi-gigabyte allocation up front.
+	var err error
+	if c.data, err = readInt32Block(br, n*m); err != nil {
 		return nil, err
 	}
 	// The m sorted orders and m next-link arrays are flat blocks, so
 	// each decodes in one read (legacy files wrote the same bytes as m
 	// consecutive arrays — the stream is identical).
-	c.sorted = make([]int32, m*n)
-	if err := binary.Read(br, binary.LittleEndian, c.sorted); err != nil {
+	if c.sorted, err = readInt32Block(br, m*n); err != nil {
 		return nil, err
 	}
-	c.next = make([]int32, m*n)
-	if err := binary.Read(br, binary.LittleEndian, c.next); err != nil {
+	if c.next, err = readInt32Block(br, m*n); err != nil {
 		return nil, err
 	}
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// readInt32Block reads count little-endian int32s, growing the result
+// chunk by chunk so the allocation never outruns the bytes the stream
+// really holds.
+func readInt32Block(r io.Reader, count int) ([]int32, error) {
+	const chunk = 1 << 20
+	out := make([]int32, 0, min(count, chunk))
+	for len(out) < count {
+		step := min(count-len(out), chunk)
+		out = append(out, make([]int32, step)...)
+		if err := binary.Read(r, binary.LittleEndian, out[len(out)-step:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // validate checks the structural invariants of a decoded CSA: every rank

@@ -97,13 +97,16 @@ func decode(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: corrupt header dim=%d n=%d nq=%d", dim, n, nq)
 	}
 	readVecs := func(count int) ([][]float32, error) {
-		out := make([][]float32, count)
-		for i := range out {
+		// Grow incrementally: a corrupt header claiming a huge count
+		// fails on the stream's real end instead of committing a giant
+		// allocation up front.
+		out := make([][]float32, 0, min(count, 1024))
+		for i := 0; i < count; i++ {
 			v := make([]float32, dim)
 			if err := binary.Read(r, binary.LittleEndian, v); err != nil {
 				return nil, err
 			}
-			out[i] = v
+			out = append(out, v)
 		}
 		return out, nil
 	}

@@ -49,11 +49,45 @@ type Inserter interface {
 	Add(v []float32) (int, error)
 }
 
+// BatchInserter is the optional bulk-write interface of a backend;
+// DurableIndex implements it. When present, /v1/insert applies the
+// whole request through one AddBatch call — on a write-ahead-logged
+// backend that is one journal append and one group-committed fsync for
+// the entire batch instead of one per vector.
+type BatchInserter interface {
+	AddBatch(vecs [][]float32) ([]int, error)
+}
+
 // Deleter is the optional delete interface of a backend; DynamicIndex
 // implements it. Delete reports whether the id was live. Backends that
 // do not implement it answer /v1/delete with 501.
 type Deleter interface {
 	Delete(id int) bool
+}
+
+// DurableDeleter is the error-aware delete interface of a durable
+// backend (DurableIndex): the delete is acknowledged only once it is
+// durable per the backend's sync policy, and a journal failure is
+// reported instead of being swallowed. Preferred over Deleter when
+// implemented.
+type DurableDeleter interface {
+	DeleteDurable(id int) (bool, error)
+}
+
+// BatchDeleter is the bulk counterpart of DurableDeleter; DurableIndex
+// implements it. When present, /v1/delete applies the whole id batch
+// through one DeleteBatch call — one journal append and one
+// group-committed fsync instead of one per id. It reports how many ids
+// were live and which were unknown or already deleted.
+type BatchDeleter interface {
+	DeleteBatch(ids []int) (deleted int, missing []int, err error)
+}
+
+// WALStatser exposes write-ahead-log health; DurableIndex implements
+// it. When present, WAL depth and fsync latency appear in /v1/stats
+// and /metrics.
+type WALStatser interface {
+	WALStats() lccs.WALStats
 }
 
 // Config configures a Server.
@@ -98,7 +132,11 @@ type Server struct {
 	// non-validation Add error downgraded to a warning; a custom
 	// Inserter's errors are always treated as failed inserts.
 	dynInserter bool
-	deleter     Deleter // nil when the backend cannot delete
+	batch       BatchInserter  // nil when the backend has no bulk write path
+	deleter     Deleter        // nil when the backend cannot delete
+	durDeleter  DurableDeleter // non-nil for durable backends; preferred
+	batchDel    BatchDeleter   // nil when the backend has no bulk delete path
+	walStats    WALStatser     // nil when the backend has no WAL
 	adm         *admission
 	cache       *resultCache // nil when disabled
 	quant       uint
@@ -145,10 +183,27 @@ func New(cfg Config) (*Server, error) {
 	}
 	if ins, ok := cfg.Backend.(Inserter); ok {
 		s.inserter = ins
-		_, s.dynInserter = cfg.Backend.(*lccs.DynamicIndex)
+		// Both library-owned writable backends document Add's deferred
+		// background-build failure semantics (see Inserter).
+		switch cfg.Backend.(type) {
+		case *lccs.DynamicIndex, *lccs.DurableIndex:
+			s.dynInserter = true
+		}
+	}
+	if b, ok := cfg.Backend.(BatchInserter); ok {
+		s.batch = b
 	}
 	if del, ok := cfg.Backend.(Deleter); ok {
 		s.deleter = del
+	}
+	if del, ok := cfg.Backend.(DurableDeleter); ok {
+		s.durDeleter = del
+	}
+	if del, ok := cfg.Backend.(BatchDeleter); ok {
+		s.batchDel = del
+	}
+	if ws, ok := cfg.Backend.(WALStatser); ok {
+		s.walStats = ws
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newResultCache(cfg.CacheSize)
@@ -430,30 +485,63 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ids := make([]int, 0, len(req.Vectors))
-	var warning string
-	for i, v := range req.Vectors {
-		id, err := s.inserter.Add(v)
-		if err != nil && (!s.dynInserter || isRejectedInsert(err)) {
-			// Should be unreachable after pre-validation, but a custom
-			// Inserter may reject for its own reasons. Earlier vectors
-			// of the batch are already in — bump the generation so
-			// their results become visible, and return their ids so the
-			// client can recover without duplicating them.
-			if len(ids) > 0 {
-				s.gen.Add(1)
-				s.inserts.Add(uint64(len(ids)))
-			}
-			s.met.countRequest("insert", http.StatusBadRequest)
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusBadRequest)
-			_ = json.NewEncoder(w).Encode(struct {
-				errorResponse
-				IDs []int `json:"ids"`
-			}{errorResponse{Error: fmt.Sprintf("vector %d rejected: %v", i, err)}, ids})
-			return
+	ids, warning, failCode, failErr := s.applyInserts(req.Vectors)
+	if failErr != nil {
+		// Earlier vectors of the batch may already be in — bump the
+		// generation so their results become visible, and return their
+		// ids so the client can recover without duplicating them. (On a
+		// durability failure the applied ids are in memory but possibly
+		// not on disk; the 5xx tells the client not to trust them.)
+		if len(ids) > 0 {
+			s.gen.Add(1)
+			s.inserts.Add(uint64(len(ids)))
 		}
-		if err != nil {
+		s.met.countRequest("insert", failCode)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(failCode)
+		_ = json.NewEncoder(w).Encode(struct {
+			errorResponse
+			IDs []int `json:"ids"`
+		}{errorResponse{Error: failErr.Error()}, ids})
+		return
+	}
+	s.gen.Add(1) // invalidate every cached result at once
+	s.inserts.Add(uint64(len(ids)))
+	s.respond(w, "insert", http.StatusOK, insertResponse{IDs: ids, Warning: warning})
+}
+
+// applyInserts pushes a pre-validated vector batch into the backend.
+// On a durable backend (BatchInserter) the whole batch is one journal
+// append — and, crucially, the call returns only once the batch is
+// durable per the configured sync policy, so a 200 never acknowledges
+// a write a crash could lose. A durability failure is a 503 (the write
+// may be applied in memory but not on disk); a rejected vector is a
+// 400. A deferred background-build failure is reported as a warning
+// alongside success, matching DynamicIndex.Add's documented semantics.
+func (s *Server) applyInserts(vectors [][]float32) (ids []int, warning string, failCode int, failErr error) {
+	if s.batch != nil {
+		ids, err := s.batch.AddBatch(vectors)
+		switch {
+		case err == nil:
+			return ids, "", 0, nil
+		case errors.Is(err, lccs.ErrNotDurable):
+			return ids, "", http.StatusServiceUnavailable, err
+		case isRejectedInsert(err):
+			return ids, "", http.StatusBadRequest, err
+		}
+		return ids, err.Error(), 0, nil
+	}
+	ids = make([]int, 0, len(vectors))
+	for i, v := range vectors {
+		id, err := s.inserter.Add(v)
+		switch {
+		case err != nil && errors.Is(err, lccs.ErrNotDurable):
+			return ids, "", http.StatusServiceUnavailable, fmt.Errorf("vector %d: %w", i, err)
+		case err != nil && (!s.dynInserter || isRejectedInsert(err)):
+			// Should be unreachable after pre-validation, but a custom
+			// Inserter may reject for its own reasons.
+			return ids, "", http.StatusBadRequest, fmt.Errorf("vector %d rejected: %w", i, err)
+		case err != nil:
 			// DynamicIndex.Add surfaces a *previous* background build
 			// failure here while the insert itself succeeded — keep the
 			// id and pass the condition on as a warning.
@@ -461,9 +549,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}
 		ids = append(ids, id)
 	}
-	s.gen.Add(1) // invalidate every cached result at once
-	s.inserts.Add(uint64(len(ids)))
-	s.respond(w, "insert", http.StatusOK, insertResponse{IDs: ids, Warning: warning})
+	return ids, warning, 0, nil
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -495,12 +581,47 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "delete", http.StatusBadRequest, errors.New("no ids in request"))
 		return
 	}
+	// On a durable backend the error-aware paths are used: the delete
+	// is acknowledged only after it is journaled per the sync policy —
+	// the whole batch under a single group-committed wait when the
+	// backend has a bulk path — and a journal failure turns into a 503
+	// instead of a silently non-durable 200.
 	var resp deleteResponse
-	for _, id := range ids {
-		if s.deleter.Delete(id) {
-			resp.Deleted++
-		} else {
-			resp.Missing = append(resp.Missing, id)
+	switch {
+	case s.batchDel != nil:
+		deleted, missing, err := s.batchDel.DeleteBatch(ids)
+		resp.Deleted, resp.Missing = deleted, missing
+		if err != nil {
+			if deleted > 0 {
+				s.gen.Add(1)
+				s.deletes.Add(uint64(deleted))
+			}
+			s.fail(w, "delete", http.StatusServiceUnavailable, err)
+			return
+		}
+	default:
+		for _, id := range ids {
+			var live bool
+			var err error
+			if s.durDeleter != nil {
+				live, err = s.durDeleter.DeleteDurable(id)
+			} else {
+				live = s.deleter.Delete(id)
+			}
+			if live {
+				resp.Deleted++
+			} else {
+				resp.Missing = append(resp.Missing, id)
+			}
+			if err != nil {
+				if resp.Deleted > 0 {
+					s.gen.Add(1)
+					s.deletes.Add(uint64(resp.Deleted))
+				}
+				s.fail(w, "delete", http.StatusServiceUnavailable,
+					fmt.Errorf("id %d: %w (deleted %d of %d before the failure)", id, err, resp.Deleted, len(ids)))
+				return
+			}
 		}
 	}
 	if resp.Deleted > 0 {
@@ -533,6 +654,10 @@ type Stats struct {
 	Cache         CacheStats        `json:"cache"`
 	Latency       LatencyStats      `json:"latency"`
 	Backend       BackendStats      `json:"backend"`
+	// WAL reports write-ahead-log health on durable backends: depth
+	// (records a crash would replay), segment footprint, and fsync
+	// latency. Absent otherwise.
+	WAL *lccs.WALStats `json:"wal,omitempty"`
 }
 
 // CacheStats summarizes the result cache.
@@ -597,6 +722,10 @@ func (s *Server) StatsSnapshot() Stats {
 			st.Cache.HitRate = float64(hits) / float64(hits+misses)
 		}
 	}
+	if s.walStats != nil {
+		ws := s.walStats.WALStats()
+		st.WAL = &ws
+	}
 	return st
 }
 
@@ -611,6 +740,11 @@ func (s *Server) backendStats() BackendStats {
 		b.Shards = ix.Shards()
 	case *lccs.DynamicIndex:
 		b.Kind = "dynamic"
+		b.Shards = ix.Shards()
+		b.Buffered = ix.Buffered()
+		b.Tombstones = ix.Deleted()
+	case *lccs.DurableIndex:
+		b.Kind = "durable"
 		b.Shards = ix.Shards()
 		b.Buffered = ix.Buffered()
 		b.Tombstones = ix.Deleted()
@@ -657,6 +791,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		)
 		gauges = append(gauges,
 			gauge{"lccs_cache_entries", "Live result cache entries.", float64(s.cache.len())})
+	}
+	if s.walStats != nil {
+		ws := s.walStats.WALStats()
+		counters = append(counters,
+			gauge{"lccs_wal_fsyncs_total", "Write-ahead log fsync calls.", float64(ws.Fsyncs)})
+		gauges = append(gauges,
+			gauge{"lccs_wal_depth_records", "Records held only by the write-ahead log (replayed on crash recovery).", float64(ws.Depth)},
+			gauge{"lccs_wal_segments", "Live write-ahead log segment files.", float64(ws.Segments)},
+			gauge{"lccs_wal_bytes", "Total size of live write-ahead log segments.", float64(ws.Bytes)},
+			gauge{"lccs_wal_last_fsync_seconds", "Latency of the most recent WAL fsync.", ws.LastFsyncMicros / 1e6},
+			gauge{"lccs_wal_synced_lsn", "Highest log sequence number known fsynced.", float64(ws.SyncedLSN)},
+		)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.countRequest("metrics", http.StatusOK)

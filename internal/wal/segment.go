@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// On-disk layout. A segment file is a 16-byte header followed by frames:
+//
+//	header := magic "LCCSWAL1" (8) | base LSN (8, uint64 LE)
+//	frame  := payload length (4, uint32 LE) | CRC32C(payload) (4, uint32 LE) | payload
+//	payload:= LSN (8) | op (1) | id (8) [| dim (4) | dim × float32 bits]
+//
+// The CRC covers the payload only; a corrupt length field makes the CRC
+// check fail with overwhelming probability anyway, and the length bounds
+// below keep a corrupt length from driving a huge allocation. LSNs are
+// assigned densely: the first frame of a segment carries the header's
+// base LSN and every following frame increments it by exactly one, so a
+// reader detects dropped or duplicated frames structurally.
+
+// Op is the kind of one logged record.
+type Op uint8
+
+// The two record kinds of the dynamic-index write path.
+const (
+	// OpInsert journals one vector insert: the assigned stable id and
+	// the vector payload.
+	OpInsert Op = 1
+	// OpDelete journals one tombstone: the deleted stable id.
+	OpDelete Op = 2
+)
+
+// Record is one logged write. Vec is present only for OpInsert; during
+// replay it is a view into the reader's scratch buffer, valid only for
+// the duration of the callback.
+type Record struct {
+	// LSN is the record's log sequence number, assigned by Append.
+	LSN uint64
+	// Op is the record kind.
+	Op Op
+	// ID is the stable external vector id the operation applies to.
+	ID int64
+	// Vec is the inserted vector (OpInsert only).
+	Vec []float32
+}
+
+var segMagic = [8]byte{'L', 'C', 'C', 'S', 'W', 'A', 'L', '1'}
+
+const (
+	segHeaderSize = 16
+	frameHeader   = 8
+	// minPayload is a delete record: LSN + op + id.
+	minPayload = 8 + 1 + 8
+	// maxPayload bounds one frame (≈ a 16M-dimensional vector) so a
+	// corrupt length cannot drive an unbounded allocation.
+	maxPayload = 1 << 26
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame encodes rec as one frame at the end of dst.
+func appendFrame(dst []byte, rec Record) []byte {
+	payload := minPayload
+	if rec.Op == OpInsert {
+		payload += 4 + 4*len(rec.Vec)
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeader+payload)...)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(payload))
+	body := dst[start+frameHeader:]
+	binary.LittleEndian.PutUint64(body[0:], rec.LSN)
+	body[8] = byte(rec.Op)
+	binary.LittleEndian.PutUint64(body[9:], uint64(rec.ID))
+	if rec.Op == OpInsert {
+		binary.LittleEndian.PutUint32(body[17:], uint32(len(rec.Vec)))
+		for i, v := range rec.Vec {
+			binary.LittleEndian.PutUint32(body[21+4*i:], math.Float32bits(v))
+		}
+	}
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(body, castagnoli))
+	return dst
+}
+
+// errBadFrame marks a frame that failed structural validation — a torn
+// tail when it is the last thing in the log, corruption anywhere else.
+type errBadFrame struct{ reason string }
+
+func (e *errBadFrame) Error() string { return "wal: bad frame: " + e.reason }
+
+// frameReader decodes frames from one segment sequentially, reusing its
+// scratch buffers across frames.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+	vec []float32
+}
+
+// next decodes the next frame into rec, returning the frame's size in
+// bytes. It returns io.EOF at a clean segment end and *errBadFrame for
+// anything structurally invalid (truncated frame, length out of bounds,
+// CRC mismatch). rec.Vec aliases the reader's scratch and is valid
+// until the following call.
+func (fr *frameReader) next(rec *Record) (int, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(fr.r, hdr[:1]); err == io.EOF {
+		return 0, io.EOF
+	} else if err != nil {
+		return 0, &errBadFrame{"truncated header"}
+	}
+	if _, err := io.ReadFull(fr.r, hdr[1:]); err != nil {
+		return 0, &errBadFrame{"truncated header"}
+	}
+	payload := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if payload < minPayload || payload > maxPayload {
+		return 0, &errBadFrame{fmt.Sprintf("payload length %d out of bounds", payload)}
+	}
+	if cap(fr.buf) < int(payload) {
+		fr.buf = make([]byte, payload)
+	}
+	body := fr.buf[:payload]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return 0, &errBadFrame{"truncated payload"}
+	}
+	if crc32.Checksum(body, castagnoli) != crc {
+		return 0, &errBadFrame{"CRC mismatch"}
+	}
+	rec.LSN = binary.LittleEndian.Uint64(body[0:])
+	rec.Op = Op(body[8])
+	rec.ID = int64(binary.LittleEndian.Uint64(body[9:]))
+	rec.Vec = nil
+	switch rec.Op {
+	case OpDelete:
+		if payload != minPayload {
+			return 0, &errBadFrame{"delete record with trailing bytes"}
+		}
+	case OpInsert:
+		if payload < minPayload+4 {
+			return 0, &errBadFrame{"insert record without dimension"}
+		}
+		dim := binary.LittleEndian.Uint32(body[17:])
+		if uint32(payload) != minPayload+4+4*dim {
+			return 0, &errBadFrame{fmt.Sprintf("insert record length %d disagrees with dimension %d", payload, dim)}
+		}
+		if cap(fr.vec) < int(dim) {
+			fr.vec = make([]float32, dim)
+		}
+		rec.Vec = fr.vec[:dim]
+		for i := range rec.Vec {
+			rec.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[21+4*i:]))
+		}
+	default:
+		return 0, &errBadFrame{fmt.Sprintf("unknown op %d", rec.Op)}
+	}
+	return frameHeader + int(payload), nil
+}
+
+// appendSegHeader encodes a segment header.
+func appendSegHeader(dst []byte, base uint64) []byte {
+	dst = append(dst, segMagic[:]...)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], base)
+	return append(dst, b[:]...)
+}
+
+// readSegHeader validates a segment header and returns its base LSN.
+// A file too short to hold a header yields *errBadFrame (a torn
+// creation); a wrong magic is hard corruption.
+func readSegHeader(r io.Reader) (uint64, error) {
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, &errBadFrame{"truncated segment header"}
+	}
+	if [8]byte(hdr[:8]) != segMagic {
+		return 0, fmt.Errorf("wal: bad segment magic %q", hdr[:8])
+	}
+	return binary.LittleEndian.Uint64(hdr[8:]), nil
+}

@@ -1,0 +1,722 @@
+// Package wal is a segmented, CRC32C-framed append-only write-ahead log
+// for the dynamic index's insert/delete stream, with batched group
+// commit and a checkpoint protocol that ties log truncation to index
+// snapshots.
+//
+// Records are appended with monotonically increasing log sequence
+// numbers (LSNs) into segment files named by their first LSN
+// (0000000000000001.wal, ...). A single writer goroutine owns the file
+// descriptors: appenders enqueue records and wait for durability, so
+// concurrent writers naturally share one write+fsync — classic group
+// commit. Three sync policies trade ack latency against what an
+// acknowledgment guarantees:
+//
+//   - SyncAlways: an acked record has been fsynced — it survives OS and
+//     power failure.
+//   - SyncInterval: an acked record has been written to the file (it
+//     survives a process kill); fsync runs on a timer, so at most one
+//     interval of acks can be lost to an OS crash.
+//   - SyncNone: as SyncInterval but with no timer — only process-crash
+//     durability; the OS decides when pages reach disk.
+//
+// Checkpointing: after persisting a snapshot that captures every record
+// up to LSN c, call TruncateThrough(c) — sealed segments whose records
+// all lie at or below c are deleted, so the log never grows unboundedly
+// under steady churn. Recovery replays the remaining records above the
+// manifest's checkpoint LSN (see Manifest) in order.
+//
+// A torn tail — a partially written final frame after a crash — is
+// detected by CRC/length validation at Open and physically truncated;
+// corruption anywhere before the tail is an error, never a silent skip
+// and never a panic.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects what an acknowledged append guarantees. See the
+// package comment for the trade-offs.
+type SyncPolicy int
+
+// The three sync policies.
+const (
+	// SyncAlways fsyncs before acknowledging (group-committed).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acknowledges after the OS write; fsync runs on a
+	// timer.
+	SyncInterval
+	// SyncNone acknowledges after the OS write and never fsyncs.
+	SyncNone
+)
+
+// String returns the CLI-facing policy name.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy resolves a CLI-style sync-policy name.
+func ParsePolicy(name string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always|interval|none)", name)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy selects the durability guarantee of an acknowledged append.
+	// The zero value is SyncAlways.
+	Policy SyncPolicy
+	// Interval is the fsync period under SyncInterval. 0 selects 50ms.
+	Interval time.Duration
+	// SegmentBytes rotates the active segment when it exceeds this size.
+	// 0 selects 64 MiB.
+	SegmentBytes int64
+	// MinNextLSN floors the LSN sequence: the first record appended
+	// after Open gets an LSN strictly above max(MinNextLSN, last LSN on
+	// disk). Recovery passes the manifest's checkpoint watermark here —
+	// without it, a log whose segments were all truncated by a
+	// checkpoint would restart numbering at 1, and the next recovery
+	// would skip the fresh records as already checkpointed.
+	MinNextLSN uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// segInfo tracks one segment file: its first and (once sealed) last
+// LSN and its size. The active segment is the last entry.
+type segInfo struct {
+	base   uint64
+	last   uint64 // valid when sealed
+	bytes  int64
+	path   string
+	sealed bool
+}
+
+// Stats is a point-in-time summary of the log, exposed through
+// /v1/stats and /metrics by the serving layer.
+type Stats struct {
+	// Policy is the configured sync policy name.
+	Policy string
+	// LastLSN is the highest LSN appended; SyncedLSN the highest known
+	// fsynced; CheckpointLSN the highest LSN captured by a snapshot.
+	LastLSN, SyncedLSN, CheckpointLSN uint64
+	// Depth is LastLSN − CheckpointLSN: records that only the log holds.
+	Depth uint64
+	// Segments and Bytes describe the live segment files on disk.
+	Segments int
+	Bytes    int64
+	// Fsyncs counts fsync calls; LastFsync and MeanFsync their latency.
+	Fsyncs    uint64
+	LastFsync time.Duration
+	MeanFsync time.Duration
+}
+
+// Log is the append side of the write-ahead log. All methods are safe
+// for concurrent use. Construct with Open.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex
+	wake *sync.Cond // signals the writer goroutine: pending work
+	ack  *sync.Cond // broadcast when written/synced/rotated state advances
+
+	pending    []Record
+	nextLSN    uint64 // highest LSN assigned
+	writtenLSN uint64 // highest LSN written to the OS
+	syncedLSN  uint64 // highest LSN fsynced
+	wantSync   uint64 // highest LSN some waiter needs fsynced
+	ckptLSN    uint64 // highest LSN covered by a checkpoint
+	rotateReq  bool   // seal the active segment at the next opportunity
+	segments   []segInfo
+	err        error // sticky I/O failure: the log is broken until reopened
+	closed     bool
+	done       chan struct{}
+	stopTicker chan struct{}
+
+	fsyncs     uint64
+	fsyncTotal time.Duration
+	lastFsync  time.Duration
+
+	// replaySegs are the pre-existing segments found at Open, in LSN
+	// order — the input to Replay.
+	replaySegs []segInfo
+
+	// torn records how many trailing bytes Open discarded from torn
+	// segment tails.
+	torn int64
+
+	// writer-goroutine state (no lock needed).
+	seg *os.File
+	buf []byte
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+func segName(base uint64) string { return fmt.Sprintf("%016x.wal", base) }
+
+// parseSegName extracts the base LSN from a segment filename.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, ".wal") || len(name) != 20 {
+		return 0, false
+	}
+	base, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// Open scans dir (created if missing) for existing segments, validates
+// and truncates a torn tail on the newest one, and prepares the log for
+// appending — new records continue the LSN sequence in a fresh segment.
+// Call Replay before the first Append to reapply the surviving records.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, done: make(chan struct{})}
+	l.wake = sync.NewCond(&l.mu)
+	l.ack = sync.NewCond(&l.mu)
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if l.nextLSN < opts.MinNextLSN {
+		l.nextLSN = opts.MinNextLSN
+	}
+	// Start a fresh active segment: appends after a truncated tail are
+	// never mixed into a file a previous process may still hold open.
+	if err := l.openSegment(l.nextLSN + 1); err != nil {
+		return nil, err
+	}
+	go l.run()
+	if opts.Policy == SyncInterval {
+		l.stopTicker = make(chan struct{})
+		go l.tick()
+	}
+	return l, nil
+}
+
+// scan discovers existing segments, drops trailing segments holding no
+// complete record (fresh actives or all-torn tails of a crashed
+// process), truncates the torn tail of the newest surviving segment,
+// and derives the next LSN.
+func (l *Log) scan() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		base, ok := parseSegName(e.Name())
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return err
+		}
+		segs = append(segs, segInfo{
+			base: base, bytes: info.Size(),
+			path:   filepath.Join(l.dir, e.Name()),
+			sealed: true,
+		})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].base <= segs[i].base {
+			return fmt.Errorf("wal: overlapping segments %s and %s", segs[i].path, segs[i+1].path)
+		}
+	}
+	// Walk trailing segments until one holds a complete record: validate
+	// it frame by frame, truncating everything after the last valid
+	// frame. Record-free trailing segments are removed outright so the
+	// fresh active segment can reuse their name.
+	for len(segs) > 0 {
+		tail := &segs[len(segs)-1]
+		lastLSN, validBytes, err := validPrefix(tail.path, tail.base)
+		if err != nil {
+			return err
+		}
+		if lastLSN >= tail.base {
+			if torn := tail.bytes - validBytes; torn > 0 {
+				if err := os.Truncate(tail.path, validBytes); err != nil {
+					return err
+				}
+				l.torn += torn
+				tail.bytes = validBytes
+			}
+			tail.last = lastLSN
+			break
+		}
+		// A record-free segment is torn only beyond its header: a
+		// header-only file is just the empty active segment of a clean
+		// (or cleanly checkpointed) previous run.
+		if tail.bytes > segHeaderSize {
+			l.torn += tail.bytes - segHeaderSize
+		} else if tail.bytes < segHeaderSize {
+			l.torn += tail.bytes
+		}
+		if err := os.Remove(tail.path); err != nil {
+			return err
+		}
+		segs = segs[:len(segs)-1]
+	}
+	// Sealed non-tail segments' last LSNs follow from their successors'
+	// bases; their integrity is validated when Replay reads them.
+	for i := 0; i+1 < len(segs); i++ {
+		segs[i].last = segs[i+1].base - 1
+	}
+	l.segments = segs
+	l.replaySegs = append([]segInfo(nil), segs...)
+	if n := len(segs); n > 0 {
+		l.nextLSN = segs[n-1].last
+	}
+	return nil
+}
+
+// openSegment creates the new active segment file with base as its
+// first LSN. Runs before the writer goroutine starts (from Open) or on
+// the writer goroutine itself (rotation).
+func (l *Log) openSegment(base uint64) error {
+	path := filepath.Join(l.dir, segName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(appendSegHeader(nil, base)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.seg = f
+	l.mu.Lock()
+	l.segments = append(l.segments, segInfo{base: base, bytes: segHeaderSize, path: path})
+	l.mu.Unlock()
+	return nil
+}
+
+// Append assigns LSNs to recs, hands them to the writer goroutine, and
+// returns the last LSN assigned. It does not wait for durability — pair
+// it with WaitDurable. The record Vec slices must stay unmodified until
+// WaitDurable returns for the returned LSN.
+func (l *Log) Append(recs ...Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, errors.New("wal: empty append")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	for i := range recs {
+		l.nextLSN++
+		recs[i].LSN = l.nextLSN
+	}
+	l.pending = append(l.pending, recs...)
+	l.wake.Signal()
+	return l.nextLSN, nil
+}
+
+// WaitDurable blocks until the record at lsn is durable under the
+// configured policy: fsynced for SyncAlways, written to the OS for
+// SyncInterval and SyncNone. An acknowledged append is exactly
+// Append + WaitDurable.
+func (l *Log) WaitDurable(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	watermark := &l.writtenLSN
+	if l.opts.Policy == SyncAlways {
+		watermark = &l.syncedLSN
+	}
+	for *watermark < lsn && l.err == nil && !l.closed {
+		l.ack.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if *watermark < lsn {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Sync forces an fsync covering every record appended so far,
+// regardless of policy, and waits for it.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	target := l.nextLSN
+	if target > l.wantSync {
+		l.wantSync = target
+	}
+	l.wake.Signal()
+	for l.syncedLSN < target && l.err == nil && !l.closed {
+		l.ack.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.syncedLSN < target {
+		return ErrClosed
+	}
+	return nil
+}
+
+// LastLSN returns the highest LSN assigned so far.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// SetCheckpointLSN records the recovered checkpoint watermark (from the
+// manifest) so Stats' depth accounting starts correct after Open.
+func (l *Log) SetCheckpointLSN(lsn uint64) {
+	l.mu.Lock()
+	if lsn > l.ckptLSN {
+		l.ckptLSN = lsn
+	}
+	l.mu.Unlock()
+}
+
+// TruncateThrough marks every record at or below lsn as captured by a
+// checkpoint and deletes the segment files whose records all lie at or
+// below it. The active segment is first sealed (rotated away) when it
+// holds any such records, so a checkpoint of a quiescent log leaves
+// exactly one empty active segment behind.
+func (l *Log) TruncateThrough(lsn uint64) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if lsn > l.ckptLSN {
+		l.ckptLSN = lsn
+	}
+	// Seal the active segment when it (or records still pending for it)
+	// falls under the checkpoint; skip when it is empty or all-newer.
+	active := l.segments[len(l.segments)-1]
+	if active.base <= lsn && (active.bytes > segHeaderSize || len(l.pending) > 0) {
+		l.rotateReq = true
+		l.wake.Signal()
+		for l.rotateReq && l.err == nil && !l.closed {
+			l.ack.Wait()
+		}
+		if l.err != nil {
+			err := l.err
+			l.mu.Unlock()
+			return err
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return ErrClosed
+		}
+	}
+	var drop []string
+	keep := make([]segInfo, 0, len(l.segments))
+	for _, s := range l.segments {
+		if s.sealed && s.last <= lsn {
+			drop = append(drop, s.path)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	l.segments = keep
+	l.mu.Unlock()
+	for _, p := range drop {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	if len(drop) > 0 {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// Stats returns a point-in-time summary.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Policy:        l.opts.Policy.String(),
+		LastLSN:       l.nextLSN,
+		SyncedLSN:     l.syncedLSN,
+		CheckpointLSN: l.ckptLSN,
+		Segments:      len(l.segments),
+		Fsyncs:        l.fsyncs,
+		LastFsync:     l.lastFsync,
+	}
+	if l.nextLSN > l.ckptLSN {
+		st.Depth = l.nextLSN - l.ckptLSN
+	}
+	for _, s := range l.segments {
+		st.Bytes += s.bytes
+	}
+	if l.fsyncs > 0 {
+		st.MeanFsync = l.fsyncTotal / time.Duration(l.fsyncs)
+	}
+	return st
+}
+
+// TornBytes reports how many bytes of torn tail Open discarded.
+func (l *Log) TornBytes() int64 { return l.torn }
+
+// Close drains pending appends, fsyncs, and closes the active segment.
+// It does not checkpoint — on the next Open the log replays in full;
+// callers wanting an empty log on restart checkpoint first.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	l.wake.Signal()
+	l.mu.Unlock()
+	if l.stopTicker != nil {
+		close(l.stopTicker)
+	}
+	<-l.done
+	l.mu.Lock()
+	err := l.err
+	l.mu.Unlock()
+	return err
+}
+
+// tick drives the SyncInterval policy: request an fsync of everything
+// written, once per interval.
+func (l *Log) tick() {
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if l.writtenLSN > l.syncedLSN && l.writtenLSN > l.wantSync {
+				l.wantSync = l.writtenLSN
+				l.wake.Signal()
+			}
+			l.mu.Unlock()
+		case <-l.stopTicker:
+			return
+		}
+	}
+}
+
+// run is the writer goroutine: the only code that touches segment file
+// descriptors after Open. It drains batches of pending records, writes
+// them (rotating segments at the size threshold), and fsyncs per policy
+// or on demand — every waiter queued behind one fsync shares it.
+func (l *Log) run() {
+	defer close(l.done)
+	for {
+		l.mu.Lock()
+		for !l.closed &&
+			(l.err != nil || (len(l.pending) == 0 && !l.rotateReq && l.wantSync <= l.syncedLSN)) {
+			l.wake.Wait()
+		}
+		if l.closed && (len(l.pending) == 0 || l.err != nil) {
+			broken := l.err != nil
+			l.mu.Unlock()
+			var serr, cerr error
+			if !broken {
+				// Final fsync so Close leaves everything written durable.
+				serr = l.seg.Sync()
+				cerr = l.seg.Close()
+			}
+			l.mu.Lock()
+			if l.err == nil && serr != nil {
+				l.err = serr
+			}
+			if l.err == nil && cerr != nil {
+				l.err = cerr
+			}
+			l.ack.Broadcast()
+			l.mu.Unlock()
+			return
+		}
+		batch := l.pending
+		l.pending = nil
+		rotate := l.rotateReq
+		l.mu.Unlock()
+
+		var wrote uint64
+		var werr error
+		if len(batch) > 0 {
+			wrote, werr = l.writeBatch(batch)
+		}
+
+		l.mu.Lock()
+		if wrote > 0 {
+			l.writtenLSN = wrote
+		}
+		lastWritten := l.writtenLSN
+		l.mu.Unlock()
+		if rotate && werr == nil {
+			werr = l.rotate(lastWritten)
+		}
+
+		l.mu.Lock()
+		if werr != nil && l.err == nil {
+			l.err = werr
+		}
+		if rotate {
+			l.rotateReq = false
+		}
+		doSync := l.err == nil &&
+			((l.opts.Policy == SyncAlways && l.writtenLSN > l.syncedLSN) ||
+				l.wantSync > l.syncedLSN)
+		target := l.writtenLSN
+		if !doSync {
+			l.ack.Broadcast()
+			l.mu.Unlock()
+			continue
+		}
+		l.mu.Unlock()
+		t0 := time.Now()
+		serr := l.seg.Sync()
+		d := time.Since(t0)
+		l.mu.Lock()
+		l.fsyncs++
+		l.fsyncTotal += d
+		l.lastFsync = d
+		if serr != nil {
+			if l.err == nil {
+				l.err = serr
+			}
+		} else if l.syncedLSN < target {
+			// Records in segments sealed before this fsync were fsynced
+			// at seal time, so syncing the active segment completes
+			// durability through target.
+			l.syncedLSN = target
+		}
+		l.ack.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// writeBatch encodes and writes a batch of records, rotating the active
+// segment when it crosses the size threshold. Returns the last LSN
+// written.
+func (l *Log) writeBatch(batch []Record) (uint64, error) {
+	l.buf = l.buf[:0]
+	flush := func() error {
+		if len(l.buf) == 0 {
+			return nil
+		}
+		n, err := l.seg.Write(l.buf)
+		l.mu.Lock()
+		l.segments[len(l.segments)-1].bytes += int64(n)
+		l.mu.Unlock()
+		l.buf = l.buf[:0]
+		return err
+	}
+	l.mu.Lock()
+	segBytes := l.segments[len(l.segments)-1].bytes
+	l.mu.Unlock()
+	for _, rec := range batch {
+		start := len(l.buf)
+		l.buf = appendFrame(l.buf, rec)
+		if segBytes+int64(len(l.buf)) > l.opts.SegmentBytes && segBytes+int64(start) > segHeaderSize {
+			// Flush what fits, seal behind the previous record, and
+			// carry the current frame into the fresh segment.
+			frame := append([]byte(nil), l.buf[start:]...)
+			l.buf = l.buf[:start]
+			if err := flush(); err != nil {
+				return 0, err
+			}
+			if err := l.rotate(rec.LSN - 1); err != nil {
+				return 0, err
+			}
+			segBytes = segHeaderSize
+			l.buf = append(l.buf, frame...)
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return batch[len(batch)-1].LSN, nil
+}
+
+// rotate seals the active segment — fsync, close, record last as its
+// final LSN — and opens a fresh one based at last+1. Sealing fsyncs
+// under every policy: a sealed segment is immutable, so its one fsync
+// is cheap insurance that truncation bookkeeping never outruns the
+// disk. Runs on the writer goroutine only.
+func (l *Log) rotate(last uint64) error {
+	l.mu.Lock()
+	if l.segments[len(l.segments)-1].bytes <= segHeaderSize {
+		l.mu.Unlock()
+		return nil // nothing to seal
+	}
+	l.mu.Unlock()
+	if err := l.seg.Sync(); err != nil {
+		return err
+	}
+	if err := l.seg.Close(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	active := &l.segments[len(l.segments)-1]
+	active.sealed = true
+	active.last = last
+	if l.syncedLSN < last {
+		l.syncedLSN = last
+	}
+	l.mu.Unlock()
+	return l.openSegment(last + 1)
+}
+
+// syncDir fsyncs a directory so entry creation and removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
