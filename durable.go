@@ -3,12 +3,12 @@ package lccs
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"lccs/internal/dataset"
+	"lccs/internal/faultfs"
 	"lccs/internal/wal"
 )
 
@@ -72,6 +72,14 @@ type DurableConfig struct {
 	// RebuildAt is the DynamicIndex delta threshold. 0 selects the
 	// default.
 	RebuildAt int
+	// FS is the filesystem the manifest, WAL, and snapshot lifecycle go
+	// through. Nil selects the real filesystem; tests inject faults
+	// (torn writes, failed fsyncs, crashes) through it. Snapshot file
+	// contents are still written by the dataset/container savers on the
+	// real filesystem — FS coverage of a snapshot starts at its fsync —
+	// so a DurableConfig FS must wrap the real filesystem, not replace
+	// it.
+	FS wal.FS
 }
 
 // RecoveryInfo summarizes what OpenDurable replayed.
@@ -160,6 +168,7 @@ type WALStats struct {
 type DurableIndex struct {
 	*DynamicIndex
 	dir string
+	fs  wal.FS
 	log *wal.Log
 	// wmu orders id allocation against WAL appends, so replaying the
 	// log in LSN order reassigns exactly the original ids. It is held
@@ -188,10 +197,14 @@ func snapshotNames(gen uint64) (container, ds string) {
 // checkpoint watermark is replayed. See DurableIndex for the directory
 // layout and guarantees.
 func OpenDurable(dir string, dc DurableConfig) (*DurableIndex, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := dc.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	man, err := wal.ReadManifest(dir)
+	man, err := wal.ReadManifestFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -239,11 +252,12 @@ func OpenDurable(dir string, dc DurableConfig) (*DurableIndex, error) {
 		// when every segment was truncated, so post-checkpoint writes
 		// are never mistaken for already-checkpointed ones.
 		MinNextLSN: from,
+		FS:         fsys,
 	})
 	if err != nil {
 		return nil, err
 	}
-	di := &DurableIndex{DynamicIndex: dyn, dir: dir, log: log, gen: gen}
+	di := &DurableIndex{DynamicIndex: dyn, dir: dir, fs: fsys, log: log, gen: gen}
 	start := time.Now()
 	info, err := log.Replay(from, func(rec wal.Record) error {
 		switch rec.Op {
@@ -297,7 +311,7 @@ func OpenDurable(dir string, dc DurableConfig) (*DurableIndex, error) {
 // debris of a checkpoint that crashed between writing its files and
 // committing the manifest — plus any manifest temp file.
 func (di *DurableIndex) removeOrphans(man *wal.Manifest) error {
-	entries, err := os.ReadDir(di.dir)
+	entries, err := di.fs.ReadDir(di.dir)
 	if err != nil {
 		return err
 	}
@@ -313,7 +327,7 @@ func (di *DurableIndex) removeOrphans(man *wal.Manifest) error {
 			orphan = true
 		}
 		if orphan {
-			if err := os.Remove(filepath.Join(di.dir, name)); err != nil {
+			if err := di.fs.Remove(filepath.Join(di.dir, name)); err != nil {
 				return err
 			}
 		}
@@ -496,7 +510,17 @@ func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
 		// state — including the fresh-directory case.
 		return CheckpointInfo{Skipped: true, Took: time.Since(start)}, nil
 	}
-	gen := di.gen + 1
+	// Claim the generation before any file is written. A checkpoint
+	// that fails partway (even after its manifest committed — say the
+	// directory fsync or the log truncation errored) leaves di.gen
+	// advanced, so the next attempt picks a fresh generation and never
+	// overwrites snapshot files a committed manifest may still
+	// reference. Claiming only after a fully successful commit — as
+	// this code once did — let the next checkpoint reuse the
+	// generation the live manifest pointed at and clobber its files:
+	// the directory then looked checkpointed but could never recover.
+	di.gen++
+	gen := di.gen
 	man := &wal.Manifest{LSN: lsn, Generation: gen}
 	info := CheckpointInfo{LSN: lsn, Generation: gen}
 	if empty {
@@ -517,7 +541,7 @@ func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
 		// The snapshot files must be on disk before the manifest names
 		// them.
 		for _, name := range []string{container, dsName} {
-			if err := fsyncFile(filepath.Join(di.dir, name)); err != nil {
+			if err := fsyncFile(di.fs, filepath.Join(di.dir, name)); err != nil {
 				return CheckpointInfo{}, err
 			}
 		}
@@ -525,21 +549,18 @@ func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
 		info.Container, info.Dataset = container, dsName
 		info.Live, info.Tombstones = sx.Len(), sx.Deleted()
 	}
-	if err := wal.WriteManifest(di.dir, man); err != nil {
+	if err := wal.WriteManifestFS(di.fs, di.dir, man); err != nil {
 		return CheckpointInfo{}, err
 	}
-	oldGen := di.gen
-	di.gen = gen
 	if err := di.log.TruncateThrough(lsn); err != nil {
 		return CheckpointInfo{}, err
 	}
-	if oldGen > 0 {
-		oldContainer, oldDS := snapshotNames(oldGen)
-		for _, name := range []string{oldContainer, oldDS} {
-			if err := os.Remove(filepath.Join(di.dir, name)); err != nil && !os.IsNotExist(err) {
-				return CheckpointInfo{}, err
-			}
-		}
+	// Sweep everything the committed manifest does not reference: the
+	// previous generation's files plus any debris a failed earlier
+	// checkpoint left behind. OpenDurable runs the same sweep, so a
+	// crash anywhere in here is finished by the next recovery.
+	if err := di.removeOrphans(man); err != nil {
+		return CheckpointInfo{}, err
 	}
 	info.Took = time.Since(start)
 	return info, nil
@@ -577,8 +598,8 @@ func (di *DurableIndex) WALStats() WALStats {
 }
 
 // fsyncFile fsyncs an already written file by path.
-func fsyncFile(path string) error {
-	f, err := os.Open(path)
+func fsyncFile(fsys wal.FS, path string) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}

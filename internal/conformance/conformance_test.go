@@ -1,0 +1,106 @@
+package conformance
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+)
+
+// extraSeeds widens TestRandomSeeds into an extended sweep:
+//
+//	go test ./internal/conformance -conformance.seeds=500
+//
+// Each seed fully determines its scenario, so a failure report's seed
+// reproduces the run exactly (always/none policies; the interval
+// policy's timer makes ack timing approximate).
+var extraSeeds = flag.Int("conformance.seeds", 0, "run N extra random conformance scenarios")
+
+// TestCorpus runs every scenario file in testdata/ — the curated
+// regression corpus: rotation boundaries, checkpoint-during-churn,
+// crash-during-checkpoint, torn writes, ENOSPC, fsyncgate, and all
+// three sync policies.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("conformance corpus has %d scenarios, want at least 10", len(files))
+	}
+	for _, path := range files {
+		sc, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(sc.Name, func(t *testing.T) {
+			stats, err := Run(t.TempDir(), sc)
+			if err != nil {
+				t.Fatalf("%v\n(reproduce: scenario file %s)", err, path)
+			}
+			t.Logf("%s: %s", sc.Name, stats)
+		})
+	}
+}
+
+// randomScenario derives a full scenario from one seed. Policy, fault
+// plan, and schedule shape all come from the seed, so printing the seed
+// is a complete reproduction recipe.
+func randomScenario(seed uint64) Scenario {
+	sc := Scenario{
+		Name:         "random",
+		Seed:         seed,
+		SegmentBytes: []int64{512, 2048, 8192}[seed%3],
+		Steps:        120,
+		Weights:      Weights{Insert: 50, Delete: 15, Search: 12, Checkpoint: 10, Crash: 9, Restart: 4},
+	}
+	switch seed % 3 {
+	case 0:
+		sc.Policy = "always"
+	case 1:
+		sc.Policy = "none"
+	case 2:
+		// Timer-driven fsyncs: scheduled crashes only, no injected
+		// faults (their firing would not be step-deterministic).
+		sc.Policy = "interval"
+		return sc
+	}
+	// Two write-path faults on the first two opens, shaped by the seed.
+	// Nth is kept small so the fault fires before the epoch's next
+	// crash resets the injector.
+	for open := 0; open < 2; open++ {
+		f := FaultSpec{Open: open, Op: "write", Path: ".wal", Nth: 2 + int(seed>>uint(4*open))%6, Once: true}
+		if (seed>>uint(open))%2 == 0 {
+			f.TornBytes = 1 + int(seed)%9
+		} else {
+			f.Err = "enospc"
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	if sc.Policy == "always" {
+		// fsyncgate probe: drop dirty pages on a later segment fsync.
+		sc.Faults = append(sc.Faults,
+			FaultSpec{Open: 0, Op: "sync", Path: ".wal", Nth: 3 + int(seed>>8)%8, DropDirty: true, Once: true})
+	}
+	return sc
+}
+
+// TestRandomSeeds is the seed sweep: a small deterministic smoke by
+// default, widened by -conformance.seeds for CI's extended run. A
+// failure prints the seed, which reproduces the scenario exactly.
+func TestRandomSeeds(t *testing.T) {
+	n := *extraSeeds
+	if n == 0 {
+		n = 6
+	}
+	for i := 0; i < n; i++ {
+		seed := uint64(1000 + i)
+		sc := randomScenario(seed)
+		stats, err := Run(t.TempDir(), sc)
+		if err != nil {
+			t.Fatalf("FAILING SEED %d: %v\n(reproduce: go test ./internal/conformance -run TestRandomSeeds -conformance.seeds=%d with seed base 1000)", seed, err, i+1)
+		}
+		if testing.Verbose() {
+			t.Logf("seed %d (%s): %s", seed, sc.Policy, stats)
+		}
+	}
+}

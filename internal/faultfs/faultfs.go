@@ -1,0 +1,107 @@
+// Package faultfs is the filesystem abstraction the durability stack
+// (internal/wal and the DurableIndex snapshot/manifest paths) performs
+// its I/O through, together with a deterministic fault injector over
+// it. Production code runs on the zero-cost OS implementation; the
+// conformance and regression tests wrap it in an Injected filesystem
+// that can tear writes mid-frame, fail fsyncs with fsyncgate semantics
+// (dirty pages dropped, later fsyncs lying), return ENOSPC, slow
+// individual operations down, or kill the whole filesystem at a chosen
+// mutating-operation count — the in-process stand-in for crashing the
+// process at an arbitrary point of a checkpoint or append.
+//
+// The interface is intentionally narrow: exactly the operations the
+// write-ahead log and checkpoint protocol rely on for durability
+// (create/write/fsync/rename/remove/truncate/dirsync and the read-side
+// mirrors). Every mutating operation counts as one "step", giving
+// crash-at-step-N sweeps a deterministic coordinate system as long as
+// the workload drives the log sequentially.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the durability stack uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync fsyncs the file. Injectors may fail it and drop the dirty
+	// region (fsyncgate semantics).
+	Sync() error
+	// Truncate cuts the file to size. The write-ahead log uses it to
+	// restore a record boundary after a torn write.
+	Truncate(size int64) error
+	// Seek repositions the write offset (needed after Truncate: the OS
+	// file offset does not move with the truncation).
+	Seek(offset int64, whence int) (int64, error)
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem the write-ahead log and the DurableIndex
+// checkpoint/manifest paths perform their I/O through.
+type FS interface {
+	// OpenFile opens (possibly creating) a file for writing.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts the named file to size.
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so entry creation/removal/rename is
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a zero-state pass-through to package os.
+type OS struct{}
+
+// Compile-time conformance.
+var _ FS = OS{}
+
+// OpenFile opens via os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Open opens via os.Open.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// ReadDir lists via os.ReadDir.
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// ReadFile reads via os.ReadFile.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename renames via os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove deletes via os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate cuts via os.Truncate.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll creates via os.MkdirAll.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir opens the directory and fsyncs it.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,194 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, b []byte) {
+	t.Helper()
+	if _, err := f.Write(b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	return fi.Size()
+}
+
+func TestOSPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	path := filepath.Join(dir, "a")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := fs.ReadFile(path)
+	if err != nil || string(blob) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", blob, err)
+	}
+	if err := fs.Rename(path, path+"2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir(dir)
+	if err != nil || len(entries) != 1 || entries[0].Name() != "a2" {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+	if err := fs.Truncate(path+"2", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := fileSize(t, path+"2"); got != 2 {
+		t.Fatalf("size after truncate = %d, want 2", got)
+	}
+	if err := fs.Remove(path + "2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjected(OS{})
+	fs.Inject(&Fault{Op: OpWrite, TornBytes: 3, Once: true})
+	f, err := fs.OpenFile(filepath.Join(dir, "seg"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %d, %v; want 3, ErrInjected", n, err)
+	}
+	if got := fileSize(t, filepath.Join(dir, "seg")); got != 3 {
+		t.Fatalf("on-disk size = %d, want 3 (torn prefix)", got)
+	}
+	// The fault was Once: the next write goes through whole.
+	writeAll(t, f, []byte("abc"))
+	if got := fileSize(t, filepath.Join(dir, "seg")); got != 6 {
+		t.Fatalf("on-disk size = %d, want 6", got)
+	}
+}
+
+func TestFsyncDropDirty(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjected(OS{})
+	path := filepath.Join(dir, "seg")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("durable!"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("dirty"))
+	fs.Inject(&Fault{Op: OpSync, DropDirty: true, Once: true})
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulted Sync = %v, want ErrInjected", err)
+	}
+	// fsyncgate: the dirty suffix is gone, the synced prefix stays.
+	if got := fileSize(t, path); got != int64(len("durable!")) {
+		t.Fatalf("size after dropped dirty pages = %d, want %d", got, len("durable!"))
+	}
+	// A later "successful" fsync must not resurrect anything.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("later Sync: %v", err)
+	}
+	if got := fileSize(t, path); got != int64(len("durable!")) {
+		t.Fatalf("size after later sync = %d, want %d", got, len("durable!"))
+	}
+}
+
+func TestCrashAtStepKillsEverything(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjected(OS{})
+	path := filepath.Join(dir, "f")
+	// Step 1: create. Step 2: write. Step 3 (sync) crashes.
+	fs.Inject(&Fault{AtStep: 3, Crash: true})
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("x"))
+	if err := f.Sync(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("crash-step Sync = %v, want ErrKilled", err)
+	}
+	if !fs.Killed() {
+		t.Fatal("filesystem not killed after crash fault")
+	}
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("write after kill = %v, want ErrKilled", err)
+	}
+	if err := fs.Remove(path); !errors.Is(err, ErrKilled) {
+		t.Fatalf("remove after kill = %v, want ErrKilled", err)
+	}
+	// Nothing after the kill reached the disk.
+	if got := fileSize(t, path); got != 1 {
+		t.Fatalf("size = %d, want 1", got)
+	}
+	// Reads still work: recovery scans the same disk.
+	if _, err := fs.ReadFile(path); err != nil {
+		t.Fatalf("read after kill: %v", err)
+	}
+	if fs.Steps() < 3 {
+		t.Fatalf("steps = %d, want >= 3", fs.Steps())
+	}
+}
+
+func TestNthMatchAndPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjected(OS{})
+	fs.Inject(&Fault{Op: OpWrite, Path: "target", Nth: 2, Err: ErrNoSpace, Once: true})
+	other, err := fs.OpenFile(filepath.Join(dir, "other"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := fs.OpenFile(filepath.Join(dir, "target"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, other, []byte("a"))  // not matched: wrong path
+	writeAll(t, target, []byte("a")) // match 1: passes
+	if _, err := target.Write([]byte("b")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("2nd matching write = %v, want ErrNoSpace", err)
+	}
+	writeAll(t, target, []byte("c")) // disarmed
+}
+
+func TestRenameAndRemoveFaults(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjected(OS{})
+	path := filepath.Join(dir, "m.tmp")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("{}"))
+	f.Close()
+	fs.Inject(&Fault{Op: OpRename, Once: true})
+	if err := fs.Rename(path, filepath.Join(dir, "m")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulted rename = %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("source gone after failed rename: %v", err)
+	}
+	if err := fs.Rename(path, filepath.Join(dir, "m")); err != nil {
+		t.Fatalf("retry rename: %v", err)
+	}
+}

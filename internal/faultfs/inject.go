@@ -1,0 +1,433 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error an armed fault returns.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrKilled is returned by every mutating operation after the
+// filesystem was killed — the stand-in for a crashed process: whatever
+// reached the disk before the kill stays, nothing after it does.
+var ErrKilled = errors.New("faultfs: filesystem killed (simulated crash)")
+
+// ErrNoSpace is a convenience error for ENOSPC-style faults.
+var ErrNoSpace = errors.New("faultfs: no space left on device (injected)")
+
+// Op classifies one filesystem operation for fault matching.
+type Op uint8
+
+// The mutating operation kinds. Each occurrence increments the
+// injector's step counter; read-side operations (Open, ReadDir,
+// ReadFile) are never counted and never fail.
+const (
+	// OpAny matches every mutating operation.
+	OpAny Op = iota
+	// OpCreate is OpenFile.
+	OpCreate
+	// OpWrite is File.Write.
+	OpWrite
+	// OpSync is File.Sync.
+	OpSync
+	// OpRename is FS.Rename.
+	OpRename
+	// OpRemove is FS.Remove.
+	OpRemove
+	// OpTruncate is FS.Truncate or File.Truncate.
+	OpTruncate
+	// OpSyncDir is FS.SyncDir.
+	OpSyncDir
+)
+
+// String names the op for failure reports.
+func (o Op) String() string {
+	switch o {
+	case OpAny:
+		return "any"
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return "op?"
+}
+
+// Fault is one armed injection. The zero value of every selector
+// field widens the match: Op OpAny, empty Path, AtStep 0 and Nth 0
+// match every mutating operation. A Fault must not be shared between
+// injectors (it carries match state).
+type Fault struct {
+	// Op restricts the fault to one operation kind.
+	Op Op
+	// Path, when non-empty, restricts the fault to operations whose
+	// target path contains it as a substring.
+	Path string
+	// AtStep fires the fault exactly when the injector's global
+	// mutating-step counter reaches this value (1-based).
+	AtStep uint64
+	// Nth fires the fault on the Nth operation matching Op/Path
+	// (1-based); 0 fires on every match.
+	Nth int
+	// Err is the error returned when the fault fires; nil selects
+	// ErrInjected (ErrKilled for Crash faults). A fault whose only
+	// effect is Delay leaves the operation successful.
+	Err error
+	// TornBytes, for OpWrite faults, writes this many bytes of the
+	// buffer through to the file before failing — a torn write.
+	TornBytes int
+	// DropDirty, for OpSync faults, truncates the file back to its
+	// last successfully synced size before failing — fsyncgate
+	// semantics: the dirty pages are gone, and a later fsync that
+	// "succeeds" never resurrects them.
+	DropDirty bool
+	// Crash kills the filesystem when the fault fires: this operation
+	// and every later mutating operation fail with ErrKilled.
+	Crash bool
+	// Delay sleeps before the operation runs (slow I/O). With a nil
+	// Err and no other effect the operation then proceeds normally.
+	Delay time.Duration
+	// Once disarms the fault after its first firing.
+	Once bool
+
+	matched int
+	fired   bool
+}
+
+// delayOnly reports whether the fault slows the op but lets it succeed.
+func (f *Fault) delayOnly() bool {
+	return f.Err == nil && !f.Crash && !f.DropDirty && f.TornBytes == 0 && f.Delay > 0
+}
+
+// Injected wraps an inner FS (usually OS) and applies armed faults to
+// mutating operations. Safe for concurrent use.
+type Injected struct {
+	inner FS
+
+	mu     sync.Mutex
+	step   uint64
+	faults []*Fault
+	killed bool
+	// synced tracks, per path, the byte size known durable (advanced by
+	// successful Sync) — the truncation target for DropDirty faults.
+	// Files first seen via Open/OpenFile of an existing path start with
+	// their current size assumed durable: the injector only drops dirty
+	// data it watched being written.
+	synced map[string]int64
+}
+
+// Compile-time conformance.
+var _ FS = (*Injected)(nil)
+
+// NewInjected wraps inner with a fault injector holding no faults.
+func NewInjected(inner FS) *Injected {
+	return &Injected{inner: inner, synced: make(map[string]int64)}
+}
+
+// Inject arms faults.
+func (x *Injected) Inject(faults ...*Fault) {
+	x.mu.Lock()
+	x.faults = append(x.faults, faults...)
+	x.mu.Unlock()
+}
+
+// Kill fails every subsequent mutating operation with ErrKilled — the
+// simulated crash point. Reads keep working (a recovering process
+// reads the same disk) but nothing mutates.
+func (x *Injected) Kill() {
+	x.mu.Lock()
+	x.killed = true
+	x.mu.Unlock()
+}
+
+// Killed reports whether the filesystem was killed.
+func (x *Injected) Killed() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.killed
+}
+
+// Steps returns how many mutating operations have been attempted.
+func (x *Injected) Steps() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.step
+}
+
+// Fired returns how many armed faults have fired at least once —
+// harnesses use it to verify a fault plan actually exercised anything.
+func (x *Injected) Fired() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := 0
+	for _, f := range x.faults {
+		if f.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// outcome is the decision for one mutating operation.
+type outcome struct {
+	err       error
+	tornBytes int
+	dropDirty bool
+	delay     time.Duration
+}
+
+// decide counts the step and resolves what happens to one mutating
+// operation. It never performs I/O.
+func (x *Injected) decide(op Op, path string) outcome {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.step++
+	if x.killed {
+		return outcome{err: ErrKilled}
+	}
+	for _, f := range x.faults {
+		if f.Once && f.fired {
+			continue
+		}
+		if f.Op != OpAny && f.Op != op {
+			continue
+		}
+		if f.Path != "" && !strings.Contains(path, f.Path) {
+			continue
+		}
+		if f.AtStep != 0 {
+			if x.step != f.AtStep {
+				continue
+			}
+		} else if f.Nth != 0 {
+			f.matched++
+			if f.matched != f.Nth {
+				continue
+			}
+		}
+		f.fired = true
+		if f.Crash {
+			x.killed = true
+			err := f.Err
+			if err == nil {
+				err = ErrKilled
+			}
+			return outcome{err: err, delay: f.Delay}
+		}
+		if f.delayOnly() {
+			return outcome{delay: f.Delay}
+		}
+		err := f.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return outcome{err: err, tornBytes: f.TornBytes, dropDirty: f.DropDirty, delay: f.Delay}
+	}
+	return outcome{}
+}
+
+// mutate resolves a simple (non-write, non-sync) mutating op: any
+// fault error suppresses the real operation.
+func (x *Injected) mutate(op Op, path string, real func() error) error {
+	o := x.decide(op, path)
+	if o.delay > 0 {
+		time.Sleep(o.delay)
+	}
+	if o.err != nil {
+		return o.err
+	}
+	return real()
+}
+
+// OpenFile counts as a create step.
+func (x *Injected) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	o := x.decide(OpCreate, name)
+	if o.delay > 0 {
+		time.Sleep(o.delay)
+	}
+	if o.err != nil {
+		return nil, o.err
+	}
+	f, err := x.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return x.wrap(name, f, flag&(os.O_CREATE|os.O_TRUNC) != 0), nil
+}
+
+// Open is a read-side operation: never counted, never failed.
+func (x *Injected) Open(name string) (File, error) {
+	f, err := x.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return x.wrap(name, f, false), nil
+}
+
+// wrap builds the injected file view, seeding the size bookkeeping.
+func (x *Injected) wrap(name string, f File, fresh bool) *injFile {
+	var size int64
+	if !fresh {
+		if fi, err := os.Stat(name); err == nil {
+			size = fi.Size()
+		}
+	}
+	x.mu.Lock()
+	if fresh {
+		// A fresh create (or O_TRUNC reopen) starts with nothing
+		// durable, even when the path was seen before.
+		x.synced[name] = 0
+	} else if _, ok := x.synced[name]; !ok {
+		// Pre-existing content first seen here is assumed durable: the
+		// injector only drops dirty data it watched being written.
+		x.synced[name] = size
+	}
+	x.mu.Unlock()
+	return &injFile{fs: x, inner: f, path: name, size: size}
+}
+
+// ReadDir passes through.
+func (x *Injected) ReadDir(name string) ([]os.DirEntry, error) { return x.inner.ReadDir(name) }
+
+// ReadFile passes through.
+func (x *Injected) ReadFile(name string) ([]byte, error) { return x.inner.ReadFile(name) }
+
+// Rename counts as one step; faults target the destination path.
+func (x *Injected) Rename(oldpath, newpath string) error {
+	return x.mutate(OpRename, newpath, func() error { return x.inner.Rename(oldpath, newpath) })
+}
+
+// Remove counts as one step.
+func (x *Injected) Remove(name string) error {
+	return x.mutate(OpRemove, name, func() error { return x.inner.Remove(name) })
+}
+
+// Truncate counts as one step.
+func (x *Injected) Truncate(name string, size int64) error {
+	return x.mutate(OpTruncate, name, func() error { return x.inner.Truncate(name, size) })
+}
+
+// MkdirAll is idempotent setup, not counted as a step, but a killed
+// filesystem still refuses it.
+func (x *Injected) MkdirAll(path string, perm os.FileMode) error {
+	x.mu.Lock()
+	killed := x.killed
+	x.mu.Unlock()
+	if killed {
+		return ErrKilled
+	}
+	return x.inner.MkdirAll(path, perm)
+}
+
+// SyncDir counts as one step.
+func (x *Injected) SyncDir(dir string) error {
+	return x.mutate(OpSyncDir, dir, func() error { return x.inner.SyncDir(dir) })
+}
+
+// injFile is the per-file view applying write/sync faults and tracking
+// sizes for DropDirty.
+type injFile struct {
+	fs    *Injected
+	inner File
+	path  string
+	size  int64
+}
+
+func (f *injFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	o := f.fs.decide(OpWrite, f.path)
+	if o.delay > 0 {
+		time.Sleep(o.delay)
+	}
+	if o.err != nil {
+		n := 0
+		if o.tornBytes > 0 {
+			// A torn write: a prefix of the buffer reaches the file,
+			// then the fault hits.
+			if o.tornBytes > len(p) {
+				o.tornBytes = len(p)
+			}
+			n, _ = f.inner.Write(p[:o.tornBytes])
+			f.size += int64(n)
+		}
+		return n, o.err
+	}
+	n, err := f.inner.Write(p)
+	f.size += int64(n)
+	return n, err
+}
+
+func (f *injFile) Sync() error {
+	o := f.fs.decide(OpSync, f.path)
+	if o.delay > 0 {
+		time.Sleep(o.delay)
+	}
+	if o.err != nil {
+		if o.dropDirty {
+			// fsyncgate: the kernel drops the dirty pages and marks
+			// them clean — everything written since the last successful
+			// sync is gone, and no later fsync brings it back.
+			f.fs.mu.Lock()
+			target := f.fs.synced[f.path]
+			f.fs.mu.Unlock()
+			if target < f.size {
+				if terr := f.inner.Truncate(target); terr == nil {
+					f.size = target
+				}
+			}
+		}
+		return o.err
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	f.fs.synced[f.path] = f.size
+	f.fs.mu.Unlock()
+	return nil
+}
+
+func (f *injFile) Truncate(size int64) error {
+	o := f.fs.decide(OpTruncate, f.path)
+	if o.delay > 0 {
+		time.Sleep(o.delay)
+	}
+	if o.err != nil {
+		return o.err
+	}
+	if err := f.inner.Truncate(size); err != nil {
+		return err
+	}
+	f.size = size
+	f.fs.mu.Lock()
+	if f.fs.synced[f.path] > size {
+		f.fs.synced[f.path] = size
+	}
+	f.fs.mu.Unlock()
+	return nil
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+
+// Close is never failed: a dying process's descriptors close anyway,
+// and leaking real fds from tests helps nobody.
+func (f *injFile) Close() error { return f.inner.Close() }
+
+func (f *injFile) Name() string { return f.path }

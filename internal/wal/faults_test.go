@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"lccs/internal/faultfs"
+)
+
+// openInjected opens a log over a fresh injector. Faults are armed
+// after Open so segment-creation writes (headers, dir fsyncs) are never
+// the ones hit — these tests target the append path.
+func openInjected(t *testing.T, dir string, opts Options) (*Log, *faultfs.Injected) {
+	t.Helper()
+	fs := faultfs.NewInjected(faultfs.OS{})
+	opts.FS = fs
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, fs
+}
+
+// reopenPlain reopens dir on the real filesystem and returns what a
+// recovering process would replay.
+func reopenPlain(t *testing.T, dir string) []Record {
+	t.Helper()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	return collect(t, l, 0)
+}
+
+// A single torn write must heal in place: the writer truncates the
+// segment back to the last record boundary, rewrites the record, and
+// the append acks. Without the truncation the torn frame would sit
+// mid-segment and the retried append would land after it — recovery
+// would then stop at (or error on) the tear and every later acked
+// record would be lost.
+func TestTornWriteSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	l, fs := openInjected(t, dir, Options{Policy: SyncAlways})
+	fs.Inject(&faultfs.Fault{Op: faultfs.OpWrite, Path: ".wal", TornBytes: 5, Once: true})
+
+	recs := testRecords(20)
+	appendAll(t, l, recs) // fatals if any ack fails
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	checkRecords(t, reopenPlain(t, dir), recs, 1)
+}
+
+// Same, but the tear lands inside a multi-record batch: only the
+// unwritten suffix may be retried, and on disk the batch must still be
+// one dense run of LSNs.
+func TestTornWriteMidBatchSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	l, fs := openInjected(t, dir, Options{Policy: SyncAlways})
+
+	recs := testRecords(12)
+	head := recs[:4]
+	if _, err := l.Append(head...); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.WaitDurable(4); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	// Tear partway into the next batch's buffer.
+	fs.Inject(&faultfs.Fault{Op: faultfs.OpWrite, Path: ".wal", TornBytes: 31, Once: true})
+	last, err := l.Append(recs[4:]...)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.WaitDurable(last); err != nil {
+		t.Fatalf("WaitDurable after torn batch: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	checkRecords(t, reopenPlain(t, dir), recs, 1)
+}
+
+// A transient ENOSPC (nothing written at all) is retried the same way.
+func TestTransientWriteErrorRetries(t *testing.T) {
+	dir := t.TempDir()
+	l, fs := openInjected(t, dir, Options{Policy: SyncAlways})
+	fs.Inject(&faultfs.Fault{Op: faultfs.OpWrite, Path: ".wal", Err: faultfs.ErrNoSpace, Once: true})
+
+	recs := testRecords(8)
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	checkRecords(t, reopenPlain(t, dir), recs, 1)
+}
+
+// A persistently failing disk must not spin forever: after the retry
+// budget the error turns sticky, every waiter and later append gets it,
+// and a reopen sees only what was durable before the failure.
+func TestWriteRetryExhaustionTurnsSticky(t *testing.T) {
+	dir := t.TempDir()
+	l, fs := openInjected(t, dir, Options{Policy: SyncAlways})
+
+	good := testRecords(3)
+	appendAll(t, l, good)
+
+	fs.Inject(&faultfs.Fault{Op: faultfs.OpWrite, Path: ".wal", Err: faultfs.ErrNoSpace})
+	lsn, err := l.Append(Record{Op: OpInsert, ID: 99, Vec: []float32{1}})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.WaitDurable(lsn); !errors.Is(err, faultfs.ErrNoSpace) {
+		t.Fatalf("WaitDurable on dead disk = %v, want ErrNoSpace", err)
+	}
+	// Sticky: the log is broken until reopen.
+	if _, err := l.Append(Record{Op: OpDelete, ID: 1}); !errors.Is(err, faultfs.ErrNoSpace) {
+		t.Fatalf("Append after sticky error = %v, want ErrNoSpace", err)
+	}
+	if err := l.Close(); !errors.Is(err, faultfs.ErrNoSpace) {
+		t.Fatalf("Close after sticky error = %v, want ErrNoSpace", err)
+	}
+	// The unacked record vanished; the acked prefix survived intact.
+	checkRecords(t, reopenPlain(t, dir), good, 1)
+}
+
+// fsyncgate: a failed fsync may have dropped dirty pages the kernel now
+// reports clean, so no later fsync can be trusted to cover them. The
+// error must be permanently sticky — WaitDurable, Append, Sync and
+// Close all report it — and a reopen sees exactly the records covered
+// by the last successful fsync.
+func TestFsyncFailureIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	l, fs := openInjected(t, dir, Options{Policy: SyncAlways})
+
+	good := testRecords(5)
+	appendAll(t, l, good) // each ack fsynced: 5 records durable
+
+	fs.Inject(&faultfs.Fault{Op: faultfs.OpSync, Path: ".wal", DropDirty: true, Once: true})
+	lsn, err := l.Append(Record{Op: OpInsert, ID: 50, Vec: []float32{2}})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.WaitDurable(lsn); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("WaitDurable across failed fsync = %v, want ErrInjected", err)
+	}
+	if _, err := l.Append(Record{Op: OpDelete, ID: 2}); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Append after failed fsync = %v, want ErrInjected", err)
+	}
+	if err := l.Sync(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Sync after failed fsync = %v, want ErrInjected", err)
+	}
+	// Close must not mask the failure with a "successful" final fsync.
+	if err := l.Close(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Close after failed fsync = %v, want ErrInjected", err)
+	}
+	checkRecords(t, reopenPlain(t, dir), good, 1)
+}

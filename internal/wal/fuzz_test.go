@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"lccs/internal/faultfs"
 )
 
 // FuzzSegmentParse feeds arbitrary bytes through both segment-parsing
@@ -34,7 +36,7 @@ func FuzzSegmentParse(f *testing.F) {
 		if err := os.WriteFile(path, blob, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		lastLSN, validBytes, err := validPrefix(path, 1)
+		lastLSN, validBytes, err := validPrefix(faultfs.OS{}, path, 1)
 		if err != nil {
 			return // rejected loudly: that is the contract
 		}
@@ -53,7 +55,7 @@ func FuzzSegmentParse(f *testing.F) {
 			return
 		}
 		seg := segInfo{base: 1, last: lastLSN, path: path}
-		l := &Log{}
+		l := &Log{fs: faultfs.OS{}}
 		var info ReplayInfo
 		var count uint64
 		if err := l.replaySegment(seg, 0, func(rec Record) error {

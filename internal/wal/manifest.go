@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"lccs/internal/faultfs"
 )
 
 // ManifestName is the manifest's filename inside a data directory.
@@ -36,10 +38,16 @@ type Manifest struct {
 	IDWatermark uint64 `json:"id_watermark,omitempty"`
 }
 
-// ReadManifest loads the manifest from dir. A missing manifest is not
-// an error: it returns (nil, nil), meaning a fresh data directory.
+// ReadManifest loads the manifest from dir on the real filesystem. A
+// missing manifest is not an error: it returns (nil, nil), meaning a
+// fresh data directory.
 func ReadManifest(dir string) (*Manifest, error) {
-	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	return ReadManifestFS(faultfs.OS{}, dir)
+}
+
+// ReadManifestFS is ReadManifest over an injectable filesystem.
+func ReadManifestFS(fsys FS, dir string) (*Manifest, error) {
+	blob, err := fsys.ReadFile(filepath.Join(dir, ManifestName))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -53,15 +61,24 @@ func ReadManifest(dir string) (*Manifest, error) {
 	return &m, nil
 }
 
-// WriteManifest atomically replaces the manifest in dir.
+// WriteManifest atomically replaces the manifest in dir on the real
+// filesystem.
 func WriteManifest(dir string, m *Manifest) error {
+	return WriteManifestFS(faultfs.OS{}, dir, m)
+}
+
+// WriteManifestFS is WriteManifest over an injectable filesystem:
+// write to a temp file, fsync it, rename over the manifest, fsync the
+// directory — a crash at any point leaves either the old or the new
+// manifest, never a partial one.
+func WriteManifestFS(fsys FS, dir string, m *Manifest) error {
 	blob, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	blob = append(blob, '\n')
 	tmp := filepath.Join(dir, ManifestName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -76,8 +93,8 @@ func WriteManifest(dir string, m *Manifest) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 )
 
 // validPrefix scans one segment file and returns the last LSN of its
@@ -14,8 +13,8 @@ import (
 // header, a torn or CRC-corrupt frame, an out-of-sequence LSN — ends
 // the prefix; a wrong magic or a header disagreeing with the filename
 // is hard corruption and errors.
-func validPrefix(path string, base uint64) (lastLSN uint64, validBytes int64, err error) {
-	f, err := os.Open(path)
+func validPrefix(fsys FS, path string, base uint64) (lastLSN uint64, validBytes int64, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -93,7 +92,7 @@ func (l *Log) Replay(from uint64, fn func(Record) error) (ReplayInfo, error) {
 }
 
 func (l *Log) replaySegment(seg segInfo, from uint64, fn func(Record) error, info *ReplayInfo) error {
-	f, err := os.Open(seg.path)
+	f, err := l.fs.Open(seg.path)
 	if err != nil {
 		return err
 	}

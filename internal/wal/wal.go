@@ -34,6 +34,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,7 +42,15 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"lccs/internal/faultfs"
 )
+
+// FS is the filesystem abstraction the log performs all its I/O
+// through — create/write/fsync/rename/remove/truncate/dirsync. The
+// default is the real OS; tests inject a faultfs.Injected to tear
+// writes, fail fsyncs, and crash at chosen steps.
+type FS = faultfs.FS
 
 // SyncPolicy selects what an acknowledged append guarantees. See the
 // package comment for the trade-offs.
@@ -101,6 +110,8 @@ type Options struct {
 	// checkpoint would restart numbering at 1, and the next recovery
 	// would skip the fresh records as already checkpointed.
 	MinNextLSN uint64
+	// FS is the filesystem the log runs on. Nil selects the real OS.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +120,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
 	}
 	return o
 }
@@ -147,6 +161,7 @@ type Stats struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	mu   sync.Mutex
 	wake *sync.Cond // signals the writer goroutine: pending work
@@ -178,8 +193,10 @@ type Log struct {
 	torn int64
 
 	// writer-goroutine state (no lock needed).
-	seg *os.File
-	buf []byte
+	seg        faultfs.File
+	buf        []byte
+	retries    int // consecutive recoverable write failures
+	maxRetries int
 }
 
 // ErrClosed is returned by operations on a closed Log.
@@ -205,10 +222,10 @@ func parseSegName(name string) (uint64, bool) {
 // Call Replay before the first Append to reapply the surviving records.
 func Open(dir string, opts Options) (*Log, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, done: make(chan struct{})}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS, maxRetries: 8, done: make(chan struct{})}
 	l.wake = sync.NewCond(&l.mu)
 	l.ack = sync.NewCond(&l.mu)
 	if err := l.scan(); err != nil {
@@ -235,7 +252,7 @@ func Open(dir string, opts Options) (*Log, error) {
 // process), truncates the torn tail of the newest surviving segment,
 // and derives the next LSN.
 func (l *Log) scan() error {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return err
 	}
@@ -267,13 +284,13 @@ func (l *Log) scan() error {
 	// fresh active segment can reuse their name.
 	for len(segs) > 0 {
 		tail := &segs[len(segs)-1]
-		lastLSN, validBytes, err := validPrefix(tail.path, tail.base)
+		lastLSN, validBytes, err := validPrefix(l.fs, tail.path, tail.base)
 		if err != nil {
 			return err
 		}
 		if lastLSN >= tail.base {
 			if torn := tail.bytes - validBytes; torn > 0 {
-				if err := os.Truncate(tail.path, validBytes); err != nil {
+				if err := l.fs.Truncate(tail.path, validBytes); err != nil {
 					return err
 				}
 				l.torn += torn
@@ -290,7 +307,7 @@ func (l *Log) scan() error {
 		} else if tail.bytes < segHeaderSize {
 			l.torn += tail.bytes
 		}
-		if err := os.Remove(tail.path); err != nil {
+		if err := l.fs.Remove(tail.path); err != nil {
 			return err
 		}
 		segs = segs[:len(segs)-1]
@@ -313,7 +330,7 @@ func (l *Log) scan() error {
 // the writer goroutine itself (rotation).
 func (l *Log) openSegment(base uint64) error {
 	path := filepath.Join(l.dir, segName(base))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -321,7 +338,7 @@ func (l *Log) openSegment(base uint64) error {
 		f.Close()
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -467,12 +484,12 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 	l.segments = keep
 	l.mu.Unlock()
 	for _, p := range drop {
-		if err := os.Remove(p); err != nil {
+		if err := l.fs.Remove(p); err != nil {
 			return err
 		}
 	}
 	if len(drop) > 0 {
-		return syncDir(l.dir)
+		return l.fs.SyncDir(l.dir)
 	}
 	return nil
 }
@@ -593,6 +610,34 @@ func (l *Log) run() {
 		l.mu.Lock()
 		if wrote > 0 {
 			l.writtenLSN = wrote
+			l.retries = 0 // progress: a stream of partial successes is not a dead disk
+		}
+		var recov *errRecoverable
+		if werr != nil && errors.As(werr, &recov) {
+			// Torn-record recovery: the active segment was restored to
+			// its last good record boundary by writeBatch, so the
+			// unwritten suffix of the batch can simply be written again.
+			// Requeue it ahead of anything appended meanwhile (LSN order
+			// on disk must match assignment order) and retry. Without
+			// the truncation, a torn record would sit mid-segment and a
+			// later successful append would land after it — strict
+			// Replay then errors mid-log and a transient fault becomes
+			// permanent data loss. Without the bounded-retry fallback, a
+			// persistently full or dead disk would spin forever; after
+			// maxRetries consecutive failures the error turns sticky and
+			// the log is broken until reopened, exactly as before.
+			l.retries++
+			if l.retries <= l.maxRetries {
+				skip := 0
+				for skip < len(batch) && batch[skip].LSN <= wrote {
+					skip++
+				}
+				requeue := batch[skip:]
+				l.pending = append(append(make([]Record, 0, len(requeue)+len(l.pending)), requeue...), l.pending...)
+				werr = nil
+			} else {
+				werr = recov.err
+			}
 		}
 		lastWritten := l.writtenLSN
 		l.mu.Unlock()
@@ -639,21 +684,49 @@ func (l *Log) run() {
 	}
 }
 
+// errRecoverable wraps a write failure after which the active segment
+// was successfully restored to a record boundary: the writer may
+// requeue the unwritten records and retry. Rotation and fsync failures
+// are never recoverable — a failed fsync may have dropped dirty pages
+// the kernel now reports clean (fsyncgate), so no later fsync can be
+// trusted to cover them.
+type errRecoverable struct{ err error }
+
+func (e *errRecoverable) Error() string { return e.err.Error() }
+func (e *errRecoverable) Unwrap() error { return e.err }
+
 // writeBatch encodes and writes a batch of records, rotating the active
-// segment when it crosses the size threshold. Returns the last LSN
-// written.
+// segment when it crosses the size threshold. It returns the LSN of the
+// last record of this batch known fully on disk (0 when none). On a
+// write failure it truncates the active segment back to the record
+// boundary it had before the failing write — a torn record must never
+// stay in the file, or a later append would land after it and strict
+// Replay would error mid-log — and reports the failure as recoverable.
+// Failures of the restore itself, or of rotation (which fsyncs), are
+// permanent.
 func (l *Log) writeBatch(batch []Record) (uint64, error) {
+	var onDisk uint64
 	l.buf = l.buf[:0]
-	flush := func() error {
+	flush := func(through uint64) error {
 		if len(l.buf) == 0 {
 			return nil
 		}
-		n, err := l.seg.Write(l.buf)
 		l.mu.Lock()
-		l.segments[len(l.segments)-1].bytes += int64(n)
+		pre := l.segments[len(l.segments)-1].bytes
 		l.mu.Unlock()
+		n, err := l.seg.Write(l.buf)
 		l.buf = l.buf[:0]
-		return err
+		if err != nil {
+			if rerr := l.restoreBoundary(pre); rerr != nil {
+				return fmt.Errorf("wal: write failed (%v), segment restore failed: %w", err, rerr)
+			}
+			return &errRecoverable{err: err}
+		}
+		l.mu.Lock()
+		l.segments[len(l.segments)-1].bytes = pre + int64(n)
+		l.mu.Unlock()
+		onDisk = through
+		return nil
 	}
 	l.mu.Lock()
 	segBytes := l.segments[len(l.segments)-1].bytes
@@ -666,20 +739,36 @@ func (l *Log) writeBatch(batch []Record) (uint64, error) {
 			// carry the current frame into the fresh segment.
 			frame := append([]byte(nil), l.buf[start:]...)
 			l.buf = l.buf[:start]
-			if err := flush(); err != nil {
-				return 0, err
+			if err := flush(rec.LSN - 1); err != nil {
+				return onDisk, err
 			}
 			if err := l.rotate(rec.LSN - 1); err != nil {
-				return 0, err
+				return onDisk, err
 			}
 			segBytes = segHeaderSize
 			l.buf = append(l.buf, frame...)
 		}
 	}
-	if err := flush(); err != nil {
-		return 0, err
+	if err := flush(batch[len(batch)-1].LSN); err != nil {
+		return onDisk, err
 	}
-	return batch[len(batch)-1].LSN, nil
+	return onDisk, nil
+}
+
+// restoreBoundary truncates the active segment to size — a known
+// record boundary — and repositions the write offset there, erasing
+// whatever a failed write tore into the file.
+func (l *Log) restoreBoundary(size int64) error {
+	if err := l.seg.Truncate(size); err != nil {
+		return err
+	}
+	if _, err := l.seg.Seek(size, io.SeekStart); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.segments[len(l.segments)-1].bytes = size
+	l.mu.Unlock()
+	return nil
 }
 
 // rotate seals the active segment — fsync, close, record last as its
@@ -709,14 +798,4 @@ func (l *Log) rotate(last uint64) error {
 	}
 	l.mu.Unlock()
 	return l.openSegment(last + 1)
-}
-
-// syncDir fsyncs a directory so entry creation and removal is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }
