@@ -120,7 +120,7 @@ func (sx *ShardedIndex) SearchBatchBudget(queries [][]float32, k, lambda int) ([
 type seqShardSearcher struct{ sx *ShardedIndex }
 
 func (s seqShardSearcher) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
-	return s.sx.searchBudgetInto(q, k, lambda, false, dst)
+	return s.sx.searchBudgetInto(q, k, lambda, false, dst, nil)
 }
 
 // parShardSearcher keeps the per-shard fan-out inside each worker, for
@@ -128,5 +128,5 @@ func (s seqShardSearcher) SearchBudgetInto(q []float32, k, lambda int, dst []Nei
 type parShardSearcher struct{ sx *ShardedIndex }
 
 func (s parShardSearcher) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
-	return s.sx.searchBudgetInto(q, k, lambda, true, dst)
+	return s.sx.searchBudgetInto(q, k, lambda, true, dst, nil)
 }

@@ -116,11 +116,22 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 	addIntoRuns(&rep, "shard", sx, queries, rounds, k)
 
 	// serve: loopback HTTP with concurrent clients.
-	sr, err := serveRun(sx, queries, k, clients, reqs)
+	sr, err := serveRun(sx, queries, k, clients, reqs, 0)
 	if err != nil {
 		return err
 	}
 	rep.Runs["serve"] = sr
+
+	// serve_traced: same load with every request span-traced, so the
+	// report pins the observability overhead against the serve baseline.
+	st, err := serveRun(sx, queries, k, clients, reqs, 1)
+	if err != nil {
+		return err
+	}
+	if sr.QPS > 0 {
+		st.Note = fmt.Sprintf("%s; traced QPS delta %+.2f%% vs serve", st.Note, (st.QPS-sr.QPS)/sr.QPS*100)
+	}
+	rep.Runs["serve_traced"] = st
 
 	// churn: mixed insert/delete/search, compaction cost, QPS recovery.
 	cs, err := runChurn(n, nq, k, m, seed, kind)
@@ -157,13 +168,15 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 // serveRun drives the HTTP serving stack over a loopback listener, as in
 // -exp serve, and reports end-to-end client-side numbers plus
 // process-wide heap traffic per request (server and client combined —
-// an upper bound on the serving path's allocation cost).
-func serveRun(backend lccs.Searcher, queries [][]float32, k, clients, reqs int) (RunReport, error) {
+// an upper bound on the serving path's allocation cost). traceSample
+// sets the server's span-tracing fraction (1 = trace every request).
+func serveRun(backend lccs.Searcher, queries [][]float32, k, clients, reqs int, traceSample float64) (RunReport, error) {
 	srv, err := server.New(server.Config{
 		Backend:     backend,
 		MaxInFlight: runtime.GOMAXPROCS(0),
 		MaxQueue:    clients * 4,
 		Timeout:     30 * time.Second,
+		TraceSample: traceSample,
 	})
 	if err != nil {
 		return RunReport{}, err
@@ -252,6 +265,6 @@ func serveRun(backend lccs.Searcher, queries [][]float32, k, clients, reqs int) 
 		P99Micros:   pct(0.99),
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(reqs),
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(reqs),
-		Note:        fmt.Sprintf("loopback HTTP /v1/search, %d clients (process-wide allocs incl. client)", clients),
+		Note:        fmt.Sprintf("loopback HTTP /v1/search, %d clients, trace_sample=%g (process-wide allocs incl. client)", clients, traceSample),
 	}, nil
 }

@@ -1,9 +1,9 @@
 // Command lccs-serve puts an LCCS-LSH index behind a network endpoint: a
 // long-lived daemon that loads (or builds) an index over a dataset file
 // and serves the HTTP/JSON API of internal/server — /v1/search,
-// /v1/search/batch, /v1/insert, /v1/delete, /v1/stats, /healthz,
-// /metrics — with bounded concurrency, an LRU result cache, and
-// graceful shutdown.
+// /v1/search/batch, /v1/insert, /v1/delete, /v1/stats, /v1/debug/slow,
+// /healthz, /metrics — with bounded concurrency, an LRU result cache,
+// and graceful shutdown.
 //
 // Usage:
 //
@@ -31,6 +31,13 @@
 // acknowledged writes must survive a crash); otherwise a ShardedIndex
 // is built with -shards shards.
 //
+// Observability: the daemon logs structured key=value (or JSON with
+// -log-format json) records through log/slog; -trace-sample traces a
+// fraction of searches into the per-stage span histograms and the
+// /v1/debug/slow reservoir; -slow-threshold captures slow queries
+// there too; -debug-addr serves net/http/pprof on a separate listener
+// so profiling endpoints are never exposed on the public port.
+//
 // On SIGINT or SIGTERM the daemon flips /healthz to 503, drains
 // in-flight requests, waits for any background delta build, and
 // persists: durable mode checkpoints (snapshot + WAL truncation), the
@@ -42,10 +49,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -53,6 +62,13 @@ import (
 	"lccs/internal/dataset"
 	"lccs/internal/server"
 )
+
+// version is stamped at build time via -ldflags "-X main.version=...".
+var version = "dev"
+
+// logger is the process-wide structured logger, configured from
+// -log-level and -log-format right after flag parsing.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -85,8 +101,26 @@ func main() {
 		snapDataPth = flag.String("snapshot-data", "", "file mode: on shutdown, save the snapshot's vectors here (default: <snapshot>.ds)")
 		drainWait   = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 		drainDelay  = flag.Duration("drain-delay", 0, "window between /healthz going 503 and the listener closing; set to ≥ your load balancer's probe interval")
+
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text | json")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of searches traced into per-stage spans (0 = only explicit \"trace\":true requests)")
+		slowThresh  = flag.Duration("slow-threshold", 250*time.Millisecond, "capture searches at or above this latency in /v1/debug/slow (0 disables)")
+		slowLogSize = flag.Int("slow-log", 64, "slow-query ring capacity (0 = default 64)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("lccs-serve %s (%s)\n", version, runtime.Version())
+		return
+	}
+	var err error
+	logger, err = buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lccs-serve:", err)
+		os.Exit(2)
+	}
 	if *dataPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -110,7 +144,7 @@ func main() {
 		}
 		backend = dur
 		if *indexPath != "" || *snapPath != "" || *dynamic {
-			log.Printf("warning: -index/-snapshot/-dynamic are file-mode flags; ignored with a durable data dir")
+			logger.Warn("file-mode flags ignored with a durable data dir", "flags", "-index/-snapshot/-dynamic")
 		}
 	} else {
 		ds, err = dataset.Load(*dataPath)
@@ -125,7 +159,7 @@ func main() {
 			fatal(err)
 		}
 		if *snapPath != "" && dyn == nil {
-			log.Printf("warning: -snapshot is only honored with -dynamic; ignoring")
+			logger.Warn("-snapshot is only honored with -dynamic; ignoring")
 		}
 	}
 
@@ -137,15 +171,39 @@ func main() {
 		CacheSize:      *cacheSize,
 		CacheQuantBits: *cacheQuant,
 		MaxBodyBytes:   *maxBody,
+		TraceSample:    *traceSample,
+		SlowThreshold:  *slowThresh,
+		SlowLogSize:    *slowLogSize,
+		Version:        version,
+		Logger:         logger,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	// The pprof endpoints live on their own listener so profiling is
+	// never reachable through the public port; the mux is explicit to
+	// avoid hanging handlers off http.DefaultServeMux.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func(addr string) {
+			logger.Info("pprof listening", "addr", addr)
+			if err := http.ListenAndServe(addr, dmux); err != nil {
+				logger.Error("pprof listener failed", "addr", addr, "err", err)
+			}
+		}(*debugAddr)
+	}
+
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("lccs-serve: listening on %s (n=%d, metric=%s)", *addr, backend.Len(), kind)
+		logger.Info("listening", "addr", *addr, "vectors", backend.Len(), "metric", string(kind),
+			"version", version, "trace_sample", *traceSample, "slow_threshold", *slowThresh)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			done <- err
 			return
@@ -169,10 +227,10 @@ func main() {
 	case err := <-done:
 		fatal(err) // listener died before any signal
 	case got := <-sig:
-		log.Printf("lccs-serve: %v: draining (send again to force exit)", got)
+		logger.Info("draining; send the signal again to force exit", "signal", got.String())
 		go func() {
 			s := <-sig
-			log.Printf("lccs-serve: %v: forcing exit", s)
+			logger.Warn("forcing exit", "signal", s.String())
 			os.Exit(1)
 		}()
 	}
@@ -188,10 +246,10 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("lccs-serve: shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
 	if err := <-done; err != nil {
-		log.Printf("lccs-serve: serve: %v", err)
+		logger.Error("serve", "err", err)
 	}
 	close(stopCkpt)
 	switch {
@@ -211,34 +269,52 @@ func main() {
 			}
 		}
 	}
-	log.Printf("lccs-serve: bye")
+	logger.Info("bye")
 }
 
-// openDurable opens the durable data directory, logs the recovery
-// summary, and seeds a fresh directory from -bootstrap when given.
+// buildLogger assembles the process logger from the -log-level and
+// -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug | info | warn | error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text | json", format)
+	}
+	return slog.New(h), nil
+}
+
+// openDurable opens the durable data directory (recovery details are
+// logged by the library through the injected logger) and seeds a fresh
+// directory from -bootstrap when given.
 func openDurable(dir string, cfg lccs.Config, policy string, syncEvery time.Duration, segMB int64, rebuildAt int, bootstrap string) (*lccs.DurableIndex, error) {
 	sp, err := lccs.ParseSyncPolicy(policy)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
 	dur, err := lccs.OpenDurable(dir, lccs.DurableConfig{
 		Config:       cfg,
 		Sync:         sp,
 		SyncInterval: syncEvery,
 		SegmentBytes: segMB << 20,
 		RebuildAt:    rebuildAt,
+		Logger:       logger,
 	})
 	if err != nil {
 		return nil, err
 	}
-	rec := dur.Recovery()
-	log.Printf("lccs-serve: recovered %s in %v: snapshot %d vectors, %d WAL segments replayed, %d records applied (%d already checkpointed, %dB torn tail discarded); %d live vectors, sync=%s",
-		dir, time.Since(start).Round(time.Millisecond), rec.SnapshotVectors, rec.Segments,
-		rec.Records, rec.Skipped, rec.TornBytes, dur.Len(), sp)
 	if bootstrap != "" {
+		rec := dur.Recovery()
 		if dur.Len() > 0 || rec.Records > 0 || rec.SnapshotVectors > 0 {
-			log.Printf("lccs-serve: -bootstrap ignored: %s already holds data", dir)
+			logger.Warn("-bootstrap ignored: data dir already holds data", "dir", dir)
 			return dur, nil
 		}
 		if err := seed(dur, bootstrap, cfg.Metric); err != nil {
@@ -272,8 +348,8 @@ func seed(dur *lccs.DurableIndex, path string, kind lccs.MetricKind) error {
 	if err := checkpoint(dur, "bootstrap"); err != nil {
 		return err
 	}
-	log.Printf("lccs-serve: bootstrapped %d vectors from %s in %v",
-		len(ds.Data), path, time.Since(start).Round(time.Millisecond))
+	logger.Info("bootstrapped", "vectors", len(ds.Data), "path", path,
+		"took", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -301,7 +377,7 @@ func checkpointLoop(dur *lccs.DurableIndex, every time.Duration, walBytes int64,
 				reason = fmt.Sprintf("wal size %dMB", st.Bytes>>20)
 			}
 			if err := checkpoint(dur, reason); err != nil {
-				log.Printf("lccs-serve: checkpoint: %v", err)
+				logger.Error("checkpoint failed", "err", err)
 			}
 			last = time.Now()
 		case <-stop:
@@ -310,7 +386,8 @@ func checkpointLoop(dur *lccs.DurableIndex, every time.Duration, walBytes int64,
 	}
 }
 
-// checkpoint runs one checkpoint and logs its outcome.
+// checkpoint runs one checkpoint and logs its outcome (phase timings
+// are logged by the library through the injected logger).
 func checkpoint(dur *lccs.DurableIndex, reason string) error {
 	info, err := dur.Checkpoint()
 	if err != nil {
@@ -318,13 +395,14 @@ func checkpoint(dur *lccs.DurableIndex, reason string) error {
 	}
 	switch {
 	case info.Skipped:
-		log.Printf("lccs-serve: checkpoint (%s): skipped, nothing new to capture", reason)
+		logger.Info("checkpoint skipped: nothing new to capture", "reason", reason)
 	case info.Container == "":
-		log.Printf("lccs-serve: checkpoint (%s): gen %d, index empty (id watermark persisted), WAL truncated through LSN %d in %v",
-			reason, info.Generation, info.LSN, info.Took.Round(time.Millisecond))
+		logger.Info("checkpoint: index empty, id watermark persisted", "reason", reason,
+			"generation", info.Generation, "lsn", info.LSN, "took", info.Took.Round(time.Millisecond))
 	default:
-		log.Printf("lccs-serve: checkpoint (%s): gen %d, %d live vectors, %d tombstones → %s, WAL truncated through LSN %d in %v",
-			reason, info.Generation, info.Live, info.Tombstones, info.Container, info.LSN, info.Took.Round(time.Millisecond))
+		logger.Info("checkpoint", "reason", reason, "generation", info.Generation,
+			"live", info.Live, "tombstones", info.Tombstones, "container", info.Container,
+			"lsn", info.LSN, "took", info.Took.Round(time.Millisecond))
 	}
 	return nil
 }
@@ -340,8 +418,8 @@ func buildBackend(ds *dataset.Dataset, cfg lccs.Config, indexPath string, dynami
 		if err != nil {
 			return nil, nil, err
 		}
-		log.Printf("lccs-serve: loaded %s (%d shards over %d vectors) in %v",
-			indexPath, sx.Shards(), sx.Len(), time.Since(start).Round(time.Millisecond))
+		logger.Info("loaded index", "path", indexPath, "shards", sx.Shards(), "vectors", sx.Len(),
+			"took", time.Since(start).Round(time.Millisecond))
 		if dynamic {
 			// Keep a warm restart writable: the loaded shards become the
 			// dynamic main, so snapshot → restart → insert keeps working
@@ -359,8 +437,8 @@ func buildBackend(ds *dataset.Dataset, cfg lccs.Config, indexPath string, dynami
 		if err != nil {
 			return nil, nil, err
 		}
-		log.Printf("lccs-serve: built dynamic index over %d vectors in %v",
-			dyn.Len(), time.Since(start).Round(time.Millisecond))
+		logger.Info("built dynamic index", "vectors", dyn.Len(),
+			"took", time.Since(start).Round(time.Millisecond))
 		return dyn, dyn, nil
 	default:
 		start := time.Now()
@@ -368,8 +446,8 @@ func buildBackend(ds *dataset.Dataset, cfg lccs.Config, indexPath string, dynami
 		if err != nil {
 			return nil, nil, err
 		}
-		log.Printf("lccs-serve: built %d shards over %d vectors in %v",
-			sx.Shards(), sx.Len(), time.Since(start).Round(time.Millisecond))
+		logger.Info("built sharded index", "shards", sx.Shards(), "vectors", sx.Len(),
+			"took", time.Since(start).Round(time.Millisecond))
 		return sx, nil, nil
 	}
 }
@@ -401,12 +479,16 @@ func snapshot(dyn *lccs.DynamicIndex, ds *dataset.Dataset, snapPath, snapDataPat
 	if err := out.Save(snapDataPath); err != nil {
 		return err
 	}
-	log.Printf("lccs-serve: snapshot: %d live vectors, %d tombstones (%d shards) → %s + %s",
-		sx.Len(), sx.Deleted(), sx.Shards(), snapPath, snapDataPath)
+	logger.Info("snapshot saved", "live", sx.Len(), "tombstones", sx.Deleted(),
+		"shards", sx.Shards(), "index", snapPath, "data", snapDataPath)
 	return nil
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lccs-serve:", err)
+	if logger != nil {
+		logger.Error("exiting", "err", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "lccs-serve:", err)
+	}
 	os.Exit(1)
 }

@@ -3,12 +3,14 @@ package lccs
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"lccs/internal/dataset"
 	"lccs/internal/faultfs"
+	"lccs/internal/obs"
 	"lccs/internal/wal"
 )
 
@@ -80,6 +82,10 @@ type DurableConfig struct {
 	// so a DurableConfig FS must wrap the real filesystem, not replace
 	// it.
 	FS wal.FS
+	// Logger receives structured recovery, checkpoint, and WAL
+	// lifecycle events. Nil keeps the library silent (events are
+	// discarded), so embedding processes opt in explicitly.
+	Logger *slog.Logger
 }
 
 // RecoveryInfo summarizes what OpenDurable replayed.
@@ -179,6 +185,7 @@ type DurableIndex struct {
 	cmu      sync.Mutex
 	gen      uint64
 	recovery RecoveryInfo
+	logger   *slog.Logger
 }
 
 // Compile-time conformance: a DurableIndex serves queries like any
@@ -200,6 +207,10 @@ func OpenDurable(dir string, dc DurableConfig) (*DurableIndex, error) {
 	fsys := dc.FS
 	if fsys == nil {
 		fsys = faultfs.OS{}
+	}
+	logger := dc.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
 	}
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -253,11 +264,12 @@ func OpenDurable(dir string, dc DurableConfig) (*DurableIndex, error) {
 		// are never mistaken for already-checkpointed ones.
 		MinNextLSN: from,
 		FS:         fsys,
+		Logger:     logger,
 	})
 	if err != nil {
 		return nil, err
 	}
-	di := &DurableIndex{DynamicIndex: dyn, dir: dir, fs: fsys, log: log, gen: gen}
+	di := &DurableIndex{DynamicIndex: dyn, dir: dir, fs: fsys, log: log, gen: gen, logger: logger}
 	start := time.Now()
 	info, err := log.Replay(from, func(rec wal.Record) error {
 		switch rec.Op {
@@ -294,16 +306,28 @@ func OpenDurable(dir string, dc DurableConfig) (*DurableIndex, error) {
 		log.Close()
 		return nil, err
 	}
+	replayTook := time.Since(start)
+	obs.ObserveDur(obs.StageRecoveryReplay, replayTook)
 	di.recovery = RecoveryInfo{
 		Segments:        info.Segments,
 		Records:         info.Records,
 		Skipped:         info.Skipped,
 		TornBytes:       info.TornBytes,
-		Duration:        time.Since(start),
+		Duration:        replayTook,
 		CheckpointLSN:   from,
 		LastLSN:         info.LastLSN,
 		SnapshotVectors: snapVectors,
 	}
+	logger.Info("durable: recovered",
+		"dir", dir,
+		"snapshot_vectors", snapVectors,
+		"segments", info.Segments,
+		"records", info.Records,
+		"skipped", info.Skipped,
+		"torn_bytes", info.TornBytes,
+		"checkpoint_lsn", from,
+		"last_lsn", info.LastLSN,
+		"took", replayTook)
 	return di, nil
 }
 
@@ -349,16 +373,25 @@ func isValidationError(err error) bool {
 // error wrapping ErrNotDurable, however, means the write may not
 // survive a crash and must not be acknowledged.
 func (di *DurableIndex) Add(v []float32) (int, error) {
+	// The stage clock: apply covers the write-lock wait plus the
+	// in-memory insert; append the journal record write; fsync the
+	// group-commit durability wait.
+	t0 := time.Now()
 	di.wmu.Lock()
 	id, aerr := di.DynamicIndex.Add(v)
 	if aerr != nil && isValidationError(aerr) {
 		di.wmu.Unlock()
 		return id, aerr
 	}
+	t1 := time.Now()
+	obs.ObserveDur(obs.StageIndexApply, t1.Sub(t0))
 	lsn, werr := di.log.Append(wal.Record{Op: wal.OpInsert, ID: int64(id), Vec: v})
 	di.wmu.Unlock()
+	t2 := time.Now()
+	obs.ObserveDur(obs.StageWALAppend, t2.Sub(t1))
 	if werr == nil {
 		werr = di.log.WaitDurable(lsn)
+		obs.ObserveSince(obs.StageWALFsync, t2)
 	}
 	if werr != nil {
 		return id, fmt.Errorf("%w: %v", ErrNotDurable, werr)
@@ -377,6 +410,7 @@ func (di *DurableIndex) AddBatch(vecs [][]float32) ([]int, error) {
 	ids := make([]int, 0, len(vecs))
 	recs := make([]wal.Record, 0, len(vecs))
 	var deferred, rejected error
+	t0 := time.Now()
 	di.wmu.Lock()
 	for _, v := range vecs {
 		id, aerr := di.DynamicIndex.Add(v)
@@ -390,14 +424,19 @@ func (di *DurableIndex) AddBatch(vecs [][]float32) ([]int, error) {
 		ids = append(ids, id)
 		recs = append(recs, wal.Record{Op: wal.OpInsert, ID: int64(id), Vec: v})
 	}
+	t1 := time.Now()
+	obs.ObserveDur(obs.StageIndexApply, t1.Sub(t0))
 	var lsn uint64
 	var werr error
 	if len(recs) > 0 {
 		lsn, werr = di.log.Append(recs...)
 	}
 	di.wmu.Unlock()
+	t2 := time.Now()
+	obs.ObserveDur(obs.StageWALAppend, t2.Sub(t1))
 	if len(recs) > 0 && werr == nil {
 		werr = di.log.WaitDurable(lsn)
+		obs.ObserveSince(obs.StageWALFsync, t2)
 	}
 	switch {
 	case werr != nil:
@@ -413,16 +452,22 @@ func (di *DurableIndex) AddBatch(vecs [][]float32) ([]int, error) {
 // an error wrapping ErrNotDurable means the delete may not survive a
 // crash and must not be acknowledged.
 func (di *DurableIndex) DeleteDurable(id int) (bool, error) {
+	t0 := time.Now()
 	di.wmu.Lock()
 	ok := di.DynamicIndex.Delete(id)
 	if !ok {
 		di.wmu.Unlock()
 		return false, nil
 	}
+	t1 := time.Now()
+	obs.ObserveDur(obs.StageIndexApply, t1.Sub(t0))
 	lsn, werr := di.log.Append(wal.Record{Op: wal.OpDelete, ID: int64(id)})
 	di.wmu.Unlock()
+	t2 := time.Now()
+	obs.ObserveDur(obs.StageWALAppend, t2.Sub(t1))
 	if werr == nil {
 		werr = di.log.WaitDurable(lsn)
+		obs.ObserveSince(obs.StageWALFsync, t2)
 	}
 	if werr != nil {
 		return true, fmt.Errorf("%w: %v", ErrNotDurable, werr)
@@ -450,6 +495,7 @@ func (di *DurableIndex) DeleteBatch(ids []int) (deleted int, missing []int, err 
 		return 0, nil, nil
 	}
 	recs := make([]wal.Record, 0, len(ids))
+	t0 := time.Now()
 	di.wmu.Lock()
 	for _, id := range ids {
 		if di.DynamicIndex.Delete(id) {
@@ -458,14 +504,19 @@ func (di *DurableIndex) DeleteBatch(ids []int) (deleted int, missing []int, err 
 			missing = append(missing, id)
 		}
 	}
+	t1 := time.Now()
+	obs.ObserveDur(obs.StageIndexApply, t1.Sub(t0))
 	var lsn uint64
 	var werr error
 	if len(recs) > 0 {
 		lsn, werr = di.log.Append(recs...)
 	}
 	di.wmu.Unlock()
+	t2 := time.Now()
+	obs.ObserveDur(obs.StageWALAppend, t2.Sub(t1))
 	if len(recs) > 0 && werr == nil {
 		werr = di.log.WaitDurable(lsn)
+		obs.ObserveSince(obs.StageWALFsync, t2)
 	}
 	if werr != nil {
 		return len(recs), missing, fmt.Errorf("%w: %v", ErrNotDurable, werr)
@@ -502,6 +553,8 @@ func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
 	}
 	depth := di.log.Stats().Depth
 	di.wmu.Unlock()
+	snapTook := time.Since(start)
+	obs.ObserveDur(obs.StageCkptSnapshot, snapTook)
 	if err != nil {
 		return CheckpointInfo{}, err
 	}
@@ -523,6 +576,7 @@ func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
 	gen := di.gen
 	man := &wal.Manifest{LSN: lsn, Generation: gen}
 	info := CheckpointInfo{LSN: lsn, Generation: gen}
+	writeStart := time.Now()
 	if empty {
 		man.IDWatermark = uint64(watermark)
 	} else {
@@ -549,9 +603,15 @@ func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
 		info.Container, info.Dataset = container, dsName
 		info.Live, info.Tombstones = sx.Len(), sx.Deleted()
 	}
+	writeTook := time.Since(writeStart)
+	obs.ObserveDur(obs.StageCkptWrite, writeTook)
+	manStart := time.Now()
 	if err := wal.WriteManifestFS(di.fs, di.dir, man); err != nil {
 		return CheckpointInfo{}, err
 	}
+	manTook := time.Since(manStart)
+	obs.ObserveDur(obs.StageCkptManifest, manTook)
+	truncStart := time.Now()
 	if err := di.log.TruncateThrough(lsn); err != nil {
 		return CheckpointInfo{}, err
 	}
@@ -562,7 +622,19 @@ func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
 	if err := di.removeOrphans(man); err != nil {
 		return CheckpointInfo{}, err
 	}
+	truncTook := time.Since(truncStart)
+	obs.ObserveDur(obs.StageCkptTruncate, truncTook)
 	info.Took = time.Since(start)
+	di.logger.Info("durable: checkpoint",
+		"generation", gen,
+		"lsn", lsn,
+		"live", info.Live,
+		"tombstones", info.Tombstones,
+		"snapshot_took", snapTook,
+		"write_took", writeTook,
+		"manifest_took", manTook,
+		"truncate_took", truncTook,
+		"took", info.Took)
 	return info, nil
 }
 

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 
+	"lccs/internal/core"
 	"lccs/internal/idmap"
+	"lccs/internal/obs"
 	"lccs/internal/pqueue"
 	"lccs/internal/vec"
 )
@@ -516,6 +518,23 @@ func (d *DynamicIndex) SearchBudget(q []float32, k, lambda int) ([]Neighbor, err
 // pooled scratch, so a steady-state query's only allocations are those
 // of the result row growth.
 func (d *DynamicIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
+	return d.searchBudgetIntoTraced(q, k, lambda, dst, nil)
+}
+
+// SearchBudgetIntoTraced is SearchBudgetInto recording spans into tr:
+// one shard_scan span per immutable shard (CSA comparison and verified-
+// candidate counters), a buffer_scan span over the unindexed delta
+// buffer, and a merge span, under a query root span. A nil tr is
+// exactly SearchBudgetInto; a non-positive lambda selects the default
+// budget.
+func (d *DynamicIndex) SearchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
+	if lambda <= 0 {
+		lambda = d.defaultBudget()
+	}
+	return d.searchBudgetIntoTraced(q, k, lambda, dst, tr)
+}
+
+func (d *DynamicIndex) searchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if err := validateQuery(q, d.store.Dim(), k, lambda); err != nil {
@@ -524,6 +543,7 @@ func (d *DynamicIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighb
 	if d.store.Len() == 0 {
 		return nil, nil
 	}
+	root := tr.StartSpan(obs.StageQuery, -1) // nil-safe: -1 when untraced
 	ctx := d.ctxs.Get().(*dynCtx)
 	ctx.best.Reset(k)
 	push := func(slot int, dist float64) {
@@ -537,18 +557,31 @@ func (d *DynamicIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighb
 	if s := len(d.shards); s > 1 {
 		lambdaShard = (lambda + s - 1) / s
 	}
-	for _, sh := range d.shards {
+	for i, sh := range d.shards {
 		// Over-fetch exactly the shard's own tombstone count — never
 		// more than the shard holds — so k live results survive
 		// filtering without the fetch growing with global churn.
 		fetch := fetchForShard(k, sh.dead, sh.ix.Len())
-		ctx.shardBuf = sh.ix.searchOffsetInto(q, fetch, lambdaShard, sh.off, ctx.shardBuf)
+		if tr == nil {
+			ctx.shardBuf = sh.ix.searchOffsetInto(q, fetch, lambdaShard, sh.off, ctx.shardBuf)
+		} else {
+			sp := tr.StartShardSpan(obs.StageShardScan, root, i)
+			var stats core.SearchStats
+			ctx.shardBuf, stats = sh.ix.searchOffsetIntoStats(q, fetch, lambdaShard, sh.off, ctx.shardBuf)
+			obs.ObserveDur(obs.StageShardScan, tr.FinishSpanN(sp, int64(stats.Comparisons), int64(stats.Candidates)))
+		}
 		for _, nb := range ctx.shardBuf {
 			push(nb.ID, nb.Dist)
 		}
 	}
 	// The unindexed buffer: one bulk kernel pass over the flat block.
+	bufSpan := tr.StartSpan(obs.StageBufferScan, root)
+	bufRows := d.store.Len() - d.indexed
 	d.store.Scan(d.indexed, d.store.Len(), q, d.metricLocked(), push)
+	if tr != nil {
+		obs.ObserveDur(obs.StageBufferScan, tr.FinishSpanN(bufSpan, int64(bufRows), int64(bufRows)))
+	}
+	mergeSpan := tr.StartSpan(obs.StageMerge, root)
 	ctx.sorted = ctx.best.AppendSorted(ctx.sorted[:0])
 	if dst == nil {
 		dst = make([]Neighbor, 0, len(ctx.sorted))
@@ -559,6 +592,10 @@ func (d *DynamicIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighb
 		dst = append(dst, Neighbor{ID: d.ids.Ext(nb.ID), Dist: nb.Dist})
 	}
 	d.ctxs.Put(ctx)
+	if tr != nil {
+		obs.ObserveDur(obs.StageMerge, tr.FinishSpanN(mergeSpan, int64(len(dst)), 0))
+		obs.ObserveDur(obs.StageQuery, tr.FinishSpan(root))
+	}
 	return dst, nil
 }
 

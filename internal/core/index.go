@@ -60,6 +60,10 @@ type SearchStats struct {
 	// Probes is the number of probing sequences issued (1 for
 	// single-probe LCCS-LSH).
 	Probes int
+	// Comparisons is the number of hash-string comparisons performed by
+	// the CSA's circular binary searches — the "rows touched" of the
+	// retrieval phase, as opposed to the Candidates verified exactly.
+	Comparisons int
 }
 
 // Index is a single-probe LCCS-LSH index over a fixed dataset.
@@ -251,8 +255,9 @@ func (ix *Index) searchInto(q []float32, k, lambda int, dst []pqueue.Neighbor) (
 		verified++
 	}
 	dst = ctx.best.AppendSorted(dst)
+	stats := SearchStats{Candidates: verified, Probes: 1, Comparisons: ctx.s.Comparisons()}
 	ix.ctxs.Put(ctx)
-	return dst, SearchStats{Candidates: verified, Probes: 1}
+	return dst, stats
 }
 
 // Data returns the indexed vector with the given id (a view into the
@@ -276,6 +281,14 @@ func (ix *Index) SearchOffsetInto(q []float32, k, lambda, offset int, dst []pque
 	res := ix.SearchInto(q, k, lambda, dst)
 	shiftIDs(res, offset)
 	return res
+}
+
+// SearchOffsetIntoStats is SearchOffsetInto returning the query's work
+// counters — the traced shard fan-out path.
+func (ix *Index) SearchOffsetIntoStats(q []float32, k, lambda, offset int, dst []pqueue.Neighbor) ([]pqueue.Neighbor, SearchStats) {
+	res, stats := ix.searchInto(q, k, lambda, dst[:0])
+	shiftIDs(res, offset)
+	return res, stats
 }
 
 // shiftIDs adds offset to every neighbor id in place and returns the

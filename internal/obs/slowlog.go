@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one captured request in the slow-query log.
+type SlowEntry struct {
+	RequestID uint64     `json:"request_id"`
+	Endpoint  string     `json:"endpoint"`
+	Time      time.Time  `json:"time"`
+	DurUS     float64    `json:"dur_us"`
+	K         int        `json:"k,omitempty"`
+	Budget    int        `json:"budget,omitempty"`
+	Traced    bool       `json:"traced"`
+	Spans     []SpanNode `json:"spans,omitempty"`
+}
+
+// SlowLog captures slow requests in a fixed-capacity ring buffer
+// (newest overwrites oldest) and keeps a reservoir sample of traced
+// requests that finished under the threshold, so /v1/debug/slow
+// shows both the tail and a representative baseline.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+
+	ring  []SlowEntry // capacity-sized ring
+	head  int         // next write position
+	count int         // entries populated, <= len(ring)
+
+	sample  []SlowEntry // reservoir of sub-threshold traced requests
+	seen    uint64      // traced sub-threshold requests offered so far
+	rngSeed uint64
+}
+
+// NewSlowLog builds a SlowLog holding up to capacity slow entries and
+// up to sampleCap reservoir entries. A threshold of 0 disables
+// threshold capture (only reservoir sampling of traced requests).
+func NewSlowLog(capacity, sampleCap int, threshold time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if sampleCap < 0 {
+		sampleCap = 0
+	}
+	return &SlowLog{
+		threshold: threshold,
+		ring:      make([]SlowEntry, capacity),
+		sample:    make([]SlowEntry, 0, sampleCap),
+		rngSeed:   0x9e3779b97f4a7c15,
+	}
+}
+
+// Threshold returns the slow-capture threshold (0 = disabled).
+func (sl *SlowLog) Threshold() time.Duration {
+	if sl == nil {
+		return 0
+	}
+	return sl.threshold
+}
+
+// Record offers a finished request to the log. Requests at or above
+// the threshold enter the ring; traced sub-threshold requests are
+// reservoir-sampled. spans, when non-nil, is called to materialize
+// e.Spans only for entries actually stored — rejected offers (the
+// vast majority once the reservoir is warm) never pay for span-tree
+// construction. Safe on nil.
+func (sl *SlowLog) Record(e SlowEntry, spans func() []SpanNode) {
+	if sl == nil {
+		return
+	}
+	dur := time.Duration(e.DurUS * float64(time.Microsecond))
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.threshold > 0 && dur >= sl.threshold {
+		if spans != nil {
+			e.Spans = spans()
+		}
+		sl.ring[sl.head] = e
+		sl.head = (sl.head + 1) % len(sl.ring)
+		if sl.count < len(sl.ring) {
+			sl.count++
+		}
+		return
+	}
+	if !e.Traced || cap(sl.sample) == 0 {
+		return
+	}
+	sl.seen++
+	if len(sl.sample) < cap(sl.sample) {
+		if spans != nil {
+			e.Spans = spans()
+		}
+		sl.sample = append(sl.sample, e)
+		return
+	}
+	// Algorithm R: replace a random slot with probability cap/seen.
+	if j := sl.rand() % sl.seen; j < uint64(cap(sl.sample)) {
+		if spans != nil {
+			e.Spans = spans()
+		}
+		sl.sample[j] = e
+	}
+}
+
+// rand is a tiny xorshift64* generator; the reservoir needs cheap,
+// lock-held randomness, not cryptographic quality.
+func (sl *SlowLog) rand() uint64 {
+	x := sl.rngSeed
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	sl.rngSeed = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Snapshot returns the slow entries newest-first plus the current
+// reservoir sample. Both slices are copies.
+func (sl *SlowLog) Snapshot() (slow, sample []SlowEntry) {
+	if sl == nil {
+		return nil, nil
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	slow = make([]SlowEntry, 0, sl.count)
+	for i := 0; i < sl.count; i++ {
+		idx := (sl.head - 1 - i + len(sl.ring)) % len(sl.ring)
+		slow = append(slow, sl.ring[idx])
+	}
+	sample = append([]SlowEntry(nil), sl.sample...)
+	return slow, sample
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Per-stage latency histograms with exponential buckets from 1µs to
+// ~16.8s (×2 per bucket) plus +Inf. Buckets and sums are plain
+// atomics so Observe is lock-free and safe from any goroutine,
+// including the WAL writer and checkpoint loops.
+
+const numStageBuckets = 25 // upper bounds 2^i µs, i = 0..24
+
+// stageBucketBound returns the i-th upper bound in seconds.
+func stageBucketBound(i int) float64 {
+	return float64(uint64(1)<<uint(i)) * 1e-6
+}
+
+type stageHist struct {
+	buckets [numStageBuckets + 1]atomic.Uint64 // last is +Inf
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+}
+
+var stageHists [numStages]stageHist
+
+// ObserveDur records one measurement of the given stage.
+func ObserveDur(stage Stage, d time.Duration) {
+	if stage >= numStages {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h := &stageHists[stage]
+	h.buckets[stageBucketIdx(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// ObserveSince is ObserveDur(stage, time.Since(t0)).
+func ObserveSince(stage Stage, t0 time.Time) {
+	ObserveDur(stage, time.Since(t0))
+}
+
+// stageBucketIdx maps a duration to the first bucket whose bound is
+// >= d. Bound i is 2^i µs, so the index is the bit length of the
+// duration in whole microseconds (ceiling division on the ns part).
+func stageBucketIdx(d time.Duration) int {
+	us := uint64((d + 999) / 1000) // ceil to µs
+	if us <= 1 {
+		return 0
+	}
+	idx := bits.Len64(us - 1) // smallest i with 2^i >= us
+	if idx > numStageBuckets {
+		return numStageBuckets // +Inf
+	}
+	return idx
+}
+
+// StageCount returns the number of observations for a stage.
+func StageCount(stage Stage) uint64 {
+	if stage >= numStages {
+		return 0
+	}
+	return stageHists[stage].count.Load()
+}
+
+// WriteStageMetrics renders every stage histogram as one Prometheus
+// family, lccs_stage_seconds{stage=...}, in text exposition format.
+func WriteStageMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP lccs_stage_seconds Time spent per request-lifecycle stage.\n")
+	fmt.Fprintf(w, "# TYPE lccs_stage_seconds histogram\n")
+	for s := Stage(0); s < numStages; s++ {
+		h := &stageHists[s]
+		name := s.String()
+		var cum uint64
+		for i := 0; i < numStageBuckets; i++ {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "lccs_stage_seconds_bucket{stage=%q,le=%q} %d\n",
+				name, formatBound(stageBucketBound(i)), cum)
+		}
+		cum += h.buckets[numStageBuckets].Load()
+		fmt.Fprintf(w, "lccs_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "lccs_stage_seconds_sum{stage=%q} %g\n",
+			name, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "lccs_stage_seconds_count{stage=%q} %d\n", name, h.count.Load())
+	}
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -14,12 +14,13 @@ import (
 // a write automatically orphans every earlier entry (stale keys age out
 // through normal LRU eviction — they can never be looked up again).
 type resultCache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List               // front = most recently used
-	byKey  map[string]*list.Element // value: *cacheEntry
-	hits   uint64
-	misses uint64
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List               // front = most recently used
+	byKey     map[string]*list.Element // value: *cacheEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type cacheEntry struct {
@@ -68,6 +69,7 @@ func (c *resultCache) put(key string, res []lccs.Neighbor) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
@@ -78,11 +80,11 @@ func (c *resultCache) len() int {
 	return c.ll.Len()
 }
 
-// stats returns the hit/miss counters.
-func (c *resultCache) stats() (hits, misses uint64) {
+// stats returns the hit/miss/eviction counters.
+func (c *resultCache) stats() (hits, misses, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.evictions
 }
 
 // cacheKey builds the lookup key for one query: the backend insert

@@ -30,7 +30,7 @@ func TestResultCacheLRUEviction(t *testing.T) {
 	if c.len() != 2 {
 		t.Fatalf("len=%d", c.len())
 	}
-	hits, misses := c.stats()
+	hits, misses, _ := c.stats()
 	if hits != 3 || misses != 1 {
 		t.Fatalf("hits=%d misses=%d, want 3/1", hits, misses)
 	}

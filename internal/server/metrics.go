@@ -57,14 +57,18 @@ func (h *histogram) quantile(q float64) float64 {
 		prevCum = cum
 		cum += float64(c)
 		if cum >= rank {
+			if i >= len(latencyBuckets) {
+				// Overflow (+Inf) bucket: there is no finite upper
+				// bound to interpolate toward, so clamp to the top
+				// finite bound rather than extrapolating (2*lo used
+				// to report latencies no observation ever had).
+				return latencyBuckets[len(latencyBuckets)-1]
+			}
 			lo := 0.0
 			if i > 0 {
 				lo = latencyBuckets[i-1]
 			}
-			hi := 2 * lo
-			if i < len(latencyBuckets) {
-				hi = latencyBuckets[i]
-			}
+			hi := latencyBuckets[i]
 			if c == 0 {
 				return hi
 			}
@@ -151,17 +155,17 @@ func (m *metrics) writeProm(w io.Writer, counters, gauges []gauge) {
 	}
 
 	counts2, sum, total := m.latency.snapshot()
-	fmt.Fprintf(w, "# HELP lccs_search_latency_seconds Search handler latency (admission wait included).\n")
-	fmt.Fprintf(w, "# TYPE lccs_search_latency_seconds histogram\n")
+	fmt.Fprintf(w, "# HELP lccs_request_seconds Search handler latency (admission wait included).\n")
+	fmt.Fprintf(w, "# TYPE lccs_request_seconds histogram\n")
 	var cum uint64
 	for i, ub := range latencyBuckets {
 		cum += counts2[i]
-		fmt.Fprintf(w, "lccs_search_latency_seconds_bucket{le=%q} %d\n", formatFloat(ub), cum)
+		fmt.Fprintf(w, "lccs_request_seconds_bucket{le=%q} %d\n", formatFloat(ub), cum)
 	}
 	cum += counts2[len(counts2)-1]
-	fmt.Fprintf(w, "lccs_search_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "lccs_search_latency_seconds_sum %g\n", sum)
-	fmt.Fprintf(w, "lccs_search_latency_seconds_count %d\n", total)
+	fmt.Fprintf(w, "lccs_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "lccs_request_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "lccs_request_seconds_count %d\n", total)
 
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)

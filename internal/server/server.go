@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"lccs"
+	"lccs/internal/obs"
 )
 
 // Inserter is the optional write interface of a backend; DynamicIndex
@@ -117,6 +119,24 @@ type Config struct {
 	// admission, so aggregate decode memory is bounded by
 	// MaxInFlight × MaxBodyBytes. 0 selects 32 MiB.
 	MaxBodyBytes int64
+	// TraceSample is the fraction of searches traced without an explicit
+	// request, in [0, 1]: 0.01 traces every 100th search (a deterministic
+	// stride, not a coin flip, so the rate is exact and allocation-free).
+	// 0 traces only requests that ask with "trace": true.
+	TraceSample float64
+	// SlowThreshold is the latency at or above which a finished search
+	// enters the slow-query ring at /v1/debug/slow. 0 disables threshold
+	// capture; traced requests are still reservoir-sampled.
+	SlowThreshold time.Duration
+	// SlowLogSize is the slow-query ring capacity (and the traced-request
+	// reservoir capacity). 0 selects 64.
+	SlowLogSize int
+	// Version is reported by the lccs_build_info metric; empty selects
+	// "dev".
+	Version string
+	// Logger receives the server's structured operational log (slow-query
+	// warnings). Nil discards it.
+	Logger *slog.Logger
 }
 
 // Server is the HTTP query-serving front end over one Searcher backend.
@@ -132,11 +152,12 @@ type Server struct {
 	// non-validation Add error downgraded to a warning; a custom
 	// Inserter's errors are always treated as failed inserts.
 	dynInserter bool
-	batch       BatchInserter  // nil when the backend has no bulk write path
-	deleter     Deleter        // nil when the backend cannot delete
-	durDeleter  DurableDeleter // non-nil for durable backends; preferred
-	batchDel    BatchDeleter   // nil when the backend has no bulk delete path
-	walStats    WALStatser     // nil when the backend has no WAL
+	batch       BatchInserter       // nil when the backend has no bulk write path
+	deleter     Deleter             // nil when the backend cannot delete
+	durDeleter  DurableDeleter      // non-nil for durable backends; preferred
+	batchDel    BatchDeleter        // nil when the backend has no bulk delete path
+	walStats    WALStatser          // nil when the backend has no WAL
+	traced      lccs.TracedSearcher // nil when the backend has no traced search path
 	adm         *admission
 	cache       *resultCache // nil when disabled
 	quant       uint
@@ -144,6 +165,15 @@ type Server struct {
 	maxBody     int64
 	met         *metrics
 	mux         *http.ServeMux
+	slow        *obs.SlowLog
+	logger      *slog.Logger
+	version     string
+	// sampleEvery traces every Nth search (0 = only explicit requests);
+	// sampleSeq is the stride counter behind it.
+	sampleEvery uint64
+	sampleSeq   atomic.Uint64
+	// reqID numbers every search for log/trace correlation.
+	reqID atomic.Uint64
 	// gen counts completed writes — inserts and deletes alike; it is
 	// folded into every cache key, so one write invalidates all earlier
 	// cached results at once.
@@ -173,6 +203,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
 	}
+	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
+		return nil, errors.New("server: Config.TraceSample must be in [0, 1]")
+	}
+	if cfg.Version == "" {
+		cfg.Version = "dev"
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	if cfg.SlowLogSize <= 0 {
+		cfg.SlowLogSize = 64
+	}
 	s := &Server{
 		backend: cfg.Backend,
 		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
@@ -180,6 +222,18 @@ func New(cfg Config) (*Server, error) {
 		timeout: cfg.Timeout,
 		maxBody: cfg.MaxBodyBytes,
 		met:     newMetrics(),
+		slow:    obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowLogSize, cfg.SlowThreshold),
+		logger:  cfg.Logger,
+		version: cfg.Version,
+	}
+	if cfg.TraceSample > 0 {
+		s.sampleEvery = uint64(math.Round(1 / cfg.TraceSample))
+		if s.sampleEvery < 1 {
+			s.sampleEvery = 1
+		}
+	}
+	if t, ok := cfg.Backend.(lccs.TracedSearcher); ok {
+		s.traced = t
 	}
 	if ins, ok := cfg.Backend.(Inserter); ok {
 		s.inserter = ins
@@ -214,6 +268,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/insert", s.handleInsert)
 	s.mux.HandleFunc("/v1/delete", s.handleDelete)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/debug/slow", s.handleDebugSlow)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
@@ -236,6 +291,9 @@ type searchRequest struct {
 	// Budget is the optional candidate budget λ; 0 uses the backend's
 	// default.
 	Budget int `json:"budget,omitempty"`
+	// Trace opts this request into span recording: the response carries
+	// the per-stage span tree and an X-Request-Id header.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // searchScratch is the pooled per-request state of the single-search
@@ -259,6 +317,7 @@ func getSearchScratch() *searchScratch {
 	sc.req.Query = sc.req.Query[:0]
 	sc.req.K = 0
 	sc.req.Budget = 0
+	sc.req.Trace = false
 	if sc.out == nil {
 		// Keep the response field non-nil so an empty result encodes as
 		// [] rather than null.
@@ -276,6 +335,18 @@ type searchResponse struct {
 	Neighbors  []neighborJSON `json:"neighbors"`
 	Cached     bool           `json:"cached"`
 	TookMicros int64          `json:"took_us"`
+	// RequestID and Trace are present only on traced requests.
+	RequestID uint64         `json:"request_id,omitempty"`
+	Trace     []obs.SpanNode `json:"trace,omitempty"`
+}
+
+// slowLogResponse is the /v1/debug/slow payload: the slow-query ring
+// newest-first plus the reservoir sample of traced requests that
+// finished under the threshold.
+type slowLogResponse struct {
+	ThresholdUS float64         `json:"threshold_us"`
+	Slow        []obs.SlowEntry `json:"slow"`
+	Sample      []obs.SlowEntry `json:"sample"`
 }
 
 type batchRequest struct {
@@ -336,6 +407,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := &sc.req
+	reqID := s.reqID.Add(1)
+	// Tracing: explicit opt-in via "trace": true, or the configured
+	// deterministic sampling stride. The untraced path never draws a
+	// trace from the pool; every Trace method is nil-safe, so the span
+	// calls below vanish into a pointer check.
+	var tr *obs.Trace
+	if req.Trace || (s.sampleEvery > 0 && s.sampleSeq.Add(1)%s.sampleEvery == 0) {
+		tr = obs.GetTrace(reqID)
+		defer obs.PutTrace(tr)
+	}
 	// The cache is probed before admission: a hit costs microseconds and
 	// touches no backend, so it must not occupy an execution slot or be
 	// shed under overload. Obviously invalid requests never touch the
@@ -343,24 +424,35 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	cacheable := s.cache != nil && req.K > 0 && len(req.Query) > 0 && req.Budget >= 0
 	var key string
 	if cacheable {
+		cacheStart := time.Now()
 		key = cacheKey(s.gen.Load(), req.K, req.Budget, req.Query, s.quant)
-		if res, ok := s.cache.get(key); ok {
+		res, ok := s.cache.get(key)
+		cacheDur := time.Since(cacheStart)
+		obs.ObserveDur(obs.StageCache, cacheDur)
+		tr.AddSpan(obs.StageCache, -1, cacheStart, cacheDur)
+		if ok {
 			sc.out = toJSONInto(sc.out[:0], res)
-			s.met.latency.observe(time.Since(start).Seconds())
-			s.respond(w, "search", http.StatusOK, searchResponse{
+			took := time.Since(start)
+			s.met.latency.observe(took.Seconds())
+			s.respondSearch(w, searchResponse{
 				Neighbors:  sc.out,
 				Cached:     true,
-				TookMicros: time.Since(start).Microseconds(),
-			})
+				TookMicros: took.Microseconds(),
+			}, reqID, tr, req.Trace)
+			s.recordSlow(reqID, "search", start, took, req.K, req.Budget, tr)
 			return
 		}
 	}
+	admStart := time.Now()
 	if ok := s.admit(w, r, "search"); !ok {
 		return
 	}
 	defer s.adm.release()
+	admDur := time.Since(admStart)
+	obs.ObserveDur(obs.StageAdmission, admDur)
+	tr.AddSpan(obs.StageAdmission, -1, admStart, admDur)
 
-	res, err := s.search(req.Query, req.K, req.Budget, sc.res)
+	res, err := s.search(req.Query, req.K, req.Budget, sc.res, tr)
 	if err != nil {
 		s.fail(w, "search", statusFor(err), err)
 		return
@@ -371,23 +463,75 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// its own copy rather than the pooled row.
 		s.cache.put(key, append([]lccs.Neighbor(nil), res...))
 	}
+	encStart := time.Now()
 	sc.out = toJSONInto(sc.out[:0], res)
-	s.met.latency.observe(time.Since(start).Seconds())
-	s.respond(w, "search", http.StatusOK, searchResponse{
+	encDur := time.Since(encStart)
+	obs.ObserveDur(obs.StageEncode, encDur)
+	tr.AddSpan(obs.StageEncode, -1, encStart, encDur)
+	took := time.Since(start)
+	s.met.latency.observe(took.Seconds())
+	s.respondSearch(w, searchResponse{
 		Neighbors:  sc.out,
-		TookMicros: time.Since(start).Microseconds(),
-	})
+		TookMicros: took.Microseconds(),
+	}, reqID, tr, req.Trace)
+	s.recordSlow(reqID, "search", start, took, req.K, req.Budget, tr)
+}
+
+// respondSearch sends a search response. Only an explicit "trace": true
+// request gets the span tree inline (plus the request id and the
+// X-Request-Id header); sampler-selected traces feed the histograms and
+// the slow-log reservoir without inflating client responses.
+func (s *Server) respondSearch(w http.ResponseWriter, resp searchResponse, reqID uint64, tr *obs.Trace, explicit bool) {
+	if tr != nil && explicit {
+		resp.RequestID = reqID
+		resp.Trace = tr.Tree()
+		w.Header().Set("X-Request-Id", strconv.FormatUint(reqID, 10))
+	}
+	s.respond(w, "search", http.StatusOK, resp)
+}
+
+// recordSlow offers a finished search to the slow-query log and warns
+// through the structured logger when it crossed the threshold.
+func (s *Server) recordSlow(reqID uint64, endpoint string, start time.Time, took time.Duration, k, budget int, tr *obs.Trace) {
+	thr := s.slow.Threshold()
+	slow := thr > 0 && took >= thr
+	if tr == nil && !slow {
+		return // nothing to capture: neither traced nor over threshold
+	}
+	// tr.Tree is passed as a thunk: the log materializes the span tree
+	// only for entries it actually keeps, so a traced request that the
+	// reservoir rejects costs no tree allocation. Tree is nil-safe, so
+	// the method value works for untraced-but-slow requests too.
+	s.slow.Record(obs.SlowEntry{
+		RequestID: reqID,
+		Endpoint:  endpoint,
+		Time:      start,
+		DurUS:     float64(took) / float64(time.Microsecond),
+		K:         k,
+		Budget:    budget,
+		Traced:    tr != nil,
+	}, tr.Tree)
+	if slow {
+		s.logger.Warn("slow query",
+			"request_id", reqID, "endpoint", endpoint, "took", took,
+			"k", k, "budget", budget, "traced", tr != nil)
+	}
 }
 
 // search routes to the default-budget (budget == 0) or explicit-budget
 // backend call, appending the result into the pooled dst row; a negative
-// budget is the client's error, not a request for the default.
-func (s *Server) search(q []float32, k, budget int, dst []lccs.Neighbor) ([]lccs.Neighbor, error) {
-	switch {
-	case budget > 0:
-		return s.backend.SearchBudgetInto(q, k, budget, dst)
-	case budget < 0:
+// budget is the client's error, not a request for the default. A
+// non-nil tr selects the backend's traced path when it has one (a
+// non-positive budget selects the default budget there too).
+func (s *Server) search(q []float32, k, budget int, dst []lccs.Neighbor, tr *obs.Trace) ([]lccs.Neighbor, error) {
+	if budget < 0 {
 		return dst, lccs.ErrInvalidBudget
+	}
+	if tr != nil && s.traced != nil {
+		return s.traced.SearchBudgetIntoTraced(q, k, budget, dst, tr)
+	}
+	if budget > 0 {
+		return s.backend.SearchBudgetInto(q, k, budget, dst)
 	}
 	return s.backend.SearchInto(q, k, dst)
 }
@@ -662,11 +806,12 @@ type Stats struct {
 
 // CacheStats summarizes the result cache.
 type CacheStats struct {
-	Enabled bool    `json:"enabled"`
-	Entries int     `json:"entries"`
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
+	Enabled   bool    `json:"enabled"`
+	Entries   int     `json:"entries"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // LatencyStats summarizes the search latency histogram.
@@ -716,8 +861,8 @@ func (s *Server) StatsSnapshot() Stats {
 		st.Latency.MeanMs = sum / float64(total) * 1000
 	}
 	if s.cache != nil {
-		hits, misses := s.cache.stats()
-		st.Cache = CacheStats{Enabled: true, Entries: s.cache.len(), Hits: hits, Misses: misses}
+		hits, misses, evictions := s.cache.stats()
+		st.Cache = CacheStats{Enabled: true, Entries: s.cache.len(), Hits: hits, Misses: misses, Evictions: evictions}
 		if hits+misses > 0 {
 			st.Cache.HitRate = float64(hits) / float64(hits+misses)
 		}
@@ -758,6 +903,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, "stats", http.StatusOK, s.StatsSnapshot())
 }
 
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.fail(w, "debug_slow", http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	slow, sample := s.slow.Snapshot()
+	if slow == nil {
+		slow = []obs.SlowEntry{}
+	}
+	if sample == nil {
+		sample = []obs.SlowEntry{}
+	}
+	s.respond(w, "debug_slow", http.StatusOK, slowLogResponse{
+		ThresholdUS: float64(s.slow.Threshold()) / float64(time.Microsecond),
+		Slow:        slow,
+		Sample:      sample,
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.respond(w, "healthz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -784,10 +949,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			gauge{"lccs_index_tombstones", "Deleted vectors awaiting compaction.", float64(bs.Tombstones)})
 	}
 	if s.cache != nil {
-		hits, misses := s.cache.stats()
+		hits, misses, evictions := s.cache.stats()
 		counters = append(counters,
 			gauge{"lccs_cache_hits_total", "Result cache hits.", float64(hits)},
 			gauge{"lccs_cache_misses_total", "Result cache misses.", float64(misses)},
+			gauge{"lccs_cache_evictions_total", "Result cache LRU evictions.", float64(evictions)},
 		)
 		gauges = append(gauges,
 			gauge{"lccs_cache_entries", "Live result cache entries.", float64(s.cache.len())})
@@ -804,9 +970,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			gauge{"lccs_wal_synced_lsn", "Highest log sequence number known fsynced.", float64(ws.SyncedLSN)},
 		)
 	}
+	gets, misses := obs.PoolStats()
+	counters = append(counters,
+		gauge{"lccs_trace_pool_gets_total", "Traces drawn from the span pool.", float64(gets)},
+		gauge{"lccs_trace_pool_misses_total", "Trace pool gets that allocated a fresh trace.", float64(misses)},
+	)
+	hitRate := 0.0
+	if gets > 0 {
+		hitRate = float64(gets-misses) / float64(gets)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauges = append(gauges,
+		gauge{"lccs_trace_pool_hit_rate", "Fraction of trace pool gets served without allocating.", hitRate},
+		gauge{"lccs_goroutines", "Live goroutines.", float64(runtime.NumGoroutine())},
+		gauge{"lccs_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc)},
+		gauge{"lccs_gc_runs_total", "Completed garbage-collection cycles.", float64(ms.NumGC)},
+		gauge{"lccs_gc_pause_last_seconds", "Duration of the most recent GC stop-the-world pause.", float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9},
+	)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.countRequest("metrics", http.StatusOK)
 	s.met.writeProm(w, counters, gauges)
+	obs.WriteStageMetrics(w)
+	fmt.Fprintf(w, "# HELP lccs_build_info Build metadata; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE lccs_build_info gauge\n")
+	fmt.Fprintf(w, "lccs_build_info{version=%q,go=%q} 1\n", s.version, runtime.Version())
 }
 
 // ---- plumbing ----

@@ -665,13 +665,13 @@ func TestServeMetricsExposition(t *testing.T) {
 	for _, want := range []string{
 		`lccs_requests_total{endpoint="search",code="200"} 1`,
 		`lccs_requests_total{endpoint="search",code="400"} 1`,
-		"lccs_search_latency_seconds_count 1",
+		"lccs_request_seconds_count 1",
 		"lccs_admission_rejected_total 0",
 		"lccs_index_vectors 100",
 		"lccs_cache_misses_total 1",
 		"# TYPE lccs_requests_total counter",
 		"# TYPE lccs_inflight_requests gauge",
-		"# TYPE lccs_search_latency_seconds histogram",
+		"# TYPE lccs_request_seconds histogram",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q", want)

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"lccs/internal/faultfs"
+	"lccs/internal/obs"
 )
 
 // FS is the filesystem abstraction the log performs all its I/O
@@ -112,6 +114,10 @@ type Options struct {
 	MinNextLSN uint64
 	// FS is the filesystem the log runs on. Nil selects the real OS.
 	FS FS
+	// Logger receives structured log-lifecycle events: torn tails
+	// discarded at Open, segment rotations, sticky I/O failures. Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +129,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FS == nil {
 		o.FS = faultfs.OS{}
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -197,6 +206,17 @@ type Log struct {
 	buf        []byte
 	retries    int // consecutive recoverable write failures
 	maxRetries int
+
+	logger *slog.Logger
+}
+
+// fail records the first sticky I/O failure (later ones are ignored —
+// the log is already broken) and logs it. Caller holds l.mu.
+func (l *Log) fail(err error) {
+	if err != nil && l.err == nil {
+		l.err = err
+		l.logger.Error("wal: sticky I/O failure, log broken until reopen", "err", err)
+	}
 }
 
 // ErrClosed is returned by operations on a closed Log.
@@ -225,12 +245,17 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, fs: opts.FS, maxRetries: 8, done: make(chan struct{})}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS, logger: opts.Logger, maxRetries: 8, done: make(chan struct{})}
 	l.wake = sync.NewCond(&l.mu)
 	l.ack = sync.NewCond(&l.mu)
 	if err := l.scan(); err != nil {
 		return nil, err
 	}
+	if l.torn > 0 {
+		l.logger.Warn("wal: discarded torn tail", "dir", dir, "torn_bytes", l.torn)
+	}
+	l.logger.Debug("wal: opened", "dir", dir,
+		"segments", len(l.replaySegs), "last_lsn", l.nextLSN, "policy", opts.Policy.String())
 	if l.nextLSN < opts.MinNextLSN {
 		l.nextLSN = opts.MinNextLSN
 	}
@@ -586,12 +611,8 @@ func (l *Log) run() {
 				cerr = l.seg.Close()
 			}
 			l.mu.Lock()
-			if l.err == nil && serr != nil {
-				l.err = serr
-			}
-			if l.err == nil && cerr != nil {
-				l.err = cerr
-			}
+			l.fail(serr)
+			l.fail(cerr)
 			l.ack.Broadcast()
 			l.mu.Unlock()
 			return
@@ -646,9 +667,7 @@ func (l *Log) run() {
 		}
 
 		l.mu.Lock()
-		if werr != nil && l.err == nil {
-			l.err = werr
-		}
+		l.fail(werr)
 		if rotate {
 			l.rotateReq = false
 		}
@@ -670,9 +689,7 @@ func (l *Log) run() {
 		l.fsyncTotal += d
 		l.lastFsync = d
 		if serr != nil {
-			if l.err == nil {
-				l.err = serr
-			}
+			l.fail(serr)
 		} else if l.syncedLSN < target {
 			// Records in segments sealed before this fsync were fsynced
 			// at seal time, so syncing the active segment completes
@@ -796,6 +813,9 @@ func (l *Log) rotate(last uint64) error {
 	if l.syncedLSN < last {
 		l.syncedLSN = last
 	}
+	sealed := active.path
+	bytes := active.bytes
 	l.mu.Unlock()
+	l.logger.Debug("wal: sealed segment", "path", sealed, "last_lsn", last, "bytes", bytes)
 	return l.openSegment(last + 1)
 }

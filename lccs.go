@@ -42,9 +42,45 @@ import (
 	"time"
 
 	"lccs/internal/core"
+	"lccs/internal/obs"
 	"lccs/internal/pqueue"
 	"lccs/internal/rng"
 	"lccs/internal/vec"
+)
+
+// Trace is the per-request span recorder of the observability layer
+// (internal/obs), re-exported so callers outside the module can drive
+// the traced search variants. A nil *Trace is always valid and selects
+// the untraced zero-allocation path; every Trace method is nil-safe.
+type Trace = obs.Trace
+
+// SpanNode is the serialized form of one trace span, children nested —
+// what Trace.Tree returns and what the server inlines for
+// "trace": true requests.
+type SpanNode = obs.SpanNode
+
+// NewTrace draws a pooled, reset Trace stamped with the caller's
+// request id. Pair with ReleaseTrace once the span tree has been
+// consumed; the Trace must not be used after release.
+func NewTrace(id uint64) *Trace { return obs.GetTrace(id) }
+
+// ReleaseTrace returns a Trace to the pool. Safe on nil.
+func ReleaseTrace(t *Trace) { obs.PutTrace(t) }
+
+// TracedSearcher is implemented by every facade: SearchBudgetInto with
+// per-stage span recording. A non-positive lambda selects the facade's
+// default candidate budget, and a nil trace degenerates to the plain
+// untraced search, so one method covers all four call shapes.
+type TracedSearcher interface {
+	SearchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error)
+}
+
+// Compile-time conformance of the three facades (DurableIndex embeds
+// DynamicIndex and inherits its traced path).
+var (
+	_ TracedSearcher = (*Index)(nil)
+	_ TracedSearcher = (*ShardedIndex)(nil)
+	_ TracedSearcher = (*DynamicIndex)(nil)
 )
 
 // Typed query-validation errors. Every facade returns exactly these (or
@@ -394,6 +430,40 @@ func (ix *Index) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([
 	}
 	dst = appendNeighbors(dst[:0], rb.buf)
 	ix.raw.Put(rb)
+	return dst, nil
+}
+
+// SearchBudgetIntoTraced is SearchBudgetInto recording spans into tr:
+// one shard_scan span (an unsharded index is its own single shard)
+// with the CSA comparison and verified-candidate counters, under a
+// query root span. A nil tr selects the untraced path unchanged; a
+// non-positive lambda selects the default budget.
+func (ix *Index) SearchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
+	if lambda <= 0 {
+		lambda = ix.budget
+	}
+	if tr == nil {
+		return ix.SearchBudgetInto(q, k, lambda, dst)
+	}
+	if err := validateQuery(q, ix.dim, k, lambda); err != nil {
+		return nil, err
+	}
+	root := tr.StartSpan(obs.StageQuery, -1)
+	sp := tr.StartShardSpan(obs.StageShardScan, root, 0)
+	rb := ix.getRaw()
+	var stats core.SearchStats
+	if ix.multi != nil {
+		rb.buf, stats = ix.multi.SearchOffsetIntoStats(q, k, lambda, 0, rb.buf)
+	} else {
+		rb.buf, stats = ix.single.SearchOffsetIntoStats(q, k, lambda, 0, rb.buf)
+	}
+	obs.ObserveDur(obs.StageShardScan, tr.FinishSpanN(sp, int64(stats.Comparisons), int64(stats.Candidates)))
+	if dst == nil {
+		dst = make([]Neighbor, 0, len(rb.buf))
+	}
+	dst = appendNeighbors(dst[:0], rb.buf)
+	ix.raw.Put(rb)
+	obs.ObserveDur(obs.StageQuery, tr.FinishSpan(root))
 	return dst, nil
 }
 

@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"lccs/internal/core"
 	"lccs/internal/idmap"
+	"lccs/internal/obs"
 	"lccs/internal/pqueue"
 	"lccs/internal/vec"
 )
@@ -164,7 +166,7 @@ func (sx *ShardedIndex) Search(q []float32, k int) ([]Neighbor, error) {
 // is divided across shards (⌈λ/S⌉ each), so each shard verifies
 // ⌈λ/S⌉+k−1 candidates and the total verification work is ≈ λ+S·(k−1).
 func (sx *ShardedIndex) SearchBudget(q []float32, k, lambda int) ([]Neighbor, error) {
-	return sx.searchBudgetInto(q, k, lambda, true, nil)
+	return sx.searchBudgetInto(q, k, lambda, true, nil, nil)
 }
 
 // SearchInto is Search appending into dst (reset to dst[:0] first): the
@@ -173,13 +175,25 @@ func (sx *ShardedIndex) SearchBudget(q []float32, k, lambda int) ([]Neighbor, er
 // concurrency (batch workers, server handlers); the merge is
 // deterministic, so results are identical to Search either way.
 func (sx *ShardedIndex) SearchInto(q []float32, k int, dst []Neighbor) ([]Neighbor, error) {
-	return sx.searchBudgetInto(q, k, sx.budget, false, dst)
+	return sx.searchBudgetInto(q, k, sx.budget, false, dst, nil)
 }
 
 // SearchBudgetInto is SearchBudget appending into dst; like SearchInto
 // it runs the fan-out sequentially.
 func (sx *ShardedIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
-	return sx.searchBudgetInto(q, k, lambda, false, dst)
+	return sx.searchBudgetInto(q, k, lambda, false, dst, nil)
+}
+
+// SearchBudgetIntoTraced is SearchBudgetInto recording spans into tr:
+// one shard_scan span per shard (with CSA comparison and verified-
+// candidate counters) plus a tournament-merge span, all under a query
+// root span. A nil tr is exactly SearchBudgetInto; a non-positive
+// lambda selects the default budget.
+func (sx *ShardedIndex) SearchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
+	if lambda <= 0 {
+		lambda = sx.budget
+	}
+	return sx.searchBudgetInto(q, k, lambda, false, dst, tr)
 }
 
 // searchBudgetInto runs the fan-out/merge with or without per-shard
@@ -187,12 +201,14 @@ func (sx *ShardedIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neigh
 // so batch callers whose worker pool already saturates the CPUs can skip
 // the nested parallelism. Results are appended to dst (reset to dst[:0]
 // first; dst may be nil).
-func (sx *ShardedIndex) searchBudgetInto(q []float32, k, lambda int, parallel bool, dst []Neighbor) ([]Neighbor, error) {
+func (sx *ShardedIndex) searchBudgetInto(q []float32, k, lambda int, parallel bool, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
 	if err := validateQuery(q, sx.dim, k, lambda); err != nil {
 		return nil, err
 	}
+	root := tr.StartSpan(obs.StageQuery, -1) // nil-safe: -1 when untraced
 	ctx := sx.ctxs.Get().(*shardCtx)
-	sx.searchShards(q, k, lambda, parallel, ctx.lists)
+	sx.searchShards(q, k, lambda, parallel, ctx.lists, tr, root)
+	mergeSpan := tr.StartSpan(obs.StageMerge, root)
 	ctx.t.Reset(ctx.lists)
 	if dst == nil {
 		// The plain Search path: one exactly-sized result allocation.
@@ -214,6 +230,10 @@ func (sx *ShardedIndex) searchBudgetInto(q []float32, k, lambda int, parallel bo
 		dst = append(dst, Neighbor{ID: sx.ids.Ext(nb.ID), Dist: nb.Dist})
 	}
 	sx.ctxs.Put(ctx)
+	if tr != nil {
+		obs.ObserveDur(obs.StageMerge, tr.FinishSpanN(mergeSpan, int64(len(dst)), 0))
+		obs.ObserveDur(obs.StageQuery, tr.FinishSpan(root))
+	}
 	return dst, nil
 }
 
@@ -221,12 +241,12 @@ func (sx *ShardedIndex) searchBudgetInto(q []float32, k, lambda int, parallel bo
 // asked and more than one CPU is available — filling lists with the
 // per-shard top-k (global ids, ascending by distance). The per-shard
 // buffers are reused across queries.
-func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool, lists [][]pqueue.Neighbor) {
+func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool, lists [][]pqueue.Neighbor, tr *Trace, parent int) {
 	s := len(sx.shards)
 	lambdaShard := (lambda + s - 1) / s
 	if !parallel || s == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for i, shard := range sx.shards {
-			lists[i] = shard.searchOffsetInto(q, sx.shardFetch(i, k), lambdaShard, sx.offsets[i], lists[i])
+			lists[i] = sx.scanShard(shard, q, i, k, lambdaShard, lists[i], tr, parent)
 		}
 		return
 	}
@@ -235,10 +255,25 @@ func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool, 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			lists[i] = sx.shards[i].searchOffsetInto(q, sx.shardFetch(i, k), lambdaShard, sx.offsets[i], lists[i])
+			lists[i] = sx.scanShard(sx.shards[i], q, i, k, lambdaShard, lists[i], tr, parent)
 		}(i)
 	}
 	wg.Wait()
+}
+
+// scanShard runs one shard's CSA scan, recording a per-shard span with
+// rows-compared and candidates-verified counters when traced. The
+// untraced path is the original stats-free call, so it stays on the
+// zero-allocation route.
+func (sx *ShardedIndex) scanShard(shard *Index, q []float32, i, k, lambdaShard int, dst []pqueue.Neighbor, tr *Trace, parent int) []pqueue.Neighbor {
+	if tr == nil {
+		return shard.searchOffsetInto(q, sx.shardFetch(i, k), lambdaShard, sx.offsets[i], dst)
+	}
+	sp := tr.StartShardSpan(obs.StageShardScan, parent, i)
+	var stats core.SearchStats
+	dst, stats = shard.searchOffsetIntoStats(q, sx.shardFetch(i, k), lambdaShard, sx.offsets[i], dst)
+	obs.ObserveDur(obs.StageShardScan, tr.FinishSpanN(sp, int64(stats.Comparisons), int64(stats.Candidates)))
+	return dst
 }
 
 // shardFetch returns the tombstone-aware fetch for shard s.
@@ -270,6 +305,15 @@ func (ix *Index) searchOffsetInto(q []float32, k, lambda, offset int, dst []pque
 		return ix.multi.SearchOffsetInto(q, k, lambda, offset, dst)
 	}
 	return ix.single.SearchOffsetInto(q, k, lambda, offset, dst)
+}
+
+// searchOffsetIntoStats is searchOffsetInto returning work counters,
+// for per-shard span recording on traced queries.
+func (ix *Index) searchOffsetIntoStats(q []float32, k, lambda, offset int, dst []pqueue.Neighbor) ([]pqueue.Neighbor, core.SearchStats) {
+	if ix.multi != nil {
+		return ix.multi.SearchOffsetIntoStats(q, k, lambda, offset, dst)
+	}
+	return ix.single.SearchOffsetIntoStats(q, k, lambda, offset, dst)
 }
 
 // Distance returns the index's metric distance between two vectors.
