@@ -99,6 +99,56 @@ func TestSearchZeroAllocSharded(t *testing.T) {
 	}
 }
 
+// TestSearchZeroAllocSQ8 extends the zero-allocation gate to the
+// quantized search path: the SQ8 gather (pooled adjusted-query state
+// and score buffers) plus the exact re-rank must add no per-query heap
+// traffic on either facade.
+func TestSearchZeroAllocSQ8(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation; run without -race")
+	}
+	data, queries := allocWorkload(45, 2000, 12)
+	const k, lambda = 10, 40
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 3, Quantize: QuantizeSQ8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, rerank := ix.Quantization(); kind != QuantizeSQ8 || rerank <= 0 {
+		t.Fatalf("Quantization() = (%q, %d), want active sq8", kind, rerank)
+	}
+	dst := warmSearcher(t, ix, queries, k, lambda)
+	qi := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		q := queries[qi%len(queries)]
+		qi++
+		dst, err = ix.SearchBudgetInto(q, k, lambda, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("quantized Index.SearchBudgetInto: %v allocs/op, want 0", allocs)
+	}
+
+	sx, err := NewShardedIndex(data, Config{Metric: Euclidean, M: 16, Seed: 3, Quantize: QuantizeSQ8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst = warmSearcher(t, sx, queries, k, lambda)
+	qi = 0
+	allocs = testing.AllocsPerRun(200, func() {
+		q := queries[qi%len(queries)]
+		qi++
+		dst, err = sx.SearchBudgetInto(q, k, lambda, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("quantized ShardedIndex.SearchBudgetInto: %v allocs/op, want 0", allocs)
+	}
+}
+
 // TestSearchAllocBoundAllocatingAPI bounds the classic allocating Search
 // API: after the pooled-context refactor the only per-call allocation
 // left should be the returned result slice (and its growth), not the

@@ -15,7 +15,141 @@ import (
 
 	"lccs"
 	"lccs/internal/server"
+	"lccs/internal/vec"
 )
+
+// bruteForceIDs computes the exact k-NN ids of every query by linear
+// scan — the ground truth the sq8 run's recall note is measured
+// against.
+func bruteForceIDs(data, queries [][]float32, k int, kind lccs.MetricKind) [][]int {
+	metric := vec.MetricByName(string(kind))
+	truth := make([][]int, len(queries))
+	type cand struct {
+		id int
+		d  float64
+	}
+	for qi, q := range queries {
+		best := make([]cand, 0, k)
+		for id, row := range data {
+			d := metric.Distance(q, row)
+			j := len(best)
+			if j == k {
+				if d >= best[k-1].d {
+					continue
+				}
+				j = k - 1
+			} else {
+				best = append(best, cand{})
+			}
+			for ; j > 0 && best[j-1].d > d; j-- {
+				best[j] = best[j-1]
+			}
+			best[j] = cand{id: id, d: d}
+		}
+		ids := make([]int, len(best))
+		for i, c := range best {
+			ids[i] = c.id
+		}
+		truth[qi] = ids
+	}
+	return truth
+}
+
+// sq8FullScanRecall isolates the quantizer from the LSH index: every
+// query is scored against ALL rows through the SQ8 codes, the top
+// rerank survivors are re-measured exactly, and the resulting top-k is
+// compared to float32 brute force. This is the recall cost of the
+// quantized scan itself — an end-to-end index recall below it is the
+// LSH structure's miss rate, not quantization loss.
+func sq8FullScanRecall(data, queries [][]float32, k, rerank int, kind lccs.MetricKind, truth [][]int) float64 {
+	metric := vec.MetricByName(string(kind))
+	st, err := vec.FromRows(data)
+	if err != nil {
+		panic(err)
+	}
+	qs := vec.QuantizeSQ8(st)
+	n := st.Len()
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	scores := make([]float32, n)
+	var prep vec.SQ8Query
+	type cand struct {
+		id int
+		s  float64
+	}
+	var hit, total int
+	for qi, q := range queries {
+		qs.Prepare(metric, q, &prep)
+		qs.GatherScoresInto(ids, &prep, scores)
+		// Bounded insertion select of the rerank best quantized scores.
+		best := make([]cand, 0, rerank)
+		for id, s := range scores {
+			d := float64(s)
+			j := len(best)
+			if j == rerank {
+				if d >= best[rerank-1].s {
+					continue
+				}
+				j = rerank - 1
+			} else {
+				best = append(best, cand{})
+			}
+			for ; j > 0 && best[j-1].s > d; j-- {
+				best[j] = best[j-1]
+			}
+			best[j] = cand{id: id, s: d}
+		}
+		// Exact re-rank of the survivors, then top-k.
+		for i := range best {
+			best[i].s = metric.Distance(q, st.Row(best[i].id))
+		}
+		sort.Slice(best, func(a, b int) bool { return best[a].s < best[b].s })
+		if len(best) > k {
+			best = best[:k]
+		}
+		in := make(map[int]bool, len(best))
+		for _, c := range best {
+			in[c.id] = true
+		}
+		for _, id := range truth[qi] {
+			if in[id] {
+				hit++
+			}
+		}
+		total += len(truth[qi])
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// recallAtK averages |Search ∩ truth| / |truth| over all queries.
+func recallAtK(ix *lccs.Index, queries [][]float32, k int, truth [][]int) float64 {
+	var hit, total int
+	for qi, q := range queries {
+		res, err := ix.Search(q, k)
+		if err != nil {
+			panic(err)
+		}
+		in := make(map[int]bool, len(truth[qi]))
+		for _, id := range truth[qi] {
+			in[id] = true
+		}
+		for _, nb := range res {
+			if in[nb.ID] {
+				hit++
+			}
+		}
+		total += len(truth[qi])
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
 
 // Report is the machine-readable output of -json: one entry per
 // experiment, so successive runs (committed as BENCH_PRn.json files)
@@ -28,7 +162,9 @@ type Report struct {
 	Metric     string               `json:"metric"`
 	GoMaxProcs int                  `json:"gomaxprocs"`
 	GoVersion  string               `json:"go_version"`
+	KernelImpl string               `json:"kernel_impl"`
 	Runs       map[string]RunReport `json:"runs"`
+	Kernels    []KernelRow          `json:"kernels,omitempty"`
 }
 
 // RunReport holds the measurements of one experiment.
@@ -80,13 +216,14 @@ func measureLoop(queries [][]float32, rounds int, fn func(q []float32)) RunRepor
 
 // jsonBench runs the core, shard, and serve experiments and writes the
 // combined Report to path ("-" for stdout).
-func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64, kind lccs.MetricKind) error {
+func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64, kind lccs.MetricKind, quantize string, rerank int) error {
 	data, queries := benchWorkload(n, nq, seed, kind)
-	cfg := lccs.Config{Metric: kind, M: m, Seed: seed}
+	cfg := lccs.Config{Metric: kind, M: m, Seed: seed, Quantize: quantize, Rerank: rerank}
 	rep := Report{
 		N: n, Dim: len(data[0]), M: m, K: k, Metric: string(kind),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		KernelImpl: vec.KernelImpl(),
 		Runs:       map[string]RunReport{},
 	}
 	const rounds = 5
@@ -152,6 +289,33 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 	for name, r := range walRuns {
 		rep.Runs[name] = r
 	}
+
+	// sq8: the quantized scan + exact re-rank path, with recall@k of
+	// both the quantized and the plain index against exact brute force
+	// — the pair shows whether the re-rank holds recall while the scan
+	// reads a quarter of the bytes.
+	if kind == lccs.Euclidean || kind == lccs.Angular {
+		qcfg := cfg
+		qcfg.Quantize = lccs.QuantizeSQ8
+		start = time.Now()
+		qix, err := lccs.NewIndex(data, qcfg)
+		if err != nil {
+			return err
+		}
+		qBuild := time.Since(start).Seconds()
+		r = measureLoop(queries, rounds, func(q []float32) { qix.Search(q, k) })
+		r.BuildSeconds = qBuild
+		truth := bruteForceIDs(data, queries, k, kind)
+		_, rr := qix.Quantization()
+		r.Note = fmt.Sprintf("SQ8 scan + exact re-rank (rerank=%d): quantizer full-scan recall@%d %.4f vs exact; end-to-end index recall %.4f (plain float32 index %.4f — the gap to 1.0 is LSH miss rate, not quantization)",
+			rr, k, sq8FullScanRecall(data, queries, k, rr, kind, truth),
+			recallAtK(qix, queries, k, truth), recallAtK(single, queries, k, truth))
+		rep.Runs["sq8"] = r
+		addIntoRuns(&rep, "sq8", qix, queries, rounds, k)
+	}
+
+	// kernel: raw distance-kernel throughput table.
+	rep.Kernels = kernelBench(io.Discard)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"lccs/internal/rng"
+	"lccs/internal/vec"
+)
+
+// KernelRow is one line of the -exp kernel microbenchmark: a single
+// kernel streamed over a contiguous block at one dimensionality, with
+// throughput in rows scanned per second and effective scan bandwidth in
+// GB/s (bytes of vector data read per second: 4·dim per row for the
+// float32 kernels, dim for the SQ8 ones).
+type KernelRow struct {
+	Kernel     string  `json:"kernel"`
+	Dim        int     `json:"dim"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	GBPerSec   float64 `json:"gb_per_sec"`
+}
+
+// kernelDims are the microbenchmark dimensionalities: the bench
+// workload's own dim, the paper datasets' dims (Glove 100, Sift 128,
+// Gist 960), and one deliberately awkward non-multiple-of-8 size.
+var kernelDims = []int{16, 100, 128, 420, 960}
+
+// kernelBench streams every distance kernel over a memory-resident
+// block at each dimensionality and reports rows/s and GB/s. Two
+// baselines anchor the speedups: scan_visit is the literal pre-batching
+// Store.Scan loop (Metric interface call + float64 + sqrt + visit
+// closure per row) measured against scan, today's Store.Scan over the
+// same rows; scan_ref is a tighter scalar bound — a plain inlinable
+// float32 squared-distance loop with none of that overhead — that the
+// raw block kernels (sq, dot, dotnorm) are compared against.
+func kernelBench(out io.Writer) []KernelRow {
+	fmt.Fprintf(out, "# kernel bench: impl=%s (rows/s scanned, GB/s of vector bytes)\n", vec.KernelImpl())
+	fmt.Fprintf(out, "%-10s %6s %14s %10s\n", "kernel", "dim", "rows/s", "GB/s")
+	var rows []KernelRow
+	for _, dim := range kernelDims {
+		for _, r := range kernelBenchDim(dim) {
+			fmt.Fprintf(out, "%-10s %6d %14.0f %10.2f\n", r.Kernel, r.Dim, r.RowsPerSec, r.GBPerSec)
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// kernelBenchDim measures every kernel at one dimensionality. The block
+// is sized past cache (≥4 MB of float32 rows) so the numbers reflect
+// streaming bandwidth, which is what candidate verification sees.
+func kernelBenchDim(dim int) []KernelRow {
+	nRows := (4 << 20) / (4 * dim)
+	if nRows < 1024 {
+		nRows = 1024
+	}
+	g := rng.New(uint64(dim))
+	block := make([]float32, nRows*dim)
+	for i := range block {
+		block[i] = float32(g.NormFloat64())
+	}
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = float32(g.NormFloat64())
+	}
+	store, err := vec.FromBlock(dim, block)
+	if err != nil {
+		panic(err)
+	}
+	qs := vec.QuantizeSQ8(store)
+	ids := make([]int32, nRows)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	var eq, aq vec.SQ8Query
+	qs.Prepare(vec.Euclidean, q, &eq)
+	qs.Prepare(vec.Angular, q, &aq)
+	dist := make([]float32, nRows)
+	norm := make([]float32, nRows)
+
+	f32Bytes := int64(nRows) * int64(dim) * 4
+	sq8Bytes := int64(nRows) * int64(dim)
+	measure := func(kernel string, bytesPerPass int64, pass func()) KernelRow {
+		pass() // warm-up: page in the block, settle dispatch
+		// Best of three 200ms windows: on shared 1-vCPU builders,
+		// stolen cycles depress individual windows by tens of percent;
+		// the fastest window is the closest estimate of the kernel's
+		// actual throughput.
+		var best float64
+		for trial := 0; trial < 3; trial++ {
+			var passes int
+			var elapsed time.Duration
+			for start := time.Now(); elapsed < 200*time.Millisecond; elapsed = time.Since(start) {
+				pass()
+				passes++
+			}
+			if r := float64(passes) / elapsed.Seconds(); r > best {
+				best = r
+			}
+		}
+		return KernelRow{
+			Kernel:     kernel,
+			Dim:        dim,
+			RowsPerSec: float64(nRows) * best,
+			GBPerSec:   float64(bytesPerPass) * best / 1e9,
+		}
+	}
+
+	// visit accumulates into a package-level sink so the distances
+	// (sqrt included) stay live and the loops cannot be optimized out.
+	visit := func(id int, d float64) { kernelSink += d }
+
+	rows := []KernelRow{
+		// scan_visit replays the pre-kernel Store.Scan body: a
+		// dynamically dispatched per-row distance call (float64 scalar
+		// accumulation plus sqrt — today's vec.Distance is itself
+		// kernel-backed, so the old arithmetic lives in scanVisitRef
+		// here) fed through a visit closure. scan is today's
+		// Store.Scan over the same rows — their ratio is the
+		// end-to-end speedup of the Scan API itself.
+		measure("scan_visit", f32Bytes, func() {
+			base := 0
+			for i := 0; i < nRows; i++ {
+				row := block[base : base+dim : base+dim]
+				visit(i, scanVisitDistance(row, q))
+				base += dim
+			}
+		}),
+		measure("scan", f32Bytes, func() {
+			store.Scan(0, nRows, q, vec.Euclidean, visit)
+		}),
+		// dist_into is the block API that replaced the visit-closure
+		// scans on the hot paths: same euclidean distances (sqrt
+		// included), written straight into a caller buffer.
+		measure("dist_into", f32Bytes, func() {
+			store.DistancesInto(0, nRows, q, vec.Euclidean, dist)
+		}),
+		measure("scan_ref", f32Bytes, func() {
+			for i := 0; i < nRows; i++ {
+				dist[i] = scanRefSq(block[i*dim:(i+1)*dim], q)
+			}
+		}),
+		measure("sq", f32Bytes, func() { vec.SquaredEuclideanBlock(block, q, dist) }),
+		measure("dot", f32Bytes, func() { vec.DotBlock(block, q, dist) }),
+		measure("dotnorm", f32Bytes, func() { vec.DotNormBlock(block, q, dist, norm) }),
+		measure("sq8_sq", sq8Bytes, func() { qs.GatherScoresInto(ids, &eq, dist) }),
+		measure("sq8_dot", sq8Bytes, func() { qs.GatherScoresInto(ids, &aq, dist) }),
+	}
+	return rows
+}
+
+// kernelSink keeps the baseline scan loops' results observable so the
+// compiler cannot eliminate the distance computation being measured.
+var kernelSink float64
+
+// scanVisitRef is the pre-kernel euclidean distance: scalar float64
+// accumulation and a sqrt per row, exactly the arithmetic vec.Distance
+// performed before the batched kernels replaced it.
+func scanVisitRef(row, q []float32) float64 {
+	var s float64
+	for i, v := range row {
+		d := float64(v) - float64(q[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// scanVisitDistance is called through a mutable package-level variable
+// so the compiler treats it as dynamic dispatch (as the old Metric
+// interface call was) and cannot inline or specialize it away.
+var scanVisitDistance = scanVisitRef
+
+// scanRefSq is the plain per-row scalar squared distance — the tightest
+// scalar loop the compiler can produce without batching, kept as the
+// lower-bound baseline the raw block kernels are measured against.
+func scanRefSq(row, q []float32) float32 {
+	var s float32
+	for i, v := range row {
+		d := v - q[i]
+		s += d * d
+	}
+	return s
+}

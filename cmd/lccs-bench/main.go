@@ -17,6 +17,9 @@
 //	                         # durable ingest through the write-ahead log:
 //	                         # throughput + ack p50/p99 per sync policy
 //	                         # (always/interval/none), recovery-replay time
+//	lccs-bench -exp kernel   # distance-kernel microbenchmark: rows/s and
+//	                         # GB/s per kernel per dimensionality, against
+//	                         # the pre-batching per-row scalar baseline
 //	lccs-bench -json report.json [-n 100000] [-shards 4]
 //	                         # machine-readable core/shard/serve/churn/wal suite:
 //	                         # build time, QPS, p50/p99, B/op, allocs/op
@@ -49,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', 'shard', 'serve', 'churn', or 'wal'")
+		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', 'shard', 'serve', 'churn', 'wal', or 'kernel'")
 		n        = flag.Int("n", 10000, "data points per dataset")
 		nq       = flag.Int("nq", 50, "queries per dataset")
 		k        = flag.Int("k", 10, "neighbors per query")
@@ -62,13 +65,15 @@ func main() {
 		metric   = flag.String("metric", "euclidean", "metric for -exp shard/serve: euclidean | angular | hamming | jaccard")
 		clients  = flag.Int("clients", 8, "concurrent clients for -exp serve")
 		reqs     = flag.Int("reqs", 2000, "total requests for -exp serve")
+		quantize = flag.String("quantize", "", "scan-time vector compression for -exp shard/serve and -json: sq8 (euclidean/angular only)")
+		rerank   = flag.Int("rerank", 0, "quantized-scan survivors re-ranked exactly per query (0 = default)")
 		jsonOut  = flag.String("json", "", "run the core/shard/serve suite and write a machine-readable report to this path ('-' = stdout)")
 	)
 	flag.Parse()
 	if *jsonOut != "" {
 		kind, err := lccs.ParseMetric(*metric)
 		if err == nil {
-			err = jsonBench(*jsonOut, *n, *nq, *k, *m, *shards, *clients, *reqs, *seed, kind)
+			err = jsonBench(*jsonOut, *n, *nq, *k, *m, *shards, *clients, *reqs, *seed, kind, *quantize, *rerank)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lccs-bench: json: %v\n", err)
@@ -80,14 +85,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *exp == "kernel" {
+		kernelBench(os.Stdout)
+		return
+	}
 	if *exp == "shard" || *exp == "serve" || *exp == "churn" || *exp == "wal" {
 		kind, err := lccs.ParseMetric(*metric)
 		if err == nil {
 			switch *exp {
 			case "shard":
-				err = shardBench(*n, *nq, *k, *m, *shards, *seed, kind)
+				err = shardBench(*n, *nq, *k, *m, *shards, *seed, kind, *quantize, *rerank)
 			case "serve":
-				err = serveBench(*n, *nq, *k, *m, *shards, *clients, *reqs, *seed, kind)
+				err = serveBench(*n, *nq, *k, *m, *shards, *clients, *reqs, *seed, kind, *quantize, *rerank)
 			case "churn":
 				err = churnBench(*n, *nq, *k, *m, *seed, kind)
 			case "wal":
@@ -178,11 +187,11 @@ func benchWorkload(n, nq int, seed uint64, kind lccs.MetricKind) (data, queries 
 // shardBench builds the same clustered workload as a single Index and as
 // a ShardedIndex and reports build times, the build speedup, per-shard
 // query throughput, and overall fan-out throughput.
-func shardBench(n, nq, k, m, shards int, seed uint64, kind lccs.MetricKind) error {
+func shardBench(n, nq, k, m, shards int, seed uint64, kind lccs.MetricKind, quantize string, rerank int) error {
 	data, queries := benchWorkload(n, nq, seed, kind)
-	cfg := lccs.Config{Metric: kind, M: m, Seed: seed}
+	cfg := lccs.Config{Metric: kind, M: m, Seed: seed, Quantize: quantize, Rerank: rerank}
 
-	fmt.Printf("# shard bench: n=%d d=%d m=%d nq=%d k=%d metric=%s\n", n, len(data[0]), m, nq, k, kind)
+	fmt.Printf("# shard bench: n=%d d=%d m=%d nq=%d k=%d metric=%s quantize=%q\n", n, len(data[0]), m, nq, k, kind, quantize)
 	start := time.Now()
 	single, err := lccs.NewIndex(data, cfg)
 	if err != nil {

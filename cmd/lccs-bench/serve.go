@@ -20,7 +20,7 @@ import (
 // listener over a freshly built ShardedIndex, drives it with concurrent
 // clients, and reports end-to-end throughput and tail latency — the
 // serving overhead on top of raw index QPS (compare with -exp shard).
-func serveBench(n, nq, k, m, shards, clients, reqs int, seed uint64, kind lccs.MetricKind) error {
+func serveBench(n, nq, k, m, shards, clients, reqs int, seed uint64, kind lccs.MetricKind, quantize string, rerank int) error {
 	if clients < 1 {
 		clients = 1
 	}
@@ -28,7 +28,7 @@ func serveBench(n, nq, k, m, shards, clients, reqs int, seed uint64, kind lccs.M
 		return fmt.Errorf("-reqs must be positive, got %d", reqs)
 	}
 	data, queries := benchWorkload(n, nq, seed, kind)
-	sx, err := lccs.NewShardedIndex(data, lccs.Config{Metric: kind, M: m, Seed: seed}, shards)
+	sx, err := lccs.NewShardedIndex(data, lccs.Config{Metric: kind, M: m, Seed: seed, Quantize: quantize, Rerank: rerank}, shards)
 	if err != nil {
 		return err
 	}

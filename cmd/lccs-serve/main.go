@@ -83,6 +83,8 @@ func main() {
 		shards    = flag.Int("shards", 0, "shard count for the sharded backend (0 = GOMAXPROCS)")
 		dynamic   = flag.Bool("dynamic", false, "serve a DynamicIndex backend (enables /v1/insert)")
 		rebuildAt = flag.Int("rebuild-at", 0, "dynamic delta size that triggers a background shard build (0 = default)")
+		quantize  = flag.String("quantize", "", "scan-time vector compression: sq8 (euclidean/angular only; exact re-rank keeps distances exact)")
+		rerank    = flag.Int("rerank", 0, "quantized-scan survivors re-ranked with exact distances per query (0 = default)")
 
 		maxInFlight = flag.Int("max-inflight", 0, "concurrent searches (0 = GOMAXPROCS)")
 		maxQueue    = flag.Int("max-queue", 0, "requests waiting for a slot before 503 (0 = 4x max-inflight, negative = no waiting)")
@@ -129,7 +131,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := lccs.Config{Metric: kind, M: *m, Probes: *probes, Budget: *lambda, Seed: *seed}
+	cfg := lccs.Config{Metric: kind, M: *m, Probes: *probes, Budget: *lambda, Seed: *seed,
+		Quantize: *quantize, Rerank: *rerank}
 
 	var (
 		backend lccs.Searcher
@@ -414,7 +417,13 @@ func buildBackend(ds *dataset.Dataset, cfg lccs.Config, indexPath string, dynami
 	switch {
 	case indexPath != "":
 		start := time.Now()
-		sx, err := lccs.LoadSharded(indexPath, ds.Data)
+		// Warm start stays flat: the dataset's contiguous block feeds the
+		// container decode directly, no per-row re-packing.
+		flat, err := ds.FlatData()
+		if err != nil {
+			return nil, nil, err
+		}
+		sx, err := lccs.LoadShardedStore(indexPath, flat)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -424,7 +433,7 @@ func buildBackend(ds *dataset.Dataset, cfg lccs.Config, indexPath string, dynami
 			// Keep a warm restart writable: the loaded shards become the
 			// dynamic main, so snapshot → restart → insert keeps working
 			// across any number of cycles.
-			dyn, err := lccs.NewDynamicIndexFromSharded(sx, ds.Data, rebuildAt)
+			dyn, err := lccs.NewDynamicIndexFromShardedStore(sx, rebuildAt)
 			if err != nil {
 				return nil, nil, err
 			}

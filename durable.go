@@ -11,6 +11,7 @@ import (
 	"lccs/internal/dataset"
 	"lccs/internal/faultfs"
 	"lccs/internal/obs"
+	"lccs/internal/vec"
 	"lccs/internal/wal"
 )
 
@@ -226,15 +227,23 @@ func OpenDurable(dir string, dc DurableConfig) (*DurableIndex, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lccs: durable open: load snapshot vectors: %w", err)
 		}
-		sx, err := LoadSharded(filepath.Join(dir, man.Container), ds.Data)
+		// The whole warm-restart path is flat: the dataset loads into one
+		// contiguous block, the container decodes against views of it,
+		// and the dynamic index adopts the same store — no per-row
+		// materialization or re-packing copies anywhere.
+		flat, err := ds.FlatData()
+		if err != nil {
+			return nil, fmt.Errorf("lccs: durable open: load snapshot vectors: %w", err)
+		}
+		sx, err := LoadShardedStore(filepath.Join(dir, man.Container), flat)
 		if err != nil {
 			return nil, fmt.Errorf("lccs: durable open: load snapshot container: %w", err)
 		}
-		dyn, err = NewDynamicIndexFromSharded(sx, ds.Data, dc.RebuildAt)
+		dyn, err = NewDynamicIndexFromShardedStore(sx, dc.RebuildAt)
 		if err != nil {
 			return nil, err
 		}
-		snapVectors = len(ds.Data)
+		snapVectors = flat.Len()
 	} else {
 		dyn, err = NewDynamicIndex(nil, dc.Config, dc.RebuildAt)
 		if err != nil {
@@ -543,13 +552,13 @@ func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
 	lsn := di.log.LastLSN()
 	empty := di.DynamicIndex.Len() == 0
 	var watermark int
-	var vectors [][]float32
+	var frozen *vec.Store
 	var sx *ShardedIndex
 	var err error
 	if empty {
 		watermark = di.DynamicIndex.idWatermark()
 	} else {
-		vectors, sx, err = di.DynamicIndex.Snapshot()
+		frozen, sx, err = di.DynamicIndex.snapshotStore()
 	}
 	depth := di.log.Stats().Depth
 	di.wmu.Unlock()
@@ -584,11 +593,9 @@ func (di *DurableIndex) Checkpoint() (CheckpointInfo, error) {
 		if err := sx.Save(filepath.Join(di.dir, container)); err != nil {
 			return CheckpointInfo{}, err
 		}
-		dim := 0
-		if len(vectors) > 0 {
-			dim = len(vectors[0])
-		}
-		out := &dataset.Dataset{Name: "durable", Kind: "snapshot", Dim: dim, Data: vectors}
+		// Persist the frozen store as a flat-backed dataset: the vector
+		// block writes out in one pass, no per-row materialization.
+		out := dataset.NewFlat("durable", "snapshot", frozen, nil)
 		if err := out.Save(filepath.Join(di.dir, dsName)); err != nil {
 			return CheckpointInfo{}, err
 		}

@@ -161,10 +161,19 @@ func NewDynamicIndex(data [][]float32, cfg Config, rebuildAt int) (*DynamicIndex
 // sharded index's flat store rather than copying it. rebuildAt ≤ 0
 // selects DefaultRebuildThreshold.
 func NewDynamicIndexFromSharded(sx *ShardedIndex, data [][]float32, rebuildAt int) (*DynamicIndex, error) {
-	slots := sx.slots()
-	if slots != len(data) {
+	if slots := sx.slots(); slots != len(data) {
 		return nil, fmt.Errorf("lccs: sharded index covers %d vectors, data has %d", slots, len(data))
 	}
+	return NewDynamicIndexFromShardedStore(sx, rebuildAt)
+}
+
+// NewDynamicIndexFromShardedStore is NewDynamicIndexFromSharded without
+// the row-slice cross-check: the sharded index's own flat store is
+// adopted directly, so a warm restart (LoadShardedStore over a
+// flat-loaded dataset) never materializes per-row slices. rebuildAt ≤ 0
+// selects DefaultRebuildThreshold.
+func NewDynamicIndexFromShardedStore(sx *ShardedIndex, rebuildAt int) (*DynamicIndex, error) {
+	slots := sx.slots()
 	if rebuildAt <= 0 {
 		rebuildAt = DefaultRebuildThreshold
 	}
@@ -638,6 +647,17 @@ func (d *DynamicIndex) Distance(a, b []float32) float64 {
 // Snapshot blocks writers while the buffer shard builds; it is meant for
 // shutdown and checkpoint paths, not the hot loop.
 func (d *DynamicIndex) Snapshot() ([][]float32, *ShardedIndex, error) {
+	frozen, sx, err := d.snapshotStore()
+	if err != nil {
+		return nil, nil, err
+	}
+	return frozen.Rows(), sx, nil
+}
+
+// snapshotStore is Snapshot returning the frozen flat store itself —
+// the durable checkpoint path persists the block directly instead of
+// materializing per-row views.
+func (d *DynamicIndex) snapshotStore() (*vec.Store, *ShardedIndex, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.compactBufferLocked() { // buffered tombstones never reach disk
@@ -693,7 +713,7 @@ func (d *DynamicIndex) Snapshot() ([][]float32, *ShardedIndex, error) {
 		sx.shardDead = shardDead
 	}
 	sx.initPool()
-	return frozen.Rows(), sx, nil
+	return frozen, sx, nil
 }
 
 // Vector returns the vector stored under id as a read-only view into

@@ -28,10 +28,17 @@ import (
 
 	"lccs/internal/csa"
 	"lccs/internal/lshfamily"
+	"lccs/internal/obs"
 	"lccs/internal/pqueue"
 	"lccs/internal/rng"
 	"lccs/internal/vec"
 )
+
+// verifyBatch is the number of candidate ids drained from the CSA
+// stream per batched distance gather. Large enough to amortize the
+// per-batch dispatch, small enough that the id/distance scratch lives
+// comfortably inside the pooled searchCtx.
+const verifyBatch = 64
 
 // Params configures an LCCS-LSH index.
 type Params struct {
@@ -64,6 +71,9 @@ type SearchStats struct {
 	// the CSA's circular binary searches — the "rows touched" of the
 	// retrieval phase, as opposed to the Candidates verified exactly.
 	Comparisons int
+	// Reranked is the number of candidates re-ranked with exact float32
+	// distances after the quantized (SQ8) scan; 0 on exact indexes.
+	Reranked int
 }
 
 // Index is a single-probe LCCS-LSH index over a fixed dataset.
@@ -76,6 +86,12 @@ type Index struct {
 	csa    *csa.CSA
 	m      int
 	seed   uint64
+
+	// sq8, when non-nil, is the scalar-quantized mirror of store:
+	// candidate verification ranks by approximate quantized scores and
+	// re-ranks the best rerank of them with exact distances.
+	sq8    *vec.SQ8Store
+	rerank int
 
 	buildTime time.Duration
 	// ctxs pools searchCtx values: all per-query scratch in one object,
@@ -90,6 +106,16 @@ type searchCtx struct {
 	s    *csa.Searcher
 	hq   []int32      // hash-string buffer, H(q)
 	best pqueue.KBest // k-best verification collector
+	// batched-verification scratch: candidate ids drained from the CSA
+	// stream and their gathered distances / quantized scores.
+	ids    [verifyBatch]int32
+	dists  [verifyBatch]float64
+	scores [verifyBatch]float32
+	// quantized-path scratch: per-query SQ8 state, the approx-score
+	// collector, and the sorted winners buffer for the exact re-rank.
+	sq8q  vec.SQ8Query
+	rr    pqueue.KBest
+	rrBuf []pqueue.Neighbor
 	// multi-probe scratch (unused, zero-cost for single-probe indexes)
 	alts     [][]lshfamily.Alternative
 	probeStr []int32
@@ -245,19 +271,153 @@ func (ix *Index) searchInto(q []float32, k, lambda int, dst []pqueue.Neighbor) (
 	nCand := lambda + k - 1
 	ctx.s.Begin(ctx.hq)
 	ctx.best.Reset(k)
-	verified := 0
-	for verified < nCand {
-		r, ok := ctx.s.Next()
-		if !ok {
-			break
-		}
-		ctx.best.Add(r.ID, ix.metric.Distance(ix.store.Row(r.ID), q))
-		verified++
-	}
+	verified, reranked := ix.verifyCandidates(ctx, q, k, nCand)
 	dst = ctx.best.AppendSorted(dst)
-	stats := SearchStats{Candidates: verified, Probes: 1, Comparisons: ctx.s.Comparisons()}
+	stats := SearchStats{Candidates: verified, Probes: 1, Comparisons: ctx.s.Comparisons(), Reranked: reranked}
 	ix.ctxs.Put(ctx)
 	return dst, stats
+}
+
+// EnableSQ8 attaches a scalar-quantized mirror of the index's store.
+// Candidate verification then scans qs instead of the float32 store —
+// one byte per dimension of memory traffic — collects the best rerank
+// candidates by approximate score, and re-ranks those with exact
+// distances, so returned distances are always exact. rerank values
+// below the query's k are raised to k at query time. The metric must
+// satisfy vec.SQ8Supported and qs must mirror the full store.
+func (ix *Index) EnableSQ8(qs *vec.SQ8Store, rerank int) {
+	if qs == nil {
+		ix.sq8, ix.rerank = nil, 0
+		return
+	}
+	if !vec.SQ8Supported(ix.metric) {
+		panic(fmt.Sprintf("core: metric %q not supported by SQ8", ix.metric.Name()))
+	}
+	if qs.Len() != ix.store.Len() {
+		panic("core: SQ8 store length mismatch")
+	}
+	if rerank <= 0 {
+		rerank = defaultRerank(ix.store.Len())
+	}
+	ix.sq8 = qs
+	ix.rerank = rerank
+}
+
+// SQ8 returns the attached quantized store, or nil (persistence hook).
+func (ix *Index) SQ8() *vec.SQ8Store { return ix.sq8 }
+
+// Rerank returns the configured exact re-rank depth (0 when exact).
+func (ix *Index) Rerank() int {
+	if ix.sq8 == nil {
+		return 0
+	}
+	return ix.rerank
+}
+
+// defaultRerank picks a re-rank depth when the caller didn't: deep
+// enough that SQ8 ranking noise around the cut line is overwhelmingly
+// unlikely to evict a true neighbor, shallow enough to stay a small
+// fraction of the verification budget.
+func defaultRerank(n int) int {
+	r := 64
+	if n < r {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// verifyCandidates drains up to nCand candidates from ctx.s, computes
+// their distances in batches of verifyBatch through the gather kernels,
+// and feeds ctx.best (already Reset to k). It returns the number of
+// candidates verified and the number re-ranked exactly (quantized path
+// only). Candidates enter ctx.best in CSA stream order, exactly as the
+// old per-row loop did, so results are bit-identical to per-row
+// verification.
+func (ix *Index) verifyCandidates(ctx *searchCtx, q []float32, k, nCand int) (verified, reranked int) {
+	if ix.sq8 != nil {
+		return ix.verifyQuantized(ctx, q, k, nCand)
+	}
+	for verified < nCand {
+		b := 0
+		max := nCand - verified
+		if max > verifyBatch {
+			max = verifyBatch
+		}
+		for b < max {
+			r, ok := ctx.s.Next()
+			if !ok {
+				break
+			}
+			ctx.ids[b] = int32(r.ID)
+			b++
+		}
+		if b == 0 {
+			break
+		}
+		ix.store.GatherDistancesInto(ctx.ids[:b], q, ix.metric, ctx.dists[:b])
+		for i := 0; i < b; i++ {
+			ctx.best.Add(int(ctx.ids[i]), ctx.dists[i])
+		}
+		verified += b
+	}
+	return verified, 0
+}
+
+// verifyQuantized is the SQ8 verification path: rank the candidate
+// stream by approximate quantized score, then re-rank the winners with
+// exact float32 distances into ctx.best. The re-rank phase is timed
+// into the obs "rerank" stage histogram.
+func (ix *Index) verifyQuantized(ctx *searchCtx, q []float32, k, nCand int) (verified, reranked int) {
+	rr := ix.rerank
+	if rr < k {
+		rr = k
+	}
+	ix.sq8.Prepare(ix.metric, q, &ctx.sq8q)
+	ctx.rr.Reset(rr)
+	for verified < nCand {
+		b := 0
+		max := nCand - verified
+		if max > verifyBatch {
+			max = verifyBatch
+		}
+		for b < max {
+			r, ok := ctx.s.Next()
+			if !ok {
+				break
+			}
+			ctx.ids[b] = int32(r.ID)
+			b++
+		}
+		if b == 0 {
+			break
+		}
+		ix.sq8.GatherScoresInto(ctx.ids[:b], &ctx.sq8q, ctx.scores[:b])
+		for i := 0; i < b; i++ {
+			ctx.rr.Add(int(ctx.ids[i]), float64(ctx.scores[i]))
+		}
+		verified += b
+	}
+	start := time.Now()
+	ctx.rrBuf = ctx.rr.AppendSorted(ctx.rrBuf[:0])
+	for base := 0; base < len(ctx.rrBuf); base += verifyBatch {
+		c := len(ctx.rrBuf) - base
+		if c > verifyBatch {
+			c = verifyBatch
+		}
+		for i := 0; i < c; i++ {
+			ctx.ids[i] = int32(ctx.rrBuf[base+i].ID)
+		}
+		ix.store.GatherDistancesInto(ctx.ids[:c], q, ix.metric, ctx.dists[:c])
+		for i := 0; i < c; i++ {
+			ctx.best.Add(int(ctx.ids[i]), ctx.dists[i])
+		}
+	}
+	reranked = len(ctx.rrBuf)
+	obs.ObserveDur(obs.StageRerank, time.Since(start))
+	return verified, reranked
 }
 
 // Data returns the indexed vector with the given id (a view into the

@@ -71,6 +71,36 @@ type Dataset struct {
 	Dim     int
 	Data    [][]float32
 	Queries [][]float32
+	// flat, when set, owns the contiguous block Data rows are views of
+	// (Load and NewFlat populate it). Consumers that want the flat form —
+	// index loaders, bulk savers — take it through FlatData instead of
+	// re-packing Data row by row.
+	flat *vec.Store
+}
+
+// NewFlat builds a Dataset over an already-flat vector store: Data rows
+// are views into store, nothing is copied. The snapshot path of the
+// durable layer uses it to persist a frozen store without materializing
+// per-row copies.
+func NewFlat(name, kind string, store *vec.Store, queries [][]float32) *Dataset {
+	return &Dataset{
+		Name:    name,
+		Kind:    kind,
+		Dim:     store.Dim(),
+		Data:    store.Rows(),
+		Queries: queries,
+		flat:    store,
+	}
+}
+
+// FlatData returns the data points as a flat store without copying when
+// the dataset is flat-backed (Load, NewFlat); otherwise it packs Data
+// once. The returned store must be treated as read-only.
+func (d *Dataset) FlatData() (*vec.Store, error) {
+	if d.flat != nil {
+		return d.flat, nil
+	}
+	return vec.FromRows(d.Data)
 }
 
 // Generate builds the dataset described by s.

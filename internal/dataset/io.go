@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"lccs/internal/pqueue"
+	"lccs/internal/vec"
 )
 
 // magic headers versioning the two on-disk formats.
@@ -49,9 +50,17 @@ func (d *Dataset) encode(w io.Writer) error {
 	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
-	for _, v := range d.Data {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+	if d.flat != nil && d.flat.Len() == len(d.Data) {
+		// Flat-backed data writes as one block — byte-identical to the
+		// row loop, without a reflection pass per row.
+		if err := binary.Write(w, binary.LittleEndian, d.flat.Block()); err != nil {
 			return err
+		}
+	} else {
+		for _, v := range d.Data {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
 		}
 	}
 	for _, v := range d.Queries {
@@ -110,10 +119,26 @@ func decode(r io.Reader) (*Dataset, error) {
 		}
 		return out, nil
 	}
-	d := &Dataset{Name: name, Kind: kind, Dim: dim}
-	if d.Data, err = readVecs(n); err != nil {
+	// Data points land in one flat block (read in bounded chunks, so a
+	// corrupt count still fails at the stream's real end rather than
+	// committing a giant up-front allocation); Data rows are views into
+	// it, and FlatData hands the block to index loaders copy-free.
+	const chunkRows = 8192
+	flatBlock := make([]float32, 0, min(n, chunkRows)*dim)
+	for remaining := n; remaining > 0; {
+		c := min(remaining, chunkRows)
+		start := len(flatBlock)
+		flatBlock = append(flatBlock, make([]float32, c*dim)...)
+		if err := binary.Read(r, binary.LittleEndian, flatBlock[start:]); err != nil {
+			return nil, err
+		}
+		remaining -= c
+	}
+	flat, err := vec.FromBlock(dim, flatBlock)
+	if err != nil {
 		return nil, err
 	}
+	d := &Dataset{Name: name, Kind: kind, Dim: dim, Data: flat.Rows(), flat: flat}
 	if d.Queries, err = readVecs(nq); err != nil {
 		return nil, err
 	}

@@ -157,7 +157,10 @@ func (it *Iterator) Next() (id int, dist float64, ok bool) {
 	for it.h.Len() > 0 {
 		e := it.h.Pop()
 		if e.point >= 0 {
-			return int(e.point), math.Sqrt(e.key), true
+			// Round the root to float32 so the yielded distance equals
+			// vec.Distance bit for bit (distances are float32-valued
+			// throughout the repository; see internal/vec/kernel.go).
+			return int(e.point), float64(float32(math.Sqrt(e.key))), true
 		}
 		nd := &t.nodes[e.node]
 		if nd.leaf {

@@ -31,6 +31,7 @@ const (
 	StageBufferScan              // linear scan of the unindexed delta buffer
 	StageMerge                   // tournament merge + external-id mapping
 	StageEncode                  // JSON response encode + write
+	StageRerank                  // exact float32 re-rank after a quantized (SQ8) scan
 
 	// Durable write path.
 	StageIndexApply // in-memory DynamicIndex apply under the write lock
@@ -57,6 +58,7 @@ var stageNames = [numStages]string{
 	StageBufferScan:     "buffer_scan",
 	StageMerge:          "merge",
 	StageEncode:         "encode",
+	StageRerank:         "rerank",
 	StageIndexApply:     "index_apply",
 	StageWALAppend:      "wal_append",
 	StageWALFsync:       "wal_fsync",

@@ -1,0 +1,149 @@
+package vec
+
+import "math"
+
+// Kernel dispatch.
+//
+// The distance hot path is built on a small set of batched kernels that
+// accumulate in float32 over the contiguous SoA block. Each kernel has
+// two interchangeable implementations selected once at init through the
+// function pointers below: hand-written AVX2 assembly on amd64 (unless
+// built with -tags noasm or the CPU lacks AVX2) and an unrolled pure-Go
+// mirror everywhere else.
+//
+// The two implementations are bit-identical by construction, not by
+// accident: both accumulate into the same 2×8 float32 lane structure,
+// reduce lanes with the same tree (lane pair add, high/low half add,
+// two horizontal adds), use separate multiply and add (never FMA), and
+// fold the scalar tail in sequentially after the vector reduction. A
+// distance therefore does not depend on which implementation produced
+// it, and the parity tests assert exact equality between the two.
+//
+// Everything above this layer — the exported pairwise helpers, the
+// Metric singletons, Store.DistancesInto — routes through the same
+// kernels, so a pairwise Distance call and a block scan agree bitwise.
+// Distances are consequently float32-valued (widened to float64 at the
+// API boundary); the Hamming and Jaccard metrics count in float64 but
+// their values are small integers, exactly representable either way.
+var (
+	// sqBlock writes out[r] = Σ_d (block[r*dim+d] - q[d])² for each of
+	// len(out) rows, dim = len(q), in float32.
+	sqBlock func(block, q, out []float32) = sqBlockGeneric
+	// dotBlock writes out[r] = Σ_d block[r*dim+d]·q[d].
+	dotBlock func(block, q, out []float32) = dotBlockGeneric
+	// dotNormBlock writes outDot[r] = Σ_d row·q and outNorm[r] = Σ_d row²
+	// in a single pass over the block.
+	dotNormBlock func(block, q, outDot, outNorm []float32) = dotNormBlockGeneric
+	// sq8SqRow returns Σ_d (adj[d] - scale[d]·codes[d])², the asymmetric
+	// int8×float32 squared-Euclidean kernel (adj[d] = q[d] - min[d]).
+	sq8SqRow func(codes []uint8, scale, adj []float32) float32 = sq8SqRowGeneric
+	// sq8DotRow returns Σ_d adj[d]·codes[d], the asymmetric dot kernel
+	// (adj[d] = q[d]·scale[d]; caller adds the Σ q·min base term).
+	sq8DotRow func(codes []uint8, adj []float32) float32 = sq8DotRowGeneric
+
+	// Single-row variants returning by value. These exist (rather than
+	// calling the block kernels with a one-element out slice) because a
+	// call through a function pointer cannot be proven noescape, so a
+	// stack out-buffer would be forced to the heap on every pairwise
+	// distance — the hot verification path must stay at 0 allocs/op.
+	sqRow      func(a, b []float32) float32            = sqRowGeneric
+	dotRow     func(a, b []float32) float32            = dotRowGeneric
+	dotNormRow func(a, q []float32) (float32, float32) = dotNormRowGeneric
+
+	// kernelImpl names the selected implementation ("avx2" or "generic").
+	kernelImpl = "generic"
+)
+
+// KernelImpl reports which kernel implementation init selected:
+// "avx2" on amd64 with AVX2 available (and not built with -tags noasm),
+// "generic" otherwise.
+func KernelImpl() string { return kernelImpl }
+
+// angularFromParts turns a float32 dot product and the two squared
+// norms into the angular distance. It is the single combine step shared
+// by the pairwise AngularDistance and the block/gather scans, so both
+// produce bit-identical float64 distances. Zero-norm inputs yield π/2
+// (cosine 0), matching CosineSimilarity's convention.
+func angularFromParts(dot, na2, nb2 float32) float64 {
+	if na2 == 0 || nb2 == 0 {
+		return float64(float32(math.Acos(0)))
+	}
+	c := float64(dot) / (math.Sqrt(float64(na2)) * math.Sqrt(float64(nb2)))
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return float64(float32(math.Acos(c)))
+}
+
+// euclideanFromSq widens a float32 squared distance to the float64
+// Euclidean distance. The square root is taken in float64 and rounded
+// back to float32 so block scans can hand out float32 buffers whose
+// widened values equal the pairwise Distance exactly.
+func euclideanFromSq(sq float32) float64 {
+	return float64(float32(math.Sqrt(float64(sq))))
+}
+
+// SquaredEuclideanBlock writes the squared Euclidean distance from q to
+// each row of block (len(out) rows of dim len(q)) into out. It is the
+// raw kernel entry used by benchmarks and tests; panics on size
+// mismatch.
+func SquaredEuclideanBlock(block, q, out []float32) {
+	checkBlock(block, q, out)
+	sqBlock(block, q, out)
+}
+
+// DotBlock writes the dot product of q with each row of block into out.
+func DotBlock(block, q, out []float32) {
+	checkBlock(block, q, out)
+	dotBlock(block, q, out)
+}
+
+// DotNormBlock writes per-row dot products with q and per-row squared
+// norms in one pass.
+func DotNormBlock(block, q, outDot, outNorm []float32) {
+	checkBlock(block, q, outDot)
+	if len(outNorm) != len(outDot) {
+		panic("vec: dot/norm output length mismatch")
+	}
+	dotNormBlock(block, q, outDot, outNorm)
+}
+
+func checkBlock(block, q, out []float32) {
+	if len(q) == 0 {
+		panic("vec: zero-dimensional block kernel")
+	}
+	if len(block) != len(q)*len(out) {
+		panic("vec: block size mismatch")
+	}
+}
+
+// Naive scalar references. These are the float64-accumulating textbook
+// loops the optimized kernels are validated against in the parity tests
+// and the fuzz target. They are not used on any query path.
+
+func refSquaredDistance(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func refDot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func refNormSq(a []float32) float64 {
+	var s float64
+	for _, v := range a {
+		s += float64(v) * float64(v)
+	}
+	return s
+}

@@ -1,0 +1,626 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 distance kernels. Every function mirrors its Go counterpart in
+// kernel_generic.go exactly: two YMM accumulator banks fed 16 floats
+// per iteration, an 8-wide cleanup loop on bank 0, separate VMULPS +
+// VADDPS (no FMA), a VADDPS / VEXTRACTF128 / 2x VHADDPS reduction
+// tree, and a sequential scalar tail folded in after the reduction.
+// The parity tests assert bit-identical results against the Go mirror,
+// so do not change the accumulation structure on one side only.
+
+// func sqBlockAVX2(block, q, out []float32)
+// out[r] = sum_d (block[r*dim+d] - q[d])^2, dim = len(q), rows = len(out).
+TEXT ·sqBlockAVX2(SB), NOSPLIT, $0-72
+	MOVQ block_base+0(FP), SI
+	MOVQ q_base+24(FP), DX
+	MOVQ q_len+32(FP), CX
+	MOVQ out_base+48(FP), DI
+	MOVQ out_len+56(FP), BX
+
+sq_rowloop:
+	TESTQ BX, BX
+	JZ    sq_done
+	XORQ  R8, R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ  CX, R9
+	SUBQ  $16, R9
+
+sq_loop16:
+	CMPQ    R8, R9
+	JG      sq_loop8entry
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VSUBPS  Y3, Y2, Y4
+	VMULPS  Y4, Y4, Y4
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS 32(SI)(R8*4), Y5
+	VMOVUPS 32(DX)(R8*4), Y6
+	VSUBPS  Y6, Y5, Y7
+	VMULPS  Y7, Y7, Y7
+	VADDPS  Y7, Y1, Y1
+	ADDQ    $16, R8
+	JMP     sq_loop16
+
+sq_loop8entry:
+	MOVQ CX, R9
+	SUBQ $8, R9
+
+sq_loop8:
+	CMPQ    R8, R9
+	JG      sq_reduce
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VSUBPS  Y3, Y2, Y4
+	VMULPS  Y4, Y4, Y4
+	VADDPS  Y4, Y0, Y0
+	ADDQ    $8, R8
+	JMP     sq_loop8
+
+sq_reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VZEROUPPER
+
+sq_tail:
+	CMPQ  R8, CX
+	JGE   sq_store
+	MOVSS (SI)(R8*4), X2
+	MOVSS (DX)(R8*4), X3
+	SUBSS X3, X2
+	MULSS X2, X2
+	ADDSS X2, X0
+	INCQ  R8
+	JMP   sq_tail
+
+sq_store:
+	MOVSS X0, (DI)
+	ADDQ  $4, DI
+	LEAQ  (SI)(CX*4), SI
+	DECQ  BX
+	JMP   sq_rowloop
+
+sq_done:
+	RET
+
+// func dotBlockAVX2(block, q, out []float32)
+// out[r] = sum_d block[r*dim+d] * q[d].
+TEXT ·dotBlockAVX2(SB), NOSPLIT, $0-72
+	MOVQ block_base+0(FP), SI
+	MOVQ q_base+24(FP), DX
+	MOVQ q_len+32(FP), CX
+	MOVQ out_base+48(FP), DI
+	MOVQ out_len+56(FP), BX
+
+dot_rowloop:
+	TESTQ BX, BX
+	JZ    dot_done
+	XORQ  R8, R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ  CX, R9
+	SUBQ  $16, R9
+
+dot_loop16:
+	CMPQ    R8, R9
+	JG      dot_loop8entry
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS 32(SI)(R8*4), Y5
+	VMOVUPS 32(DX)(R8*4), Y6
+	VMULPS  Y6, Y5, Y7
+	VADDPS  Y7, Y1, Y1
+	ADDQ    $16, R8
+	JMP     dot_loop16
+
+dot_loop8entry:
+	MOVQ CX, R9
+	SUBQ $8, R9
+
+dot_loop8:
+	CMPQ    R8, R9
+	JG      dot_reduce
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y0, Y0
+	ADDQ    $8, R8
+	JMP     dot_loop8
+
+dot_reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VZEROUPPER
+
+dot_tail:
+	CMPQ  R8, CX
+	JGE   dot_store
+	MOVSS (SI)(R8*4), X2
+	MOVSS (DX)(R8*4), X3
+	MULSS X3, X2
+	ADDSS X2, X0
+	INCQ  R8
+	JMP   dot_tail
+
+dot_store:
+	MOVSS X0, (DI)
+	ADDQ  $4, DI
+	LEAQ  (SI)(CX*4), SI
+	DECQ  BX
+	JMP   dot_rowloop
+
+dot_done:
+	RET
+
+// func dotNormBlockAVX2(block, q, outDot, outNorm []float32)
+// outDot[r] = row . q, outNorm[r] = row . row, one pass per row.
+TEXT ·dotNormBlockAVX2(SB), NOSPLIT, $0-96
+	MOVQ block_base+0(FP), SI
+	MOVQ q_base+24(FP), DX
+	MOVQ q_len+32(FP), CX
+	MOVQ outDot_base+48(FP), DI
+	MOVQ outDot_len+56(FP), BX
+	MOVQ outNorm_base+72(FP), R10
+
+dn_rowloop:
+	TESTQ BX, BX
+	JZ    dn_done
+	XORQ  R8, R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	MOVQ  CX, R9
+	SUBQ  $16, R9
+
+dn_loop16:
+	CMPQ    R8, R9
+	JG      dn_loop8entry
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y0, Y0
+	VMULPS  Y2, Y2, Y5
+	VADDPS  Y5, Y8, Y8
+	VMOVUPS 32(SI)(R8*4), Y2
+	VMOVUPS 32(DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y1, Y1
+	VMULPS  Y2, Y2, Y5
+	VADDPS  Y5, Y9, Y9
+	ADDQ    $16, R8
+	JMP     dn_loop16
+
+dn_loop8entry:
+	MOVQ CX, R9
+	SUBQ $8, R9
+
+dn_loop8:
+	CMPQ    R8, R9
+	JG      dn_reduce
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y0, Y0
+	VMULPS  Y2, Y2, Y5
+	VADDPS  Y5, Y8, Y8
+	ADDQ    $8, R8
+	JMP     dn_loop8
+
+dn_reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VADDPS       Y9, Y8, Y8
+	VEXTRACTF128 $1, Y8, X1
+	VADDPS       X1, X8, X8
+	VHADDPS      X8, X8, X8
+	VHADDPS      X8, X8, X8
+	VZEROUPPER
+
+dn_tail:
+	CMPQ  R8, CX
+	JGE   dn_store
+	MOVSS (SI)(R8*4), X2
+	MOVSS (DX)(R8*4), X3
+	MOVSS X2, X4
+	MULSS X3, X4
+	ADDSS X4, X0
+	MULSS X2, X2
+	ADDSS X2, X8
+	INCQ  R8
+	JMP   dn_tail
+
+dn_store:
+	MOVSS X0, (DI)
+	ADDQ  $4, DI
+	MOVSS X8, (R10)
+	ADDQ  $4, R10
+	LEAQ  (SI)(CX*4), SI
+	DECQ  BX
+	JMP   dn_rowloop
+
+dn_done:
+	RET
+
+// func sqRowAVX2(a, b []float32) float32
+// Single-row squared Euclidean: same structure as one sqBlockAVX2 row,
+// returned by value so pairwise callers need no out buffer.
+TEXT ·sqRowAVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DX
+	XORQ R8, R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ CX, R9
+	SUBQ $16, R9
+
+rsq_loop16:
+	CMPQ    R8, R9
+	JG      rsq_loop8entry
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VSUBPS  Y3, Y2, Y4
+	VMULPS  Y4, Y4, Y4
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS 32(SI)(R8*4), Y5
+	VMOVUPS 32(DX)(R8*4), Y6
+	VSUBPS  Y6, Y5, Y7
+	VMULPS  Y7, Y7, Y7
+	VADDPS  Y7, Y1, Y1
+	ADDQ    $16, R8
+	JMP     rsq_loop16
+
+rsq_loop8entry:
+	MOVQ CX, R9
+	SUBQ $8, R9
+
+rsq_loop8:
+	CMPQ    R8, R9
+	JG      rsq_reduce
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VSUBPS  Y3, Y2, Y4
+	VMULPS  Y4, Y4, Y4
+	VADDPS  Y4, Y0, Y0
+	ADDQ    $8, R8
+	JMP     rsq_loop8
+
+rsq_reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VZEROUPPER
+
+rsq_tail:
+	CMPQ  R8, CX
+	JGE   rsq_done
+	MOVSS (SI)(R8*4), X2
+	MOVSS (DX)(R8*4), X3
+	SUBSS X3, X2
+	MULSS X2, X2
+	ADDSS X2, X0
+	INCQ  R8
+	JMP   rsq_tail
+
+rsq_done:
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func dotRowAVX2(a, b []float32) float32
+TEXT ·dotRowAVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DX
+	XORQ R8, R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ CX, R9
+	SUBQ $16, R9
+
+rdot_loop16:
+	CMPQ    R8, R9
+	JG      rdot_loop8entry
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS 32(SI)(R8*4), Y5
+	VMOVUPS 32(DX)(R8*4), Y6
+	VMULPS  Y6, Y5, Y7
+	VADDPS  Y7, Y1, Y1
+	ADDQ    $16, R8
+	JMP     rdot_loop16
+
+rdot_loop8entry:
+	MOVQ CX, R9
+	SUBQ $8, R9
+
+rdot_loop8:
+	CMPQ    R8, R9
+	JG      rdot_reduce
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y0, Y0
+	ADDQ    $8, R8
+	JMP     rdot_loop8
+
+rdot_reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VZEROUPPER
+
+rdot_tail:
+	CMPQ  R8, CX
+	JGE   rdot_done
+	MOVSS (SI)(R8*4), X2
+	MOVSS (DX)(R8*4), X3
+	MULSS X3, X2
+	ADDSS X2, X0
+	INCQ  R8
+	JMP   rdot_tail
+
+rdot_done:
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func dotNormRowAVX2(a, q []float32) (dot, normSq float32)
+TEXT ·dotNormRowAVX2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ q_base+24(FP), DX
+	XORQ R8, R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	MOVQ CX, R9
+	SUBQ $16, R9
+
+rdn_loop16:
+	CMPQ    R8, R9
+	JG      rdn_loop8entry
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y0, Y0
+	VMULPS  Y2, Y2, Y5
+	VADDPS  Y5, Y8, Y8
+	VMOVUPS 32(SI)(R8*4), Y2
+	VMOVUPS 32(DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y1, Y1
+	VMULPS  Y2, Y2, Y5
+	VADDPS  Y5, Y9, Y9
+	ADDQ    $16, R8
+	JMP     rdn_loop16
+
+rdn_loop8entry:
+	MOVQ CX, R9
+	SUBQ $8, R9
+
+rdn_loop8:
+	CMPQ    R8, R9
+	JG      rdn_reduce
+	VMOVUPS (SI)(R8*4), Y2
+	VMOVUPS (DX)(R8*4), Y3
+	VMULPS  Y3, Y2, Y4
+	VADDPS  Y4, Y0, Y0
+	VMULPS  Y2, Y2, Y5
+	VADDPS  Y5, Y8, Y8
+	ADDQ    $8, R8
+	JMP     rdn_loop8
+
+rdn_reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VADDPS       Y9, Y8, Y8
+	VEXTRACTF128 $1, Y8, X1
+	VADDPS       X1, X8, X8
+	VHADDPS      X8, X8, X8
+	VHADDPS      X8, X8, X8
+	VZEROUPPER
+
+rdn_tail:
+	CMPQ  R8, CX
+	JGE   rdn_done
+	MOVSS (SI)(R8*4), X2
+	MOVSS (DX)(R8*4), X3
+	MOVSS X2, X4
+	MULSS X3, X4
+	ADDSS X4, X0
+	MULSS X2, X2
+	ADDSS X2, X8
+	INCQ  R8
+	JMP   rdn_tail
+
+rdn_done:
+	MOVSS X0, dot+48(FP)
+	MOVSS X8, normSq+52(FP)
+	RET
+
+// func sq8SqRowAVX2(codes []uint8, scale, adj []float32) float32
+// ret = sum_d (adj[d] - scale[d]*float32(codes[d]))^2, dim = len(adj).
+TEXT ·sq8SqRowAVX2(SB), NOSPLIT, $0-76
+	MOVQ codes_base+0(FP), SI
+	MOVQ scale_base+24(FP), DX
+	MOVQ adj_base+48(FP), BX
+	MOVQ adj_len+56(FP), CX
+	XORQ R8, R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ CX, R9
+	SUBQ $16, R9
+
+qsq_loop16:
+	CMPQ      R8, R9
+	JG        qsq_loop8entry
+	VPMOVZXBD (SI)(R8*1), Y2
+	VCVTDQ2PS Y2, Y2
+	VMOVUPS   (DX)(R8*4), Y3
+	VMULPS    Y2, Y3, Y4
+	VMOVUPS   (BX)(R8*4), Y5
+	VSUBPS    Y4, Y5, Y6
+	VMULPS    Y6, Y6, Y6
+	VADDPS    Y6, Y0, Y0
+	VPMOVZXBD 8(SI)(R8*1), Y2
+	VCVTDQ2PS Y2, Y2
+	VMOVUPS   32(DX)(R8*4), Y3
+	VMULPS    Y2, Y3, Y4
+	VMOVUPS   32(BX)(R8*4), Y5
+	VSUBPS    Y4, Y5, Y6
+	VMULPS    Y6, Y6, Y6
+	VADDPS    Y6, Y1, Y1
+	ADDQ      $16, R8
+	JMP       qsq_loop16
+
+qsq_loop8entry:
+	MOVQ CX, R9
+	SUBQ $8, R9
+
+qsq_loop8:
+	CMPQ      R8, R9
+	JG        qsq_reduce
+	VPMOVZXBD (SI)(R8*1), Y2
+	VCVTDQ2PS Y2, Y2
+	VMOVUPS   (DX)(R8*4), Y3
+	VMULPS    Y2, Y3, Y4
+	VMOVUPS   (BX)(R8*4), Y5
+	VSUBPS    Y4, Y5, Y6
+	VMULPS    Y6, Y6, Y6
+	VADDPS    Y6, Y0, Y0
+	ADDQ      $8, R8
+	JMP       qsq_loop8
+
+qsq_reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VZEROUPPER
+
+qsq_tail:
+	CMPQ    R8, CX
+	JGE     qsq_done
+	MOVBLZX (SI)(R8*1), AX
+	CVTSL2SS AX, X2
+	MOVSS   (DX)(R8*4), X3
+	MULSS   X3, X2
+	MOVSS   (BX)(R8*4), X3
+	SUBSS   X2, X3
+	MULSS   X3, X3
+	ADDSS   X3, X0
+	INCQ    R8
+	JMP     qsq_tail
+
+qsq_done:
+	MOVSS X0, ret+72(FP)
+	RET
+
+// func sq8DotRowAVX2(codes []uint8, adj []float32) float32
+// ret = sum_d adj[d] * float32(codes[d]), dim = len(adj).
+TEXT ·sq8DotRowAVX2(SB), NOSPLIT, $0-52
+	MOVQ codes_base+0(FP), SI
+	MOVQ adj_base+24(FP), BX
+	MOVQ adj_len+32(FP), CX
+	XORQ R8, R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ CX, R9
+	SUBQ $16, R9
+
+qdot_loop16:
+	CMPQ      R8, R9
+	JG        qdot_loop8entry
+	VPMOVZXBD (SI)(R8*1), Y2
+	VCVTDQ2PS Y2, Y2
+	VMOVUPS   (BX)(R8*4), Y3
+	VMULPS    Y2, Y3, Y4
+	VADDPS    Y4, Y0, Y0
+	VPMOVZXBD 8(SI)(R8*1), Y2
+	VCVTDQ2PS Y2, Y2
+	VMOVUPS   32(BX)(R8*4), Y3
+	VMULPS    Y2, Y3, Y4
+	VADDPS    Y4, Y1, Y1
+	ADDQ      $16, R8
+	JMP       qdot_loop16
+
+qdot_loop8entry:
+	MOVQ CX, R9
+	SUBQ $8, R9
+
+qdot_loop8:
+	CMPQ      R8, R9
+	JG        qdot_reduce
+	VPMOVZXBD (SI)(R8*1), Y2
+	VCVTDQ2PS Y2, Y2
+	VMOVUPS   (BX)(R8*4), Y3
+	VMULPS    Y2, Y3, Y4
+	VADDPS    Y4, Y0, Y0
+	ADDQ      $8, R8
+	JMP       qdot_loop8
+
+qdot_reduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VZEROUPPER
+
+qdot_tail:
+	CMPQ    R8, CX
+	JGE     qdot_done
+	MOVBLZX (SI)(R8*1), AX
+	CVTSL2SS AX, X2
+	MOVSS   (BX)(R8*4), X3
+	MULSS   X3, X2
+	ADDSS   X2, X0
+	INCQ    R8
+	JMP     qdot_tail
+
+qdot_done:
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

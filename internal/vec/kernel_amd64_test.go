@@ -1,0 +1,96 @@
+//go:build amd64 && !noasm
+
+package vec
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// Exact asm/generic parity: the AVX2 kernels promise bit-identical
+// results to the unrolled Go kernels (same lane structure, same
+// reduction tree, no FMA), so every distance is independent of which
+// implementation the dispatcher picked. This test holds that promise to
+// exact float32 equality across dims 1..67 — every combination of main
+// loop, half-width loop, and scalar tail — including negative zeros and
+// denormals.
+func TestKernelAsmGenericBitIdentity(t *testing.T) {
+	if !hasAVX2() {
+		t.Skip("no AVX2 on this CPU")
+	}
+	g := rand.New(rand.NewPCG(3, 9))
+	for dim := 1; dim <= kernelDimMax; dim++ {
+		const rows = 5
+		block := make([]float32, rows*dim)
+		for i := range block {
+			block[i] = float32(g.NormFloat64() * 100)
+		}
+		// Sprinkle exact values and denormals into deterministic spots.
+		block[g.IntN(len(block))] = 0
+		block[g.IntN(len(block))] = float32(math.Copysign(0, -1))
+		block[g.IntN(len(block))] = math.Float32frombits(1) // smallest denormal
+		q := make([]float32, dim)
+		for i := range q {
+			q[i] = float32(g.NormFloat64() * 100)
+		}
+
+		outA := make([]float32, rows)
+		outG := make([]float32, rows)
+		sqBlockAVX2(block, q, outA)
+		sqBlockGeneric(block, q, outG)
+		for r := range outA {
+			if math.Float32bits(outA[r]) != math.Float32bits(outG[r]) {
+				t.Fatalf("dim %d row %d: sq asm %x generic %x", dim, r, math.Float32bits(outA[r]), math.Float32bits(outG[r]))
+			}
+		}
+		dotBlockAVX2(block, q, outA)
+		dotBlockGeneric(block, q, outG)
+		for r := range outA {
+			if math.Float32bits(outA[r]) != math.Float32bits(outG[r]) {
+				t.Fatalf("dim %d row %d: dot asm %x generic %x", dim, r, math.Float32bits(outA[r]), math.Float32bits(outG[r]))
+			}
+		}
+		nA := make([]float32, rows)
+		nG := make([]float32, rows)
+		dotNormBlockAVX2(block, q, outA, nA)
+		dotNormBlockGeneric(block, q, outG, nG)
+		for r := range outA {
+			if math.Float32bits(outA[r]) != math.Float32bits(outG[r]) || math.Float32bits(nA[r]) != math.Float32bits(nG[r]) {
+				t.Fatalf("dim %d row %d: dotnorm asm (%x,%x) generic (%x,%x)", dim, r,
+					math.Float32bits(outA[r]), math.Float32bits(nA[r]), math.Float32bits(outG[r]), math.Float32bits(nG[r]))
+			}
+		}
+
+		for r := 0; r < rows; r++ {
+			row := block[r*dim : (r+1)*dim]
+			if a, g := sqRowAVX2(row, q), sqRowGeneric(row, q); math.Float32bits(a) != math.Float32bits(g) {
+				t.Fatalf("dim %d row %d: sqRow asm %x generic %x", dim, r, math.Float32bits(a), math.Float32bits(g))
+			}
+			if a, g := dotRowAVX2(row, q), dotRowGeneric(row, q); math.Float32bits(a) != math.Float32bits(g) {
+				t.Fatalf("dim %d row %d: dotRow asm %x generic %x", dim, r, math.Float32bits(a), math.Float32bits(g))
+			}
+			ad, an := dotNormRowAVX2(row, q)
+			gd, gn := dotNormRowGeneric(row, q)
+			if math.Float32bits(ad) != math.Float32bits(gd) || math.Float32bits(an) != math.Float32bits(gn) {
+				t.Fatalf("dim %d row %d: dotNormRow asm (%x,%x) generic (%x,%x)", dim, r,
+					math.Float32bits(ad), math.Float32bits(an), math.Float32bits(gd), math.Float32bits(gn))
+			}
+		}
+
+		codes := make([]uint8, dim)
+		scale := make([]float32, dim)
+		adj := make([]float32, dim)
+		for i := range codes {
+			codes[i] = uint8(g.IntN(256))
+			scale[i] = float32(g.Float64())
+			adj[i] = float32(g.NormFloat64() * 50)
+		}
+		if a, gg := sq8SqRowAVX2(codes, scale, adj), sq8SqRowGeneric(codes, scale, adj); math.Float32bits(a) != math.Float32bits(gg) {
+			t.Fatalf("dim %d: sq8SqRow asm %x generic %x", dim, math.Float32bits(a), math.Float32bits(gg))
+		}
+		if a, gg := sq8DotRowAVX2(codes, adj), sq8DotRowGeneric(codes, adj); math.Float32bits(a) != math.Float32bits(gg) {
+			t.Fatalf("dim %d: sq8DotRow asm %x generic %x", dim, math.Float32bits(a), math.Float32bits(gg))
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package vec
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Store is a flat structure-of-arrays vector store: n vectors of one
 // fixed dimensionality packed back to back in a single contiguous
@@ -46,6 +49,25 @@ func FromRows(rows [][]float32) (*Store, error) {
 		s.data = append(s.data, r...)
 	}
 	return s, nil
+}
+
+// FromBlock adopts an already-flat block of n·dim float32s as an owning
+// store without copying it. The caller must not write through block
+// afterwards.
+func FromBlock(dim int, block []float32) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vec: non-positive dimension %d", dim)
+	}
+	if len(block)%dim != 0 {
+		return nil, fmt.Errorf("vec: block of %d floats is not a multiple of dimension %d", len(block), dim)
+	}
+	return &Store{dim: dim, data: block[:len(block):len(block)]}, nil
+}
+
+// Block returns the store's contiguous float32 block as a read-only,
+// capped view — the bulk-I/O counterpart of Row.
+func (s *Store) Block() []float32 {
+	return s.data[:len(s.data):len(s.data)]
 }
 
 // Len returns the number of stored vectors.
@@ -129,15 +151,107 @@ func (s *Store) CompactCopy(keepPrefix int, dead func(slot int) bool) *Store {
 	return out
 }
 
-// Scan is the bulk distance kernel: it walks vectors [lo, hi) in one
-// pass over the contiguous block — a single forward stride, no header
-// chasing — and calls visit with each vector's metric distance to q.
+// scanChunk is the number of rows a chunked scan pushes through the
+// block kernels per pass. Buffers of this size live on the stack.
+const scanChunk = 256
+
+// Scan walks vectors [lo, hi) and calls visit with each vector's metric
+// distance to q. For the kernel-backed metrics (Euclidean, Angular) the
+// rows are processed in blocks of scanChunk through DistancesInto and
+// the float32 results widened — bit-identical to m.Distance by the
+// kernel-layer contract. Other metrics take the per-row scalar path.
 // It is the backing for exact buffer scans and brute-force verification.
 func (s *Store) Scan(lo, hi int, q []float32, m Metric, visit func(id int, d float64)) {
-	base := lo * s.dim
-	for i := lo; i < hi; i++ {
-		row := s.data[base : base+s.dim : base+s.dim]
-		visit(i, m.Distance(row, q))
-		base += s.dim
+	switch m.(type) {
+	case euclidean, angular:
+		var buf [scanChunk]float32
+		for base := lo; base < hi; base += scanChunk {
+			c := hi - base
+			if c > scanChunk {
+				c = scanChunk
+			}
+			s.DistancesInto(base, base+c, q, m, buf[:c])
+			for i := 0; i < c; i++ {
+				visit(base+i, float64(buf[i]))
+			}
+		}
+	default:
+		base := lo * s.dim
+		for i := lo; i < hi; i++ {
+			row := s.data[base : base+s.dim : base+s.dim]
+			visit(i, m.Distance(row, q))
+			base += s.dim
+		}
+	}
+}
+
+// DistancesInto is the block distance API: it computes the metric
+// distance from q to every row in [lo, hi) and writes them into
+// out[:hi-lo], which the caller provides (out must be at least that
+// long). For Euclidean and Angular the whole range goes through the
+// batched float32 kernels and the written values, widened to float64,
+// equal m.Distance bit for bit. Hamming distances are integral counts,
+// also exact in float32. Jaccard and foreign metrics are computed per
+// row in float64 and rounded to float32 — use Scan where those must
+// stay exact.
+func (s *Store) DistancesInto(lo, hi int, q []float32, m Metric, out []float32) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if len(out) < n {
+		panic("vec: distance output buffer too short")
+	}
+	out = out[:n]
+	switch m.(type) {
+	case euclidean:
+		sqBlock(s.data[lo*s.dim:hi*s.dim], q, out)
+		for i, v := range out {
+			out[i] = float32(math.Sqrt(float64(v)))
+		}
+	case angular:
+		qn2 := dotRow(q, q)
+		var dbuf, nbuf [scanChunk]float32
+		for base := 0; base < n; base += scanChunk {
+			c := n - base
+			if c > scanChunk {
+				c = scanChunk
+			}
+			blk := s.data[(lo+base)*s.dim : (lo+base+c)*s.dim]
+			dotNormBlock(blk, q, dbuf[:c], nbuf[:c])
+			for i := 0; i < c; i++ {
+				out[base+i] = float32(angularFromParts(dbuf[i], nbuf[i], qn2))
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			out[i] = float32(m.Distance(s.Row(lo+i), q))
+		}
+	}
+}
+
+// GatherDistancesInto computes m.Distance(s.Row(ids[j]), q) for every
+// id and writes the results into out[:len(ids)]. It is the candidate-
+// verification primitive: ids come scattered from the CSA stream, so
+// rows are gathered individually, but each one runs through the same
+// float32 kernels as the block scans and the float64 results are exact
+// for every built-in metric (Jaccard included — it never leaves
+// float64 here).
+func (s *Store) GatherDistancesInto(ids []int32, q []float32, m Metric, out []float64) {
+	switch m.(type) {
+	case euclidean:
+		for j, id := range ids {
+			out[j] = euclideanFromSq(sqRow(s.Row(int(id)), q))
+		}
+	case angular:
+		qn2 := dotRow(q, q)
+		for j, id := range ids {
+			d, n2 := dotNormRow(s.Row(int(id)), q)
+			out[j] = angularFromParts(d, n2, qn2)
+		}
+	default:
+		for j, id := range ids {
+			out[j] = m.Distance(s.Row(int(id)), q)
+		}
 	}
 }

@@ -10,43 +10,52 @@ package vec
 
 import "math"
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b, accumulated in float32 by
+// the dispatched kernel and widened to float64 (see kernel.go: every
+// distance-bearing value in this package is float32-valued so pairwise
+// calls and block scans agree bitwise).
 func Dot(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("vec: dimension mismatch")
 	}
-	var s float64
-	for i, av := range a {
-		s += float64(av) * float64(b[i])
+	if len(a) == 0 {
+		return 0
 	}
-	return s
+	return float64(dotRow(a, b))
 }
 
-// SquaredDistance returns the squared Euclidean distance between a and b.
+// SquaredDistance returns the squared Euclidean distance between a and
+// b (float32-accumulated, widened to float64).
 func SquaredDistance(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("vec: dimension mismatch")
 	}
-	var s float64
-	for i, av := range a {
-		d := float64(av) - float64(b[i])
-		s += d * d
+	if len(a) == 0 {
+		return 0
 	}
-	return s
+	return float64(sqRow(a, b))
 }
 
-// Distance returns the Euclidean distance between a and b.
+// Distance returns the Euclidean distance between a and b. The value is
+// exactly representable in float32, so block scans handing out float32
+// buffers reproduce it bit for bit when widened.
 func Distance(a, b []float32) float64 {
-	return math.Sqrt(SquaredDistance(a, b))
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	return euclideanFromSq(sqRow(a, b))
 }
 
-// Norm returns the Euclidean norm of a.
+// Norm returns the Euclidean norm of a (float32-accumulated square sum,
+// float64 square root).
 func Norm(a []float32) float64 {
-	var s float64
-	for _, av := range a {
-		s += float64(av) * float64(av)
+	if len(a) == 0 {
+		return 0
 	}
-	return math.Sqrt(s)
+	return math.Sqrt(float64(dotRow(a, a)))
 }
 
 // Normalize returns a unit-norm copy of a. The zero vector is returned
@@ -78,13 +87,22 @@ func NormalizeInPlace(a []float32) {
 }
 
 // CosineSimilarity returns a·b / (|a||b|), clamped to [-1, 1].
-// Either argument being the zero vector yields similarity 0.
+// Either argument being the zero vector yields similarity 0. The dot
+// product and squared norms come from the float32 kernels, combined in
+// float64 exactly as the block scans do.
 func CosineSimilarity(a, b []float32) float64 {
-	na, nb := Norm(a), Norm(b)
-	if na == 0 || nb == 0 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	if len(a) == 0 {
 		return 0
 	}
-	c := Dot(a, b) / (na * nb)
+	na2 := dotRow(a, a)
+	nb2 := dotRow(b, b)
+	if na2 == 0 || nb2 == 0 {
+		return 0
+	}
+	c := float64(dotRow(a, b)) / (math.Sqrt(float64(na2)) * math.Sqrt(float64(nb2)))
 	if c > 1 {
 		c = 1
 	} else if c < -1 {
@@ -95,9 +113,11 @@ func CosineSimilarity(a, b []float32) float64 {
 
 // AngularDistance returns the angle between a and b in radians, i.e.
 // arccos of their cosine similarity, as used by the cross-polytope LSH
-// family evaluation in the paper (θ(o,q) = cos⁻¹(o·q / |o||q|)).
+// family evaluation in the paper (θ(o,q) = cos⁻¹(o·q / |o||q|)). Like
+// Distance, the value is float32-representable so pairwise and block
+// paths agree bitwise.
 func AngularDistance(a, b []float32) float64 {
-	return math.Acos(CosineSimilarity(a, b))
+	return float64(float32(math.Acos(CosineSimilarity(a, b))))
 }
 
 // Scale multiplies every entry of a by s, in place.

@@ -11,6 +11,7 @@ import (
 	"lccs/internal/core"
 	"lccs/internal/idmap"
 	"lccs/internal/lshfamily"
+	"lccs/internal/vec"
 )
 
 // pkgMagic versions the facade's on-disk index format: a single-Index
@@ -29,6 +30,24 @@ var pkgMagic2 = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '2'}
 // state exists; indexes without it keep writing byte-identical format-2
 // (or format-1) files, and both legacy formats keep loading.
 var pkgMagic3 = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '3'}
+
+// pkgMagic4 is the quantized container (format 4), emitted only when the
+// index carries an SQ8 quantized store (Config.Quantize). After the
+// magic, a container-kind byte distinguishes a single Index from a
+// sharded body; the sharded body is the format-2 layout plus an explicit
+// lifecycle-presence flag (formats 2/3 encode that in the magic), and
+// both kinds end with a quantization section: the quantizer name, the
+// configured re-rank depth, and each shard's codebook (per-dimension
+// min/scale), dequantized row norms, and packed int8 codes. Indexes
+// without quantization keep writing byte-identical format-1/2/3 files,
+// and all three legacy formats keep loading.
+var pkgMagic4 = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '4'}
+
+// Container-kind byte of a format-4 file.
+const (
+	containerSingle  byte = 1
+	containerSharded byte = 2
+)
 
 // Save writes the index to path. The dataset itself is not stored: Load
 // must be given the same data slice (same order) the index was built
@@ -51,6 +70,24 @@ func (ix *Index) Save(path string) error {
 }
 
 func (ix *Index) encode(w io.Writer) error {
+	if qs := ix.single.SQ8(); qs != nil {
+		if _, err := w.Write(pkgMagic4[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{containerSingle}); err != nil {
+			return err
+		}
+		if err := encodeConfig(w, ix.cfg); err != nil {
+			return err
+		}
+		if err := ix.single.Encode(w); err != nil {
+			return err
+		}
+		if err := encodeQuantHeader(w, ix.cfg); err != nil {
+			return err
+		}
+		return encodeSQ8(w, qs)
+	}
 	if _, err := w.Write(pkgMagic[:]); err != nil {
 		return err
 	}
@@ -120,6 +157,100 @@ func decodeConfig(r io.Reader) (Config, error) {
 	}, nil
 }
 
+// encodeQuantHeader writes the quantization-section header of a format-4
+// file: the quantizer name and the configured re-rank depth (0 when the
+// user left the default; the default is re-derived deterministically at
+// load time, keeping re-encodes byte-identical).
+func encodeQuantHeader(w io.Writer, cfg Config) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(cfg.Quantize))); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(cfg.Quantize)); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, int64(cfg.Rerank))
+}
+
+// decodeQuantHeader reads the quantization-section header.
+func decodeQuantHeader(r io.Reader) (kind string, rerank int, err error) {
+	var kindLen int32
+	if err := binary.Read(r, binary.LittleEndian, &kindLen); err != nil {
+		return "", 0, err
+	}
+	if kindLen < 0 || kindLen > 64 {
+		return "", 0, fmt.Errorf("lccs: corrupt quantizer name length %d", kindLen)
+	}
+	kindBuf := make([]byte, kindLen)
+	if _, err := io.ReadFull(r, kindBuf); err != nil {
+		return "", 0, err
+	}
+	if string(kindBuf) != QuantizeSQ8 {
+		return "", 0, fmt.Errorf("lccs: unknown quantizer %q", kindBuf)
+	}
+	var rr int64
+	if err := binary.Read(r, binary.LittleEndian, &rr); err != nil {
+		return "", 0, err
+	}
+	if rr < 0 {
+		return "", 0, fmt.Errorf("lccs: corrupt re-rank depth %d", rr)
+	}
+	return string(kindBuf), int(rr), nil
+}
+
+// encodeSQ8 writes one shard's quantized store: row/dim counts for
+// validation, the per-dimension codebook (min, scale), the dequantized
+// row norms, and the packed codes.
+func encodeSQ8(w io.Writer, qs *vec.SQ8Store) error {
+	min, scale, norms, codes := qs.Codebook()
+	if err := binary.Write(w, binary.LittleEndian, [2]int64{int64(qs.Len()), int64(qs.Dim())}); err != nil {
+		return err
+	}
+	for _, f32s := range [][]float32{min, scale, norms} {
+		if err := binary.Write(w, binary.LittleEndian, f32s); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(codes)
+	return err
+}
+
+// decodeSQ8 reads one shard's quantized store, validating it against the
+// shard geometry the container already established.
+func decodeSQ8(r io.Reader, rows, dim int) (*vec.SQ8Store, error) {
+	var hdr [2]int64
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] != int64(rows) || hdr[1] != int64(dim) {
+		return nil, fmt.Errorf("lccs: quantized store covers %d×%d, shard is %d×%d", hdr[0], hdr[1], rows, dim)
+	}
+	min := make([]float32, dim)
+	scale := make([]float32, dim)
+	norms := make([]float32, rows)
+	for _, f32s := range [][]float32{min, scale, norms} {
+		if err := binary.Read(r, binary.LittleEndian, f32s); err != nil {
+			return nil, err
+		}
+	}
+	codes := make([]uint8, rows*dim)
+	if _, err := io.ReadFull(r, codes); err != nil {
+		return nil, err
+	}
+	return vec.RestoreSQ8(dim, min, scale, norms, codes), nil
+}
+
+// readContainerKind reads and validates the format-4 container-kind byte.
+func readContainerKind(r io.Reader) (byte, error) {
+	var kind [1]byte
+	if _, err := io.ReadFull(r, kind[:]); err != nil {
+		return 0, err
+	}
+	if kind[0] != containerSingle && kind[0] != containerSharded {
+		return 0, fmt.Errorf("lccs: corrupt container kind %d", kind[0])
+	}
+	return kind[0], nil
+}
+
 // Load reads a single-Index file written by Index.Save. data must be the
 // dataset the index was built over; a sample of hash strings is
 // re-verified against it, so passing different data fails loudly rather
@@ -139,6 +270,20 @@ func Load(path string, data [][]float32) (*Index, error) {
 	if magic == pkgMagic2 || magic == pkgMagic3 {
 		return nil, fmt.Errorf("lccs: %s holds a sharded index; use LoadSharded", path)
 	}
+	if magic == pkgMagic4 {
+		kind, err := readContainerKind(r)
+		if err != nil {
+			return nil, err
+		}
+		if kind == containerSharded {
+			return nil, fmt.Errorf("lccs: %s holds a sharded index; use LoadSharded", path)
+		}
+		store, err := storeFromRows(data)
+		if err != nil {
+			return nil, err
+		}
+		return decodeSingleQuantized(r, store)
+	}
 	return decodeSingle(r, data)
 }
 
@@ -148,20 +293,20 @@ func readMagic(r io.Reader) ([8]byte, error) {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return magic, err
 	}
-	if magic != pkgMagic && magic != pkgMagic2 && magic != pkgMagic3 {
+	if magic != pkgMagic && magic != pkgMagic2 && magic != pkgMagic3 && magic != pkgMagic4 {
 		return magic, fmt.Errorf("lccs: bad index magic %q", magic)
 	}
 	return magic, nil
 }
 
-// checkDataset validates the caller-supplied dataset before it is used
-// to reconstruct hash families: a nil or zero-dimensional first vector
+// checkStore validates the caller-supplied dataset store before it is
+// used to reconstruct hash families: an empty or zero-dimensional store
 // must be reported, not panicked on deep inside the LSH family.
-func checkDataset(data [][]float32) error {
-	if len(data) == 0 {
+func checkStore(store *vec.Store) error {
+	if store.Len() == 0 {
 		return fmt.Errorf("lccs: empty dataset")
 	}
-	if len(data[0]) == 0 {
+	if store.Dim() == 0 {
 		return fmt.Errorf("lccs: zero-dimensional data")
 	}
 	return nil
@@ -171,15 +316,21 @@ func checkDataset(data [][]float32) error {
 // The supplied rows are packed once into a flat store that the decoded
 // index retains.
 func decodeSingle(r io.Reader, data [][]float32) (*Index, error) {
+	store, err := storeFromRows(data)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSingleStore(r, store)
+}
+
+// decodeSingleStore is decodeSingle over an already-flat store, which
+// the decoded index adopts without copying.
+func decodeSingleStore(r io.Reader, store *vec.Store) (*Index, error) {
 	cfg, err := decodeConfig(r)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkDataset(data); err != nil {
-		return nil, err
-	}
-	store, err := storeFromRows(data)
-	if err != nil {
+	if err := checkStore(store); err != nil {
 		return nil, err
 	}
 	family, err := familyFor(cfg, store.Dim())
@@ -197,6 +348,30 @@ func decodeSingle(r io.Reader, data [][]float32) (*Index, error) {
 		return nil, err
 	}
 	return wrapSingle(single, cfg, family)
+}
+
+// decodeSingleQuantized decodes a format-4 single-Index body (everything
+// after the magic and kind byte): the format-1 body followed by the
+// quantization section.
+func decodeSingleQuantized(r io.Reader, store *vec.Store) (*Index, error) {
+	ix, err := decodeSingleStore(r, store)
+	if err != nil {
+		return nil, err
+	}
+	kind, rerank, err := decodeQuantHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	ix.cfg.Quantize, ix.cfg.Rerank = kind, rerank
+	if err := validateConfig(ix.cfg); err != nil {
+		return nil, err
+	}
+	qs, err := decodeSQ8(r, ix.Len(), ix.Dim())
+	if err != nil {
+		return nil, err
+	}
+	ix.single.EnableSQ8(qs, rerank)
+	return ix, nil
 }
 
 // checkCoreMatches verifies the package header agrees with the decoded
@@ -256,12 +431,27 @@ func (sx *ShardedIndex) Save(path string) error {
 
 func (sx *ShardedIndex) encode(w io.Writer) error {
 	lifecycle := sx.ids != nil || len(sx.dead) > 0
+	quantized := len(sx.shards) > 0 && sx.shards[0].single.SQ8() != nil
 	magic := pkgMagic2
 	if lifecycle {
 		magic = pkgMagic3
 	}
+	if quantized {
+		magic = pkgMagic4
+	}
 	if _, err := w.Write(magic[:]); err != nil {
 		return err
+	}
+	if quantized {
+		// Format 4 carries the container kind and an explicit lifecycle
+		// flag; formats 2/3 encode lifecycle presence in the magic.
+		flag := byte(0)
+		if lifecycle {
+			flag = 1
+		}
+		if _, err := w.Write([]byte{containerSharded, flag}); err != nil {
+			return err
+		}
 	}
 	if err := encodeConfig(w, sx.cfg); err != nil {
 		return err
@@ -282,7 +472,23 @@ func (sx *ShardedIndex) encode(w io.Writer) error {
 		}
 	}
 	if lifecycle {
-		return sx.encodeLifecycle(w)
+		if err := sx.encodeLifecycle(w); err != nil {
+			return err
+		}
+	}
+	if quantized {
+		if err := encodeQuantHeader(w, sx.cfg); err != nil {
+			return err
+		}
+		for s, shard := range sx.shards {
+			qs := shard.single.SQ8()
+			if qs == nil {
+				return fmt.Errorf("lccs: shard %d has no quantized store while shard 0 does", s)
+			}
+			if err := encodeSQ8(w, qs); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -425,6 +631,18 @@ func (sx *ShardedIndex) decodeLifecycle(r io.Reader) error {
 // file is accepted too and wrapped as one shard, so callers can migrate
 // to the sharded API without rewriting old files.
 func LoadSharded(path string, data [][]float32) (*ShardedIndex, error) {
+	store, err := storeFromRows(data)
+	if err != nil {
+		return nil, err
+	}
+	return LoadShardedStore(path, store)
+}
+
+// LoadShardedStore is LoadSharded over an already-flat vector store,
+// which the loaded index adopts without re-packing — the copy-free
+// warm-restart path (dataset.Dataset.FlatData feeds it directly). The
+// caller must not write through store afterwards.
+func LoadShardedStore(path string, store *vec.Store) (*ShardedIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -436,39 +654,70 @@ func LoadSharded(path string, data [][]float32) (*ShardedIndex, error) {
 		return nil, err
 	}
 	if magic == pkgMagic {
-		ix, err := decodeSingle(r, data)
+		ix, err := decodeSingleStore(r, store)
 		if err != nil {
 			return nil, err
 		}
-		sx := &ShardedIndex{
-			cfg:     ix.cfg,
-			store:   ix.single.Store(),
-			shards:  []*Index{ix},
-			offsets: []int{0, ix.Len()},
-			budget:  ix.budget,
-			dim:     ix.dim,
-		}
-		sx.initPool()
-		return sx, nil
+		return wrapAsSharded(ix), nil
 	}
-	return decodeSharded(r, data, magic == pkgMagic3)
+	if magic == pkgMagic4 {
+		kind, err := readContainerKind(r)
+		if err != nil {
+			return nil, err
+		}
+		if kind == containerSingle {
+			ix, err := decodeSingleQuantized(r, store)
+			if err != nil {
+				return nil, err
+			}
+			return wrapAsSharded(ix), nil
+		}
+		var flag [1]byte
+		if _, err := io.ReadFull(r, flag[:]); err != nil {
+			return nil, err
+		}
+		if flag[0] > 1 {
+			return nil, fmt.Errorf("lccs: corrupt lifecycle flag %d", flag[0])
+		}
+		return decodeSharded(r, store, flag[0] == 1, true)
+	}
+	return decodeSharded(r, store, magic == pkgMagic3, false)
 }
 
-// decodeSharded decodes a format-2 or format-3 body (everything after
-// the magic); lifecycle selects the format-3 tail.
-func decodeSharded(r io.Reader, data [][]float32, lifecycle bool) (*ShardedIndex, error) {
+// wrapAsSharded adapts a decoded single Index into a one-shard
+// ShardedIndex — the migration path for format-1 (and quantized
+// format-4 single) files opened with LoadSharded.
+func wrapAsSharded(ix *Index) *ShardedIndex {
+	sx := &ShardedIndex{
+		cfg:     ix.cfg,
+		store:   ix.single.Store(),
+		shards:  []*Index{ix},
+		offsets: []int{0, ix.Len()},
+		budget:  ix.budget,
+		dim:     ix.dim,
+	}
+	sx.initPool()
+	return sx
+}
+
+// decodeSharded decodes a format-2, format-3, or sharded format-4 body
+// (everything after the magic and, for format 4, the kind and lifecycle
+// flag bytes); lifecycle selects the lifecycle tail, quantized the
+// format-4 quantization section.
+func decodeSharded(r io.Reader, store *vec.Store, lifecycle, quantized bool) (*ShardedIndex, error) {
 	cfg, err := decodeConfig(r)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkDataset(data); err != nil {
+	if err := checkStore(store); err != nil {
 		return nil, err
 	}
+	n := store.Len()
 	var shardCount int32
 	if err := binary.Read(r, binary.LittleEndian, &shardCount); err != nil {
 		return nil, err
 	}
-	if err := validateShardCount(int(shardCount), len(data)); err != nil {
+	if err := validateShardCount(int(shardCount), n); err != nil {
 		return nil, err
 	}
 	sizes := make([]int64, shardCount)
@@ -477,20 +726,16 @@ func decodeSharded(r io.Reader, data [][]float32, lifecycle bool) (*ShardedIndex
 	}
 	offsets := make([]int, shardCount+1)
 	for s, size := range sizes {
-		if size <= 0 || size > int64(len(data)) {
+		if size <= 0 || size > int64(n) {
 			return nil, fmt.Errorf("lccs: corrupt shard size %d", size)
 		}
 		offsets[s+1] = offsets[s] + int(size)
 	}
-	if offsets[shardCount] != len(data) {
-		return nil, fmt.Errorf("lccs: shard table covers %d vectors, data has %d", offsets[shardCount], len(data))
+	if offsets[shardCount] != n {
+		return nil, fmt.Errorf("lccs: shard table covers %d vectors, data has %d", offsets[shardCount], n)
 	}
 	// One flat store for the whole dataset; every shard decodes against
 	// a contiguous view of it, exactly as NewShardedIndex builds.
-	store, err := storeFromRows(data)
-	if err != nil {
-		return nil, err
-	}
 	family, err := familyFor(cfg, store.Dim())
 	if err != nil {
 		return nil, err
@@ -519,6 +764,24 @@ func decodeSharded(r io.Reader, data [][]float32, lifecycle bool) (*ShardedIndex
 	if lifecycle {
 		if err := sx.decodeLifecycle(r); err != nil {
 			return nil, err
+		}
+	}
+	if quantized {
+		kind, rerank, err := decodeQuantHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		sx.cfg.Quantize, sx.cfg.Rerank = kind, rerank
+		if err := validateConfig(sx.cfg); err != nil {
+			return nil, err
+		}
+		for s := range sx.shards {
+			qs, err := decodeSQ8(r, offsets[s+1]-offsets[s], store.Dim())
+			if err != nil {
+				return nil, fmt.Errorf("lccs: shard %d: %w", s, err)
+			}
+			sx.shards[s].single.EnableSQ8(qs, rerank)
+			sx.shards[s].cfg.Quantize, sx.shards[s].cfg.Rerank = kind, rerank
 		}
 	}
 	sx.initPool()

@@ -1,0 +1,298 @@
+package lccs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenQuantizedSetup mirrors goldenSetup with SQ8 quantization turned
+// on — the deterministic inputs behind testdata/golden_pkg4.lccs.
+func goldenQuantizedSetup() ([][]float32, Config) {
+	data, cfg := goldenSetup()
+	cfg.Quantize = QuantizeSQ8
+	cfg.Rerank = 24
+	return data, cfg
+}
+
+// TestGoldenFormat4 pins the quantized container: a format-4 (LCCSPKG4)
+// file keeps loading with its codebooks, codes, and re-rank depth
+// intact, serves identical results to a fresh quantized build, and
+// re-encodes byte for byte.
+func TestGoldenFormat4(t *testing.T) {
+	const path = "testdata/golden_pkg4.lccs"
+	data, cfg := goldenQuantizedSetup()
+	fresh, err := NewShardedIndex(data, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob[:8]) != "LCCSPKG4" {
+		t.Fatalf("golden format-4 magic %q", blob[:8])
+	}
+	loaded, err := LoadSharded(path, data)
+	if err != nil {
+		t.Fatalf("golden format-4 file no longer loads: %v", err)
+	}
+	if loaded.Shards() != 3 || loaded.Len() != len(data) {
+		t.Fatalf("golden shape: shards=%d len=%d", loaded.Shards(), loaded.Len())
+	}
+	for s := 0; s < loaded.Shards(); s++ {
+		shard, _ := loaded.Shard(s)
+		if kind, rerank := shard.Quantization(); kind != QuantizeSQ8 || rerank != cfg.Rerank {
+			t.Fatalf("shard %d quantization (%q, %d), want (%q, %d)", s, kind, rerank, QuantizeSQ8, cfg.Rerank)
+		}
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := data[qi*7]
+		a, b := must(fresh.SearchBudget(q, 5, 40)), must(loaded.SearchBudget(q, 5, 40))
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d pos %d: %+v vs %+v", qi, j, a[j], b[j])
+			}
+		}
+	}
+	// Load → re-save reproduces the golden file byte for byte: the
+	// quantized tail (codebooks, norms, codes, re-rank depth) encodes
+	// deterministically from the restored state.
+	resaved := filepath.Join(t.TempDir(), "pkg4.lccs")
+	if err := loaded.Save(resaved); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, got) {
+		t.Fatalf("format-4 re-encode differs from golden: %d vs %d bytes", len(got), len(blob))
+	}
+	// A format-4 sharded container is not a single-index file.
+	if _, err := Load(path, data); err == nil {
+		t.Fatal("Load accepted a sharded format-4 container")
+	}
+}
+
+// TestFormat4SingleRoundTrip pins the single-index quantized container:
+// Save writes LCCSPKG4, Load restores the quantized store with exact
+// search parity and byte-identical re-encode.
+func TestFormat4SingleRoundTrip(t *testing.T) {
+	data, cfg := goldenQuantizedSetup()
+	ix, err := NewIndex(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "single.lccs")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob[:8]) != "LCCSPKG4" {
+		t.Fatalf("quantized single index wrote magic %q, want LCCSPKG4", blob[:8])
+	}
+	loaded, err := Load(path, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, rerank := loaded.Quantization(); kind != QuantizeSQ8 || rerank != cfg.Rerank {
+		t.Fatalf("loaded quantization (%q, %d), want (%q, %d)", kind, rerank, QuantizeSQ8, cfg.Rerank)
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := data[qi*11]
+		a, b := must(ix.SearchBudget(q, 5, 40)), must(loaded.SearchBudget(q, 5, 40))
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d pos %d: %+v vs %+v", qi, j, a[j], b[j])
+			}
+		}
+	}
+	resaved := filepath.Join(dir, "resaved.lccs")
+	if err := loaded.Save(resaved); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, got) {
+		t.Fatalf("single format-4 re-encode differs: %d vs %d bytes", len(got), len(blob))
+	}
+	// The migration path works for quantized files too: a single-index
+	// format-4 file opens as one quantized shard.
+	wrapped, err := LoadSharded(path, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, _ := wrapped.Shard(0)
+	if kind, _ := shard.Quantization(); kind != QuantizeSQ8 {
+		t.Fatalf("wrapped single format-4 lost quantization (kind %q)", kind)
+	}
+}
+
+// TestFormat4WithLifecycle pins the combination: a quantized dynamic
+// snapshot carrying tombstones and an id map writes one format-4 file
+// holding both the lifecycle tail and the quantized tail, and both
+// survive the round trip (byte-identically on re-encode).
+func TestFormat4WithLifecycle(t *testing.T) {
+	data, cfg := goldenQuantizedSetup()
+	d, err := NewDynamicIndex(data, cfg, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{3, 77} {
+		if !d.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	vectors, sx, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx.Deleted() != 2 {
+		t.Fatalf("snapshot has %d tombstones, want 2", sx.Deleted())
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "quantlife.lccs")
+	if err := sx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob[:8]) != "LCCSPKG4" {
+		t.Fatalf("quantized lifecycle snapshot wrote magic %q, want LCCSPKG4", blob[:8])
+	}
+	loaded, err := LoadSharded(path, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Deleted() != 2 {
+		t.Fatalf("loaded %d tombstones, want 2", loaded.Deleted())
+	}
+	shard, _ := loaded.Shard(0)
+	if kind, _ := shard.Quantization(); kind != QuantizeSQ8 {
+		t.Fatalf("lifecycle format-4 lost quantization (kind %q)", kind)
+	}
+	exhaustive := 4 * len(vectors)
+	for _, deadID := range []int{3, 77} {
+		for _, nb := range must(loaded.SearchBudget(vectors[deadID], 10, exhaustive)) {
+			if nb.ID == deadID {
+				t.Fatalf("tombstone %d resurrected", deadID)
+			}
+		}
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := vectors[qi*13]
+		a, b := must(sx.SearchBudget(q, 5, exhaustive)), must(loaded.SearchBudget(q, 5, exhaustive))
+		if len(a) != len(b) {
+			t.Fatalf("query %d: lengths differ", qi)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d pos %d: %+v vs %+v", qi, j, a[j], b[j])
+			}
+		}
+	}
+	resaved := filepath.Join(dir, "resaved.lccs")
+	if err := loaded.Save(resaved); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, got) {
+		t.Fatalf("lifecycle format-4 re-encode differs: %d vs %d bytes", len(got), len(blob))
+	}
+}
+
+// TestFormat4CorruptQuantSection truncates and corrupts the quantized
+// tail and checks every damage pattern is an error, never a panic or a
+// silently unquantized index.
+func TestFormat4CorruptQuantSection(t *testing.T) {
+	data, cfg := goldenQuantizedSetup()
+	sx, err := NewShardedIndex(data, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ok.lccs")
+	if err := sx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 7, 64, 1024} {
+		p := filepath.Join(dir, "cut.lccs")
+		if err := os.WriteFile(p, blob[:len(blob)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSharded(p, data); err == nil {
+			t.Fatalf("truncated quant section (-%d bytes) loaded", cut)
+		}
+	}
+	// A corrupt container-kind byte (right after the magic) is rejected.
+	bad := append([]byte(nil), blob...)
+	bad[8] = 9
+	p := filepath.Join(dir, "badkind.lccs")
+	if err := os.WriteFile(p, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSharded(p, data); err == nil {
+		t.Fatal("corrupt container kind loaded")
+	}
+	// A corrupt lifecycle flag byte is rejected.
+	bad = append([]byte(nil), blob...)
+	bad[9] = 7
+	p = filepath.Join(dir, "badflag.lccs")
+	if err := os.WriteFile(p, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSharded(p, data); err == nil {
+		t.Fatal("corrupt lifecycle flag loaded")
+	}
+}
+
+// TestQuantizeConfigValidation pins the facade-level contract: SQ8 on a
+// set metric and negative or unknown knobs are rejected up front.
+func TestQuantizeConfigValidation(t *testing.T) {
+	data, _ := testData(60, 100, 8, 4, 0.5)
+	bin := make([][]float32, len(data))
+	for i, v := range data {
+		b := make([]float32, len(v))
+		for j, x := range v {
+			if x > 0 {
+				b[j] = 1
+			}
+		}
+		bin[i] = b
+	}
+	if _, err := NewIndex(bin, Config{Metric: Hamming, M: 16, Quantize: QuantizeSQ8}); err == nil {
+		t.Fatal("SQ8 on hamming should fail")
+	}
+	if _, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Quantize: "pq"}); err == nil {
+		t.Fatal("unknown quantization should fail")
+	}
+	if _, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Quantize: QuantizeSQ8, Rerank: -1}); err == nil {
+		t.Fatal("negative rerank should fail")
+	}
+}

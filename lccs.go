@@ -195,6 +195,13 @@ const (
 	Jaccard MetricKind = "jaccard"
 )
 
+// QuantizeSQ8 selects the per-dimension affine int8 scalar quantization
+// for Config.Quantize: candidate verification scans one byte per
+// dimension instead of four, and the best Rerank candidates are
+// re-ranked with exact float32 distances, so returned distances are
+// always exact.
+const QuantizeSQ8 = "sq8"
+
 // Config configures an index.
 type Config struct {
 	// Metric selects the distance metric. Required.
@@ -216,6 +223,18 @@ type Config struct {
 	Budget int
 	// Seed makes index construction deterministic.
 	Seed uint64
+	// Quantize selects an optional compressed mirror of the vector store
+	// scanned during candidate verification. "" (the default) verifies
+	// against the exact float32 store; QuantizeSQ8 scans a per-dimension
+	// affine int8 quantization — a quarter of the memory traffic — and
+	// restores exactness by re-ranking the best Rerank candidates with
+	// float32 distances. Supported for Euclidean and Angular metrics.
+	Quantize string
+	// Rerank is the number of quantized-scan survivors re-ranked with
+	// exact distances per query when Quantize is set. 0 selects
+	// min(64, n), raised to the query's k at query time; larger values
+	// recover recall lost to quantization noise at the cut line.
+	Rerank int
 }
 
 // Neighbor is one search result: the index of a data vector and its
@@ -300,8 +319,17 @@ func storeFromRows(rows [][]float32) (*vec.Store, error) {
 // yet. A zero Euclidean bucket width is acceptable here — it is
 // auto-derived when the first build sees data.
 func validateConfig(cfg Config) error {
-	if cfg.M < 0 || cfg.Probes < 0 || cfg.Budget < 0 || cfg.BucketWidth < 0 {
+	if cfg.M < 0 || cfg.Probes < 0 || cfg.Budget < 0 || cfg.BucketWidth < 0 || cfg.Rerank < 0 {
 		return errors.New("lccs: negative configuration value")
+	}
+	switch cfg.Quantize {
+	case "":
+	case QuantizeSQ8:
+		if cfg.Metric != Euclidean && cfg.Metric != Angular {
+			return fmt.Errorf("lccs: quantize %q supports euclidean and angular metrics, got %q", cfg.Quantize, cfg.Metric)
+		}
+	default:
+		return fmt.Errorf("lccs: unknown quantization %q (want %q)", cfg.Quantize, QuantizeSQ8)
 	}
 	if cfg.Metric == Euclidean && cfg.BucketWidth == 0 {
 		cfg.BucketWidth = 1 // resolvability check only; derived at build time
@@ -350,6 +378,12 @@ func newIndexFromStore(store *vec.Store, cfg Config) (*Index, error) {
 			return nil, err
 		}
 		ix.single = s
+	}
+	if cfg.Quantize == QuantizeSQ8 {
+		// Quantize exactly the rows this index covers: for a sharded build
+		// the store is already the shard's view, so codebooks are
+		// per-shard. ix.multi shares ix.single, so both paths see it.
+		ix.single.EnableSQ8(vec.QuantizeSQ8(store), cfg.Rerank)
 	}
 	return ix, nil
 }
@@ -490,6 +524,16 @@ func (ix *Index) Len() int { return ix.single.N() }
 
 // Bytes returns the approximate index memory footprint.
 func (ix *Index) Bytes() int64 { return ix.single.Bytes() }
+
+// Quantization reports the scan-time compression in effect ("" = none,
+// QuantizeSQ8) and the effective per-query re-rank depth (0 when
+// unquantized).
+func (ix *Index) Quantization() (kind string, rerank int) {
+	if ix.single.SQ8() == nil {
+		return "", 0
+	}
+	return ix.cfg.Quantize, ix.single.Rerank()
+}
 
 // BuildTime returns the wall-clock time spent building the index.
 func (ix *Index) BuildTime() time.Duration { return ix.single.BuildTime() }
