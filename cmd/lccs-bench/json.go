@@ -281,6 +281,17 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 	rep.Runs["churn_precompact"] = cr
 	rep.Runs["churn_postcompact"] = cs.postCompact
 
+	// filter: metadata-filtered search at three selectivities plus a
+	// cursor-paginated drain, with recall against exact filtered brute
+	// force noted per run.
+	filterRs, err := filterRuns(n, nq, k, m, seed, kind)
+	if err != nil {
+		return err
+	}
+	for name, r := range filterRs {
+		rep.Runs[name] = r
+	}
+
 	// wal: durable ingest per sync policy + crash-recovery replay.
 	walRuns, _, err := walRuns(n, clients, seed, kind)
 	if err != nil {

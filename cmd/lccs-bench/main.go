@@ -17,6 +17,10 @@
 //	                         # durable ingest through the write-ahead log:
 //	                         # throughput + ack p50/p99 per sync policy
 //	                         # (always/interval/none), recovery-replay time
+//	lccs-bench -exp filter [-n 10000] [-k 10] [-metric euclidean]
+//	                         # metadata-filtered search: QPS + recall at
+//	                         # 1%/10%/50% predicate selectivity, plus a
+//	                         # cursor-paginated drain
 //	lccs-bench -exp kernel   # distance-kernel microbenchmark: rows/s and
 //	                         # GB/s per kernel per dimensionality, against
 //	                         # the pre-batching per-row scalar baseline
@@ -52,7 +56,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', 'shard', 'serve', 'churn', 'wal', or 'kernel'")
+		exp      = flag.String("exp", "", "experiment id: "+strings.Join(experiments.Names(), ", ")+", 'all', 'shard', 'serve', 'churn', 'wal', 'filter', or 'kernel'")
 		n        = flag.Int("n", 10000, "data points per dataset")
 		nq       = flag.Int("nq", 50, "queries per dataset")
 		k        = flag.Int("k", 10, "neighbors per query")
@@ -89,7 +93,7 @@ func main() {
 		kernelBench(os.Stdout)
 		return
 	}
-	if *exp == "shard" || *exp == "serve" || *exp == "churn" || *exp == "wal" {
+	if *exp == "shard" || *exp == "serve" || *exp == "churn" || *exp == "wal" || *exp == "filter" {
 		kind, err := lccs.ParseMetric(*metric)
 		if err == nil {
 			switch *exp {
@@ -101,6 +105,8 @@ func main() {
 				err = churnBench(*n, *nq, *k, *m, *seed, kind)
 			case "wal":
 				err = walBench(*n, *clients, *seed, kind)
+			case "filter":
+				err = filterBench(*n, *nq, *k, *m, *seed, kind)
 			}
 		}
 		if err != nil {

@@ -60,6 +60,7 @@ import (
 
 	"lccs"
 	"lccs/internal/dataset"
+	"lccs/internal/engine"
 	"lccs/internal/server"
 )
 
@@ -86,12 +87,13 @@ func main() {
 		quantize  = flag.String("quantize", "", "scan-time vector compression: sq8 (euclidean/angular only; exact re-rank keeps distances exact)")
 		rerank    = flag.Int("rerank", 0, "quantized-scan survivors re-ranked with exact distances per query (0 = default)")
 
-		maxInFlight = flag.Int("max-inflight", 0, "concurrent searches (0 = GOMAXPROCS)")
-		maxQueue    = flag.Int("max-queue", 0, "requests waiting for a slot before 503 (0 = 4x max-inflight, negative = no waiting)")
-		timeout     = flag.Duration("timeout", 2*time.Second, "per-request admission deadline")
-		cacheSize   = flag.Int("cache", 4096, "result cache entries (0 disables)")
-		cacheQuant  = flag.Uint("cache-quant", 0, "low mantissa bits masked in cache keys (0 = exact)")
-		maxBody     = flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
+		maxInFlight  = flag.Int("max-inflight", 0, "concurrent searches (0 = GOMAXPROCS)")
+		collInFlight = flag.Int("coll-max-inflight", 0, "per-collection concurrent requests before 503 (0 = no per-collection cap)")
+		maxQueue     = flag.Int("max-queue", 0, "requests waiting for a slot before 503 (0 = 4x max-inflight, negative = no waiting)")
+		timeout      = flag.Duration("timeout", 2*time.Second, "per-request admission deadline")
+		cacheSize    = flag.Int("cache", 4096, "result cache entries (0 disables)")
+		cacheQuant   = flag.Uint("cache-quant", 0, "low mantissa bits masked in cache keys (0 = exact)")
+		maxBody      = flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
 
 		syncPolicy  = flag.String("sync", "always", "durable mode WAL sync policy: always | interval | none (none: acks survive a process kill but NOT an OS crash)")
 		syncEvery   = flag.Duration("sync-interval", 50*time.Millisecond, "fsync period for -sync interval")
@@ -138,6 +140,7 @@ func main() {
 		backend lccs.Searcher
 		dyn     *lccs.DynamicIndex // file-mode lifecycle handle
 		dur     *lccs.DurableIndex // durable-mode lifecycle handle
+		eng     *engine.Engine     // collection registry (rooted in durable mode)
 		ds      *dataset.Dataset   // file-mode dataset (snapshot output needs it)
 	)
 	if fi, err := os.Stat(*dataPath); err == nil && fi.IsDir() {
@@ -146,6 +149,20 @@ func main() {
 			fatal(err)
 		}
 		backend = dur
+		// Collections created over the API live under
+		// <data>/collections/<name>/, each with its own WAL and
+		// snapshot; the root data dir itself stays the "default"
+		// collection. New collections inherit the daemon's flags unless
+		// their create request overrides them.
+		eng, err = engine.New(*dataPath, engine.Spec{
+			Metric: *metric, M: *m, Probes: *probes, Budget: *lambda, Seed: *seed,
+			Quantize: *quantize, Rerank: *rerank, RebuildAt: *rebuildAt,
+			Sync: *syncPolicy, SyncIntervalMS: int(syncEvery.Milliseconds()),
+			SegmentBytes: *walSegMB << 20,
+		}, logger)
+		if err != nil {
+			fatal(err)
+		}
 		if *indexPath != "" || *snapPath != "" || *dynamic {
 			logger.Warn("file-mode flags ignored with a durable data dir", "flags", "-index/-snapshot/-dynamic")
 		}
@@ -167,18 +184,20 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Backend:        backend,
-		MaxInFlight:    *maxInFlight,
-		MaxQueue:       *maxQueue,
-		Timeout:        *timeout,
-		CacheSize:      *cacheSize,
-		CacheQuantBits: *cacheQuant,
-		MaxBodyBytes:   *maxBody,
-		TraceSample:    *traceSample,
-		SlowThreshold:  *slowThresh,
-		SlowLogSize:    *slowLogSize,
-		Version:        version,
-		Logger:         logger,
+		Backend:               backend,
+		Engine:                eng,
+		CollectionMaxInFlight: *collInFlight,
+		MaxInFlight:           *maxInFlight,
+		MaxQueue:              *maxQueue,
+		Timeout:               *timeout,
+		CacheSize:             *cacheSize,
+		CacheQuantBits:        *cacheQuant,
+		MaxBodyBytes:          *maxBody,
+		TraceSample:           *traceSample,
+		SlowThreshold:         *slowThresh,
+		SlowLogSize:           *slowLogSize,
+		Version:               version,
+		Logger:                logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -219,7 +238,7 @@ func main() {
 	// the data directory grows unboundedly under steady churn.
 	stopCkpt := make(chan struct{})
 	if dur != nil {
-		go checkpointLoop(dur, *ckptEvery, *ckptWALMB<<20, stopCkpt)
+		go checkpointLoop(dur, eng, *ckptEvery, *ckptWALMB<<20, stopCkpt)
 	}
 
 	// SIGINT and SIGTERM get the same graceful drain; a second signal
@@ -257,6 +276,23 @@ func main() {
 	close(stopCkpt)
 	switch {
 	case dur != nil:
+		// Checkpoint every API-created collection before the registry
+		// closes them, so their next boot replays an empty WAL too.
+		if eng != nil {
+			for _, c := range eng.Loaded() {
+				cd := c.Durable()
+				if cd == nil || c.Adopted() {
+					continue
+				}
+				cd.WaitRebuild()
+				if err := checkpoint(cd, "drain "+c.Name()); err != nil {
+					logger.Error("drain checkpoint", "collection", c.Name(), "err", err)
+				}
+			}
+			if err := eng.Close(); err != nil {
+				logger.Error("closing collections", "err", err)
+			}
+		}
 		dur.WaitRebuild()
 		if err := checkpoint(dur, "drain"); err != nil {
 			fatal(fmt.Errorf("drain checkpoint: %w", err))
@@ -356,9 +392,11 @@ func seed(dur *lccs.DurableIndex, path string, kind lccs.MetricKind) error {
 	return nil
 }
 
-// checkpointLoop runs periodic and WAL-size-triggered checkpoints until
-// stop closes.
-func checkpointLoop(dur *lccs.DurableIndex, every time.Duration, walBytes int64, stop <-chan struct{}) {
+// checkpointLoop runs periodic and WAL-size-triggered checkpoints over
+// the root durable index and every loaded durable collection until stop
+// closes. Collections opened mid-flight (lazily or via the create API)
+// join the sweep on the next tick.
+func checkpointLoop(dur *lccs.DurableIndex, eng *engine.Engine, every time.Duration, walBytes int64, stop <-chan struct{}) {
 	poll := 10 * time.Second
 	if every > 0 && every < poll {
 		poll = every
@@ -369,20 +407,38 @@ func checkpointLoop(dur *lccs.DurableIndex, every time.Duration, walBytes int64,
 	for {
 		select {
 		case <-t.C:
-			st := dur.WALStats()
 			due := every > 0 && time.Since(last) >= every
-			oversize := walBytes > 0 && st.Bytes >= walBytes
-			if st.Depth == 0 || (!due && !oversize) {
-				continue
+			type target struct {
+				d    *lccs.DurableIndex
+				name string
 			}
-			reason := "interval"
-			if oversize {
-				reason = fmt.Sprintf("wal size %dMB", st.Bytes>>20)
+			targets := []target{{dur, "default"}}
+			if eng != nil {
+				for _, c := range eng.Loaded() {
+					if cd := c.Durable(); cd != nil && !c.Adopted() {
+						targets = append(targets, target{cd, c.Name()})
+					}
+				}
 			}
-			if err := checkpoint(dur, reason); err != nil {
-				logger.Error("checkpoint failed", "err", err)
+			ran := false
+			for _, tg := range targets {
+				st := tg.d.WALStats()
+				oversize := walBytes > 0 && st.Bytes >= walBytes
+				if st.Depth == 0 || (!due && !oversize) {
+					continue
+				}
+				reason := "interval " + tg.name
+				if oversize {
+					reason = fmt.Sprintf("wal size %dMB %s", st.Bytes>>20, tg.name)
+				}
+				if err := checkpoint(tg.d, reason); err != nil {
+					logger.Error("checkpoint failed", "collection", tg.name, "err", err)
+				}
+				ran = true
 			}
-			last = time.Now()
+			if ran {
+				last = time.Now()
+			}
 		case <-stop:
 			return
 		}

@@ -282,8 +282,16 @@ func OpenDurable(dir string, dc DurableConfig) (*DurableIndex, error) {
 	start := time.Now()
 	info, err := log.Replay(from, func(rec wal.Record) error {
 		switch rec.Op {
-		case wal.OpInsert:
-			id, aerr := dyn.Add(rec.Vec)
+		case wal.OpInsert, wal.OpInsertAttrs:
+			var attrs vec.Attrs
+			if rec.Op == wal.OpInsertAttrs {
+				a, used, derr := vec.DecodeAttrs(rec.Attrs)
+				if derr != nil || used != len(rec.Attrs) {
+					return fmt.Errorf("lccs: durable open: replay insert LSN %d: corrupt attribute blob", rec.LSN)
+				}
+				attrs = a
+			}
+			id, aerr := dyn.AddWithAttrs(rec.Vec, attrs)
 			if aerr != nil && isValidationError(aerr) {
 				// The vector was rejected: the log disagrees with the
 				// snapshot it claims to extend.
@@ -382,19 +390,26 @@ func isValidationError(err error) bool {
 // error wrapping ErrNotDurable, however, means the write may not
 // survive a crash and must not be acknowledged.
 func (di *DurableIndex) Add(v []float32) (int, error) {
+	return di.AddWithAttrs(v, nil)
+}
+
+// AddWithAttrs is Add with per-vector metadata: the attribute row is
+// journaled alongside the vector (an OpInsertAttrs record), so filtered
+// search state survives crash recovery exactly like the vectors do.
+func (di *DurableIndex) AddWithAttrs(v []float32, a Attrs) (int, error) {
 	// The stage clock: apply covers the write-lock wait plus the
 	// in-memory insert; append the journal record write; fsync the
 	// group-commit durability wait.
 	t0 := time.Now()
 	di.wmu.Lock()
-	id, aerr := di.DynamicIndex.Add(v)
+	id, aerr := di.DynamicIndex.AddWithAttrs(v, a)
 	if aerr != nil && isValidationError(aerr) {
 		di.wmu.Unlock()
 		return id, aerr
 	}
 	t1 := time.Now()
 	obs.ObserveDur(obs.StageIndexApply, t1.Sub(t0))
-	lsn, werr := di.log.Append(wal.Record{Op: wal.OpInsert, ID: int64(id), Vec: v})
+	lsn, werr := di.log.Append(insertRecord(id, v, a))
 	di.wmu.Unlock()
 	t2 := time.Now()
 	obs.ObserveDur(obs.StageWALAppend, t2.Sub(t1))
@@ -408,21 +423,45 @@ func (di *DurableIndex) Add(v []float32) (int, error) {
 	return id, aerr
 }
 
+// insertRecord builds the journal record for one insert: a plain
+// OpInsert when the row carries no metadata, an OpInsertAttrs framing
+// the canonical attribute encoding otherwise.
+func insertRecord(id int, v []float32, a Attrs) wal.Record {
+	if len(a) == 0 {
+		return wal.Record{Op: wal.OpInsert, ID: int64(id), Vec: v}
+	}
+	return wal.Record{Op: wal.OpInsertAttrs, ID: int64(id), Vec: v, Attrs: vec.AppendAttrs(nil, a)}
+}
+
 // AddBatch inserts many vectors with one journal append and one
 // durability wait, so a bulk ingest pays one (group-committed) fsync
 // per batch instead of one per vector. On a validation error the valid
 // prefix is inserted, journaled, and returned alongside the error.
 func (di *DurableIndex) AddBatch(vecs [][]float32) ([]int, error) {
+	return di.AddBatchWithAttrs(vecs, nil)
+}
+
+// AddBatchWithAttrs is AddBatch with per-vector metadata: attrs[i]
+// belongs to vecs[i]. attrs may be nil (no metadata) or must match
+// vecs in length; rows whose attrs are empty journal as plain inserts.
+func (di *DurableIndex) AddBatchWithAttrs(vecs [][]float32, attrs []Attrs) ([]int, error) {
 	if len(vecs) == 0 {
 		return nil, nil
+	}
+	if attrs != nil && len(attrs) != len(vecs) {
+		return nil, ErrAttrsMismatch
 	}
 	ids := make([]int, 0, len(vecs))
 	recs := make([]wal.Record, 0, len(vecs))
 	var deferred, rejected error
 	t0 := time.Now()
 	di.wmu.Lock()
-	for _, v := range vecs {
-		id, aerr := di.DynamicIndex.Add(v)
+	for i, v := range vecs {
+		var a Attrs
+		if attrs != nil {
+			a = attrs[i]
+		}
+		id, aerr := di.DynamicIndex.AddWithAttrs(v, a)
 		if aerr != nil && isValidationError(aerr) {
 			rejected = fmt.Errorf("vector %d: %w", len(ids), aerr)
 			break
@@ -431,7 +470,7 @@ func (di *DurableIndex) AddBatch(vecs [][]float32) ([]int, error) {
 			deferred = aerr
 		}
 		ids = append(ids, id)
-		recs = append(recs, wal.Record{Op: wal.OpInsert, ID: int64(id), Vec: v})
+		recs = append(recs, insertRecord(id, v, a))
 	}
 	t1 := time.Now()
 	obs.ObserveDur(obs.StageIndexApply, t1.Sub(t0))

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lccs/internal/core"
 	"lccs/internal/idmap"
@@ -11,6 +13,20 @@ import (
 	"lccs/internal/pqueue"
 	"lccs/internal/vec"
 )
+
+// cursorEpoch seeds each DynamicIndex's write generation with an
+// instance-unique starting value: time-seeded so generations never
+// repeat across process restarts, strided so two instances in one
+// process (e.g. a durable index before and after crash recovery) can
+// never reach each other's range by ordinary write bumps. A cursor
+// token is thereby bound to the index *instance* that minted it — after
+// any reopen the token is rejected (ErrCursorStale) instead of silently
+// resuming over a replayed, possibly renumbered result stream.
+var cursorEpoch atomic.Uint64
+
+func init() { cursorEpoch.Store(uint64(time.Now().UnixNano())) }
+
+func nextCursorEpoch() uint64 { return cursorEpoch.Add(1 << 32) }
 
 // DynamicIndex supports online inserts and deletes on top of the static
 // CSA structure with a delta-main architecture: new vectors accumulate in
@@ -77,6 +93,15 @@ type DynamicIndex struct {
 	// surfaced (and cleared) by the next Add. A successful explicit
 	// Rebuild supersedes the failed delta and clears it unseen.
 	buildErr error
+	// attrs holds the optional per-vector metadata, slot-aligned with
+	// the store (rows beyond its length have none); nil until the first
+	// attributed insert.
+	attrs *vec.MetaStore
+	// writes is the write generation guarding open cursors: any change
+	// that could reorder or renumber the result stream — insert, delete,
+	// compaction, shard swap-in, rebuild — bumps it, and a cursor token
+	// minted under an older generation is rejected.
+	writes uint64
 	// ctxs pools the per-query scratch (shard fetch buffer, k-best row).
 	ctxs sync.Pool
 }
@@ -132,6 +157,7 @@ func NewDynamicIndex(data [][]float32, cfg Config, rebuildAt int) (*DynamicIndex
 		ids:       idmap.New(store.Len()),
 		deleted:   make(map[int]bool),
 		rebuildAt: rebuildAt,
+		writes:    nextCursorEpoch(),
 	}
 	d.ctxs.New = func() any { return new(dynCtx) }
 	d.cond = sync.NewCond(&d.mu)
@@ -189,6 +215,7 @@ func NewDynamicIndexFromShardedStore(sx *ShardedIndex, rebuildAt int) (*DynamicI
 		indexed:   slots,
 		deleted:   make(map[int]bool, len(sx.dead)),
 		rebuildAt: rebuildAt,
+		writes:    nextCursorEpoch(),
 	}
 	// Adopt the sharded index's lifecycle state — the id map and the
 	// tombstones a PKG3 snapshot carries across a restart — so deleted
@@ -200,6 +227,9 @@ func NewDynamicIndexFromShardedStore(sx *ShardedIndex, rebuildAt int) (*DynamicI
 	}
 	for slot := range sx.dead {
 		d.deleted[slot] = true
+	}
+	if sx.attrs != nil {
+		d.attrs = sx.attrs.Slice(slots)
 	}
 	for i, ix := range sx.shards {
 		sh := dynShard{ix: ix, off: sx.offsets[i]}
@@ -228,6 +258,13 @@ func (d *DynamicIndex) adoptConfigLocked(ix *Index) {
 // build failed, its error is returned here (the insert itself still
 // succeeded) and cleared.
 func (d *DynamicIndex) Add(v []float32) (int, error) {
+	return d.AddWithAttrs(v, nil)
+}
+
+// AddWithAttrs is Add with optional metadata attached to the vector:
+// the attributes become filterable with SearchFilter and travel through
+// snapshots and (on a DurableIndex) the WAL. A nil attrs is exactly Add.
+func (d *DynamicIndex) AddWithAttrs(v []float32, a Attrs) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(v) == 0 {
@@ -236,12 +273,32 @@ func (d *DynamicIndex) Add(v []float32) (int, error) {
 	if dim := d.store.Dim(); dim != 0 && len(v) != dim {
 		return 0, fmt.Errorf("%w: vector has %d dimensions, index has %d", ErrDimensionMismatch, len(v), dim)
 	}
-	d.store.Append(v)
+	slot := d.store.Append(v)
+	if len(a) > 0 {
+		if d.attrs == nil {
+			d.attrs = vec.NewMetaStore(slot + 1)
+		}
+		d.attrs.PadTo(slot)
+		d.attrs.Append(a)
+	}
 	id := d.ids.Alloc()
+	d.writes++
 	err := d.buildErr
 	d.buildErr = nil
 	d.maybeStartBuildLocked()
 	return id, err
+}
+
+// Attrs returns the metadata of the live vector with the given id, or
+// nil.
+func (d *DynamicIndex) Attrs(id int) Attrs {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	slot, ok := d.ids.Slot(id)
+	if !ok || d.deleted[slot] {
+		return nil
+	}
+	return d.attrs.Row(slot)
 }
 
 // maybeStartBuildLocked freezes the buffer into a background shard build
@@ -286,6 +343,9 @@ func (d *DynamicIndex) compactBufferLocked() bool {
 		return false
 	}
 	isDead := func(slot int) bool { return d.deleted[slot] }
+	if d.attrs != nil {
+		d.attrs = d.attrs.CompactCopy(d.store.Len(), d.indexed, isDead)
+	}
 	d.store = d.store.CompactCopy(d.indexed, isDead)
 	d.ids.Compact(d.indexed, isDead)
 	for slot := range d.deleted {
@@ -293,6 +353,7 @@ func (d *DynamicIndex) compactBufferLocked() bool {
 			delete(d.deleted, slot)
 		}
 	}
+	d.writes++ // compaction renumbers buffer slots; open cursors die
 	return true
 }
 
@@ -320,6 +381,7 @@ func (d *DynamicIndex) buildShard(gen uint64, lo, hi int, delta *vec.Store, cfg 
 			}
 			d.shards = append(d.shards, dynShard{ix: ix, off: lo, dead: dead})
 			d.indexed = hi
+			d.writes++ // source set changed; open cursors die
 		}
 	}
 	if err == nil {
@@ -359,6 +421,7 @@ func (d *DynamicIndex) Delete(id int) bool {
 	if i := d.shardForSlotLocked(slot); i >= 0 {
 		d.shards[i].dead++
 	}
+	d.writes++
 	return true
 }
 
@@ -429,9 +492,12 @@ func (d *DynamicIndex) Rebuild() error {
 	d.gen++ // discard any in-flight background build
 	// Compact into fresh state and commit only after the build succeeds,
 	// so a failed rebuild leaves the index exactly as it was.
-	store, ids := d.store, d.ids
+	store, ids, attrs := d.store, d.ids, d.attrs
 	if len(d.deleted) > 0 {
 		isDead := func(slot int) bool { return d.deleted[slot] }
+		if attrs != nil {
+			attrs = attrs.CompactCopy(d.store.Len(), 0, isDead)
+		}
 		store = d.store.CompactCopy(0, isDead)
 		ids = d.ids.Clone()
 		ids.Compact(0, isDead)
@@ -440,23 +506,25 @@ func (d *DynamicIndex) Rebuild() error {
 	if n == 0 {
 		// Everything was deleted (or nothing ever added): no index to
 		// build, nothing buffered.
-		d.store, d.ids = store, ids
+		d.store, d.ids, d.attrs = store, ids, attrs
 		d.deleted = make(map[int]bool)
 		d.shards = nil
 		d.indexed = 0
 		d.buildErr = nil
+		d.writes++
 		return nil
 	}
 	ix, err := buildIndexOver(store.Slice(0, n), d.cfg)
 	if err != nil {
 		return err
 	}
-	d.store, d.ids = store, ids
+	d.store, d.ids, d.attrs = store, ids, attrs
 	d.deleted = make(map[int]bool)
 	d.adoptConfigLocked(ix)
 	d.shards = []dynShard{{ix: ix, off: 0}}
 	d.indexed = n
 	d.buildErr = nil
+	d.writes++
 	return nil
 }
 
@@ -608,6 +676,71 @@ func (d *DynamicIndex) searchBudgetIntoTraced(q []float32, k, lambda int, dst []
 	return dst, nil
 }
 
+// SearchFilter returns the k nearest live vectors matching f under the
+// default candidate budget.
+func (d *DynamicIndex) SearchFilter(q []float32, k int, f *Filter) ([]Neighbor, error) {
+	return d.SearchFilterBudgetInto(q, k, d.defaultBudget(), f, nil)
+}
+
+// SearchFilterBudgetInto is SearchFilter with an explicit budget λ,
+// appending into dst. Shard candidate streams drain past non-matching
+// and tombstoned rows before any distance work; the buffer scan applies
+// the predicate per row.
+func (d *DynamicIndex) SearchFilterBudgetInto(q []float32, k, lambda int, f *Filter, dst []Neighbor) ([]Neighbor, error) {
+	if f.Empty() {
+		return d.SearchBudgetInto(q, k, lambda, dst)
+	}
+	if err := validateFilter(f); err != nil {
+		return nil, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := validateQuery(q, d.store.Dim(), k, lambda); err != nil {
+		return nil, err
+	}
+	if d.store.Len() == 0 {
+		return nil, nil
+	}
+	ctx := d.ctxs.Get().(*dynCtx)
+	ctx.best.Reset(k)
+	lambdaShard := lambda
+	if s := len(d.shards); s > 1 {
+		lambdaShard = (lambda + s - 1) / s
+	}
+	for _, sh := range d.shards {
+		// The accept predicate filters tombstones too, so the plain
+		// fetch of k matching live rows needs no over-fetch allowance.
+		ctx.shardBuf, _ = sh.ix.searchFilterOffsetIntoStats(q, k, lambdaShard, sh.off, d.acceptLocked(f, sh.off), ctx.shardBuf)
+		for _, nb := range ctx.shardBuf {
+			ctx.best.Add(nb.ID, nb.Dist)
+		}
+	}
+	d.store.Scan(d.indexed, d.store.Len(), q, d.metricLocked(), func(slot int, dist float64) {
+		if !d.deleted[slot] && f.Matches(d.attrs.Row(slot)) {
+			ctx.best.Add(slot, dist)
+		}
+	})
+	ctx.sorted = ctx.best.AppendSorted(ctx.sorted[:0])
+	if dst == nil {
+		dst = make([]Neighbor, 0, len(ctx.sorted))
+	}
+	dst = dst[:0]
+	for _, nb := range ctx.sorted {
+		dst = append(dst, Neighbor{ID: d.ids.Ext(nb.ID), Dist: nb.Dist})
+	}
+	d.ctxs.Put(ctx)
+	return dst, nil
+}
+
+// acceptLocked builds the per-shard candidate predicate of a filtered
+// dynamic query: live and matching, in the global slot space.
+func (d *DynamicIndex) acceptLocked(f *Filter, off int) func(int) bool {
+	return func(local int) bool {
+		glob := local + off
+		return !d.deleted[glob] && f.Matches(d.attrs.Row(glob))
+	}
+}
+
 // SearchBatch answers many queries concurrently under the default
 // candidate budget; results are returned in query order.
 func (d *DynamicIndex) SearchBatch(queries [][]float32, k int) ([][]Neighbor, error) {
@@ -704,6 +837,9 @@ func (d *DynamicIndex) snapshotStore() (*vec.Store, *ShardedIndex, error) {
 	}
 	if !d.ids.Identity() {
 		sx.ids = d.ids.Clone()
+	}
+	if d.attrs != nil && !d.attrs.Empty() {
+		sx.attrs = d.attrs.Slice(n)
 	}
 	if len(d.deleted) > 0 {
 		sx.dead = make(map[int]bool, len(d.deleted))

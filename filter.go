@@ -1,0 +1,159 @@
+package lccs
+
+import (
+	"errors"
+	"fmt"
+
+	"lccs/internal/vec"
+)
+
+// Attrs is the optional typed metadata attached to one vector: a small
+// key → value map with int64 and string values. A nil Attrs means "no
+// metadata"; vectors without metadata cost nothing.
+type Attrs = vec.Attrs
+
+// AttrValue is one typed metadata value (int64 or string).
+type AttrValue = vec.AttrValue
+
+// IntAttr wraps an int64 as an attribute value.
+func IntAttr(v int64) AttrValue { return vec.IntValue(v) }
+
+// StrAttr wraps a string as an attribute value.
+func StrAttr(s string) AttrValue { return vec.StrValue(s) }
+
+// Filter is a conjunction (AND) of predicates over vector attributes:
+// equality on int64 or string values, and inclusive numeric ranges. A
+// nil or empty filter matches every vector. Filters are pushed into the
+// candidate-verification loop: candidates failing the predicate are
+// discarded before any distance computation and do not consume the
+// verification budget, so the CSA stream keeps draining until enough
+// matching candidates are verified — with an exhaustive budget the
+// result is exactly the brute-force answer over matching live vectors.
+type Filter = vec.Filter
+
+// FilterTerm is one predicate of a Filter.
+type FilterTerm = vec.FilterTerm
+
+// FilterOp is the comparison a filter term applies.
+type FilterOp = vec.FilterOp
+
+// Filter term operators.
+const (
+	// FilterEq matches rows whose attribute equals the term's value.
+	FilterEq = vec.FilterEq
+	// FilterRange matches rows whose int64 attribute lies in the
+	// inclusive [Min, Max] interval.
+	FilterRange = vec.FilterRange
+)
+
+// EqInt builds an int64 equality term.
+func EqInt(key string, v int64) FilterTerm {
+	return FilterTerm{Key: key, Op: FilterEq, Value: vec.IntValue(v)}
+}
+
+// EqStr builds a string equality term.
+func EqStr(key string, s string) FilterTerm {
+	return FilterTerm{Key: key, Op: FilterEq, Value: vec.StrValue(s)}
+}
+
+// Range builds an inclusive int64 range term; nil bounds are open.
+func Range(key string, min, max *int64) FilterTerm {
+	t := FilterTerm{Key: key, Op: FilterRange}
+	if min != nil {
+		t.Min, t.HasMin = *min, true
+	}
+	if max != nil {
+		t.Max, t.HasMax = *max, true
+	}
+	return t
+}
+
+// ErrInvalidFilter is returned (wrapped) when a filter is malformed.
+var ErrInvalidFilter = errors.New("lccs: invalid filter")
+
+// ErrAttrsMismatch is returned when a constructor receives an attribute
+// slice whose length does not match the data.
+var ErrAttrsMismatch = errors.New("lccs: attrs length does not match vectors")
+
+// validateFilter translates filter validation failures into the
+// package's typed error.
+func validateFilter(f *Filter) error {
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidFilter, err)
+	}
+	return nil
+}
+
+// FilterSearcher is implemented by every facade: filtered top-k search.
+// A nil or empty filter degenerates to the plain search.
+type FilterSearcher interface {
+	// SearchFilter returns the k nearest neighbors among vectors
+	// matching f, under the facade's default candidate budget.
+	SearchFilter(q []float32, k int, f *Filter) ([]Neighbor, error)
+	// SearchFilterBudgetInto is SearchFilter with an explicit candidate
+	// budget λ, appending into dst (reset to dst[:0] first).
+	SearchFilterBudgetInto(q []float32, k, lambda int, f *Filter, dst []Neighbor) ([]Neighbor, error)
+}
+
+// Compile-time conformance of the facades (DurableIndex inherits from
+// DynamicIndex).
+var (
+	_ FilterSearcher = (*Index)(nil)
+	_ FilterSearcher = (*ShardedIndex)(nil)
+	_ FilterSearcher = (*DynamicIndex)(nil)
+)
+
+// Attrs returns the metadata of the vector with the given id, or nil.
+func (ix *Index) Attrs(id int) Attrs { return ix.attrs.Row(id) }
+
+// NewIndexWithAttrs is NewIndex with per-vector metadata: attrs[i]
+// belongs to data[i]. attrs may be shorter than data (missing rows have
+// no metadata) but not longer.
+func NewIndexWithAttrs(data [][]float32, attrs []Attrs, cfg Config) (*Index, error) {
+	if len(attrs) > len(data) {
+		return nil, ErrAttrsMismatch
+	}
+	ix, err := NewIndex(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(attrs) > 0 {
+		ix.attrs = vec.MetaFromRows(append([]Attrs(nil), attrs...))
+	}
+	return ix, nil
+}
+
+// SearchFilter returns the k nearest neighbors among vectors matching f
+// under the default candidate budget.
+func (ix *Index) SearchFilter(q []float32, k int, f *Filter) ([]Neighbor, error) {
+	return ix.SearchFilterBudgetInto(q, k, ix.budget, f, nil)
+}
+
+// SearchFilterBudgetInto is SearchFilter with an explicit budget λ,
+// appending into dst. A vector with no metadata matches only the empty
+// filter.
+func (ix *Index) SearchFilterBudgetInto(q []float32, k, lambda int, f *Filter, dst []Neighbor) ([]Neighbor, error) {
+	if f.Empty() {
+		return ix.SearchBudgetInto(q, k, lambda, dst)
+	}
+	if err := validateFilter(f); err != nil {
+		return nil, err
+	}
+	if err := validateQuery(q, ix.dim, k, lambda); err != nil {
+		return nil, err
+	}
+	attrs := ix.attrs
+	accept := func(id int) bool { return f.Matches(attrs.Row(id)) }
+	rb := ix.getRaw()
+	if ix.multi != nil {
+		rb.buf, _ = ix.multi.SearchFilterOffsetIntoStats(q, k, lambda, 0, accept, rb.buf[:0])
+	} else {
+		rb.buf, _ = ix.single.SearchFilterOffsetIntoStats(q, k, lambda, 0, accept, rb.buf[:0])
+	}
+	if dst == nil {
+		dst = make([]Neighbor, 0, len(rb.buf))
+	}
+	dst = appendNeighbors(dst[:0], rb.buf)
+	ix.raw.Put(rb)
+	return dst, nil
+}

@@ -48,6 +48,11 @@ type Weights struct {
 	Delete     int `json:"delete"`
 	Search     int `json:"search"`
 	Checkpoint int `json:"checkpoint"`
+	// Paginate advances a cursor scan one page at a time, holding the
+	// continuation token across steps — so a crash or restart lands
+	// mid-pagination, and the recovery check asserts the surviving
+	// token is rejected by the reopened index.
+	Paginate int `json:"paginate"`
 	// Crash kills the filesystem mid-run and reopens; Restart closes
 	// cleanly and reopens. Both run the full recovery check.
 	Crash   int `json:"crash"`
@@ -131,7 +136,7 @@ func (sc Scenario) withDefaults() Scenario {
 		sc.IntervalMS = 2
 	}
 	w := &sc.Weights
-	if w.Insert+w.Delete+w.Search+w.Checkpoint+w.Crash+w.Restart == 0 {
+	if w.Insert+w.Delete+w.Search+w.Checkpoint+w.Paginate+w.Crash+w.Restart == 0 {
 		*w = Weights{Insert: 50, Delete: 15, Search: 15, Checkpoint: 8, Crash: 8, Restart: 4}
 	}
 	return sc
@@ -179,6 +184,14 @@ type runner struct {
 	// broken is set when a write fails: the WAL is sticky-broken, so
 	// mutating ops are skipped until the next crash or restart.
 	broken bool
+	// scan is the live pagination state: the query the scan was minted
+	// for and the continuation token of the last page. A reopen while
+	// scan.token != "" means the crash landed mid-pagination; the
+	// recovery check then asserts the old token is rejected.
+	scan struct {
+		query []float32
+		token string
+	}
 }
 
 // Run executes a scenario against a DurableIndex in dir (which must be
@@ -294,7 +307,7 @@ func (r *runner) violation(format string, args ...any) error {
 // schedule draws and executes sc.Steps ops.
 func (r *runner) schedule() error {
 	w := r.sc.Weights
-	total := w.Insert + w.Delete + w.Search + w.Checkpoint + w.Crash + w.Restart
+	total := w.Insert + w.Delete + w.Search + w.Checkpoint + w.Paginate + w.Crash + w.Restart
 	for i := 0; i < r.sc.Steps; i++ {
 		r.stats.Ops++
 		roll := r.rng.IntN(total)
@@ -308,7 +321,9 @@ func (r *runner) schedule() error {
 			err = r.search()
 		case roll < w.Insert+w.Delete+w.Search+w.Checkpoint:
 			err = r.checkpoint()
-		case roll < w.Insert+w.Delete+w.Search+w.Checkpoint+w.Crash:
+		case roll < w.Insert+w.Delete+w.Search+w.Checkpoint+w.Paginate:
+			err = r.paginate()
+		case roll < w.Insert+w.Delete+w.Search+w.Checkpoint+w.Paginate+w.Crash:
 			err = r.crash()
 		default:
 			err = r.restart()
@@ -414,6 +429,38 @@ func (r *runner) search() error {
 	return nil
 }
 
+// paginate advances the cursor scan one page, starting a fresh scan
+// when no token is held. A token invalidated by an intervening write is
+// the documented contract, not a violation — the scan restarts. Pages
+// must never surface an acked-deleted id.
+func (r *runner) paginate() error {
+	// Draw the query whether starting or continuing, so the rng stream
+	// does not depend on scan state.
+	q := r.rng.UniformVector(r.sc.Dim, -1, 1)
+	if r.scan.token == "" {
+		r.scan.query = q
+	}
+	if r.di.Len() == 0 {
+		return nil
+	}
+	page, next, err := r.di.SearchCursor(r.scan.query, 5, searchBudget, nil, r.scan.token)
+	if errors.Is(err, lccs.ErrCursorInvalid) {
+		// A write since the last page bumped the generation.
+		r.scan.token = ""
+		return nil
+	}
+	if err != nil {
+		return r.violation("cursor page failed: %v", err)
+	}
+	for _, nb := range page {
+		if r.deleted[nb.ID] {
+			return r.violation("cursor page returned acked-deleted id %d", nb.ID)
+		}
+	}
+	r.scan.token = next
+	return nil
+}
+
 func (r *runner) checkpoint() error {
 	if r.broken {
 		return nil
@@ -454,6 +501,17 @@ func (r *runner) reopenAndCheck() error {
 		return err
 	}
 	r.broken = false
+	// A reopen while a scan is open means the crash (or restart) landed
+	// mid-pagination. The recovered index carries a fresh cursor epoch,
+	// so the surviving token must be rejected — resuming it could skip
+	// or repeat results over the replayed, possibly renumbered stream.
+	if r.scan.token != "" {
+		_, _, err := r.di.SearchCursor(r.scan.query, 5, searchBudget, nil, r.scan.token)
+		if !errors.Is(err, lccs.ErrCursorInvalid) {
+			return r.violation("pre-reopen cursor token accepted after recovery (err=%v)", err)
+		}
+		r.scan.token = ""
+	}
 	return r.check()
 }
 

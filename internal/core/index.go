@@ -420,6 +420,145 @@ func (ix *Index) verifyQuantized(ctx *searchCtx, q []float32, k, nCand int) (ver
 	return verified, reranked
 }
 
+// searchFilterInto is searchInto with a per-candidate accept predicate:
+// candidates the predicate rejects are discarded before any distance
+// work and do not count toward the λ+k−1 verification budget, so the
+// CSA stream keeps draining (in LCCS order) until enough matching
+// candidates are verified or the stream is exhausted — the over-fetch
+// ladder for selective filters is built in. With an exhaustive budget
+// (λ ≥ n) this verifies every matching row, making the result exactly
+// the brute-force answer over matching vectors.
+func (ix *Index) searchFilterInto(q []float32, k, lambda int, accept func(id int) bool, dst []pqueue.Neighbor) ([]pqueue.Neighbor, SearchStats) {
+	if k <= 0 || lambda <= 0 {
+		return dst, SearchStats{}
+	}
+	ctx := ix.ctxs.Get().(*searchCtx)
+	ctx.hq = lshfamily.HashString(ix.funcs, q, ctx.hq)
+
+	nCand := lambda + k - 1
+	ctx.s.Begin(ctx.hq)
+	ctx.best.Reset(k)
+	start := time.Now()
+	verified, reranked := ix.verifyFiltered(ctx, q, k, nCand, accept)
+	obs.ObserveDur(obs.StageFilter, time.Since(start))
+	dst = ctx.best.AppendSorted(dst)
+	stats := SearchStats{Candidates: verified, Probes: 1, Comparisons: ctx.s.Comparisons(), Reranked: reranked}
+	ix.ctxs.Put(ctx)
+	return dst, stats
+}
+
+// SearchFilterOffsetIntoStats is SearchOffsetIntoStats restricted to
+// candidates the accept predicate admits. accept receives shard-local
+// ids (before the offset shift). A nil accept takes the unfiltered path.
+func (ix *Index) SearchFilterOffsetIntoStats(q []float32, k, lambda, offset int, accept func(id int) bool, dst []pqueue.Neighbor) ([]pqueue.Neighbor, SearchStats) {
+	if accept == nil {
+		return ix.SearchOffsetIntoStats(q, k, lambda, offset, dst)
+	}
+	res, stats := ix.searchFilterInto(q, k, lambda, accept, dst[:0])
+	shiftIDs(res, offset)
+	return res, stats
+}
+
+// verifyFiltered is verifyCandidates with the accept predicate applied
+// to each drained candidate before it enters a gather batch. Rejected
+// ids cost one predicate call and nothing else.
+func (ix *Index) verifyFiltered(ctx *searchCtx, q []float32, k, nCand int, accept func(id int) bool) (verified, reranked int) {
+	if ix.sq8 != nil {
+		return ix.verifyQuantizedFiltered(ctx, q, k, nCand, accept)
+	}
+	for verified < nCand {
+		b := 0
+		max := nCand - verified
+		if max > verifyBatch {
+			max = verifyBatch
+		}
+		drained := false
+		for b < max {
+			r, ok := ctx.s.Next()
+			if !ok {
+				drained = true
+				break
+			}
+			if !accept(r.ID) {
+				continue
+			}
+			ctx.ids[b] = int32(r.ID)
+			b++
+		}
+		if b > 0 {
+			ix.store.GatherDistancesInto(ctx.ids[:b], q, ix.metric, ctx.dists[:b])
+			for i := 0; i < b; i++ {
+				ctx.best.Add(int(ctx.ids[i]), ctx.dists[i])
+			}
+			verified += b
+		}
+		if drained {
+			break
+		}
+	}
+	return verified, 0
+}
+
+// verifyQuantizedFiltered is verifyQuantized with the accept predicate
+// applied before the quantized score gather; the exact re-rank then only
+// ever sees matching candidates.
+func (ix *Index) verifyQuantizedFiltered(ctx *searchCtx, q []float32, k, nCand int, accept func(id int) bool) (verified, reranked int) {
+	rr := ix.rerank
+	if rr < k {
+		rr = k
+	}
+	ix.sq8.Prepare(ix.metric, q, &ctx.sq8q)
+	ctx.rr.Reset(rr)
+	for verified < nCand {
+		b := 0
+		max := nCand - verified
+		if max > verifyBatch {
+			max = verifyBatch
+		}
+		drained := false
+		for b < max {
+			r, ok := ctx.s.Next()
+			if !ok {
+				drained = true
+				break
+			}
+			if !accept(r.ID) {
+				continue
+			}
+			ctx.ids[b] = int32(r.ID)
+			b++
+		}
+		if b > 0 {
+			ix.sq8.GatherScoresInto(ctx.ids[:b], &ctx.sq8q, ctx.scores[:b])
+			for i := 0; i < b; i++ {
+				ctx.rr.Add(int(ctx.ids[i]), float64(ctx.scores[i]))
+			}
+			verified += b
+		}
+		if drained {
+			break
+		}
+	}
+	start := time.Now()
+	ctx.rrBuf = ctx.rr.AppendSorted(ctx.rrBuf[:0])
+	for base := 0; base < len(ctx.rrBuf); base += verifyBatch {
+		c := len(ctx.rrBuf) - base
+		if c > verifyBatch {
+			c = verifyBatch
+		}
+		for i := 0; i < c; i++ {
+			ctx.ids[i] = int32(ctx.rrBuf[base+i].ID)
+		}
+		ix.store.GatherDistancesInto(ctx.ids[:c], q, ix.metric, ctx.dists[:c])
+		for i := 0; i < c; i++ {
+			ctx.best.Add(int(ctx.ids[i]), ctx.dists[i])
+		}
+	}
+	reranked = len(ctx.rrBuf)
+	obs.ObserveDur(obs.StageRerank, time.Since(start))
+	return verified, reranked
+}
+
 // Data returns the indexed vector with the given id (a view into the
 // flat store; treat it as read-only).
 func (ix *Index) Data(id int) []float32 { return ix.store.Row(id) }

@@ -47,6 +47,10 @@ const (
 	// Startup.
 	StageRecoveryReplay // WAL replay during OpenDurable
 
+	// Hybrid-query path.
+	StageFilter       // predicate evaluation inside candidate verification
+	StageCursorResume // cursor token decode + per-shard offset restore
+
 	numStages
 )
 
@@ -67,6 +71,8 @@ var stageNames = [numStages]string{
 	StageCkptManifest:   "ckpt_manifest",
 	StageCkptTruncate:   "ckpt_truncate",
 	StageRecoveryReplay: "recovery_replay",
+	StageFilter:         "filter",
+	StageCursorResume:   "cursor_resume",
 }
 
 // String returns the stage's exposition label value.

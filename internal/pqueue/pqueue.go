@@ -149,6 +149,14 @@ func (b *KBest) Worst() (d float64, ok bool) {
 	return b.items[0].Dist, true
 }
 
+// worse reports whether a ranks after b in the canonical (Dist, ID)
+// result order. Breaking distance ties by id makes the retained set and
+// the sorted output deterministic — the property cursor pagination
+// leans on to keep per-source streams prefix-stable across re-fetches.
+func worse(a, b Neighbor) bool {
+	return a.Dist > b.Dist || (a.Dist == b.Dist && a.ID > b.ID)
+}
+
 // Add offers a neighbor; it is retained if fewer than k neighbors are held
 // or if it improves on the current worst. Returns true if retained.
 func (b *KBest) Add(id int, dist float64) bool {
@@ -157,22 +165,23 @@ func (b *KBest) Add(id int, dist float64) bool {
 		b.up(len(b.items) - 1)
 		return true
 	}
-	if dist >= b.items[0].Dist {
+	nb := Neighbor{ID: id, Dist: dist}
+	if !worse(b.items[0], nb) {
 		return false
 	}
-	b.items[0] = Neighbor{ID: id, Dist: dist}
+	b.items[0] = nb
 	b.down(0)
 	return true
 }
 
-// Sorted returns the retained neighbors in ascending distance order.
+// Sorted returns the retained neighbors in ascending (Dist, ID) order.
 // The collector remains usable afterwards.
 func (b *KBest) Sorted() []Neighbor {
 	return b.AppendSorted(nil)
 }
 
 // AppendSorted appends the retained neighbors to dst in ascending
-// distance order and returns the extended slice. The collector remains
+// (Dist, ID) order and returns the extended slice. The collector remains
 // usable afterwards; when dst has capacity, nothing is allocated.
 func (b *KBest) AppendSorted(dst []Neighbor) []Neighbor {
 	start := len(dst)
@@ -190,7 +199,7 @@ func (b *KBest) AppendSorted(dst []Neighbor) []Neighbor {
 func (b *KBest) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if b.items[i].Dist <= b.items[parent].Dist {
+		if !worse(b.items[i], b.items[parent]) {
 			return
 		}
 		b.items[i], b.items[parent] = b.items[parent], b.items[i]
@@ -208,10 +217,10 @@ func siftDown(items []Neighbor, i int) {
 			return
 		}
 		big := l
-		if r < n && items[r].Dist > items[l].Dist {
+		if r < n && worse(items[r], items[l]) {
 			big = r
 		}
-		if items[big].Dist <= items[i].Dist {
+		if !worse(items[big], items[i]) {
 			return
 		}
 		items[i], items[big] = items[big], items[i]

@@ -26,6 +26,9 @@ type resultCache struct {
 type cacheEntry struct {
 	key string
 	res []lccs.Neighbor
+	// next is the continuation token of a cached cursor page; "" for
+	// one-shot results and exhausted pages.
+	next string
 }
 
 // newResultCache returns an LRU holding up to capacity entries;
@@ -41,36 +44,50 @@ func newResultCache(capacity int) *resultCache {
 
 // get returns the cached result for key, marking it most recently used.
 // The returned slice is shared — callers must not mutate it.
-func (c *resultCache) get(key string) ([]lccs.Neighbor, bool) {
+func (c *resultCache) get(key string) ([]lccs.Neighbor, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, "", false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	ent := el.Value.(*cacheEntry)
+	return ent.res, ent.next, true
 }
 
-// put stores a result under key, evicting the least recently used entry
-// when the cache is full.
-func (c *resultCache) put(key string, res []lccs.Neighbor) {
+// put stores a result (and, for cursor pages, its continuation token)
+// under key, evicting the least recently used entry when the cache is
+// full.
+func (c *resultCache) put(key string, res []lccs.Neighbor, next string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
+		ent := el.Value.(*cacheEntry)
+		ent.res, ent.next = res, next
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, next: next})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*cacheEntry).key)
 		c.evictions++
 	}
+}
+
+// clear drops every entry (hit/miss counters survive). Used when a
+// collection is dropped: a later collection under the same name would
+// otherwise restart its write generation and could collide with keys
+// the dead tenant left behind.
+func (c *resultCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.byKey)
 }
 
 // len returns the number of live entries.
@@ -87,25 +104,35 @@ func (c *resultCache) stats() (hits, misses, evictions uint64) {
 	return c.hits, c.misses, c.evictions
 }
 
-// cacheKey builds the lookup key for one query: the backend insert
-// generation, k, the candidate budget, and the quantized query vector.
-// quantBits low mantissa bits of every float32 coordinate are masked
-// off before keying: 0 keys on exact bit patterns (no false sharing),
-// while small positive values let queries that differ only by float
-// noise share an entry at the cost of returning the aliased neighbor
-// list. quantBits is clamped to [0, 23] so sign and exponent always
-// survive.
-func cacheKey(gen uint64, k, lambda int, q []float32, quantBits uint) string {
+// cacheKey builds the lookup key for one query: the collection name,
+// its write generation, k, the candidate budget, the quantized query
+// vector, the canonical filter encoding, and the cursor token. The
+// collection name is length-prefixed so tenants can never alias each
+// other's entries, and the filter/cursor tails are length-prefixed so
+// a filter's bytes cannot be confused with a cursor's. quantBits low
+// mantissa bits of every float32 coordinate are masked off before
+// keying: 0 keys on exact bit patterns (no false sharing), while small
+// positive values let queries that differ only by float noise share an
+// entry at the cost of returning the aliased neighbor list. quantBits
+// is clamped to [0, 23] so sign and exponent always survive.
+func cacheKey(collection string, gen uint64, k, lambda int, q []float32, quantBits uint, f *lccs.Filter, cursor string) string {
 	if quantBits > 23 {
 		quantBits = 23
 	}
 	mask := ^uint32(0) << quantBits
-	buf := make([]byte, 0, 16+4*len(q))
+	buf := make([]byte, 0, 24+len(collection)+4*len(q)+len(cursor))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(collection)))
+	buf = append(buf, collection...)
 	buf = binary.LittleEndian.AppendUint64(buf, gen)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(lambda))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(q)))
 	for _, v := range q {
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v)&mask)
 	}
+	fkey := f.AppendKey(nil)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fkey)))
+	buf = append(buf, fkey...)
+	buf = append(buf, cursor...)
 	return string(buf)
 }

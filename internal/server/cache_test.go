@@ -12,17 +12,17 @@ import (
 func TestResultCacheLRUEviction(t *testing.T) {
 	c := newResultCache(2)
 	res := func(id int) []lccs.Neighbor { return []lccs.Neighbor{{ID: id}} }
-	c.put("a", res(1))
-	c.put("b", res(2))
-	if _, ok := c.get("a"); !ok { // refresh a: b is now the LRU entry
+	c.put("a", res(1), "")
+	c.put("b", res(2), "")
+	if _, _, ok := c.get("a"); !ok { // refresh a: b is now the LRU entry
 		t.Fatal("a missing")
 	}
-	c.put("c", res(3)) // evicts b
-	if _, ok := c.get("b"); ok {
+	c.put("c", res(3), "") // evicts b
+	if _, _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
 	for key, id := range map[string]int{"a": 1, "c": 3} {
-		got, ok := c.get(key)
+		got, _, ok := c.get(key)
 		if !ok || got[0].ID != id {
 			t.Fatalf("%s: %v %v", key, got, ok)
 		}
@@ -35,28 +35,28 @@ func TestResultCacheLRUEviction(t *testing.T) {
 		t.Fatalf("hits=%d misses=%d, want 3/1", hits, misses)
 	}
 	// Overwriting an existing key updates in place, no growth.
-	c.put("a", res(9))
-	if got, _ := c.get("a"); got[0].ID != 9 || c.len() != 2 {
+	c.put("a", res(9), "")
+	if got, _, _ := c.get("a"); got[0].ID != 9 || c.len() != 2 {
 		t.Fatalf("overwrite: %v len=%d", got, c.len())
 	}
 }
 
 func TestCacheKeyDiscriminatesAndQuantizes(t *testing.T) {
 	q := []float32{1.5, -2.25, 3.125}
-	base := cacheKey(7, 10, 100, q, 0)
+	base := cacheKey("c", 7, 10, 100, q, 0, nil, "")
 	distinct := []string{
-		cacheKey(8, 10, 100, q, 0),                          // generation
-		cacheKey(7, 11, 100, q, 0),                          // k
-		cacheKey(7, 10, 101, q, 0),                          // budget
-		cacheKey(7, 10, 100, []float32{1.5, -2.25, 3.0}, 0), // query
-		cacheKey(7, 10, 100, q[:2], 0),                      // length
+		cacheKey("c", 8, 10, 100, q, 0, nil, ""),                          // generation
+		cacheKey("c", 7, 11, 100, q, 0, nil, ""),                          // k
+		cacheKey("c", 7, 10, 101, q, 0, nil, ""),                          // budget
+		cacheKey("c", 7, 10, 100, []float32{1.5, -2.25, 3.0}, 0, nil, ""), // query
+		cacheKey("c", 7, 10, 100, q[:2], 0, nil, ""),                      // length
 	}
 	for i, k := range distinct {
 		if k == base {
 			t.Errorf("variant %d collides with base key", i)
 		}
 	}
-	if cacheKey(7, 10, 100, []float32{1.5, -2.25, 3.125}, 0) != base {
+	if cacheKey("c", 7, 10, 100, []float32{1.5, -2.25, 3.125}, 0, nil, "") != base {
 		t.Error("identical inputs must produce identical keys")
 	}
 
@@ -64,14 +64,14 @@ func TestCacheKeyDiscriminatesAndQuantizes(t *testing.T) {
 	// bits share a key; without it they do not.
 	a := []float32{1.0, 2.0}
 	b := []float32{1.0000001, 2.0}
-	if cacheKey(1, 5, 50, a, 0) == cacheKey(1, 5, 50, b, 0) {
+	if cacheKey("c", 1, 5, 50, a, 0, nil, "") == cacheKey("c", 1, 5, 50, b, 0, nil, "") {
 		t.Error("quant=0 must key on exact bits")
 	}
-	if cacheKey(1, 5, 50, a, 8) != cacheKey(1, 5, 50, b, 8) {
+	if cacheKey("c", 1, 5, 50, a, 8, nil, "") != cacheKey("c", 1, 5, 50, b, 8, nil, "") {
 		t.Error("quant=8 should alias float-noise-close queries")
 	}
 	// Clamped quantization never erases sign or exponent.
-	if cacheKey(1, 5, 50, []float32{1}, 60) == cacheKey(1, 5, 50, []float32{-1}, 60) {
+	if cacheKey("c", 1, 5, 50, []float32{1}, 60, nil, "") == cacheKey("c", 1, 5, 50, []float32{-1}, 60, nil, "") {
 		t.Error("sign must survive any quantization level")
 	}
 }

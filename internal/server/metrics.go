@@ -85,10 +85,12 @@ func (h *histogram) snapshot() (counts []uint64, sum float64, total uint64) {
 	return append([]uint64(nil), h.counts...), h.sum, h.total
 }
 
-// reqKey identifies one requests_total series.
+// reqKey identifies one requests_total series. collection is empty for
+// server-scoped endpoints (healthz, metrics, the registry CRUD).
 type reqKey struct {
-	endpoint string
-	code     int
+	collection string
+	endpoint   string
+	code       int
 }
 
 // metrics aggregates the server's counters: per-endpoint/status request
@@ -110,9 +112,9 @@ func newMetrics() *metrics {
 	}
 }
 
-func (m *metrics) countRequest(endpoint string, code int) {
+func (m *metrics) countRequest(collection, endpoint string, code int) {
 	m.mu.Lock()
-	m.requests[reqKey{endpoint, code}]++
+	m.requests[reqKey{collection, endpoint, code}]++
 	m.mu.Unlock()
 }
 
@@ -128,6 +130,9 @@ func (m *metrics) requestsSnapshot() ([]reqKey, map[reqKey]uint64) {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].collection != keys[j].collection {
+			return keys[i].collection < keys[j].collection
+		}
 		if keys[i].endpoint != keys[j].endpoint {
 			return keys[i].endpoint < keys[j].endpoint
 		}
@@ -136,22 +141,32 @@ func (m *metrics) requestsSnapshot() ([]reqKey, map[reqKey]uint64) {
 	return keys, cp
 }
 
-// gauge is one live-read gauge rendered into /metrics.
+// gauge is one live-read sample rendered into /metrics. labels, when
+// non-empty, is the pre-rendered label set (`{collection="x"}`);
+// several samples may share a name with different labels — HELP/TYPE
+// headers are emitted once per family, so same-family samples must be
+// adjacent in the slice.
 type gauge struct {
-	name  string
-	help  string
-	value float64
+	name   string
+	help   string
+	value  float64
+	labels string
 }
 
 // writeProm renders everything in the Prometheus text exposition format
 // (version 0.0.4); counters and gauges are supplied by the caller so the
 // registry stays dependency-free and gauge reads are never stale.
 func (m *metrics) writeProm(w io.Writer, counters, gauges []gauge) {
-	fmt.Fprintf(w, "# HELP lccs_requests_total HTTP requests served, by endpoint and status code.\n")
+	fmt.Fprintf(w, "# HELP lccs_requests_total HTTP requests served, by collection, endpoint, and status code.\n")
 	fmt.Fprintf(w, "# TYPE lccs_requests_total counter\n")
 	keys, counts := m.requestsSnapshot()
 	for _, k := range keys {
-		fmt.Fprintf(w, "lccs_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, counts[k])
+		if k.collection == "" {
+			fmt.Fprintf(w, "lccs_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, counts[k])
+			continue
+		}
+		fmt.Fprintf(w, "lccs_requests_total{collection=%q,endpoint=%q,code=\"%d\"} %d\n",
+			k.collection, k.endpoint, k.code, counts[k])
 	}
 
 	counts2, sum, total := m.latency.snapshot()
@@ -167,15 +182,22 @@ func (m *metrics) writeProm(w io.Writer, counters, gauges []gauge) {
 	fmt.Fprintf(w, "lccs_request_seconds_sum %g\n", sum)
 	fmt.Fprintf(w, "lccs_request_seconds_count %d\n", total)
 
+	seen := make(map[string]bool, len(counters)+len(gauges))
 	for _, c := range counters {
-		fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
-		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
-		fmt.Fprintf(w, "%s %g\n", c.name, c.value)
+		if !seen[c.name] {
+			seen[c.name] = true
+			fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
+			fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		}
+		fmt.Fprintf(w, "%s%s %g\n", c.name, c.labels, c.value)
 	}
 	for _, g := range gauges {
-		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
-		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
-		fmt.Fprintf(w, "%s %g\n", g.name, g.value)
+		if !seen[g.name] {
+			seen[g.name] = true
+			fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
+			fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+		}
+		fmt.Fprintf(w, "%s%s %g\n", g.name, g.labels, g.value)
 	}
 	fmt.Fprintf(w, "# HELP lccs_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE lccs_uptime_seconds gauge\n")

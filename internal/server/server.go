@@ -1,23 +1,33 @@
 // Package server is the network query-serving layer over the lccs
-// facades: an HTTP/JSON API around any lccs.Searcher with a
+// facades: an HTTP/JSON API over a registry of named collections
+// (internal/engine) — each an independently configured index — with a
 // semaphore-based admission controller (bounded concurrency, bounded
-// queue, per-request deadlines), an LRU result cache invalidated by
-// insert generation, and live counter/latency metrics in the Prometheus
-// text format.
+// queue, per-collection concurrency shares, per-request deadlines), an
+// LRU result cache keyed by collection/filter/cursor and invalidated
+// per-collection by write generation, and live counter/latency metrics
+// in the Prometheus text format with per-collection labels.
 //
 // Endpoints:
 //
-//	POST /v1/search        one query → top-k neighbors
-//	POST /v1/search/batch  many queries → top-k each (one admission slot)
-//	POST /v1/insert        append vectors (DynamicIndex-backed only)
-//	POST /v1/delete        tombstone ids, single or batch (DynamicIndex-backed only)
-//	GET  /v1/stats         JSON operational stats (p50/p99, cache, queue)
-//	GET  /healthz          readiness (503 while draining)
-//	GET  /metrics          Prometheus text exposition
+//	POST   /v1/collections                          create a collection
+//	GET    /v1/collections                          list collections
+//	DELETE /v1/collections/{name}                   drop a collection
+//	POST   /v1/collections/{name}/search            one query → top-k (filtered, cursor-paginated)
+//	POST   /v1/collections/{name}/search/batch      many queries → top-k each
+//	POST   /v1/collections/{name}/insert            append vectors (+ optional attributes)
+//	POST   /v1/collections/{name}/delete            tombstone ids
+//	GET    /v1/collections/{name}/stats             per-collection stats
+//	GET    /v1/stats                                JSON operational stats (all collections)
+//	GET    /healthz                                 readiness (503 while draining)
+//	GET    /metrics                                 Prometheus text exposition
+//
+// The legacy single-index routes (/v1/search, /v1/search/batch,
+// /v1/insert, /v1/delete) serve the collection named "default", so
+// pre-collections clients keep working unchanged.
 //
 // The package owns request admission and caching; process lifecycle
-// (listening, signal handling, graceful drain, snapshotting) belongs to
-// cmd/lccs-serve.
+// (listening, signal handling, graceful drain, checkpointing) belongs
+// to cmd/lccs-serve.
 package server
 
 import (
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"lccs"
+	"lccs/internal/engine"
 	"lccs/internal/obs"
 )
 
@@ -51,6 +62,12 @@ type Inserter interface {
 	Add(v []float32) (int, error)
 }
 
+// AttrInserter is the metadata-carrying write interface; DynamicIndex
+// implements it. Backends without it answer attribute inserts with 501.
+type AttrInserter interface {
+	AddWithAttrs(v []float32, a lccs.Attrs) (int, error)
+}
+
 // BatchInserter is the optional bulk-write interface of a backend;
 // DurableIndex implements it. When present, /v1/insert applies the
 // whole request through one AddBatch call — on a write-ahead-logged
@@ -58,6 +75,12 @@ type Inserter interface {
 // the entire batch instead of one per vector.
 type BatchInserter interface {
 	AddBatch(vecs [][]float32) ([]int, error)
+}
+
+// AttrBatchInserter is the bulk counterpart of AttrInserter;
+// DurableIndex implements it.
+type AttrBatchInserter interface {
+	AddBatchWithAttrs(vecs [][]float32, attrs []lccs.Attrs) ([]int, error)
 }
 
 // Deleter is the optional delete interface of a backend; DynamicIndex
@@ -94,8 +117,13 @@ type WALStatser interface {
 
 // Config configures a Server.
 type Config struct {
-	// Backend answers the queries. Required.
+	// Backend, when set, is adopted as the collection named "default":
+	// the legacy single-index serving mode. At least one of Backend and
+	// Engine is required.
 	Backend lccs.Searcher
+	// Engine is the collection registry behind /v1/collections. Nil
+	// builds a rootless registry holding only the adopted Backend.
+	Engine *engine.Engine
 	// MaxInFlight bounds concurrently executing searches. 0 selects
 	// GOMAXPROCS.
 	MaxInFlight int
@@ -103,6 +131,12 @@ type Config struct {
 	// requests are rejected with 503. 0 selects 4×MaxInFlight; negative
 	// disables waiting entirely (reject the moment all slots are busy).
 	MaxQueue int
+	// CollectionMaxInFlight caps one collection's concurrently admitted
+	// requests, so a single hot tenant cannot starve the others of the
+	// shared MaxInFlight slots. Requests over the share are rejected
+	// with 503 before touching the global queue. 0 disables the
+	// per-collection cap.
+	CollectionMaxInFlight int
 	// Timeout is the per-request admission deadline: a request that
 	// cannot start executing within it is rejected with 503. 0 selects
 	// 2 seconds.
@@ -139,54 +173,122 @@ type Config struct {
 	Logger *slog.Logger
 }
 
-// Server is the HTTP query-serving front end over one Searcher backend.
-// Construct with New, mount Handler on an http.Server, and call
-// SetDraining(true) before shutting that server down so load balancers
-// see readiness drop first.
-type Server struct {
-	backend  lccs.Searcher
-	inserter Inserter // nil when the backend is read-only
-	// dynInserter marks the backend as the library's own DynamicIndex,
-	// whose Add is documented to deliver deferred background-build
-	// failures alongside a *successful* insert. Only then is a
-	// non-validation Add error downgraded to a warning; a custom
-	// Inserter's errors are always treated as failed inserts.
+// coll is the server-side request state of one collection: the
+// backend's capability interfaces resolved once, the write generation
+// folded into its cache keys, and its admission occupancy.
+type coll struct {
+	name    string
+	backend lccs.Searcher
+	// dynInserter marks the backend as the library's own
+	// DynamicIndex/DurableIndex, whose Add is documented to deliver
+	// deferred background-build failures alongside a *successful*
+	// insert. Only then is a non-validation Add error downgraded to a
+	// warning; a custom Inserter's errors are always treated as failed
+	// inserts.
+	inserter    Inserter
 	dynInserter bool
-	batch       BatchInserter       // nil when the backend has no bulk write path
-	deleter     Deleter             // nil when the backend cannot delete
-	durDeleter  DurableDeleter      // non-nil for durable backends; preferred
-	batchDel    BatchDeleter        // nil when the backend has no bulk delete path
-	walStats    WALStatser          // nil when the backend has no WAL
-	traced      lccs.TracedSearcher // nil when the backend has no traced search path
-	adm         *admission
-	cache       *resultCache // nil when disabled
-	quant       uint
-	timeout     time.Duration
-	maxBody     int64
-	met         *metrics
-	mux         *http.ServeMux
-	slow        *obs.SlowLog
-	logger      *slog.Logger
-	version     string
+	attrIns     AttrInserter
+	batch       BatchInserter
+	attrBatch   AttrBatchInserter
+	deleter     Deleter
+	durDeleter  DurableDeleter
+	batchDel    BatchDeleter
+	walStats    WALStatser
+	traced      lccs.TracedSearcher
+	filt        lccs.FilterSearcher
+	cur         lccs.CursorSearcher
+	// gen counts completed writes — inserts and deletes alike; it is
+	// folded into every cache key, so one write invalidates all of this
+	// collection's earlier cached results at once (and only this
+	// collection's: the key also carries the collection name).
+	gen     atomic.Uint64
+	inserts atomic.Uint64
+	deletes atomic.Uint64
+	// occupancy counts requests of this collection currently admitted;
+	// quotaRejected counts requests shed by the per-collection share.
+	occupancy     atomic.Int64
+	quotaRejected atomic.Uint64
+}
+
+// newColl resolves a backend's capability interfaces once.
+func newColl(name string, backend lccs.Searcher) *coll {
+	c := &coll{name: name, backend: backend}
+	if t, ok := backend.(lccs.TracedSearcher); ok {
+		c.traced = t
+	}
+	if ins, ok := backend.(Inserter); ok {
+		c.inserter = ins
+		switch backend.(type) {
+		case *lccs.DynamicIndex, *lccs.DurableIndex:
+			c.dynInserter = true
+		}
+	}
+	if ai, ok := backend.(AttrInserter); ok {
+		c.attrIns = ai
+	}
+	if b, ok := backend.(BatchInserter); ok {
+		c.batch = b
+	}
+	if ab, ok := backend.(AttrBatchInserter); ok {
+		c.attrBatch = ab
+	}
+	if del, ok := backend.(Deleter); ok {
+		c.deleter = del
+	}
+	if del, ok := backend.(DurableDeleter); ok {
+		c.durDeleter = del
+	}
+	if del, ok := backend.(BatchDeleter); ok {
+		c.batchDel = del
+	}
+	if ws, ok := backend.(WALStatser); ok {
+		c.walStats = ws
+	}
+	if f, ok := backend.(lccs.FilterSearcher); ok {
+		c.filt = f
+	}
+	if cu, ok := backend.(lccs.CursorSearcher); ok {
+		c.cur = cu
+	}
+	return c
+}
+
+// Server is the HTTP front end over the collection registry. Construct
+// with New, mount Handler on an http.Server, and call SetDraining(true)
+// before shutting that server down so load balancers see readiness drop
+// first.
+type Server struct {
+	eng       *engine.Engine
+	cmu       sync.RWMutex
+	colls     map[string]*coll
+	adm       *admission
+	collShare int64        // per-collection in-flight cap; 0 = uncapped
+	cache     *resultCache // nil when disabled
+	quant     uint
+	timeout   time.Duration
+	maxBody   int64
+	met       *metrics
+	mux       *http.ServeMux
+	slow      *obs.SlowLog
+	logger    *slog.Logger
+	version   string
 	// sampleEvery traces every Nth search (0 = only explicit requests);
 	// sampleSeq is the stride counter behind it.
 	sampleEvery uint64
 	sampleSeq   atomic.Uint64
 	// reqID numbers every search for log/trace correlation.
-	reqID atomic.Uint64
-	// gen counts completed writes — inserts and deletes alike; it is
-	// folded into every cache key, so one write invalidates all earlier
-	// cached results at once.
-	gen      atomic.Uint64
-	inserts  atomic.Uint64
-	deletes  atomic.Uint64
+	reqID    atomic.Uint64
 	draining atomic.Bool
 }
 
+// DefaultCollection is the registry name the legacy single-index routes
+// serve.
+const DefaultCollection = "default"
+
 // New validates cfg and builds a Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Backend == nil {
-		return nil, errors.New("server: Config.Backend is required")
+	if cfg.Backend == nil && cfg.Engine == nil {
+		return nil, errors.New("server: Config needs a Backend or an Engine")
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
@@ -206,6 +308,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
 		return nil, errors.New("server: Config.TraceSample must be in [0, 1]")
 	}
+	if cfg.CollectionMaxInFlight < 0 {
+		return nil, errors.New("server: Config.CollectionMaxInFlight must be >= 0")
+	}
 	if cfg.Version == "" {
 		cfg.Version = "dev"
 	}
@@ -215,16 +320,32 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SlowLogSize <= 0 {
 		cfg.SlowLogSize = 64
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		var err error
+		eng, err = engine.New("", engine.Spec{}, cfg.Logger)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Backend != nil {
+		dur, _ := cfg.Backend.(*lccs.DurableIndex)
+		if _, err := eng.Adopt(DefaultCollection, cfg.Backend, dur); err != nil {
+			return nil, fmt.Errorf("server: adopting default backend: %w", err)
+		}
+	}
 	s := &Server{
-		backend: cfg.Backend,
-		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		quant:   cfg.CacheQuantBits,
-		timeout: cfg.Timeout,
-		maxBody: cfg.MaxBodyBytes,
-		met:     newMetrics(),
-		slow:    obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowLogSize, cfg.SlowThreshold),
-		logger:  cfg.Logger,
-		version: cfg.Version,
+		eng:       eng,
+		colls:     make(map[string]*coll),
+		adm:       newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		collShare: int64(cfg.CollectionMaxInFlight),
+		quant:     cfg.CacheQuantBits,
+		timeout:   cfg.Timeout,
+		maxBody:   cfg.MaxBodyBytes,
+		met:       newMetrics(),
+		slow:      obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowLogSize, cfg.SlowThreshold),
+		logger:    cfg.Logger,
+		version:   cfg.Version,
 	}
 	if cfg.TraceSample > 0 {
 		s.sampleEvery = uint64(math.Round(1 / cfg.TraceSample))
@@ -232,41 +353,29 @@ func New(cfg Config) (*Server, error) {
 			s.sampleEvery = 1
 		}
 	}
-	if t, ok := cfg.Backend.(lccs.TracedSearcher); ok {
-		s.traced = t
-	}
-	if ins, ok := cfg.Backend.(Inserter); ok {
-		s.inserter = ins
-		// Both library-owned writable backends document Add's deferred
-		// background-build failure semantics (see Inserter).
-		switch cfg.Backend.(type) {
-		case *lccs.DynamicIndex, *lccs.DurableIndex:
-			s.dynInserter = true
-		}
-	}
-	if b, ok := cfg.Backend.(BatchInserter); ok {
-		s.batch = b
-	}
-	if del, ok := cfg.Backend.(Deleter); ok {
-		s.deleter = del
-	}
-	if del, ok := cfg.Backend.(DurableDeleter); ok {
-		s.durDeleter = del
-	}
-	if del, ok := cfg.Backend.(BatchDeleter); ok {
-		s.batchDel = del
-	}
-	if ws, ok := cfg.Backend.(WALStatser); ok {
-		s.walStats = ws
-	}
 	if cfg.CacheSize > 0 {
 		s.cache = newResultCache(cfg.CacheSize)
 	}
+	// Pre-resolve already-loaded collections (the adopted default, any
+	// the caller opened before handing the engine over).
+	for _, ec := range eng.Loaded() {
+		s.colls[ec.Name()] = newColl(ec.Name(), ec.Backend())
+	}
 	s.mux = http.NewServeMux()
+	// Legacy single-index routes: the "default" collection.
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("/v1/insert", s.handleInsert)
 	s.mux.HandleFunc("/v1/delete", s.handleDelete)
+	// Collection routes.
+	s.mux.HandleFunc("POST /v1/collections/{name}/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/collections/{name}/search/batch", s.handleSearchBatch)
+	s.mux.HandleFunc("POST /v1/collections/{name}/insert", s.handleInsert)
+	s.mux.HandleFunc("POST /v1/collections/{name}/delete", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/collections/{name}/stats", s.handleCollStats)
+	s.mux.HandleFunc("POST /v1/collections", s.handleCollCreate)
+	s.mux.HandleFunc("GET /v1/collections", s.handleCollList)
+	s.mux.HandleFunc("DELETE /v1/collections/{name}", s.handleCollDrop)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/debug/slow", s.handleDebugSlow)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -283,7 +392,102 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // connection-level draining).
 func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
 
+// collName extracts the target collection from the request path; the
+// legacy routes carry no {name} and serve the default collection.
+func collName(r *http.Request) string {
+	if name := r.PathValue("name"); name != "" {
+		return name
+	}
+	return DefaultCollection
+}
+
+// resolve returns the request's collection state, lazily opening the
+// collection through the registry. On failure it writes the error
+// response and returns nil.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, endpoint string) *coll {
+	name := collName(r)
+	s.cmu.RLock()
+	c, ok := s.colls[name]
+	s.cmu.RUnlock()
+	if ok {
+		return c
+	}
+	ec, err := s.eng.Get(name)
+	if err != nil {
+		s.fail(w, name, endpoint, engineStatus(err), err)
+		return nil
+	}
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if c, ok := s.colls[name]; ok {
+		return c
+	}
+	c = newColl(name, ec.Backend())
+	s.colls[name] = c
+	return c
+}
+
+// engineStatus maps registry errors to HTTP statuses.
+func engineStatus(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrExists), errors.Is(err, engine.ErrAdopted):
+		return http.StatusConflict
+	case errors.Is(err, engine.ErrBadName), errors.Is(err, engine.ErrInvalidSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
 // ---- request/response bodies ----
+
+// filterTermJSON is the wire form of one filter predicate: {"key":
+// "color", "value": "red"} (equality over a string or integer), or
+// {"key": "price", "op": "range", "min": 10, "max": 99} (inclusive
+// int64 range, either bound optional). Terms AND together.
+type filterTermJSON struct {
+	Key   string `json:"key"`
+	Op    string `json:"op,omitempty"` // "eq" (default) | "range"
+	Value any    `json:"value,omitempty"`
+	Min   *int64 `json:"min,omitempty"`
+	Max   *int64 `json:"max,omitempty"`
+}
+
+// parseFilter translates the wire terms into a library filter; nil for
+// an absent filter.
+func parseFilter(terms []filterTermJSON) (*lccs.Filter, error) {
+	if len(terms) == 0 {
+		return nil, nil
+	}
+	f := &lccs.Filter{Terms: make([]lccs.FilterTerm, 0, len(terms))}
+	for i, t := range terms {
+		switch t.Op {
+		case "", "eq":
+			switch v := t.Value.(type) {
+			case string:
+				f.Terms = append(f.Terms, lccs.EqStr(t.Key, v))
+			case float64:
+				if v != math.Trunc(v) || math.Abs(v) >= 1<<53 {
+					return nil, fmt.Errorf("filter term %d: value %v is not an integer", i, v)
+				}
+				f.Terms = append(f.Terms, lccs.EqInt(t.Key, int64(v)))
+			default:
+				return nil, fmt.Errorf("filter term %d: \"value\" must be a string or integer", i)
+			}
+		case "range":
+			f.Terms = append(f.Terms, lccs.Range(t.Key, t.Min, t.Max))
+		default:
+			return nil, fmt.Errorf("filter term %d: unknown op %q (want \"eq\" or \"range\")", i, t.Op)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
 
 type searchRequest struct {
 	Query []float32 `json:"query"`
@@ -291,6 +495,15 @@ type searchRequest struct {
 	// Budget is the optional candidate budget λ; 0 uses the backend's
 	// default.
 	Budget int `json:"budget,omitempty"`
+	// Filter restricts results to vectors whose attributes match every
+	// term.
+	Filter []filterTermJSON `json:"filter,omitempty"`
+	// Limit switches the request to cursor pagination: the response
+	// carries up to Limit results plus a continuation token.
+	Limit int `json:"limit,omitempty"`
+	// Cursor resumes a paginated scan from a previous response's
+	// next_cursor.
+	Cursor string `json:"cursor,omitempty"`
 	// Trace opts this request into span recording: the response carries
 	// the per-stage span tree and an X-Request-Id header.
 	Trace bool `json:"trace,omitempty"`
@@ -299,8 +512,8 @@ type searchRequest struct {
 // searchScratch is the pooled per-request state of the single-search
 // endpoint: the decoded request (whose query slice's backing array is
 // reused by the JSON decoder), the backend result row, and the response
-// payload. At steady state a search request allocates no per-request
-// buffers in this package.
+// payload. At steady state an unfiltered, non-paginated search request
+// allocates no per-request buffers in this package.
 type searchScratch struct {
 	req searchRequest
 	res []lccs.Neighbor
@@ -317,6 +530,9 @@ func getSearchScratch() *searchScratch {
 	sc.req.Query = sc.req.Query[:0]
 	sc.req.K = 0
 	sc.req.Budget = 0
+	sc.req.Filter = nil
+	sc.req.Limit = 0
+	sc.req.Cursor = ""
 	sc.req.Trace = false
 	if sc.out == nil {
 		// Keep the response field non-nil so an empty result encodes as
@@ -335,6 +551,9 @@ type searchResponse struct {
 	Neighbors  []neighborJSON `json:"neighbors"`
 	Cached     bool           `json:"cached"`
 	TookMicros int64          `json:"took_us"`
+	// NextCursor continues a paginated scan; absent when the stream is
+	// exhausted or the request was not paginated.
+	NextCursor string `json:"next_cursor,omitempty"`
 	// RequestID and Trace are present only on traced requests.
 	RequestID uint64         `json:"request_id,omitempty"`
 	Trace     []obs.SpanNode `json:"trace,omitempty"`
@@ -362,6 +581,10 @@ type batchResponse struct {
 
 type insertRequest struct {
 	Vectors [][]float32 `json:"vectors"`
+	// Attrs optionally attaches metadata to the vectors, aligned by
+	// index (attrs[i] belongs to vectors[i]); values are strings or
+	// integers. null entries attach nothing.
+	Attrs []map[string]any `json:"attrs,omitempty"`
 }
 
 // deleteRequest accepts a single id, a batch, or both; {"id": 0} is
@@ -390,11 +613,34 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// createCollectionRequest is the /v1/collections POST body: the name
+// plus the spec fields (metric, m, budget, quantize, ...) inline.
+type createCollectionRequest struct {
+	Name string `json:"name"`
+	engine.Spec
+}
+
+type collectionInfo struct {
+	Name string `json:"name"`
+	// Vectors and Loaded describe open collections; an on-disk
+	// collection not yet opened reports loaded=false and no count.
+	Vectors int  `json:"vectors,omitempty"`
+	Loaded  bool `json:"loaded"`
+}
+
+type listCollectionsResponse struct {
+	Collections []collectionInfo `json:"collections"`
+}
+
 // ---- handlers ----
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if !s.requirePost(w, r, "search") {
+		return
+	}
+	c := s.resolve(w, r, "search")
+	if c == nil {
 		return
 	}
 	// Decode into pooled scratch: the JSON decoder appends into the
@@ -403,10 +649,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	sc := getSearchScratch()
 	defer searchScratchPool.Put(sc)
 	if err := json.NewDecoder(r.Body).Decode(&sc.req); err != nil {
-		s.fail(w, "search", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.fail(w, c.name, "search", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	req := &sc.req
+	f, err := parseFilter(req.Filter)
+	if err != nil {
+		s.fail(w, c.name, "search", http.StatusBadRequest, fmt.Errorf("%w: %v", lccs.ErrInvalidFilter, err))
+		return
+	}
+	paginated := req.Cursor != "" || req.Limit > 0
+	if paginated && req.Limit <= 0 {
+		s.fail(w, c.name, "search", http.StatusBadRequest, errors.New("\"limit\" must be positive when resuming a cursor"))
+		return
+	}
 	reqID := s.reqID.Add(1)
 	// Tracing: explicit opt-in via "trace": true, or the configured
 	// deterministic sampling stride. The untraced path never draws a
@@ -420,13 +676,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// The cache is probed before admission: a hit costs microseconds and
 	// touches no backend, so it must not occupy an execution slot or be
 	// shed under overload. Obviously invalid requests never touch the
-	// cache, so 400s do not pollute miss statistics or key space.
-	cacheable := s.cache != nil && req.K > 0 && len(req.Query) > 0 && req.Budget >= 0
+	// cache, so 400s do not pollute miss statistics or key space. The
+	// key carries the collection name, the canonical filter encoding,
+	// and the cursor token, so tenants, filtered variants of one query,
+	// and successive pages can never alias each other's entries.
+	kEff := req.K
+	if paginated {
+		kEff = req.Limit
+	}
+	cacheable := s.cache != nil && kEff > 0 && len(req.Query) > 0 && req.Budget >= 0
 	var key string
 	if cacheable {
 		cacheStart := time.Now()
-		key = cacheKey(s.gen.Load(), req.K, req.Budget, req.Query, s.quant)
-		res, ok := s.cache.get(key)
+		key = cacheKey(c.name, c.gen.Load(), kEff, req.Budget, req.Query, s.quant, f, req.Cursor)
+		res, next, ok := s.cache.get(key)
 		cacheDur := time.Since(cacheStart)
 		obs.ObserveDur(obs.StageCache, cacheDur)
 		tr.AddSpan(obs.StageCache, -1, cacheStart, cacheDur)
@@ -434,34 +697,47 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			sc.out = toJSONInto(sc.out[:0], res)
 			took := time.Since(start)
 			s.met.latency.observe(took.Seconds())
-			s.respondSearch(w, searchResponse{
+			s.respondSearch(w, c, searchResponse{
 				Neighbors:  sc.out,
 				Cached:     true,
+				NextCursor: next,
 				TookMicros: took.Microseconds(),
 			}, reqID, tr, req.Trace)
-			s.recordSlow(reqID, "search", start, took, req.K, req.Budget, tr)
+			s.recordSlow(reqID, "search", start, took, kEff, req.Budget, tr)
 			return
 		}
 	}
 	admStart := time.Now()
-	if ok := s.admit(w, r, "search"); !ok {
+	if ok := s.admit(w, r, "search", c); !ok {
 		return
 	}
-	defer s.adm.release()
+	defer s.release(c)
 	admDur := time.Since(admStart)
 	obs.ObserveDur(obs.StageAdmission, admDur)
 	tr.AddSpan(obs.StageAdmission, -1, admStart, admDur)
 
-	res, err := s.search(req.Query, req.K, req.Budget, sc.res, tr)
+	var next string
+	var res []lccs.Neighbor
+	if paginated {
+		res, next, err = s.searchCursor(c, req.Query, req.Limit, req.Budget, f, req.Cursor)
+	} else {
+		res, err = s.search(c, req.Query, req.K, req.Budget, f, sc.res, tr)
+	}
 	if err != nil {
-		s.fail(w, "search", statusFor(err), err)
+		code := statusFor(err)
+		if errors.Is(err, errNotSupported) {
+			code = http.StatusNotImplemented
+		}
+		s.fail(w, c.name, "search", code, err)
 		return
 	}
-	sc.res = res
+	if !paginated {
+		sc.res = res
+	}
 	if cacheable {
 		// The cache retains its entries past this request, so it gets
 		// its own copy rather than the pooled row.
-		s.cache.put(key, append([]lccs.Neighbor(nil), res...))
+		s.cache.put(key, append([]lccs.Neighbor(nil), res...), next)
 	}
 	encStart := time.Now()
 	sc.out = toJSONInto(sc.out[:0], res)
@@ -470,24 +746,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	tr.AddSpan(obs.StageEncode, -1, encStart, encDur)
 	took := time.Since(start)
 	s.met.latency.observe(took.Seconds())
-	s.respondSearch(w, searchResponse{
+	s.respondSearch(w, c, searchResponse{
 		Neighbors:  sc.out,
+		NextCursor: next,
 		TookMicros: took.Microseconds(),
 	}, reqID, tr, req.Trace)
-	s.recordSlow(reqID, "search", start, took, req.K, req.Budget, tr)
+	s.recordSlow(reqID, "search", start, took, kEff, req.Budget, tr)
 }
 
 // respondSearch sends a search response. Only an explicit "trace": true
 // request gets the span tree inline (plus the request id and the
 // X-Request-Id header); sampler-selected traces feed the histograms and
 // the slow-log reservoir without inflating client responses.
-func (s *Server) respondSearch(w http.ResponseWriter, resp searchResponse, reqID uint64, tr *obs.Trace, explicit bool) {
+func (s *Server) respondSearch(w http.ResponseWriter, c *coll, resp searchResponse, reqID uint64, tr *obs.Trace, explicit bool) {
 	if tr != nil && explicit {
 		resp.RequestID = reqID
 		resp.Trace = tr.Tree()
 		w.Header().Set("X-Request-Id", strconv.FormatUint(reqID, 10))
 	}
-	s.respond(w, "search", http.StatusOK, resp)
+	s.respond(w, c.name, "search", http.StatusOK, resp)
 }
 
 // recordSlow offers a finished search to the slow-query log and warns
@@ -518,22 +795,48 @@ func (s *Server) recordSlow(reqID uint64, endpoint string, start time.Time, took
 	}
 }
 
-// search routes to the default-budget (budget == 0) or explicit-budget
-// backend call, appending the result into the pooled dst row; a negative
-// budget is the client's error, not a request for the default. A
-// non-nil tr selects the backend's traced path when it has one (a
-// non-positive budget selects the default budget there too).
-func (s *Server) search(q []float32, k, budget int, dst []lccs.Neighbor, tr *obs.Trace) ([]lccs.Neighbor, error) {
+// errNotSupported marks a request for a capability the collection's
+// backend lacks; the handler maps it to 501.
+var errNotSupported = errors.New("backend does not support this request")
+
+// search routes an unpaginated query to the right backend call: the
+// filtered path when f is set, otherwise the default-budget (budget ==
+// 0) or explicit-budget call, appending into the pooled dst row; a
+// negative budget is the client's error, not a request for the default.
+// A non-nil tr selects the backend's traced path when it has one (only
+// the unfiltered path is traced end to end; filtered searches still
+// observe the filter stage internally).
+func (s *Server) search(c *coll, q []float32, k, budget int, f *lccs.Filter, dst []lccs.Neighbor, tr *obs.Trace) ([]lccs.Neighbor, error) {
 	if budget < 0 {
 		return dst, lccs.ErrInvalidBudget
 	}
-	if tr != nil && s.traced != nil {
-		return s.traced.SearchBudgetIntoTraced(q, k, budget, dst, tr)
+	if f != nil {
+		if c.filt == nil {
+			return dst, fmt.Errorf("%w: filtered search", errNotSupported)
+		}
+		if budget > 0 {
+			return c.filt.SearchFilterBudgetInto(q, k, budget, f, dst)
+		}
+		return c.filt.SearchFilter(q, k, f)
+	}
+	if tr != nil && c.traced != nil {
+		return c.traced.SearchBudgetIntoTraced(q, k, budget, dst, tr)
 	}
 	if budget > 0 {
-		return s.backend.SearchBudgetInto(q, k, budget, dst)
+		return c.backend.SearchBudgetInto(q, k, budget, dst)
 	}
-	return s.backend.SearchInto(q, k, dst)
+	return c.backend.SearchInto(q, k, dst)
+}
+
+// searchCursor routes a paginated query to the backend's cursor path.
+func (s *Server) searchCursor(c *coll, q []float32, limit, budget int, f *lccs.Filter, cursor string) ([]lccs.Neighbor, string, error) {
+	if budget < 0 {
+		return nil, "", lccs.ErrInvalidBudget
+	}
+	if c.cur == nil {
+		return nil, "", fmt.Errorf("%w: cursor pagination", errNotSupported)
+	}
+	return c.cur.SearchCursor(q, limit, budget, f, cursor)
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
@@ -541,18 +844,22 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.requirePost(w, r, "search_batch") {
 		return
 	}
+	c := s.resolve(w, r, "search_batch")
+	if c == nil {
+		return
+	}
 	// A batch holds one admission slot from before its body is decoded:
 	// batch bodies are the large ones, so decode memory must count
 	// against the concurrency bound too. The backend's own batch engine
 	// parallelizes across cores. The result cache is bypassed: batch
 	// workloads are throughput-oriented and would churn the LRU.
-	if ok := s.admit(w, r, "search_batch"); !ok {
+	if ok := s.admit(w, r, "search_batch", c); !ok {
 		return
 	}
-	defer s.adm.release()
+	defer s.release(c)
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, "search_batch", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.fail(w, c.name, "search_batch", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 
@@ -560,14 +867,14 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	var err error
 	switch {
 	case req.Budget > 0:
-		rows, err = s.backend.SearchBatchBudget(req.Queries, req.K, req.Budget)
+		rows, err = c.backend.SearchBatchBudget(req.Queries, req.K, req.Budget)
 	case req.Budget < 0:
 		err = lccs.ErrInvalidBudget
 	default:
-		rows, err = s.backend.SearchBatch(req.Queries, req.K)
+		rows, err = c.backend.SearchBatch(req.Queries, req.K)
 	}
 	if err != nil {
-		s.fail(w, "search_batch", statusFor(err), err)
+		s.fail(w, c.name, "search_batch", statusFor(err), err)
 		return
 	}
 	out := make([][]neighborJSON, len(rows))
@@ -575,48 +882,98 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		out[i] = toJSON(row)
 	}
 	s.met.latency.observe(time.Since(start).Seconds())
-	s.respond(w, "search_batch", http.StatusOK, batchResponse{
+	s.respond(w, c.name, "search_batch", http.StatusOK, batchResponse{
 		Results:    out,
 		TookMicros: time.Since(start).Microseconds(),
 	})
+}
+
+// parseAttrs translates wire attribute rows into library attribute
+// rows; nil rows (JSON null) stay nil.
+func parseAttrs(rows []map[string]any) ([]lccs.Attrs, error) {
+	out := make([]lccs.Attrs, len(rows))
+	for i, row := range rows {
+		if len(row) == 0 {
+			continue
+		}
+		a := make(lccs.Attrs, len(row))
+		for key, v := range row {
+			switch val := v.(type) {
+			case string:
+				a[key] = lccs.StrAttr(val)
+			case float64:
+				if val != math.Trunc(val) || math.Abs(val) >= 1<<53 {
+					return nil, fmt.Errorf("attrs[%d].%s: %v is not an integer", i, key, val)
+				}
+				a[key] = lccs.IntAttr(int64(val))
+			default:
+				return nil, fmt.Errorf("attrs[%d].%s: values must be strings or integers", i, key)
+			}
+		}
+		out[i] = a
+	}
+	return out, nil
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !s.requirePost(w, r, "insert") {
 		return
 	}
-	if s.inserter == nil {
-		s.fail(w, "insert", http.StatusNotImplemented,
+	c := s.resolve(w, r, "insert")
+	if c == nil {
+		return
+	}
+	if c.inserter == nil {
+		s.fail(w, c.name, "insert", http.StatusNotImplemented,
 			errors.New("backend is read-only: inserts need a DynamicIndex (-dynamic)"))
 		return
 	}
 	// Inserts go through admission too: the append itself is cheap, but
 	// decoding a vector batch is not, and it must not bypass the
 	// concurrency bound.
-	if ok := s.admit(w, r, "insert"); !ok {
+	if ok := s.admit(w, r, "insert", c); !ok {
 		return
 	}
-	defer s.adm.release()
+	defer s.release(c)
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, "insert", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.fail(w, c.name, "insert", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if len(req.Vectors) == 0 {
-		s.fail(w, "insert", http.StatusBadRequest, errors.New("no vectors in request"))
+		s.fail(w, c.name, "insert", http.StatusBadRequest, errors.New("no vectors in request"))
 		return
+	}
+	var attrs []lccs.Attrs
+	if req.Attrs != nil {
+		if len(req.Attrs) != len(req.Vectors) {
+			s.fail(w, c.name, "insert", http.StatusBadRequest,
+				fmt.Errorf("%w: %d attr rows for %d vectors", lccs.ErrAttrsMismatch, len(req.Attrs), len(req.Vectors)))
+			return
+		}
+		if c.attrIns == nil && c.attrBatch == nil {
+			s.fail(w, c.name, "insert", http.StatusNotImplemented,
+				errors.New("backend does not support vector attributes"))
+			return
+		}
+		var err error
+		attrs, err = parseAttrs(req.Attrs)
+		if err != nil {
+			s.fail(w, c.name, "insert", http.StatusBadRequest, err)
+			return
+		}
 	}
 	// Validate the whole batch up front so rejections are atomic:
 	// either every vector goes in or none does. The batch must be
 	// internally consistent and, when the backend already knows its
 	// dimensionality, match it.
 	dim := 0
-	if d, ok := s.backend.(interface{ Dim() int }); ok {
+	if d, ok := c.backend.(interface{ Dim() int }); ok {
 		dim = d.Dim()
 	}
 	for i, v := range req.Vectors {
 		if len(v) == 0 {
-			s.fail(w, "insert", http.StatusBadRequest,
+			s.fail(w, c.name, "insert", http.StatusBadRequest,
 				fmt.Errorf("vector %d: %w", i, lccs.ErrEmptyVector))
 			return
 		}
@@ -624,12 +981,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			dim = len(v)
 		}
 		if len(v) != dim {
-			s.fail(w, "insert", http.StatusBadRequest,
+			s.fail(w, c.name, "insert", http.StatusBadRequest,
 				fmt.Errorf("vector %d: %w: has %d dimensions, want %d", i, lccs.ErrDimensionMismatch, len(v), dim))
 			return
 		}
 	}
-	ids, warning, failCode, failErr := s.applyInserts(req.Vectors)
+	ids, warning, failCode, failErr := s.applyInserts(c, req.Vectors, attrs)
 	if failErr != nil {
 		// Earlier vectors of the batch may already be in — bump the
 		// generation so their results become visible, and return their
@@ -637,10 +994,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		// durability failure the applied ids are in memory but possibly
 		// not on disk; the 5xx tells the client not to trust them.)
 		if len(ids) > 0 {
-			s.gen.Add(1)
-			s.inserts.Add(uint64(len(ids)))
+			c.gen.Add(1)
+			c.inserts.Add(uint64(len(ids)))
 		}
-		s.met.countRequest("insert", failCode)
+		s.met.countRequest(c.name, "insert", failCode)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(failCode)
 		_ = json.NewEncoder(w).Encode(struct {
@@ -649,39 +1006,40 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}{errorResponse{Error: failErr.Error()}, ids})
 		return
 	}
-	s.gen.Add(1) // invalidate every cached result at once
-	s.inserts.Add(uint64(len(ids)))
-	s.respond(w, "insert", http.StatusOK, insertResponse{IDs: ids, Warning: warning})
+	c.gen.Add(1) // invalidate every cached result of this collection
+	c.inserts.Add(uint64(len(ids)))
+	s.respond(w, c.name, "insert", http.StatusOK, insertResponse{IDs: ids, Warning: warning})
 }
 
-// applyInserts pushes a pre-validated vector batch into the backend.
-// On a durable backend (BatchInserter) the whole batch is one journal
-// append — and, crucially, the call returns only once the batch is
-// durable per the configured sync policy, so a 200 never acknowledges
-// a write a crash could lose. A durability failure is a 503 (the write
-// may be applied in memory but not on disk); a rejected vector is a
-// 400. A deferred background-build failure is reported as a warning
-// alongside success, matching DynamicIndex.Add's documented semantics.
-func (s *Server) applyInserts(vectors [][]float32) (ids []int, warning string, failCode int, failErr error) {
-	if s.batch != nil {
-		ids, err := s.batch.AddBatch(vectors)
-		switch {
-		case err == nil:
-			return ids, "", 0, nil
-		case errors.Is(err, lccs.ErrNotDurable):
-			return ids, "", http.StatusServiceUnavailable, err
-		case isRejectedInsert(err):
-			return ids, "", http.StatusBadRequest, err
-		}
-		return ids, err.Error(), 0, nil
+// applyInserts pushes a pre-validated vector batch (with optional
+// aligned attrs) into the backend. On a durable backend (BatchInserter)
+// the whole batch is one journal append — and, crucially, the call
+// returns only once the batch is durable per the configured sync
+// policy, so a 200 never acknowledges a write a crash could lose. A
+// durability failure is a 503 (the write may be applied in memory but
+// not on disk); a rejected vector is a 400. A deferred background-build
+// failure is reported as a warning alongside success, matching
+// DynamicIndex.Add's documented semantics.
+func (s *Server) applyInserts(c *coll, vectors [][]float32, attrs []lccs.Attrs) (ids []int, warning string, failCode int, failErr error) {
+	if attrs == nil && c.batch != nil {
+		return s.finishBatch(c.batch.AddBatch(vectors))
+	}
+	if attrs != nil && c.attrBatch != nil {
+		return s.finishBatch(c.attrBatch.AddBatchWithAttrs(vectors, attrs))
 	}
 	ids = make([]int, 0, len(vectors))
 	for i, v := range vectors {
-		id, err := s.inserter.Add(v)
+		var id int
+		var err error
+		if attrs != nil {
+			id, err = c.attrIns.AddWithAttrs(v, attrs[i])
+		} else {
+			id, err = c.inserter.Add(v)
+		}
 		switch {
 		case err != nil && errors.Is(err, lccs.ErrNotDurable):
 			return ids, "", http.StatusServiceUnavailable, fmt.Errorf("vector %d: %w", i, err)
-		case err != nil && (!s.dynInserter || isRejectedInsert(err)):
+		case err != nil && (!c.dynInserter || isRejectedInsert(err)):
 			// Should be unreachable after pre-validation, but a custom
 			// Inserter may reject for its own reasons.
 			return ids, "", http.StatusBadRequest, fmt.Errorf("vector %d rejected: %w", i, err)
@@ -696,25 +1054,43 @@ func (s *Server) applyInserts(vectors [][]float32) (ids []int, warning string, f
 	return ids, warning, 0, nil
 }
 
+// finishBatch classifies a bulk-insert result into the applyInserts
+// return shape.
+func (s *Server) finishBatch(ids []int, err error) ([]int, string, int, error) {
+	switch {
+	case err == nil:
+		return ids, "", 0, nil
+	case errors.Is(err, lccs.ErrNotDurable):
+		return ids, "", http.StatusServiceUnavailable, err
+	case errors.Is(err, lccs.ErrAttrsMismatch), isRejectedInsert(err):
+		return ids, "", http.StatusBadRequest, err
+	}
+	return ids, err.Error(), 0, nil
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.requirePost(w, r, "delete") {
 		return
 	}
-	if s.deleter == nil {
-		s.fail(w, "delete", http.StatusNotImplemented,
+	c := s.resolve(w, r, "delete")
+	if c == nil {
+		return
+	}
+	if c.deleter == nil {
+		s.fail(w, c.name, "delete", http.StatusNotImplemented,
 			errors.New("backend cannot delete: deletes need a DynamicIndex (-dynamic)"))
 		return
 	}
 	// Deletes share the admission bound: each one takes the backend's
 	// write lock, so a flood of them must not bypass the concurrency
 	// controls that protect searches.
-	if ok := s.admit(w, r, "delete"); !ok {
+	if ok := s.admit(w, r, "delete", c); !ok {
 		return
 	}
-	defer s.adm.release()
+	defer s.release(c)
 	var req deleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, "delete", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.fail(w, c.name, "delete", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	ids := req.IDs
@@ -722,7 +1098,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		ids = append([]int{*req.ID}, ids...)
 	}
 	if len(ids) == 0 {
-		s.fail(w, "delete", http.StatusBadRequest, errors.New("no ids in request"))
+		s.fail(w, c.name, "delete", http.StatusBadRequest, errors.New("no ids in request"))
 		return
 	}
 	// On a durable backend the error-aware paths are used: the delete
@@ -732,25 +1108,25 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	// instead of a silently non-durable 200.
 	var resp deleteResponse
 	switch {
-	case s.batchDel != nil:
-		deleted, missing, err := s.batchDel.DeleteBatch(ids)
+	case c.batchDel != nil:
+		deleted, missing, err := c.batchDel.DeleteBatch(ids)
 		resp.Deleted, resp.Missing = deleted, missing
 		if err != nil {
 			if deleted > 0 {
-				s.gen.Add(1)
-				s.deletes.Add(uint64(deleted))
+				c.gen.Add(1)
+				c.deletes.Add(uint64(deleted))
 			}
-			s.fail(w, "delete", http.StatusServiceUnavailable, err)
+			s.fail(w, c.name, "delete", http.StatusServiceUnavailable, err)
 			return
 		}
 	default:
 		for _, id := range ids {
 			var live bool
 			var err error
-			if s.durDeleter != nil {
-				live, err = s.durDeleter.DeleteDurable(id)
+			if c.durDeleter != nil {
+				live, err = c.durDeleter.DeleteDurable(id)
 			} else {
-				live = s.deleter.Delete(id)
+				live = c.deleter.Delete(id)
 			}
 			if live {
 				resp.Deleted++
@@ -759,10 +1135,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			}
 			if err != nil {
 				if resp.Deleted > 0 {
-					s.gen.Add(1)
-					s.deletes.Add(uint64(resp.Deleted))
+					c.gen.Add(1)
+					c.deletes.Add(uint64(resp.Deleted))
 				}
-				s.fail(w, "delete", http.StatusServiceUnavailable,
+				s.fail(w, c.name, "delete", http.StatusServiceUnavailable,
 					fmt.Errorf("id %d: %w (deleted %d of %d before the failure)", id, err, resp.Deleted, len(ids)))
 				return
 			}
@@ -771,10 +1147,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if resp.Deleted > 0 {
 		// A delete changes every query's answer set: bump the write
 		// generation so stale cached results can never be served.
-		s.gen.Add(1)
-		s.deletes.Add(uint64(resp.Deleted))
+		c.gen.Add(1)
+		c.deletes.Add(uint64(resp.Deleted))
 	}
-	s.respond(w, "delete", http.StatusOK, resp)
+	s.respond(w, c.name, "delete", http.StatusOK, resp)
 }
 
 // isRejectedInsert reports whether an Inserter.Add error means the
@@ -785,7 +1161,79 @@ func isRejectedInsert(err error) bool {
 	return errors.Is(err, lccs.ErrEmptyVector) || errors.Is(err, lccs.ErrDimensionMismatch)
 }
 
-// Stats is the /v1/stats payload.
+// ---- collection registry endpoints ----
+
+func (s *Server) handleCollCreate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req createCollectionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "", "collections_create", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ec, err := s.eng.Create(req.Name, req.Spec)
+	if err != nil {
+		s.fail(w, "", "collections_create", engineStatus(err), err)
+		return
+	}
+	s.cmu.Lock()
+	s.colls[req.Name] = newColl(req.Name, ec.Backend())
+	s.cmu.Unlock()
+	s.logger.Info("collection created", "collection", req.Name)
+	s.respond(w, "", "collections_create", http.StatusCreated, collectionInfo{
+		Name: req.Name, Vectors: ec.Backend().Len(), Loaded: true,
+	})
+}
+
+func (s *Server) handleCollList(w http.ResponseWriter, r *http.Request) {
+	names := s.eng.List()
+	out := listCollectionsResponse{Collections: make([]collectionInfo, 0, len(names))}
+	s.cmu.RLock()
+	for _, name := range names {
+		info := collectionInfo{Name: name}
+		if c, ok := s.colls[name]; ok {
+			info.Loaded = true
+			info.Vectors = c.backend.Len()
+		}
+		out.Collections = append(out.Collections, info)
+	}
+	s.cmu.RUnlock()
+	s.respond(w, "", "collections_list", http.StatusOK, out)
+}
+
+func (s *Server) handleCollDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.eng.Drop(name); err != nil {
+		s.fail(w, "", "collections_drop", engineStatus(err), err)
+		return
+	}
+	s.cmu.Lock()
+	delete(s.colls, name)
+	s.cmu.Unlock()
+	if s.cache != nil {
+		// A future collection under the same name restarts its write
+		// generation at zero; flushing now makes key collisions with the
+		// dead tenant impossible.
+		s.cache.clear()
+	}
+	s.logger.Info("collection dropped", "collection", name)
+	s.respond(w, "", "collections_drop", http.StatusOK, map[string]string{"dropped": name})
+}
+
+func (s *Server) handleCollStats(w http.ResponseWriter, r *http.Request) {
+	c := s.resolve(w, r, "stats")
+	if c == nil {
+		return
+	}
+	s.respond(w, c.name, "stats", http.StatusOK, s.collStats(c))
+}
+
+// ---- stats ----
+
+// Stats is the /v1/stats payload. The top-level request/insert/delete
+// counters aggregate across collections; Backend and WAL describe the
+// default collection when one exists (the legacy single-index shape
+// monitoring already scrapes). Collections breaks everything out per
+// collection.
 type Stats struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	Requests      map[string]uint64 `json:"requests"` // "endpoint:code" → count
@@ -802,6 +1250,21 @@ type Stats struct {
 	// (records a crash would replay), segment footprint, and fsync
 	// latency. Absent otherwise.
 	WAL *lccs.WALStats `json:"wal,omitempty"`
+	// Collections breaks the same figures out per collection.
+	Collections map[string]CollectionStats `json:"collections,omitempty"`
+}
+
+// CollectionStats is one collection's slice of the operational stats.
+type CollectionStats struct {
+	Requests map[string]uint64 `json:"requests"` // "endpoint:code" → count
+	Inserts  uint64            `json:"inserts"`
+	Deletes  uint64            `json:"deletes"`
+	// InFlight counts this collection's currently admitted requests;
+	// QuotaRejected counts rejections by the per-collection share.
+	InFlight      int64          `json:"in_flight"`
+	QuotaRejected uint64         `json:"quota_rejected"`
+	Backend       BackendStats   `json:"backend"`
+	WAL           *lccs.WALStats `json:"wal,omitempty"`
 }
 
 // CacheStats summarizes the result cache.
@@ -822,7 +1285,7 @@ type LatencyStats struct {
 	P99Ms  float64 `json:"p99_ms"`
 }
 
-// BackendStats describes the index behind the server.
+// BackendStats describes the index behind one collection.
 type BackendStats struct {
 	Kind     string `json:"kind"`
 	Vectors  int    `json:"vectors"`
@@ -833,12 +1296,58 @@ type BackendStats struct {
 	Writable   bool `json:"writable"`
 }
 
+// loadedColls returns the resolved collections sorted by name.
+func (s *Server) loadedColls() []*coll {
+	s.cmu.RLock()
+	defer s.cmu.RUnlock()
+	out := make([]*coll, 0, len(s.colls))
+	for _, c := range s.colls {
+		out = append(out, c)
+	}
+	sortColls(out)
+	return out
+}
+
+func sortColls(cs []*coll) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].name < cs[j-1].name; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// collStats assembles one collection's stats.
+func (s *Server) collStats(c *coll) CollectionStats {
+	keys, counts := s.met.requestsSnapshot()
+	reqs := make(map[string]uint64)
+	for _, k := range keys {
+		if k.collection == c.name {
+			reqs[fmt.Sprintf("%s:%d", k.endpoint, k.code)] = counts[k]
+		}
+	}
+	st := CollectionStats{
+		Requests:      reqs,
+		Inserts:       c.inserts.Load(),
+		Deletes:       c.deletes.Load(),
+		InFlight:      c.occupancy.Load(),
+		QuotaRejected: c.quotaRejected.Load(),
+		Backend:       backendStats(c),
+	}
+	if c.walStats != nil {
+		ws := c.walStats.WALStats()
+		st.WAL = &ws
+	}
+	return st
+}
+
 // StatsSnapshot assembles the current Stats (also used by /v1/stats).
 func (s *Server) StatsSnapshot() Stats {
 	keys, counts := s.met.requestsSnapshot()
 	reqs := make(map[string]uint64, len(keys))
 	for _, k := range keys {
-		reqs[fmt.Sprintf("%s:%d", k.endpoint, k.code)] = counts[k]
+		// Aggregate across collections under the legacy "endpoint:code"
+		// keys.
+		reqs[fmt.Sprintf("%s:%d", k.endpoint, k.code)] += counts[k]
 	}
 	st := Stats{
 		UptimeSeconds: time.Since(s.met.start).Seconds(),
@@ -847,9 +1356,18 @@ func (s *Server) StatsSnapshot() Stats {
 		QueueDepth:    s.adm.queueDepth(),
 		Rejected:      s.adm.rejected.Load(),
 		WaitTimeouts:  s.adm.timeouts.Load(),
-		Inserts:       s.inserts.Load(),
-		Deletes:       s.deletes.Load(),
-		Backend:       s.backendStats(),
+	}
+	colls := s.loadedColls()
+	st.Collections = make(map[string]CollectionStats, len(colls))
+	for _, c := range colls {
+		cst := s.collStats(c)
+		st.Collections[c.name] = cst
+		st.Inserts += cst.Inserts
+		st.Deletes += cst.Deletes
+		if c.name == DefaultCollection {
+			st.Backend = cst.Backend
+			st.WAL = cst.WAL
+		}
 	}
 	_, sum, total := s.met.latency.snapshot()
 	st.Latency = LatencyStats{
@@ -867,17 +1385,13 @@ func (s *Server) StatsSnapshot() Stats {
 			st.Cache.HitRate = float64(hits) / float64(hits+misses)
 		}
 	}
-	if s.walStats != nil {
-		ws := s.walStats.WALStats()
-		st.WAL = &ws
-	}
 	return st
 }
 
-// backendStats inspects the concrete facade behind the Searcher.
-func (s *Server) backendStats() BackendStats {
-	b := BackendStats{Vectors: s.backend.Len(), Writable: s.inserter != nil}
-	switch ix := s.backend.(type) {
+// backendStats inspects the concrete facade behind one collection.
+func backendStats(c *coll) BackendStats {
+	b := BackendStats{Vectors: c.backend.Len(), Writable: c.inserter != nil}
+	switch ix := c.backend.(type) {
 	case *lccs.Index:
 		b.Kind = "index"
 	case *lccs.ShardedIndex:
@@ -900,13 +1414,13 @@ func (s *Server) backendStats() BackendStats {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, "stats", http.StatusOK, s.StatsSnapshot())
+	s.respond(w, "", "stats", http.StatusOK, s.StatsSnapshot())
 }
 
 func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		s.fail(w, "debug_slow", http.StatusMethodNotAllowed, errors.New("use GET"))
+		s.fail(w, "", "debug_slow", http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
 	slow, sample := s.slow.Snapshot()
@@ -916,7 +1430,7 @@ func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
 	if sample == nil {
 		sample = []obs.SlowEntry{}
 	}
-	s.respond(w, "debug_slow", http.StatusOK, slowLogResponse{
+	s.respond(w, "", "debug_slow", http.StatusOK, slowLogResponse{
 		ThresholdUS: float64(s.slow.Threshold()) / float64(time.Microsecond),
 		Slow:        slow,
 		Sample:      sample,
@@ -925,55 +1439,126 @@ func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.respond(w, "healthz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		s.respond(w, "", "healthz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	s.respond(w, "healthz", http.StatusOK, map[string]string{"status": "ok"})
+	s.respond(w, "", "healthz", http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	colls := s.loadedColls()
+	var totInserts, totDeletes, totTombstones, totVectors float64
+	type collFig struct {
+		name                       string
+		bs                         BackendStats
+		inserts, deletes, quotaRej float64
+		occupancy                  float64
+		hasDeleter                 bool
+	}
+	figs := make([]collFig, 0, len(colls))
+	for _, c := range colls {
+		bs := backendStats(c)
+		figs = append(figs, collFig{
+			name: c.name, bs: bs,
+			inserts:    float64(c.inserts.Load()),
+			deletes:    float64(c.deletes.Load()),
+			quotaRej:   float64(c.quotaRejected.Load()),
+			occupancy:  float64(c.occupancy.Load()),
+			hasDeleter: c.deleter != nil,
+		})
+		totInserts += float64(c.inserts.Load())
+		totDeletes += float64(c.deletes.Load())
+		totTombstones += float64(bs.Tombstones)
+		totVectors += float64(bs.Vectors)
+	}
 	counters := []gauge{
-		{"lccs_admission_rejected_total", "Requests rejected because the admission queue was full.", float64(s.adm.rejected.Load())},
-		{"lccs_admission_wait_timeouts_total", "Requests whose deadline expired while waiting for a slot.", float64(s.adm.timeouts.Load())},
-		{"lccs_inserts_total", "Vectors inserted through /v1/insert.", float64(s.inserts.Load())},
-		{"lccs_deletes_total", "Vectors tombstoned through /v1/delete.", float64(s.deletes.Load())},
+		{name: "lccs_admission_rejected_total", help: "Requests rejected because the admission queue was full.", value: float64(s.adm.rejected.Load())},
+		{name: "lccs_admission_wait_timeouts_total", help: "Requests whose deadline expired while waiting for a slot.", value: float64(s.adm.timeouts.Load())},
+		{name: "lccs_inserts_total", help: "Vectors inserted across all collections.", value: totInserts},
+		{name: "lccs_deletes_total", help: "Vectors tombstoned across all collections.", value: totDeletes},
 	}
-	bs := s.backendStats()
 	gauges := []gauge{
-		{"lccs_inflight_requests", "Requests currently holding an admission slot.", float64(s.adm.inFlight())},
-		{"lccs_admission_queue_depth", "Requests waiting for an admission slot.", float64(s.adm.queueDepth())},
-		{"lccs_index_vectors", "Vectors searchable in the backend index.", float64(bs.Vectors)},
+		{name: "lccs_inflight_requests", help: "Requests currently holding an admission slot.", value: float64(s.adm.inFlight())},
+		{name: "lccs_admission_queue_depth", help: "Requests waiting for an admission slot.", value: float64(s.adm.queueDepth())},
+		{name: "lccs_index_vectors", help: "Vectors searchable across all collections.", value: totVectors},
 	}
-	if s.deleter != nil {
+	anyDeleter := false
+	for _, f := range figs {
+		if f.hasDeleter {
+			anyDeleter = true
+		}
+	}
+	if anyDeleter {
 		gauges = append(gauges,
-			gauge{"lccs_index_tombstones", "Deleted vectors awaiting compaction.", float64(bs.Tombstones)})
+			gauge{name: "lccs_index_tombstones", help: "Deleted vectors awaiting compaction.", value: totTombstones})
+	}
+	// Per-collection series (same-family samples adjacent: writeProm
+	// emits HELP/TYPE once per family).
+	for _, f := range figs {
+		counters = append(counters, gauge{name: "lccs_collection_inserts_total",
+			help: "Vectors inserted, by collection.", value: f.inserts, labels: collLabel(f.name)})
+	}
+	for _, f := range figs {
+		counters = append(counters, gauge{name: "lccs_collection_deletes_total",
+			help: "Vectors tombstoned, by collection.", value: f.deletes, labels: collLabel(f.name)})
+	}
+	for _, f := range figs {
+		counters = append(counters, gauge{name: "lccs_collection_quota_rejected_total",
+			help: "Requests rejected by the per-collection concurrency share.", value: f.quotaRej, labels: collLabel(f.name)})
+	}
+	for _, f := range figs {
+		gauges = append(gauges, gauge{name: "lccs_collection_vectors",
+			help: "Vectors searchable, by collection.", value: float64(f.bs.Vectors), labels: collLabel(f.name)})
+	}
+	for _, f := range figs {
+		gauges = append(gauges, gauge{name: "lccs_collection_tombstones",
+			help: "Deleted vectors awaiting compaction, by collection.", value: float64(f.bs.Tombstones), labels: collLabel(f.name)})
+	}
+	for _, f := range figs {
+		gauges = append(gauges, gauge{name: "lccs_collection_inflight",
+			help: "Admitted in-flight requests, by collection.", value: f.occupancy, labels: collLabel(f.name)})
 	}
 	if s.cache != nil {
 		hits, misses, evictions := s.cache.stats()
 		counters = append(counters,
-			gauge{"lccs_cache_hits_total", "Result cache hits.", float64(hits)},
-			gauge{"lccs_cache_misses_total", "Result cache misses.", float64(misses)},
-			gauge{"lccs_cache_evictions_total", "Result cache LRU evictions.", float64(evictions)},
+			gauge{name: "lccs_cache_hits_total", help: "Result cache hits.", value: float64(hits)},
+			gauge{name: "lccs_cache_misses_total", help: "Result cache misses.", value: float64(misses)},
+			gauge{name: "lccs_cache_evictions_total", help: "Result cache LRU evictions.", value: float64(evictions)},
 		)
 		gauges = append(gauges,
-			gauge{"lccs_cache_entries", "Live result cache entries.", float64(s.cache.len())})
+			gauge{name: "lccs_cache_entries", help: "Live result cache entries.", value: float64(s.cache.len())})
 	}
-	if s.walStats != nil {
-		ws := s.walStats.WALStats()
-		counters = append(counters,
-			gauge{"lccs_wal_fsyncs_total", "Write-ahead log fsync calls.", float64(ws.Fsyncs)})
-		gauges = append(gauges,
-			gauge{"lccs_wal_depth_records", "Records held only by the write-ahead log (replayed on crash recovery).", float64(ws.Depth)},
-			gauge{"lccs_wal_segments", "Live write-ahead log segment files.", float64(ws.Segments)},
-			gauge{"lccs_wal_bytes", "Total size of live write-ahead log segments.", float64(ws.Bytes)},
-			gauge{"lccs_wal_last_fsync_seconds", "Latency of the most recent WAL fsync.", ws.LastFsyncMicros / 1e6},
-			gauge{"lccs_wal_synced_lsn", "Highest log sequence number known fsynced.", float64(ws.SyncedLSN)},
-		)
+	// WAL health, by collection (the legacy unlabeled series kept for
+	// the default collection).
+	for _, c := range colls {
+		if c.walStats == nil {
+			continue
+		}
+		ws := c.walStats.WALStats()
+		if c.name == DefaultCollection {
+			counters = append(counters,
+				gauge{name: "lccs_wal_fsyncs_total", help: "Write-ahead log fsync calls.", value: float64(ws.Fsyncs)})
+			gauges = append(gauges,
+				gauge{name: "lccs_wal_depth_records", help: "Records held only by the write-ahead log (replayed on crash recovery).", value: float64(ws.Depth)},
+				gauge{name: "lccs_wal_segments", help: "Live write-ahead log segment files.", value: float64(ws.Segments)},
+				gauge{name: "lccs_wal_bytes", help: "Total size of live write-ahead log segments.", value: float64(ws.Bytes)},
+				gauge{name: "lccs_wal_last_fsync_seconds", help: "Latency of the most recent WAL fsync.", value: ws.LastFsyncMicros / 1e6},
+				gauge{name: "lccs_wal_synced_lsn", help: "Highest log sequence number known fsynced.", value: float64(ws.SyncedLSN)},
+			)
+		}
+	}
+	for _, c := range colls {
+		if c.walStats == nil {
+			continue
+		}
+		ws := c.walStats.WALStats()
+		gauges = append(gauges, gauge{name: "lccs_collection_wal_depth_records",
+			help: "WAL records a crash would replay, by collection.", value: float64(ws.Depth), labels: collLabel(c.name)})
 	}
 	gets, misses := obs.PoolStats()
 	counters = append(counters,
-		gauge{"lccs_trace_pool_gets_total", "Traces drawn from the span pool.", float64(gets)},
-		gauge{"lccs_trace_pool_misses_total", "Trace pool gets that allocated a fresh trace.", float64(misses)},
+		gauge{name: "lccs_trace_pool_gets_total", help: "Traces drawn from the span pool.", value: float64(gets)},
+		gauge{name: "lccs_trace_pool_misses_total", help: "Trace pool gets that allocated a fresh trace.", value: float64(misses)},
 	)
 	hitRate := 0.0
 	if gets > 0 {
@@ -982,14 +1567,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	gauges = append(gauges,
-		gauge{"lccs_trace_pool_hit_rate", "Fraction of trace pool gets served without allocating.", hitRate},
-		gauge{"lccs_goroutines", "Live goroutines.", float64(runtime.NumGoroutine())},
-		gauge{"lccs_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc)},
-		gauge{"lccs_gc_runs_total", "Completed garbage-collection cycles.", float64(ms.NumGC)},
-		gauge{"lccs_gc_pause_last_seconds", "Duration of the most recent GC stop-the-world pause.", float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9},
+		gauge{name: "lccs_trace_pool_hit_rate", help: "Fraction of trace pool gets served without allocating.", value: hitRate},
+		gauge{name: "lccs_goroutines", help: "Live goroutines.", value: float64(runtime.NumGoroutine())},
+		gauge{name: "lccs_heap_alloc_bytes", help: "Bytes of allocated heap objects.", value: float64(ms.HeapAlloc)},
+		gauge{name: "lccs_gc_runs_total", help: "Completed garbage-collection cycles.", value: float64(ms.NumGC)},
+		gauge{name: "lccs_gc_pause_last_seconds", help: "Duration of the most recent GC stop-the-world pause.", value: float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9},
 	)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.countRequest("metrics", http.StatusOK)
+	s.met.countRequest("", "metrics", http.StatusOK)
 	s.met.writeProm(w, counters, gauges)
 	obs.WriteStageMetrics(w)
 	fmt.Fprintf(w, "# HELP lccs_build_info Build metadata; the value is always 1.\n")
@@ -997,24 +1582,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "lccs_build_info{version=%q,go=%q} 1\n", s.version, runtime.Version())
 }
 
+// collLabel renders the collection label set of one series.
+func collLabel(name string) string { return fmt.Sprintf("{collection=%q}", name) }
+
 // ---- plumbing ----
 
-// admit runs the admission controller for one request, answering 503
-// (with a load-derived Retry-After) on queue overflow or admission
-// deadline. It reports whether the caller now holds a slot.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+// admit runs the admission controller for one request: first the
+// collection's concurrency share, then the global semaphore. It answers
+// 503 (with a load-derived Retry-After) on share exhaustion, queue
+// overflow, or admission deadline, and reports whether the caller now
+// holds a slot (to be returned via release).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string, c *coll) bool {
+	if c != nil {
+		if occ := c.occupancy.Add(1); s.collShare > 0 && occ > s.collShare {
+			c.occupancy.Add(-1)
+			c.quotaRejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			s.fail(w, c.name, endpoint, http.StatusServiceUnavailable,
+				fmt.Errorf("collection %q is over its concurrency share (%d in flight)", c.name, s.collShare))
+			return false
+		}
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	if err := s.adm.acquire(ctx); err != nil {
+		if c != nil {
+			c.occupancy.Add(-1)
+		}
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		msg := err
 		if errors.Is(err, context.DeadlineExceeded) {
 			msg = fmt.Errorf("server: admission wait exceeded %v", s.timeout)
 		}
-		s.fail(w, endpoint, http.StatusServiceUnavailable, msg)
+		name := ""
+		if c != nil {
+			name = c.name
+		}
+		s.fail(w, name, endpoint, http.StatusServiceUnavailable, msg)
 		return false
 	}
 	return true
+}
+
+// release returns the slot taken by a successful admit.
+func (s *Server) release(c *coll) {
+	s.adm.release()
+	if c != nil {
+		c.occupancy.Add(-1)
+	}
 }
 
 // retryAfterSeconds estimates how long a shed client should back off:
@@ -1055,7 +1670,7 @@ func retryAfterSeconds(queued int64, slots int, p50, timeoutSec float64) int {
 func (s *Server) requirePost(w http.ResponseWriter, r *http.Request, endpoint string) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		s.fail(w, endpoint, http.StatusMethodNotAllowed, errors.New("use POST"))
+		s.fail(w, "", endpoint, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return false
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
@@ -1063,27 +1678,33 @@ func (s *Server) requirePost(w http.ResponseWriter, r *http.Request, endpoint st
 }
 
 // statusFor maps backend errors to HTTP statuses: the facade's typed
-// validation errors are the client's fault (400), anything else is 500.
+// validation errors are the client's fault (400), a stale cursor is
+// 410 Gone (the token was valid once; the client restarts the scan),
+// anything else is 500.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, lccs.ErrCursorStale):
+		return http.StatusGone
 	case errors.Is(err, lccs.ErrInvalidK),
 		errors.Is(err, lccs.ErrInvalidBudget),
 		errors.Is(err, lccs.ErrEmptyQuery),
-		errors.Is(err, lccs.ErrDimensionMismatch):
+		errors.Is(err, lccs.ErrDimensionMismatch),
+		errors.Is(err, lccs.ErrInvalidFilter),
+		errors.Is(err, lccs.ErrCursorInvalid):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
 }
 
-func (s *Server) respond(w http.ResponseWriter, endpoint string, code int, body any) {
-	s.met.countRequest(endpoint, code)
+func (s *Server) respond(w http.ResponseWriter, collection, endpoint string, code int, body any) {
+	s.met.countRequest(collection, endpoint, code)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-func (s *Server) fail(w http.ResponseWriter, endpoint string, code int, err error) {
-	s.respond(w, endpoint, code, errorResponse{Error: err.Error()})
+func (s *Server) fail(w http.ResponseWriter, collection, endpoint string, code int, err error) {
+	s.respond(w, collection, endpoint, code, errorResponse{Error: err.Error()})
 }
 
 func toJSON(res []lccs.Neighbor) []neighborJSON {

@@ -663,8 +663,8 @@ func TestServeMetricsExposition(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	text := string(body)
 	for _, want := range []string{
-		`lccs_requests_total{endpoint="search",code="200"} 1`,
-		`lccs_requests_total{endpoint="search",code="400"} 1`,
+		`lccs_requests_total{collection="default",endpoint="search",code="200"} 1`,
+		`lccs_requests_total{collection="default",endpoint="search",code="400"} 1`,
 		"lccs_request_seconds_count 1",
 		"lccs_admission_rejected_total 0",
 		"lccs_index_vectors 100",

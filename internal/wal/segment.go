@@ -13,7 +13,8 @@ import (
 //
 //	header := magic "LCCSWAL1" (8) | base LSN (8, uint64 LE)
 //	frame  := payload length (4, uint32 LE) | CRC32C(payload) (4, uint32 LE) | payload
-//	payload:= LSN (8) | op (1) | id (8) [| dim (4) | dim × float32 bits]
+//	payload:= LSN (8) | op (1) | id (8) [| dim (4) | dim × float32 bits
+//	          [| attrs length (4) | attrs bytes]]
 //
 // The CRC covers the payload only; a corrupt length field makes the CRC
 // check fail with overwhelming probability anyway, and the length bounds
@@ -25,18 +26,23 @@ import (
 // Op is the kind of one logged record.
 type Op uint8
 
-// The two record kinds of the dynamic-index write path.
+// The record kinds of the dynamic-index write path.
 const (
 	// OpInsert journals one vector insert: the assigned stable id and
 	// the vector payload.
 	OpInsert Op = 1
 	// OpDelete journals one tombstone: the deleted stable id.
 	OpDelete Op = 2
+	// OpInsertAttrs journals one vector insert that carries metadata:
+	// the OpInsert payload followed by an opaque attribute blob (the
+	// log does not interpret it — the caller owns the encoding).
+	OpInsertAttrs Op = 3
 )
 
-// Record is one logged write. Vec is present only for OpInsert; during
-// replay it is a view into the reader's scratch buffer, valid only for
-// the duration of the callback.
+// Record is one logged write. Vec is present only for OpInsert and
+// OpInsertAttrs, Attrs only for OpInsertAttrs; during replay both are
+// views into the reader's scratch buffers, valid only for the duration
+// of the callback.
 type Record struct {
 	// LSN is the record's log sequence number, assigned by Append.
 	LSN uint64
@@ -44,8 +50,10 @@ type Record struct {
 	Op Op
 	// ID is the stable external vector id the operation applies to.
 	ID int64
-	// Vec is the inserted vector (OpInsert only).
+	// Vec is the inserted vector (OpInsert, OpInsertAttrs).
 	Vec []float32
+	// Attrs is the opaque encoded attribute row (OpInsertAttrs only).
+	Attrs []byte
 }
 
 var segMagic = [8]byte{'L', 'C', 'C', 'S', 'W', 'A', 'L', '1'}
@@ -65,8 +73,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // appendFrame encodes rec as one frame at the end of dst.
 func appendFrame(dst []byte, rec Record) []byte {
 	payload := minPayload
-	if rec.Op == OpInsert {
+	if rec.Op == OpInsert || rec.Op == OpInsertAttrs {
 		payload += 4 + 4*len(rec.Vec)
+	}
+	if rec.Op == OpInsertAttrs {
+		payload += 4 + len(rec.Attrs)
 	}
 	start := len(dst)
 	dst = append(dst, make([]byte, frameHeader+payload)...)
@@ -75,11 +86,16 @@ func appendFrame(dst []byte, rec Record) []byte {
 	binary.LittleEndian.PutUint64(body[0:], rec.LSN)
 	body[8] = byte(rec.Op)
 	binary.LittleEndian.PutUint64(body[9:], uint64(rec.ID))
-	if rec.Op == OpInsert {
+	if rec.Op == OpInsert || rec.Op == OpInsertAttrs {
 		binary.LittleEndian.PutUint32(body[17:], uint32(len(rec.Vec)))
 		for i, v := range rec.Vec {
 			binary.LittleEndian.PutUint32(body[21+4*i:], math.Float32bits(v))
 		}
+	}
+	if rec.Op == OpInsertAttrs {
+		off := 21 + 4*len(rec.Vec)
+		binary.LittleEndian.PutUint32(body[off:], uint32(len(rec.Attrs)))
+		copy(body[off+4:], rec.Attrs)
 	}
 	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(body, castagnoli))
 	return dst
@@ -133,6 +149,7 @@ func (fr *frameReader) next(rec *Record) (int, error) {
 	rec.Op = Op(body[8])
 	rec.ID = int64(binary.LittleEndian.Uint64(body[9:]))
 	rec.Vec = nil
+	rec.Attrs = nil
 	switch rec.Op {
 	case OpDelete:
 		if payload != minPayload {
@@ -146,17 +163,38 @@ func (fr *frameReader) next(rec *Record) (int, error) {
 		if uint32(payload) != minPayload+4+4*dim {
 			return 0, &errBadFrame{fmt.Sprintf("insert record length %d disagrees with dimension %d", payload, dim)}
 		}
-		if cap(fr.vec) < int(dim) {
-			fr.vec = make([]float32, dim)
+		fr.decodeVec(rec, body, dim)
+	case OpInsertAttrs:
+		if payload < minPayload+4 {
+			return 0, &errBadFrame{"insert record without dimension"}
 		}
-		rec.Vec = fr.vec[:dim]
-		for i := range rec.Vec {
-			rec.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[21+4*i:]))
+		dim := binary.LittleEndian.Uint32(body[17:])
+		vecEnd := uint64(minPayload) + 4 + 4*uint64(dim)
+		if uint64(payload) < vecEnd+4 {
+			return 0, &errBadFrame{fmt.Sprintf("insert record length %d disagrees with dimension %d", payload, dim)}
 		}
+		attrsLen := binary.LittleEndian.Uint32(body[vecEnd:])
+		if uint64(payload) != vecEnd+4+uint64(attrsLen) {
+			return 0, &errBadFrame{fmt.Sprintf("insert record length %d disagrees with attribute length %d", payload, attrsLen)}
+		}
+		fr.decodeVec(rec, body, dim)
+		rec.Attrs = body[vecEnd+4:]
 	default:
 		return 0, &errBadFrame{fmt.Sprintf("unknown op %d", rec.Op)}
 	}
 	return frameHeader + int(payload), nil
+}
+
+// decodeVec decodes the dim-prefixed vector payload into the reader's
+// scratch; the lengths were already validated by the caller.
+func (fr *frameReader) decodeVec(rec *Record, body []byte, dim uint32) {
+	if cap(fr.vec) < int(dim) {
+		fr.vec = make([]float32, dim)
+	}
+	rec.Vec = fr.vec[:dim]
+	for i := range rec.Vec {
+		rec.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[21+4*i:]))
+	}
 }
 
 // appendSegHeader encodes a segment header.

@@ -550,3 +550,63 @@ func TestSegmentNameRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestInsertAttrsRoundTrip pins the OpInsertAttrs frame: the opaque
+// attribute blob survives append → replay byte for byte, alongside
+// plain inserts and deletes, and empty blobs are legal.
+func TestInsertAttrsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Op: OpInsertAttrs, ID: 0, Vec: []float32{1, 2, 3}, Attrs: []byte("blob-zero")},
+		{Op: OpInsert, ID: 1, Vec: []float32{4, 5, 6}},
+		{Op: OpInsertAttrs, ID: 2, Vec: []float32{7, 8, 9}, Attrs: []byte{}},
+		{Op: OpDelete, ID: 1},
+		{Op: OpInsertAttrs, ID: 3, Vec: []float32{0}, Attrs: []byte{0xFF, 0x00, 0x7F}},
+	}
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	var got []Record
+	if _, err := l.Replay(0, func(rec Record) error {
+		rec.Vec = append([]float32(nil), rec.Vec...)
+		rec.Attrs = append([]byte(nil), rec.Attrs...)
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, rec := range got {
+		want := recs[i]
+		if rec.Op != want.Op || rec.ID != want.ID {
+			t.Fatalf("record %d: got op=%d id=%d, want op=%d id=%d", i, rec.Op, rec.ID, want.Op, want.ID)
+		}
+		if len(rec.Vec) != len(want.Vec) {
+			t.Fatalf("record %d: vec length %d, want %d", i, len(rec.Vec), len(want.Vec))
+		}
+		for j := range rec.Vec {
+			if rec.Vec[j] != want.Vec[j] {
+				t.Fatalf("record %d: vec[%d] = %v, want %v", i, j, rec.Vec[j], want.Vec[j])
+			}
+		}
+		if want.Op == OpInsertAttrs {
+			if string(rec.Attrs) != string(want.Attrs) {
+				t.Fatalf("record %d: attrs %q, want %q", i, rec.Attrs, want.Attrs)
+			}
+		} else if rec.Attrs != nil {
+			t.Fatalf("record %d: unexpected attrs %q", i, rec.Attrs)
+		}
+	}
+}

@@ -43,10 +43,27 @@ var pkgMagic3 = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '3'}
 // and all three legacy formats keep loading.
 var pkgMagic4 = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '4'}
 
-// Container-kind byte of a format-4 file.
+// pkgMagic5 is the metadata container (format 5), emitted only when the
+// index carries vector attributes. After the magic come a container-kind
+// byte and a flags byte selecting the optional sections; the body is the
+// usual single or sharded layout, followed by the lifecycle tail and the
+// quantization section when flagged, and always ending with the
+// attribute section (the per-slot canonical attrs rows). Indexes without
+// metadata keep writing byte-identical format-1..4 files, and all four
+// legacy formats keep loading.
+var pkgMagic5 = [8]byte{'L', 'C', 'C', 'S', 'P', 'K', 'G', '5'}
+
+// Container-kind byte of a format-4/5 file.
 const (
 	containerSingle  byte = 1
 	containerSharded byte = 2
+)
+
+// Flags byte of a format-5 file.
+const (
+	pkg5FlagLifecycle byte = 1 << 0
+	pkg5FlagQuantized byte = 1 << 1
+	pkg5FlagsKnown         = pkg5FlagLifecycle | pkg5FlagQuantized
 )
 
 // Save writes the index to path. The dataset itself is not stored: Load
@@ -70,6 +87,34 @@ func (ix *Index) Save(path string) error {
 }
 
 func (ix *Index) encode(w io.Writer) error {
+	if !ix.attrs.Empty() {
+		qs := ix.single.SQ8()
+		var flags byte
+		if qs != nil {
+			flags |= pkg5FlagQuantized
+		}
+		if _, err := w.Write(pkgMagic5[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{containerSingle, flags}); err != nil {
+			return err
+		}
+		if err := encodeConfig(w, ix.cfg); err != nil {
+			return err
+		}
+		if err := ix.single.Encode(w); err != nil {
+			return err
+		}
+		if qs != nil {
+			if err := encodeQuantHeader(w, ix.cfg); err != nil {
+				return err
+			}
+			if err := encodeSQ8(w, qs); err != nil {
+				return err
+			}
+		}
+		return encodeAttrsSection(w, ix.attrs)
+	}
 	if qs := ix.single.SQ8(); qs != nil {
 		if _, err := w.Write(pkgMagic4[:]); err != nil {
 			return err
@@ -284,6 +329,20 @@ func Load(path string, data [][]float32) (*Index, error) {
 		}
 		return decodeSingleQuantized(r, store)
 	}
+	if magic == pkgMagic5 {
+		kind, flags, err := readPkg5Header(r)
+		if err != nil {
+			return nil, err
+		}
+		if kind == containerSharded {
+			return nil, fmt.Errorf("lccs: %s holds a sharded index; use LoadSharded", path)
+		}
+		store, err := storeFromRows(data)
+		if err != nil {
+			return nil, err
+		}
+		return decodeSingleWithAttrs(r, store, flags)
+	}
 	return decodeSingle(r, data)
 }
 
@@ -293,7 +352,7 @@ func readMagic(r io.Reader) ([8]byte, error) {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return magic, err
 	}
-	if magic != pkgMagic && magic != pkgMagic2 && magic != pkgMagic3 && magic != pkgMagic4 {
+	if magic != pkgMagic && magic != pkgMagic2 && magic != pkgMagic3 && magic != pkgMagic4 && magic != pkgMagic5 {
 		return magic, fmt.Errorf("lccs: bad index magic %q", magic)
 	}
 	return magic, nil
@@ -374,6 +433,28 @@ func decodeSingleQuantized(r io.Reader, store *vec.Store) (*Index, error) {
 	return ix, nil
 }
 
+// decodeSingleWithAttrs decodes a format-5 single-Index body: the
+// format-1 body, the quantization section when flagged, and the
+// attribute tail.
+func decodeSingleWithAttrs(r io.Reader, store *vec.Store, flags byte) (*Index, error) {
+	var ix *Index
+	var err error
+	if flags&pkg5FlagQuantized != 0 {
+		ix, err = decodeSingleQuantized(r, store)
+	} else {
+		ix, err = decodeSingleStore(r, store)
+	}
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := decodeAttrsSection(r, ix.Len())
+	if err != nil {
+		return nil, err
+	}
+	ix.attrs = attrs
+	return ix, nil
+}
+
 // checkCoreMatches verifies the package header agrees with the decoded
 // core index on the fields both store, catching header corruption the
 // core-level checks cannot see.
@@ -432,6 +513,7 @@ func (sx *ShardedIndex) Save(path string) error {
 func (sx *ShardedIndex) encode(w io.Writer) error {
 	lifecycle := sx.ids != nil || len(sx.dead) > 0
 	quantized := len(sx.shards) > 0 && sx.shards[0].single.SQ8() != nil
+	hasAttrs := !sx.attrs.Empty()
 	magic := pkgMagic2
 	if lifecycle {
 		magic = pkgMagic3
@@ -439,10 +521,24 @@ func (sx *ShardedIndex) encode(w io.Writer) error {
 	if quantized {
 		magic = pkgMagic4
 	}
+	if hasAttrs {
+		magic = pkgMagic5
+	}
 	if _, err := w.Write(magic[:]); err != nil {
 		return err
 	}
-	if quantized {
+	if hasAttrs {
+		var flags byte
+		if lifecycle {
+			flags |= pkg5FlagLifecycle
+		}
+		if quantized {
+			flags |= pkg5FlagQuantized
+		}
+		if _, err := w.Write([]byte{containerSharded, flags}); err != nil {
+			return err
+		}
+	} else if quantized {
 		// Format 4 carries the container kind and an explicit lifecycle
 		// flag; formats 2/3 encode lifecycle presence in the magic.
 		flag := byte(0)
@@ -490,7 +586,86 @@ func (sx *ShardedIndex) encode(w io.Writer) error {
 			}
 		}
 	}
+	if hasAttrs {
+		return encodeAttrsSection(w, sx.attrs)
+	}
 	return nil
+}
+
+// encodeAttrsSection writes the format-5 tail: the stored row count, the
+// byte length of the concatenated canonical row encodings, and the rows
+// themselves. The per-row encoding is deterministic (sorted keys), so a
+// loaded format-5 file re-saves byte-identically.
+func encodeAttrsSection(w io.Writer, ms *vec.MetaStore) error {
+	n := ms.Len()
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = vec.AppendAttrs(buf, ms.Row(i))
+	}
+	if err := binary.Write(w, binary.LittleEndian, [2]int64{int64(n), int64(len(buf))}); err != nil {
+		return err
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// maxAttrsSectionBytes bounds the attribute section a loader will buffer
+// (corrupt headers must not drive allocations).
+const maxAttrsSectionBytes = 1 << 30
+
+// decodeAttrsSection reads the format-5 tail. The row count may be
+// smaller than the slot count (trailing slots carry no metadata) but
+// never larger.
+func decodeAttrsSection(r io.Reader, maxRows int) (*vec.MetaStore, error) {
+	var hdr [2]int64
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	n, size := hdr[0], hdr[1]
+	if n < 0 || n > int64(maxRows) {
+		return nil, fmt.Errorf("lccs: attribute section covers %d rows, index has %d", n, maxRows)
+	}
+	if size < 0 || size > maxAttrsSectionBytes {
+		return nil, fmt.Errorf("lccs: corrupt attribute section size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	rows := make([]vec.Attrs, n)
+	off := 0
+	for i := range rows {
+		a, used, err := vec.DecodeAttrs(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("lccs: attribute row %d: %w", i, err)
+		}
+		rows[i] = a
+		off += used
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("lccs: attribute section has %d trailing bytes", len(buf)-off)
+	}
+	return vec.MetaFromRows(rows), nil
+}
+
+// readPkg5Header reads and validates the format-5 kind and flags bytes.
+func readPkg5Header(r io.Reader) (kind, flags byte, err error) {
+	kind, err = readContainerKind(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	var fb [1]byte
+	if _, err := io.ReadFull(r, fb[:]); err != nil {
+		return 0, 0, err
+	}
+	flags = fb[0]
+	if flags&^pkg5FlagsKnown != 0 {
+		return 0, 0, fmt.Errorf("lccs: unknown format-5 flags %#x", flags)
+	}
+	if kind == containerSingle && flags&pkg5FlagLifecycle != 0 {
+		return 0, 0, fmt.Errorf("lccs: single-index container cannot carry lifecycle state")
+	}
+	return kind, flags, nil
 }
 
 // encodeLifecycle writes the format-3 tail: the id map (identity flag,
@@ -681,6 +856,29 @@ func LoadShardedStore(path string, store *vec.Store) (*ShardedIndex, error) {
 		}
 		return decodeSharded(r, store, flag[0] == 1, true)
 	}
+	if magic == pkgMagic5 {
+		kind, flags, err := readPkg5Header(r)
+		if err != nil {
+			return nil, err
+		}
+		if kind == containerSingle {
+			ix, err := decodeSingleWithAttrs(r, store, flags)
+			if err != nil {
+				return nil, err
+			}
+			return wrapAsSharded(ix), nil
+		}
+		sx, err := decodeSharded(r, store, flags&pkg5FlagLifecycle != 0, flags&pkg5FlagQuantized != 0)
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := decodeAttrsSection(r, sx.slots())
+		if err != nil {
+			return nil, err
+		}
+		sx.attrs = attrs
+		return sx, nil
+	}
 	return decodeSharded(r, store, magic == pkgMagic3, false)
 }
 
@@ -695,6 +893,7 @@ func wrapAsSharded(ix *Index) *ShardedIndex {
 		offsets: []int{0, ix.Len()},
 		budget:  ix.budget,
 		dim:     ix.dim,
+		attrs:   ix.attrs,
 	}
 	sx.initPool()
 	return sx

@@ -606,3 +606,175 @@ func TestLoadRejectsTruncatedFile(t *testing.T) {
 		}
 	}
 }
+
+// goldenAttrsRows returns the deterministic metadata behind the
+// format-5 golden file: color cycles three values, price is the row
+// index, every 7th row carries nothing.
+func goldenAttrsRows(n int) []Attrs {
+	colors := []string{"red", "green", "blue"}
+	rows := make([]Attrs, n)
+	for i := range rows {
+		if i%7 == 6 {
+			continue
+		}
+		rows[i] = Attrs{
+			"color": StrAttr(colors[i%3]),
+			"price": IntAttr(int64(i)),
+		}
+	}
+	return rows
+}
+
+// TestGoldenFormat5 pins the metadata container: a format-5 (LCCSPKG5)
+// file keeps loading with its attribute rows intact, serves identical
+// filtered results to a fresh build, and re-saves byte for byte.
+func TestGoldenFormat5(t *testing.T) {
+	const path = "testdata/golden_pkg5.lccs"
+	data, cfg := goldenSetup()
+	attrs := goldenAttrsRows(len(data))
+	fresh, err := NewShardedIndexWithAttrs(data, attrs, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob[:8]) != "LCCSPKG5" {
+		t.Fatalf("golden file has magic %q, want LCCSPKG5", blob[:8])
+	}
+	loaded, err := LoadSharded(path, data)
+	if err != nil {
+		t.Fatalf("golden format-5 file no longer loads: %v", err)
+	}
+	for i := range data {
+		if !loaded.Attrs(i).Equal(attrs[i]) {
+			t.Fatalf("attrs(%d) = %v, want %v", i, loaded.Attrs(i), attrs[i])
+		}
+	}
+	f := &Filter{Terms: []FilterTerm{EqStr("color", "red")}}
+	for qi := 0; qi < 10; qi++ {
+		q := data[qi*7]
+		a, err := fresh.SearchFilterBudgetInto(q, 5, len(data), f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.SearchFilterBudgetInto(q, 5, len(data), f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !neighborsEqual(a, b) {
+			t.Fatalf("query %d: %v vs %v", qi, a, b)
+		}
+	}
+	// Re-saving the loaded index reproduces the file byte for byte.
+	resaved := filepath.Join(t.TempDir(), "pkg5.lccs")
+	if err := loaded.Save(resaved); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, got) {
+		t.Fatalf("format-5 re-encode differs from golden: %d vs %d bytes", len(got), len(blob))
+	}
+	// A sharded format-5 container is rejected by the single loader.
+	if _, err := Load(path, data); err == nil {
+		t.Fatal("Load accepted a sharded format-5 container")
+	}
+}
+
+// TestFormat5SingleRoundTrip checks the single-Index side of format 5,
+// including the LoadSharded migration path carrying the metadata along.
+func TestFormat5SingleRoundTrip(t *testing.T) {
+	data, cfg := goldenSetup()
+	attrs := goldenAttrsRows(len(data))
+	ix, err := NewIndexWithAttrs(data, attrs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "single.lccs")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob[:8]) != "LCCSPKG5" {
+		t.Fatalf("single index with attrs wrote magic %q, want LCCSPKG5", blob[:8])
+	}
+	loaded, err := Load(path, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !loaded.Attrs(i).Equal(attrs[i]) {
+			t.Fatalf("attrs(%d) = %v, want %v", i, loaded.Attrs(i), attrs[i])
+		}
+	}
+	f := &Filter{Terms: []FilterTerm{EqInt("price", 33)}}
+	a, err := ix.SearchFilterBudgetInto(data[0], 3, len(data), f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.SearchFilterBudgetInto(data[0], 3, len(data), f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !neighborsEqual(a, b) {
+		t.Fatalf("filtered search differs after load: %v vs %v", a, b)
+	}
+	// The migration path keeps the metadata.
+	wrapped, err := LoadSharded(path, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wrapped.Attrs(10).Equal(attrs[10]) {
+		t.Fatalf("wrapped attrs(10) = %v, want %v", wrapped.Attrs(10), attrs[10])
+	}
+	// Truncations inside the attribute tail must fail loudly.
+	dir := t.TempDir()
+	for _, cut := range []int{1, 8, 17} {
+		p := filepath.Join(dir, "cut.lccs")
+		if err := os.WriteFile(p, blob[:len(blob)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p, data); err == nil {
+			t.Fatalf("truncated attribute section (-%d bytes) loaded", cut)
+		}
+	}
+}
+
+// TestSaveWithoutAttrsKeepsLegacyFormats pins the compatibility promise
+// from the other side: indexes whose rows carry no metadata keep writing
+// the exact legacy containers older readers understand.
+func TestSaveWithoutAttrsKeepsLegacyFormats(t *testing.T) {
+	data, cfg := goldenSetup()
+	// All-nil attribute rows count as "no metadata".
+	ix, err := NewIndexWithAttrs(data, make([]Attrs, len(data)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plain.lccs")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob[:8]) != "LCCSPKG1" {
+		t.Fatalf("attr-free index wrote magic %q, want LCCSPKG1", blob[:8])
+	}
+}

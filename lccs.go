@@ -259,6 +259,9 @@ type Index struct {
 	// cfg is the fully resolved configuration (auto-derived bucket width
 	// filled in), persisted by Save.
 	cfg Config
+	// attrs holds the optional per-vector metadata, slot-aligned with
+	// the vector store; nil when no vector carries attributes.
+	attrs *vec.MetaStore
 	// raw pools the core-typed result buffers behind the Into variants,
 	// so converting to the public Neighbor type allocates nothing at
 	// steady state.

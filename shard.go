@@ -62,6 +62,9 @@ type ShardedIndex struct {
 	// shardDead[s] counts tombstones inside shard s — its per-query
 	// over-fetch allowance.
 	shardDead []int
+	// attrs holds per-slot metadata (global slot space, shared across
+	// shards); nil when no vector carries attributes.
+	attrs *vec.MetaStore
 	// ctxs pools shardCtx values: the per-shard result buffers and the
 	// tournament tree of one fan-out query.
 	ctxs sync.Pool
@@ -314,6 +317,115 @@ func (ix *Index) searchOffsetIntoStats(q []float32, k, lambda, offset int, dst [
 		return ix.multi.SearchOffsetIntoStats(q, k, lambda, offset, dst)
 	}
 	return ix.single.SearchOffsetIntoStats(q, k, lambda, offset, dst)
+}
+
+// searchFilterOffsetIntoStats is searchOffsetIntoStats restricted to
+// candidates the accept predicate admits (shard-local ids).
+func (ix *Index) searchFilterOffsetIntoStats(q []float32, k, lambda, offset int, accept func(int) bool, dst []pqueue.Neighbor) ([]pqueue.Neighbor, core.SearchStats) {
+	if ix.multi != nil {
+		return ix.multi.SearchFilterOffsetIntoStats(q, k, lambda, offset, accept, dst[:0])
+	}
+	return ix.single.SearchFilterOffsetIntoStats(q, k, lambda, offset, accept, dst[:0])
+}
+
+// NewShardedIndexWithAttrs is NewShardedIndex with per-vector metadata:
+// attrs[i] belongs to data[i]. attrs may be shorter than data but not
+// longer.
+func NewShardedIndexWithAttrs(data [][]float32, attrs []Attrs, cfg Config, shards int) (*ShardedIndex, error) {
+	if len(attrs) > len(data) {
+		return nil, ErrAttrsMismatch
+	}
+	sx, err := NewShardedIndex(data, cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	if len(attrs) > 0 {
+		sx.attrs = vec.MetaFromRows(append([]Attrs(nil), attrs...))
+	}
+	return sx, nil
+}
+
+// Attrs returns the metadata of the vector with the given external id,
+// or nil.
+func (sx *ShardedIndex) Attrs(id int) Attrs {
+	slot, ok := sx.slotFor(id)
+	if !ok {
+		return nil
+	}
+	return sx.attrs.Row(slot)
+}
+
+// slotFor resolves an external id to a live store slot.
+func (sx *ShardedIndex) slotFor(id int) (int, bool) {
+	slot := id
+	if sx.ids != nil {
+		s, ok := sx.ids.Slot(id)
+		if !ok {
+			return 0, false
+		}
+		slot = s
+	}
+	if slot < 0 || slot >= sx.slots() || (sx.dead != nil && sx.dead[slot]) {
+		return 0, false
+	}
+	return slot, true
+}
+
+// SearchFilter returns the k nearest neighbors among vectors matching f
+// under the default candidate budget.
+func (sx *ShardedIndex) SearchFilter(q []float32, k int, f *Filter) ([]Neighbor, error) {
+	return sx.SearchFilterBudgetInto(q, k, sx.budget, f, nil)
+}
+
+// SearchFilterBudgetInto is SearchFilter with an explicit budget λ,
+// appending into dst. Each shard drains its candidate stream past
+// non-matching (or tombstoned) rows before any distance work, so the
+// per-shard lists the tournament merges hold only live matching rows.
+func (sx *ShardedIndex) SearchFilterBudgetInto(q []float32, k, lambda int, f *Filter, dst []Neighbor) ([]Neighbor, error) {
+	if f.Empty() {
+		return sx.SearchBudgetInto(q, k, lambda, dst)
+	}
+	if err := validateFilter(f); err != nil {
+		return nil, err
+	}
+	if err := validateQuery(q, sx.dim, k, lambda); err != nil {
+		return nil, err
+	}
+	ctx := sx.ctxs.Get().(*shardCtx)
+	s := len(sx.shards)
+	lambdaShard := (lambda + s - 1) / s
+	for i, shard := range sx.shards {
+		off := sx.offsets[i]
+		ctx.lists[i], _ = shard.searchFilterOffsetIntoStats(q, k, lambdaShard, off, sx.acceptFunc(f, off), ctx.lists[i])
+	}
+	ctx.t.Reset(ctx.lists)
+	if dst == nil {
+		dst = make([]Neighbor, 0, k)
+	}
+	dst = dst[:0]
+	for len(dst) < k {
+		nb, ok := ctx.t.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, Neighbor{ID: sx.ids.Ext(nb.ID), Dist: nb.Dist})
+	}
+	sx.ctxs.Put(ctx)
+	return dst, nil
+}
+
+// acceptFunc builds the per-shard candidate predicate of a filtered
+// query: live (not tombstoned) and matching the filter. local ids are
+// shard-local; off is the shard's global offset.
+func (sx *ShardedIndex) acceptFunc(f *Filter, off int) func(int) bool {
+	attrs, dead := sx.attrs, sx.dead
+	if dead == nil {
+		return func(local int) bool { return f.Matches(attrs.Row(local + off)) }
+	}
+	return func(local int) bool {
+		glob := local + off
+		return !dead[glob] && f.Matches(attrs.Row(glob))
+	}
 }
 
 // Distance returns the index's metric distance between two vectors.
