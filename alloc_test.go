@@ -206,3 +206,61 @@ func TestSearchBatchAllocBound(t *testing.T) {
 			perQuery, allocs, len(queries))
 	}
 }
+
+// TestSearchZeroAllocCosted extends the zero-allocation gate to the
+// metered path: SearchCostInto with a live cost record (untraced,
+// unfiltered) must stay allocation-free on every facade, so per-tenant
+// usage accounting is literally free on the steady-state hot path.
+func TestSearchZeroAllocCosted(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation; run without -race")
+	}
+	data, queries := allocWorkload(46, 2000, 12)
+	const k, lambda = 10, 40
+
+	ix, err := NewIndex(data, Config{Metric: Euclidean, M: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := NewShardedIndex(data, Config{Metric: Euclidean, M: 16, Seed: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, err := NewDynamicIndex(data, Config{Metric: Euclidean, M: 16, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var co Cost
+	for _, tc := range []struct {
+		name string
+		cs   CostSearcher
+	}{{"Index", ix}, {"ShardedIndex", sx}, {"DynamicIndex", dx}} {
+		// Warm the pooled scratch through the metered call itself.
+		var dst []Neighbor
+		for round := 0; round < 3; round++ {
+			for _, q := range queries {
+				co.Reset()
+				if dst, err = tc.cs.SearchCostInto(q, k, lambda, nil, dst, &co, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if co.Comparisons <= 0 || co.BytesScanned <= 0 {
+			t.Fatalf("%s: cost record not populated: %+v", tc.name, co)
+		}
+		qi := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			q := queries[qi%len(queries)]
+			qi++
+			co.Reset()
+			dst, err = tc.cs.SearchCostInto(q, k, lambda, nil, dst, &co, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s.SearchCostInto: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -175,7 +175,13 @@ type RunReport struct {
 	P99Micros    float64 `json:"p99_us"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
-	Note         string  `json:"note,omitempty"`
+	// ScanBytesPerQuery and CacheHitRatio come from the server's usage
+	// counters (/v1/collections/default/usage) on the serve runs:
+	// vector bytes the distance kernels read per search, and the
+	// result-cache hit fraction (absent when the cache is off).
+	ScanBytesPerQuery float64 `json:"scan_bytes_per_query,omitempty"`
+	CacheHitRatio     float64 `json:"cache_hit_ratio,omitempty"`
+	Note              string  `json:"note,omitempty"`
 }
 
 // measureLoop runs fn once per query for rounds passes, single-threaded,
@@ -252,8 +258,8 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 	rep.Runs["shard"] = r
 	addIntoRuns(&rep, "shard", sx, queries, rounds, k)
 
-	// serve: loopback HTTP with concurrent clients.
-	sr, err := serveRun(sx, queries, k, clients, reqs, 0)
+	// serve: loopback HTTP with concurrent clients, result cache off.
+	sr, err := serveRun(sx, queries, k, clients, reqs, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -261,7 +267,7 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 
 	// serve_traced: same load with every request span-traced, so the
 	// report pins the observability overhead against the serve baseline.
-	st, err := serveRun(sx, queries, k, clients, reqs, 1)
+	st, err := serveRun(sx, queries, k, clients, reqs, 1, 0)
 	if err != nil {
 		return err
 	}
@@ -269,6 +275,18 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 		st.Note = fmt.Sprintf("%s; traced QPS delta %+.2f%% vs serve", st.Note, (st.QPS-sr.QPS)/sr.QPS*100)
 	}
 	rep.Runs["serve_traced"] = st
+
+	// serve_cached: the same repeated workload against a result cache
+	// sized to hold it, so the report prices a cache hit (and the usage
+	// counters' hit ratio) against the uncached serve baseline.
+	scr, err := serveRun(sx, queries, k, clients, reqs, 0, len(queries))
+	if err != nil {
+		return err
+	}
+	if sr.QPS > 0 {
+		scr.Note = fmt.Sprintf("%s; cached QPS %.2fx vs serve", scr.Note, scr.QPS/sr.QPS)
+	}
+	rep.Runs["serve_cached"] = scr
 
 	// churn: mixed insert/delete/search, compaction cost, QPS recovery.
 	cs, err := runChurn(n, nq, k, m, seed, kind)
@@ -344,14 +362,16 @@ func jsonBench(path string, n, nq, k, m, shards, clients, reqs int, seed uint64,
 // -exp serve, and reports end-to-end client-side numbers plus
 // process-wide heap traffic per request (server and client combined —
 // an upper bound on the serving path's allocation cost). traceSample
-// sets the server's span-tracing fraction (1 = trace every request).
-func serveRun(backend lccs.Searcher, queries [][]float32, k, clients, reqs int, traceSample float64) (RunReport, error) {
+// sets the server's span-tracing fraction (1 = trace every request);
+// cacheSize the result-cache capacity (0 = off).
+func serveRun(backend lccs.Searcher, queries [][]float32, k, clients, reqs int, traceSample float64, cacheSize int) (RunReport, error) {
 	srv, err := server.New(server.Config{
 		Backend:     backend,
 		MaxInFlight: runtime.GOMAXPROCS(0),
 		MaxQueue:    clients * 4,
 		Timeout:     30 * time.Second,
 		TraceSample: traceSample,
+		CacheSize:   cacheSize,
 	})
 	if err != nil {
 		return RunReport{}, err
@@ -434,12 +454,23 @@ func serveRun(backend lccs.Searcher, queries [][]float32, k, clients, reqs int, 
 	}
 	sort.Float64s(lat)
 	pct := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] * 1e6 }
-	return RunReport{
+	r := RunReport{
 		QPS:         float64(reqs) / elapsed.Seconds(),
 		P50Micros:   pct(0.50),
 		P99Micros:   pct(0.99),
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(reqs),
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(reqs),
-		Note:        fmt.Sprintf("loopback HTTP /v1/search, %d clients, trace_sample=%g (process-wide allocs incl. client)", clients, traceSample),
-	}, nil
+		Note:        fmt.Sprintf("loopback HTTP /v1/search, %d clients, trace_sample=%g, cache_size=%d (process-wide allocs incl. client)", clients, traceSample, cacheSize),
+	}
+	us, err := fetchUsage(client, base)
+	if err != nil {
+		return RunReport{}, err
+	}
+	if us.Searches > 0 {
+		r.ScanBytesPerQuery = float64(us.BytesScanned) / float64(us.Searches)
+	}
+	if outcomes := us.CacheHits + us.CacheMisses; outcomes > 0 {
+		r.CacheHitRatio = float64(us.CacheHits) / float64(outcomes)
+	}
+	return r, nil
 }

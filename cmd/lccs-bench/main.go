@@ -9,7 +9,9 @@
 //	lccs-bench -exp shard [-n 100000] [-shards 0] [-m 32] [-metric euclidean]
 //	                         # sharded vs single: build speedup + per-shard QPS
 //	lccs-bench -exp serve [-n 100000] [-clients 8] [-reqs 2000] [-metric euclidean]
-//	                         # drive the HTTP server over loopback: QPS + p50/p99
+//	                         # drive the HTTP server over loopback: QPS + p50/p99,
+//	                         # plus scan bytes/query and the result-cache hit
+//	                         # ratio read back from the usage counters
 //	lccs-bench -exp churn [-n 100000] [-m 32] [-metric euclidean]
 //	                         # mixed insert/delete/search on a DynamicIndex:
 //	                         # churn rate, compaction cost, QPS recovery

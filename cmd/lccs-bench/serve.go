@@ -13,8 +13,30 @@ import (
 	"time"
 
 	"lccs"
+	"lccs/internal/engine"
 	"lccs/internal/server"
 )
+
+// fetchUsage reads the default collection's cumulative usage counters
+// from a running server — the bench's source for bytes-scanned/query
+// and the cache hit ratio.
+func fetchUsage(client *http.Client, base string) (engine.UsageSnapshot, error) {
+	resp, err := client.Get(base + "/v1/collections/default/usage")
+	if err != nil {
+		return engine.UsageSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return engine.UsageSnapshot{}, fmt.Errorf("usage: HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		Cumulative engine.UsageSnapshot `json:"cumulative"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return engine.UsageSnapshot{}, err
+	}
+	return out.Cumulative, nil
+}
 
 // serveBench stands up the internal/server HTTP stack on a loopback
 // listener over a freshly built ShardedIndex, drives it with concurrent
@@ -139,5 +161,59 @@ func serveBench(n, nq, k, m, shards, clients, reqs int, seed uint64, kind lccs.M
 	}
 	fmt.Printf("batch QPS           %10.0f  (%d queries in one request)\n",
 		float64(len(queries))/time.Since(t0).Seconds(), len(queries))
+
+	// What the load cost, from the server's own usage counters.
+	us, err := fetchUsage(client, base)
+	if err != nil {
+		return err
+	}
+	if us.Searches > 0 {
+		fmt.Printf("scan bytes/query    %10.0f  (usage: %d searches, %.1f MB scanned)\n",
+			float64(us.BytesScanned)/float64(us.Searches), us.Searches, float64(us.BytesScanned)/1e6)
+		fmt.Printf("cost units/query    %10.0f\n", float64(us.CostUnits)/float64(us.Searches))
+	}
+
+	// Cached phase: the same repeated workload against a second server
+	// whose result cache holds every distinct query, pricing a cache hit
+	// and exercising the hit-ratio counters.
+	csrv, err := server.New(server.Config{
+		Backend:     sx,
+		MaxInFlight: runtime.GOMAXPROCS(0),
+		MaxQueue:    clients * 4,
+		Timeout:     30 * time.Second,
+		CacheSize:   len(bodies),
+	})
+	if err != nil {
+		return err
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	cHTTP := &http.Server{Handler: csrv.Handler()}
+	go cHTTP.Serve(cln)
+	defer cHTTP.Close()
+	cbase := "http://" + cln.Addr().String()
+	t0 = time.Now()
+	for i := 0; i < reqs; i++ {
+		resp, err := client.Post(cbase+"/v1/search", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("cached /v1/search: HTTP %d", resp.StatusCode)
+		}
+	}
+	cachedQPS := float64(reqs) / time.Since(t0).Seconds()
+	cus, err := fetchUsage(client, cbase)
+	if err != nil {
+		return err
+	}
+	if outcomes := cus.CacheHits + cus.CacheMisses; outcomes > 0 {
+		fmt.Printf("cached QPS          %10.0f  (cache=%d entries, hit ratio %.3f, 1 client)\n",
+			cachedQPS, len(bodies), float64(cus.CacheHits)/float64(outcomes))
+	}
 	return nil
 }

@@ -144,6 +144,9 @@ type WALStats struct {
 	// Segments and Bytes describe the live segment files.
 	Segments int   `json:"segments"`
 	Bytes    int64 `json:"bytes"`
+	// AppendedBytes is the cumulative log bytes accepted since open —
+	// monotone across checkpoint truncation, the write-traffic meter.
+	AppendedBytes int64 `json:"appended_bytes"`
 	// Fsyncs counts fsync calls; the latency fields describe them.
 	Fsyncs          uint64  `json:"fsyncs"`
 	LastFsyncMicros float64 `json:"last_fsync_us"`
@@ -709,6 +712,7 @@ func (di *DurableIndex) WALStats() WALStats {
 		CheckpointLSN:   st.CheckpointLSN,
 		Segments:        st.Segments,
 		Bytes:           st.Bytes,
+		AppendedBytes:   st.AppendedBytes,
 		Fsyncs:          st.Fsyncs,
 		LastFsyncMicros: float64(st.LastFsync.Nanoseconds()) / 1e3,
 		MeanFsyncMicros: float64(st.MeanFsync.Nanoseconds()) / 1e3,

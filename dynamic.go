@@ -595,7 +595,7 @@ func (d *DynamicIndex) SearchBudget(q []float32, k, lambda int) ([]Neighbor, err
 // pooled scratch, so a steady-state query's only allocations are those
 // of the result row growth.
 func (d *DynamicIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([]Neighbor, error) {
-	return d.searchBudgetIntoTraced(q, k, lambda, dst, nil)
+	return d.searchCostInto(q, k, lambda, nil, dst, nil, nil)
 }
 
 // SearchBudgetIntoTraced is SearchBudgetInto recording spans into tr:
@@ -605,13 +605,29 @@ func (d *DynamicIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neighb
 // exactly SearchBudgetInto; a non-positive lambda selects the default
 // budget.
 func (d *DynamicIndex) SearchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
+	return d.SearchCostInto(q, k, lambda, nil, dst, nil, tr)
+}
+
+// SearchCostInto is the fully instrumented dynamic search: filter f
+// restricts results (nil or empty means unfiltered), co accumulates the
+// query's cost record (nil skips accounting), tr records spans (nil
+// skips tracing). Each argument degrades independently; all three nil
+// is exactly SearchBudgetInto. A non-positive lambda selects the
+// default budget.
+func (d *DynamicIndex) SearchCostInto(q []float32, k, lambda int, f *Filter, dst []Neighbor, co *Cost, tr *Trace) ([]Neighbor, error) {
 	if lambda <= 0 {
 		lambda = d.defaultBudget()
 	}
-	return d.searchBudgetIntoTraced(q, k, lambda, dst, tr)
+	return d.searchCostInto(q, k, lambda, f, dst, co, tr)
 }
 
-func (d *DynamicIndex) searchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
+func (d *DynamicIndex) searchCostInto(q []float32, k, lambda int, f *Filter, dst []Neighbor, co *Cost, tr *Trace) ([]Neighbor, error) {
+	filtered := f != nil && !f.Empty()
+	if filtered {
+		if err := validateFilter(f); err != nil {
+			return nil, err
+		}
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if err := validateQuery(q, d.store.Dim(), k, lambda); err != nil {
@@ -623,40 +639,85 @@ func (d *DynamicIndex) searchBudgetIntoTraced(q []float32, k, lambda int, dst []
 	root := tr.StartSpan(obs.StageQuery, -1) // nil-safe: -1 when untraced
 	ctx := d.ctxs.Get().(*dynCtx)
 	ctx.best.Reset(k)
-	push := func(slot int, dist float64) {
-		if !d.deleted[slot] {
-			ctx.best.Add(slot, dist)
-		}
-	}
 	// searchOffsetInto shifts shard-local slots into the global slot
 	// space. Shard ranges are disjoint, so no dedup is needed.
 	lambdaShard := lambda
 	if s := len(d.shards); s > 1 {
 		lambdaShard = (lambda + s - 1) / s
 	}
+	metered := co != nil || tr != nil
 	for i, sh := range d.shards {
-		// Over-fetch exactly the shard's own tombstone count — never
-		// more than the shard holds — so k live results survive
-		// filtering without the fetch growing with global churn.
-		fetch := fetchForShard(k, sh.dead, sh.ix.Len())
-		if tr == nil {
-			ctx.shardBuf = sh.ix.searchOffsetInto(q, fetch, lambdaShard, sh.off, ctx.shardBuf)
-		} else {
-			sp := tr.StartShardSpan(obs.StageShardScan, root, i)
-			var stats core.SearchStats
-			ctx.shardBuf, stats = sh.ix.searchOffsetIntoStats(q, fetch, lambdaShard, sh.off, ctx.shardBuf)
-			obs.ObserveDur(obs.StageShardScan, tr.FinishSpanN(sp, int64(stats.Comparisons), int64(stats.Candidates)))
+		sp := -1
+		if tr != nil {
+			sp = tr.StartShardSpan(obs.StageShardScan, root, i)
 		}
-		for _, nb := range ctx.shardBuf {
-			push(nb.ID, nb.Dist)
+		var stats core.SearchStats
+		switch {
+		case filtered:
+			// The accept predicate filters tombstones too, so the plain
+			// fetch of k matching live rows needs no over-fetch allowance.
+			ctx.shardBuf, stats = sh.ix.searchFilterOffsetIntoStats(q, k, lambdaShard, sh.off, d.acceptLocked(f, sh.off), ctx.shardBuf)
+		case metered:
+			ctx.shardBuf, stats = sh.ix.searchOffsetIntoStats(q, fetchForShard(k, sh.dead, sh.ix.Len()), lambdaShard, sh.off, ctx.shardBuf)
+		default:
+			// Over-fetch exactly the shard's own tombstone count — never
+			// more than the shard holds — so k live results survive
+			// filtering without the fetch growing with global churn.
+			ctx.shardBuf = sh.ix.searchOffsetInto(q, fetchForShard(k, sh.dead, sh.ix.Len()), lambdaShard, sh.off, ctx.shardBuf)
+		}
+		if tr != nil {
+			obs.ObserveDur(obs.StageShardScan, tr.FinishSpanCost(sp, int64(stats.Comparisons), int64(stats.Candidates), stats.BytesScanned))
+		}
+		co.addStats(stats)
+		if filtered {
+			for _, nb := range ctx.shardBuf {
+				ctx.best.Add(nb.ID, nb.Dist)
+			}
+		} else {
+			for _, nb := range ctx.shardBuf {
+				if !d.deleted[nb.ID] {
+					ctx.best.Add(nb.ID, nb.Dist)
+				}
+			}
 		}
 	}
 	// The unindexed buffer: one bulk kernel pass over the flat block.
 	bufSpan := tr.StartSpan(obs.StageBufferScan, root)
 	bufRows := d.store.Len() - d.indexed
-	d.store.Scan(d.indexed, d.store.Len(), q, d.metricLocked(), push)
+	rejected := 0
+	if filtered {
+		d.store.Scan(d.indexed, d.store.Len(), q, d.metricLocked(), func(slot int, dist float64) {
+			if d.deleted[slot] {
+				return
+			}
+			if !f.Matches(d.attrs.Row(slot)) {
+				rejected++
+				return
+			}
+			ctx.best.Add(slot, dist)
+		})
+	} else {
+		d.store.Scan(d.indexed, d.store.Len(), q, d.metricLocked(), func(slot int, dist float64) {
+			if !d.deleted[slot] {
+				ctx.best.Add(slot, dist)
+			}
+		})
+	}
+	// The buffer scan reads every row's full float32 payload exactly
+	// once; rows the predicate rejected still paid for their distance
+	// (Comparisons) but do not count as candidates, matching the core
+	// accounting.
+	bufBytes := int64(bufRows) * int64(d.store.Dim()) * 4
 	if tr != nil {
-		obs.ObserveDur(obs.StageBufferScan, tr.FinishSpanN(bufSpan, int64(bufRows), int64(bufRows)))
+		obs.ObserveDur(obs.StageBufferScan, tr.FinishSpanCost(bufSpan, int64(bufRows), int64(bufRows-rejected), bufBytes))
+	}
+	if co != nil {
+		co.addStats(core.SearchStats{
+			Comparisons:    bufRows,
+			Candidates:     bufRows - rejected,
+			BytesScanned:   bufBytes,
+			FilterRejected: rejected,
+		})
 	}
 	mergeSpan := tr.StartSpan(obs.StageMerge, root)
 	ctx.sorted = ctx.best.AppendSorted(ctx.sorted[:0])
@@ -687,49 +748,7 @@ func (d *DynamicIndex) SearchFilter(q []float32, k int, f *Filter) ([]Neighbor, 
 // and tombstoned rows before any distance work; the buffer scan applies
 // the predicate per row.
 func (d *DynamicIndex) SearchFilterBudgetInto(q []float32, k, lambda int, f *Filter, dst []Neighbor) ([]Neighbor, error) {
-	if f.Empty() {
-		return d.SearchBudgetInto(q, k, lambda, dst)
-	}
-	if err := validateFilter(f); err != nil {
-		return nil, err
-	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if err := validateQuery(q, d.store.Dim(), k, lambda); err != nil {
-		return nil, err
-	}
-	if d.store.Len() == 0 {
-		return nil, nil
-	}
-	ctx := d.ctxs.Get().(*dynCtx)
-	ctx.best.Reset(k)
-	lambdaShard := lambda
-	if s := len(d.shards); s > 1 {
-		lambdaShard = (lambda + s - 1) / s
-	}
-	for _, sh := range d.shards {
-		// The accept predicate filters tombstones too, so the plain
-		// fetch of k matching live rows needs no over-fetch allowance.
-		ctx.shardBuf, _ = sh.ix.searchFilterOffsetIntoStats(q, k, lambdaShard, sh.off, d.acceptLocked(f, sh.off), ctx.shardBuf)
-		for _, nb := range ctx.shardBuf {
-			ctx.best.Add(nb.ID, nb.Dist)
-		}
-	}
-	d.store.Scan(d.indexed, d.store.Len(), q, d.metricLocked(), func(slot int, dist float64) {
-		if !d.deleted[slot] && f.Matches(d.attrs.Row(slot)) {
-			ctx.best.Add(slot, dist)
-		}
-	})
-	ctx.sorted = ctx.best.AppendSorted(ctx.sorted[:0])
-	if dst == nil {
-		dst = make([]Neighbor, 0, len(ctx.sorted))
-	}
-	dst = dst[:0]
-	for _, nb := range ctx.sorted {
-		dst = append(dst, Neighbor{ID: d.ids.Ext(nb.ID), Dist: nb.Dist})
-	}
-	d.ctxs.Put(ctx)
-	return dst, nil
+	return d.searchCostInto(q, k, lambda, f, dst, nil, nil)
 }
 
 // acceptLocked builds the per-shard candidate predicate of a filtered

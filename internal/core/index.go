@@ -74,6 +74,25 @@ type SearchStats struct {
 	// Reranked is the number of candidates re-ranked with exact float32
 	// distances after the quantized (SQ8) scan; 0 on exact indexes.
 	Reranked int
+	// BytesScanned is the vector-block memory traffic of the
+	// verification phase: float32 gathers cost 4 bytes per dimension per
+	// candidate, SQ8 score gathers 1 byte, and the exact re-rank pays
+	// the float32 rate again for its survivors.
+	BytesScanned int64
+	// FilterRejected counts candidates the accept predicate discarded
+	// before any distance work (filtered searches only).
+	FilterRejected int
+}
+
+// Add accumulates o into s (facades fold per-shard stats into one query
+// record with it).
+func (s *SearchStats) Add(o SearchStats) {
+	s.Candidates += o.Candidates
+	s.Probes += o.Probes
+	s.Comparisons += o.Comparisons
+	s.Reranked += o.Reranked
+	s.BytesScanned += o.BytesScanned
+	s.FilterRejected += o.FilterRejected
 }
 
 // Index is a single-probe LCCS-LSH index over a fixed dataset.
@@ -121,6 +140,11 @@ type searchCtx struct {
 	probeStr []int32
 	modPos   []int
 	affected []int
+	// per-query cost accumulators, reset on entry and read into the
+	// returned SearchStats: vector-block bytes touched and candidates
+	// the filter predicate rejected.
+	bytes    int64
+	rejected int
 }
 
 // initPool installs the searchCtx pool; called once per constructed or
@@ -271,9 +295,10 @@ func (ix *Index) searchInto(q []float32, k, lambda int, dst []pqueue.Neighbor) (
 	nCand := lambda + k - 1
 	ctx.s.Begin(ctx.hq)
 	ctx.best.Reset(k)
+	ctx.bytes, ctx.rejected = 0, 0
 	verified, reranked := ix.verifyCandidates(ctx, q, k, nCand)
 	dst = ctx.best.AppendSorted(dst)
-	stats := SearchStats{Candidates: verified, Probes: 1, Comparisons: ctx.s.Comparisons(), Reranked: reranked}
+	stats := SearchStats{Candidates: verified, Probes: 1, Comparisons: ctx.s.Comparisons(), Reranked: reranked, BytesScanned: ctx.bytes}
 	ix.ctxs.Put(ctx)
 	return dst, stats
 }
@@ -358,6 +383,7 @@ func (ix *Index) verifyCandidates(ctx *searchCtx, q []float32, k, nCand int) (ve
 			break
 		}
 		ix.store.GatherDistancesInto(ctx.ids[:b], q, ix.metric, ctx.dists[:b])
+		ctx.bytes += int64(b) * int64(ix.store.Dim()) * 4
 		for i := 0; i < b; i++ {
 			ctx.best.Add(int(ctx.ids[i]), ctx.dists[i])
 		}
@@ -395,6 +421,7 @@ func (ix *Index) verifyQuantized(ctx *searchCtx, q []float32, k, nCand int) (ver
 			break
 		}
 		ix.sq8.GatherScoresInto(ctx.ids[:b], &ctx.sq8q, ctx.scores[:b])
+		ctx.bytes += int64(b) * int64(ix.store.Dim())
 		for i := 0; i < b; i++ {
 			ctx.rr.Add(int(ctx.ids[i]), float64(ctx.scores[i]))
 		}
@@ -411,6 +438,7 @@ func (ix *Index) verifyQuantized(ctx *searchCtx, q []float32, k, nCand int) (ver
 			ctx.ids[i] = int32(ctx.rrBuf[base+i].ID)
 		}
 		ix.store.GatherDistancesInto(ctx.ids[:c], q, ix.metric, ctx.dists[:c])
+		ctx.bytes += int64(c) * int64(ix.store.Dim()) * 4
 		for i := 0; i < c; i++ {
 			ctx.best.Add(int(ctx.ids[i]), ctx.dists[i])
 		}
@@ -438,11 +466,12 @@ func (ix *Index) searchFilterInto(q []float32, k, lambda int, accept func(id int
 	nCand := lambda + k - 1
 	ctx.s.Begin(ctx.hq)
 	ctx.best.Reset(k)
+	ctx.bytes, ctx.rejected = 0, 0
 	start := time.Now()
 	verified, reranked := ix.verifyFiltered(ctx, q, k, nCand, accept)
 	obs.ObserveDur(obs.StageFilter, time.Since(start))
 	dst = ctx.best.AppendSorted(dst)
-	stats := SearchStats{Candidates: verified, Probes: 1, Comparisons: ctx.s.Comparisons(), Reranked: reranked}
+	stats := SearchStats{Candidates: verified, Probes: 1, Comparisons: ctx.s.Comparisons(), Reranked: reranked, BytesScanned: ctx.bytes, FilterRejected: ctx.rejected}
 	ix.ctxs.Put(ctx)
 	return dst, stats
 }
@@ -480,6 +509,7 @@ func (ix *Index) verifyFiltered(ctx *searchCtx, q []float32, k, nCand int, accep
 				break
 			}
 			if !accept(r.ID) {
+				ctx.rejected++
 				continue
 			}
 			ctx.ids[b] = int32(r.ID)
@@ -487,6 +517,7 @@ func (ix *Index) verifyFiltered(ctx *searchCtx, q []float32, k, nCand int, accep
 		}
 		if b > 0 {
 			ix.store.GatherDistancesInto(ctx.ids[:b], q, ix.metric, ctx.dists[:b])
+			ctx.bytes += int64(b) * int64(ix.store.Dim()) * 4
 			for i := 0; i < b; i++ {
 				ctx.best.Add(int(ctx.ids[i]), ctx.dists[i])
 			}
@@ -523,6 +554,7 @@ func (ix *Index) verifyQuantizedFiltered(ctx *searchCtx, q []float32, k, nCand i
 				break
 			}
 			if !accept(r.ID) {
+				ctx.rejected++
 				continue
 			}
 			ctx.ids[b] = int32(r.ID)
@@ -530,6 +562,7 @@ func (ix *Index) verifyQuantizedFiltered(ctx *searchCtx, q []float32, k, nCand i
 		}
 		if b > 0 {
 			ix.sq8.GatherScoresInto(ctx.ids[:b], &ctx.sq8q, ctx.scores[:b])
+			ctx.bytes += int64(b) * int64(ix.store.Dim())
 			for i := 0; i < b; i++ {
 				ctx.rr.Add(int(ctx.ids[i]), float64(ctx.scores[i]))
 			}
@@ -550,6 +583,7 @@ func (ix *Index) verifyQuantizedFiltered(ctx *searchCtx, q []float32, k, nCand i
 			ctx.ids[i] = int32(ctx.rrBuf[base+i].ID)
 		}
 		ix.store.GatherDistancesInto(ctx.ids[:c], q, ix.metric, ctx.dists[:c])
+		ctx.bytes += int64(c) * int64(ix.store.Dim()) * 4
 		for i := 0; i < c; i++ {
 			ctx.best.Add(int(ctx.ids[i]), ctx.dists[i])
 		}

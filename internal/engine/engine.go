@@ -191,6 +191,9 @@ type Collection struct {
 	dyn     *lccs.DynamicIndex // nil when the backend is immutable
 	adopted bool
 	dir     string // "" for adopted and memory-only collections
+	// usage is the collection's cumulative resource accounting; the
+	// serving layer records into it on every request.
+	usage Usage
 }
 
 // Name returns the collection's registry name.

@@ -7,14 +7,20 @@ import (
 
 // SlowEntry is one captured request in the slow-query log.
 type SlowEntry struct {
-	RequestID uint64     `json:"request_id"`
-	Endpoint  string     `json:"endpoint"`
-	Time      time.Time  `json:"time"`
-	DurUS     float64    `json:"dur_us"`
-	K         int        `json:"k,omitempty"`
-	Budget    int        `json:"budget,omitempty"`
-	Traced    bool       `json:"traced"`
-	Spans     []SpanNode `json:"spans,omitempty"`
+	RequestID uint64 `json:"request_id"`
+	Endpoint  string `json:"endpoint"`
+	// Collection is the tenant the request ran against.
+	Collection string    `json:"collection,omitempty"`
+	Time       time.Time `json:"time"`
+	DurUS      float64   `json:"dur_us"`
+	K          int       `json:"k,omitempty"`
+	Budget     int       `json:"budget,omitempty"`
+	// Filter is the hex encoding of the query's canonical filter key
+	// (vec.Filter.AppendKey); empty for unfiltered requests. Equal
+	// filters render equal strings, so slow entries group by predicate.
+	Filter string     `json:"filter,omitempty"`
+	Traced bool       `json:"traced"`
+	Spans  []SpanNode `json:"spans,omitempty"`
 }
 
 // SlowLog captures slow requests in a fixed-capacity ring buffer

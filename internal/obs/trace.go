@@ -99,6 +99,9 @@ type Span struct {
 	Dur    time.Duration
 	Rows   int64
 	Cands  int64
+	// Bytes is the vector-block memory traffic attributed to the span
+	// (scan and gather kernels); 0 for stages that touch no vectors.
+	Bytes int64
 }
 
 // Trace accumulates spans for a single traced request. All methods
@@ -189,6 +192,12 @@ func (t *Trace) FinishSpan(idx int) time.Duration {
 
 // FinishSpanN is FinishSpan recording stage counters.
 func (t *Trace) FinishSpanN(idx int, rows, cands int64) time.Duration {
+	return t.FinishSpanCost(idx, rows, cands, 0)
+}
+
+// FinishSpanCost is FinishSpanN also recording the span's vector-block
+// byte traffic.
+func (t *Trace) FinishSpanCost(idx int, rows, cands, bytes int64) time.Duration {
 	if t == nil || idx < 0 {
 		return 0
 	}
@@ -198,6 +207,7 @@ func (t *Trace) FinishSpanN(idx int, rows, cands int64) time.Duration {
 	sp.Dur = now - sp.Start
 	sp.Rows = rows
 	sp.Cands = cands
+	sp.Bytes = bytes
 	d := sp.Dur
 	t.mu.Unlock()
 	return d
@@ -247,6 +257,7 @@ type SpanNode struct {
 	DurUS    float64    `json:"dur_us"`
 	Rows     int64      `json:"rows,omitempty"`
 	Cands    int64      `json:"candidates,omitempty"`
+	Bytes    int64      `json:"bytes,omitempty"`
 	Children []SpanNode `json:"children,omitempty"`
 }
 
@@ -276,6 +287,7 @@ func buildTree(spans []Span) []SpanNode {
 			DurUS:   float64(sp.Dur) / float64(time.Microsecond),
 			Rows:    sp.Rows,
 			Cands:   sp.Cands,
+			Bytes:   sp.Bytes,
 		}
 		if sp.Shard >= 0 {
 			sh := sp.Shard

@@ -32,6 +32,7 @@ package server
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -197,6 +198,18 @@ type coll struct {
 	traced      lccs.TracedSearcher
 	filt        lccs.FilterSearcher
 	cur         lccs.CursorSearcher
+	// cost is the unified metered query path (filter + cost record +
+	// trace in one call); the library facades all implement it. When
+	// present it supersedes traced/filt for single searches.
+	cost lccs.CostSearcher
+	// spec is the resolved collection configuration (zero for adopted
+	// backends); EXPLAIN reports its quantize/re-rank settings.
+	spec engine.Spec
+	// usage is the collection's cumulative resource accounting (owned
+	// by the registry, shared by every handle); health is its windowed
+	// RED/usage ring for /v1/debug/health and /v1/collections/⋯/usage.
+	usage  *engine.Usage
+	health *obs.Health
 	// gen counts completed writes — inserts and deletes alike; it is
 	// folded into every cache key, so one write invalidates all of this
 	// collection's earlier cached results at once (and only this
@@ -211,8 +224,10 @@ type coll struct {
 }
 
 // newColl resolves a backend's capability interfaces once.
-func newColl(name string, backend lccs.Searcher) *coll {
-	c := &coll{name: name, backend: backend}
+func newColl(ec *engine.Collection) *coll {
+	name, backend := ec.Name(), ec.Backend()
+	c := &coll{name: name, backend: backend, spec: ec.Spec(),
+		usage: ec.Usage(), health: new(obs.Health)}
 	if t, ok := backend.(lccs.TracedSearcher); ok {
 		c.traced = t
 	}
@@ -250,6 +265,9 @@ func newColl(name string, backend lccs.Searcher) *coll {
 	if cu, ok := backend.(lccs.CursorSearcher); ok {
 		c.cur = cu
 	}
+	if cs, ok := backend.(lccs.CostSearcher); ok {
+		c.cost = cs
+	}
 	return c
 }
 
@@ -270,6 +288,7 @@ type Server struct {
 	met       *metrics
 	mux       *http.ServeMux
 	slow      *obs.SlowLog
+	health    *obs.Health // server-wide RED/usage ring; per-coll rings live on coll
 	logger    *slog.Logger
 	version   string
 	// sampleEvery traces every Nth search (0 = only explicit requests);
@@ -344,6 +363,7 @@ func New(cfg Config) (*Server, error) {
 		maxBody:   cfg.MaxBodyBytes,
 		met:       newMetrics(),
 		slow:      obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowLogSize, cfg.SlowThreshold),
+		health:    new(obs.Health),
 		logger:    cfg.Logger,
 		version:   cfg.Version,
 	}
@@ -359,7 +379,7 @@ func New(cfg Config) (*Server, error) {
 	// Pre-resolve already-loaded collections (the adopted default, any
 	// the caller opened before handing the engine over).
 	for _, ec := range eng.Loaded() {
-		s.colls[ec.Name()] = newColl(ec.Name(), ec.Backend())
+		s.colls[ec.Name()] = newColl(ec)
 	}
 	s.mux = http.NewServeMux()
 	// Legacy single-index routes: the "default" collection.
@@ -373,11 +393,14 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/collections/{name}/insert", s.handleInsert)
 	s.mux.HandleFunc("POST /v1/collections/{name}/delete", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/collections/{name}/stats", s.handleCollStats)
+	s.mux.HandleFunc("GET /v1/collections/{name}/usage", s.handleCollUsage)
 	s.mux.HandleFunc("POST /v1/collections", s.handleCollCreate)
 	s.mux.HandleFunc("GET /v1/collections", s.handleCollList)
 	s.mux.HandleFunc("DELETE /v1/collections/{name}", s.handleCollDrop)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/usage", s.handleUsage)
 	s.mux.HandleFunc("/v1/debug/slow", s.handleDebugSlow)
+	s.mux.HandleFunc("GET /v1/debug/health", s.handleDebugHealth)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
@@ -422,7 +445,7 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request, endpoint string
 	if c, ok := s.colls[name]; ok {
 		return c
 	}
-	c = newColl(name, ec.Backend())
+	c = newColl(ec)
 	s.colls[name] = c
 	return c
 }
@@ -507,6 +530,11 @@ type searchRequest struct {
 	// Trace opts this request into span recording: the response carries
 	// the per-stage span tree and an X-Request-Id header.
 	Trace bool `json:"trace,omitempty"`
+	// Explain opts this request into plan reporting: the response
+	// carries the resolved query plan (backend kind, shards visited
+	// with per-shard cost, filter selectivity, cache outcome) built
+	// from an internally forced trace. Implies span recording.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // searchScratch is the pooled per-request state of the single-search
@@ -518,6 +546,7 @@ type searchScratch struct {
 	req searchRequest
 	res []lccs.Neighbor
 	out []neighborJSON
+	co  lccs.Cost
 }
 
 // searchScratchPool serves every /v1/search request.
@@ -534,6 +563,8 @@ func getSearchScratch() *searchScratch {
 	sc.req.Limit = 0
 	sc.req.Cursor = ""
 	sc.req.Trace = false
+	sc.req.Explain = false
+	sc.co.Reset()
 	if sc.out == nil {
 		// Keep the response field non-nil so an empty result encodes as
 		// [] rather than null.
@@ -557,6 +588,9 @@ type searchResponse struct {
 	// RequestID and Trace are present only on traced requests.
 	RequestID uint64         `json:"request_id,omitempty"`
 	Trace     []obs.SpanNode `json:"trace,omitempty"`
+	// Explain is the resolved query plan, present only when the request
+	// asked with "explain": true.
+	Explain *explainJSON `json:"explain,omitempty"`
 }
 
 // slowLogResponse is the /v1/debug/slow payload: the slow-query ring
@@ -600,6 +634,9 @@ type deleteResponse struct {
 	// Missing lists ids that were unknown or already deleted — the
 	// request is idempotent, so these are reported, not failed.
 	Missing []int `json:"missing,omitempty"`
+	// RequestID correlates the response with the server's structured log
+	// (also sent as the X-Request-Id header).
+	RequestID uint64 `json:"request_id,omitempty"`
 }
 
 type insertResponse struct {
@@ -607,6 +644,9 @@ type insertResponse struct {
 	// Warning carries a non-fatal backend condition (e.g. a previous
 	// background delta build failed); the inserts themselves succeeded.
 	Warning string `json:"warning,omitempty"`
+	// RequestID correlates the response with the server's structured log
+	// (also sent as the X-Request-Id header).
+	RequestID uint64 `json:"request_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -630,6 +670,18 @@ type collectionInfo struct {
 
 type listCollectionsResponse struct {
 	Collections []collectionInfo `json:"collections"`
+}
+
+// createCollectionResponse is collectionInfo plus the request id that
+// also tags the "collection created" log line.
+type createCollectionResponse struct {
+	collectionInfo
+	RequestID uint64 `json:"request_id,omitempty"`
+}
+
+type dropCollectionResponse struct {
+	Dropped   string `json:"dropped"`
+	RequestID uint64 `json:"request_id,omitempty"`
 }
 
 // ---- handlers ----
@@ -664,12 +716,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqID := s.reqID.Add(1)
-	// Tracing: explicit opt-in via "trace": true, or the configured
-	// deterministic sampling stride. The untraced path never draws a
-	// trace from the pool; every Trace method is nil-safe, so the span
-	// calls below vanish into a pointer check.
+	// Tracing: explicit opt-in via "trace": true, an "explain": true
+	// plan request (the plan is assembled from spans), or the
+	// configured deterministic sampling stride. The untraced path never
+	// draws a trace from the pool; every Trace method is nil-safe, so
+	// the span calls below vanish into a pointer check.
 	var tr *obs.Trace
-	if req.Trace || (s.sampleEvery > 0 && s.sampleSeq.Add(1)%s.sampleEvery == 0) {
+	if req.Trace || req.Explain || (s.sampleEvery > 0 && s.sampleSeq.Add(1)%s.sampleEvery == 0) {
 		tr = obs.GetTrace(reqID)
 		defer obs.PutTrace(tr)
 	}
@@ -685,6 +738,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		kEff = req.Limit
 	}
 	cacheable := s.cache != nil && kEff > 0 && len(req.Query) > 0 && req.Budget >= 0
+	cacheOutcome := ""
 	var key string
 	if cacheable {
 		cacheStart := time.Now()
@@ -694,18 +748,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		obs.ObserveDur(obs.StageCache, cacheDur)
 		tr.AddSpan(obs.StageCache, -1, cacheStart, cacheDur)
 		if ok {
+			cacheOutcome = "hit"
 			sc.out = toJSONInto(sc.out[:0], res)
 			took := time.Since(start)
 			s.met.latency.observe(took.Seconds())
-			s.respondSearch(w, c, searchResponse{
+			c.usage.AddCacheHit()
+			c.usage.AddSearch(0, 0, 0, 0, 0)
+			s.recordHealth(c, obs.HealthSample{Dur: took, CacheHit: true})
+			resp := searchResponse{
 				Neighbors:  sc.out,
 				Cached:     true,
 				NextCursor: next,
 				TookMicros: took.Microseconds(),
-			}, reqID, tr, req.Trace)
-			s.recordSlow(reqID, "search", start, took, kEff, req.Budget, tr)
+			}
+			if req.Explain {
+				resp.Explain = buildExplain(c, kEff, req.Budget, f, nil, cacheOutcome, tr)
+			}
+			s.respondSearch(w, c, resp, reqID, tr, req.Trace)
+			s.recordSlow(reqID, "search", c.name, f, start, took, kEff, req.Budget, tr)
 			return
 		}
+		cacheOutcome = "miss"
 	}
 	admStart := time.Now()
 	if ok := s.admit(w, r, "search", c); !ok {
@@ -718,10 +781,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	var next string
 	var res []lccs.Neighbor
+	co := &sc.co
 	if paginated {
 		res, next, err = s.searchCursor(c, req.Query, req.Limit, req.Budget, f, req.Cursor)
 	} else {
-		res, err = s.search(c, req.Query, req.K, req.Budget, f, sc.res, tr)
+		res, err = s.search(c, req.Query, req.K, req.Budget, f, sc.res, co, tr)
 	}
 	if err != nil {
 		code := statusFor(err)
@@ -738,6 +802,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// The cache retains its entries past this request, so it gets
 		// its own copy rather than the pooled row.
 		s.cache.put(key, append([]lccs.Neighbor(nil), res...), next)
+		c.usage.AddCacheMiss()
 	}
 	encStart := time.Now()
 	sc.out = toJSONInto(sc.out[:0], res)
@@ -746,12 +811,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	tr.AddSpan(obs.StageEncode, -1, encStart, encDur)
 	took := time.Since(start)
 	s.met.latency.observe(took.Seconds())
-	s.respondSearch(w, c, searchResponse{
+	c.usage.AddSearch(co.Comparisons, co.Candidates, co.Reranked, co.BytesScanned, co.FilterRejected)
+	s.recordHealth(c, obs.HealthSample{
+		Dur:          took,
+		Comparisons:  co.Comparisons,
+		BytesScanned: co.BytesScanned,
+		CacheMiss:    cacheOutcome == "miss",
+	})
+	resp := searchResponse{
 		Neighbors:  sc.out,
 		NextCursor: next,
 		TookMicros: took.Microseconds(),
-	}, reqID, tr, req.Trace)
-	s.recordSlow(reqID, "search", start, took, kEff, req.Budget, tr)
+	}
+	if req.Explain {
+		resp.Explain = buildExplain(c, req.K, req.Budget, f, co, cacheOutcome, tr)
+	}
+	s.respondSearch(w, c, resp, reqID, tr, req.Trace)
+	s.recordSlow(reqID, "search", c.name, f, start, took, kEff, req.Budget, tr)
 }
 
 // respondSearch sends a search response. Only an explicit "trace": true
@@ -760,37 +836,49 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // the slow-log reservoir without inflating client responses.
 func (s *Server) respondSearch(w http.ResponseWriter, c *coll, resp searchResponse, reqID uint64, tr *obs.Trace, explicit bool) {
 	if tr != nil && explicit {
-		resp.RequestID = reqID
 		resp.Trace = tr.Tree()
+	}
+	if (tr != nil && explicit) || resp.Explain != nil {
+		resp.RequestID = reqID
 		w.Header().Set("X-Request-Id", strconv.FormatUint(reqID, 10))
 	}
 	s.respond(w, c.name, "search", http.StatusOK, resp)
 }
 
 // recordSlow offers a finished search to the slow-query log and warns
-// through the structured logger when it crossed the threshold.
-func (s *Server) recordSlow(reqID uint64, endpoint string, start time.Time, took time.Duration, k, budget int, tr *obs.Trace) {
+// through the structured logger when it crossed the threshold. Entries
+// carry the collection name and the hex of the canonical filter key
+// (vec.Filter.AppendKey), so slow queries group by tenant and by
+// predicate.
+func (s *Server) recordSlow(reqID uint64, endpoint, collection string, f *lccs.Filter, start time.Time, took time.Duration, k, budget int, tr *obs.Trace) {
 	thr := s.slow.Threshold()
 	slow := thr > 0 && took >= thr
 	if tr == nil && !slow {
 		return // nothing to capture: neither traced nor over threshold
+	}
+	filterKey := ""
+	if f != nil {
+		filterKey = hex.EncodeToString(f.AppendKey(nil))
 	}
 	// tr.Tree is passed as a thunk: the log materializes the span tree
 	// only for entries it actually keeps, so a traced request that the
 	// reservoir rejects costs no tree allocation. Tree is nil-safe, so
 	// the method value works for untraced-but-slow requests too.
 	s.slow.Record(obs.SlowEntry{
-		RequestID: reqID,
-		Endpoint:  endpoint,
-		Time:      start,
-		DurUS:     float64(took) / float64(time.Microsecond),
-		K:         k,
-		Budget:    budget,
-		Traced:    tr != nil,
+		RequestID:  reqID,
+		Endpoint:   endpoint,
+		Collection: collection,
+		Time:       start,
+		DurUS:      float64(took) / float64(time.Microsecond),
+		K:          k,
+		Budget:     budget,
+		Filter:     filterKey,
+		Traced:     tr != nil,
 	}, tr.Tree)
 	if slow {
 		s.logger.Warn("slow query",
-			"request_id", reqID, "endpoint", endpoint, "took", took,
+			"request_id", reqID, "endpoint", endpoint, "collection", collection,
+			"filter", filterKey, "took", took,
 			"k", k, "budget", budget, "traced", tr != nil)
 	}
 }
@@ -799,16 +887,21 @@ func (s *Server) recordSlow(reqID uint64, endpoint string, start time.Time, took
 // backend lacks; the handler maps it to 501.
 var errNotSupported = errors.New("backend does not support this request")
 
-// search routes an unpaginated query to the right backend call: the
-// filtered path when f is set, otherwise the default-budget (budget ==
-// 0) or explicit-budget call, appending into the pooled dst row; a
-// negative budget is the client's error, not a request for the default.
-// A non-nil tr selects the backend's traced path when it has one (only
-// the unfiltered path is traced end to end; filtered searches still
-// observe the filter stage internally).
-func (s *Server) search(c *coll, q []float32, k, budget int, f *lccs.Filter, dst []lccs.Neighbor, tr *obs.Trace) ([]lccs.Neighbor, error) {
+// search routes an unpaginated query to the backend. The library
+// facades all implement CostSearcher, whose one metered call covers
+// filter + cost record + trace at once; co is filled in place (the
+// caller passes pooled scratch, so accounting allocates nothing). A
+// custom backend without it falls back to the legacy capability
+// routing: the filtered path when f is set, otherwise the
+// default-budget (budget == 0) or explicit-budget call, appending into
+// the pooled dst row — its cost record simply stays zero. A negative
+// budget is the client's error, not a request for the default.
+func (s *Server) search(c *coll, q []float32, k, budget int, f *lccs.Filter, dst []lccs.Neighbor, co *lccs.Cost, tr *obs.Trace) ([]lccs.Neighbor, error) {
 	if budget < 0 {
 		return dst, lccs.ErrInvalidBudget
+	}
+	if c.cost != nil {
+		return c.cost.SearchCostInto(q, k, budget, f, dst, co, tr)
 	}
 	if f != nil {
 		if c.filt == nil {
@@ -881,10 +974,15 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	for i, row := range rows {
 		out[i] = toJSON(row)
 	}
-	s.met.latency.observe(time.Since(start).Seconds())
+	took := time.Since(start)
+	s.met.latency.observe(took.Seconds())
+	// The batch engine's internal path does not surface per-query cost
+	// records; the batch still counts toward the health rings as one
+	// request with its end-to-end latency.
+	s.recordHealth(c, obs.HealthSample{Dur: took})
 	s.respond(w, c.name, "search_batch", http.StatusOK, batchResponse{
 		Results:    out,
-		TookMicros: time.Since(start).Microseconds(),
+		TookMicros: took.Microseconds(),
 	})
 }
 
@@ -916,6 +1014,7 @@ func parseAttrs(rows []map[string]any) ([]lccs.Attrs, error) {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if !s.requirePost(w, r, "insert") {
 		return
 	}
@@ -923,6 +1022,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if c == nil {
 		return
 	}
+	reqID := s.reqID.Add(1)
 	if c.inserter == nil {
 		s.fail(w, c.name, "insert", http.StatusNotImplemented,
 			errors.New("backend is read-only: inserts need a DynamicIndex (-dynamic)"))
@@ -986,7 +1086,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	walBefore := walAppended(c)
 	ids, warning, failCode, failErr := s.applyInserts(c, req.Vectors, attrs)
+	walBytes := walAppended(c) - walBefore
 	if failErr != nil {
 		// Earlier vectors of the batch may already be in — bump the
 		// generation so their results become visible, and return their
@@ -996,19 +1098,31 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		if len(ids) > 0 {
 			c.gen.Add(1)
 			c.inserts.Add(uint64(len(ids)))
+			c.usage.AddInsert(len(ids), walBytes)
 		}
+		c.usage.AddError()
+		s.recordHealth(c, obs.HealthSample{Dur: -1, Err: true, WALBytes: walBytes})
+		w.Header().Set("X-Request-Id", strconv.FormatUint(reqID, 10))
 		s.met.countRequest(c.name, "insert", failCode)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(failCode)
 		_ = json.NewEncoder(w).Encode(struct {
 			errorResponse
-			IDs []int `json:"ids"`
-		}{errorResponse{Error: failErr.Error()}, ids})
+			IDs       []int  `json:"ids"`
+			RequestID uint64 `json:"request_id,omitempty"`
+		}{errorResponse{Error: failErr.Error()}, ids, reqID})
 		return
 	}
 	c.gen.Add(1) // invalidate every cached result of this collection
 	c.inserts.Add(uint64(len(ids)))
-	s.respond(w, c.name, "insert", http.StatusOK, insertResponse{IDs: ids, Warning: warning})
+	c.usage.AddInsert(len(ids), walBytes)
+	took := time.Since(start)
+	s.recordHealth(c, obs.HealthSample{Dur: took, WALBytes: walBytes})
+	s.logger.Debug("insert",
+		"request_id", reqID, "collection", c.name,
+		"vectors", len(ids), "wal_bytes", walBytes, "took", took)
+	w.Header().Set("X-Request-Id", strconv.FormatUint(reqID, 10))
+	s.respond(w, c.name, "insert", http.StatusOK, insertResponse{IDs: ids, Warning: warning, RequestID: reqID})
 }
 
 // applyInserts pushes a pre-validated vector batch (with optional
@@ -1069,6 +1183,7 @@ func (s *Server) finishBatch(ids []int, err error) ([]int, string, int, error) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if !s.requirePost(w, r, "delete") {
 		return
 	}
@@ -1076,6 +1191,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if c == nil {
 		return
 	}
+	reqID := s.reqID.Add(1)
 	if c.deleter == nil {
 		s.fail(w, c.name, "delete", http.StatusNotImplemented,
 			errors.New("backend cannot delete: deletes need a DynamicIndex (-dynamic)"))
@@ -1106,6 +1222,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	// the whole batch under a single group-committed wait when the
 	// backend has a bulk path — and a journal failure turns into a 503
 	// instead of a silently non-durable 200.
+	walBefore := walAppended(c)
 	var resp deleteResponse
 	switch {
 	case c.batchDel != nil:
@@ -1115,6 +1232,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			if deleted > 0 {
 				c.gen.Add(1)
 				c.deletes.Add(uint64(deleted))
+				c.usage.AddDelete(deleted, walAppended(c)-walBefore)
 			}
 			s.fail(w, c.name, "delete", http.StatusServiceUnavailable, err)
 			return
@@ -1137,6 +1255,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 				if resp.Deleted > 0 {
 					c.gen.Add(1)
 					c.deletes.Add(uint64(resp.Deleted))
+					c.usage.AddDelete(resp.Deleted, walAppended(c)-walBefore)
 				}
 				s.fail(w, c.name, "delete", http.StatusServiceUnavailable,
 					fmt.Errorf("id %d: %w (deleted %d of %d before the failure)", id, err, resp.Deleted, len(ids)))
@@ -1150,6 +1269,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		c.gen.Add(1)
 		c.deletes.Add(uint64(resp.Deleted))
 	}
+	walBytes := walAppended(c) - walBefore
+	c.usage.AddDelete(resp.Deleted, walBytes)
+	took := time.Since(start)
+	s.recordHealth(c, obs.HealthSample{Dur: took, WALBytes: walBytes})
+	s.logger.Debug("delete",
+		"request_id", reqID, "collection", c.name,
+		"deleted", resp.Deleted, "missing", len(resp.Missing),
+		"wal_bytes", walBytes, "took", took)
+	resp.RequestID = reqID
+	w.Header().Set("X-Request-Id", strconv.FormatUint(reqID, 10))
 	s.respond(w, c.name, "delete", http.StatusOK, resp)
 }
 
@@ -1170,17 +1299,20 @@ func (s *Server) handleCollCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "", "collections_create", http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	reqID := s.reqID.Add(1)
 	ec, err := s.eng.Create(req.Name, req.Spec)
 	if err != nil {
 		s.fail(w, "", "collections_create", engineStatus(err), err)
 		return
 	}
 	s.cmu.Lock()
-	s.colls[req.Name] = newColl(req.Name, ec.Backend())
+	s.colls[req.Name] = newColl(ec)
 	s.cmu.Unlock()
-	s.logger.Info("collection created", "collection", req.Name)
-	s.respond(w, "", "collections_create", http.StatusCreated, collectionInfo{
-		Name: req.Name, Vectors: ec.Backend().Len(), Loaded: true,
+	s.logger.Info("collection created", "request_id", reqID, "collection", req.Name)
+	w.Header().Set("X-Request-Id", strconv.FormatUint(reqID, 10))
+	s.respond(w, "", "collections_create", http.StatusCreated, createCollectionResponse{
+		collectionInfo: collectionInfo{Name: req.Name, Vectors: ec.Backend().Len(), Loaded: true},
+		RequestID:      reqID,
 	})
 }
 
@@ -1202,6 +1334,7 @@ func (s *Server) handleCollList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCollDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	reqID := s.reqID.Add(1)
 	if err := s.eng.Drop(name); err != nil {
 		s.fail(w, "", "collections_drop", engineStatus(err), err)
 		return
@@ -1215,8 +1348,9 @@ func (s *Server) handleCollDrop(w http.ResponseWriter, r *http.Request) {
 		// dead tenant impossible.
 		s.cache.clear()
 	}
-	s.logger.Info("collection dropped", "collection", name)
-	s.respond(w, "", "collections_drop", http.StatusOK, map[string]string{"dropped": name})
+	s.logger.Info("collection dropped", "request_id", reqID, "collection", name)
+	w.Header().Set("X-Request-Id", strconv.FormatUint(reqID, 10))
+	s.respond(w, "", "collections_drop", http.StatusOK, dropCollectionResponse{Dropped: name, RequestID: reqID})
 }
 
 func (s *Server) handleCollStats(w http.ResponseWriter, r *http.Request) {
@@ -1518,6 +1652,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauges = append(gauges, gauge{name: "lccs_collection_inflight",
 			help: "Admitted in-flight requests, by collection.", value: f.occupancy, labels: collLabel(f.name)})
 	}
+	// Per-collection usage metering (cumulative resource accounting from
+	// engine.Usage; same adjacency rule as above).
+	type collUse struct {
+		name string
+		us   engine.UsageSnapshot
+	}
+	uses := make([]collUse, 0, len(colls))
+	for _, c := range colls {
+		uses = append(uses, collUse{c.name, c.usage.Snapshot()})
+	}
+	for _, u := range uses {
+		counters = append(counters, gauge{name: "lccs_collection_searches_total",
+			help: "Search requests served (backend or cache), by collection.", value: float64(u.us.Searches), labels: collLabel(u.name)})
+	}
+	for _, u := range uses {
+		counters = append(counters, gauge{name: "lccs_collection_scan_bytes_total",
+			help: "Vector bytes read by the distance kernels, by collection.", value: float64(u.us.BytesScanned), labels: collLabel(u.name)})
+	}
+	for _, u := range uses {
+		counters = append(counters, gauge{name: "lccs_collection_cost_units_total",
+			help: "Derived query cost units (comparisons + scan bytes / 4), by collection.", value: float64(u.us.CostUnits), labels: collLabel(u.name)})
+	}
+	for _, u := range uses {
+		counters = append(counters, gauge{name: "lccs_collection_filter_rejected_total",
+			help: "Candidates discarded by metadata predicates, by collection.", value: float64(u.us.FilterRejected), labels: collLabel(u.name)})
+	}
+	for _, u := range uses {
+		counters = append(counters, gauge{name: "lccs_collection_cache_hits_total",
+			help: "Result-cache hits, by collection.", value: float64(u.us.CacheHits), labels: collLabel(u.name)})
+	}
+	for _, u := range uses {
+		counters = append(counters, gauge{name: "lccs_collection_cache_misses_total",
+			help: "Result-cache misses, by collection.", value: float64(u.us.CacheMisses), labels: collLabel(u.name)})
+	}
+	for _, u := range uses {
+		counters = append(counters, gauge{name: "lccs_collection_wal_appended_bytes_total",
+			help: "Journal bytes appended by this collection's writes.", value: float64(u.us.WALBytes), labels: collLabel(u.name)})
+	}
+	for _, u := range uses {
+		counters = append(counters, gauge{name: "lccs_collection_errors_total",
+			help: "Failed requests, by collection.", value: float64(u.us.Errors), labels: collLabel(u.name)})
+	}
 	if s.cache != nil {
 		hits, misses, evictions := s.cache.stats()
 		counters = append(counters,
@@ -1598,6 +1774,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string, 
 			c.occupancy.Add(-1)
 			c.quotaRejected.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			s.recordHealth(c, obs.HealthSample{Rejected: true})
 			s.fail(w, c.name, endpoint, http.StatusServiceUnavailable,
 				fmt.Errorf("collection %q is over its concurrency share (%d in flight)", c.name, s.collShare))
 			return false
@@ -1609,6 +1786,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string, 
 		if c != nil {
 			c.occupancy.Add(-1)
 		}
+		s.recordHealth(c, obs.HealthSample{Rejected: true})
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		msg := err
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -1705,6 +1883,19 @@ func (s *Server) respond(w http.ResponseWriter, collection, endpoint string, cod
 
 func (s *Server) fail(w http.ResponseWriter, collection, endpoint string, code int, err error) {
 	s.respond(w, collection, endpoint, code, errorResponse{Error: err.Error()})
+	// Fold the failure into the health rings and the collection's error
+	// counter. Dur < 0 counts the request without a latency observation,
+	// so an error storm cannot drag the latency percentiles toward zero.
+	var c *coll
+	if collection != "" {
+		s.cmu.RLock()
+		c = s.colls[collection]
+		s.cmu.RUnlock()
+	}
+	if c != nil {
+		c.usage.AddError()
+	}
+	s.recordHealth(c, obs.HealthSample{Dur: -1, Err: true})
 }
 
 func toJSON(res []lccs.Neighbor) []neighborJSON {

@@ -3,6 +3,7 @@ package vec
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Store is a flat structure-of-arrays vector store: n vectors of one
@@ -152,8 +153,16 @@ func (s *Store) CompactCopy(keepPrefix int, dead func(slot int) bool) *Store {
 }
 
 // scanChunk is the number of rows a chunked scan pushes through the
-// block kernels per pass. Buffers of this size live on the stack.
+// block kernels per pass.
 const scanChunk = 256
+
+// scanBufPool recycles the chunk buffers of Scan and DistancesInto.
+// The block kernels are invoked through function pointers (AVX2 vs
+// generic, chosen at init), which escape analysis cannot see through —
+// a stack buffer would be moved to the heap on every call, costing an
+// allocation per buffer scan. Each pooled block holds two scanChunk
+// halves so the angular path's dot/norm pair shares one Get.
+var scanBufPool = sync.Pool{New: func() any { return new([2 * scanChunk]float32) }}
 
 // Scan walks vectors [lo, hi) and calls visit with each vector's metric
 // distance to q. For the kernel-backed metrics (Euclidean, Angular) the
@@ -164,7 +173,8 @@ const scanChunk = 256
 func (s *Store) Scan(lo, hi int, q []float32, m Metric, visit func(id int, d float64)) {
 	switch m.(type) {
 	case euclidean, angular:
-		var buf [scanChunk]float32
+		bp := scanBufPool.Get().(*[2 * scanChunk]float32)
+		buf := bp[:scanChunk]
 		for base := lo; base < hi; base += scanChunk {
 			c := hi - base
 			if c > scanChunk {
@@ -175,6 +185,7 @@ func (s *Store) Scan(lo, hi int, q []float32, m Metric, visit func(id int, d flo
 				visit(base+i, float64(buf[i]))
 			}
 		}
+		scanBufPool.Put(bp)
 	default:
 		base := lo * s.dim
 		for i := lo; i < hi; i++ {
@@ -211,7 +222,8 @@ func (s *Store) DistancesInto(lo, hi int, q []float32, m Metric, out []float32) 
 		}
 	case angular:
 		qn2 := dotRow(q, q)
-		var dbuf, nbuf [scanChunk]float32
+		bp := scanBufPool.Get().(*[2 * scanChunk]float32)
+		dbuf, nbuf := bp[:scanChunk], bp[scanChunk:]
 		for base := 0; base < n; base += scanChunk {
 			c := n - base
 			if c > scanChunk {
@@ -223,6 +235,7 @@ func (s *Store) DistancesInto(lo, hi int, q []float32, m Metric, out []float32) 
 				out[base+i] = float32(angularFromParts(dbuf[i], nbuf[i], qn2))
 			}
 		}
+		scanBufPool.Put(bp)
 	default:
 		for i := 0; i < n; i++ {
 			out[i] = float32(m.Distance(s.Row(lo+i), q))

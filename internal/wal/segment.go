@@ -70,6 +70,19 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// frameSize returns the encoded size of rec's frame (header included)
+// without encoding it — the append path's byte accounting.
+func frameSize(rec Record) int64 {
+	payload := minPayload
+	if rec.Op == OpInsert || rec.Op == OpInsertAttrs {
+		payload += 4 + 4*len(rec.Vec)
+	}
+	if rec.Op == OpInsertAttrs {
+		payload += 4 + len(rec.Attrs)
+	}
+	return int64(frameHeader + payload)
+}
+
 // appendFrame encodes rec as one frame at the end of dst.
 func appendFrame(dst []byte, rec Record) []byte {
 	payload := minPayload

@@ -159,6 +159,10 @@ type Stats struct {
 	// Segments and Bytes describe the live segment files on disk.
 	Segments int
 	Bytes    int64
+	// AppendedBytes is the cumulative frame bytes accepted by Append
+	// since Open — unlike Bytes it is monotone, surviving checkpoint
+	// truncation, so it meters write traffic per unit time.
+	AppendedBytes int64
 	// Fsyncs counts fsync calls; LastFsync and MeanFsync their latency.
 	Fsyncs    uint64
 	LastFsync time.Duration
@@ -189,9 +193,10 @@ type Log struct {
 	done       chan struct{}
 	stopTicker chan struct{}
 
-	fsyncs     uint64
-	fsyncTotal time.Duration
-	lastFsync  time.Duration
+	fsyncs        uint64
+	fsyncTotal    time.Duration
+	lastFsync     time.Duration
+	appendedBytes int64 // cumulative frame bytes accepted by Append
 
 	// replaySegs are the pre-existing segments found at Open, in LSN
 	// order — the input to Replay.
@@ -393,6 +398,7 @@ func (l *Log) Append(recs ...Record) (uint64, error) {
 	for i := range recs {
 		l.nextLSN++
 		recs[i].LSN = l.nextLSN
+		l.appendedBytes += frameSize(recs[i])
 	}
 	l.pending = append(l.pending, recs...)
 	l.wake.Signal()
@@ -529,6 +535,7 @@ func (l *Log) Stats() Stats {
 		SyncedLSN:     l.syncedLSN,
 		CheckpointLSN: l.ckptLSN,
 		Segments:      len(l.segments),
+		AppendedBytes: l.appendedBytes,
 		Fsyncs:        l.fsyncs,
 		LastFsync:     l.lastFsync,
 	}

@@ -75,12 +75,70 @@ type TracedSearcher interface {
 	SearchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error)
 }
 
+// Cost is the per-query resource-cost record accumulated by
+// SearchCostInto: every counter is summed across shards and the delta
+// buffer, so one Cost describes the whole query regardless of which
+// facade answered it. All fields are additive — reuse one Cost across
+// queries to meter a workload, or reset it per query to bill one.
+type Cost struct {
+	// Comparisons counts hash-string comparisons by the CSA circular
+	// binary searches (the retrieval phase's rows touched).
+	Comparisons int64 `json:"comparisons"`
+	// Candidates counts data objects verified with a distance kernel.
+	Candidates int64 `json:"candidates"`
+	// Reranked counts SQ8-scan survivors re-ranked with exact float32
+	// distances (0 on unquantized indexes).
+	Reranked int64 `json:"reranked"`
+	// BytesScanned is the vector-block memory traffic of verification:
+	// float32 gathers at 4 bytes per dimension per candidate, SQ8 score
+	// gathers at 1, the exact re-rank at 4 again.
+	BytesScanned int64 `json:"bytes_scanned"`
+	// FilterRejected counts candidates the filter predicate discarded
+	// before any distance work.
+	FilterRejected int64 `json:"filter_rejected"`
+}
+
+// Reset zeroes every counter. Safe on nil.
+func (c *Cost) Reset() {
+	if c != nil {
+		*c = Cost{}
+	}
+}
+
+// addStats folds one core-level stats record into the cost. Safe on
+// nil, so untraced unmetered callers pass nil and pay one branch.
+func (c *Cost) addStats(st core.SearchStats) {
+	if c == nil {
+		return
+	}
+	c.Comparisons += int64(st.Comparisons)
+	c.Candidates += int64(st.Candidates)
+	c.Reranked += int64(st.Reranked)
+	c.BytesScanned += st.BytesScanned
+	c.FilterRejected += int64(st.FilterRejected)
+}
+
+// CostSearcher is the unified metered query interface implemented by
+// every facade: filtered or unfiltered budgeted search, appending into
+// dst, accumulating the query's resource cost into co, and recording
+// spans into tr. Each of f, co, and tr may independently be nil — a nil
+// filter matches everything, a nil cost skips accounting, a nil trace
+// skips spans — and the all-nil call is exactly SearchBudgetInto, so
+// the steady-state path stays allocation-free. A non-positive lambda
+// selects the facade's default budget.
+type CostSearcher interface {
+	SearchCostInto(q []float32, k, lambda int, f *Filter, dst []Neighbor, co *Cost, tr *Trace) ([]Neighbor, error)
+}
+
 // Compile-time conformance of the three facades (DurableIndex embeds
-// DynamicIndex and inherits its traced path).
+// DynamicIndex and inherits its traced and metered paths).
 var (
 	_ TracedSearcher = (*Index)(nil)
 	_ TracedSearcher = (*ShardedIndex)(nil)
 	_ TracedSearcher = (*DynamicIndex)(nil)
+	_ CostSearcher   = (*Index)(nil)
+	_ CostSearcher   = (*ShardedIndex)(nil)
+	_ CostSearcher   = (*DynamicIndex)(nil)
 )
 
 // Typed query-validation errors. Every facade returns exactly these (or
@@ -476,11 +534,21 @@ func (ix *Index) SearchBudgetInto(q []float32, k, lambda int, dst []Neighbor) ([
 // query root span. A nil tr selects the untraced path unchanged; a
 // non-positive lambda selects the default budget.
 func (ix *Index) SearchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
+	return ix.SearchCostInto(q, k, lambda, nil, dst, nil, tr)
+}
+
+// SearchCostInto is the unified metered query path: filtered when f is
+// non-empty, cost-accounted when co is non-nil, span-traced when tr is
+// non-nil, and exactly SearchBudgetInto when all three are nil. A
+// non-positive lambda selects the default budget.
+func (ix *Index) SearchCostInto(q []float32, k, lambda int, f *Filter, dst []Neighbor, co *Cost, tr *Trace) ([]Neighbor, error) {
 	if lambda <= 0 {
 		lambda = ix.budget
 	}
-	if tr == nil {
-		return ix.SearchBudgetInto(q, k, lambda, dst)
+	if !f.Empty() {
+		if err := validateFilter(f); err != nil {
+			return nil, err
+		}
 	}
 	if err := validateQuery(q, ix.dim, k, lambda); err != nil {
 		return nil, err
@@ -489,18 +557,32 @@ func (ix *Index) SearchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighb
 	sp := tr.StartShardSpan(obs.StageShardScan, root, 0)
 	rb := ix.getRaw()
 	var stats core.SearchStats
-	if ix.multi != nil {
+	switch {
+	case !f.Empty():
+		attrs := ix.attrs
+		accept := func(id int) bool { return f.Matches(attrs.Row(id)) }
+		if ix.multi != nil {
+			rb.buf, stats = ix.multi.SearchFilterOffsetIntoStats(q, k, lambda, 0, accept, rb.buf)
+		} else {
+			rb.buf, stats = ix.single.SearchFilterOffsetIntoStats(q, k, lambda, 0, accept, rb.buf)
+		}
+	case ix.multi != nil:
 		rb.buf, stats = ix.multi.SearchOffsetIntoStats(q, k, lambda, 0, rb.buf)
-	} else {
+	default:
 		rb.buf, stats = ix.single.SearchOffsetIntoStats(q, k, lambda, 0, rb.buf)
 	}
-	obs.ObserveDur(obs.StageShardScan, tr.FinishSpanN(sp, int64(stats.Comparisons), int64(stats.Candidates)))
+	if tr != nil {
+		obs.ObserveDur(obs.StageShardScan, tr.FinishSpanCost(sp, int64(stats.Comparisons), int64(stats.Candidates), stats.BytesScanned))
+	}
+	co.addStats(stats)
 	if dst == nil {
 		dst = make([]Neighbor, 0, len(rb.buf))
 	}
 	dst = appendNeighbors(dst[:0], rb.buf)
 	ix.raw.Put(rb)
-	obs.ObserveDur(obs.StageQuery, tr.FinishSpan(root))
+	if tr != nil {
+		obs.ObserveDur(obs.StageQuery, tr.FinishSpan(root))
+	}
 	return dst, nil
 }
 

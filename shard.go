@@ -71,9 +71,12 @@ type ShardedIndex struct {
 }
 
 // shardCtx is the pooled per-query scratch of a shard fan-out: one
-// reusable result buffer per shard plus the merge tree.
+// reusable result buffer per shard, a per-shard stats slot for metered
+// queries (written by each scan, summed after the fan-out joins — no
+// atomics), and the merge tree.
 type shardCtx struct {
 	lists [][]pqueue.Neighbor
+	stats []core.SearchStats
 	t     pqueue.Tournament
 }
 
@@ -81,7 +84,12 @@ type shardCtx struct {
 // loaded sharded index.
 func (sx *ShardedIndex) initPool() {
 	s := len(sx.shards)
-	sx.ctxs.New = func() any { return &shardCtx{lists: make([][]pqueue.Neighbor, s)} }
+	sx.ctxs.New = func() any {
+		return &shardCtx{
+			lists: make([][]pqueue.Neighbor, s),
+			stats: make([]core.SearchStats, s),
+		}
+	}
 }
 
 // NewShardedIndex builds an LCCS-LSH index over data partitioned into the
@@ -193,24 +201,54 @@ func (sx *ShardedIndex) SearchBudgetInto(q []float32, k, lambda int, dst []Neigh
 // root span. A nil tr is exactly SearchBudgetInto; a non-positive
 // lambda selects the default budget.
 func (sx *ShardedIndex) SearchBudgetIntoTraced(q []float32, k, lambda int, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
+	return sx.SearchCostInto(q, k, lambda, nil, dst, nil, tr)
+}
+
+// SearchCostInto is the unified metered query path: filtered when f is
+// non-empty, cost-accounted when co is non-nil, span-traced when tr is
+// non-nil, and exactly SearchBudgetInto when all three are nil. The
+// shard fan-out runs sequentially (callers on this path — server
+// handlers, batch workers — provide their own concurrency); a
+// non-positive lambda selects the default budget.
+func (sx *ShardedIndex) SearchCostInto(q []float32, k, lambda int, f *Filter, dst []Neighbor, co *Cost, tr *Trace) ([]Neighbor, error) {
 	if lambda <= 0 {
 		lambda = sx.budget
 	}
-	return sx.searchBudgetInto(q, k, lambda, false, dst, tr)
+	return sx.searchCostInto(q, k, lambda, false, f, dst, co, tr)
 }
 
-// searchBudgetInto runs the fan-out/merge with or without per-shard
-// goroutines; the result is identical either way (deterministic merge),
-// so batch callers whose worker pool already saturates the CPUs can skip
-// the nested parallelism. Results are appended to dst (reset to dst[:0]
-// first; dst may be nil).
+// searchBudgetInto is the pre-metering entry point kept for the batch
+// engine: fan-out/merge with or without per-shard goroutines. The
+// result is identical either way (deterministic merge), so batch
+// callers whose worker pool already saturates the CPUs skip the nested
+// parallelism.
 func (sx *ShardedIndex) searchBudgetInto(q []float32, k, lambda int, parallel bool, dst []Neighbor, tr *Trace) ([]Neighbor, error) {
+	return sx.searchCostInto(q, k, lambda, parallel, nil, dst, nil, tr)
+}
+
+// searchCostInto runs the fan-out/merge with every orthogonal query
+// feature — filter, cost accounting, span tracing, optional per-shard
+// goroutines. Results are appended to dst (reset to dst[:0] first; dst
+// may be nil). Per-shard stats land in pooled slots and are summed
+// after the fan-out joins, so the parallel path needs no atomics and
+// the sequential unmetered path allocates nothing.
+func (sx *ShardedIndex) searchCostInto(q []float32, k, lambda int, parallel bool, f *Filter, dst []Neighbor, co *Cost, tr *Trace) ([]Neighbor, error) {
+	filtered := !f.Empty()
+	if filtered {
+		if err := validateFilter(f); err != nil {
+			return nil, err
+		}
+	}
 	if err := validateQuery(q, sx.dim, k, lambda); err != nil {
 		return nil, err
 	}
 	root := tr.StartSpan(obs.StageQuery, -1) // nil-safe: -1 when untraced
 	ctx := sx.ctxs.Get().(*shardCtx)
-	sx.searchShards(q, k, lambda, parallel, ctx.lists, tr, root)
+	stats := ctx.stats
+	if co == nil {
+		stats = nil
+	}
+	sx.searchShards(q, k, lambda, parallel, f, ctx.lists, stats, tr, root)
 	mergeSpan := tr.StartSpan(obs.StageMerge, root)
 	ctx.t.Reset(ctx.lists)
 	if dst == nil {
@@ -226,11 +264,17 @@ func (sx *ShardedIndex) searchBudgetInto(q []float32, k, lambda int, parallel bo
 		// Tombstones from a dynamic snapshot are filtered here (the
 		// per-shard fetch over-shot by the shard's tombstone count, so k
 		// live results still come through); ids leave in the stable
-		// external space. Both are no-ops on fresh builds.
-		if sx.dead != nil && sx.dead[nb.ID] {
+		// external space. Both are no-ops on fresh builds, and a
+		// filtered scan already rejected dead rows in-stream.
+		if !filtered && sx.dead != nil && sx.dead[nb.ID] {
 			continue
 		}
 		dst = append(dst, Neighbor{ID: sx.ids.Ext(nb.ID), Dist: nb.Dist})
+	}
+	if co != nil {
+		for i := range ctx.stats {
+			co.addStats(ctx.stats[i])
+		}
 	}
 	sx.ctxs.Put(ctx)
 	if tr != nil {
@@ -243,13 +287,14 @@ func (sx *ShardedIndex) searchBudgetInto(q []float32, k, lambda int, parallel bo
 // searchShards fans the query out across all shards — concurrently when
 // asked and more than one CPU is available — filling lists with the
 // per-shard top-k (global ids, ascending by distance). The per-shard
-// buffers are reused across queries.
-func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool, lists [][]pqueue.Neighbor, tr *Trace, parent int) {
+// buffers are reused across queries; stats, when non-nil, receives one
+// slot per shard.
+func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool, f *Filter, lists [][]pqueue.Neighbor, stats []core.SearchStats, tr *Trace, parent int) {
 	s := len(sx.shards)
 	lambdaShard := (lambda + s - 1) / s
 	if !parallel || s == 1 || runtime.GOMAXPROCS(0) == 1 {
-		for i, shard := range sx.shards {
-			lists[i] = sx.scanShard(shard, q, i, k, lambdaShard, lists[i], tr, parent)
+		for i := range sx.shards {
+			sx.scanOne(i, q, k, lambdaShard, f, lists, stats, tr, parent)
 		}
 		return
 	}
@@ -258,24 +303,49 @@ func (sx *ShardedIndex) searchShards(q []float32, k, lambda int, parallel bool, 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			lists[i] = sx.scanShard(sx.shards[i], q, i, k, lambdaShard, lists[i], tr, parent)
+			sx.scanOne(i, q, k, lambdaShard, f, lists, stats, tr, parent)
 		}(i)
 	}
 	wg.Wait()
 }
 
+// scanOne prepares shard i's predicate and stats slot and runs its scan.
+func (sx *ShardedIndex) scanOne(i int, q []float32, k, lambdaShard int, f *Filter, lists [][]pqueue.Neighbor, stats []core.SearchStats, tr *Trace, parent int) {
+	var accept func(int) bool
+	if !f.Empty() {
+		accept = sx.acceptFunc(f, sx.offsets[i])
+	}
+	var st *core.SearchStats
+	if stats != nil {
+		st = &stats[i]
+	}
+	lists[i] = sx.scanShard(sx.shards[i], q, i, k, lambdaShard, accept, lists[i], st, tr, parent)
+}
+
 // scanShard runs one shard's CSA scan, recording a per-shard span with
-// rows-compared and candidates-verified counters when traced. The
-// untraced path is the original stats-free call, so it stays on the
-// zero-allocation route.
-func (sx *ShardedIndex) scanShard(shard *Index, q []float32, i, k, lambdaShard int, dst []pqueue.Neighbor, tr *Trace, parent int) []pqueue.Neighbor {
-	if tr == nil {
+// rows-compared, candidates-verified, and bytes-scanned counters when
+// traced, and the shard's stats into st when metered. The untraced
+// unmetered unfiltered call is the original stats-free route, so it
+// stays on the zero-allocation path. A filtered scan fetches k (its
+// predicate already rejects tombstones in-stream); an unfiltered one
+// over-fetches by the shard's tombstone count.
+func (sx *ShardedIndex) scanShard(shard *Index, q []float32, i, k, lambdaShard int, accept func(int) bool, dst []pqueue.Neighbor, st *core.SearchStats, tr *Trace, parent int) []pqueue.Neighbor {
+	if accept == nil && st == nil && tr == nil {
 		return shard.searchOffsetInto(q, sx.shardFetch(i, k), lambdaShard, sx.offsets[i], dst)
 	}
 	sp := tr.StartShardSpan(obs.StageShardScan, parent, i)
 	var stats core.SearchStats
-	dst, stats = shard.searchOffsetIntoStats(q, sx.shardFetch(i, k), lambdaShard, sx.offsets[i], dst)
-	obs.ObserveDur(obs.StageShardScan, tr.FinishSpanN(sp, int64(stats.Comparisons), int64(stats.Candidates)))
+	if accept != nil {
+		dst, stats = shard.searchFilterOffsetIntoStats(q, k, lambdaShard, sx.offsets[i], accept, dst)
+	} else {
+		dst, stats = shard.searchOffsetIntoStats(q, sx.shardFetch(i, k), lambdaShard, sx.offsets[i], dst)
+	}
+	if tr != nil {
+		obs.ObserveDur(obs.StageShardScan, tr.FinishSpanCost(sp, int64(stats.Comparisons), int64(stats.Candidates), stats.BytesScanned))
+	}
+	if st != nil {
+		*st = stats
+	}
 	return dst
 }
 
@@ -382,36 +452,7 @@ func (sx *ShardedIndex) SearchFilter(q []float32, k int, f *Filter) ([]Neighbor,
 // non-matching (or tombstoned) rows before any distance work, so the
 // per-shard lists the tournament merges hold only live matching rows.
 func (sx *ShardedIndex) SearchFilterBudgetInto(q []float32, k, lambda int, f *Filter, dst []Neighbor) ([]Neighbor, error) {
-	if f.Empty() {
-		return sx.SearchBudgetInto(q, k, lambda, dst)
-	}
-	if err := validateFilter(f); err != nil {
-		return nil, err
-	}
-	if err := validateQuery(q, sx.dim, k, lambda); err != nil {
-		return nil, err
-	}
-	ctx := sx.ctxs.Get().(*shardCtx)
-	s := len(sx.shards)
-	lambdaShard := (lambda + s - 1) / s
-	for i, shard := range sx.shards {
-		off := sx.offsets[i]
-		ctx.lists[i], _ = shard.searchFilterOffsetIntoStats(q, k, lambdaShard, off, sx.acceptFunc(f, off), ctx.lists[i])
-	}
-	ctx.t.Reset(ctx.lists)
-	if dst == nil {
-		dst = make([]Neighbor, 0, k)
-	}
-	dst = dst[:0]
-	for len(dst) < k {
-		nb, ok := ctx.t.Pop()
-		if !ok {
-			break
-		}
-		dst = append(dst, Neighbor{ID: sx.ids.Ext(nb.ID), Dist: nb.Dist})
-	}
-	sx.ctxs.Put(ctx)
-	return dst, nil
+	return sx.searchCostInto(q, k, lambda, false, f, dst, nil, nil)
 }
 
 // acceptFunc builds the per-shard candidate predicate of a filtered
